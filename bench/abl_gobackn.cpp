@@ -1,0 +1,146 @@
+// Ablation — resource exhaustion: panic vs go-back-n (§4.3).
+//
+// The shipped firmware "assumes that resource exhaustion does not occur
+// ... The current approach is to panic the node, which results in
+// application failure", with a go-back-n recovery protocol in progress.
+// This bench drives a many-to-one incast at a receiver whose RX pending
+// pool is made artificially tiny, and compares the two policies.
+
+#include <cstdio>
+#include <vector>
+
+#include "host/node.hpp"
+#include "portals/api.hpp"
+
+namespace {
+
+using namespace xt;
+using ptl::AckReq;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::ProcessId;
+using ptl::Unlink;
+using sim::CoTask;
+
+struct IncastResult {
+  bool panicked = false;
+  std::string panic_reason;
+  int delivered = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t drops = 0;
+  double ms = 0.0;
+};
+
+IncastResult run_incast(bool gobackn, int senders, int msgs_each,
+                        std::uint32_t bytes) {
+  ss::Config cfg;
+  cfg.gobackn = gobackn;
+  // Starve the receiver: a handful of RX pendings for the whole node.
+  cfg.n_generic_rx_pendings = 4;
+  host::Machine m(net::Shape::xt3(senders + 1, 1, 1), cfg);
+
+  host::Process& rx = m.node(0).spawn_process(7, 128u << 20);
+  const std::uint64_t rbuf = rx.alloc(1u << 20);
+  int delivered = 0;
+  sim::spawn([](host::Process& p, std::uint64_t buf, int total,
+                int* count) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(8192);
+    auto me = co_await api.PtlMEAttach(
+        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, 1, 0, Unlink::kRetain,
+        InsPos::kAfter);
+    MdDesc d;
+    d.start = buf;
+    d.length = 1u << 20;
+    d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE |
+                ptl::PTL_MD_TRUNCATE;
+    d.eq = eq.value;
+    (void)co_await api.PtlMDAttach(me.value, d, Unlink::kRetain);
+    while (*count < total) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.rc != ptl::PTL_OK && ev.rc != ptl::PTL_EQ_DROPPED) co_return;
+      if (ev.value.type == EventType::kPutEnd) ++*count;
+    }
+  }(rx, rbuf, senders * msgs_each, &delivered));
+
+  for (int sidx = 1; sidx <= senders; ++sidx) {
+    host::Process& tx =
+        m.node(static_cast<net::NodeId>(sidx)).spawn_process(7, 16u << 20);
+    sim::spawn([](host::Process& p, int n, std::uint32_t len)
+                   -> CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(8192);
+      MdDesc d;
+      d.start = p.alloc(len);
+      d.length = len;
+      d.eq = eq.value;
+      auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+      int sent = 0;
+      for (int i = 0; i < n; ++i) {
+        (void)co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{0, 7},
+                                  0, 0, 1, 0, 0);
+      }
+      while (sent < n) {
+        auto ev = co_await api.PtlEQWait(eq.value);
+        if (ev.rc != ptl::PTL_OK) co_return;
+        if (ev.value.type == EventType::kSendEnd) ++sent;
+      }
+    }(tx, msgs_each, bytes));
+  }
+
+  m.run();
+
+  IncastResult r;
+  r.panicked = m.node(0).firmware().panicked();
+  r.panic_reason = m.node(0).firmware().panic_reason();
+  r.delivered = delivered;
+  const auto& c = m.node(0).firmware().counters();
+  r.nacks = c.nacks_sent;
+  r.drops = c.exhaustion_drops;
+  std::uint64_t rt = 0;
+  for (int sidx = 1; sidx <= senders; ++sidx) {
+    rt += m.node(static_cast<net::NodeId>(sidx))
+              .firmware()
+              .counters()
+              .retransmits;
+  }
+  r.retransmits = rt;
+  r.ms = m.engine().now().to_ms();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSenders = 8;
+  constexpr int kMsgs = 40;
+  constexpr std::uint32_t kBytes = 2048;
+
+  std::printf("=== Ablation: resource exhaustion, panic vs go-back-n ===\n");
+  std::printf("(incast: %d senders x %d messages of %u B into a receiver "
+              "with only 4 RX pendings)\n\n",
+              kSenders, kMsgs, kBytes);
+
+  for (const bool gbn : {false, true}) {
+    const IncastResult r = run_incast(gbn, kSenders, kMsgs, kBytes);
+    std::printf("  policy: %-10s  ", gbn ? "go-back-n" : "panic");
+    if (r.panicked) {
+      std::printf("NODE PANIC (\"%s\") after %d/%d messages\n",
+                  r.panic_reason.c_str(), r.delivered, kSenders * kMsgs);
+    } else {
+      std::printf("delivered %d/%d in %.2f ms  "
+                  "(drops %llu, nacks %llu, retransmits %llu)\n",
+                  r.delivered, kSenders * kMsgs, r.ms,
+                  static_cast<unsigned long long>(r.drops),
+                  static_cast<unsigned long long>(r.nacks),
+                  static_cast<unsigned long long>(r.retransmits));
+    }
+  }
+  std::printf("\n  paper: \"The current approach is to panic the node, "
+              "which results in\n  application failure.  We are currently "
+              "working on a simple go-back-n\n  protocol to resolve "
+              "resource exhaustion gracefully.\"\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation — sensitivity to the host interrupt overhead (§3.3).
+//
+// "Interrupts ... are very costly, requiring at least 2 us of overhead
+// each.  Clearly, it will be necessary to eliminate all interrupts from
+// the data path in order to meet the performance requirements of the XT3."
+// This bench sweeps the modeled interrupt cost and reports 1-byte latency
+// and the half-bandwidth message size — the two figures of merit the paper
+// ties to interrupt overhead.
+
+#include <cstdio>
+
+#include "netpipe/netpipe.hpp"
+
+int main() {
+  using namespace xt;
+  std::printf("=== Ablation: interrupt overhead sweep ===\n\n");
+  std::printf("  %12s %14s %18s %14s\n", "irq cost us", "1B latency us",
+              "half-bw bytes", "peak MB/s");
+
+  for (const int ns : {0, 500, 1000, 2000, 4000, 8000}) {
+    ss::Config cfg;
+    cfg.interrupt = sim::Time::ns(ns);
+
+    np::Options lat;
+    lat.max_bytes = 1;
+    lat.perturbation = 0;
+    const auto l = np::measure(np::Transport::kPut, np::Pattern::kPingPong,
+                               lat, cfg);
+
+    np::Options bw;
+    bw.max_bytes = 1 << 20;
+    bw.base_iters = 12;
+    const auto b = np::measure(np::Transport::kPut, np::Pattern::kPingPong,
+                               bw, cfg);
+    const double peak = b.back().mbytes_per_sec;
+    std::size_t half = b.back().bytes;
+    for (const auto& s : b) {
+      if (s.mbytes_per_sec >= peak / 2) {
+        half = s.bytes;
+        break;
+      }
+    }
+    std::printf("  %12.1f %14.3f %18zu %14.1f\n", ns / 1000.0,
+                l.front().usec_per_transfer, half, peak);
+  }
+  std::printf("\n  expected: latency rises ~2x the interrupt cost "
+              "(two interrupts above 12 B,\n  one at 1 B) and the "
+              "half-bandwidth point scales with total overhead; the peak\n"
+              "  is interrupt-insensitive (DMA-limited)\n");
+  return 0;
+}

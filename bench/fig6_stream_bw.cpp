@@ -1,0 +1,18 @@
+// Figure 6 — streaming (uni-directional, pipelined) bandwidth.
+//
+// Paper anchors: steeper than the ping-pong curve, half-bandwidth around
+// 5 KB, and a much lower curve for get, "a blocking operation (for this
+// benchmark) that cannot be pipelined".
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xt;
+  np::Options o = bench::parse_options(argc, argv, 8 * 1024 * 1024);
+  bench::run_figure("Figure 6", "streaming bandwidth", np::Pattern::kStream,
+                    o);
+
+  std::printf("--- paper anchors: steeper curve than Figure 5 "
+              "(half-bandwidth ~5 KB); get far below put (unpipelined)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared driver for the figure-reproduction benches (Figures 4-7).
+//
+// Each bench binary measures the paper's four series (Portals put, Portals
+// get, MPICH-1.2.6, MPICH2) under one NetPIPE pattern and prints the data
+// the corresponding figure plots, followed by the paper's anchor values
+// for eyeball comparison.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "netpipe/netpipe.hpp"
+
+namespace xt::bench {
+
+inline np::Options parse_options(int argc, char** argv, std::size_t max_def) {
+  np::Options o;
+  o.max_bytes = max_def;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max") == 0 && i + 1 < argc) {
+      o.max_bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      o.base_iters = 8;
+      o.min_iters = 2;
+    }
+  }
+  return o;
+}
+
+inline void run_figure(const char* figure, const char* title,
+                       np::Pattern pattern, const np::Options& opts) {
+  std::printf("=== %s: %s ===\n", figure, title);
+  std::printf("(series x sizes, NetPIPE-style ladder to %zu bytes)\n\n",
+              opts.max_bytes);
+  const np::Transport series[] = {np::Transport::kPut, np::Transport::kGet,
+                                  np::Transport::kMpich1,
+                                  np::Transport::kMpich2};
+  for (const auto t : series) {
+    const auto samples = np::measure(t, pattern, opts);
+    std::fputs(
+        np::format_table(np::transport_name(t), pattern, samples).c_str(),
+        stdout);
+    std::fputs("\n", stdout);
+  }
+}
+
+}  // namespace xt::bench

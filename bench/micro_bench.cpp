@@ -1,0 +1,210 @@
+// google-benchmark micro-benchmarks of the simulator's own hot paths.
+//
+// These measure HOST performance of the simulation infrastructure (events
+// per second, matching throughput, CRC speed) — useful when scaling runs
+// up to many nodes — as opposed to the fig*/abl* binaries, which measure
+// SIMULATED time.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "host/node.hpp"
+#include "net/crc.hpp"
+#include "net/routing.hpp"
+#include "portals/library.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace xt;
+
+// ------------------------------------------------------------ engine ----
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < n; ++i) {
+      eng.schedule_at(sim::Time::ns(i), [] {});
+    }
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::WaitQueue wq(eng);
+    int count = 0;
+    sim::spawn([](sim::Engine& e, sim::WaitQueue& q,
+                  int& c) -> sim::CoTask<void> {
+      for (int i = 0; i < 1000; ++i) {
+        co_await sim::delay(e, sim::Time::ns(1));
+        q.notify_all();
+        ++c;
+      }
+    }(eng, wq, count));
+    eng.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+// --------------------------------------------------------------- CRC ----
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::crc32(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Crc16(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::crc16(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc16)->Arg(64)->Arg(4096);
+
+// ------------------------------------------------------------ routing ----
+
+void BM_RoutePath(benchmark::State& state) {
+  const net::Shape s = net::Shape::red_storm(27, 16, 24);
+  sim::Rng rng(1);
+  const auto count = static_cast<std::uint64_t>(s.count());
+  for (auto _ : state) {
+    const auto a = static_cast<net::NodeId>(rng.below(count));
+    const auto b = static_cast<net::NodeId>(rng.below(count));
+    benchmark::DoNotOptimize(net::hop_count(s, a, b));
+  }
+}
+BENCHMARK(BM_RoutePath);
+
+// ----------------------------------------------------------- matching ----
+
+/// Match-list walk cost as a function of list length (the host_match_per_me
+/// constant in the timing model reflects this real walk).
+void BM_MatchWalk(benchmark::State& state) {
+  const auto n_entries = static_cast<std::uint32_t>(state.range(0));
+  sim::Engine eng;
+  class NullNal final : public ptl::Nal {
+    int send(TxKind, std::uint32_t, const ptl::WireHeader&,
+             std::vector<ptl::IoVec>, std::uint64_t) override {
+      return ptl::PTL_OK;
+    }
+    std::uint32_t nid() const override { return 0; }
+    int distance(std::uint32_t) const override { return 1; }
+  } nal;
+  class NullMem final : public ptl::Memory {
+    bool valid(std::uint64_t, std::size_t) const override { return true; }
+    void read(std::uint64_t, std::span<std::byte>) const override {}
+    void write(std::uint64_t, std::span<const std::byte>) override {}
+  } mem;
+  ptl::Library::Config cfg;
+  cfg.id = ptl::ProcessId{0, 1};
+  cfg.limits.max_mes = 70000;
+  cfg.limits.max_me_list = 70000;
+  cfg.limits.max_mds = 70000;
+  ptl::Library lib(eng, cfg, nal, mem);
+  // n_entries non-matching MEs followed by one that matches.
+  for (std::uint32_t i = 0; i < n_entries; ++i) {
+    ptl::MeHandle me;
+    lib.me_attach(0, ptl::ProcessId{ptl::kNidAny, ptl::kPidAny}, 1000 + i, 0,
+                  ptl::Unlink::kRetain, ptl::InsPos::kAfter, &me);
+    ptl::MdDesc d;
+    d.length = 64;
+    d.options = ptl::PTL_MD_OP_PUT;
+    ptl::MdHandle md;
+    lib.md_attach(me, d, ptl::Unlink::kRetain, &md);
+  }
+  ptl::MeHandle me;
+  lib.me_attach(0, ptl::ProcessId{ptl::kNidAny, ptl::kPidAny}, 7, 0,
+                ptl::Unlink::kRetain, ptl::InsPos::kAfter, &me);
+  ptl::MdDesc d;
+  d.length = 64;
+  d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE |
+              ptl::PTL_MD_TRUNCATE;
+  ptl::MdHandle md;
+  lib.md_attach(me, d, ptl::Unlink::kRetain, &md);
+
+  ptl::WireHeader h;
+  h.op = ptl::WireOp::kPut;
+  h.match_bits = 7;
+  h.length = 8;
+  for (auto _ : state) {
+    auto dec = lib.on_put_header(h);
+    benchmark::DoNotOptimize(dec);
+    (void)lib.deposited(dec.token);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatchWalk)->Arg(1)->Arg(64)->Arg(4096);
+
+// ---------------------------------------------------------- full stack ----
+
+/// End-to-end simulated puts per host-second: the figure that determines
+/// how large an experiment the simulator can carry.
+void BM_SimulatedPut(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    host::Machine m(net::Shape::xt3(2, 1, 1));
+    host::Process& a = m.node(0).spawn_process(4, 16u << 20);
+    host::Process& b = m.node(1).spawn_process(4, 16u << 20);
+    const std::uint64_t sbuf = a.alloc(bytes ? bytes : 1);
+    const std::uint64_t rbuf = b.alloc(bytes ? bytes : 1);
+    bool done = false;
+    state.ResumeTiming();
+    sim::spawn([](host::Process& p, std::uint64_t buf,
+                  std::uint32_t len) -> sim::CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(64);
+      auto me = co_await api.PtlMEAttach(
+          0, ptl::ProcessId{ptl::kNidAny, ptl::kPidAny}, 1, 0,
+          ptl::Unlink::kRetain, ptl::InsPos::kAfter);
+      ptl::MdDesc d;
+      d.start = buf;
+      d.length = len;
+      d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE;
+      d.eq = eq.value;
+      (void)co_await api.PtlMDAttach(me.value, d, ptl::Unlink::kRetain);
+    }(b, rbuf, bytes));
+    sim::spawn([](host::Process& p, std::uint64_t buf, std::uint32_t len,
+                  bool* d) -> sim::CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(64);
+      ptl::MdDesc md;
+      md.start = buf;
+      md.length = len;
+      md.eq = eq.value;
+      auto h = co_await api.PtlMDBind(md, ptl::Unlink::kRetain);
+      (void)co_await api.PtlPut(h.value, ptl::AckReq::kNone,
+                                ptl::ProcessId{1, 4}, 0, 0, 1, 0, 0);
+      for (;;) {
+        auto ev = co_await api.PtlEQWait(eq.value);
+        if (ev.value.type == ptl::EventType::kSendEnd) break;
+      }
+      *d = true;
+    }(a, sbuf, bytes, &done));
+    m.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedPut)->Arg(8)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Table B — the cost structure of generic mode (§3.3, §6).
+//
+// The paper's latency story rests on two measured host costs — a NULL trap
+// into Catamount (~75 ns) and an interrupt (>= 2 us) — and on how many
+// interrupts each message needs: one for <= 12-byte messages (header and
+// data arrive together), two beyond that (header processing + completion).
+// This bench measures interrupts-per-message from the firmware counters
+// and decomposes the 1-byte one-way latency.
+
+#include <cstdio>
+
+#include "host/node.hpp"
+#include "netpipe/netpipe.hpp"
+
+namespace {
+
+using namespace xt;
+
+/// Sends `iters` puts of `bytes` from node 0 to node 1 and reports the
+/// receive-side interrupt count per message.
+double interrupts_per_message(std::size_t bytes, int iters) {
+  host::Machine m(net::Shape::xt3(2, 1, 1));
+  host::Process& a = m.node(0).spawn_process(10, 32 << 20);
+  host::Process& b = m.node(1).spawn_process(10, 32 << 20);
+  auto mod = np::make_portals_module(a, b, false);
+  bool done = false;
+  sim::spawn([](np::Module& mm, std::size_t n, int it,
+                bool* d) -> sim::CoTask<void> {
+    co_await mm.setup(1 << 20);
+    // Ping-pong spaces the messages out so receive interrupts cannot
+    // coalesce — each message's cost is fully visible.
+    co_await mm.pingpong(n, it);
+    *d = true;
+  }(*mod, bytes, iters, &done));
+  m.run();
+  if (!done) return -1.0;
+  // Node 1 takes one TxComplete interrupt per pong it sends back; subtract
+  // those to isolate the receive-side count per incoming message.
+  return static_cast<double>(m.node(1).firmware().counters().interrupts) /
+             iters -
+         1.0;
+}
+
+}  // namespace
+
+int main() {
+  const ss::Config cfg;
+  std::printf("=== Table B: generic-mode cost structure ===\n\n");
+  std::printf("  host crossing costs (model inputs, from the paper):\n");
+  std::printf("    Catamount NULL trap     %8.0f ns   (paper: ~75 ns)\n",
+              cfg.trap_catamount.to_ns());
+  std::printf("    Linux syscall           %8.0f ns\n",
+              cfg.trap_linux.to_ns());
+  std::printf("    interrupt overhead      %8.0f ns   (paper: >= 2 us)\n",
+              cfg.interrupt.to_ns());
+  std::printf("    ratio interrupt/trap    %8.1f x\n\n",
+              cfg.interrupt.to_ns() / cfg.trap_catamount.to_ns());
+
+  std::printf("  receive-side interrupts per message (measured):\n");
+  for (const std::size_t bytes : {1u, 8u, 12u, 13u, 64u, 4096u}) {
+    const double ipm = interrupts_per_message(bytes, 12);
+    std::printf("    %6zu bytes   %5.2f interrupts/message%s\n", bytes, ipm,
+                bytes <= cfg.inline_payload_max
+                    ? "   (inline: header+data together)"
+                    : "   (header + completion)");
+  }
+
+  std::printf("\n  1-byte one-way latency decomposition (model):\n");
+  const double trap_api =
+      (cfg.trap_catamount + cfg.host_api_call + cfg.host_cmd_build).to_ns();
+  const double host_tx = cfg.host_cmd_build.to_ns();
+  const double ht = (cfg.ht_write_latency * 2 + cfg.ht_read_latency).to_ns();
+  const double fw = (cfg.fw_poll + cfg.fw_tx_cmd + cfg.fw_tx_start +
+                     cfg.fw_rx_header + cfg.fw_rx_complete +
+                     cfg.fw_event_post)
+                        .to_ns();
+  const double wire = 64.0 / 2.5 + cfg.net.link.hop_latency.to_ns();
+  const double irq = cfg.interrupt.to_ns();
+  const double match =
+      (cfg.host_match_base + cfg.host_match_per_me).to_ns();
+  const double deliver =
+      (cfg.host_event_post + cfg.trap_catamount + cfg.host_api_call).to_ns();
+  const double total =
+      trap_api + host_tx + ht + fw + wire + irq + match + deliver;
+  std::printf("    API call + trap          %7.0f ns\n", trap_api);
+  std::printf("    host command build       %7.0f ns\n", host_tx);
+  std::printf("    HyperTransport crossings %7.0f ns\n", ht);
+  std::printf("    firmware handlers        %7.0f ns\n", fw);
+  std::printf("    wire (1 hop)             %7.0f ns\n", wire);
+  std::printf("    interrupt                %7.0f ns  <-- dominant term\n",
+              irq);
+  std::printf("    host matching            %7.0f ns\n", match);
+  std::printf("    event delivery + wakeup  %7.0f ns\n", deliver);
+  std::printf("    ------------------------------------\n");
+  std::printf("    sum                      %7.0f ns  (measured one-way: "
+              "~5390 ns; paper: 5390 ns)\n",
+              total);
+  std::printf("\n  interrupt share of the 1-byte path: %.0f%%  (the paper: "
+              "\"a significant amount of the current latency is due to\n"
+              "   interrupt processing by the host\")\n",
+              100.0 * irq / total);
+  return 0;
+}

@@ -1,0 +1,763 @@
+#include "firmware/firmware.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "sim/log.hpp"
+#include "sim/trace.hpp"
+#include "sim/strf.hpp"
+
+namespace xt::fw {
+
+using sim::Time;
+
+namespace {
+
+/// Byte offset of WireHeader::stream_seq in the packed layout (the firmware
+/// patches the sequence number into the host-built header packet, since the
+/// go-back-n stream is a firmware-level concept).
+constexpr std::size_t kStreamSeqOffset = 48;
+
+void patch_stream_seq(std::span<std::byte> packet, std::uint32_t seq) {
+  std::memcpy(packet.data() + kStreamSeqOffset, &seq, sizeof(seq));
+}
+
+}  // namespace
+
+Firmware::Firmware(sim::Engine& eng, ss::Nic& nic, const ss::Config& cfg)
+    : eng_(eng),
+      nic_(nic),
+      cfg_(cfg),
+      ppc_(eng, sim::strf("fw%u.ppc", nic.node())),
+      sources_(cfg.n_sources),
+      cb_region_(nic.sram().reserve("control block", cfg.control_block_bytes)),
+      source_region_(
+          nic.sram().reserve("sources", cfg.n_sources * cfg.source_bytes)),
+      image_region_(nic.sram().reserve("firmware image", cfg.fw_image_bytes)) {
+  nic_.set_rx_client(*this);
+}
+
+Firmware::~Firmware() = default;
+
+FwProcId Firmware::register_process(const ProcessOptions& opts) {
+  Proc p;
+  p.accelerated = opts.accelerated;
+  p.matcher = opts.matcher;
+  assert(!opts.accelerated || opts.matcher != nullptr);
+  const std::size_t n_rx =
+      opts.n_rx_pendings != 0
+          ? opts.n_rx_pendings
+          : (opts.accelerated ? cfg_.n_accel_rx_pendings
+                              : cfg_.n_generic_rx_pendings);
+  const std::size_t n_tx =
+      opts.n_tx_pendings != 0
+          ? opts.n_tx_pendings
+          : (opts.accelerated ? cfg_.n_accel_tx_pendings
+                              : cfg_.n_generic_tx_pendings);
+  const std::size_t total = n_rx + n_tx;
+  p.sram = nic_.sram().reserve(
+      sim::strf("proc%zu pendings+mailbox", procs_.size()),
+      total * cfg_.lower_pending_bytes + cfg_.per_process_bytes);
+  p.upper.resize(total);
+  p.lower.resize(total);
+  p.rx_free.reserve(n_rx);
+  for (std::size_t i = 0; i < n_rx; ++i) {
+    p.rx_free.push_back(static_cast<PendingId>(i));
+  }
+  p.tx_free.reserve(n_tx);
+  for (std::size_t i = n_rx; i < total; ++i) {
+    p.tx_free.push_back(static_cast<PendingId>(i));
+  }
+  p.eq = std::make_unique<FwEventQueue>(eng_, cfg_.fw_eq_depth);
+  p.result_waiters = std::make_unique<sim::WaitQueue>(eng_);
+  procs_.push_back(std::move(p));
+  return static_cast<FwProcId>(procs_.size() - 1);
+}
+
+void Firmware::bind_pid(std::uint16_t pid, FwProcId proc) {
+  pid_route_[pid] = proc;
+}
+
+PendingId Firmware::host_alloc_tx_pending(FwProcId proc) {
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  if (p.tx_free.empty()) return kNoPending;
+  const PendingId id = p.tx_free.back();
+  p.tx_free.pop_back();
+  return id;
+}
+
+void Firmware::host_free_tx_pending(FwProcId proc, PendingId id) {
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  p.lower[id] = LowerPending{};
+  p.tx_free.push_back(id);
+}
+
+UpperPending& Firmware::upper(FwProcId proc, PendingId id) {
+  return procs_[static_cast<std::size_t>(proc)].upper[id];
+}
+
+FwEventQueue& Firmware::event_queue(FwProcId proc) {
+  return *procs_[static_cast<std::size_t>(proc)].eq;
+}
+
+void Firmware::post_command(FwProcId proc, Command cmd) {
+  // Host-side posted write: the command becomes visible in the mailbox one
+  // HT crossing later; the firmware notices it at its next poll.
+  eng_.schedule_after(cfg_.ht_write_latency,
+                      [this, proc, cmd = std::move(cmd)]() mutable {
+                        auto& p = procs_[static_cast<std::size_t>(proc)];
+                        if (p.mailbox.size() >= cfg_.mailbox_depth) {
+                          panic("mailbox command FIFO overflow");
+                          return;
+                        }
+                        p.mailbox.push_back(std::move(cmd));
+                        if (!dispatch_running_) {
+                          dispatch_running_ = true;
+                          sim::spawn(dispatch_loop());
+                        }
+                      });
+}
+
+sim::CoTask<void> Firmware::dispatch_loop() {
+  // The idle loop notices new mailbox work at poll granularity.
+  co_await sim::delay(eng_, cfg_.fw_poll);
+  for (;;) {
+    bool any = false;
+    for (FwProcId proc = 0; proc < static_cast<FwProcId>(procs_.size());
+         ++proc) {
+      auto& p = procs_[static_cast<std::size_t>(proc)];
+      if (p.mailbox.empty()) continue;
+      any = true;
+      Command cmd = std::move(p.mailbox.front());
+      p.mailbox.pop_front();
+      co_await handle_command(proc, std::move(cmd));
+    }
+    if (!any) break;
+  }
+  dispatch_running_ = false;
+}
+
+sim::CoTask<void> Firmware::handle_command(FwProcId proc, Command cmd) {
+  if (panicked_) co_return;
+  if (auto* tx = std::get_if<TxCommand>(&cmd)) {
+    co_await ppc_.use(cfg_.fw_tx_cmd);
+    ++counters_.tx_cmds;
+    LowerPending& lp = lower(proc, tx->pending);
+    lp.state = LowerPending::State::kTxQueued;
+    lp.proc = proc;
+    lp.tx = std::move(*tx);
+    // "If there is no source structure for the destination node, a new one
+    // is allocated and initialized." (§4.3)
+    if (sources_.lookup_or_alloc(lp.tx.dst) == nullptr) {
+      panic("source pool exhausted on transmit");
+      co_return;
+    }
+    tx_list_.push_back(lp.tx.pending);
+    tx_list_procs_.push_back(proc);
+    if (!tx_worker_running_) {
+      tx_worker_running_ = true;
+      sim::spawn(tx_worker());
+    }
+  } else if (auto* rx = std::get_if<RxCommand>(&cmd)) {
+    co_await ppc_.use(cfg_.fw_rx_cmd);
+    ++counters_.rx_cmds;
+    LowerPending& lp = lower(proc, rx->pending);
+    if (lp.state != LowerPending::State::kRxHeader) {
+      // The message was dropped (e.g. failed the end-to-end CRC) after the
+      // host saw the header but before this command arrived; the host has
+      // been told via kRxDropped and will release the pending.
+      co_return;
+    }
+    lp.rx = std::move(*rx);
+    lp.cmd_ready = true;
+    // Link at the tail of the source's RX pending list (§4.3).
+    SourceSlot* src = sources_.lookup(lp.msg->src);
+    assert(src != nullptr);
+    src->rx_list.emplace_back(proc, lp.rx.pending);
+    maybe_start_deposit(*src);
+  } else if (auto* rel = std::get_if<ReleaseCommand>(&cmd)) {
+    co_await ppc_.use(cfg_.fw_event_post);
+    ++counters_.releases;
+    free_rx_pending(proc, rel->pending);
+  } else if (auto* q = std::get_if<QueryCommand>(&cmd)) {
+    co_await ppc_.use(cfg_.fw_event_post);
+    std::uint64_t value = 0;
+    switch (q->what) {
+      case QueryCommand::What::kHeartbeat: value = heartbeat(); break;
+      case QueryCommand::What::kSourcesInUse:
+        value = sources_.in_use();
+        break;
+      case QueryCommand::What::kRxFreePendings:
+        value = procs_[static_cast<std::size_t>(proc)].rx_free.size();
+        break;
+      case QueryCommand::What::kRxMessages:
+        value = counters_.rx_completions;
+        break;
+    }
+    // The result becomes visible to the busy-waiting host one HT posted
+    // write later.
+    const std::uint64_t ticket = q->ticket;
+    eng_.schedule_after(cfg_.ht_write_latency, [this, proc, ticket, value] {
+      auto& p = procs_[static_cast<std::size_t>(proc)];
+      p.results.emplace_back(ticket, value);
+      p.result_waiters->notify_all();
+    });
+  }
+}
+
+sim::CoTask<std::uint64_t> Firmware::host_query(FwProcId proc,
+                                                QueryCommand::What what) {
+  const std::uint64_t ticket = next_ticket_++;
+  QueryCommand q;
+  q.what = what;
+  q.ticket = ticket;
+  post_command(proc, q);
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  for (;;) {
+    for (auto it = p.results.begin(); it != p.results.end(); ++it) {
+      if (it->first == ticket) {
+        const std::uint64_t value = it->second;
+        p.results.erase(it);
+        co_return value;
+      }
+    }
+    co_await p.result_waiters->wait();
+  }
+}
+
+std::uint64_t Firmware::heartbeat() const {
+  // One tick per 100 us of firmware uptime; frozen at panic time.
+  const sim::Time upto = panicked_ ? panic_time_ : eng_.now();
+  return static_cast<std::uint64_t>(upto.to_ps()) / 100'000'000ull;
+}
+
+sim::CoTask<void> Firmware::tx_worker() {
+  while (!tx_list_.empty() && !panicked_) {
+    const PendingId id = tx_list_.front();
+    const FwProcId proc = tx_list_procs_.front();
+    LowerPending& lp = lower(proc, id);
+    lp.state = LowerPending::State::kTxActive;
+    co_await ppc_.use(cfg_.fw_tx_start);
+
+    auto msg = std::make_shared<net::Message>();
+    msg->src = nic_.node();
+    msg->dst = lp.tx.dst;
+    UpperPending& up = upper(proc, id);
+    msg->header.assign(up.header_packet.begin(), up.header_packet.end());
+    if (cfg_.gobackn) {
+      TxStream& stream = tx_streams_[msg->dst];
+      patch_stream_seq(msg->header, stream.next_seq++);
+    }
+    if (sim::trace_enabled()) {
+      sim::trace_begin(sim::strf("n%u.txdma", nic_.node()),
+                       sim::strf("tx %u B -> n%u", lp.tx.payload_bytes,
+                                 msg->dst),
+                       eng_.now());
+    }
+    co_await nic_.transmit(msg, lp.tx.reader, lp.tx.payload_bytes,
+                           lp.tx.n_dma_cmds);
+    if (sim::trace_enabled()) {
+      sim::trace_end(sim::strf("n%u.txdma", nic_.node()),
+                     sim::strf("tx %u B -> n%u", lp.tx.payload_bytes,
+                               msg->dst),
+                     eng_.now());
+    }
+    if (cfg_.gobackn) gbn_record(msg->dst, *msg, lp.tx.n_dma_cmds);
+    ++counters_.tx_msgs;
+
+    co_await ppc_.use(cfg_.fw_tx_complete);
+    lp.state = LowerPending::State::kHostOwned;
+    tx_list_.pop_front();
+    tx_list_procs_.pop_front();
+    post_event(proc, FwEvent{FwEvent::Type::kTxComplete, id});
+  }
+  tx_worker_running_ = false;
+}
+
+void Firmware::on_rx_header(const net::MessagePtr& msg) {
+  if (panicked_) return;
+  sim::spawn(rx_header_handler(msg));
+}
+
+void Firmware::on_rx_complete(const net::MessagePtr& msg, bool crc_ok) {
+  if (panicked_) return;
+  sim::spawn(rx_complete_handler(msg, crc_ok));
+}
+
+sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
+  if (sim::trace_enabled()) {
+    sim::trace_begin(sim::strf("n%u.fw", nic_.node()), "rx_header",
+                     eng_.now());
+  }
+  co_await ppc_.use(cfg_.fw_rx_header);
+  if (sim::trace_enabled()) {
+    sim::trace_end(sim::strf("n%u.fw", nic_.node()), "rx_header",
+                   eng_.now());
+  }
+  if (panicked_) co_return;
+  ++counters_.rx_headers;
+  const ptl::WireHeader hdr = ptl::unpack_header(msg->header);
+
+  // Firmware-level control traffic (go-back-n) never reaches a process.
+  if (hdr.op == ptl::WireOp::kFwAck) {
+    TxStream& stream = tx_streams_[msg->src];
+    while (stream.window_base < hdr.stream_seq && !stream.window.empty()) {
+      stream.window.pop_front();
+      ++stream.window_base;
+    }
+    co_return;
+  }
+  if (hdr.op == ptl::WireOp::kFwNack) {
+    ++counters_.nacks_received;
+    sim::spawn(gbn_rewind(msg->src, hdr.stream_seq));
+    co_return;
+  }
+
+  // Route by destination pid; unbound pids go to the generic process.
+  FwProcId proc = kGenericProc;
+  if (auto it = pid_route_.find(hdr.dst_pid); it != pid_route_.end()) {
+    proc = it->second;
+  }
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+
+  // Source structure lookup/allocation (§4.3).
+  SourceSlot* src = sources_.lookup_or_alloc(msg->src);
+  if (src == nullptr) {
+    ++counters_.exhaustion_drops;
+    if (!cfg_.gobackn) {
+      panic("source pool exhausted on receive");
+    }
+    // With go-back-n we can only drop; the sender rewinds on timeout-free
+    // NACK from a later state.  (Source slots are never freed, so this is
+    // a hard limit either way — see DESIGN.md.)
+    co_return;
+  }
+
+  // Go-back-n stream check.
+  if (cfg_.gobackn) {
+    if (hdr.stream_seq != src->expected_seq) {
+      if (hdr.stream_seq > src->expected_seq) {
+        // A predecessor was dropped: discard and (once) NACK the gap.
+        if (!src->nack_outstanding) {
+          src->nack_outstanding = true;
+          ++counters_.nacks_sent;
+          sim::spawn(gbn_send_control(msg->src, ptl::WireOp::kFwNack,
+                                      src->expected_seq));
+        }
+      } else {
+        ++counters_.duplicates_dropped;
+      }
+      co_return;
+    }
+  }
+
+  // Allocate an RX pending from the target process' pool (§4.3).
+  if (p.rx_free.empty()) {
+    ++counters_.exhaustion_drops;
+    if (!cfg_.gobackn) {
+      panic(sim::strf("out of RX pendings for firmware process %d", proc));
+      co_return;
+    }
+    if (!src->nack_outstanding) {
+      src->nack_outstanding = true;
+      ++counters_.nacks_sent;
+      sim::spawn(gbn_send_control(msg->src, ptl::WireOp::kFwNack,
+                                  src->expected_seq));
+    }
+    co_return;
+  }
+  const PendingId id = p.rx_free.back();
+  p.rx_free.pop_back();
+
+  if (cfg_.gobackn) {
+    ++src->expected_seq;
+    src->nack_outstanding = false;
+    if (++src->unacked_accepts >= cfg_.gobackn_ack_every) {
+      src->unacked_accepts = 0;
+      sim::spawn(
+          gbn_send_control(msg->src, ptl::WireOp::kFwAck, src->expected_seq));
+    }
+  }
+
+  LowerPending& lp = p.lower[id];
+  lp = LowerPending{};
+  lp.state = LowerPending::State::kRxHeader;
+  lp.proc = proc;
+  lp.msg = msg;
+
+  // Write the header packet through to the upper pending (HT posted write;
+  // the host sees it before the event that announces it).
+  UpperPending& up = p.upper[id];
+  std::copy(msg->header.begin(), msg->header.end(),
+            up.header_packet.begin());
+  up.msg = msg;
+
+  // "Inline" means the sender actually packed the user bytes into the
+  // header packet (so there is no body to wait for).  Classify by the
+  // presence of a body, not by hdr.length alone: a sender that chose not
+  // to inline a small message still delivers it as a body.
+  lp.inline_delivery =
+      (hdr.op == ptl::WireOp::kPut || hdr.op == ptl::WireOp::kReply) &&
+      msg->payload.empty();
+
+  inflight_rx_[msg->seq] = {proc, id};
+
+  // Accelerated processes: matching happens here, in the firmware (§3.3
+  // "accelerated mode"), so no interrupt and no host round-trip is needed.
+  if (p.accelerated) {
+    std::size_t walked = 0;
+    if (hdr.op == ptl::WireOp::kGet) {
+      auto prog = p.matcher->fw_get(hdr, id, walked);
+      ++counters_.accel_matches;
+      if (!prog.has_value()) {
+        inflight_rx_.erase(msg->seq);
+        free_rx_pending(proc, id);
+        co_return;
+      }
+      lp.fw_owned = true;  // the completion handler must leave this to us
+      co_await ppc_.use(cfg_.fw_match_per_me *
+                        static_cast<std::int64_t>(std::max<std::size_t>(
+                            walked, 1)));
+      // Queue the reply transmit ourselves — no host involvement.  Small
+      // replies ride inline in the header packet, the same optimization
+      // the host applies in generic mode (§6).
+      auto reply = std::make_shared<net::Message>();
+      reply->src = nic_.node();
+      reply->dst = msg->src;
+      std::vector<std::byte> inline_bytes;
+      if (prog->mlength <= cfg_.inline_payload_max && prog->mlength > 0 &&
+          prog->reader) {
+        inline_bytes.resize(prog->mlength);
+        prog->reader(0, inline_bytes);
+      }
+      const auto pkt =
+          ptl::make_header_packet(prog->reply_header, inline_bytes);
+      reply->header.assign(pkt.begin(), pkt.end());
+      if (cfg_.gobackn) {
+        TxStream& stream = tx_streams_[reply->dst];
+        patch_stream_seq(reply->header, stream.next_seq++);
+      }
+      const std::uint32_t wire_payload =
+          inline_bytes.empty() ? prog->mlength : 0;
+      co_await nic_.transmit(reply, prog->reader, wire_payload,
+                             prog->n_dma_cmds);
+      if (cfg_.gobackn) gbn_record(reply->dst, *reply, prog->n_dma_cmds);
+      ++counters_.tx_msgs;
+      // The GET side is complete; hand the request pending to the library
+      // so it can post PTL_EVENT_GET_* and release.
+      lp.state = LowerPending::State::kHostOwned;
+      post_event(proc, FwEvent{FwEvent::Type::kRxHeader, id});
+      co_return;
+    }
+    auto res = p.matcher->fw_match(hdr, id, walked);
+    ++counters_.accel_matches;
+    if (!res.has_value()) {
+      inflight_rx_.erase(msg->seq);
+      free_rx_pending(proc, id);
+      co_await ppc_.use(cfg_.fw_match_per_me *
+                        static_cast<std::int64_t>(
+                            std::max<std::size_t>(walked, 1)));
+      co_return;
+    }
+    // Record the deposit program BEFORE yielding the PPC for the matching
+    // cost: the completion handler for a header-only message is already
+    // queued right behind us.
+    lp.rx.pending = id;
+    lp.rx.deliver_bytes = res->mlength;
+    lp.rx.n_dma_cmds = res->n_dma_cmds;
+    lp.rx.deposit = std::move(res->deposit);
+    lp.cmd_ready = true;
+    if (!lp.inline_delivery) {
+      src->rx_list.emplace_back(proc, id);
+    }
+    co_await ppc_.use(cfg_.fw_match_per_me *
+                      static_cast<std::int64_t>(
+                          std::max<std::size_t>(walked, 1)));
+    if (!lp.inline_delivery) {
+      if (SourceSlot* s2 = sources_.lookup(msg->src)) {
+        maybe_start_deposit(*s2);
+      }
+    }
+    // Inline and header-only cases complete in rx_complete_handler.
+    co_return;
+  }
+
+  // Generic process: header-only messages defer their (single) event to the
+  // completion handler, which knows the CRC verdict; messages with a body
+  // get the header event immediately so host matching overlaps arrival.
+  if (!msg->payload.empty()) {
+    post_event(proc, FwEvent{FwEvent::Type::kRxHeader, id});
+  }
+}
+
+sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
+                                                bool crc_ok) {
+  co_await ppc_.use(cfg_.fw_rx_complete);
+  if (panicked_) co_return;
+  auto it = inflight_rx_.find(msg->seq);
+  if (it == inflight_rx_.end()) co_return;  // dropped at header time
+  const auto [proc, id] = it->second;
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  LowerPending& lp = p.lower[id];
+  lp.body_complete = true;
+  lp.crc_ok = crc_ok;
+
+  if (lp.fw_owned) {
+    // Accelerated GET request: the header handler transmits the reply and
+    // posts the event itself.
+    inflight_rx_.erase(it);
+    co_return;
+  }
+
+  if (!crc_ok) {
+    ++counters_.crc_drops;
+    inflight_rx_.erase(it);
+    if (msg->payload.empty()) {
+      // No event was posted yet; silently reclaim.
+      free_rx_pending(proc, id);
+    } else {
+      // The host already saw the header; tell it the message died.  If the
+      // pending was queued on the source RX list, unlink it.
+      if (SourceSlot* src = sources_.lookup(msg->src)) {
+        std::erase(src->rx_list, std::pair{proc, id});
+      }
+      lp.state = LowerPending::State::kHostOwned;
+      post_event(proc, FwEvent{FwEvent::Type::kRxDropped, id});
+    }
+    co_return;
+  }
+
+  if (msg->payload.empty()) {
+    // Header-only: inline put/reply, zero-length put, get request, or a
+    // Portals ack.  Inline data (if any) is already in the upper pending —
+    // delivering the "new message" and "message complete" notifications
+    // together is exactly the §6 small-message optimization.
+    inflight_rx_.erase(it);
+    ++counters_.rx_completions;
+    if (lp.inline_delivery) ++counters_.inline_deliveries;
+    if (p.accelerated && lp.inline_delivery) {
+      if (lp.rx.deposit) {
+        const auto inl = ptl::inline_payload_of(
+            std::span<const std::byte>(msg->header));
+        lp.rx.deposit(inl.first(
+            std::min<std::size_t>(lp.rx.deliver_bytes, inl.size())));
+      }
+      lp.state = LowerPending::State::kHostOwned;
+      post_event(proc, FwEvent{FwEvent::Type::kRxComplete, id});
+    } else {
+      lp.state = LowerPending::State::kHostOwned;
+      post_event(proc, FwEvent{FwEvent::Type::kRxHeader, id});
+    }
+    co_return;
+  }
+
+  // Body complete; if the receive command is already programmed, the
+  // deposit can finish as soon as the pending reaches its list head.
+  if (SourceSlot* src = sources_.lookup(msg->src)) {
+    maybe_start_deposit(*src);
+  }
+}
+
+void Firmware::maybe_start_deposit(SourceSlot& src) {
+  if (src.deposit_active || src.rx_list.empty()) return;
+  const auto [proc, head] = src.rx_list.front();
+  LowerPending& lp = lower(proc, head);
+  if (lp.cmd_ready && lp.body_complete) {
+    src.deposit_active = true;
+    sim::spawn(deposit_worker(src.node));
+  }
+}
+
+sim::CoTask<void> Firmware::deposit_worker(net::NodeId source_node) {
+  SourceSlot* src = sources_.lookup(source_node);
+  assert(src != nullptr);
+  while (!src->rx_list.empty()) {
+    const auto [owner, id] = src->rx_list.front();
+    LowerPending& lp = lower(owner, id);
+    // Head not ready yet (command outstanding or body still arriving):
+    // stop; a later rx-command / body-completion restarts the worker.
+    if (!lp.cmd_ready || !lp.body_complete) break;
+    lp.state = LowerPending::State::kRxActive;
+
+    if (sim::trace_enabled()) {
+      sim::trace_begin(sim::strf("n%u.rxdma", nic_.node()),
+                       sim::strf("deposit %u B", lp.rx.deliver_bytes),
+                       eng_.now());
+    }
+    co_await nic_.deposit(lp.rx.deliver_bytes, lp.rx.n_dma_cmds);
+    if (sim::trace_enabled()) {
+      sim::trace_end(sim::strf("n%u.rxdma", nic_.node()),
+                     sim::strf("deposit %u B", lp.rx.deliver_bytes),
+                     eng_.now());
+    }
+    if (lp.rx.deposit && lp.rx.deliver_bytes > 0) {
+      lp.rx.deposit(std::span<const std::byte>(lp.msg->payload)
+                        .first(lp.rx.deliver_bytes));
+    }
+    co_await ppc_.use(cfg_.fw_rx_complete);
+    ++counters_.rx_completions;
+    inflight_rx_.erase(lp.msg->seq);
+    src->rx_list.pop_front();
+    lp.state = LowerPending::State::kHostOwned;
+    post_event(owner, FwEvent{FwEvent::Type::kRxComplete, id});
+  }
+  src->deposit_active = false;
+}
+
+void Firmware::post_event(FwProcId proc, FwEvent ev) {
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  const bool generic = !p.accelerated;
+  eng_.schedule_after(cfg_.ht_write_latency + cfg_.fw_event_post,
+                      [this, proc, ev, generic] {
+                        auto& pp = procs_[static_cast<std::size_t>(proc)];
+                        if (!pp.eq->post(ev)) {
+                          panic("firmware event queue overflow");
+                          return;
+                        }
+                        if (generic && irq_) {
+                          ++counters_.interrupts;
+                          irq_();
+                        }
+                      });
+}
+
+void Firmware::free_rx_pending(FwProcId proc, PendingId id) {
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  p.lower[id] = LowerPending{};
+  p.upper[id].msg.reset();
+  p.rx_free.push_back(id);
+}
+
+std::vector<std::string> Firmware::debug_pendings(FwProcId proc) const {
+  std::vector<std::string> out;
+  const auto& p = procs_[static_cast<std::size_t>(proc)];
+  for (std::size_t i = 0; i < p.lower.size(); ++i) {
+    const LowerPending& lp = p.lower[i];
+    if (lp.state == LowerPending::State::kFree) continue;
+    out.push_back(sim::strf(
+        "pending %zu state=%d cmd=%d body=%d inline=%d fw_owned=%d src=%u "
+        "netseq=%llu",
+        i, static_cast<int>(lp.state), lp.cmd_ready, lp.body_complete,
+        lp.inline_delivery, lp.fw_owned, lp.msg ? lp.msg->src : 0,
+        lp.msg ? static_cast<unsigned long long>(lp.msg->seq) : 0));
+  }
+  return out;
+}
+
+void Firmware::panic(std::string reason) {
+  if (panicked_) return;
+  panicked_ = true;
+  panic_time_ = eng_.now();
+  panic_reason_ = std::move(reason);
+  sim::log_msg(sim::LogLevel::kError, sim::strf("fw.n%u", nic_.node()),
+               eng_.now(), "PANIC: " + panic_reason_);
+}
+
+void Firmware::gbn_record(net::NodeId dst, const net::Message& msg,
+                          std::uint32_t n_dma_cmds) {
+  TxStream& stream = tx_streams_[dst];
+  if (!stream.watchdog_running) {
+    stream.watchdog_running = true;
+    sim::spawn(gbn_watchdog(dst));
+  }
+  TxStream::Sent sent;
+  assert(msg.header.size() == ptl::kHeaderPacketBytes);
+  std::copy(msg.header.begin(), msg.header.end(), sent.packet.begin());
+  sent.payload = msg.payload;
+  sent.n_dma_cmds = n_dma_cmds;
+  stream.window.push_back(std::move(sent));
+  while (stream.window.size() > cfg_.gobackn_window) {
+    stream.window.pop_front();
+    ++stream.window_base;
+  }
+}
+
+sim::CoTask<void> Firmware::gbn_send_control(net::NodeId dst, ptl::WireOp op,
+                                             std::uint32_t seq) {
+  co_await ppc_.use(cfg_.fw_tx_start);
+  auto msg = std::make_shared<net::Message>();
+  msg->src = nic_.node();
+  msg->dst = dst;
+  ptl::WireHeader h;
+  h.op = op;
+  h.src_nid = nic_.node();
+  h.stream_seq = seq;
+  const auto pkt = ptl::make_header_packet(h, {});
+  msg->header.assign(pkt.begin(), pkt.end());
+  co_await nic_.transmit(msg, nullptr, 0, 1);
+}
+
+sim::CoTask<void> Firmware::gbn_watchdog(net::NodeId dst) {
+  // Covers losses the NACK path cannot recover on its own: a NACK that
+  // arrived while a rewind was in progress, or a dropped tail with no
+  // later traffic to trigger another NACK.  If the window makes no
+  // progress for a full period, rewind from its base with exponentially
+  // increasing backoff — unthrottled full-window retransmits saturate the
+  // receiver's PowerPC and collapse an incast entirely.
+  TxStream& stream = tx_streams_[dst];
+  std::uint32_t last_base = stream.window_base;
+  if (stream.backoff.is_zero()) stream.backoff = cfg_.gobackn_backoff;
+  while (!panicked_) {
+    co_await sim::delay(eng_, cfg_.gobackn_timeout + stream.backoff);
+    if (stream.window.empty()) break;
+    if (stream.window_base == last_base) {
+      if (!stream.rewinding) {
+        stream.backoff =
+            std::min(stream.backoff * 2, cfg_.gobackn_backoff_max);
+        sim::spawn(gbn_rewind(dst, stream.window_base));
+      }
+    } else {
+      stream.backoff = cfg_.gobackn_backoff;  // progress: reset
+    }
+    last_base = stream.window_base;
+  }
+  stream.watchdog_running = false;
+}
+
+sim::CoTask<void> Firmware::gbn_rewind(net::NodeId dst,
+                                       std::uint32_t from_seq) {
+  TxStream& stream = tx_streams_[dst];
+  if (stream.rewinding) co_return;
+  ++counters_.rewinds;
+  stream.rewinding = true;
+  // Everything before from_seq is implicitly acknowledged.
+  while (stream.window_base < from_seq && !stream.window.empty()) {
+    stream.window.pop_front();
+    ++stream.window_base;
+  }
+  if (stream.window_base != from_seq) {
+    panic(sim::strf("go-back-n window lost seq %u (base %u)", from_seq,
+                    stream.window_base));
+    stream.rewinding = false;
+    co_return;
+  }
+  co_await sim::delay(eng_, cfg_.gobackn_backoff);
+  // Retransmit a bounded burst of the retained window in order (the
+  // receiver can only absorb a few messages before its pendings refill).
+  const std::size_t n = std::min(stream.window.size(), cfg_.gobackn_burst);
+  for (std::size_t i = 0; i < n && !panicked_; ++i) {
+    if (i >= stream.window.size()) break;  // trimmed by an ack meanwhile
+    // NOTE: the retransmit payload is held in a coroutine-frame local and
+    // captured BY REFERENCE: GCC 12 double-destroys non-trivial by-value
+    // lambda captures inside co_await expressions.  The local outlives the
+    // fully-awaited transmit.
+    TxStream::Sent sent = stream.window[i];
+    ++counters_.retransmits;
+    auto msg = std::make_shared<net::Message>();
+    msg->src = nic_.node();
+    msg->dst = dst;
+    msg->header.assign(sent.packet.begin(), sent.packet.end());
+    const std::vector<std::byte>& payload = sent.payload;
+    co_await nic_.transmit(
+        msg,
+        [&payload](std::size_t off, std::span<std::byte> out) {
+          std::copy_n(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                      out.size(), out.begin());
+        },
+        static_cast<std::uint32_t>(payload.size()), sent.n_dma_cmds);
+  }
+  stream.rewinding = false;
+}
+
+}  // namespace xt::fw

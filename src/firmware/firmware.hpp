@@ -1,0 +1,276 @@
+#pragma once
+
+// The SeaStar firmware (§4 of the paper).
+//
+// A single-threaded event loop on the embedded PowerPC 440: commands arrive
+// from the host through per-process mailboxes, new messages arrive from the
+// Rx DMA engine, and handlers run to completion one at a time (modeled by
+// every handler holding the `ppc_` resource for its instruction cost).
+//
+// Processing modes (§3.1, §4.1):
+//   * generic     — the firmware copies each new header to the host's
+//                   upper pending, posts an event and RAISES AN INTERRUPT;
+//                   the host performs Portals matching and answers with a
+//                   receive command.  Two interrupts per received message
+//                   (header + completion), one for <= 12 B inline messages.
+//   * accelerated — Portals matching is offloaded: an AccelMatcher
+//                   (installed by the user-level library) is consulted
+//                   directly from the header handler, events are delivered
+//                   to a polled event queue, and no interrupts fire.
+//
+// Resource exhaustion (§4.3): with Config::gobackn false the firmware
+// mirrors the shipped behaviour — it panics the node.  With it true, the
+// in-progress go-back-n protocol is active: each message carries a per-
+// destination stream sequence number; a receiver that must drop (no source
+// slot / no pending / out-of-order arrival) NACKs the expected sequence and
+// the sender rewinds and retransmits its window from there.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "firmware/fw_event_queue.hpp"
+#include "firmware/source_table.hpp"
+#include "firmware/types.hpp"
+#include "portals/wire.hpp"
+#include "seastar/nic.hpp"
+#include "sim/condition.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace xt::fw {
+
+/// Firmware-side Portals matching for one accelerated process, implemented
+/// by the user-level Portals library (src/portals/accel_nal).
+class AccelMatcher {
+ public:
+  virtual ~AccelMatcher() = default;
+
+  struct Result {
+    std::uint32_t mlength = 0;
+    std::uint32_t n_dma_cmds = 1;
+    DepositFn deposit;  // may be empty when mlength == 0
+  };
+  /// Returns the deposit decision for an incoming put/reply header, or
+  /// nullopt to drop the message.  `pending` identifies the RX pending so
+  /// the library can associate the eventual completion event with its
+  /// matched state.  Runs in firmware context; its cost is charged by the
+  /// firmware (fw_match_per_me x entries examined, reported through
+  /// `entries_walked`).
+  virtual std::optional<Result> fw_match(const ptl::WireHeader& hdr,
+                                         PendingId pending,
+                                         std::size_t& entries_walked) = 0;
+
+  struct ReplyProg {
+    std::uint32_t mlength = 0;
+    std::uint32_t n_dma_cmds = 1;
+    ss::PayloadReader reader;  // reads the matched buffer for the reply
+    ptl::WireHeader reply_header;
+  };
+  /// Offloaded handling of an incoming GET request: matching plus the
+  /// reply transmit program.  nullopt drops the request.
+  virtual std::optional<ReplyProg> fw_get(const ptl::WireHeader& hdr,
+                                          PendingId pending,
+                                          std::size_t& entries_walked) = 0;
+};
+
+class Firmware final : public ss::RxClient {
+ public:
+  Firmware(sim::Engine& eng, ss::Nic& nic, const ss::Config& cfg);
+  ~Firmware() override;
+
+  // ------------------------------------------------------------- boot ----
+  struct ProcessOptions {
+    bool accelerated = false;
+    std::size_t n_rx_pendings = 0;  // 0: defaults from Config
+    std::size_t n_tx_pendings = 0;
+    AccelMatcher* matcher = nullptr;  // required when accelerated
+  };
+  /// Registers a firmware-level process; process 0 must be the generic one.
+  FwProcId register_process(const ProcessOptions& opts);
+
+  /// Routes incoming messages addressed to `pid` to firmware process
+  /// `proc` (unbound pids go to the generic process).
+  void bind_pid(std::uint16_t pid, FwProcId proc);
+
+  /// Installs the node's interrupt line (generic-mode event delivery).
+  void set_irq(std::function<void()> irq) { irq_ = std::move(irq); }
+
+  // ----------------------------------------- host-side mailbox access ----
+  // Callers (bridges / kernel agent) charge their own trap + CPU costs;
+  // these methods charge only the HyperTransport crossing.
+
+  /// Allocates a TX pending from the host-managed pool (§4.2).  Returns
+  /// kNoPending when exhausted.
+  PendingId host_alloc_tx_pending(FwProcId proc);
+  void host_free_tx_pending(FwProcId proc, PendingId id);
+
+  /// The host-memory half of a pending (host writes headers into TX upper
+  /// pendings; reads received headers from RX upper pendings).
+  UpperPending& upper(FwProcId proc, PendingId id);
+
+  /// Posts a command into the process's mailbox command FIFO.
+  void post_command(FwProcId proc, Command cmd);
+
+  /// The firmware-to-host event queue of a process (kernel EQ for the
+  /// generic process, polled EQ for accelerated ones).
+  FwEventQueue& event_queue(FwProcId proc);
+
+  /// Posts a query command and busy-waits for its result in the mailbox's
+  /// result FIFO (the §4.1 result path; transmit/receive commands, by
+  /// contrast, complete through events much later).
+  sim::CoTask<std::uint64_t> host_query(FwProcId proc,
+                                        QueryCommand::What what);
+
+  /// RAS heartbeat (Figure 3's control block field): advances with
+  /// firmware time and freezes on panic, which is how the RAS system
+  /// detects a dead node.
+  std::uint64_t heartbeat() const;
+
+  // -------------------------------------------------- ss::RxClient ----
+  void on_rx_header(const net::MessagePtr& msg) override;
+  void on_rx_complete(const net::MessagePtr& msg, bool crc_ok) override;
+
+  // ---------------------------------------------------- introspection ----
+  struct Counters {
+    std::uint64_t tx_cmds = 0;
+    std::uint64_t rx_cmds = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t tx_msgs = 0;
+    std::uint64_t rx_headers = 0;
+    std::uint64_t rx_completions = 0;
+    std::uint64_t inline_deliveries = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t crc_drops = 0;
+    std::uint64_t exhaustion_drops = 0;
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t nacks_received = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t rewinds = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t accel_matches = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  bool panicked() const { return panicked_; }
+  const std::string& panic_reason() const { return panic_reason_; }
+  std::size_t sources_in_use() const { return sources_.in_use(); }
+  /// Debug introspection for tests/diagnostics.
+  struct StreamDebug {
+    std::uint32_t next_seq = 0;
+    std::uint32_t window_base = 0;
+    std::size_t window = 0;
+    bool rewinding = false;
+  };
+  StreamDebug debug_stream(net::NodeId dst) const {
+    auto it = tx_streams_.find(dst);
+    if (it == tx_streams_.end()) return {};
+    return {it->second.next_seq, it->second.window_base,
+            it->second.window.size(), it->second.rewinding};
+  }
+  std::uint32_t debug_expected(net::NodeId src) {
+    SourceSlot* s = sources_.lookup(src);
+    return s ? s->expected_seq : 0;
+  }
+  std::size_t debug_rx_free(FwProcId proc) const {
+    return procs_[static_cast<std::size_t>(proc)].rx_free.size();
+  }
+  /// One line per non-free lower pending (state, flags, msg src/seq).
+  std::vector<std::string> debug_pendings(FwProcId proc) const;
+  ss::Nic& nic() { return nic_; }
+  const ss::Config& config() const { return cfg_; }
+
+ private:
+  struct Proc {
+    bool accelerated = false;
+    AccelMatcher* matcher = nullptr;
+    std::vector<UpperPending> upper;
+    std::vector<LowerPending> lower;
+    std::vector<PendingId> rx_free;  // firmware-managed pool
+    std::vector<PendingId> tx_free;  // host-managed pool
+    std::unique_ptr<FwEventQueue> eq;
+    std::deque<Command> mailbox;
+    /// Result FIFO: (ticket, value) pairs the host busy-waits on.
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> results;
+    std::unique_ptr<sim::WaitQueue> result_waiters;
+    ss::Sram::Region sram;
+  };
+
+  /// Go-back-n per-destination transmit stream.
+  struct TxStream {
+    std::uint32_t next_seq = 0;
+    std::uint32_t window_base = 0;  // lowest retained (un-acked) seq
+    struct Sent {
+      std::array<std::byte, ptl::kHeaderPacketBytes> packet;
+      std::vector<std::byte> payload;
+      std::uint32_t n_dma_cmds = 1;
+    };
+    std::deque<Sent> window;  // window[i] has seq == window_base + i
+    bool rewinding = false;
+    bool watchdog_running = false;
+    sim::Time backoff{};  // current (exponential) retransmit backoff
+  };
+
+  LowerPending& lower(FwProcId proc, PendingId id) {
+    return procs_[static_cast<std::size_t>(proc)].lower[id];
+  }
+
+  // Handlers (each holds ppc_ for its cost).
+  sim::CoTask<void> dispatch_loop();
+  sim::CoTask<void> handle_command(FwProcId proc, Command cmd);
+  sim::CoTask<void> tx_worker();
+  sim::CoTask<void> rx_header_handler(net::MessagePtr msg);
+  sim::CoTask<void> rx_complete_handler(net::MessagePtr msg, bool crc_ok);
+  sim::CoTask<void> deposit_worker(net::NodeId source_node);
+
+  /// Posts an event to a process EQ: HT write + (generic) interrupt.
+  void post_event(FwProcId proc, FwEvent ev);
+  /// Checks the head of `src`'s RX list and starts its deposit if ready.
+  void maybe_start_deposit(SourceSlot& src);
+  void free_rx_pending(FwProcId proc, PendingId id);
+  void panic(std::string reason);
+
+  // Go-back-n.
+  void gbn_record(net::NodeId dst, const net::Message& msg,
+                  std::uint32_t n_dma_cmds);
+  sim::CoTask<void> gbn_send_control(net::NodeId dst, ptl::WireOp op,
+                                     std::uint32_t seq);
+  sim::CoTask<void> gbn_rewind(net::NodeId dst, std::uint32_t from_seq);
+  sim::CoTask<void> gbn_watchdog(net::NodeId dst);
+
+  sim::Engine& eng_;
+  ss::Nic& nic_;
+  const ss::Config& cfg_;
+
+  sim::Resource ppc_;  // the single-threaded PowerPC 440
+  std::vector<Proc> procs_;
+  std::unordered_map<std::uint16_t, FwProcId> pid_route_;
+  SourceTable sources_;
+  ss::Sram::Region cb_region_;
+  ss::Sram::Region source_region_;
+  ss::Sram::Region image_region_;
+
+  std::deque<PendingId> tx_list_;          // control block TX pending list
+  std::deque<FwProcId> tx_list_procs_;     // parallel: owning process
+  bool tx_worker_running_ = false;
+  bool dispatch_running_ = false;
+
+  /// In-flight RX: network seq -> (proc, pending).
+  std::unordered_map<std::uint64_t, std::pair<FwProcId, PendingId>>
+      inflight_rx_;
+
+  std::unordered_map<net::NodeId, TxStream> tx_streams_;
+
+  std::function<void()> irq_;
+  Counters counters_;
+  bool panicked_ = false;
+  sim::Time panic_time_{};
+  std::uint64_t next_ticket_ = 1;
+  std::string panic_reason_;
+};
+
+}  // namespace xt::fw

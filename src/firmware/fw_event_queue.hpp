@@ -1,0 +1,64 @@
+#pragma once
+
+// Firmware-to-host event queue (§4.1, Figure 2).
+//
+// A bounded ring in host memory.  The firmware posts events atomically (a
+// single event fits in one HT write); the host reads the next slot to see
+// whether anything arrived.  Generic mode drains it from the interrupt
+// handler; accelerated processes poll it on Portals library entry.  In the
+// simulation the ring is a deque plus a WaitQueue so polling hosts can
+// park instead of spinning.
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "firmware/types.hpp"
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+
+namespace xt::fw {
+
+class FwEventQueue {
+ public:
+  FwEventQueue(sim::Engine& eng, std::size_t capacity)
+      : capacity_(capacity), waiters_(eng) {}
+
+  /// Firmware side.  Returns false on overflow (the host is not draining;
+  /// the firmware treats this as resource exhaustion).
+  bool post(const FwEvent& ev) {
+    if (q_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    q_.push_back(ev);
+    ++posted_;
+    waiters_.notify_all();
+    return true;
+  }
+
+  /// Host side: non-blocking read of the next event.
+  std::optional<FwEvent> poll() {
+    if (q_.empty()) return std::nullopt;
+    const FwEvent ev = q_.front();
+    q_.pop_front();
+    return ev;
+  }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  std::uint64_t posted() const { return posted_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Park here until the next post (accelerated-mode poll loops).
+  sim::WaitQueue& waiters() { return waiters_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<FwEvent> q_;
+  sim::WaitQueue waiters_;
+  std::uint64_t posted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace xt::fw

@@ -1,0 +1,95 @@
+#pragma once
+
+// Source structures (§4.2/§4.3).
+//
+// One source structure tracks each remote node this firmware is exchanging
+// messages with: its RX pending list and (for go-back-n) the expected
+// stream sequence number.  There is ONE pool for the whole firmware —
+// 1,024 entries on Red Storm — fronted by a hash table of active sources.
+// The pool can be exhausted (too many distinct peers), which is one of the
+// §4.3 resource-exhaustion cases.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "firmware/types.hpp"
+#include "net/coord.hpp"
+
+namespace xt::fw {
+
+struct SourceSlot {
+  bool in_use = false;
+  net::NodeId node = 0;
+  /// RX pendings from this source, in arrival order (deposits are issued
+  /// head-first, preserving the per-source ordering of §4.3).  Pending ids
+  /// are scoped per firmware-level process, hence the pair.
+  std::deque<std::pair<FwProcId, PendingId>> rx_list;
+  /// Go-back-n: next stream_seq this node expects from the source.
+  std::uint32_t expected_seq = 0;
+  /// Go-back-n: a NACK for expected_seq has been sent and not yet satisfied
+  /// (suppresses duplicate NACKs while the sender rewinds).
+  bool nack_outstanding = false;
+  /// Go-back-n: accepted messages since the last cumulative FwAck.
+  std::uint32_t unacked_accepts = 0;
+  /// A deposit worker is draining this source's RX list.
+  bool deposit_active = false;
+};
+
+/// Fixed pool + open-addressing hash of active sources.
+class SourceTable {
+ public:
+  explicit SourceTable(std::size_t pool_size)
+      : slots_(pool_size), hash_(2 * pool_size, kEmpty) {}
+
+  /// Finds the source structure for `node`, or nullptr if none is active.
+  SourceSlot* lookup(net::NodeId node) {
+    const std::size_t h = find(node);
+    return hash_[h] == kEmpty ? nullptr : &slots_[hash_[h]];
+  }
+
+  /// Finds or allocates.  Returns nullptr when the pool is exhausted —
+  /// the caller decides between panic and go-back-n (§4.3).
+  SourceSlot* lookup_or_alloc(net::NodeId node) {
+    const std::size_t h = find(node);
+    if (hash_[h] != kEmpty) return &slots_[hash_[h]];
+    if (in_use_ == slots_.size()) return nullptr;
+    // Linear scan for a free slot; allocation happens once per peer, so
+    // this is not on the per-message path.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].in_use) {
+        slots_[i] = SourceSlot{};
+        slots_[i].in_use = true;
+        slots_[i].node = node;
+        hash_[h] = static_cast<std::uint32_t>(i);
+        ++in_use_;
+        return &slots_[i];
+      }
+    }
+    return nullptr;
+  }
+
+  std::size_t in_use() const { return in_use_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+  /// Probe position for `node`: its slot if active, else the first empty
+  /// probe position.
+  std::size_t find(net::NodeId node) const {
+    std::size_t h = (node * 2654435761u) % hash_.size();
+    while (hash_[h] != kEmpty && slots_[hash_[h]].node != node) {
+      h = (h + 1) % hash_.size();
+    }
+    return h;
+  }
+
+  std::vector<SourceSlot> slots_;
+  std::vector<std::uint32_t> hash_;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace xt::fw

@@ -1,0 +1,136 @@
+#pragma once
+
+// Firmware data structures, following Figure 3 of the paper.
+//
+// Each in-flight message is tracked by a *pending*, split one-to-one into:
+//   * a lower pending in SeaStar SRAM (progress state, buffer info) that
+//     only the firmware touches, and
+//   * an upper pending in cached host memory (the full Portals header and
+//     whatever the host needs) that the firmware writes but never reads —
+//     reading would cost an HT round trip (§4.2).
+//
+// Pools: each firmware-level process has an RX pending pool managed by the
+// firmware (allocated on message arrival) and a TX pool managed by the host
+// (allocated before posting a transmit command).  Nothing is allocated
+// dynamically after initialization.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <variant>
+
+#include "net/message.hpp"
+#include "portals/wire.hpp"
+#include "seastar/nic.hpp"
+
+namespace xt::fw {
+
+using PendingId = std::uint16_t;
+inline constexpr PendingId kNoPending = 0xFFFF;
+
+/// Identifies a firmware-level process (§4.2: the generic Portals
+/// implementation in the kernel is process 0; accelerated processes get
+/// their own slots).
+using FwProcId = int;
+inline constexpr FwProcId kGenericProc = 0;
+
+/// Deposits received payload bytes into host memory (the simulation's stand-
+/// in for the Rx DMA engine's pre-programmed command list).
+using DepositFn = std::function<void(std::span<const std::byte>)>;
+
+/// Upper pending: host-memory half of a pending (Figure 3).
+struct UpperPending {
+  /// Full 64-byte header packet as it crossed the wire — the Portals header
+  /// plus any inline user data.  The firmware writes it; the host performs
+  /// matching from it.
+  std::array<std::byte, ptl::kHeaderPacketBytes> header_packet{};
+  /// Simulation alias for "the bytes the Rx DMA engine is holding": lets
+  /// the deposit step move real payload bytes without re-serializing them.
+  net::MessagePtr msg;
+};
+
+/// Host-to-firmware commands (the command FIFO contents, §4.1).
+struct TxCommand {
+  PendingId pending = kNoPending;
+  net::NodeId dst = 0;
+  std::uint32_t payload_bytes = 0;
+  /// Number of pre-computed DMA commands (1 for physically contiguous
+  /// Catamount buffers; one per page on Linux, §3.3).
+  std::uint32_t n_dma_cmds = 1;
+  /// Reads payload out of host memory as the Tx DMA consumes it.
+  ss::PayloadReader reader;
+};
+
+struct RxCommand {
+  PendingId pending = kNoPending;
+  /// Bytes to deliver (Portals mlength); the remainder of the message is
+  /// discarded by the DMA engine.
+  std::uint32_t deliver_bytes = 0;
+  std::uint32_t n_dma_cmds = 1;
+  DepositFn deposit;
+};
+
+/// Host is done with an RX upper pending; return it to the firmware pool.
+struct ReleaseCommand {
+  PendingId pending = kNoPending;
+};
+
+/// A command that RETURNS A RESULT through the mailbox's result FIFO
+/// (§4.1: "If the command returns a result, the host busy-waits until the
+/// firmware posts the result to the result FIFO").
+struct QueryCommand {
+  enum class What : std::uint8_t {
+    kHeartbeat,     // RAS heartbeat from the control block (Figure 3)
+    kSourcesInUse,  // active source structures
+    kRxFreePendings,
+    kRxMessages,    // completed receptions
+  };
+  What what = What::kHeartbeat;
+  std::uint64_t ticket = 0;  // matches the result back to the request
+};
+
+using Command =
+    std::variant<TxCommand, RxCommand, ReleaseCommand, QueryCommand>;
+
+/// Firmware-to-host events (posted into a host event queue, §4.1).
+struct FwEvent {
+  enum class Type : std::uint8_t {
+    kTxComplete,  // "message transmit complete"
+    kRxHeader,    // new message: header is in the upper pending
+    kRxComplete,  // "message reception complete": payload deposited
+    kRxDropped,   // end-to-end CRC failed after the header was delivered
+  };
+  Type type = Type::kTxComplete;
+  PendingId pending = kNoPending;
+};
+
+/// Lower pending: SRAM half of a pending (Figure 3: "current state,
+/// buffer info"; 32 bytes in hardware — the simulation fields below are
+/// bookkeeping, the SRAM *budget* is charged per Config::lower_pending_bytes).
+struct LowerPending {
+  enum class State : std::uint8_t {
+    kFree,
+    kTxQueued,   // on the control block's TX pending list
+    kTxActive,   // Tx DMA programmed
+    kRxHeader,   // header seen, waiting for host receive command
+    kRxActive,   // receive command programmed / deposit in progress
+    kHostOwned,  // events posted; waiting for the release command
+  };
+  State state = State::kFree;
+  FwProcId proc = kGenericProc;
+  net::MessagePtr msg;
+  TxCommand tx;
+  RxCommand rx;
+  bool body_complete = false;
+  bool cmd_ready = false;
+  bool crc_ok = true;
+  bool inline_delivery = false;
+  /// The firmware itself is driving this pending to completion
+  /// (accelerated GET: the reply transmit); the completion handler must
+  /// not post events or reclaim it.
+  bool fw_owned = false;
+};
+
+}  // namespace xt::fw

@@ -1,0 +1,223 @@
+#include "host/accel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "host/node.hpp"
+#include "net/routing.hpp"
+
+namespace xt::host {
+
+using ptl::WireHeader;
+using ptl::WireOp;
+using sim::CoTask;
+using sim::Time;
+
+AccelAgent::AccelAgent(Node& node, ptl::Pid pid, AddressSpace& as)
+    : node_(node), pid_(pid), as_(as) {
+  assert(node.os() == OsType::kCatamount &&
+         "accelerated mode requires physically contiguous memory (§3.3)");
+  ptl::Library::Config lcfg;
+  lcfg.id = ptl::ProcessId{node.id(), pid};
+  lib_ = std::make_unique<ptl::Library>(node.engine(), lcfg, *this, as);
+  fw::Firmware::ProcessOptions opts;
+  opts.accelerated = true;
+  opts.matcher = this;
+  fwproc_ = node.firmware().register_process(opts);
+  node.firmware().bind_pid(pid, fwproc_);
+  sim::spawn(pump());
+}
+
+AccelAgent::~AccelAgent() = default;
+
+sim::Engine& AccelAgent::engine() { return node_.engine(); }
+std::uint32_t AccelAgent::nid() const { return node_.id(); }
+int AccelAgent::distance(std::uint32_t nid) const {
+  return net::hop_count(node_.nic().network().shape(), node_.id(), nid);
+}
+
+CoTask<int> AccelAgent::call(std::function<int(ptl::Library&)> fn,
+                             Time cost_hint) {
+  co_await node_.cpu().run(cost_hint);
+  co_await drain();  // "polling when the user-level library is entered"
+  co_return fn(*lib_);
+}
+
+int AccelAgent::send(TxKind kind, std::uint32_t dst_nid,
+                     const WireHeader& hdr, std::vector<ptl::IoVec> payload,
+                     std::uint64_t token) {
+  const fw::PendingId pd =
+      node_.firmware().host_alloc_tx_pending(fwproc_);
+  if (pd == fw::kNoPending) return ptl::PTL_NO_SPACE;
+  tx_map_[pd] = TxRec{kind, token};
+  sim::spawn(tx_post_task(pd, dst_nid, hdr, std::move(payload)));
+  return ptl::PTL_OK;
+}
+
+CoTask<void> AccelAgent::tx_post_task(fw::PendingId pd,
+                                      std::uint32_t dst_nid, WireHeader hdr,
+                                      std::vector<ptl::IoVec> payload) {
+  const ss::Config& cfg = node_.config();
+  // User-level command construction — no trap, no kernel.
+  co_await node_.cpu().run(cfg.host_cmd_build);
+  std::uint32_t payload_len = 0;
+  for (const ptl::IoVec& v : payload) payload_len += v.length;
+  const bool is_inline = payload_len <= cfg.inline_payload_max;
+  fw::UpperPending& up = node_.firmware().upper(fwproc_, pd);
+  std::vector<std::byte> inline_bytes;
+  if (is_inline && payload_len > 0) {
+    inline_bytes.resize(payload_len);
+    gather_read(as_, payload, 0, inline_bytes);
+  }
+  up.header_packet = ptl::make_header_packet(hdr, inline_bytes);
+
+  fw::TxCommand cmd;
+  cmd.pending = pd;
+  cmd.dst = dst_nid;
+  cmd.payload_bytes = is_inline ? 0 : payload_len;
+  // Catamount buffers are physically contiguous: one DMA command per
+  // scatter/gather segment.
+  cmd.n_dma_cmds =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(payload.size()));
+  if (cmd.payload_bytes > 0) {
+    AddressSpace* as = &as_;
+    auto segs =
+        std::make_shared<std::vector<ptl::IoVec>>(std::move(payload));
+    cmd.reader = [as, segs](std::size_t off, std::span<std::byte> out) {
+      gather_read(*as, *segs, off, out);
+    };
+  }
+  node_.firmware().post_command(fwproc_, std::move(cmd));
+}
+
+std::optional<fw::AccelMatcher::Result> AccelAgent::fw_match(
+    const WireHeader& hdr, fw::PendingId pending,
+    std::size_t& entries_walked) {
+  entries_walked = 1;
+  if (hdr.op == WireOp::kAck) {
+    // The firmware writes the completion notification directly into
+    // process space — no pending, no deposit.
+    lib_->on_ack(hdr);
+    return std::nullopt;
+  }
+  const ptl::Library::RxDecision d = hdr.op == WireOp::kPut
+                                         ? lib_->on_put_header(hdr)
+                                         : lib_->on_reply_header(hdr);
+  entries_walked = std::max<std::size_t>(d.entries_walked, 1);
+  if (!d.deliver) return std::nullopt;
+  rx_map_[pending] = d.token;
+  Result r;
+  r.mlength = d.mlength;
+  r.n_dma_cmds =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(d.segments.size()));
+  if (d.mlength > 0) {
+    AddressSpace* as = &as_;
+    auto segs = std::make_shared<std::vector<ptl::IoVec>>(d.segments);
+    r.deposit = [as, segs](std::span<const std::byte> bytes) {
+      scatter_write(*as, *segs, bytes);
+    };
+  }
+  return r;
+}
+
+std::optional<fw::AccelMatcher::ReplyProg> AccelAgent::fw_get(
+    const WireHeader& hdr, fw::PendingId pending,
+    std::size_t& entries_walked) {
+  const ptl::Library::GetDecision gd = lib_->on_get_header(hdr);
+  entries_walked = std::max<std::size_t>(gd.entries_walked, 1);
+  if (!gd.deliver) return std::nullopt;
+  rx_map_[pending] = gd.token;
+  ReplyProg prog;
+  prog.mlength = gd.mlength;
+  prog.n_dma_cmds = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(gd.segments.size()));
+  prog.reply_header = gd.reply_header;
+  if (gd.mlength > 0) {
+    AddressSpace* as = &as_;
+    auto segs = std::make_shared<std::vector<ptl::IoVec>>(gd.segments);
+    prog.reader = [as, segs](std::size_t off, std::span<std::byte> out) {
+      gather_read(*as, *segs, off, out);
+    };
+  }
+  return prog;
+}
+
+CoTask<void> AccelAgent::drain() {
+  if (draining_) co_return;  // single logical poller
+  draining_ = true;
+  fw::FwEventQueue& q = node_.firmware().event_queue(fwproc_);
+  for (;;) {
+    auto ev = q.poll();
+    if (!ev.has_value()) break;
+    co_await handle(*ev);
+  }
+  draining_ = false;
+}
+
+CoTask<void> AccelAgent::handle(fw::FwEvent ev) {
+  const ss::Config& cfg = node_.config();
+  co_await node_.cpu().run(cfg.host_event_post);
+  switch (ev.type) {
+    case fw::FwEvent::Type::kTxComplete: {
+      auto it = tx_map_.find(ev.pending);
+      if (it != tx_map_.end()) {
+        const TxRec rec = it->second;
+        tx_map_.erase(it);
+        if (rec.kind == TxKind::kPut) lib_->send_complete(rec.token);
+        node_.firmware().host_free_tx_pending(fwproc_, ev.pending);
+      }
+      break;
+    }
+    case fw::FwEvent::Type::kRxComplete: {
+      auto it = rx_map_.find(ev.pending);
+      if (it != rx_map_.end()) {
+        const std::uint64_t token = it->second;
+        rx_map_.erase(it);
+        auto ack = lib_->deposited(token);
+        if (ack.has_value()) {
+          // Route the ack back through the normal user-level send path;
+          // the initiator's node id is in the received header, still
+          // sitting in the upper pending.
+          const WireHeader in = ptl::unpack_header(
+              node_.firmware().upper(fwproc_, ev.pending).header_packet);
+          send(TxKind::kAck, in.src_nid, *ack, {}, 0);
+        }
+      }
+      node_.firmware().post_command(fwproc_,
+                                    fw::ReleaseCommand{ev.pending});
+      break;
+    }
+    case fw::FwEvent::Type::kRxHeader: {
+      // Accelerated GET: the firmware already transmitted the reply; this
+      // event retires the target-side op (GET_END).
+      auto it = rx_map_.find(ev.pending);
+      if (it != rx_map_.end()) {
+        lib_->reply_sent(it->second);
+        rx_map_.erase(it);
+      }
+      node_.firmware().post_command(fwproc_,
+                                    fw::ReleaseCommand{ev.pending});
+      break;
+    }
+    case fw::FwEvent::Type::kRxDropped: {
+      auto it = rx_map_.find(ev.pending);
+      if (it != rx_map_.end()) {
+        lib_->rx_dropped(it->second);
+        rx_map_.erase(it);
+      }
+      node_.firmware().post_command(fwproc_,
+                                    fw::ReleaseCommand{ev.pending});
+      break;
+    }
+  }
+}
+
+CoTask<void> AccelAgent::pump() {
+  fw::FwEventQueue& q = node_.firmware().event_queue(fwproc_);
+  for (;;) {
+    co_await drain();
+    if (q.empty()) co_await q.waiters().wait();
+  }
+}
+
+}  // namespace xt::host

@@ -1,0 +1,91 @@
+#pragma once
+
+// Accelerated mode (§3.3, §4.1) — the paper's in-progress second
+// implementation, realized here:
+//
+//   * the Portals library lives in USER space; API calls never trap;
+//   * commands go straight to a dedicated firmware mailbox;
+//   * Portals MATCHING runs in the firmware (via the AccelMatcher seam),
+//     so no interrupt is ever raised to ask the host where to put a
+//     message;
+//   * completion events are written directly into process space and
+//     "processed by polling when the user-level Portals library is
+//     entered" — modeled by draining the firmware event queue at every
+//     API call plus a poll pump that represents the library being entered.
+//
+// Constraint from the paper: accelerated mode does not support
+// non-contiguous buffers, so it is limited to Catamount processes.
+
+#include <memory>
+#include <unordered_map>
+
+#include "firmware/firmware.hpp"
+#include "host/cpu.hpp"
+#include "host/memory.hpp"
+#include "portals/api.hpp"
+#include "portals/bridge.hpp"
+#include "portals/library.hpp"
+
+namespace xt::host {
+
+class Node;
+
+class AccelAgent final : public fw::AccelMatcher,
+                         public ptl::Bridge,
+                         public ptl::Nal {
+ public:
+  AccelAgent(Node& node, ptl::Pid pid, AddressSpace& as);
+  ~AccelAgent() override;
+
+  ptl::Library& lib() { return *lib_; }
+  fw::FwProcId fwproc() const { return fwproc_; }
+
+  // ---- ptl::Bridge (user-space: no crossing; entering the library also
+  // ---- polls for firmware events).
+  sim::CoTask<int> call(std::function<int(ptl::Library&)> fn,
+                        sim::Time cost_hint) override;
+  ptl::Library& library() override { return *lib_; }
+  sim::Engine& engine() override;
+
+  // ---- ptl::Nal (user-level command posting).
+  int send(TxKind kind, std::uint32_t dst_nid, const ptl::WireHeader& hdr,
+           std::vector<ptl::IoVec> payload, std::uint64_t token) override;
+  std::uint32_t nid() const override;
+  int distance(std::uint32_t nid) const override;
+
+  // ---- fw::AccelMatcher (runs in firmware context).
+  std::optional<Result> fw_match(const ptl::WireHeader& hdr,
+                                 fw::PendingId pending,
+                                 std::size_t& entries_walked) override;
+  std::optional<ReplyProg> fw_get(const ptl::WireHeader& hdr,
+                                  fw::PendingId pending,
+                                  std::size_t& entries_walked) override;
+
+ private:
+  struct TxRec {
+    TxKind kind = TxKind::kPut;
+    std::uint64_t token = 0;
+  };
+
+  sim::CoTask<void> tx_post_task(fw::PendingId pd, std::uint32_t dst_nid,
+                                 ptl::WireHeader hdr,
+                                 std::vector<ptl::IoVec> payload);
+  /// Drains all pending firmware events (polled, interrupt-free).
+  sim::CoTask<void> drain();
+  sim::CoTask<void> handle(fw::FwEvent ev);
+  /// Background poll pump: represents the library being entered while the
+  /// application is blocked in PtlEQWait.
+  sim::CoTask<void> pump();
+
+  Node& node_;
+  ptl::Pid pid_;
+  AddressSpace& as_;
+  std::unique_ptr<ptl::Library> lib_;
+  fw::FwProcId fwproc_ = -1;
+
+  std::unordered_map<fw::PendingId, TxRec> tx_map_;
+  std::unordered_map<fw::PendingId, std::uint64_t> rx_map_;
+  bool draining_ = false;
+};
+
+}  // namespace xt::host

@@ -1,0 +1,46 @@
+#pragma once
+
+// The three bridges of §3.2.
+//
+//   * qkbridge — Catamount compute-node applications.  Every Portals API
+//     call traps into the quintessential kernel (~75 ns) where the library
+//     runs.
+//   * ukbridge — Linux user-level applications.  Same structure, Linux
+//     syscall cost.
+//   * kbridge  — Linux kernel-level clients (e.g. the Lustre service):
+//     caller is already in the kernel, so there is no crossing at all.
+//
+// ukbridge and kbridge coexist on one node by construction here — both are
+// thin shims onto the same KernelAgent-resident library, which is exactly
+// how the paper describes them sharing the library-to-network path.
+
+#include "host/cpu.hpp"
+#include "portals/bridge.hpp"
+
+namespace xt::host {
+
+/// Generic-mode bridge: crossing cost + kernel CPU time, then the closure
+/// runs against the kernel-resident library.
+class KernelBridge final : public ptl::Bridge {
+ public:
+  KernelBridge(sim::Engine& eng, Cpu& cpu, ptl::Library& lib,
+               sim::Time crossing)
+      : eng_(eng), cpu_(cpu), lib_(lib), crossing_(crossing) {}
+
+  sim::CoTask<int> call(std::function<int(ptl::Library&)> fn,
+                        sim::Time cost_hint) override {
+    co_await cpu_.run_kernel(crossing_ + cost_hint);
+    co_return fn(lib_);
+  }
+
+  ptl::Library& library() override { return lib_; }
+  sim::Engine& engine() override { return eng_; }
+
+ private:
+  sim::Engine& eng_;
+  Cpu& cpu_;
+  ptl::Library& lib_;
+  sim::Time crossing_;
+};
+
+}  // namespace xt::host

@@ -1,0 +1,46 @@
+#pragma once
+
+// The node's Opteron, as a priority resource.
+//
+// Interrupt handlers run at higher priority than application/library work:
+// when the SeaStar raises an interrupt while the application holds the CPU,
+// the handler is granted at the next scheduling boundary.  (Application
+// work is charged in short quanta, so the boundary error is bounded by one
+// quantum.)
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace xt::host {
+
+class Cpu {
+ public:
+  static constexpr int kAppPriority = 0;
+  static constexpr int kKernelPriority = 5;
+  static constexpr int kIrqPriority = 10;
+
+  explicit Cpu(sim::Engine& eng, std::string name)
+      : res_(eng, std::move(name)) {}
+
+  /// Application or library computation.
+  sim::CoTask<void> run(sim::Time cost) {
+    return res_.use(cost, kAppPriority);
+  }
+  /// Kernel-context work (bridged Portals calls).
+  sim::CoTask<void> run_kernel(sim::Time cost) {
+    return res_.use(cost, kKernelPriority);
+  }
+  /// Interrupt-context work.
+  sim::CoTask<void> run_interrupt(sim::Time cost) {
+    return res_.use(cost, kIrqPriority);
+  }
+
+  sim::Time busy_time() const { return res_.busy_time(); }
+  bool busy() const { return res_.busy(); }
+
+ private:
+  sim::Resource res_;
+};
+
+}  // namespace xt::host

@@ -1,0 +1,341 @@
+#include "host/kernel_agent.hpp"
+
+#include <cassert>
+
+#include "net/routing.hpp"
+#include "sim/log.hpp"
+#include "sim/trace.hpp"
+#include "sim/strf.hpp"
+
+namespace xt::host {
+
+using ptl::WireHeader;
+using ptl::WireOp;
+using sim::Time;
+
+KernelAgent::KernelAgent(sim::Engine& eng, const ss::Config& cfg,
+                         fw::Firmware& fw, Cpu& cpu, net::NodeId self,
+                         const net::Shape& shape)
+    : eng_(eng), cfg_(cfg), fw_(fw), cpu_(cpu), self_(self), shape_(shape) {
+  fw_.set_irq([this] { on_interrupt(); });
+}
+
+KernelAgent::~KernelAgent() = default;
+
+ptl::Library& KernelAgent::add_process(ptl::Pid pid, AddressSpace& as) {
+  auto rec = ProcRec{};
+  rec.pid = pid;
+  rec.as = &as;
+  rec.nal = std::make_unique<ProcNal>(*this, pid);
+  ptl::Library::Config lcfg;
+  lcfg.id = ptl::ProcessId{self_, pid};
+  rec.lib = std::make_unique<ptl::Library>(eng_, lcfg, *rec.nal, as);
+  procs_.push_back(std::move(rec));
+  return *procs_.back().lib;
+}
+
+ptl::Library* KernelAgent::lib_for(ptl::Pid pid) {
+  for (auto& p : procs_) {
+    if (p.pid == pid) return p.lib.get();
+  }
+  return nullptr;
+}
+
+AddressSpace* KernelAgent::as_for(ptl::Pid pid) {
+  for (auto& p : procs_) {
+    if (p.pid == pid) return p.as;
+  }
+  return nullptr;
+}
+
+int KernelAgent::ProcNal::send(TxKind kind, std::uint32_t dst_nid,
+                               const ptl::WireHeader& hdr,
+                               std::vector<ptl::IoVec> payload,
+                               std::uint64_t token) {
+  return agent_.send_message(pid_, kind, dst_nid, hdr, std::move(payload),
+                             token);
+}
+
+int KernelAgent::ProcNal::distance(std::uint32_t nid) const {
+  return net::hop_count(agent_.shape_, agent_.self_, nid);
+}
+
+int KernelAgent::send_message(ptl::Pid src_pid, ptl::Nal::TxKind kind,
+                              std::uint32_t dst_nid, ptl::WireHeader hdr,
+                              std::vector<ptl::IoVec> payload,
+                              std::uint64_t token) {
+  // Allocate from the host-managed TX pending pool (§4.2/§4.3).
+  const fw::PendingId pd = fw_.host_alloc_tx_pending(fw::kGenericProc);
+  if (pd == fw::kNoPending) return ptl::PTL_NO_SPACE;
+  tx_map_[pd] = TxRec{kind, token, src_pid};
+  sim::spawn(tx_post_task(pd, src_pid, dst_nid, hdr, std::move(payload)));
+  return ptl::PTL_OK;
+}
+
+sim::CoTask<void> KernelAgent::tx_post_task(fw::PendingId pd,
+                                            ptl::Pid src_pid,
+                                            std::uint32_t dst_nid,
+                                            ptl::WireHeader hdr,
+                                            std::vector<ptl::IoVec> payload) {
+  AddressSpace* as = as_for(src_pid);
+  assert(as != nullptr);
+  std::uint32_t payload_len = 0;
+  for (const ptl::IoVec& v : payload) payload_len += v.length;
+
+  // The <= 12-byte optimization: small payloads ride in the header packet
+  // and the firmware never runs a payload DMA for them (§6).
+  const bool is_inline = payload_len <= cfg_.inline_payload_max;
+  const std::uint32_t wire_payload = is_inline ? 0 : payload_len;
+  const std::uint32_t segs = is_inline ? 1 : dma_segments_of(*as, payload);
+
+  // Host-side command construction; on Linux, add per-page pinning and
+  // translation before the DMA program can be pushed down (§3.3).
+  Time cost = cfg_.host_cmd_build;
+  if (as->os() == OsType::kLinux && segs > 1) {
+    cost += cfg_.linux_per_page * static_cast<std::int64_t>(segs);
+  }
+  co_await cpu_.run_kernel(cost);
+
+  // Write the header (and any inline payload) into the upper pending.
+  fw::UpperPending& up = fw_.upper(fw::kGenericProc, pd);
+  std::vector<std::byte> inline_bytes;
+  if (is_inline && payload_len > 0) {
+    inline_bytes.resize(payload_len);
+    gather_read(*as, payload, 0, inline_bytes);
+  }
+  up.header_packet = ptl::make_header_packet(hdr, inline_bytes);
+
+  fw::TxCommand cmd;
+  cmd.pending = pd;
+  cmd.dst = dst_nid;
+  cmd.payload_bytes = wire_payload;
+  cmd.n_dma_cmds = segs;
+  if (wire_payload > 0) {
+    auto segs_ptr =
+        std::make_shared<std::vector<ptl::IoVec>>(std::move(payload));
+    cmd.reader = [as, segs_ptr](std::size_t off, std::span<std::byte> out) {
+      gather_read(*as, *segs_ptr, off, out);
+    };
+  }
+  fw_.post_command(fw::kGenericProc, std::move(cmd));
+}
+
+void KernelAgent::on_interrupt() {
+  if (irq_active_) return;  // the running handler will drain this event too
+  irq_active_ = true;
+  sim::spawn(irq_task());
+}
+
+sim::CoTask<void> KernelAgent::irq_task() {
+  ++irq_invocations_;
+  if (sim::trace_enabled()) {
+    sim::trace_begin(sim::strf("n%u.cpu", self_), "interrupt", eng_.now());
+  }
+  // Interrupt entry/exit overhead (§3.3: "at least 2 us each").
+  co_await cpu_.run_interrupt(cfg_.interrupt);
+  for (;;) {
+    auto ev = fw_.event_queue(fw::kGenericProc).poll();
+    if (!ev.has_value()) break;
+    co_await handle_event(*ev);
+  }
+  irq_active_ = false;
+  if (sim::trace_enabled()) {
+    sim::trace_end(sim::strf("n%u.cpu", self_), "interrupt", eng_.now());
+  }
+}
+
+sim::CoTask<void> KernelAgent::handle_event(fw::FwEvent ev) {
+  switch (ev.type) {
+    case fw::FwEvent::Type::kRxHeader:
+      co_await handle_rx_header(ev.pending);
+      break;
+
+    case fw::FwEvent::Type::kRxComplete: {
+      co_await cpu_.run_interrupt(cfg_.host_event_post);
+      auto it = rx_map_.find(ev.pending);
+      if (it != rx_map_.end()) {
+        const RxRec rec = it->second;
+        rx_map_.erase(it);
+        if (ptl::Library* lib = lib_for(rec.pid); lib && rec.token != 0) {
+          const fw::UpperPending& up = fw_.upper(fw::kGenericProc, ev.pending);
+          const WireHeader hdr = ptl::unpack_header(up.header_packet);
+          auto ack = lib->deposited(rec.token);
+          send_ack_if_any(rec.pid, hdr.src_nid, ack);
+        }
+      }
+      release(ev.pending);
+      break;
+    }
+
+    case fw::FwEvent::Type::kRxDropped: {
+      co_await cpu_.run_interrupt(cfg_.host_event_post);
+      auto it = rx_map_.find(ev.pending);
+      if (it != rx_map_.end()) {
+        const RxRec rec = it->second;
+        rx_map_.erase(it);
+        if (ptl::Library* lib = lib_for(rec.pid); lib && rec.token != 0) {
+          lib->rx_dropped(rec.token);
+        }
+      }
+      release(ev.pending);
+      break;
+    }
+
+    case fw::FwEvent::Type::kTxComplete: {
+      co_await cpu_.run_interrupt(cfg_.host_event_post);
+      auto it = tx_map_.find(ev.pending);
+      if (it != tx_map_.end()) {
+        const TxRec rec = it->second;
+        tx_map_.erase(it);
+        if (ptl::Library* lib = lib_for(rec.pid)) {
+          switch (rec.kind) {
+            case ptl::Nal::TxKind::kPut:
+              lib->send_complete(rec.token);
+              break;
+            case ptl::Nal::TxKind::kReply:
+              lib->reply_sent(rec.token);
+              break;
+            case ptl::Nal::TxKind::kGetRequest:
+            case ptl::Nal::TxKind::kAck:
+              break;  // no Portals event for these transmits
+          }
+        }
+        // TX pendings are host-managed: return to our free list directly.
+        fw_.host_free_tx_pending(fw::kGenericProc, ev.pending);
+      }
+      break;
+    }
+  }
+}
+
+sim::CoTask<void> KernelAgent::handle_rx_header(fw::PendingId pending) {
+  const fw::UpperPending& up = fw_.upper(fw::kGenericProc, pending);
+  const WireHeader hdr = ptl::unpack_header(up.header_packet);
+  ptl::Library* lib = lib_for(hdr.dst_pid);
+  AddressSpace* as = as_for(hdr.dst_pid);
+  const bool has_body = up.msg != nullptr && !up.msg->payload.empty();
+  if (sim::log_enabled(sim::LogLevel::kDebug)) {
+    sim::log_msg(sim::LogLevel::kDebug, sim::strf("agent.n%u", self_),
+                 eng_.now(),
+                 sim::strf("rx header pending=%u op=%u len=%u body=%d",
+                           pending, static_cast<unsigned>(hdr.op),
+                           hdr.length, static_cast<int>(has_body)));
+  }
+
+  if (lib == nullptr) {
+    // No such process: consume the body (if any) and reclaim.
+    if (has_body) {
+      fw::RxCommand cmd;
+      cmd.pending = pending;
+      cmd.deliver_bytes = 0;
+      rx_map_[pending] = RxRec{0, 0};
+      fw_.post_command(fw::kGenericProc, std::move(cmd));
+    } else {
+      release(pending);
+    }
+    co_return;
+  }
+
+  switch (hdr.op) {
+    case WireOp::kPut:
+    case WireOp::kReply: {
+      const bool is_put = hdr.op == WireOp::kPut;
+      const ptl::Library::RxDecision d =
+          is_put ? lib->on_put_header(hdr) : lib->on_reply_header(hdr);
+      // Host-side Portals matching cost; replies skip the match walk
+      // entirely (the header's token routes them straight to their MD).
+      Time cost = is_put ? cfg_.host_match_base +
+                               cfg_.host_match_per_me *
+                                   static_cast<std::int64_t>(d.entries_walked)
+                         : cfg_.host_event_post;
+      if (!has_body) {
+        // Inline / zero-length: deliver and complete in this interrupt —
+        // the §6 small-message optimization (one interrupt total).
+        cost += cfg_.host_event_post;
+        co_await cpu_.run_interrupt(cost);
+        finish_inline(*lib, *as, d, up);
+        release(pending);
+      } else {
+        std::uint32_t segs = 1;
+        if (d.deliver && d.mlength > 0) {
+          segs = dma_segments_of(*as, d.segments);
+          if (as->os() == OsType::kLinux && segs > 1) {
+            cost += cfg_.linux_per_page * static_cast<std::int64_t>(segs);
+          }
+        }
+        co_await cpu_.run_interrupt(cost + cfg_.host_cmd_build);
+        fw::RxCommand cmd;
+        cmd.pending = pending;
+        cmd.deliver_bytes = d.deliver ? d.mlength : 0;
+        cmd.n_dma_cmds = segs;
+        if (d.deliver && d.mlength > 0) {
+          AddressSpace* tas = as;
+          auto segs_ptr =
+              std::make_shared<std::vector<ptl::IoVec>>(d.segments);
+          cmd.deposit = [tas, segs_ptr](std::span<const std::byte> bytes) {
+            scatter_write(*tas, *segs_ptr, bytes);
+          };
+        }
+        rx_map_[pending] = RxRec{d.token, hdr.dst_pid};
+        fw_.post_command(fw::kGenericProc, std::move(cmd));
+      }
+      break;
+    }
+
+    case WireOp::kGet: {
+      const ptl::Library::GetDecision gd = lib->on_get_header(hdr);
+      const Time cost = cfg_.host_match_base +
+                        cfg_.host_match_per_me *
+                            static_cast<std::int64_t>(gd.entries_walked) +
+                        cfg_.host_cmd_build;
+      co_await cpu_.run_interrupt(cost);
+      if (gd.deliver) {
+        // Queue the reply transmit; GET_END fires at its TxComplete.
+        send_message(hdr.dst_pid, ptl::Nal::TxKind::kReply, hdr.src_nid,
+                     gd.reply_header, gd.segments, gd.token);
+      }
+      release(pending);
+      break;
+    }
+
+    case WireOp::kAck: {
+      co_await cpu_.run_interrupt(cfg_.host_event_post);
+      lib->on_ack(hdr);
+      release(pending);
+      break;
+    }
+
+    case WireOp::kFwAck:
+    case WireOp::kFwNack:
+      // Firmware-internal; never forwarded to the host.
+      release(pending);
+      break;
+  }
+}
+
+void KernelAgent::finish_inline(ptl::Library& lib, AddressSpace& as,
+                                const ptl::Library::RxDecision& d,
+                                const fw::UpperPending& up) {
+  if (d.token == 0) return;  // dropped by matching; nothing to finish
+  if (d.deliver && d.mlength > 0) {
+    const auto inl = ptl::inline_payload_of(
+        std::span<const std::byte>(up.header_packet));
+    scatter_write(as, d.segments,
+                  inl.first(std::min<std::size_t>(d.mlength, inl.size())));
+  }
+  const WireHeader hdr = ptl::unpack_header(up.header_packet);
+  auto ack = lib.deposited(d.token);
+  send_ack_if_any(hdr.dst_pid, hdr.src_nid, ack);
+}
+
+void KernelAgent::send_ack_if_any(ptl::Pid pid, std::uint32_t dst_nid,
+                                  const std::optional<ptl::WireHeader>& ack) {
+  if (!ack.has_value()) return;
+  send_message(pid, ptl::Nal::TxKind::kAck, dst_nid, *ack, {}, 0);
+}
+
+void KernelAgent::release(fw::PendingId pending) {
+  fw_.post_command(fw::kGenericProc, fw::ReleaseCommand{pending});
+}
+
+}  // namespace xt::host

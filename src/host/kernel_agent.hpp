@@ -1,0 +1,122 @@
+#pragma once
+
+// The generic-mode Portals implementation in the OS kernel (§3.1, §4.1).
+//
+// This is the host half of the paper's measured configuration: the Portals
+// *library* runs in the kernel, and the SeaStar interrupts the host for
+// every new message header (matching on the host) and again for every
+// completion.  The agent:
+//
+//   * owns one Library instance per local Portals process,
+//   * implements the library's Nal seam by turning sends into firmware
+//     mailbox commands (allocating host-managed TX pendings, building
+//     header packets — with the <= 12-byte inline-payload optimization —
+//     and pre-computing per-page DMA programs on Linux),
+//   * is the node's interrupt handler: one invocation drains ALL events in
+//     the generic firmware EQ ("In order to reduce the number of
+//     interrupts, the Portals interrupt handler processes all of the new
+//     events ... each time it is invoked").
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "firmware/firmware.hpp"
+#include "host/cpu.hpp"
+#include "host/memory.hpp"
+#include "portals/library.hpp"
+#include "seastar/config.hpp"
+#include "sim/task.hpp"
+
+namespace xt::host {
+
+class KernelAgent {
+ public:
+  KernelAgent(sim::Engine& eng, const ss::Config& cfg, fw::Firmware& fw,
+              Cpu& cpu, net::NodeId self, const net::Shape& shape);
+  ~KernelAgent();
+
+  /// Registers a local Portals process (its library lives here, in the
+  /// kernel).  `as` must outlive the agent.
+  ptl::Library& add_process(ptl::Pid pid, AddressSpace& as);
+
+  ptl::Library* lib_for(ptl::Pid pid);
+  AddressSpace* as_for(ptl::Pid pid);
+
+  /// Wired to the firmware's interrupt line.
+  void on_interrupt();
+
+  /// Interrupt-handler invocations (not raised lines; coalescing means
+  /// this can be lower than the firmware's interrupt counter).
+  std::uint64_t irq_invocations() const { return irq_invocations_; }
+
+ private:
+  /// The per-process Nal implementation handed to each Library.
+  class ProcNal final : public ptl::Nal {
+   public:
+    ProcNal(KernelAgent& agent, ptl::Pid pid) : agent_(agent), pid_(pid) {}
+    int send(TxKind kind, std::uint32_t dst_nid, const ptl::WireHeader& hdr,
+             std::vector<ptl::IoVec> payload, std::uint64_t token) override;
+    std::uint32_t nid() const override { return agent_.self_; }
+    int distance(std::uint32_t nid) const override;
+
+   private:
+    KernelAgent& agent_;
+    ptl::Pid pid_;
+  };
+
+  struct ProcRec {
+    ptl::Pid pid = 0;
+    AddressSpace* as = nullptr;
+    std::unique_ptr<ProcNal> nal;
+    std::unique_ptr<ptl::Library> lib;
+  };
+
+  struct TxRec {
+    ptl::Nal::TxKind kind = ptl::Nal::TxKind::kPut;
+    std::uint64_t token = 0;
+    ptl::Pid pid = 0;
+  };
+  struct RxRec {
+    std::uint64_t token = 0;
+    ptl::Pid pid = 0;
+  };
+
+  /// Common transmit path for puts/gets (library-initiated) and
+  /// replies/acks (agent-initiated).  Allocates the TX pending
+  /// synchronously; the CPU cost and the mailbox write happen in a spawned
+  /// kernel task so callers do not block.
+  int send_message(ptl::Pid src_pid, ptl::Nal::TxKind kind,
+                   std::uint32_t dst_nid, ptl::WireHeader hdr,
+                   std::vector<ptl::IoVec> payload, std::uint64_t token);
+  sim::CoTask<void> tx_post_task(fw::PendingId pd, ptl::Pid src_pid,
+                                 std::uint32_t dst_nid, ptl::WireHeader hdr,
+                                 std::vector<ptl::IoVec> payload);
+
+  sim::CoTask<void> irq_task();
+  sim::CoTask<void> handle_event(fw::FwEvent ev);
+  sim::CoTask<void> handle_rx_header(fw::PendingId pending);
+  void finish_inline(ptl::Library& lib, AddressSpace& as,
+                     const ptl::Library::RxDecision& d,
+                     const fw::UpperPending& up);
+  void send_ack_if_any(ptl::Pid pid, std::uint32_t dst_nid,
+                       const std::optional<ptl::WireHeader>& ack);
+  void release(fw::PendingId pending);
+
+  sim::Engine& eng_;
+  const ss::Config& cfg_;
+  fw::Firmware& fw_;
+  Cpu& cpu_;
+  net::NodeId self_;
+  const net::Shape& shape_;
+
+  std::vector<ProcRec> procs_;
+  std::unordered_map<fw::PendingId, TxRec> tx_map_;
+  std::unordered_map<fw::PendingId, RxRec> rx_map_;
+
+  bool irq_active_ = false;
+  std::uint64_t irq_invocations_ = 0;
+};
+
+}  // namespace xt::host

@@ -1,0 +1,131 @@
+#pragma once
+
+// Process address spaces under the two XT3 operating systems (§3.3).
+//
+//   * Catamount maps virtually contiguous pages to physically contiguous
+//     pages, so any buffer is ONE DMA segment and "a single command is
+//     sufficient" for the network interface.
+//   * Linux uses small (4 KB) pages with no such guarantee, so the host
+//     must pin each page, translate it, and pre-compute one DMA command
+//     per page before handing a transfer to the firmware.
+//
+// The simulation backs every address space with a real byte arena so
+// payload integrity is verified end to end: the Tx DMA reads these bytes,
+// they cross the simulated wire, and the Rx DMA writes them into the
+// target's arena.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <span>
+#include <vector>
+
+#include "portals/nal.hpp"
+
+namespace xt::host {
+
+enum class OsType : std::uint8_t {
+  kCatamount,  // lightweight compute-node kernel
+  kLinux,      // service (and optionally compute) nodes
+};
+
+class AddressSpace final : public ptl::Memory {
+ public:
+  AddressSpace(OsType os, std::size_t size, std::size_t page_size)
+      : os_(os), page_size_(page_size), mem_(size) {}
+
+  /// Allocates `len` bytes (bump allocator; simulated processes never
+  /// free).  Returns the virtual address.
+  std::uint64_t alloc(std::size_t len, std::size_t align = 64) {
+    brk_ = (brk_ + align - 1) / align * align;
+    const std::uint64_t addr = brk_;
+    brk_ += len;
+    if (brk_ > mem_.size()) {
+      throw std::length_error("simulated address space exhausted");
+    }
+    return addr;
+  }
+
+  // ptl::Memory
+  bool valid(std::uint64_t addr, std::size_t len) const override {
+    return addr + len <= mem_.size();
+  }
+  void read(std::uint64_t addr, std::span<std::byte> out) const override {
+    std::copy_n(mem_.begin() + static_cast<std::ptrdiff_t>(addr), out.size(),
+                out.begin());
+  }
+  void write(std::uint64_t addr, std::span<const std::byte> in) override {
+    std::copy_n(in.begin(), in.size(),
+                mem_.begin() + static_cast<std::ptrdiff_t>(addr));
+  }
+
+  /// Number of DMA commands a transfer of [addr, addr+len) needs: 1 on
+  /// Catamount (physically contiguous), one per touched page on Linux.
+  std::uint32_t dma_segments(std::uint64_t addr, std::size_t len) const {
+    if (os_ == OsType::kCatamount || len == 0) return 1;
+    const std::uint64_t first = addr / page_size_;
+    const std::uint64_t last = (addr + len - 1) / page_size_;
+    return static_cast<std::uint32_t>(last - first + 1);
+  }
+
+  OsType os() const { return os_; }
+  std::size_t page_size() const { return page_size_; }
+  std::size_t size() const { return mem_.size(); }
+
+ private:
+  OsType os_;
+  std::size_t page_size_;
+  std::uint64_t brk_ = 64;  // keep address 0 unused
+  std::vector<std::byte> mem_;
+};
+
+/// Reads `out.size()` bytes starting at linear offset `offset` of a
+/// scatter/gather segment list.
+inline void gather_read(const AddressSpace& as,
+                        const std::vector<ptl::IoVec>& segs,
+                        std::size_t offset, std::span<std::byte> out) {
+  std::size_t produced = 0;
+  std::size_t pos = 0;
+  for (const ptl::IoVec& seg : segs) {
+    if (produced == out.size()) break;
+    const std::size_t seg_end = pos + seg.length;
+    if (offset < seg_end) {
+      const std::size_t within = offset > pos ? offset - pos : 0;
+      const std::size_t take =
+          std::min<std::size_t>(seg.length - within, out.size() - produced);
+      as.read(seg.start + within, out.subspan(produced, take));
+      produced += take;
+      offset += take;
+    }
+    pos = seg_end;
+  }
+}
+
+/// Writes `in` across a scatter/gather segment list from its beginning.
+inline void scatter_write(AddressSpace& as,
+                          const std::vector<ptl::IoVec>& segs,
+                          std::span<const std::byte> in) {
+  std::size_t consumed = 0;
+  for (const ptl::IoVec& seg : segs) {
+    if (consumed == in.size()) break;
+    const std::size_t take =
+        std::min<std::size_t>(seg.length, in.size() - consumed);
+    as.write(seg.start, in.subspan(consumed, take));
+    consumed += take;
+  }
+}
+
+/// Total DMA commands a scatter/gather transfer needs (per-segment page
+/// splitting on Linux; one per segment on Catamount).
+inline std::uint32_t dma_segments_of(const AddressSpace& as,
+                                     const std::vector<ptl::IoVec>& segs) {
+  if (segs.empty()) return 1;
+  std::uint32_t n = 0;
+  for (const ptl::IoVec& seg : segs) {
+    n += as.dma_segments(seg.start, seg.length);
+  }
+  return n;
+}
+
+}  // namespace xt::host

@@ -1,0 +1,84 @@
+#include "host/node.hpp"
+
+#include "host/accel.hpp"
+
+#include "sim/strf.hpp"
+
+namespace xt::host {
+
+Process::Process(Node& node, ptl::Pid pid, std::size_t mem_bytes,
+                 ProcMode mode)
+    : node_(node), pid_(pid), mode_(mode) {
+  const ss::Config& cfg = node.cfg_;
+  as_ = std::make_unique<AddressSpace>(node.os(), mem_bytes,
+                                       cfg.linux_page_size);
+  if (mode == ProcMode::kAccel) {
+    accel_ = std::make_unique<AccelAgent>(node, pid, *as_);
+    api_ = std::make_unique<ptl::Api>(*accel_, cfg.host_api_call,
+                                      cfg.host_cmd_build);
+    return;
+  }
+  ptl::Library& lib = node.agent_.add_process(pid, *as_);
+  // Bridge selection (§3.2): trap cost by OS; none for kernel clients.
+  sim::Time crossing{};
+  if (mode == ProcMode::kUser) {
+    crossing = node.os() == OsType::kCatamount ? cfg.trap_catamount
+                                               : cfg.trap_linux;
+  }
+  bridge_ =
+      std::make_unique<KernelBridge>(node.eng_, node.cpu_, lib, crossing);
+  api_ = std::make_unique<ptl::Api>(*bridge_, cfg.host_api_call,
+                                    cfg.host_cmd_build);
+}
+
+Process::~Process() = default;
+
+net::NodeId Process::nid() const { return node_.id(); }
+
+Node::Node(sim::Engine& eng, const ss::Config& cfg, net::Network& net,
+           net::NodeId id, OsType os)
+    : eng_(eng),
+      cfg_(cfg),
+      id_(id),
+      os_(os),
+      cpu_(eng, sim::strf("node%u.cpu", id)),
+      nic_(eng, cfg, net, id),
+      fw_(eng, nic_, cfg),
+      agent_(eng, cfg, fw_, cpu_, id, net.shape()) {
+  // Firmware process 0 is the generic Portals implementation in the kernel.
+  const fw::FwProcId generic =
+      fw_.register_process(fw::Firmware::ProcessOptions{});
+  (void)generic;
+  assert(generic == fw::kGenericProc);
+}
+
+Process& Node::spawn_process(ptl::Pid pid, std::size_t mem_bytes) {
+  procs_.push_back(
+      std::make_unique<Process>(*this, pid, mem_bytes, ProcMode::kUser));
+  return *procs_.back();
+}
+
+Process& Node::spawn_kernel_process(ptl::Pid pid, std::size_t mem_bytes) {
+  procs_.push_back(
+      std::make_unique<Process>(*this, pid, mem_bytes, ProcMode::kKernel));
+  return *procs_.back();
+}
+
+Process& Node::spawn_accel_process(ptl::Pid pid, std::size_t mem_bytes) {
+  procs_.push_back(
+      std::make_unique<Process>(*this, pid, mem_bytes, ProcMode::kAccel));
+  return *procs_.back();
+}
+
+Machine::Machine(net::Shape shape, ss::Config cfg,
+                 std::function<OsType(net::NodeId)> os_of)
+    : cfg_(cfg), net_(eng_, shape, cfg.net) {
+  nodes_.reserve(static_cast<std::size_t>(shape.count()));
+  for (net::NodeId id = 0; id < static_cast<net::NodeId>(shape.count());
+       ++id) {
+    const OsType os = os_of ? os_of(id) : OsType::kCatamount;
+    nodes_.push_back(std::make_unique<Node>(eng_, cfg_, net_, id, os));
+  }
+}
+
+}  // namespace xt::host

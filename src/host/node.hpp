@@ -1,0 +1,135 @@
+#pragma once
+
+// One XT3 node: Opteron + SeaStar + firmware + OS + Portals processes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "firmware/firmware.hpp"
+#include "host/bridges.hpp"
+#include "host/cpu.hpp"
+#include "host/kernel_agent.hpp"
+#include "host/memory.hpp"
+#include "portals/api.hpp"
+#include "seastar/nic.hpp"
+
+namespace xt::host {
+
+class Node;
+class AccelAgent;
+
+/// How a process reaches its Portals library (§3.2, §3.3).
+enum class ProcMode : std::uint8_t {
+  kUser,    // generic mode, qkbridge (Catamount) / ukbridge (Linux)
+  kKernel,  // generic mode, kbridge (kernel-level client, e.g. Lustre)
+  kAccel,   // accelerated mode: user-space library, firmware matching
+};
+
+/// A Portals process on a node.  Generic mode: its library lives in the
+/// kernel agent, reached through a bridge chosen by the node's OS (qkbridge
+/// on Catamount, ukbridge for Linux user processes, kbridge for
+/// kernel-level clients).  Accelerated mode: the library is in user space
+/// and the firmware performs matching.
+class Process {
+ public:
+  Process(Node& node, ptl::Pid pid, std::size_t mem_bytes, ProcMode mode);
+  ~Process();
+
+  ptl::Api& api() { return *api_; }
+  AddressSpace& memory() { return *as_; }
+  ProcMode mode() const { return mode_; }
+  ptl::Pid pid() const { return pid_; }
+  net::NodeId nid() const;
+  ptl::ProcessId id() const { return ptl::ProcessId{nid(), pid_}; }
+  Node& node() { return node_; }
+
+  /// Buffer helpers for applications.
+  std::uint64_t alloc(std::size_t len, std::size_t align = 64) {
+    return as_->alloc(len, align);
+  }
+  void write_bytes(std::uint64_t addr, std::span<const std::byte> in) {
+    as_->write(addr, in);
+  }
+  void read_bytes(std::uint64_t addr, std::span<std::byte> out) const {
+    as_->read(addr, out);
+  }
+
+ private:
+  Node& node_;
+  ptl::Pid pid_;
+  ProcMode mode_;
+  std::unique_ptr<AddressSpace> as_;
+  std::unique_ptr<KernelBridge> bridge_;   // generic mode
+  std::unique_ptr<AccelAgent> accel_;      // accelerated mode
+  std::unique_ptr<ptl::Api> api_;
+};
+
+class Node {
+ public:
+  Node(sim::Engine& eng, const ss::Config& cfg, net::Network& net,
+       net::NodeId id, OsType os);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Creates a user-level Portals process (qkbridge / ukbridge by OS).
+  Process& spawn_process(ptl::Pid pid,
+                         std::size_t mem_bytes = 64 * 1024 * 1024);
+  /// Creates a kernel-level Portals client (kbridge) — Linux only in the
+  /// paper; allowed generally here.
+  Process& spawn_kernel_process(ptl::Pid pid,
+                                std::size_t mem_bytes = 64 * 1024 * 1024);
+  /// Creates an accelerated-mode process (§3.3): user-space library,
+  /// firmware-offloaded matching, no traps, no interrupts.  Catamount only.
+  Process& spawn_accel_process(ptl::Pid pid,
+                               std::size_t mem_bytes = 64 * 1024 * 1024);
+
+  net::NodeId id() const { return id_; }
+  OsType os() const { return os_; }
+  Cpu& cpu() { return cpu_; }
+  ss::Nic& nic() { return nic_; }
+  fw::Firmware& firmware() { return fw_; }
+  KernelAgent& agent() { return agent_; }
+  const ss::Config& config() const { return cfg_; }
+  sim::Engine& engine() { return eng_; }
+
+ private:
+  friend class Process;
+
+  sim::Engine& eng_;
+  const ss::Config& cfg_;
+  net::NodeId id_;
+  OsType os_;
+  Cpu cpu_;
+  ss::Nic nic_;
+  fw::Firmware fw_;
+  KernelAgent agent_;
+  std::vector<std::unique_ptr<Process>> procs_;
+};
+
+/// A whole machine: engine + torus + nodes.  The top-level object examples
+/// and benchmarks construct.
+class Machine {
+ public:
+  /// `os_of(node_id)` selects each node's OS; default: all Catamount (the
+  /// Red Storm compute partition).
+  Machine(net::Shape shape, ss::Config cfg = {},
+          std::function<OsType(net::NodeId)> os_of = nullptr);
+
+  Node& node(net::NodeId id) { return *nodes_[id]; }
+  std::size_t node_count() const { return nodes_.size(); }
+  sim::Engine& engine() { return eng_; }
+  net::Network& network() { return net_; }
+  const ss::Config& config() const { return cfg_; }
+
+  /// Runs the simulation to quiescence; returns events executed.
+  std::uint64_t run() { return eng_.run(); }
+
+ private:
+  ss::Config cfg_;
+  sim::Engine eng_;
+  net::Network net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace xt::host

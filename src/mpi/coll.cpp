@@ -1,0 +1,140 @@
+// MPI collectives, implemented on the point-to-point layer with the
+// classic binomial-tree algorithms (what MPICH's intra-communicator
+// collectives used at MPICH-1.2.x vintage).  Tags above the user range
+// keep collective traffic from matching application receives.
+
+#include <vector>
+
+#include "mpi/mpi.hpp"
+
+namespace xt::mpi {
+
+using sim::CoTask;
+
+namespace {
+
+constexpr int kTagBcast = 0xFFFE00;
+constexpr int kTagReduce = 0xFFFD00;
+constexpr int kTagGather = 0xFFFC00;
+constexpr int kTagAlltoall = 0xFFFB00;
+
+}  // namespace
+
+CoTask<int> Comm::bcast(std::uint64_t buf, std::uint32_t len, int root) {
+  const int n = size();
+  if (n == 1) co_return ptl::PTL_OK;
+  // Rotate so the root is rank 0 in the virtual tree.
+  const int vrank = (rank_ - root + n) % n;
+
+  // Receive from the parent (the rank that differs in the highest set bit).
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int parent = ((vrank ^ mask) + root) % n;
+      const int rc = co_await recv(buf, len, parent, kTagBcast);
+      if (rc != ptl::PTL_OK) co_return rc;
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children below the received bit.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int child = ((vrank + mask) + root) % n;
+      const int rc = co_await send(buf, len, child, kTagBcast);
+      if (rc != ptl::PTL_OK) co_return rc;
+    }
+    mask >>= 1;
+  }
+  co_return ptl::PTL_OK;
+}
+
+CoTask<int> Comm::reduce_sum(std::uint64_t buf, std::uint32_t count,
+                             int root) {
+  const int n = size();
+  if (n == 1) co_return ptl::PTL_OK;
+  const int vrank = (rank_ - root + n) % n;
+  const std::uint32_t bytes = count * 8;
+  const std::uint64_t tmp = proc_.alloc(bytes);
+
+  // Accumulate children (low bits first), then send to the parent.
+  std::vector<double> mine(count), theirs(count);
+  proc_.read_bytes(buf, std::as_writable_bytes(std::span(mine)));
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (vrank & mask) {
+      const int parent = ((vrank ^ mask) + root) % n;
+      proc_.write_bytes(buf, std::as_bytes(std::span(mine)));
+      co_return co_await send(buf, bytes, parent, kTagReduce);
+    }
+    if (vrank + mask < n) {
+      const int child = ((vrank + mask) + root) % n;
+      const int rc = co_await recv(tmp, bytes, child, kTagReduce);
+      if (rc != ptl::PTL_OK) co_return rc;
+      proc_.read_bytes(tmp, std::as_writable_bytes(std::span(theirs)));
+      // The arithmetic itself costs host time.
+      co_await proc_.node().cpu().run(
+          sim::Time::ns(2) * static_cast<std::int64_t>(count));
+      for (std::uint32_t i = 0; i < count; ++i) mine[i] += theirs[i];
+    }
+  }
+  proc_.write_bytes(buf, std::as_bytes(std::span(mine)));
+  co_return ptl::PTL_OK;
+}
+
+CoTask<int> Comm::allreduce_sum(std::uint64_t buf, std::uint32_t count) {
+  const int rc = co_await reduce_sum(buf, count, 0);
+  if (rc != ptl::PTL_OK) co_return rc;
+  co_return co_await bcast(buf, count * 8, 0);
+}
+
+CoTask<int> Comm::gather(std::uint64_t sbuf, std::uint32_t len,
+                         std::uint64_t rbuf, int root) {
+  const int n = size();
+  if (rank_ == root) {
+    std::vector<std::byte> tmp(len);
+    proc_.read_bytes(sbuf, tmp);
+    proc_.write_bytes(rbuf + static_cast<std::uint64_t>(rank_) * len, tmp);
+    std::vector<Request> reqs(static_cast<std::size_t>(n - 1));
+    int q = 0;
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      const int rc = co_await irecv(
+          rbuf + static_cast<std::uint64_t>(r) * len, len, r, kTagGather,
+          &reqs[static_cast<std::size_t>(q++)]);
+      if (rc != ptl::PTL_OK) co_return rc;
+    }
+    co_return co_await waitall(reqs);
+  }
+  co_return co_await send(sbuf, len, root, kTagGather);
+}
+
+CoTask<int> Comm::alltoall(std::uint64_t sbuf, std::uint64_t rbuf,
+                           std::uint32_t len) {
+  const int n = size();
+  std::vector<Request> reqs(static_cast<std::size_t>(2 * (n - 1)));
+  int q = 0;
+  for (int r = 0; r < n; ++r) {
+    if (r == rank_) continue;
+    const int rc = co_await irecv(rbuf + static_cast<std::uint64_t>(r) * len,
+                                  len, r, kTagAlltoall,
+                                  &reqs[static_cast<std::size_t>(q++)]);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  // Stagger the send order (rank+1, rank+2, ...) to avoid every rank
+  // hammering rank 0 first — the standard alltoall schedule.
+  for (int k = 1; k < n; ++k) {
+    const int r = (rank_ + k) % n;
+    const int rc = co_await isend(sbuf + static_cast<std::uint64_t>(r) * len,
+                                  len, r, kTagAlltoall,
+                                  &reqs[static_cast<std::size_t>(q++)]);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  // Local block copies straight across.
+  std::vector<std::byte> tmp(len);
+  proc_.read_bytes(sbuf + static_cast<std::uint64_t>(rank_) * len, tmp);
+  proc_.write_bytes(rbuf + static_cast<std::uint64_t>(rank_) * len, tmp);
+  co_return co_await waitall(reqs);
+}
+
+}  // namespace xt::mpi

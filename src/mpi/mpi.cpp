@@ -1,0 +1,621 @@
+#include "mpi/mpi.hpp"
+
+#include <algorithm>
+
+#include <cassert>
+
+namespace xt::mpi {
+
+using ptl::AckReq;
+using ptl::Event;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::ProcessId;
+using ptl::PTL_OK;
+using ptl::Unlink;
+using sim::CoTask;
+using sim::Time;
+
+namespace {
+
+/// Portal table indices used by the MPI library.
+constexpr std::uint32_t kPtMpi = 1;
+constexpr std::uint32_t kPtRndv = 2;
+
+/// Match-bits layout: [63:48] context | [47:32] src rank | [31:8] tag |
+/// [7:0] flags.
+constexpr std::uint64_t kContext = 0x4D50ull << 48;  // "MP"
+constexpr std::uint64_t kFlagRndv = 0x01;
+constexpr std::uint64_t kSrcMask = 0xFFFFull << 32;
+constexpr std::uint64_t kTagMask = 0xFFFFFFull << 8;
+constexpr std::uint64_t kFlagMask = 0xFFull;
+/// Sentinel entry bits: flag byte 0xFF is never sent by the protocol.
+constexpr std::uint64_t kSentinelBits = kContext | 0xFF;
+
+/// user_ptr values at or above this identify unexpected slabs.
+constexpr std::uint64_t kSlabBase = 1ull << 48;
+
+int bits_src(std::uint64_t bits) {
+  return static_cast<int>((bits & kSrcMask) >> 32);
+}
+int bits_tag(std::uint64_t bits) {
+  return static_cast<int>((bits & kTagMask) >> 8);
+}
+
+constexpr int kTagBarrier = 0xFFFF00;  // above any sane user tag
+
+}  // namespace
+
+Flavor Flavor::mpich1() {
+  Flavor f;
+  f.name = "mpich-1.2.6";
+  f.send_overhead = Time::ns(1200);
+  f.recv_overhead = Time::ns(1200);
+  f.wait_overhead = Time::ns(1250);
+  f.eager_max = 128 * 1024;
+  return f;
+}
+
+Flavor Flavor::mpich2() {
+  Flavor f;
+  f.name = "mpich2";
+  f.send_overhead = Time::ns(1420);
+  f.recv_overhead = Time::ns(1350);
+  f.wait_overhead = Time::ns(1450);
+  f.eager_max = 128 * 1024;
+  return f;
+}
+
+std::uint64_t Comm::encode_bits(int src_rank, int tag, bool rndv) {
+  return kContext | (static_cast<std::uint64_t>(src_rank & 0xFFFF) << 32) |
+         (static_cast<std::uint64_t>(tag & 0xFFFFFF) << 8) |
+         (rndv ? kFlagRndv : 0);
+}
+
+struct Comm::ReqState {
+  enum class Kind : std::uint8_t { kSendEager, kSendRndv, kRecv };
+  Kind kind = Kind::kRecv;
+  std::uint64_t id = 0;
+  bool done = false;
+  Status status;
+  // Receive side.
+  std::uint64_t buf = 0;
+  std::uint32_t cap = 0;
+  int want_src = kAnySource;
+  int want_tag = kAnyTag;
+  ptl::MeHandle me;
+  ptl::MdHandle md;
+  bool armed = false;
+};
+
+Comm::Comm(host::Process& proc, std::vector<ptl::ProcessId> ranks, int rank,
+           Flavor flavor)
+    : proc_(proc),
+      api_(proc.api()),
+      ranks_(std::move(ranks)),
+      rank_(rank),
+      flavor_(flavor) {
+  assert(rank_ >= 0 && rank_ < static_cast<int>(ranks_.size()));
+}
+
+Comm::~Comm() = default;
+
+CoTask<int> Comm::init() {
+  auto eq = co_await api_.PtlEQAlloc(8192);
+  if (eq.rc != PTL_OK) co_return eq.rc;
+  eq_ = eq.value;
+
+  // Permanent sentinel at the head of the unexpected block: posted receives
+  // are inserted before it, slabs are appended after it.  It carries no MD,
+  // so matching always passes it by.
+  auto sent = co_await api_.PtlMEAttach(kPtMpi, ProcessId{ptl::kNidAny,
+                                                          ptl::kPidAny},
+                                        kSentinelBits, 0, Unlink::kRetain,
+                                        InsPos::kAfter);
+  if (sent.rc != PTL_OK) co_return sent.rc;
+  ux_first_ = sent.value;
+
+  slabs_.resize(flavor_.n_ux_slabs);
+  for (std::size_t i = 0; i < slabs_.size(); ++i) {
+    slabs_[i].buf = proc_.alloc(flavor_.ux_slab_bytes);
+    co_await repost_slab(slabs_[i]);
+  }
+  inited_ = true;
+  co_return PTL_OK;
+}
+
+CoTask<void> Comm::repost_slab(Slab& slab) {
+  const std::size_t idx = static_cast<std::size_t>(&slab - slabs_.data());
+  auto me = co_await api_.PtlMEAttach(
+      kPtMpi, ProcessId{ptl::kNidAny, ptl::kPidAny}, kContext,
+      kSrcMask | kTagMask | kFlagMask, Unlink::kUnlink, InsPos::kAfter);
+  slab.me = me.value;
+  MdDesc d;
+  d.start = slab.buf;
+  d.length = static_cast<std::uint32_t>(flavor_.ux_slab_bytes);
+  d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_TRUNCATE | ptl::PTL_MD_MAX_SIZE;
+  d.max_size = flavor_.eager_max;
+  d.threshold = ptl::PTL_MD_THRESH_INF;
+  d.eq = eq_;
+  d.user_ptr = kSlabBase + idx;
+  auto md = co_await api_.PtlMDAttach(me.value, d, Unlink::kUnlink);
+  slab.md = md.value;
+  slab.posted = true;
+}
+
+CoTask<int> Comm::progress_once() {
+  auto r = co_await api_.PtlEQGet(eq_);
+  if (r.rc == ptl::PTL_EQ_EMPTY) {
+    ptl::EventQueue* q = api_.bridge().library().eq_object(eq_);
+    if (q == nullptr) co_return ptl::PTL_EQ_INVALID;
+    co_await q->waiters().wait();
+    co_return 0;
+  }
+  if (r.rc != PTL_OK && r.rc != ptl::PTL_EQ_DROPPED) co_return r.rc;
+  co_await dispatch(r.value);
+  co_return 1;
+}
+
+CoTask<void> Comm::drain_all() {
+  for (;;) {
+    auto r = co_await api_.PtlEQGet(eq_);
+    if (r.rc == ptl::PTL_EQ_EMPTY) co_return;
+    if (r.rc != PTL_OK && r.rc != ptl::PTL_EQ_DROPPED) co_return;
+    co_await dispatch(r.value);
+  }
+}
+
+CoTask<void> Comm::dispatch(const Event& ev) {
+  // Unexpected-slab events.
+  if (ev.user_ptr >= kSlabBase) {
+    Slab& slab = slabs_[static_cast<std::size_t>(ev.user_ptr - kSlabBase)];
+    if (ev.type == EventType::kUnlink) {
+      // Slab retired (space below eager_max); every message in it has
+      // already been copied out, so it can go right back on the list.
+      slab.posted = false;
+      co_await repost_slab(slab);
+      co_return;
+    }
+    if (ev.type == EventType::kPutStart) {
+      // Portals accepted a message into the slab: reserve its place in the
+      // unexpected queue NOW — this is the MPI match order.
+      UxMsg m;
+      m.link = ev.link;
+      m.src_rank = bits_src(ev.match_bits);
+      m.tag = bits_tag(ev.match_bits);
+      uq_.push_back(std::move(m));
+      co_return;
+    }
+    if (ev.type != EventType::kPutEnd) co_return;
+    // Deposit finished: find the placeholder its PUT_START created.
+    UxMsg* m = nullptr;
+    for (auto& e : uq_) {
+      if (!e.ready && e.link == ev.link) {
+        m = &e;
+        break;
+      }
+    }
+    if (m == nullptr) {
+      // START was lost (EQ overflow); degrade gracefully with a fresh
+      // entry at the tail.
+      uq_.push_back(UxMsg{});
+      m = &uq_.back();
+      m->link = ev.link;
+      m->src_rank = bits_src(ev.match_bits);
+      m->tag = bits_tag(ev.match_bits);
+    }
+    m->sender = ev.initiator;
+    if (ev.hdr_data != 0) {
+      m->rndv = true;
+      m->rndv_bits = ev.hdr_data & 0xFFFFFFFFull;
+      m->len = static_cast<std::uint32_t>(ev.hdr_data >> 32);
+    } else {
+      m->len = static_cast<std::uint32_t>(ev.rlength);
+      // Copy the payload out of the slab into library memory (the
+      // unexpected-message copy that posted receives avoid).
+      const auto n = static_cast<std::size_t>(ev.mlength);
+      if (n > 0) {
+        co_await proc_.node().cpu().run(
+            Time::for_bytes(n, proc_.node().config().host_memcpy_rate));
+        m->data.resize(n);
+        proc_.read_bytes(slab.buf + ev.offset, m->data);
+      }
+    }
+    m->ready = true;
+    ++counters_.unexpected_recvs;
+    co_await match_armed();
+    co_return;
+  }
+
+  // Request events.
+  auto it = reqs_.find(ev.user_ptr);
+  if (it == reqs_.end()) co_return;  // stale (e.g. RTS SEND_END)
+  ReqState& st = *it->second;
+  switch (ev.type) {
+    case EventType::kSendEnd:
+      if (st.kind == ReqState::Kind::kSendEager) {
+        st.done = true;
+        st.status.len = ev.rlength;
+      }
+      break;
+    case EventType::kGetEnd:
+      if (st.kind == ReqState::Kind::kSendRndv) {
+        st.done = true;
+        st.status.len = ev.mlength;
+      }
+      break;
+    case EventType::kPutEnd:
+      if (st.kind == ReqState::Kind::kRecv) {
+        if (ev.hdr_data != 0) {
+          // Rendezvous RTS landed in the posted receive: pull the payload.
+          const auto full = static_cast<std::uint32_t>(ev.hdr_data >> 32);
+          st.status.source = bits_src(ev.match_bits);
+          st.status.tag = bits_tag(ev.match_bits);
+          st.status.truncated = full > st.cap;
+          co_await start_rndv_get(st, ev.initiator,
+                                  ev.hdr_data & 0xFFFFFFFFull);
+        } else {
+          ++counters_.expected_recvs;
+          st.status.source = bits_src(ev.match_bits);
+          st.status.tag = bits_tag(ev.match_bits);
+          st.status.len = ev.mlength;
+          st.status.truncated = ev.rlength > ev.mlength;
+          st.done = true;
+        }
+      }
+      break;
+    case EventType::kReplyEnd:
+      if (st.kind == ReqState::Kind::kRecv) {
+        ++counters_.expected_recvs;
+        st.status.len = ev.mlength;
+        st.done = true;
+      }
+      break;
+    default:
+      break;  // START events, UNLINK, ACK: nothing to do
+  }
+}
+
+CoTask<void> Comm::match_armed() {
+  // Oldest request first (ids are monotonic), preserving MPI ordering.
+  std::vector<std::uint64_t> armed;
+  for (const auto& [id, st] : reqs_) {
+    if (st->kind == ReqState::Kind::kRecv && st->armed && !st->done) {
+      armed.push_back(id);
+    }
+  }
+  std::sort(armed.begin(), armed.end());
+  for (const std::uint64_t id : armed) {
+    auto it = reqs_.find(id);
+    if (it == reqs_.end()) continue;
+    ReqState& st = *it->second;
+    auto r = ux_lookup(st.want_src, st.want_tag);
+    if (r.msg == nullptr) continue;  // none ready (pending ones wait)
+    const int rc = co_await api_.PtlMEUnlink(st.me);
+    if (rc != PTL_OK) {
+      // The posted MD already caught a (newer) message; leave the queued
+      // one for the next receive.
+      r.msg->ready = true;
+      uq_.push_front(std::move(*r.msg));
+      continue;
+    }
+    st.armed = false;
+    co_await consume_ux(st, std::move(r.msg));
+  }
+}
+
+Comm::UxLookup Comm::ux_lookup(int src, int tag) {
+  for (auto it = uq_.begin(); it != uq_.end(); ++it) {
+    const bool src_ok = src == kAnySource || it->src_rank == src;
+    const bool tag_ok = tag == kAnyTag || it->tag == tag;
+    if (!src_ok || !tag_ok) continue;
+    UxLookup r;
+    if (!it->ready) {
+      r.pending = true;  // oldest match still depositing: wait for it
+      return r;
+    }
+    r.msg = std::make_unique<UxMsg>(std::move(*it));
+    uq_.erase(it);
+    return r;
+  }
+  return {};
+}
+
+CoTask<void> Comm::consume_ux(ReqState& st, std::unique_ptr<UxMsg> m) {
+  st.status.source = m->src_rank;
+  st.status.tag = m->tag;
+  st.status.truncated = m->len > st.cap;
+  if (m->rndv) {
+    co_await start_rndv_get(st, m->sender, m->rndv_bits);
+    co_return;
+  }
+  const auto n = std::min<std::uint32_t>(
+      st.cap, static_cast<std::uint32_t>(m->data.size()));
+  if (n > 0) {
+    co_await proc_.node().cpu().run(
+        Time::for_bytes(n, proc_.node().config().host_memcpy_rate));
+    proc_.write_bytes(st.buf, std::span(m->data).first(n));
+  }
+  st.status.len = n;
+  st.done = true;
+}
+
+CoTask<void> Comm::start_rndv_get(ReqState& st, ProcessId sender,
+                                  std::uint64_t rndv_bits) {
+  MdDesc d;
+  d.start = st.buf;
+  d.length = st.cap;
+  d.options = ptl::PTL_MD_OP_GET;
+  d.threshold = 1;
+  d.eq = eq_;
+  d.user_ptr = st.id;
+  auto md = co_await api_.PtlMDBind(d, Unlink::kUnlink);
+  (void)co_await api_.PtlGet(md.value, sender, kPtRndv, 0, rndv_bits, 0);
+}
+
+CoTask<int> Comm::isend(std::uint64_t buf, std::uint32_t len, int dst,
+                        int tag, Request* req) {
+  assert(inited_);
+  co_await proc_.node().cpu().run(flavor_.send_overhead);
+  const std::uint64_t id = next_req_++;
+  auto st = std::make_unique<ReqState>();
+  st->id = id;
+  req->id = id;
+  req->done = false;
+
+  if (len <= flavor_.eager_max) {
+    st->kind = ReqState::Kind::kSendEager;
+    MdDesc d;
+    d.start = buf;
+    d.length = len;
+    d.threshold = 1;
+    d.eq = eq_;
+    d.user_ptr = id;
+    auto md = co_await api_.PtlMDBind(d, Unlink::kUnlink);
+    reqs_.emplace(id, std::move(st));
+    ++counters_.eager_sent;
+    co_return co_await api_.PtlPut(md.value, AckReq::kNone,
+                                   ranks_[static_cast<std::size_t>(dst)],
+                                   kPtMpi, 0, encode_bits(rank_, tag, false),
+                                   0, 0);
+  }
+
+  // Rendezvous: expose the buffer, then send a zero-byte RTS whose
+  // hdr_data carries (full length << 32 | expose token).
+  st->kind = ReqState::Kind::kSendRndv;
+  const std::uint64_t token = next_rndv_++ & 0xFFFFFFFFull;
+  auto me = co_await api_.PtlMEAttach(kPtRndv,
+                                      ProcessId{ptl::kNidAny, ptl::kPidAny},
+                                      token, 0, Unlink::kUnlink,
+                                      InsPos::kAfter);
+  MdDesc d;
+  d.start = buf;
+  d.length = len;
+  d.options = ptl::PTL_MD_OP_GET;
+  d.threshold = 1;
+  d.eq = eq_;
+  d.user_ptr = id;
+  (void)co_await api_.PtlMDAttach(me.value, d, Unlink::kUnlink);
+  reqs_.emplace(id, std::move(st));
+
+  MdDesc rts;
+  rts.start = 0;
+  rts.length = 0;
+  rts.threshold = 1;
+  rts.eq = ptl::kEqNone;  // RTS completion is uninteresting
+  auto rts_md = co_await api_.PtlMDBind(rts, Unlink::kUnlink);
+  ++counters_.rndv_sent;
+  co_return co_await api_.PtlPut(
+      rts_md.value, AckReq::kNone, ranks_[static_cast<std::size_t>(dst)],
+      kPtMpi, 0, encode_bits(rank_, tag, true), 0,
+      (static_cast<std::uint64_t>(len) << 32) | token);
+}
+
+CoTask<int> Comm::irecv(std::uint64_t buf, std::uint32_t len, int src,
+                        int tag, Request* req) {
+  assert(inited_);
+  co_await proc_.node().cpu().run(flavor_.recv_overhead);
+  const std::uint64_t id = next_req_++;
+  auto stp = std::make_unique<ReqState>();
+  ReqState& st = *stp;
+  st.id = id;
+  st.kind = ReqState::Kind::kRecv;
+  st.buf = buf;
+  st.cap = len;
+  st.want_src = src;
+  st.want_tag = tag;
+  req->id = id;
+  req->done = false;
+  reqs_.emplace(id, std::move(stp));
+
+  // Ordering guard and fast path: the oldest matching unexpected message
+  // must be taken (or waited for, if still depositing) before this receive
+  // may arm a match entry.
+  for (;;) {
+    co_await drain_all();
+    auto r = ux_lookup(src, tag);
+    if (r.msg != nullptr) {
+      co_await consume_ux(st, std::move(r.msg));
+      co_return PTL_OK;
+    }
+    if (!r.pending) break;
+    (void)co_await progress_once();
+  }
+
+  // Post the match entry with an INACTIVE MD, then activate it atomically
+  // with respect to pending events (the PtlMDUpdate test-EQ idiom); any
+  // message that raced in goes through the unexpected path instead.
+  const std::uint64_t mbits =
+      encode_bits(src == kAnySource ? 0 : src, tag == kAnyTag ? 0 : tag,
+                  false);
+  std::uint64_t ibits = kFlagMask;
+  if (src == kAnySource) ibits |= kSrcMask;
+  if (tag == kAnyTag) ibits |= kTagMask;
+  auto me = co_await api_.PtlMEInsert(ux_first_,
+                                      ProcessId{ptl::kNidAny, ptl::kPidAny},
+                                      mbits, ibits, Unlink::kUnlink,
+                                      InsPos::kBefore);
+  st.me = me.value;
+  MdDesc d;
+  d.start = buf;
+  d.length = len;
+  d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_TRUNCATE;
+  d.threshold = 0;  // inactive until the update below succeeds
+  d.eq = eq_;
+  d.user_ptr = id;
+  auto md = co_await api_.PtlMDAttach(me.value, d, Unlink::kUnlink);
+  st.md = md.value;
+
+  MdDesc active = d;
+  active.threshold = 1;
+  for (;;) {
+    co_await drain_all();
+    auto r = ux_lookup(src, tag);
+    if (r.msg != nullptr) {
+      (void)co_await api_.PtlMEUnlink(st.me);  // inactive: always succeeds
+      co_await consume_ux(st, std::move(r.msg));
+      co_return PTL_OK;
+    }
+    // A matching message mid-deposit MUST complete before we may arm, or a
+    // newer message would overtake it in the armed MD.
+    if (r.pending) {
+      (void)co_await progress_once();
+      continue;
+    }
+    auto rc = co_await api_.PtlMDUpdate(st.md, &active, eq_);
+    if (rc.rc == PTL_OK) {
+      st.armed = true;
+      co_return PTL_OK;
+    }
+    if (rc.rc != ptl::PTL_MD_NO_UPDATE) co_return rc.rc;
+    // Events are pending: loop to process them and retry.
+  }
+}
+
+CoTask<int> Comm::wait(Request* req, Status* status) {
+  if (req->id == 0) co_return PTL_OK;  // inactive request
+  auto it = reqs_.find(req->id);
+  if (it == reqs_.end()) co_return PTL_OK;
+  ReqState& st = *it->second;
+  while (!st.done) {
+    (void)co_await progress_once();
+  }
+  // Completion-side library work (request retirement, status fill-in).
+  co_await proc_.node().cpu().run(flavor_.wait_overhead);
+  req->status = st.status;
+  if (status != nullptr) *status = st.status;
+  req->done = true;
+  reqs_.erase(req->id);
+  req->id = 0;
+  co_return PTL_OK;
+}
+
+CoTask<int> Comm::waitany(std::span<Request> reqs, std::size_t* index,
+                          Status* status) {
+  for (;;) {
+    bool any_active = false;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      Request& r = reqs[i];
+      if (r.id == 0) continue;
+      any_active = true;
+      auto it = reqs_.find(r.id);
+      if (it == reqs_.end() || it->second->done) {
+        const int rc = co_await wait(&r, status);
+        *index = i;
+        co_return rc;
+      }
+    }
+    if (!any_active) {
+      *index = static_cast<std::size_t>(-1);
+      co_return PTL_OK;
+    }
+    (void)co_await progress_once();
+  }
+}
+
+CoTask<int> Comm::waitall(std::span<Request> reqs) {
+  for (auto& r : reqs) {
+    const int rc = co_await wait(&r, nullptr);
+    if (rc != PTL_OK) co_return rc;
+  }
+  co_return PTL_OK;
+}
+
+CoTask<int> Comm::iprobe(int src, int tag, bool* flag, Status* status) {
+  co_await proc_.node().cpu().run(flavor_.recv_overhead / 2);
+  co_await drain_all();
+  *flag = false;
+  for (const UxMsg& m : uq_) {
+    const bool src_ok = src == kAnySource || m.src_rank == src;
+    const bool tag_ok = tag == kAnyTag || m.tag == tag;
+    if (!src_ok || !tag_ok) continue;
+    if (!m.ready) break;  // oldest match still depositing: report later
+    *flag = true;
+    if (status != nullptr) {
+      status->source = m.src_rank;
+      status->tag = m.tag;
+      status->len = m.len;
+      status->truncated = false;
+    }
+    break;
+  }
+  co_return PTL_OK;
+}
+
+CoTask<int> Comm::probe(int src, int tag, Status* status) {
+  for (;;) {
+    bool flag = false;
+    const int rc = co_await iprobe(src, tag, &flag, status);
+    if (rc != PTL_OK) co_return rc;
+    if (flag) co_return PTL_OK;
+    (void)co_await progress_once();
+  }
+}
+
+CoTask<int> Comm::send(std::uint64_t buf, std::uint32_t len, int dst,
+                       int tag) {
+  Request req;
+  const int rc = co_await isend(buf, len, dst, tag, &req);
+  if (rc != PTL_OK) co_return rc;
+  co_return co_await wait(&req);
+}
+
+CoTask<int> Comm::recv(std::uint64_t buf, std::uint32_t len, int src,
+                       int tag, Status* status) {
+  Request req;
+  const int rc = co_await irecv(buf, len, src, tag, &req);
+  if (rc != PTL_OK) co_return rc;
+  co_return co_await wait(&req, status);
+}
+
+CoTask<int> Comm::sendrecv(std::uint64_t sbuf, std::uint32_t slen, int dst,
+                           int stag, std::uint64_t rbuf, std::uint32_t rlen,
+                           int src, int rtag, Status* status) {
+  Request rreq, sreq;
+  int rc = co_await irecv(rbuf, rlen, src, rtag, &rreq);
+  if (rc != PTL_OK) co_return rc;
+  rc = co_await isend(sbuf, slen, dst, stag, &sreq);
+  if (rc != PTL_OK) co_return rc;
+  rc = co_await wait(&sreq);
+  if (rc != PTL_OK) co_return rc;
+  co_return co_await wait(&rreq, status);
+}
+
+CoTask<int> Comm::barrier() {
+  // Dissemination barrier: ceil(log2(n)) rounds of 0-byte exchanges.
+  const int n = size();
+  if (n == 1) co_return PTL_OK;
+  const std::uint64_t dummy = 0;
+  (void)dummy;
+  for (int k = 1, round = 0; k < n; k <<= 1, ++round) {
+    const int to = (rank_ + k) % n;
+    const int from = (rank_ - k + n) % n;
+    const int rc = co_await sendrecv(0, 0, to, kTagBarrier + round, 0, 0,
+                                     from, kTagBarrier + round);
+    if (rc != PTL_OK) co_return rc;
+  }
+  co_return PTL_OK;
+}
+
+}  // namespace xt::mpi

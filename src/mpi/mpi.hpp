@@ -1,0 +1,238 @@
+#pragma once
+
+// Mini-MPI over the Portals 3.3 public API.
+//
+// This reproduces the structure of the two MPI implementations the paper
+// measures (§5.1): a port of MPICH 1.2.6 for Portals 3.3 and Cray's
+// MPICH2.  Both are represented by one engine with per-flavor protocol
+// constants (library overheads, eager threshold) — the curves in Figures
+// 4-7 differ between the MPIs only by constant offsets.
+//
+// Protocol (the classic Portals MPI design):
+//   * Posted receives are Portals match entries on the MPI portal index;
+//     match bits encode (context, source rank, tag) with ignore-bits
+//     wildcards, so PORTALS performs MPI matching and expected eager
+//     messages land zero-copy in the user buffer.
+//   * Unexpected eager messages fall through to a block of slab buffers at
+//     the tail of the match list (locally-managed offset + PTL_MD_MAX_SIZE
+//     carousel); the library copies them out on arrival (the extra memcpy
+//     that makes unexpected receives expensive).
+//   * The post-vs-unexpected race is closed with the PtlMDUpdate test-EQ
+//     idiom: the receive MD is attached inactive and only activated by an
+//     atomic update that fails while events are pending — precisely the
+//     use case the ptl_md_update test_eq parameter exists for.
+//   * Messages above the eager threshold use rendezvous: the sender
+//     exposes its buffer under a unique match id on the rendezvous portal
+//     and sends a zero-byte RTS; the receiver PtlGets the payload straight
+//     into the user buffer.
+//
+// All calls are coroutines (they cost simulated time); ranks are mapped to
+// Portals ProcessIds at construction.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "host/node.hpp"
+#include "portals/api.hpp"
+#include "sim/task.hpp"
+
+namespace xt::mpi {
+
+/// Per-implementation protocol constants.
+struct Flavor {
+  const char* name = "mpich-1.2.6";
+  /// Library overhead charged on the host CPU per send / per receive
+  /// (queue bookkeeping, request management, datatype handling) and per
+  /// completed request (status handling in MPI_Wait).  In ping-pong, the
+  /// receive-side posting cost is pre-paid while the message is in flight,
+  /// so the visible per-message MPI cost is send_overhead + wait_overhead —
+  /// which is what separates the MPI curves from raw put in Figure 4.
+  sim::Time send_overhead = sim::Time::ns(1000);
+  sim::Time recv_overhead = sim::Time::ns(1100);
+  sim::Time wait_overhead = sim::Time::ns(400);
+  /// Messages larger than this use the rendezvous protocol.
+  std::uint32_t eager_max = 128 * 1024;
+  /// Unexpected slab sizing.  Capacity must comfortably exceed the deepest
+  /// unexpected burst the protocol can produce: a slab retires once its
+  /// remaining space drops below eager_max, and an eager message arriving
+  /// while every slab is retired (before the library reposts them) is
+  /// dropped — the classic eager-protocol flow-control hazard.
+  std::size_t n_ux_slabs = 16;
+  std::size_t ux_slab_bytes = 512 * 1024;
+
+  static Flavor mpich1();
+  static Flavor mpich2();
+};
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::uint64_t len = 0;
+  bool truncated = false;
+};
+
+/// Nonblocking-operation handle.
+class Comm;
+struct Request {
+  bool done = false;
+  Status status;
+  bool active() const { return id != 0; }
+
+ private:
+  friend class Comm;
+  std::uint64_t id = 0;
+};
+
+class Comm {
+ public:
+  /// `ranks[i]` is the Portals id of rank i; `proc` must be ranks[rank].
+  Comm(host::Process& proc, std::vector<ptl::ProcessId> ranks, int rank,
+       Flavor flavor = Flavor::mpich1());
+  ~Comm();
+
+  /// Allocates EQs and posts the unexpected-message structures.  Must
+  /// complete on every rank before traffic flows (spawn all inits, then
+  /// run the engine; unexpected slabs absorb early arrivals).
+  sim::CoTask<int> init();
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(ranks_.size()); }
+  const Flavor& flavor() const { return flavor_; }
+
+  // Blocking point-to-point.  Buffers are virtual addresses in the owning
+  // process's address space.
+  sim::CoTask<int> send(std::uint64_t buf, std::uint32_t len, int dst,
+                        int tag);
+  sim::CoTask<int> recv(std::uint64_t buf, std::uint32_t len, int src,
+                        int tag, Status* status = nullptr);
+
+  // Nonblocking.
+  sim::CoTask<int> isend(std::uint64_t buf, std::uint32_t len, int dst,
+                         int tag, Request* req);
+  sim::CoTask<int> irecv(std::uint64_t buf, std::uint32_t len, int src,
+                         int tag, Request* req);
+  sim::CoTask<int> wait(Request* req, Status* status = nullptr);
+  sim::CoTask<int> waitall(std::span<Request> reqs);
+  /// MPI_Waitany: blocks until any request completes; `index` receives its
+  /// position (or SIZE_MAX when every request was inactive).
+  sim::CoTask<int> waitany(std::span<Request> reqs, std::size_t* index,
+                           Status* status = nullptr);
+
+  /// MPI_Iprobe: checks (without consuming) for a matching message that
+  /// has not been received yet.  Only unexpected messages are visible —
+  /// anything matching a posted receive is already owned by that receive.
+  sim::CoTask<int> iprobe(int src, int tag, bool* flag,
+                          Status* status = nullptr);
+  /// MPI_Probe: blocks until a matching message can be reported.
+  sim::CoTask<int> probe(int src, int tag, Status* status = nullptr);
+
+  // Collectives used by the examples/benchmarks.
+  sim::CoTask<int> barrier();
+  sim::CoTask<int> sendrecv(std::uint64_t sbuf, std::uint32_t slen, int dst,
+                            int stag, std::uint64_t rbuf, std::uint32_t rlen,
+                            int src, int rtag, Status* status = nullptr);
+
+  /// Binomial-tree broadcast of `len` bytes rooted at `root` (buf holds the
+  /// payload at the root, receives it elsewhere).
+  sim::CoTask<int> bcast(std::uint64_t buf, std::uint32_t len, int root);
+  /// Binomial-tree sum-reduction of `count` doubles into `buf` at `root`
+  /// (every rank contributes its own buf contents).
+  sim::CoTask<int> reduce_sum(std::uint64_t buf, std::uint32_t count,
+                              int root);
+  /// reduce_sum to rank 0 followed by bcast: every rank ends with the sum.
+  sim::CoTask<int> allreduce_sum(std::uint64_t buf, std::uint32_t count);
+  /// Root gathers `len` bytes from every rank into rbuf (rank i's block at
+  /// offset i*len).  rbuf is only read at the root.
+  sim::CoTask<int> gather(std::uint64_t sbuf, std::uint32_t len,
+                          std::uint64_t rbuf, int root);
+  /// Every rank sends a distinct `len`-byte block to every other rank:
+  /// block for rank j starts at sbuf + j*len; block from rank i lands at
+  /// rbuf + i*len.
+  sim::CoTask<int> alltoall(std::uint64_t sbuf, std::uint64_t rbuf,
+                            std::uint32_t len);
+
+  host::Process& process() { return proc_; }
+
+ private:
+  struct ReqState;
+  /// One unexpected message.  Created when its PUT_START fires (preserving
+  /// MPI match order) and marked ready at PUT_END, when the payload has
+  /// finished depositing; `link` pairs the two events.
+  struct UxMsg {
+    std::uint64_t link = 0;
+    int src_rank = 0;
+    int tag = 0;
+    bool ready = false;
+    std::uint32_t len = 0;          // sender's full length
+    std::vector<std::byte> data;    // eager payload (copied out of a slab)
+    bool rndv = false;
+    std::uint64_t rndv_bits = 0;    // match bits exposing the sender buffer
+    ptl::ProcessId sender;
+  };
+  struct UxLookup {
+    bool pending = false;  // a matching message exists but is mid-deposit
+    std::unique_ptr<UxMsg> msg;  // set when a ready match was dequeued
+  };
+  struct Slab {
+    std::uint64_t buf = 0;
+    ptl::MeHandle me;
+    ptl::MdHandle md;
+    bool posted = false;
+  };
+
+  static std::uint64_t encode_bits(int src_rank, int tag, bool rndv);
+  sim::CoTask<int> progress_once();
+  sim::CoTask<void> dispatch(const ptl::Event& ev);
+  sim::CoTask<void> drain_all();
+  /// Looks up the OLDEST matching unexpected message (match order = the
+  /// order Portals accepted them).  Ready: dequeued and returned.  Still
+  /// depositing: `pending` — the caller must wait for it rather than arm a
+  /// receive or take a newer message, or per-(src,tag) order would break.
+  UxLookup ux_lookup(int src, int tag);
+  sim::CoTask<void> consume_ux(ReqState& st, std::unique_ptr<UxMsg> m);
+  /// Offers freshly queued unexpected messages to already-armed receives.
+  /// Closes the window where a message was matched to a slab (its PUT_START
+  /// fired) before the receive armed, but its PUT_END — and thus its uq
+  /// entry — only appeared after: the armed receive would otherwise wait on
+  /// its posted MD forever.
+  sim::CoTask<void> match_armed();
+  sim::CoTask<void> start_rndv_get(ReqState& st, ptl::ProcessId sender,
+                                   std::uint64_t rndv_bits);
+  sim::CoTask<void> repost_slab(Slab& slab);
+
+  host::Process& proc_;
+  ptl::Api& api_;
+  std::vector<ptl::ProcessId> ranks_;
+  int rank_;
+  Flavor flavor_;
+
+  ptl::EqHandle eq_{};        // single EQ for all MPI Portals objects
+  ptl::MeHandle ux_first_{};  // head of the unexpected block (insert point)
+  std::vector<Slab> slabs_;
+  std::deque<UxMsg> uq_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<ReqState>> reqs_;
+  std::uint64_t next_req_ = 1;
+  std::uint64_t next_rndv_ = 1;
+  bool inited_ = false;
+
+  // Counters (for tests and the benchmark harness).
+ public:
+  struct Counters {
+    std::uint64_t eager_sent = 0;
+    std::uint64_t rndv_sent = 0;
+    std::uint64_t expected_recvs = 0;
+    std::uint64_t unexpected_recvs = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  Counters counters_;
+};
+
+}  // namespace xt::mpi

@@ -1,0 +1,78 @@
+#pragma once
+
+// 3D torus coordinates and machine shape.
+//
+// Red Storm (the paper's platform, §5.1) is an XT3 variant whose network is
+// a torus only in the Z dimension — the X and Y dimensions are meshes so
+// cabinet sections can be switched between classified and unclassified use.
+// Shape captures both the general XT3 torus and the Red Storm variant.
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace xt::net {
+
+/// Flat node identifier, 0 .. count()-1.
+using NodeId = std::uint32_t;
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Machine dimensions and per-dimension wraparound.
+struct Shape {
+  int nx = 1;
+  int ny = 1;
+  int nz = 1;
+  bool wrap_x = true;
+  bool wrap_y = true;
+  bool wrap_z = true;
+
+  /// Red Storm: torus in Z only (paper §5.1).
+  static Shape red_storm(int nx, int ny, int nz) {
+    return Shape{nx, ny, nz, false, false, true};
+  }
+  /// Commercial XT3: full 3D torus.
+  static Shape xt3(int nx, int ny, int nz) {
+    return Shape{nx, ny, nz, true, true, true};
+  }
+
+  int count() const { return nx * ny * nz; }
+
+  bool contains(Coord c) const {
+    return c.x >= 0 && c.x < nx && c.y >= 0 && c.y < ny && c.z >= 0 &&
+           c.z < nz;
+  }
+
+  NodeId to_id(Coord c) const {
+    assert(contains(c));
+    return static_cast<NodeId>((c.z * ny + c.y) * nx + c.x);
+  }
+
+  Coord to_coord(NodeId id) const {
+    assert(id < static_cast<NodeId>(count()));
+    const int i = static_cast<int>(id);
+    return Coord{i % nx, (i / nx) % ny, i / (nx * ny)};
+  }
+};
+
+/// Output ports of a SeaStar router (Figure 1), plus the local HT port.
+enum class Port : std::uint8_t {
+  kXPlus = 0,
+  kXMinus,
+  kYPlus,
+  kYMinus,
+  kZPlus,
+  kZMinus,
+  kLocal,
+};
+
+inline constexpr int kPortCount = 7;
+
+const char* port_name(Port p);
+
+}  // namespace xt::net

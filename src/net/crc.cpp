@@ -1,0 +1,67 @@
+#include "net/crc.hpp"
+
+#include <array>
+
+namespace xt::net {
+
+namespace {
+
+std::array<std::uint16_t, 256> make_crc16_table() {
+  std::array<std::uint16_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i << 8);
+    for (int b = 0; b < 8; ++b) {
+      crc = static_cast<std::uint16_t>((crc & 0x8000u) ? (crc << 1) ^ 0x1021u
+                                                       : (crc << 1));
+    }
+    t[i] = crc;
+  }
+  return t;
+}
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : (crc >> 1);
+    }
+    t[i] = crc;
+  }
+  return t;
+}
+
+const auto kCrc16Table = make_crc16_table();
+const auto kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+std::uint16_t crc16(std::span<const std::byte> data, std::uint16_t seed) {
+  std::uint16_t crc = seed;
+  for (const std::byte b : data) {
+    const auto idx =
+        static_cast<std::uint8_t>((crc >> 8) ^ std::to_integer<unsigned>(b));
+    crc = static_cast<std::uint16_t>((crc << 8) ^ kCrc16Table[idx]);
+  }
+  return crc;
+}
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::byte> data) {
+  for (const std::byte b : data) {
+    const auto idx = static_cast<std::uint8_t>(
+        (state ^ std::to_integer<std::uint32_t>(b)) & 0xFFu);
+    state = (state >> 8) ^ kCrc32Table[idx];
+  }
+  return state;
+}
+
+std::uint32_t crc32_finish(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed) {
+  return crc32_finish(crc32_update(seed, data));
+}
+
+}  // namespace xt::net

@@ -1,0 +1,29 @@
+#pragma once
+
+// CRC implementations used by the SeaStar reliability model (§2):
+//   * CRC-16/CCITT-FALSE — the per-link check ("16 bit CRC check, with
+//     retries, performed on each of the individual links").
+//   * CRC-32/IEEE       — the end-to-end check added by the DMA engines
+//     ("hardware support for an end-to-end 32 bit CRC check").
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace xt::net {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection).
+std::uint16_t crc16(std::span<const std::byte> data,
+                    std::uint16_t seed = 0xFFFF);
+
+/// CRC-32/IEEE (poly 0xEDB88320 reflected, init/final-xor 0xFFFFFFFF).
+std::uint32_t crc32(std::span<const std::byte> data,
+                    std::uint32_t seed = 0xFFFFFFFFu);
+
+/// Continues a CRC-32 computation (pass the previous call's return value
+/// through `resume`); finish with crc32_finish.
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::byte> d);
+std::uint32_t crc32_init();
+std::uint32_t crc32_finish(std::uint32_t state);
+
+}  // namespace xt::net

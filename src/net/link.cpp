@@ -1,0 +1,30 @@
+#include "net/link.hpp"
+
+#include <cmath>
+
+namespace xt::net {
+
+sim::CoTask<bool> Link::carry(std::size_t bytes) {
+  const sim::Time ser = serialize_time(bytes);
+  co_await res_.acquire();
+  co_await sim::delay(res_.engine(), ser);
+  // Link-level CRC-16 with retries: the whole chunk is resent while any of
+  // its packets was corrupted.  (The real hardware retries at packet
+  // granularity; retrying the chunk is conservative and only matters under
+  // fault injection, which is off by default.)
+  if (cfg_.pkt_corrupt_prob > 0.0) {
+    const double n = static_cast<double>(packets_for(bytes));
+    const double chunk_fail_prob =
+        1.0 - std::pow(1.0 - cfg_.pkt_corrupt_prob, n);
+    while (rng_.chance(chunk_fail_prob)) {
+      ++retries_;
+      co_await sim::delay(res_.engine(), cfg_.retry_penalty + ser);
+    }
+  }
+  res_.release();
+  co_await sim::delay(res_.engine(), cfg_.hop_latency);
+  co_return cfg_.undetected_corrupt_prob > 0.0 &&
+      rng_.chance(cfg_.undetected_corrupt_prob);
+}
+
+}  // namespace xt::net

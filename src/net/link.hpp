@@ -1,0 +1,75 @@
+#pragma once
+
+// One unidirectional SeaStar link.
+//
+// Physical model (§2): 2.5 GB/s of data payload per direction, carried in
+// 64-byte router packets; each link runs a 16-bit CRC with retries.  A link
+// is a serially-reusable resource — a chunk occupies it for its
+// serialization time, and chunks of different flows interleave FIFO, which
+// is how the shared-link contention in multi-node runs arises.
+//
+// Fault injection: with probability `pkt_corrupt_prob` per packet the link
+// CRC fails and the sender retries the chunk (paying serialization again
+// plus a turnaround penalty).  With probability `undetected_corrupt_prob`
+// per chunk a corruption slips past the link CRC — those must be caught by
+// the end-to-end CRC-32 at the destination NIC.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+
+namespace xt::net {
+
+struct LinkConfig {
+  /// Payload bandwidth per direction (§2: 2.5 GB/s).
+  std::uint64_t rate_bytes_per_sec = 2'500'000'000ull;
+  /// Router pass-through plus wire time per hop.
+  sim::Time hop_latency = sim::Time::ns(40);
+  /// Router packet granularity (§2: 64-byte packets).
+  std::size_t packet_size = 64;
+  /// Probability that a packet fails the link CRC-16 and triggers a retry.
+  double pkt_corrupt_prob = 0.0;
+  /// Probability per chunk that corruption escapes the link CRC entirely.
+  double undetected_corrupt_prob = 0.0;
+  /// Extra turnaround time per retry (NACK + resend setup).
+  sim::Time retry_penalty = sim::Time::ns(100);
+};
+
+class Link {
+ public:
+  Link(sim::Engine& eng, LinkConfig cfg, std::uint64_t seed, std::string name)
+      : cfg_(cfg), res_(eng, std::move(name)), rng_(seed) {}
+
+  /// Carries `bytes` of payload across the link: serialize (packetized,
+  /// retrying corrupted packets), then incur the per-hop latency.
+  /// Returns true if an undetected corruption happened on this link.
+  sim::CoTask<bool> carry(std::size_t bytes);
+
+  /// Serialization time for `bytes`, rounded up to whole packets.
+  sim::Time serialize_time(std::size_t bytes) const {
+    const std::size_t pkts = packets_for(bytes);
+    return sim::Time::for_bytes(pkts * cfg_.packet_size,
+                                cfg_.rate_bytes_per_sec);
+  }
+
+  std::size_t packets_for(std::size_t bytes) const {
+    return bytes == 0 ? 1 : (bytes + cfg_.packet_size - 1) / cfg_.packet_size;
+  }
+
+  const LinkConfig& config() const { return cfg_; }
+  std::uint64_t retries() const { return retries_; }
+  sim::Time busy_time() const { return res_.busy_time(); }
+  const std::string& name() const { return res_.name(); }
+
+ private:
+  LinkConfig cfg_;
+  sim::Resource res_;
+  sim::Rng rng_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace xt::net

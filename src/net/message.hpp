@@ -1,0 +1,62 @@
+#pragma once
+
+// Network-level message representation.
+//
+// The network layer is deliberately ignorant of Portals: it moves a 64-byte
+// header packet (whose contents the firmware defines — including the ≤12 B
+// inline-payload optimization) followed by payload bytes, and reports two
+// receive-side milestones that the SeaStar Rx path cares about:
+//   * header arrival   — the firmware can start processing / interrupt the
+//                        host for matching while the body is still flowing;
+//   * body completion  — the last byte is available for DMA deposit.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/coord.hpp"
+#include "sim/time.hpp"
+
+namespace xt::net {
+
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Network-assigned sequence number (global, for tracing/tests).
+  std::uint64_t seq = 0;
+
+  /// Contents of the header packet (at most Config::packet_size bytes).
+  std::vector<std::byte> header;
+  /// Payload carried in subsequent packets (may be empty).
+  std::vector<std::byte> payload;
+
+  /// End-to-end CRC-32 over header+payload, computed by the sending DMA
+  /// engine; verified by the receiving DMA engine.
+  std::uint32_t e2e_crc = 0;
+  /// Set when fault injection corrupted the message past the link-level
+  /// retry protection (so the e2e CRC check must catch it).
+  bool corrupted = false;
+
+  // Timestamps filled in by the network (for tests and traces).
+  sim::Time injected_at{};
+  sim::Time header_at{};
+  sim::Time completed_at{};
+
+  std::size_t wire_payload_bytes() const { return payload.size(); }
+};
+
+using MessagePtr = std::shared_ptr<Message>;
+
+/// Receive side of a node (implemented by the SeaStar NIC model).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// The header packet has crossed the last link into this node.
+  virtual void on_header(const MessagePtr& msg) = 0;
+  /// The final payload byte has crossed the last link into this node.
+  /// Also called for payload-less messages (immediately after on_header).
+  virtual void on_complete(const MessagePtr& msg) = 0;
+};
+
+}  // namespace xt::net

@@ -1,0 +1,115 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+#include "net/crc.hpp"
+#include "sim/strf.hpp"
+
+namespace xt::net {
+
+Network::Network(sim::Engine& eng, Shape shape, NetConfig cfg,
+                 std::uint64_t seed)
+    : eng_(eng), shape_(shape), cfg_(cfg) {
+  const auto n = static_cast<std::size_t>(shape_.count());
+  tables_.reserve(n);
+  links_.resize(n * 6);
+  endpoints_.assign(n, nullptr);
+  sim::Rng seeder(seed);
+  for (NodeId id = 0; id < n; ++id) {
+    tables_.emplace_back(shape_, shape_.to_coord(id));
+    for (int p = 0; p < 6; ++p) {
+      links_[id * 6 + static_cast<std::size_t>(p)] = std::make_unique<Link>(
+          eng_, cfg_.link, seeder.u64(),
+          sim::strf("link.n%u.%s", id, port_name(static_cast<Port>(p))));
+    }
+  }
+}
+
+void Network::attach(NodeId node, Endpoint& ep) {
+  assert(node < endpoints_.size());
+  endpoints_[node] = &ep;
+}
+
+Link& Network::link_out(NodeId node, Port p) {
+  assert(p != Port::kLocal);
+  return *links_[node * 6 + static_cast<std::size_t>(p)];
+}
+
+void Network::begin(const MessagePtr& msg) {
+  msg->seq = next_seq_++;
+  std::uint32_t c = crc32_init();
+  c = crc32_update(c, msg->header);
+  c = crc32_update(c, msg->payload);
+  msg->e2e_crc = crc32_finish(c);
+  msg->injected_at = eng_.now();
+}
+
+sim::CoTask<void> Network::walk(MessagePtr msg, std::size_t bytes,
+                                bool is_header, bool is_last) {
+  NodeId cur = msg->src;
+  if (cur == msg->dst) {
+    // Loopback: no links; charge one hop of latency.
+    co_await sim::delay(eng_, cfg_.link.hop_latency);
+  }
+  while (cur != msg->dst) {
+    const Port p = tables_[cur].next_port(msg->dst);
+    assert(p != Port::kLocal);
+    Link& l = link_out(cur, p);
+    const bool slipped = co_await l.carry(bytes);
+    if (slipped) msg->corrupted = true;
+    cur = neighbor(shape_, cur, p);
+  }
+  Endpoint* ep = endpoints_[msg->dst];
+  assert(ep != nullptr && "destination node has no attached NIC");
+  if (is_header) {
+    msg->header_at = eng_.now();
+    ep->on_header(msg);
+  }
+  if (is_last) {
+    msg->completed_at = eng_.now();
+    ep->on_complete(msg);
+  }
+}
+
+void Network::inject_header(const MessagePtr& msg) {
+  // The header always occupies one full router packet.
+  sim::spawn(walk(msg, cfg_.link.packet_size, /*is_header=*/true,
+                  /*is_last=*/msg->payload.empty()));
+}
+
+void Network::inject_payload(const MessagePtr& msg, std::size_t offset,
+                             std::size_t len, bool last) {
+  assert(offset + len <= msg->payload.size());
+  assert(len > 0);
+  (void)offset;  // the chunk's byte range matters only for accounting
+  sim::spawn(walk(msg, len, /*is_header=*/false, last));
+}
+
+void Network::send(const MessagePtr& msg) {
+  begin(msg);
+  inject_header(msg);
+  const std::size_t total = msg->payload.size();
+  for (std::size_t off = 0; off < total; off += cfg_.chunk_size) {
+    const std::size_t len = std::min(cfg_.chunk_size, total - off);
+    inject_payload(msg, off, len, off + len == total);
+  }
+}
+
+std::vector<Link*> Network::path_links(NodeId src, NodeId dst) {
+  std::vector<Link*> out;
+  NodeId cur = src;
+  while (cur != dst) {
+    const Port p = tables_[cur].next_port(dst);
+    out.push_back(&link_out(cur, p));
+    cur = neighbor(shape_, cur, p);
+  }
+  return out;
+}
+
+std::uint64_t Network::total_retries() const {
+  std::uint64_t sum = 0;
+  for (const auto& l : links_) sum += l->retries();
+  return sum;
+}
+
+}  // namespace xt::net

@@ -1,0 +1,98 @@
+#pragma once
+
+// The machine-wide interconnect: routers + links on a 3D torus/mesh.
+//
+// Transfers move through the network as *chunks* (default 16 KiB): each
+// chunk is a coroutine that walks the precomputed dimension-order path,
+// occupying each link in turn for its serialization time.  Chunks of one
+// message pipeline across hops (wormhole-style), and chunks of different
+// messages interleave at shared links — both without simulating the
+// 64-byte packets individually (packetization is accounted for inside
+// Link::serialize_time).
+//
+// Ordering: links grant FIFO and paths are fixed, so all traffic between a
+// given (src, dst) pair is delivered in injection order — the in-order
+// guarantee the paper attributes to the table-based routers (§2).
+//
+// Buffering: router buffers are modeled as unbounded, i.e. a queued chunk
+// waits at a link rather than back-pressuring the sender.  The resource
+// exhaustion the paper worries about (§4.3) is NIC-level (pendings,
+// sources), which the firmware model enforces; link-level congestion still
+// shapes delivery times through queueing delay.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/coord.hpp"
+#include "net/link.hpp"
+#include "net/message.hpp"
+#include "net/routing.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace xt::net {
+
+struct NetConfig {
+  LinkConfig link{};
+  /// Transfer granularity through the network (trade-off: fidelity of
+  /// pipelining/interleaving vs. event count).  2 KiB keeps the wormhole
+  /// pipeline fine enough that a mid-sized message's wire time overlaps
+  /// its DMA injection (as the 64-byte-packet hardware does), while
+  /// keeping an 8 MB transfer at ~4k simulation events.
+  std::size_t chunk_size = 2 * 1024;
+};
+
+class Network {
+ public:
+  Network(sim::Engine& eng, Shape shape, NetConfig cfg = {},
+          std::uint64_t seed = 1);
+
+  /// Registers the receive endpoint (the NIC) for a node.
+  void attach(NodeId node, Endpoint& ep);
+
+  /// Starts a message: assigns its sequence number, stamps the e2e CRC and
+  /// injection time.  The caller (the sending NIC's Tx DMA model) then
+  /// feeds the wire with inject_header / inject_payload as it reads bytes
+  /// out of host memory.
+  void begin(const MessagePtr& msg);
+
+  /// Injects the 64-byte header packet.
+  void inject_header(const MessagePtr& msg);
+
+  /// Injects payload bytes [offset, offset+len).  `last` marks the final
+  /// chunk; its arrival triggers Endpoint::on_complete.
+  void inject_payload(const MessagePtr& msg, std::size_t offset,
+                      std::size_t len, bool last);
+
+  /// Convenience for tests and simple clients: pushes the whole message at
+  /// the injection rate of the wire itself (no NIC pacing).
+  void send(const MessagePtr& msg);
+
+  const Shape& shape() const { return shape_; }
+  sim::Engine& engine() const { return eng_; }
+  std::size_t chunk_size() const { return cfg_.chunk_size; }
+
+  /// Links along the path from src to dst, in traversal order.
+  std::vector<Link*> path_links(NodeId src, NodeId dst);
+
+  /// Total link-CRC retries across the machine (fault-injection stats).
+  std::uint64_t total_retries() const;
+
+ private:
+  /// One directed link per (node, port) pair; kLocal has none.
+  Link& link_out(NodeId node, Port p);
+  sim::CoTask<void> walk(MessagePtr msg, std::size_t bytes, bool is_header,
+                         bool is_last);
+
+  sim::Engine& eng_;
+  Shape shape_;
+  NetConfig cfg_;
+  std::vector<RoutingTable> tables_;
+  // links_[node * 6 + port]
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Endpoint*> endpoints_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace xt::net

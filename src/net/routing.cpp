@@ -1,0 +1,99 @@
+#include "net/routing.hpp"
+
+#include <cassert>
+
+namespace xt::net {
+
+const char* port_name(Port p) {
+  switch (p) {
+    case Port::kXPlus: return "x+";
+    case Port::kXMinus: return "x-";
+    case Port::kYPlus: return "y+";
+    case Port::kYMinus: return "y-";
+    case Port::kZPlus: return "z+";
+    case Port::kZMinus: return "z-";
+    case Port::kLocal: return "local";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Direction to move in one dimension: +1, -1, or 0 when already resolved.
+int dim_step(int self, int dest, int size, bool wrap) {
+  if (self == dest) return 0;
+  if (!wrap) return dest > self ? 1 : -1;
+  // Wrapped: shorter ring direction, ties toward +.
+  const int fwd = (dest - self + size) % size;   // hops going +
+  const int bwd = (self - dest + size) % size;   // hops going -
+  return fwd <= bwd ? 1 : -1;
+}
+
+}  // namespace
+
+Port route_step(const Shape& shape, Coord self, Coord dest) {
+  assert(shape.contains(self) && shape.contains(dest));
+  if (int s = dim_step(self.x, dest.x, shape.nx, shape.wrap_x); s != 0) {
+    return s > 0 ? Port::kXPlus : Port::kXMinus;
+  }
+  if (int s = dim_step(self.y, dest.y, shape.ny, shape.wrap_y); s != 0) {
+    return s > 0 ? Port::kYPlus : Port::kYMinus;
+  }
+  if (int s = dim_step(self.z, dest.z, shape.nz, shape.wrap_z); s != 0) {
+    return s > 0 ? Port::kZPlus : Port::kZMinus;
+  }
+  return Port::kLocal;
+}
+
+RoutingTable::RoutingTable(const Shape& shape, Coord self) : self_(self) {
+  table_.reserve(static_cast<std::size_t>(shape.count()));
+  for (NodeId id = 0; id < static_cast<NodeId>(shape.count()); ++id) {
+    table_.push_back(route_step(shape, self, shape.to_coord(id)));
+  }
+}
+
+namespace {
+
+Coord advance(const Shape& shape, Coord c, Port p) {
+  auto wrap = [](int v, int n) { return ((v % n) + n) % n; };
+  switch (p) {
+    case Port::kXPlus: c.x = wrap(c.x + 1, shape.nx); break;
+    case Port::kXMinus: c.x = wrap(c.x - 1, shape.nx); break;
+    case Port::kYPlus: c.y = wrap(c.y + 1, shape.ny); break;
+    case Port::kYMinus: c.y = wrap(c.y - 1, shape.ny); break;
+    case Port::kZPlus: c.z = wrap(c.z + 1, shape.nz); break;
+    case Port::kZMinus: c.z = wrap(c.z - 1, shape.nz); break;
+    case Port::kLocal: break;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<NodeId> route_path(const Shape& shape, NodeId src, NodeId dst) {
+  std::vector<NodeId> path{src};
+  Coord cur = shape.to_coord(src);
+  const Coord dest = shape.to_coord(dst);
+  // The path length is bounded by the sum of the dimension extents; guard
+  // against a (would-be) routing bug looping forever.
+  const int max_hops = shape.nx + shape.ny + shape.nz + 3;
+  for (int i = 0; i <= max_hops; ++i) {
+    const Port p = route_step(shape, cur, dest);
+    if (p == Port::kLocal) return path;
+    cur = advance(shape, cur, p);
+    path.push_back(shape.to_id(cur));
+  }
+  assert(false && "routing did not converge");
+  return path;
+}
+
+int hop_count(const Shape& shape, NodeId src, NodeId dst) {
+  return static_cast<int>(route_path(shape, src, dst).size()) - 1;
+}
+
+NodeId neighbor(const Shape& shape, NodeId node, Port p) {
+  assert(p != Port::kLocal);
+  return shape.to_id(advance(shape, shape.to_coord(node), p));
+}
+
+}  // namespace xt::net

@@ -1,0 +1,46 @@
+#pragma once
+
+// Dimension-ordered, table-based routing.
+//
+// The SeaStar routers are table-based and give every (src, dst) pair one
+// fixed path, which is what guarantees in-order packet delivery (§2).  We
+// reproduce that with classic dimension-order routing: resolve X, then Y,
+// then Z; within a wrapped dimension take the shorter ring direction
+// (ties broken toward +).  Each node precomputes a dest→port table, exactly
+// like the hardware.
+
+#include <vector>
+
+#include "net/coord.hpp"
+
+namespace xt::net {
+
+/// Picks the port a packet at `self` should take toward `dest`.
+/// Pure function of the shape; used to build tables and directly by tests.
+Port route_step(const Shape& shape, Coord self, Coord dest);
+
+/// Per-node routing table (dest node id → output port).
+class RoutingTable {
+ public:
+  RoutingTable(const Shape& shape, Coord self);
+
+  Port next_port(NodeId dest) const { return table_[dest]; }
+  Coord self() const { return self_; }
+
+ private:
+  Coord self_;
+  std::vector<Port> table_;
+};
+
+/// Full node path from src to dst (inclusive of both endpoints); the length
+/// minus one is the hop count.  Used by tests and by PtlNIDist.
+std::vector<NodeId> route_path(const Shape& shape, NodeId src, NodeId dst);
+
+/// Number of network hops between two nodes under dimension-order routing.
+int hop_count(const Shape& shape, NodeId src, NodeId dst);
+
+/// Node one hop away through `p` (with wraparound applied).  `p` must not
+/// be kLocal.
+NodeId neighbor(const Shape& shape, NodeId node, Port p);
+
+}  // namespace xt::net

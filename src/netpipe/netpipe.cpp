@@ -1,0 +1,528 @@
+#include "netpipe/netpipe.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/condition.hpp"
+#include "sim/strf.hpp"
+
+namespace xt::np {
+
+using host::Machine;
+using host::Process;
+using ptl::AckReq;
+using ptl::Api;
+using ptl::EqHandle;
+using ptl::Event;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::MdHandle;
+using ptl::ProcessId;
+using ptl::PTL_OK;
+using ptl::Unlink;
+using sim::CoTask;
+using sim::Time;
+
+namespace {
+
+constexpr ptl::MatchBits kBits = 0x4E50;  // "NP"
+constexpr std::uint32_t kPt = 3;
+
+/// Runs two coroutines concurrently and resumes when both finish.
+CoTask<void> parallel2(sim::Engine& eng, CoTask<void> x, CoTask<void> y) {
+  struct State {
+    explicit State(sim::Engine& e) : wq(e) {}
+    int remaining = 2;
+    sim::WaitQueue wq;
+  };
+  auto st = std::make_shared<State>(eng);
+  auto wrap = [](CoTask<void> t, std::shared_ptr<State> s) -> CoTask<void> {
+    co_await std::move(t);
+    if (--s->remaining == 0) s->wq.notify_all();
+  };
+  sim::spawn(wrap(std::move(x), st));
+  sim::spawn(wrap(std::move(y), st));
+  while (st->remaining > 0) co_await st->wq.wait();
+}
+
+// (Event waiting is done with cumulative per-type counters inside the
+// Portals module: a scan that merely discards non-matching events would
+// lose counts that a later wait depends on.)
+
+// ----------------------------------------------------- Portals module ----
+
+class PortalsModule final : public Module {
+ public:
+  PortalsModule(Process& a, Process& b, bool use_get)
+      : use_get_(use_get) {
+    side_[0].proc = &a;
+    side_[1].proc = &b;
+  }
+
+  const char* name() const override { return use_get_ ? "get" : "put"; }
+
+  CoTask<void> setup(std::size_t max_bytes) override {
+    for (auto& s : side_) {
+      Api& api = s.proc->api();
+      s.lbuf = s.proc->alloc(max_bytes);
+      s.rbuf = s.proc->alloc(max_bytes);
+      auto eq = co_await api.PtlEQAlloc(8192);
+      s.eq = eq.value;
+      auto me = co_await api.PtlMEAttach(
+          kPt, ProcessId{ptl::kNidAny, ptl::kPidAny}, kBits, 0,
+          Unlink::kRetain, InsPos::kAfter);
+      // Receive-side MD: remote-managed offsets so every transfer lands at
+      // the buffer base; never exhausts.
+      MdDesc rd;
+      rd.start = s.rbuf;
+      rd.length = static_cast<std::uint32_t>(max_bytes);
+      rd.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_OP_GET |
+                   ptl::PTL_MD_MANAGE_REMOTE | ptl::PTL_MD_TRUNCATE;
+      rd.eq = s.eq;
+      (void)co_await api.PtlMDAttach(me.value, rd, Unlink::kRetain);
+      // Local MD used to initiate puts/gets.
+      MdDesc ld;
+      ld.start = s.lbuf;
+      ld.length = static_cast<std::uint32_t>(max_bytes);
+      ld.eq = s.eq;
+      auto lmd = co_await api.PtlMDBind(ld, Unlink::kRetain);
+      s.md = lmd.value;
+    }
+  }
+
+  CoTask<void> pingpong(std::size_t bytes, int iters) override {
+    if (!use_get_) {
+      co_await parallel2(engine(), put_pp_side(0, bytes, iters, true),
+                         put_pp_side(1, bytes, iters, false));
+    } else {
+      co_await parallel2(engine(), get_pp_side(0, bytes, iters, true),
+                         get_pp_side(1, bytes, iters, false));
+    }
+  }
+
+  CoTask<void> stream(std::size_t bytes, int iters, int window) override {
+    if (!use_get_) {
+      co_await parallel2(engine(), put_stream_tx(0, bytes, iters, window),
+                         put_stream_rx(1, iters));
+    } else {
+      // A blocking get cannot be pipelined (§6): each one completes before
+      // the next is issued; the target side is passive.
+      Side& s = side_[0];
+      for (int i = 0; i < iters; ++i) {
+        (void)co_await s.proc->api().PtlGetRegion(
+            s.md, 0, static_cast<std::uint32_t>(bytes), peer_id(0), kPt, 0,
+            kBits, 0);
+        co_await next(s, EventType::kReplyEnd);
+      }
+    }
+  }
+
+  CoTask<void> bidir(std::size_t bytes, int iters) override {
+    if (!use_get_) {
+      co_await parallel2(engine(), put_bidir_side(0, bytes, iters),
+                         put_bidir_side(1, bytes, iters));
+    } else {
+      co_await parallel2(engine(), get_bidir_side(0, bytes, iters),
+                         get_bidir_side(1, bytes, iters));
+    }
+  }
+
+ private:
+  struct Side {
+    Process* proc = nullptr;
+    std::uint64_t lbuf = 0;
+    std::uint64_t rbuf = 0;
+    EqHandle eq;
+    MdHandle md;
+    /// Cumulative events seen / awaited, indexed by EventType.
+    std::array<std::uint64_t, 16> seen{};
+    std::array<std::uint64_t, 16> want{};
+  };
+
+  /// Waits until one more event of `t` (beyond all previously awaited ones)
+  /// has been observed on side `s`.  Every event is counted, so waits are
+  /// immune to arrival-order differences between e.g. SEND_END and PUT_END.
+  CoTask<void> next(Side& s, EventType t, std::uint64_t n = 1) {
+    const auto i = static_cast<std::size_t>(t);
+    s.want[i] += n;
+    Api& api = s.proc->api();
+    while (s.seen[i] < s.want[i]) {
+      auto ev = co_await api.PtlEQWait(s.eq);
+      if (ev.rc != PTL_OK && ev.rc != ptl::PTL_EQ_DROPPED) co_return;
+      ++s.seen[static_cast<std::size_t>(ev.value.type)];
+    }
+  }
+
+  sim::Engine& engine() { return side_[0].proc->node().engine(); }
+  ProcessId peer_id(int s) { return side_[1 - s].proc->id(); }
+  Side& side(int s) { return side_[static_cast<std::size_t>(s)]; }
+
+  CoTask<void> put_pp_side(int idx, std::size_t bytes, int iters,
+                           bool first) {
+    Side& s = side(idx);
+    Api& api = s.proc->api();
+    for (int i = 0; i < iters; ++i) {
+      if (first) {
+        (void)co_await api.PtlPutRegion(s.md, 0,
+                                        static_cast<std::uint32_t>(bytes),
+                                        AckReq::kNone, peer_id(idx), kPt, 0,
+                                        kBits, 0, 0);
+        co_await next(s, EventType::kPutEnd);
+      } else {
+        co_await next(s, EventType::kPutEnd);
+        (void)co_await api.PtlPutRegion(s.md, 0,
+                                        static_cast<std::uint32_t>(bytes),
+                                        AckReq::kNone, peer_id(idx), kPt, 0,
+                                        kBits, 0, 0);
+      }
+    }
+    // Collect every local completion so nothing leaks into the next size.
+    co_await next(s, EventType::kSendEnd, static_cast<std::uint64_t>(iters));
+  }
+
+  CoTask<void> get_pp_side(int idx, std::size_t bytes, int iters,
+                           bool first) {
+    Side& s = side(idx);
+    Api& api = s.proc->api();
+    for (int i = 0; i < iters; ++i) {
+      if (first) {
+        (void)co_await api.PtlGetRegion(s.md, 0,
+                                        static_cast<std::uint32_t>(bytes),
+                                        peer_id(idx), kPt, 0, kBits, 0);
+        co_await next(s, EventType::kReplyEnd);
+        co_await next(s, EventType::kGetEnd);
+      } else {
+        co_await next(s, EventType::kGetEnd);
+        (void)co_await api.PtlGetRegion(s.md, 0,
+                                        static_cast<std::uint32_t>(bytes),
+                                        peer_id(idx), kPt, 0, kBits, 0);
+        co_await next(s, EventType::kReplyEnd);
+      }
+    }
+  }
+
+  CoTask<void> put_stream_tx(int idx, std::size_t bytes, int iters,
+                             int window) {
+    Side& s = side(idx);
+    Api& api = s.proc->api();
+    int outstanding = 0;
+    for (int i = 0; i < iters; ++i) {
+      (void)co_await api.PtlPutRegion(s.md, 0,
+                                      static_cast<std::uint32_t>(bytes),
+                                      AckReq::kNone, peer_id(idx), kPt, 0,
+                                      kBits, 0, 0);
+      if (++outstanding >= window) {
+        co_await next(s, EventType::kSendEnd);
+        --outstanding;
+      }
+    }
+    co_await next(s, EventType::kSendEnd,
+                  static_cast<std::uint64_t>(outstanding));
+    // Wait for the receiver's sync message.
+    co_await next(s, EventType::kPutEnd);
+  }
+
+  CoTask<void> put_stream_rx(int idx, int iters) {
+    Side& s = side(idx);
+    Api& api = s.proc->api();
+    co_await next(s, EventType::kPutEnd, static_cast<std::uint64_t>(iters));
+    (void)co_await api.PtlPutRegion(s.md, 0, 1, AckReq::kNone, peer_id(idx),
+                                    kPt, 0, kBits, 0, 0);
+    co_await next(s, EventType::kSendEnd);
+  }
+
+  CoTask<void> put_bidir_side(int idx, std::size_t bytes, int iters) {
+    Side& s = side(idx);
+    Api& api = s.proc->api();
+    for (int i = 0; i < iters; ++i) {
+      (void)co_await api.PtlPutRegion(s.md, 0,
+                                      static_cast<std::uint32_t>(bytes),
+                                      AckReq::kNone, peer_id(idx), kPt, 0,
+                                      kBits, 0, 0);
+      co_await next(s, EventType::kPutEnd);
+    }
+    co_await next(s, EventType::kSendEnd, static_cast<std::uint64_t>(iters));
+  }
+
+  CoTask<void> get_bidir_side(int idx, std::size_t bytes, int iters) {
+    Side& s = side(idx);
+    Api& api = s.proc->api();
+    for (int i = 0; i < iters; ++i) {
+      (void)co_await api.PtlGetRegion(s.md, 0,
+                                      static_cast<std::uint32_t>(bytes),
+                                      peer_id(idx), kPt, 0, kBits, 0);
+      co_await next(s, EventType::kReplyEnd);
+    }
+    co_await next(s, EventType::kGetEnd, static_cast<std::uint64_t>(iters));
+  }
+
+  bool use_get_;
+  Side side_[2];
+};
+
+// --------------------------------------------------------- MPI module ----
+
+class MpiModule final : public Module {
+ public:
+  MpiModule(Process& a, Process& b, const mpi::Flavor& flavor)
+      : flavor_(flavor) {
+    const std::vector<ProcessId> ids{a.id(), b.id()};
+    comm_[0] = std::make_unique<mpi::Comm>(a, ids, 0, flavor);
+    comm_[1] = std::make_unique<mpi::Comm>(b, ids, 1, flavor);
+  }
+
+  const char* name() const override { return flavor_.name; }
+
+  CoTask<void> setup(std::size_t max_bytes) override {
+    for (int s = 0; s < 2; ++s) {
+      buf_[s] = comm(s).process().alloc(max_bytes);
+      (void)co_await comm(s).init();
+    }
+  }
+
+  CoTask<void> pingpong(std::size_t bytes, int iters) override {
+    auto first = [](mpi::Comm& c, std::uint64_t buf, std::uint32_t n,
+                    int iters_) -> CoTask<void> {
+      for (int i = 0; i < iters_; ++i) {
+        (void)co_await c.send(buf, n, 1, 1);
+        (void)co_await c.recv(buf, n, 1, 2, nullptr);
+      }
+    };
+    auto second = [](mpi::Comm& c, std::uint64_t buf, std::uint32_t n,
+                     int iters_) -> CoTask<void> {
+      for (int i = 0; i < iters_; ++i) {
+        (void)co_await c.recv(buf, n, 0, 1, nullptr);
+        (void)co_await c.send(buf, n, 0, 2);
+      }
+    };
+    co_await parallel2(engine(),
+                       first(comm(0), buf_[0],
+                             static_cast<std::uint32_t>(bytes), iters),
+                       second(comm(1), buf_[1],
+                              static_cast<std::uint32_t>(bytes), iters));
+  }
+
+  CoTask<void> stream(std::size_t bytes, int iters, int window) override {
+    auto tx = [](mpi::Comm& c, std::uint64_t buf, std::uint32_t n,
+                 int iters_, int window_) -> CoTask<void> {
+      std::vector<mpi::Request> reqs(static_cast<std::size_t>(window_));
+      int inflight = 0;
+      for (int i = 0; i < iters_; ++i) {
+        if (inflight == window_) {
+          (void)co_await c.waitall(reqs);
+          inflight = 0;
+        }
+        (void)co_await c.isend(buf, n, 1, 1,
+                               &reqs[static_cast<std::size_t>(inflight++)]);
+      }
+      (void)co_await c.waitall(
+          std::span(reqs).first(static_cast<std::size_t>(inflight)));
+      (void)co_await c.recv(buf, 4, 1, 2, nullptr);  // sync
+    };
+    auto rx = [](mpi::Comm& c, std::uint64_t buf, std::uint32_t n,
+                 int iters_) -> CoTask<void> {
+      for (int i = 0; i < iters_; ++i) {
+        (void)co_await c.recv(buf, n, 0, 1, nullptr);
+      }
+      (void)co_await c.send(buf, 4, 0, 2);
+    };
+    co_await parallel2(
+        engine(),
+        tx(comm(0), buf_[0], static_cast<std::uint32_t>(bytes), iters,
+           window),
+        rx(comm(1), buf_[1], static_cast<std::uint32_t>(bytes), iters));
+  }
+
+  CoTask<void> bidir(std::size_t bytes, int iters) override {
+    auto side = [](mpi::Comm& c, std::uint64_t buf, std::uint32_t n,
+                   int iters_, int peer) -> CoTask<void> {
+      for (int i = 0; i < iters_; ++i) {
+        mpi::Request sreq, rreq;
+        (void)co_await c.irecv(buf, n, peer, 1, &rreq);
+        (void)co_await c.isend(buf, n, peer, 1, &sreq);
+        (void)co_await c.wait(&sreq);
+        (void)co_await c.wait(&rreq);
+      }
+    };
+    co_await parallel2(
+        engine(),
+        side(comm(0), buf_[0], static_cast<std::uint32_t>(bytes), iters, 1),
+        side(comm(1), buf_[1], static_cast<std::uint32_t>(bytes), iters, 0));
+  }
+
+ private:
+  mpi::Comm& comm(int s) { return *comm_[static_cast<std::size_t>(s)]; }
+  sim::Engine& engine() { return comm(0).process().node().engine(); }
+
+  mpi::Flavor flavor_;
+  std::unique_ptr<mpi::Comm> comm_[2];
+  std::uint64_t buf_[2] = {0, 0};
+};
+
+}  // namespace
+
+std::unique_ptr<Module> make_portals_module(Process& a, Process& b,
+                                            bool use_get) {
+  return std::make_unique<PortalsModule>(a, b, use_get);
+}
+
+std::unique_ptr<Module> make_mpi_module(Process& a, Process& b,
+                                        const mpi::Flavor& flavor) {
+  return std::make_unique<MpiModule>(a, b, flavor);
+}
+
+// -------------------------------------------------------------- driver ----
+
+std::vector<std::size_t> size_ladder(const Options& opts) {
+  std::vector<std::size_t> out;
+  auto push = [&](long long v) {
+    if (v < static_cast<long long>(opts.min_bytes) ||
+        v > static_cast<long long>(opts.max_bytes)) {
+      return;
+    }
+    const auto s = static_cast<std::size_t>(v);
+    if (out.empty() || out.back() != s) out.push_back(s);
+  };
+  for (std::size_t p = 1; p <= opts.max_bytes; p *= 2) {
+    const auto base = static_cast<long long>(p);
+    push(base - opts.perturbation);
+    push(base);
+    push(base + opts.perturbation);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+int iters_for(std::size_t bytes, const Options& opts) {
+  // NetPIPE keeps each test's duration roughly constant; scale the
+  // iteration count down as the message (and thus simulation cost) grows.
+  const double scale =
+      4096.0 / (4096.0 + static_cast<double>(bytes) / 16.0);
+  const int iters = static_cast<int>(opts.base_iters * scale);
+  return std::max(opts.min_iters, iters);
+}
+
+}  // namespace
+
+std::vector<Sample> run_sweep(Machine& m, Module& mod, Pattern pattern,
+                              const Options& opts) {
+  bool setup_done = false;
+  sim::spawn([](Module& mm, std::size_t max, bool* done) -> CoTask<void> {
+    co_await mm.setup(max);
+    *done = true;
+  }(mod, opts.max_bytes, &setup_done));
+  m.run();
+  if (!setup_done) throw std::runtime_error("netpipe module setup stalled");
+
+  std::vector<Sample> out;
+  for (const std::size_t bytes : size_ladder(opts)) {
+    const int iters = iters_for(bytes, opts);
+    bool done = false;
+    const Time t0 = m.engine().now();
+    sim::spawn([](Module& mm, Pattern p, std::size_t n, int it, int win,
+                  bool* d) -> CoTask<void> {
+      switch (p) {
+        case Pattern::kPingPong: co_await mm.pingpong(n, it); break;
+        case Pattern::kStream: co_await mm.stream(n, it, win); break;
+        case Pattern::kBidir: co_await mm.bidir(n, it); break;
+      }
+      *d = true;
+    }(mod, pattern, bytes, iters, opts.stream_window, &done));
+    m.run();
+    if (!done) {
+      throw std::runtime_error(
+          sim::strf("netpipe %s stalled at %zu bytes", mod.name(), bytes));
+    }
+    const double total_us = (m.engine().now() - t0).to_us();
+
+    Sample s;
+    s.bytes = bytes;
+    switch (pattern) {
+      case Pattern::kPingPong:
+        s.usec_per_transfer = total_us / (2.0 * iters);
+        s.mbytes_per_sec =
+            static_cast<double>(bytes) / s.usec_per_transfer;
+        break;
+      case Pattern::kStream:
+        s.usec_per_transfer = total_us / iters;
+        s.mbytes_per_sec =
+            static_cast<double>(bytes) / s.usec_per_transfer;
+        break;
+      case Pattern::kBidir:
+        // One iteration moves `bytes` in EACH direction.
+        s.usec_per_transfer = total_us / iters;
+        s.mbytes_per_sec =
+            2.0 * static_cast<double>(bytes) / s.usec_per_transfer;
+        break;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+const char* transport_name(Transport t) {
+  switch (t) {
+    case Transport::kPut: return "put";
+    case Transport::kGet: return "get";
+    case Transport::kMpich1: return "mpich-1.2.6";
+    case Transport::kMpich2: return "mpich2";
+    case Transport::kPutAccel: return "put-accel";
+    case Transport::kGetAccel: return "get-accel";
+  }
+  return "?";
+}
+
+std::vector<Sample> measure(Transport t, Pattern pattern, const Options& o,
+                            const ss::Config& cfg) {
+  Machine m(net::Shape::xt3(2, 1, 1), cfg);
+  // Headroom for the transfer buffers plus the MPI module's unexpected
+  // slabs and per-operation scratch.
+  const std::size_t mem = 2 * o.max_bytes + (32u << 20);
+  const bool accel =
+      t == Transport::kPutAccel || t == Transport::kGetAccel;
+  Process& a = accel ? m.node(0).spawn_accel_process(10, mem)
+                     : m.node(0).spawn_process(10, mem);
+  Process& b = accel ? m.node(1).spawn_accel_process(10, mem)
+                     : m.node(1).spawn_process(10, mem);
+  std::unique_ptr<Module> mod;
+  switch (t) {
+    case Transport::kPut:
+    case Transport::kPutAccel:
+      mod = make_portals_module(a, b, false);
+      break;
+    case Transport::kGet:
+    case Transport::kGetAccel:
+      mod = make_portals_module(a, b, true);
+      break;
+    case Transport::kMpich1:
+      mod = make_mpi_module(a, b, mpi::Flavor::mpich1());
+      break;
+    case Transport::kMpich2:
+      mod = make_mpi_module(a, b, mpi::Flavor::mpich2());
+      break;
+  }
+  return run_sweep(m, *mod, pattern, o);
+}
+
+std::string format_table(const char* series, Pattern pattern,
+                         const std::vector<Sample>& samples) {
+  std::string out = sim::strf("# series: %s (%s)\n# %10s %14s %12s\n",
+                              series,
+                              pattern == Pattern::kPingPong ? "ping-pong"
+                              : pattern == Pattern::kStream ? "streaming"
+                                                            : "bi-directional",
+                              "bytes", "usec/xfer", "MB/s");
+  for (const Sample& s : samples) {
+    out += sim::strf("  %10zu %14.3f %12.2f\n", s.bytes, s.usec_per_transfer,
+                     s.mbytes_per_sec);
+  }
+  return out;
+}
+
+}  // namespace xt::np

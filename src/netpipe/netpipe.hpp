@@ -1,0 +1,106 @@
+#pragma once
+
+// NetPIPE-style measurement harness (§5.2 of the paper).
+//
+// Like NetPIPE 3.6.2, the driver sweeps message sizes along a
+// power-of-two ladder with +/- perturbations around each rung ("NetPIPE
+// varies the message size interval ... to cover a disparate set of
+// features, such as buffer alignment"), scales the iteration count per
+// size, and supports three traffic patterns:
+//
+//   * ping-pong     — uni-directional latency/bandwidth (Figures 4 and 5);
+//   * streaming     — back-to-back sends one way (Figure 6);
+//   * bi-directional— both directions at once (Figure 7).
+//
+// The transport under test is abstracted as a Module, exactly like
+// NetPIPE's modules: this project provides portals-put, portals-get and
+// mpi (either flavor).  Results are returned per size as (bytes, time per
+// transfer, MB/s) where MB = 10^6 bytes as in the paper's axes.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/node.hpp"
+#include "mpi/mpi.hpp"
+#include "sim/task.hpp"
+
+namespace xt::np {
+
+struct Options {
+  std::size_t min_bytes = 1;
+  std::size_t max_bytes = 8 * 1024 * 1024;
+  /// Perturbations applied around each power-of-two rung (NetPIPE default
+  /// is +/-3 bytes).
+  int perturbation = 3;
+  /// Iterations per measured size (NetPIPE auto-scales by target time; we
+  /// scale down with message size to bound simulation cost).
+  int base_iters = 24;
+  int min_iters = 3;
+  /// Streaming window: messages in flight before synchronizing.
+  int stream_window = 16;
+};
+
+struct Sample {
+  std::size_t bytes = 0;
+  double usec_per_transfer = 0.0;  // one-way time (RTT/2 for ping-pong)
+  double mbytes_per_sec = 0.0;     // MB = 1e6 bytes
+};
+
+/// One endpoint pair under test.  The module owns whatever Portals/MPI
+/// state it needs on the two processes.
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual const char* name() const = 0;
+  /// One-time setup on both processes (posts MEs, allocates EQs/buffers).
+  virtual sim::CoTask<void> setup(std::size_t max_bytes) = 0;
+  /// One ping-pong round trip of `bytes` (side 0 initiates).
+  virtual sim::CoTask<void> pingpong(std::size_t bytes, int iters) = 0;
+  /// `iters` back-to-back transfers side 0 -> side 1, then a sync.
+  virtual sim::CoTask<void> stream(std::size_t bytes, int iters,
+                                   int window) = 0;
+  /// Both sides transfer simultaneously, `iters` times.
+  virtual sim::CoTask<void> bidir(std::size_t bytes, int iters) = 0;
+};
+
+enum class Pattern { kPingPong, kStream, kBidir };
+
+/// Runs the sweep; the engine is run to quiescence for each size.
+std::vector<Sample> run_sweep(host::Machine& m, Module& mod, Pattern pattern,
+                              const Options& opts);
+
+/// The NetPIPE size ladder: 1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 19, ... —
+/// each power of two with +/- perturbation, clamped to [min, max].
+std::vector<std::size_t> size_ladder(const Options& opts);
+
+/// Renders samples as the gnuplot-style table the paper's figures plot.
+std::string format_table(const char* series, Pattern pattern,
+                         const std::vector<Sample>& samples);
+
+// ------------------------------------------------------------ modules ----
+
+/// Portals-level module: put or get variant (the paper's custom NetPIPE
+/// module: one match entry, an MD re-created per round so setup cost stays
+/// out of the measurement).
+std::unique_ptr<Module> make_portals_module(host::Process& a,
+                                            host::Process& b, bool use_get);
+
+/// MPI module over a given flavor.
+std::unique_ptr<Module> make_mpi_module(host::Process& a, host::Process& b,
+                                        const mpi::Flavor& flavor);
+
+// --------------------------------------------------- one-call benchmark ----
+
+/// The four transport series of the paper's figures, plus accelerated-mode
+/// variants of the Portals transports (the paper's future work).
+enum class Transport { kPut, kGet, kMpich1, kMpich2, kPutAccel, kGetAccel };
+const char* transport_name(Transport t);
+
+/// Builds a fresh two-node machine (neighbors on the torus) and measures
+/// one transport under one pattern.
+std::vector<Sample> measure(Transport t, Pattern pattern, const Options& o,
+                            const ss::Config& cfg = {});
+
+}  // namespace xt::np

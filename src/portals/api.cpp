@@ -1,0 +1,242 @@
+#include "portals/api.hpp"
+
+namespace xt::ptl {
+
+sim::CoTask<Res<int>> Api::PtlInit() {
+  co_await b_.call([](Library&) { return PTL_OK; }, call_cost_);
+  co_return Res<int>{PTL_OK, 1};
+}
+
+sim::CoTask<int> Api::PtlFini() {
+  co_return co_await b_.call([](Library&) { return PTL_OK; }, call_cost_);
+}
+
+sim::CoTask<Res<Limits>> Api::PtlNIInit(const Limits& desired) {
+  Res<Limits> r;
+  r.rc = co_await b_.call(
+      [&r, desired](Library& lib) {
+        return lib.ni_init(desired, &r.value);
+      },
+      call_cost_);
+  co_return r;
+}
+
+sim::CoTask<int> Api::PtlNIFini() {
+  co_return co_await b_.call([](Library& lib) { return lib.ni_fini(); },
+                             call_cost_);
+}
+
+sim::CoTask<Res<ProcessId>> Api::PtlGetId() {
+  Res<ProcessId> r;
+  r.rc = co_await b_.call(
+      [&r](Library& lib) {
+        r.value = lib.id();
+        return PTL_OK;
+      },
+      call_cost_);
+  co_return r;
+}
+
+sim::CoTask<Res<std::uint64_t>> Api::PtlNIStatus(SrIndex sr) {
+  Res<std::uint64_t> r;
+  r.rc = co_await b_.call(
+      [&r, sr](Library& lib) {
+        r.value = lib.status(sr);
+        return PTL_OK;
+      },
+      call_cost_);
+  co_return r;
+}
+
+sim::CoTask<Res<std::uint32_t>> Api::PtlNIDist(std::uint32_t nid) {
+  Res<std::uint32_t> r;
+  r.rc = co_await b_.call(
+      [&r, nid](Library& lib) {
+        const int d = lib.ni_dist(nid);
+        if (d < 0) return PTL_PROCESS_INVALID;
+        r.value = static_cast<std::uint32_t>(d);
+        return PTL_OK;
+      },
+      call_cost_);
+  co_return r;
+}
+
+sim::CoTask<Res<MeHandle>> Api::PtlMEAttach(std::uint32_t pt_index,
+                                            ProcessId match_id,
+                                            MatchBits mbits, MatchBits ibits,
+                                            Unlink unlink, InsPos pos) {
+  Res<MeHandle> r;
+  r.rc = co_await b_.call(
+      [&, pt_index, match_id, mbits, ibits, unlink, pos](Library& lib) {
+        return lib.me_attach(pt_index, match_id, mbits, ibits, unlink, pos,
+                             &r.value);
+      },
+      call_cost_);
+  co_return r;
+}
+
+sim::CoTask<Res<MeHandle>> Api::PtlMEInsert(MeHandle base, ProcessId match_id,
+                                            MatchBits mbits, MatchBits ibits,
+                                            Unlink unlink, InsPos pos) {
+  Res<MeHandle> r;
+  r.rc = co_await b_.call(
+      [&, base, match_id, mbits, ibits, unlink, pos](Library& lib) {
+        return lib.me_insert(base, match_id, mbits, ibits, unlink, pos,
+                             &r.value);
+      },
+      call_cost_);
+  co_return r;
+}
+
+sim::CoTask<int> Api::PtlMEUnlink(MeHandle me) {
+  co_return co_await b_.call(
+      [me](Library& lib) { return lib.me_unlink(me); }, call_cost_);
+}
+
+sim::CoTask<Res<MdHandle>> Api::PtlMDAttach(MeHandle me, MdDesc md,
+                                            Unlink unlink_op) {
+  Res<MdHandle> r;
+  // NOTE: capture by reference only — md contains a std::vector and GCC 12
+  // double-destroys non-trivial by-value lambda captures inside co_await
+  // expressions (the parameters outlive the awaited call).
+  r.rc = co_await b_.call(
+      [&](Library& lib) { return lib.md_attach(me, md, unlink_op, &r.value); },
+      call_cost_);
+  co_return r;
+}
+
+sim::CoTask<Res<MdHandle>> Api::PtlMDBind(MdDesc md, Unlink unlink_op) {
+  Res<MdHandle> r;
+  r.rc = co_await b_.call(
+      [&](Library& lib) { return lib.md_bind(md, unlink_op, &r.value); },
+      call_cost_);
+  co_return r;
+}
+
+sim::CoTask<int> Api::PtlMDUnlink(MdHandle md) {
+  co_return co_await b_.call(
+      [md](Library& lib) { return lib.md_unlink(md); }, call_cost_);
+}
+
+sim::CoTask<Res<MdDesc>> Api::PtlMDUpdate(MdHandle md, const MdDesc* new_md,
+                                          EqHandle test_eq) {
+  Res<MdDesc> r;
+  r.rc = co_await b_.call(
+      [&](Library& lib) {
+        return lib.md_update(md, &r.value, new_md, test_eq);
+      },
+      call_cost_);
+  co_return r;
+}
+
+sim::CoTask<Res<EqHandle>> Api::PtlEQAlloc(std::size_t count) {
+  Res<EqHandle> r;
+  r.rc = co_await b_.call(
+      [&, count](Library& lib) { return lib.eq_alloc(count, &r.value); },
+      call_cost_);
+  co_return r;
+}
+
+sim::CoTask<int> Api::PtlEQFree(EqHandle eq) {
+  co_return co_await b_.call(
+      [eq](Library& lib) { return lib.eq_free(eq); }, call_cost_);
+}
+
+sim::CoTask<Res<Event>> Api::PtlEQGet(EqHandle eq) {
+  Res<Event> r;
+  r.rc = co_await b_.call(
+      [&, eq](Library& lib) { return lib.eq_get(eq, &r.value); }, call_cost_);
+  co_return r;
+}
+
+sim::CoTask<Res<Event>> Api::PtlEQWait(EqHandle eq) {
+  for (;;) {
+    Res<Event> r = co_await PtlEQGet(eq);
+    if (r.rc != PTL_EQ_EMPTY) co_return r;
+    EventQueue* q = b_.library().eq_object(eq);
+    if (q == nullptr) co_return Res<Event>{PTL_EQ_INVALID, {}};
+    co_await q->waiters().wait();
+  }
+}
+
+sim::CoTask<Res<Event>> Api::PtlEQPoll(std::span<const EqHandle> eqs,
+                                       sim::Time timeout,
+                                       std::size_t* which) {
+  const sim::Time deadline = timeout == sim::Time::max()
+                                 ? sim::Time::max()
+                                 : b_.engine().now() + timeout;
+  // The real PtlEQPoll spins across its EQs; poll at trap granularity.
+  for (;;) {
+    for (std::size_t i = 0; i < eqs.size(); ++i) {
+      Res<Event> r = co_await PtlEQGet(eqs[i]);
+      if (r.rc != PTL_EQ_EMPTY) {
+        if (which != nullptr) *which = i;
+        co_return r;
+      }
+    }
+    if (deadline != sim::Time::max() && b_.engine().now() >= deadline) {
+      co_return Res<Event>{PTL_EQ_EMPTY, {}};
+    }
+    co_await sim::delay(b_.engine(), sim::Time::ns(200));
+  }
+}
+
+sim::CoTask<int> Api::PtlACEntry(std::uint32_t ac_index, ProcessId match_id,
+                                 std::uint32_t pt_index) {
+  co_return co_await b_.call(
+      [ac_index, match_id, pt_index](Library& lib) {
+        return lib.ac_entry(ac_index, match_id, pt_index);
+      },
+      call_cost_);
+}
+
+sim::CoTask<int> Api::PtlPut(MdHandle md, AckReq ack, ProcessId target,
+                             std::uint32_t pt_index, std::uint32_t ac_index,
+                             MatchBits mbits, std::uint64_t remote_offset,
+                             std::uint64_t hdr_data) {
+  co_return co_await b_.call(
+      [=](Library& lib) {
+        return lib.put(md, ack, target, pt_index, ac_index, mbits,
+                       remote_offset, hdr_data);
+      },
+      data_cost_);
+}
+
+sim::CoTask<int> Api::PtlPutRegion(MdHandle md, std::uint64_t offset,
+                                   std::uint32_t len, AckReq ack,
+                                   ProcessId target, std::uint32_t pt_index,
+                                   std::uint32_t ac_index, MatchBits mbits,
+                                   std::uint64_t remote_offset,
+                                   std::uint64_t hdr_data) {
+  co_return co_await b_.call(
+      [=](Library& lib) {
+        return lib.put_region(md, offset, len, ack, target, pt_index,
+                              ac_index, mbits, remote_offset, hdr_data);
+      },
+      data_cost_);
+}
+
+sim::CoTask<int> Api::PtlGet(MdHandle md, ProcessId target,
+                             std::uint32_t pt_index, std::uint32_t ac_index,
+                             MatchBits mbits, std::uint64_t remote_offset) {
+  co_return co_await b_.call(
+      [=](Library& lib) {
+        return lib.get(md, target, pt_index, ac_index, mbits, remote_offset);
+      },
+      data_cost_);
+}
+
+sim::CoTask<int> Api::PtlGetRegion(MdHandle md, std::uint64_t offset,
+                                   std::uint32_t len, ProcessId target,
+                                   std::uint32_t pt_index,
+                                   std::uint32_t ac_index, MatchBits mbits,
+                                   std::uint64_t remote_offset) {
+  co_return co_await b_.call(
+      [=](Library& lib) {
+        return lib.get_region(md, offset, len, target, pt_index, ac_index,
+                              mbits, remote_offset);
+      },
+      data_cost_);
+}
+
+}  // namespace xt::ptl

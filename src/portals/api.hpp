@@ -1,0 +1,125 @@
+#pragma once
+
+// The public Portals 3.3 API (what an application links against).
+//
+// Method names mirror the specification's C functions.  Calls that the real
+// API would execute synchronously return sim::CoTask<int> because in this
+// simulation every call costs simulated time (trap + library work); the
+// application — itself a simulated-process coroutine — co_awaits them:
+//
+//   xt::ptl::Api& ptl = process.api();
+//   co_await ptl.PtlMEAttach(0, match_any, 7, 0, ...);
+//   auto [rc, ev] = co_await ptl.PtlEQWait(eq);
+//
+// PtlEQWait is the one genuinely blocking call in Portals 3.3 and is the
+// only place the coroutine adaptation is visible: it suspends the simulated
+// process until the library posts an event (see DESIGN.md §4).
+
+#include <span>
+#include <utility>
+
+#include "portals/bridge.hpp"
+#include "portals/types.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace xt::ptl {
+
+/// Result pair for calls with an out-value.
+template <typename T>
+struct Res {
+  int rc = PTL_FAIL;
+  T value{};
+};
+
+class Api {
+ public:
+  /// `call_cost` is charged (beyond the bridge crossing) per API call;
+  /// `data_cost` per Put/Get to model header construction.
+  Api(Bridge& bridge, sim::Time call_cost, sim::Time data_cost)
+      : b_(bridge), call_cost_(call_cost), data_cost_(data_cost) {}
+
+  // --------------------------------------------------- NI lifecycle ----
+  /// PtlInit/PtlFini bookkeeping (one interface per process here).
+  sim::CoTask<Res<int>> PtlInit();  // value = max_interfaces
+  sim::CoTask<int> PtlFini();
+  /// Negotiates NI limits (optional: the NI starts pre-initialized).
+  sim::CoTask<Res<Limits>> PtlNIInit(const Limits& desired);
+  /// Tears down all MEs/MDs/EQs on the interface.
+  sim::CoTask<int> PtlNIFini();
+
+  // ------------------------------------------------------ identity ----
+  sim::CoTask<Res<ProcessId>> PtlGetId();
+  sim::CoTask<Res<std::uint64_t>> PtlNIStatus(SrIndex sr);
+  /// Network distance (hops) to another node.
+  sim::CoTask<Res<std::uint32_t>> PtlNIDist(std::uint32_t nid);
+
+  // ------------------------------------------------------------ ME ----
+  sim::CoTask<Res<MeHandle>> PtlMEAttach(std::uint32_t pt_index,
+                                         ProcessId match_id, MatchBits mbits,
+                                         MatchBits ibits, Unlink unlink,
+                                         InsPos pos);
+  sim::CoTask<Res<MeHandle>> PtlMEInsert(MeHandle base, ProcessId match_id,
+                                         MatchBits mbits, MatchBits ibits,
+                                         Unlink unlink, InsPos pos);
+  sim::CoTask<int> PtlMEUnlink(MeHandle me);
+
+  // ------------------------------------------------------------ MD ----
+  sim::CoTask<Res<MdHandle>> PtlMDAttach(MeHandle me, MdDesc md,
+                                         Unlink unlink_op);
+  sim::CoTask<Res<MdHandle>> PtlMDBind(MdDesc md, Unlink unlink_op);
+  sim::CoTask<int> PtlMDUnlink(MdHandle md);
+  sim::CoTask<Res<MdDesc>> PtlMDUpdate(MdHandle md, const MdDesc* new_md,
+                                       EqHandle test_eq);
+
+  // ------------------------------------------------------------ EQ ----
+  sim::CoTask<Res<EqHandle>> PtlEQAlloc(std::size_t count);
+  sim::CoTask<int> PtlEQFree(EqHandle eq);
+  sim::CoTask<Res<Event>> PtlEQGet(EqHandle eq);
+  /// Blocks (suspends) until an event is available.
+  sim::CoTask<Res<Event>> PtlEQWait(EqHandle eq);
+  /// Polls several EQs until one has an event or `timeout` elapses
+  /// (sim::Time::max() waits forever).  On success `which` receives the
+  /// index of the EQ that produced the event.
+  sim::CoTask<Res<Event>> PtlEQPoll(std::span<const EqHandle> eqs,
+                                    sim::Time timeout, std::size_t* which);
+
+  // ------------------------------------------------------------ AC ----
+  sim::CoTask<int> PtlACEntry(std::uint32_t ac_index, ProcessId match_id,
+                              std::uint32_t pt_index);
+
+  // ---------------------------------------------------- data movement ----
+  sim::CoTask<int> PtlPut(MdHandle md, AckReq ack, ProcessId target,
+                          std::uint32_t pt_index, std::uint32_t ac_index,
+                          MatchBits mbits, std::uint64_t remote_offset,
+                          std::uint64_t hdr_data);
+  sim::CoTask<int> PtlPutRegion(MdHandle md, std::uint64_t offset,
+                                std::uint32_t len, AckReq ack,
+                                ProcessId target, std::uint32_t pt_index,
+                                std::uint32_t ac_index, MatchBits mbits,
+                                std::uint64_t remote_offset,
+                                std::uint64_t hdr_data);
+  sim::CoTask<int> PtlGet(MdHandle md, ProcessId target,
+                          std::uint32_t pt_index, std::uint32_t ac_index,
+                          MatchBits mbits, std::uint64_t remote_offset);
+  sim::CoTask<int> PtlGetRegion(MdHandle md, std::uint64_t offset,
+                                std::uint32_t len, ProcessId target,
+                                std::uint32_t pt_index,
+                                std::uint32_t ac_index, MatchBits mbits,
+                                std::uint64_t remote_offset);
+
+  /// PtlHandleIsEqual for any handle kind.
+  template <int K>
+  static bool PtlHandleIsEqual(Handle<K> a, Handle<K> b) {
+    return a == b;
+  }
+
+  Bridge& bridge() { return b_; }
+
+ private:
+  Bridge& b_;
+  sim::Time call_cost_;
+  sim::Time data_cost_;
+};
+
+}  // namespace xt::ptl

@@ -1,0 +1,39 @@
+#pragma once
+
+// The Cray "bridge" layer (§3.2).
+//
+// API calls from a process must reach the Portals library, which may live
+// in another protection domain (the kernel, in generic mode).  A Bridge
+// abstracts that crossing: qkbridge (Catamount trap), ukbridge (Linux
+// syscall), kbridge (kernel client, no crossing), and the accelerated-mode
+// bridge (user-space library, no crossing and no kernel at all).
+//
+// `call` runs a closure against the library in its home domain, charging
+// the crossing and CPU costs; this is the "override the methods for moving
+// data to and from API and library-space" role the paper describes.
+
+#include <functional>
+
+#include "portals/library.hpp"
+#include "sim/task.hpp"
+
+namespace xt::ptl {
+
+class Bridge {
+ public:
+  virtual ~Bridge() = default;
+
+  /// Executes `fn(library)` in the library's protection domain and returns
+  /// its result.  `cost_hint` is extra library-side CPU work to charge
+  /// beyond the fixed crossing cost (e.g. header construction for PtlPut).
+  virtual sim::CoTask<int> call(std::function<int(Library&)> fn,
+                                sim::Time cost_hint) = 0;
+
+  /// Direct (zero-cost) library access for simulation plumbing that has no
+  /// real-machine analogue: EQ wait-queue parking, test assertions.
+  virtual Library& library() = 0;
+
+  virtual sim::Engine& engine() = 0;
+};
+
+}  // namespace xt::ptl

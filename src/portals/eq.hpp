@@ -1,0 +1,68 @@
+#pragma once
+
+// Portals event queue.
+//
+// A bounded ring of ptl_event_t in the owning process's memory.  The
+// library (running in kernel space in generic mode, or in user space in
+// accelerated mode) appends; the application consumes with PtlEQGet /
+// PtlEQWait.  Overflow follows the 3.3 semantics: the new event is
+// discarded and the next successful PtlEQGet returns PTL_EQ_DROPPED to
+// signal the gap.
+
+#include <cstddef>
+#include <deque>
+
+#include "portals/types.hpp"
+#include "sim/condition.hpp"
+
+namespace xt::ptl {
+
+class EventQueue {
+ public:
+  EventQueue(sim::Engine& eng, std::size_t count)
+      : capacity_(count), waiters_(eng) {}
+
+  /// Library side: append an event (stamps its sequence number).
+  void post(Event ev) {
+    ev.sequence = next_seq_++;
+    if (ring_.size() >= capacity_) {
+      dropped_ = true;
+      ++drop_count_;
+    } else {
+      ring_.push_back(ev);
+    }
+    waiters_.notify_all();
+  }
+
+  /// Application side (PtlEQGet): PTL_OK, PTL_EQ_EMPTY, or PTL_EQ_DROPPED
+  /// (an event IS returned with PTL_EQ_DROPPED; the code flags that at
+  /// least one earlier event was lost).
+  int get(Event* out) {
+    if (ring_.empty()) return PTL_EQ_EMPTY;
+    *out = ring_.front();
+    ring_.pop_front();
+    if (dropped_) {
+      dropped_ = false;
+      return PTL_EQ_DROPPED;
+    }
+    return PTL_OK;
+  }
+
+  bool empty() const { return ring_.empty(); }
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t drop_count() const { return drop_count_; }
+
+  /// PtlEQWait parks here between polls.
+  sim::WaitQueue& waiters() { return waiters_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Event> ring_;
+  bool dropped_ = false;
+  std::uint64_t drop_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  sim::WaitQueue waiters_;
+};
+
+}  // namespace xt::ptl

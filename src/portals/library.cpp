@@ -1,0 +1,987 @@
+#include "portals/library.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xt::ptl {
+
+const char* ptl_err_str(int rc) {
+  switch (rc) {
+    case PTL_OK: return "PTL_OK";
+    case PTL_FAIL: return "PTL_FAIL";
+    case PTL_NO_INIT: return "PTL_NO_INIT";
+    case PTL_NO_SPACE: return "PTL_NO_SPACE";
+    case PTL_NI_INVALID: return "PTL_NI_INVALID";
+    case PTL_PT_INDEX_INVALID: return "PTL_PT_INDEX_INVALID";
+    case PTL_PROCESS_INVALID: return "PTL_PROCESS_INVALID";
+    case PTL_MD_INVALID: return "PTL_MD_INVALID";
+    case PTL_MD_ILLEGAL: return "PTL_MD_ILLEGAL";
+    case PTL_MD_IN_USE: return "PTL_MD_IN_USE";
+    case PTL_MD_NO_UPDATE: return "PTL_MD_NO_UPDATE";
+    case PTL_ME_INVALID: return "PTL_ME_INVALID";
+    case PTL_ME_IN_USE: return "PTL_ME_IN_USE";
+    case PTL_ME_LIST_TOO_LONG: return "PTL_ME_LIST_TOO_LONG";
+    case PTL_EQ_INVALID: return "PTL_EQ_INVALID";
+    case PTL_EQ_EMPTY: return "PTL_EQ_EMPTY";
+    case PTL_EQ_DROPPED: return "PTL_EQ_DROPPED";
+    case PTL_AC_INDEX_INVALID: return "PTL_AC_INDEX_INVALID";
+    case PTL_HANDLE_INVALID: return "PTL_HANDLE_INVALID";
+    case PTL_IFACE_INVALID: return "PTL_IFACE_INVALID";
+    case PTL_PID_INVALID: return "PTL_PID_INVALID";
+    case PTL_SEGV: return "PTL_SEGV";
+    default: return "PTL_UNKNOWN_ERROR";
+  }
+}
+
+const char* event_type_str(EventType t) {
+  switch (t) {
+    case EventType::kGetStart: return "GET_START";
+    case EventType::kGetEnd: return "GET_END";
+    case EventType::kPutStart: return "PUT_START";
+    case EventType::kPutEnd: return "PUT_END";
+    case EventType::kReplyStart: return "REPLY_START";
+    case EventType::kReplyEnd: return "REPLY_END";
+    case EventType::kSendStart: return "SEND_START";
+    case EventType::kSendEnd: return "SEND_END";
+    case EventType::kAck: return "ACK";
+    case EventType::kUnlink: return "UNLINK";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t token_of(const WireHeader& h) {
+  return (static_cast<std::uint64_t>(h.md_gen) << 32) | h.md_id;
+}
+
+void token_into(WireHeader& h, std::uint64_t token) {
+  h.md_id = static_cast<std::uint32_t>(token & 0xFFFFFFFFu);
+  h.md_gen = static_cast<std::uint32_t>(token >> 32);
+}
+
+}  // namespace
+
+Library::Library(sim::Engine& eng, Config cfg, Nal& nal, Memory& mem)
+    : eng_(eng), cfg_(cfg), nal_(nal), mem_(mem) {
+  pt_.resize(cfg_.limits.max_pt_index);
+  ac_.resize(cfg_.limits.max_ac_index);
+  eqs_.resize(cfg_.limits.max_eqs);
+  eq_gens_.assign(cfg_.limits.max_eqs, 1);
+  if (cfg_.permissive_ac0 && !ac_.empty()) {
+    ac_[0].set = true;
+    ac_[0].match_id = ProcessId{kNidAny, kPidAny};
+    ac_[0].pt_index = kPtIndexAny;
+  }
+}
+
+// -------------------------------------------------------------- NI ----
+
+int Library::ni_init(const Limits& desired, Limits* actual) {
+  for (const auto& me : mes_) {
+    if (me.live) return PTL_NI_INVALID;
+  }
+  for (const auto& md : mds_) {
+    if (md.live) return PTL_NI_INVALID;
+  }
+  for (const auto& eq : eqs_) {
+    if (eq != nullptr) return PTL_NI_INVALID;
+  }
+  // Hard caps of this implementation.
+  static constexpr Limits kMax{/*max_mes=*/65536, /*max_mds=*/65536,
+                               /*max_eqs=*/1024, /*max_ac_index=*/64,
+                               /*max_pt_index=*/256, /*max_me_list=*/65536};
+  Limits got;
+  got.max_mes = std::min(desired.max_mes, kMax.max_mes);
+  got.max_mds = std::min(desired.max_mds, kMax.max_mds);
+  got.max_eqs = std::min(desired.max_eqs, kMax.max_eqs);
+  got.max_ac_index = std::min(desired.max_ac_index, kMax.max_ac_index);
+  got.max_pt_index = std::min(desired.max_pt_index, kMax.max_pt_index);
+  got.max_me_list = std::min(desired.max_me_list, kMax.max_me_list);
+  cfg_.limits = got;
+  pt_.assign(got.max_pt_index, PtEntry{});
+  ac_.assign(got.max_ac_index, AcSlot{});
+  eqs_.resize(got.max_eqs);
+  eq_gens_.resize(got.max_eqs, 1);
+  if (cfg_.permissive_ac0 && !ac_.empty()) {
+    ac_[0].set = true;
+    ac_[0].match_id = ProcessId{kNidAny, kPidAny};
+    ac_[0].pt_index = kPtIndexAny;
+  }
+  if (actual != nullptr) *actual = got;
+  return PTL_OK;
+}
+
+int Library::ni_fini() {
+  for (std::uint32_t i = 0; i < mes_.size(); ++i) {
+    if (mes_[i].live) unlink_me_internal(i);
+  }
+  for (auto& md : mds_) {
+    if (md.live) {
+      md.live = false;
+      ++md.gen;
+    }
+  }
+  for (std::uint32_t i = 0; i < eqs_.size(); ++i) {
+    if (eqs_[i] != nullptr) {
+      eqs_[i].reset();
+      ++eq_gens_[i];
+    }
+  }
+  ops_.clear();
+  return PTL_OK;
+}
+
+// ------------------------------------------------------------------ EQ ----
+
+int Library::eq_alloc(std::size_t count, EqHandle* out) {
+  if (count == 0) return PTL_EQ_INVALID;
+  for (std::uint32_t i = 0; i < eqs_.size(); ++i) {
+    if (eqs_[i] == nullptr) {
+      eqs_[i] = std::make_unique<EventQueue>(eng_, count);
+      *out = EqHandle{i, eq_gens_[i]};
+      return PTL_OK;
+    }
+  }
+  return PTL_NO_SPACE;
+}
+
+int Library::eq_free(EqHandle eq) {
+  if (eq_object(eq) == nullptr) return PTL_EQ_INVALID;
+  eqs_[eq.idx].reset();
+  ++eq_gens_[eq.idx];
+  return PTL_OK;
+}
+
+int Library::eq_get(EqHandle eq, Event* out) {
+  EventQueue* q = eq_object(eq);
+  if (q == nullptr) return PTL_EQ_INVALID;
+  return q->get(out);
+}
+
+EventQueue* Library::eq_object(EqHandle eq) {
+  if (!eq.valid() || eq.idx >= eqs_.size() || eqs_[eq.idx] == nullptr ||
+      eq_gens_[eq.idx] != eq.gen) {
+    return nullptr;
+  }
+  return eqs_[eq.idx].get();
+}
+
+// ------------------------------------------------------------------ ME ----
+
+Library::MeRec* Library::me_deref(MeHandle h) {
+  if (!h.valid() || h.idx >= mes_.size()) return nullptr;
+  MeRec& me = mes_[h.idx];
+  return (me.live && me.gen == h.gen) ? &me : nullptr;
+}
+
+int Library::me_attach(std::uint32_t pt_index, ProcessId match_id,
+                       MatchBits mbits, MatchBits ibits, Unlink unlink,
+                       InsPos pos, MeHandle* out) {
+  if (pt_index >= pt_.size()) return PTL_PT_INDEX_INVALID;
+  PtEntry& pt = pt_[pt_index];
+  if (pt.length >= cfg_.limits.max_me_list) return PTL_ME_LIST_TOO_LONG;
+  std::uint32_t idx = kNone;
+  for (std::uint32_t i = 0; i < mes_.size(); ++i) {
+    if (!mes_[i].live) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == kNone) {
+    if (mes_.size() >= cfg_.limits.max_mes) return PTL_NO_SPACE;
+    idx = static_cast<std::uint32_t>(mes_.size());
+    mes_.emplace_back();
+  }
+  MeRec& me = mes_[idx];
+  const std::uint32_t gen = me.gen;
+  me = MeRec{};
+  me.live = true;
+  me.gen = gen;
+  me.pt_index = pt_index;
+  me.match_id = match_id;
+  me.mbits = mbits;
+  me.ibits = ibits;
+  me.unlink = unlink;
+
+  if (pos == InsPos::kBefore) {  // head of the match list
+    me.next = pt.head;
+    if (pt.head != kNone) mes_[pt.head].prev = idx;
+    pt.head = idx;
+    if (pt.tail == kNone) pt.tail = idx;
+  } else {  // tail
+    me.prev = pt.tail;
+    if (pt.tail != kNone) mes_[pt.tail].next = idx;
+    pt.tail = idx;
+    if (pt.head == kNone) pt.head = idx;
+  }
+  ++pt.length;
+  *out = MeHandle{idx, me.gen};
+  return PTL_OK;
+}
+
+int Library::me_insert(MeHandle base, ProcessId match_id, MatchBits mbits,
+                       MatchBits ibits, Unlink unlink, InsPos pos,
+                       MeHandle* out) {
+  MeRec* b = me_deref(base);
+  if (b == nullptr) return PTL_ME_INVALID;
+  PtEntry& pt = pt_[b->pt_index];
+  if (pt.length >= cfg_.limits.max_me_list) return PTL_ME_LIST_TOO_LONG;
+  std::uint32_t idx = kNone;
+  for (std::uint32_t i = 0; i < mes_.size(); ++i) {
+    if (!mes_[i].live) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == kNone) {
+    if (mes_.size() >= cfg_.limits.max_mes) return PTL_NO_SPACE;
+    idx = static_cast<std::uint32_t>(mes_.size());
+    mes_.emplace_back();
+    b = me_deref(base);  // re-derive: emplace_back may reallocate
+  }
+  MeRec& me = mes_[idx];
+  const std::uint32_t gen = me.gen;
+  me = MeRec{};
+  me.live = true;
+  me.gen = gen;
+  me.pt_index = b->pt_index;
+  me.match_id = match_id;
+  me.mbits = mbits;
+  me.ibits = ibits;
+  me.unlink = unlink;
+
+  const std::uint32_t bidx = base.idx;
+  if (pos == InsPos::kBefore) {
+    me.prev = mes_[bidx].prev;
+    me.next = bidx;
+    if (me.prev != kNone) {
+      mes_[me.prev].next = idx;
+    } else {
+      pt.head = idx;
+    }
+    mes_[bidx].prev = idx;
+  } else {
+    me.next = mes_[bidx].next;
+    me.prev = bidx;
+    if (me.next != kNone) {
+      mes_[me.next].prev = idx;
+    } else {
+      pt.tail = idx;
+    }
+    mes_[bidx].next = idx;
+  }
+  ++pt.length;
+  *out = MeHandle{idx, me.gen};
+  return PTL_OK;
+}
+
+void Library::unlink_me_internal(std::uint32_t idx) {
+  MeRec& me = mes_[idx];
+  PtEntry& pt = pt_[me.pt_index];
+  if (me.prev != kNone) {
+    mes_[me.prev].next = me.next;
+  } else {
+    pt.head = me.next;
+  }
+  if (me.next != kNone) {
+    mes_[me.next].prev = me.prev;
+  } else {
+    pt.tail = me.prev;
+  }
+  --pt.length;
+  me.live = false;
+  ++me.gen;
+  me.next = me.prev = kNone;
+}
+
+int Library::me_unlink(MeHandle meh) {
+  MeRec* me = me_deref(meh);
+  if (me == nullptr) return PTL_ME_INVALID;
+  if (me->md.valid()) {
+    MdRec* md = md_deref(me->md);
+    if (md != nullptr) {
+      if (md->pending_ops > 0) return PTL_ME_IN_USE;
+      md->live = false;
+      ++md->gen;
+    }
+  }
+  unlink_me_internal(meh.idx);
+  return PTL_OK;
+}
+
+// ------------------------------------------------------------------ MD ----
+
+Library::MdRec* Library::md_deref(MdHandle h) {
+  if (!h.valid() || h.idx >= mds_.size()) return nullptr;
+  MdRec& md = mds_[h.idx];
+  return (md.live && md.gen == h.gen) ? &md : nullptr;
+}
+
+bool Library::md_active(const MdRec& md) const {
+  return md.live && !md.inactive && md.threshold != 0;
+}
+
+namespace {
+/// Validates and canonicalizes an MD description.  For IOVEC descriptors
+/// the total length is computed from the segments.
+int validate_md_desc(MdDesc& d, const Memory& mem) {
+  if ((d.options & PTL_MD_IOVEC) != 0) {
+    if (d.iovecs.empty() || d.iovecs.size() > 64) return PTL_MD_ILLEGAL;
+    std::uint64_t total = 0;
+    for (const IoVec& v : d.iovecs) {
+      if (v.length > 0 && !mem.valid(v.start, v.length)) return PTL_SEGV;
+      total += v.length;
+    }
+    if (total > 0xFFFFFFFFull) return PTL_MD_ILLEGAL;
+    d.length = static_cast<std::uint32_t>(total);
+  } else {
+    if (!d.iovecs.empty()) return PTL_MD_ILLEGAL;  // flag/field mismatch
+    if (d.length > 0 && !mem.valid(d.start, d.length)) return PTL_SEGV;
+  }
+  if ((d.options & PTL_MD_MAX_SIZE) != 0 && d.max_size == 0) {
+    return PTL_MD_ILLEGAL;
+  }
+  if (d.threshold < PTL_MD_THRESH_INF) return PTL_MD_ILLEGAL;
+  return PTL_OK;
+}
+}  // namespace
+
+std::vector<IoVec> Library::md_slice(const MdDesc& desc, std::uint64_t offset,
+                                     std::uint32_t len) {
+  std::vector<IoVec> out;
+  if (len == 0) return out;
+  if ((desc.options & PTL_MD_IOVEC) == 0) {
+    out.push_back(IoVec{desc.start + offset, len});
+    return out;
+  }
+  std::uint64_t pos = 0;
+  std::uint32_t remaining = len;
+  for (const IoVec& v : desc.iovecs) {
+    if (remaining == 0) break;
+    const std::uint64_t seg_end = pos + v.length;
+    if (offset < seg_end) {
+      const std::uint64_t within = offset > pos ? offset - pos : 0;
+      const std::uint32_t take = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(v.length - within, remaining));
+      out.push_back(IoVec{v.start + within, take});
+      remaining -= take;
+      offset += take;
+    }
+    pos = seg_end;
+  }
+  return out;
+}
+
+int Library::md_attach(MeHandle meh, MdDesc desc, Unlink unlink_op,
+                       MdHandle* out) {
+  MeRec* me = me_deref(meh);
+  if (me == nullptr) return PTL_ME_INVALID;
+  if (me->md.valid() && md_deref(me->md) != nullptr) return PTL_ME_IN_USE;
+  if (int rc = validate_md_desc(desc, mem_); rc != PTL_OK) return rc;
+  // (validate_md_desc canonicalized desc.length for IOVEC descriptors)
+  if (desc.eq.valid() && eq_object(desc.eq) == nullptr) return PTL_EQ_INVALID;
+
+  std::uint32_t idx = kNone;
+  for (std::uint32_t i = 0; i < mds_.size(); ++i) {
+    if (!mds_[i].live) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == kNone) {
+    if (mds_.size() >= cfg_.limits.max_mds) return PTL_NO_SPACE;
+    idx = static_cast<std::uint32_t>(mds_.size());
+    mds_.emplace_back();
+    me = me_deref(meh);  // re-derive after potential reallocation
+  }
+  MdRec& md = mds_[idx];
+  const std::uint32_t gen = md.gen;
+  md = MdRec{};
+  md.live = true;
+  md.gen = gen;
+  md.desc = desc;
+  md.unlink_op = unlink_op;
+  md.me = meh;
+  md.threshold = desc.threshold;
+  me->md = MdHandle{idx, md.gen};
+  *out = me->md;
+  return PTL_OK;
+}
+
+int Library::md_bind(MdDesc desc, Unlink unlink_op, MdHandle* out) {
+  if (int rc = validate_md_desc(desc, mem_); rc != PTL_OK) return rc;
+  if (desc.eq.valid() && eq_object(desc.eq) == nullptr) return PTL_EQ_INVALID;
+  std::uint32_t idx = kNone;
+  for (std::uint32_t i = 0; i < mds_.size(); ++i) {
+    if (!mds_[i].live) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == kNone) {
+    if (mds_.size() >= cfg_.limits.max_mds) return PTL_NO_SPACE;
+    idx = static_cast<std::uint32_t>(mds_.size());
+    mds_.emplace_back();
+  }
+  MdRec& md = mds_[idx];
+  const std::uint32_t gen = md.gen;
+  md = MdRec{};
+  md.live = true;
+  md.gen = gen;
+  md.desc = desc;
+  md.unlink_op = unlink_op;
+  md.threshold = desc.threshold;
+  *out = MdHandle{idx, md.gen};
+  return PTL_OK;
+}
+
+int Library::md_unlink(MdHandle mdh) {
+  MdRec* md = md_deref(mdh);
+  if (md == nullptr) return PTL_MD_INVALID;
+  if (md->pending_ops > 0) return PTL_MD_IN_USE;
+  if (md->me.valid()) {
+    if (MeRec* me = me_deref(md->me)) me->md = MdHandle{};
+  }
+  md->live = false;
+  ++md->gen;
+  return PTL_OK;
+}
+
+int Library::md_update(MdHandle mdh, MdDesc* old_desc, const MdDesc* new_desc,
+                       EqHandle test_eq) {
+  MdRec* md = md_deref(mdh);
+  if (md == nullptr) return PTL_MD_INVALID;
+  if (old_desc != nullptr) *old_desc = md->desc;
+  if (new_desc == nullptr) return PTL_OK;  // pure query
+  if (test_eq.valid()) {
+    EventQueue* q = eq_object(test_eq);
+    if (q == nullptr) return PTL_EQ_INVALID;
+    if (!q->empty()) return PTL_MD_NO_UPDATE;
+  }
+  if (md->pending_ops > 0) return PTL_MD_NO_UPDATE;
+  MdDesc canon = *new_desc;
+  if (int rc = validate_md_desc(canon, mem_); rc != PTL_OK) return rc;
+  md->desc = canon;
+  md->threshold = canon.threshold;
+  md->local_offset = 0;
+  md->inactive = false;
+  return PTL_OK;
+}
+
+// ------------------------------------------------------------------ AC ----
+
+int Library::ac_entry(std::uint32_t ac_index, ProcessId match_id,
+                      std::uint32_t pt_index) {
+  if (ac_index >= ac_.size()) return PTL_AC_INDEX_INVALID;
+  if (pt_index != kPtIndexAny && pt_index >= pt_.size()) {
+    return PTL_PT_INDEX_INVALID;
+  }
+  ac_[ac_index] = AcSlot{true, match_id, pt_index};
+  return PTL_OK;
+}
+
+bool Library::ac_check(const WireHeader& hdr) {
+  if (hdr.ac_index >= ac_.size() || !ac_[hdr.ac_index].set) {
+    ++perm_violations_;
+    return false;
+  }
+  const AcSlot& ac = ac_[hdr.ac_index];
+  const bool nid_ok = ac.match_id.nid == kNidAny ||
+                      ac.match_id.nid == hdr.src_nid;
+  const bool pid_ok = ac.match_id.pid == kPidAny ||
+                      ac.match_id.pid == hdr.src_pid;
+  const bool pt_ok = ac.pt_index == kPtIndexAny || ac.pt_index == hdr.pt_index;
+  if (!nid_ok || !pid_ok || !pt_ok) {
+    ++perm_violations_;
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ matching ----
+
+bool Library::me_matches(const MeRec& me, const WireHeader& hdr) {
+  const bool nid_ok =
+      me.match_id.nid == kNidAny || me.match_id.nid == hdr.src_nid;
+  const bool pid_ok =
+      me.match_id.pid == kPidAny || me.match_id.pid == hdr.src_pid;
+  const bool bits_ok = ((me.mbits ^ hdr.match_bits) & ~me.ibits) == 0;
+  return nid_ok && pid_ok && bits_ok;
+}
+
+std::uint32_t Library::match_walk(const WireHeader& hdr, bool is_get,
+                                  std::uint64_t* offset_out,
+                                  std::uint32_t* mlength_out,
+                                  std::size_t* walked_out) {
+  if (hdr.pt_index >= pt_.size()) {
+    *walked_out = 0;
+    return kNone;
+  }
+  std::size_t walked = 0;
+  for (std::uint32_t idx = pt_[hdr.pt_index].head; idx != kNone;
+       idx = mes_[idx].next) {
+    ++walked;
+    MeRec& me = mes_[idx];
+    if (!me_matches(me, hdr)) continue;
+    MdRec* md = me.md.valid() ? md_deref(me.md) : nullptr;
+    if (md == nullptr || !md_active(*md)) continue;
+    const unsigned need = is_get ? PTL_MD_OP_GET : PTL_MD_OP_PUT;
+    if ((md->desc.options & need) == 0) continue;
+
+    const bool manage_remote = (md->desc.options & PTL_MD_MANAGE_REMOTE) != 0;
+    const std::uint64_t offset =
+        manage_remote ? hdr.remote_offset : md->local_offset;
+    std::uint32_t mlength;
+    if (hdr.length == 0) {
+      // Zero-length operations need no buffer space; they match anywhere.
+      mlength = 0;
+    } else if (offset >= md->desc.length) {
+      if ((md->desc.options & PTL_MD_TRUNCATE) == 0) continue;
+      mlength = 0;
+    } else {
+      const std::uint64_t space = md->desc.length - offset;
+      if (hdr.length > space) {
+        if ((md->desc.options & PTL_MD_TRUNCATE) == 0) continue;
+        mlength = static_cast<std::uint32_t>(space);
+      } else {
+        mlength = hdr.length;
+      }
+    }
+    *offset_out = offset;
+    *mlength_out = mlength;
+    *walked_out = walked;
+    return idx;
+  }
+  *walked_out = walked;
+  return kNone;
+}
+
+void Library::md_consume(std::uint32_t me_idx, MdRec& md, std::uint64_t offset,
+                         std::uint32_t mlength, bool manage_remote) {
+  (void)me_idx;
+  if (!manage_remote) md.local_offset = offset + mlength;
+  if (md.threshold != PTL_MD_THRESH_INF && md.threshold > 0) {
+    --md.threshold;
+    if (md.threshold == 0) md.inactive = true;
+  }
+  // PTL_MD_MAX_SIZE: retire the MD once it can no longer accept a
+  // maximum-sized message (the Lustre buffer-carousel idiom).
+  if ((md.desc.options & PTL_MD_MAX_SIZE) != 0 &&
+      md.desc.length - md.local_offset < md.desc.max_size) {
+    md.inactive = true;
+  }
+}
+
+// ------------------------------------------------------------- events ----
+
+Event Library::make_event(const OpRec& op, EventType type) const {
+  Event ev;
+  ev.type = type;
+  ev.initiator = op.peer;
+  ev.pt_index = op.pt_index;
+  ev.match_bits = op.mbits;
+  ev.rlength = op.rlength;
+  ev.mlength = op.mlength;
+  ev.offset = op.offset;
+  ev.md_handle = op.md;
+  ev.hdr_data = op.hdr_data;
+  ev.link = op.link;
+  return ev;
+}
+
+void Library::post_event(const MdRec& md, Event ev) {
+  if (!md.desc.eq.valid()) return;
+  if ((md.desc.options & PTL_MD_EVENT_START_DISABLE) != 0 &&
+      (ev.type == EventType::kPutStart || ev.type == EventType::kGetStart ||
+       ev.type == EventType::kReplyStart ||
+       ev.type == EventType::kSendStart)) {
+    return;
+  }
+  if ((md.desc.options & PTL_MD_EVENT_END_DISABLE) != 0 &&
+      (ev.type == EventType::kPutEnd || ev.type == EventType::kGetEnd ||
+       ev.type == EventType::kReplyEnd || ev.type == EventType::kSendEnd)) {
+    return;
+  }
+  ev.md = md.desc;
+  ev.user_ptr = md.desc.user_ptr;
+  post_event_to(md.desc.eq, ev);
+}
+
+void Library::post_event_to(EqHandle eq, Event ev) {
+  if (EventQueue* q = eq_object(eq)) q->post(ev);
+}
+
+void Library::auto_unlink(MdHandle mdh) {
+  MdRec* md = md_deref(mdh);
+  if (md == nullptr) return;
+  Event ev;
+  ev.type = EventType::kUnlink;
+  ev.md_handle = mdh;
+  ev.md = md->desc;
+  ev.user_ptr = md->desc.user_ptr;
+  post_event(*md, ev);
+  if (md->me.valid()) {
+    const std::uint32_t me_idx = md->me.idx;
+    if (MeRec* me = me_deref(md->me)) {
+      me->md = MdHandle{};
+      // PTL_UNLINK on the ME: it goes away with its MD.
+      if (me->unlink == Unlink::kUnlink) unlink_me_internal(me_idx);
+    }
+  }
+  md->live = false;
+  ++md->gen;
+}
+
+void Library::release_op_md(MdHandle mdh) {
+  MdRec* md = md_deref(mdh);
+  if (md == nullptr) return;
+  assert(md->pending_ops > 0);
+  --md->pending_ops;
+  if (md->pending_ops == 0 && md->unlink_when_idle) {
+    auto_unlink(mdh);
+  }
+}
+
+// ----------------------------------------------------------- initiation ----
+
+int Library::start_outgoing(OpRec::Kind kind, Nal::TxKind txkind,
+                            MdHandle mdh, std::uint64_t offset,
+                            std::uint32_t len, AckReq ack, ProcessId target,
+                            std::uint32_t pt_index, std::uint32_t ac_index,
+                            MatchBits mbits, std::uint64_t remote_offset,
+                            std::uint64_t hdr_data) {
+  MdRec* md = md_deref(mdh);
+  if (md == nullptr || !md_active(*md)) return PTL_MD_INVALID;
+  if (offset + len > md->desc.length) return PTL_MD_ILLEGAL;
+  if (pt_index >= cfg_.limits.max_pt_index) return PTL_PT_INDEX_INVALID;
+
+  // Consume one operation on the initiating MD.
+  if (md->threshold != PTL_MD_THRESH_INF) {
+    --md->threshold;
+    if (md->threshold == 0) md->inactive = true;
+  }
+  ++md->pending_ops;
+  if (md->inactive && md->unlink_op == Unlink::kUnlink) {
+    md->unlink_when_idle = true;
+  }
+
+  const std::uint64_t token = next_token_++;
+  OpRec op;
+  op.kind = kind;
+  op.md = mdh;
+  op.link = next_link_++;
+  op.pt_index = pt_index;
+  op.mbits = mbits;
+  op.peer = target;
+  op.rlength = len;
+  op.mlength = len;
+  op.offset = offset;
+  op.hdr_data = hdr_data;
+  op.ack = ack;
+
+  WireHeader hdr;
+  hdr.op = (kind == OpRec::Kind::kGetOut) ? WireOp::kGet : WireOp::kPut;
+  hdr.ack_req = ack;
+  hdr.src_nid = cfg_.id.nid;
+  hdr.src_pid = cfg_.id.pid;
+  hdr.dst_pid = target.pid;
+  hdr.pt_index = static_cast<std::uint8_t>(pt_index);
+  hdr.ac_index = static_cast<std::uint8_t>(ac_index);
+  hdr.match_bits = mbits;
+  hdr.remote_offset = remote_offset;
+  hdr.length = len;
+  hdr.hdr_data = hdr_data;
+  token_into(hdr, token);
+
+  // SEND_START for puts: the transmit has been handed to the network stack.
+  if (kind == OpRec::Kind::kPutOut) {
+    post_event(*md, make_event(op, EventType::kSendStart));
+  }
+  ops_.emplace(token, op);
+  ++msgs_sent_;
+
+  std::vector<IoVec> payload;
+  if (kind == OpRec::Kind::kPutOut) {
+    payload = md_slice(md->desc, offset, len);
+  }
+  return nal_.send(txkind, target.nid, hdr, std::move(payload), token);
+}
+
+int Library::put(MdHandle md, AckReq ack, ProcessId target,
+                 std::uint32_t pt_index, std::uint32_t ac_index,
+                 MatchBits mbits, std::uint64_t remote_offset,
+                 std::uint64_t hdr_data) {
+  MdRec* rec = md_deref(md);
+  if (rec == nullptr) return PTL_MD_INVALID;
+  return put_region(md, 0, rec->desc.length, ack, target, pt_index, ac_index,
+                    mbits, remote_offset, hdr_data);
+}
+
+int Library::put_region(MdHandle md, std::uint64_t offset, std::uint32_t len,
+                        AckReq ack, ProcessId target, std::uint32_t pt_index,
+                        std::uint32_t ac_index, MatchBits mbits,
+                        std::uint64_t remote_offset, std::uint64_t hdr_data) {
+  return start_outgoing(OpRec::Kind::kPutOut, Nal::TxKind::kPut, md, offset,
+                        len, ack, target, pt_index, ac_index, mbits,
+                        remote_offset, hdr_data);
+}
+
+int Library::get(MdHandle md, ProcessId target, std::uint32_t pt_index,
+                 std::uint32_t ac_index, MatchBits mbits,
+                 std::uint64_t remote_offset) {
+  MdRec* rec = md_deref(md);
+  if (rec == nullptr) return PTL_MD_INVALID;
+  return get_region(md, 0, rec->desc.length, target, pt_index, ac_index,
+                    mbits, remote_offset);
+}
+
+int Library::get_region(MdHandle md, std::uint64_t offset, std::uint32_t len,
+                        ProcessId target, std::uint32_t pt_index,
+                        std::uint32_t ac_index, MatchBits mbits,
+                        std::uint64_t remote_offset) {
+  return start_outgoing(OpRec::Kind::kGetOut, Nal::TxKind::kGetRequest, md,
+                        offset, len, AckReq::kNone, target, pt_index,
+                        ac_index, mbits, remote_offset, 0);
+}
+
+// ------------------------------------------------------------ wire side ----
+
+Library::RxDecision Library::on_put_header(const WireHeader& hdr) {
+  ++msgs_received_;
+  RxDecision d;
+  if (!ac_check(hdr)) return d;
+  std::uint64_t offset = 0;
+  std::uint32_t mlength = 0;
+  const std::uint32_t me_idx =
+      match_walk(hdr, /*is_get=*/false, &offset, &mlength, &d.entries_walked);
+  if (me_idx == kNone) {
+    ++drops_;
+    return d;
+  }
+  MeRec& me = mes_[me_idx];
+  const MdHandle mdh = me.md;
+  MdRec& md = *md_deref(mdh);
+
+  const std::uint64_t token = next_token_++;
+  OpRec op;
+  op.kind = OpRec::Kind::kPutIn;
+  op.md = mdh;
+  op.link = next_link_++;
+  op.pt_index = hdr.pt_index;
+  op.mbits = hdr.match_bits;
+  op.peer = ProcessId{hdr.src_nid, hdr.src_pid};
+  op.rlength = hdr.length;
+  op.mlength = mlength;
+  op.offset = offset;
+  op.hdr_data = hdr.hdr_data;
+  op.ack = hdr.ack_req;
+  if (hdr.ack_req == AckReq::kAck &&
+      (md.desc.options & PTL_MD_ACK_DISABLE) == 0) {
+    WireHeader ack;
+    ack.op = WireOp::kAck;
+    ack.src_nid = cfg_.id.nid;
+    ack.src_pid = cfg_.id.pid;
+    ack.dst_pid = hdr.src_pid;
+    ack.pt_index = hdr.pt_index;
+    ack.match_bits = hdr.match_bits;
+    ack.length = mlength;  // mlength reported back to the initiator
+    ack.md_id = hdr.md_id;
+    ack.md_gen = hdr.md_gen;
+    op.ack_hdr = ack;
+  }
+
+  ++md.pending_ops;
+  md_consume(me_idx, md, offset, mlength,
+             (md.desc.options & PTL_MD_MANAGE_REMOTE) != 0);
+  if (md.inactive && md.unlink_op == Unlink::kUnlink) {
+    md.unlink_when_idle = true;
+  }
+
+  post_event(md, make_event(op, EventType::kPutStart));
+  ops_.emplace(token, op);
+
+  d.deliver = true;
+  d.mlength = mlength;
+  d.segments = md_slice(md.desc, offset, mlength);
+  d.token = token;
+  return d;
+}
+
+Library::RxDecision Library::on_reply_header(const WireHeader& hdr) {
+  RxDecision d;
+  auto it = ops_.find(token_of(hdr));
+  if (it == ops_.end() || it->second.kind != OpRec::Kind::kGetOut) {
+    ++drops_;
+    return d;
+  }
+  OpRec& op = it->second;
+  MdRec* md = md_deref(op.md);
+  if (md == nullptr) {
+    ops_.erase(it);
+    ++drops_;
+    return d;
+  }
+  op.kind = OpRec::Kind::kReplyIn;
+  op.mlength = std::min<std::uint64_t>(hdr.length, op.rlength);
+  post_event(*md, make_event(op, EventType::kReplyStart));
+  d.deliver = true;
+  d.mlength = static_cast<std::uint32_t>(op.mlength);
+  d.segments = md_slice(md->desc, op.offset,
+                        static_cast<std::uint32_t>(op.mlength));
+  d.token = it->first;
+  return d;
+}
+
+std::optional<WireHeader> Library::deposited(std::uint64_t token) {
+  auto it = ops_.find(token);
+  if (it == ops_.end()) return std::nullopt;
+  OpRec op = it->second;
+  ops_.erase(it);
+  std::optional<WireHeader> ack;
+  if (MdRec* md = md_deref(op.md)) {
+    if (op.kind == OpRec::Kind::kPutIn) {
+      post_event(*md, make_event(op, EventType::kPutEnd));
+      if (op.ack_hdr.op == WireOp::kAck) ack = op.ack_hdr;
+    } else if (op.kind == OpRec::Kind::kReplyIn) {
+      post_event(*md, make_event(op, EventType::kReplyEnd));
+    }
+  }
+  release_op_md(op.md);
+  return ack;
+}
+
+void Library::rx_dropped(std::uint64_t token) {
+  auto it = ops_.find(token);
+  if (it == ops_.end()) return;
+  const OpRec op = it->second;
+  ops_.erase(it);
+  ++drops_;
+  if (MdRec* md = md_deref(op.md)) {
+    Event ev = make_event(op, op.kind == OpRec::Kind::kReplyIn
+                                  ? EventType::kReplyEnd
+                                  : EventType::kPutEnd);
+    ev.ni_fail = PTL_NI_FAIL_DROPPED;
+    post_event(*md, ev);
+  }
+  release_op_md(op.md);
+}
+
+Library::GetDecision Library::on_get_header(const WireHeader& hdr) {
+  ++msgs_received_;
+  GetDecision d;
+  if (!ac_check(hdr)) return d;
+  std::uint64_t offset = 0;
+  std::uint32_t mlength = 0;
+  const std::uint32_t me_idx =
+      match_walk(hdr, /*is_get=*/true, &offset, &mlength, &d.entries_walked);
+  if (me_idx == kNone) {
+    ++drops_;
+    return d;
+  }
+  MeRec& me = mes_[me_idx];
+  const MdHandle mdh = me.md;
+  MdRec& md = *md_deref(mdh);
+
+  const std::uint64_t token = next_token_++;
+  OpRec op;
+  op.kind = OpRec::Kind::kGetIn;
+  op.md = mdh;
+  op.link = next_link_++;
+  op.pt_index = hdr.pt_index;
+  op.mbits = hdr.match_bits;
+  op.peer = ProcessId{hdr.src_nid, hdr.src_pid};
+  op.rlength = hdr.length;
+  op.mlength = mlength;
+  op.offset = offset;
+
+  ++md.pending_ops;
+  md_consume(me_idx, md, offset, mlength,
+             (md.desc.options & PTL_MD_MANAGE_REMOTE) != 0);
+  if (md.inactive && md.unlink_op == Unlink::kUnlink) {
+    md.unlink_when_idle = true;
+  }
+
+  post_event(md, make_event(op, EventType::kGetStart));
+  ops_.emplace(token, op);
+
+  d.deliver = true;
+  d.mlength = mlength;
+  d.segments = md_slice(md.desc, offset, mlength);
+  d.token = token;
+
+  WireHeader reply;
+  reply.op = WireOp::kReply;
+  reply.src_nid = cfg_.id.nid;
+  reply.src_pid = cfg_.id.pid;
+  reply.dst_pid = hdr.src_pid;
+  reply.pt_index = hdr.pt_index;
+  reply.match_bits = hdr.match_bits;
+  reply.length = mlength;
+  reply.md_id = hdr.md_id;  // echo the initiator's op token
+  reply.md_gen = hdr.md_gen;
+  d.reply_header = reply;
+  return d;
+}
+
+void Library::reply_sent(std::uint64_t token) {
+  auto it = ops_.find(token);
+  if (it == ops_.end()) return;
+  const OpRec op = it->second;
+  ops_.erase(it);
+  if (MdRec* md = md_deref(op.md)) {
+    post_event(*md, make_event(op, EventType::kGetEnd));
+  }
+  release_op_md(op.md);
+}
+
+void Library::on_ack(const WireHeader& hdr) {
+  auto it = ops_.find(token_of(hdr));
+  if (it == ops_.end()) return;
+  OpRec& op = it->second;
+  if (op.kind != OpRec::Kind::kPutOut) return;
+  if (MdRec* md = md_deref(op.md)) {
+    Event ev = make_event(op, EventType::kAck);
+    ev.mlength = hdr.length;  // bytes the target actually deposited
+    post_event(*md, ev);
+  }
+  op.ack_done = true;
+  if (op.tx_done) {
+    release_op_md(op.md);
+    ops_.erase(it);
+  }
+}
+
+void Library::send_complete(std::uint64_t token) {
+  auto it = ops_.find(token);
+  if (it == ops_.end()) return;
+  OpRec& op = it->second;
+  if (op.kind == OpRec::Kind::kPutOut) {
+    if (MdRec* md = md_deref(op.md)) {
+      post_event(*md, make_event(op, EventType::kSendEnd));
+    }
+    op.tx_done = true;
+    // A put retires after SEND_END and (when an ack was requested) the ack.
+    // If the target's MD disables acks, the ack never comes and the op
+    // stays open — mirroring the spec, where the initiator's PTL_EVENT_ACK
+    // simply does not fire.
+    const bool wants_ack = op.ack == AckReq::kAck;
+    if (!wants_ack || op.ack_done) {
+      release_op_md(op.md);
+      ops_.erase(it);
+    }
+  }
+  // kGetOut: the op stays open until the reply is deposited.
+}
+
+std::uint64_t Library::status(SrIndex sr) const {
+  switch (sr) {
+    case SrIndex::kDropCount: return drops_;
+    case SrIndex::kPermissionsViolations: return perm_violations_;
+    case SrIndex::kMessagesSent: return msgs_sent_;
+    case SrIndex::kMessagesReceived: return msgs_received_;
+  }
+  return 0;
+}
+
+}  // namespace xt::ptl

@@ -1,0 +1,271 @@
+#pragma once
+
+// The Portals 3.3 reference library (§3.1).
+//
+// One Library instance holds the complete Portals state of one process on
+// one network interface: the portal table, match lists, memory descriptors,
+// event queues and the access control list.  It is deliberately pure
+// policy: all I/O goes through the Nal (transmits) and Memory (local
+// copies) seams, and all *timing* is charged by whoever calls it (the
+// kernel agent in generic mode, the firmware's AccelMatcher adapter in
+// accelerated mode).  That is exactly the code-sharing structure the paper
+// describes: the same library runs beneath the qkbridge, ukbridge and
+// kbridge, and pieces of it are what accelerated mode offloads.
+//
+// Method groups:
+//   * API side   — one method per Ptl* call, invoked through a bridge.
+//   * wire side  — header/deposit/transmit-complete callbacks, invoked by
+//                  the NAL when the firmware reports progress.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "portals/eq.hpp"
+#include "portals/nal.hpp"
+#include "portals/types.hpp"
+#include "sim/engine.hpp"
+
+namespace xt::ptl {
+
+class Library {
+ public:
+  struct Config {
+    ProcessId id;
+    Limits limits{};
+    /// Install a permissive entry in AC slot 0 at construction (wildcard
+    /// source, any portal).  Convenience default; disable to exercise the
+    /// access-control path explicitly.
+    bool permissive_ac0 = true;
+  };
+
+  Library(sim::Engine& eng, Config cfg, Nal& nal, Memory& mem);
+
+  // ------------------------------------------------------- API side ----
+
+  /// PtlNIInit: negotiates limits.  Desired values are clamped against the
+  /// implementation's hard caps; the result is written to `actual` and
+  /// becomes the NI's enforced limits.  Returns PTL_NI_INVALID once any
+  /// object (ME/MD/EQ) has been allocated — limits cannot shrink under
+  /// live objects.  (In this adaptation the NI starts pre-initialized with
+  /// Config::limits, so calling ni_init is optional.)
+  int ni_init(const Limits& desired, Limits* actual);
+  /// PtlNIFini: tears down every ME, MD and EQ; outstanding operations are
+  /// abandoned.  The NI may be re-initialized afterwards.
+  int ni_fini();
+
+  int eq_alloc(std::size_t count, EqHandle* out);
+  int eq_free(EqHandle eq);
+  int eq_get(EqHandle eq, Event* out);
+
+  int me_attach(std::uint32_t pt_index, ProcessId match_id, MatchBits mbits,
+                MatchBits ibits, Unlink unlink, InsPos pos, MeHandle* out);
+  int me_insert(MeHandle base, ProcessId match_id, MatchBits mbits,
+                MatchBits ibits, Unlink unlink, InsPos pos, MeHandle* out);
+  int me_unlink(MeHandle me);
+
+  int md_attach(MeHandle me, MdDesc desc, Unlink unlink_op, MdHandle* out);
+  int md_bind(MdDesc desc, Unlink unlink_op, MdHandle* out);
+  int md_unlink(MdHandle md);
+  int md_update(MdHandle md, MdDesc* old_desc, const MdDesc* new_desc,
+                EqHandle test_eq);
+
+  int ac_entry(std::uint32_t ac_index, ProcessId match_id,
+               std::uint32_t pt_index);
+
+  int put(MdHandle md, AckReq ack, ProcessId target, std::uint32_t pt_index,
+          std::uint32_t ac_index, MatchBits mbits, std::uint64_t remote_offset,
+          std::uint64_t hdr_data);
+  /// PtlPutRegion: transmit [offset, offset+len) of the MD.
+  int put_region(MdHandle md, std::uint64_t offset, std::uint32_t len,
+                 AckReq ack, ProcessId target, std::uint32_t pt_index,
+                 std::uint32_t ac_index, MatchBits mbits,
+                 std::uint64_t remote_offset, std::uint64_t hdr_data);
+  int get(MdHandle md, ProcessId target, std::uint32_t pt_index,
+          std::uint32_t ac_index, MatchBits mbits,
+          std::uint64_t remote_offset);
+  int get_region(MdHandle md, std::uint64_t offset, std::uint32_t len,
+                 ProcessId target, std::uint32_t pt_index,
+                 std::uint32_t ac_index, MatchBits mbits,
+                 std::uint64_t remote_offset);
+
+  ProcessId id() const { return cfg_.id; }
+  const Limits& limits() const { return cfg_.limits; }
+  std::uint64_t status(SrIndex sr) const;
+  /// PtlNIDist: network hops to `nid` (from the NAL's routing tables).
+  int ni_dist(std::uint32_t nid) const { return nal_.distance(nid); }
+
+  /// EQ object access (the Api layer waits on its WaitQueue; the kernel
+  /// agent never needs this).
+  EventQueue* eq_object(EqHandle eq);
+
+  /// Segments covering the byte range [offset, offset+len) of an MD's
+  /// logical space (one entry for contiguous MDs; pieces of the iovec list
+  /// for PTL_MD_IOVEC descriptors).
+  static std::vector<IoVec> md_slice(const MdDesc& desc, std::uint64_t offset,
+                                     std::uint32_t len);
+
+  // ------------------------------------------------------ wire side ----
+
+  /// Deposit decision for an incoming put or reply header.
+  struct RxDecision {
+    bool deliver = false;       // false: drop (still consume the body)
+    std::uint32_t mlength = 0;  // bytes to deposit
+    /// Destination memory: one segment for contiguous MDs, several for
+    /// PTL_MD_IOVEC descriptors.  Segments cover exactly mlength bytes.
+    std::vector<IoVec> segments;
+    std::uint64_t token = 0;     // hand back in deposited()/dropped()
+    std::size_t entries_walked = 0;  // match-list work (for cost models)
+  };
+  /// Incoming put header: ACL check + matching + START event.
+  RxDecision on_put_header(const WireHeader& hdr);
+  /// Incoming reply header (no matching: the header's md token routes it).
+  RxDecision on_reply_header(const WireHeader& hdr);
+  /// Deposit finished (or no payload): posts the END event; for puts,
+  /// returns the ack header to send back, if any.
+  std::optional<WireHeader> deposited(std::uint64_t token);
+  /// The message backing `token` was dropped after the header (CRC fail):
+  /// post no END event, count the failure.
+  void rx_dropped(std::uint64_t token);
+
+  /// Reply program for an incoming get request.
+  struct GetDecision {
+    bool deliver = false;
+    std::uint32_t mlength = 0;
+    /// Source memory for the reply (scatter/gather for IOVEC MDs).
+    std::vector<IoVec> segments;
+    std::uint64_t token = 0;     // echo via reply_sent()
+    WireHeader reply_header;     // ready to transmit (op kReply)
+    std::size_t entries_walked = 0;
+  };
+  GetDecision on_get_header(const WireHeader& hdr);
+  /// The reply transmit for a get completed: posts GET_END at the target.
+  void reply_sent(std::uint64_t token);
+
+  /// Incoming ack (initiator side): posts PTL_EVENT_ACK.
+  void on_ack(const WireHeader& hdr);
+
+  /// A put/get-request transmit completed: posts SEND_END for puts.
+  void send_complete(std::uint64_t token);
+
+ private:
+  struct MeRec {
+    bool live = false;
+    std::uint32_t gen = 1;
+    std::uint32_t pt_index = 0;
+    ProcessId match_id;
+    MatchBits mbits = 0;
+    MatchBits ibits = 0;
+    Unlink unlink = Unlink::kRetain;
+    MdHandle md;  // invalid when no MD attached
+    // Intrusive list links (indices into mes_), per portal-table entry.
+    std::uint32_t next = kNone;
+    std::uint32_t prev = kNone;
+  };
+
+  struct MdRec {
+    bool live = false;
+    std::uint32_t gen = 1;
+    MdDesc desc;
+    Unlink unlink_op = Unlink::kRetain;
+    MeHandle me;  // invalid for free-floating (md_bind) descriptors
+    std::uint64_t local_offset = 0;
+    int threshold = PTL_MD_THRESH_INF;
+    bool inactive = false;
+    std::uint32_t pending_ops = 0;  // in-flight ops referencing this MD
+    bool unlink_when_idle = false;
+  };
+
+  struct PtEntry {
+    std::uint32_t head = kNone;
+    std::uint32_t tail = kNone;
+    std::size_t length = 0;
+  };
+
+  struct AcSlot {
+    bool set = false;
+    ProcessId match_id;
+    std::uint32_t pt_index = kPtIndexAny;
+  };
+
+  /// In-flight operation bookkeeping (initiator and target sides).
+  struct OpRec {
+    enum class Kind : std::uint8_t {
+      kPutOut,    // initiated put (send events + ack)
+      kGetOut,    // initiated get (reply events)
+      kPutIn,     // incoming put being deposited
+      kReplyIn,   // incoming reply being deposited
+      kGetIn,     // incoming get whose reply is in flight
+    };
+    Kind kind = Kind::kPutOut;
+    MdHandle md;
+    std::uint64_t link = 0;    // start/end pairing id
+    std::uint32_t pt_index = 0;
+    MatchBits mbits = 0;
+    ProcessId peer;            // initiator (target side) or target
+    std::uint64_t rlength = 0;
+    std::uint64_t mlength = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t hdr_data = 0;
+    AckReq ack = AckReq::kNone;
+    WireHeader ack_hdr;        // prebuilt for puts that want an ack
+    bool tx_done = false;      // SEND_END posted (initiated puts)
+    bool ack_done = false;     // PTL_EVENT_ACK posted (initiated puts)
+  };
+
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  MeRec* me_deref(MeHandle h);
+  MdRec* md_deref(MdHandle h);
+  bool md_active(const MdRec& md) const;
+  /// Source/bits matching for one entry.
+  static bool me_matches(const MeRec& me, const WireHeader& hdr);
+  /// ACL check; increments the violation counter on failure.
+  bool ac_check(const WireHeader& hdr);
+  /// Walks pt[pt_index]; returns the accepting ME index or kNone.
+  std::uint32_t match_walk(const WireHeader& hdr, bool is_get,
+                           std::uint64_t* offset_out,
+                           std::uint32_t* mlength_out,
+                           std::size_t* walked_out);
+  /// Consumes one operation on an MD: threshold, offset, auto-unlink.
+  void md_consume(std::uint32_t me_idx, MdRec& md, std::uint64_t offset,
+                  std::uint32_t mlength, bool manage_remote);
+  void post_event(const MdRec& md, Event ev);
+  void post_event_to(EqHandle eq, Event ev);
+  /// Auto-unlink an MD (and its ME if so configured), posting kUnlink.
+  void auto_unlink(MdHandle mdh);
+  void unlink_me_internal(std::uint32_t idx);
+  void release_op_md(MdHandle mdh);
+  Event make_event(const OpRec& op, EventType type) const;
+  int start_outgoing(OpRec::Kind kind, Nal::TxKind txkind, MdHandle mdh,
+                     std::uint64_t offset, std::uint32_t len, AckReq ack,
+                     ProcessId target, std::uint32_t pt_index,
+                     std::uint32_t ac_index, MatchBits mbits,
+                     std::uint64_t remote_offset, std::uint64_t hdr_data);
+
+  sim::Engine& eng_;
+  Config cfg_;
+  Nal& nal_;
+  Memory& mem_;
+
+  std::vector<MeRec> mes_;
+  std::vector<MdRec> mds_;
+  std::vector<std::unique_ptr<EventQueue>> eqs_;
+  std::vector<std::uint32_t> eq_gens_;
+  std::vector<PtEntry> pt_;
+  std::vector<AcSlot> ac_;
+
+  std::unordered_map<std::uint64_t, OpRec> ops_;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t next_link_ = 1;
+
+  // Status registers.
+  std::uint64_t drops_ = 0;
+  std::uint64_t perm_violations_ = 0;
+  std::uint64_t msgs_sent_ = 0;
+  std::uint64_t msgs_received_ = 0;
+};
+
+}  // namespace xt::ptl

@@ -1,0 +1,55 @@
+#pragma once
+
+// The NAL seam (§3.1/§3.2 of the paper).
+//
+// The reference implementation keeps one platform-independent Portals
+// library and moves all platform knowledge into a Network Abstraction
+// Layer.  `Nal` is the library-to-network half of that interface: the
+// library hands it fully-formed wire headers and payload locations, and the
+// NAL (the SSNAL, in this project) turns them into firmware mailbox
+// commands.  `Memory` is the address-validation/translation half that the
+// paper notes every NAL shares ("all Linux NALs ... use the same address
+// validation routines").
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "portals/types.hpp"
+#include "portals/wire.hpp"
+
+namespace xt::ptl {
+
+/// Process memory access used by the library for inline copies and by the
+/// NAL to build DMA programs.  Addresses are virtual addresses in the
+/// owning process's address space.
+class Memory {
+ public:
+  virtual ~Memory() = default;
+  virtual bool valid(std::uint64_t addr, std::size_t len) const = 0;
+  virtual void read(std::uint64_t addr, std::span<std::byte> out) const = 0;
+  virtual void write(std::uint64_t addr, std::span<const std::byte> in) = 0;
+};
+
+/// Library-to-network transmit interface.
+class Nal {
+ public:
+  virtual ~Nal() = default;
+
+  enum class TxKind : std::uint8_t { kPut, kGetRequest, kReply, kAck };
+
+  /// Queues one Portals message for transmission.  `dst_nid` is the target
+  /// node (it travels in the routing header, not the Portals header).
+  /// `payload` is the (possibly scatter/gather) source in the calling
+  /// process's memory — empty for get requests and acks.  `token` is
+  /// echoed in the library's completion callback for this transmit.
+  virtual int send(TxKind kind, std::uint32_t dst_nid, const WireHeader& hdr,
+                   std::vector<IoVec> payload, std::uint64_t token) = 0;
+
+  /// This node's id (PtlGetId) and topology distance (PtlNIDist).
+  virtual std::uint32_t nid() const = 0;
+  virtual int distance(std::uint32_t nid) const = 0;
+};
+
+}  // namespace xt::ptl

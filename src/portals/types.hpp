@@ -1,0 +1,198 @@
+#pragma once
+
+// Portals 3.3 API types (SAND99-2959 surface).
+//
+// Names follow the specification (ptl_process_id_t, ptl_md_t, ...) rendered
+// in the project's C++ style.  Integer option masks and error codes keep
+// their PTL_* spellings so code written against the real portals3.h reads
+// the same.
+
+#include <cstdint>
+#include <vector>
+
+#include "portals/wire.hpp"
+
+namespace xt::ptl {
+
+// ------------------------------------------------------------ handles ----
+
+/// Generation-checked handle; `kind` only exists to make the handle types
+/// mutually unconvertible.
+template <int Kind>
+struct Handle {
+  std::uint32_t idx = 0xFFFFFFFFu;
+  std::uint32_t gen = 0;
+  bool valid() const { return idx != 0xFFFFFFFFu; }
+  friend bool operator==(const Handle&, const Handle&) = default;
+};
+
+using NiHandle = Handle<0>;
+using MeHandle = Handle<1>;
+using MdHandle = Handle<2>;
+using EqHandle = Handle<3>;
+
+/// PTL_EQ_NONE / PTL_HANDLE_INVALID analogues.
+inline constexpr EqHandle kEqNone{};
+inline constexpr MdHandle kMdInvalid{};
+inline constexpr MeHandle kMeInvalid{};
+
+// -------------------------------------------------------- identifiers ----
+
+using Nid = std::uint32_t;  // ptl_nid_t: node id
+using Pid = std::uint16_t;  // ptl_pid_t: process id
+using MatchBits = std::uint64_t;
+
+inline constexpr Nid kNidAny = 0xFFFFFFFFu;  // PTL_NID_ANY
+inline constexpr Pid kPidAny = 0xFFFF;       // PTL_PID_ANY
+/// Wildcard portal-table index for access-control entries (PTL_PT_INDEX_ANY).
+inline constexpr std::uint32_t kPtIndexAny = 0xFFFFFFFFu;
+
+/// ptl_process_id_t.
+struct ProcessId {
+  Nid nid = 0;
+  Pid pid = 0;
+  friend bool operator==(const ProcessId&, const ProcessId&) = default;
+};
+
+// ------------------------------------------------------- error codes ----
+
+enum PtlError : int {
+  PTL_OK = 0,
+  PTL_FAIL,
+  PTL_NO_INIT,
+  PTL_NO_SPACE,
+  PTL_NI_INVALID,
+  PTL_PT_INDEX_INVALID,
+  PTL_PROCESS_INVALID,
+  PTL_MD_INVALID,
+  PTL_MD_ILLEGAL,
+  PTL_MD_IN_USE,
+  PTL_MD_NO_UPDATE,
+  PTL_ME_INVALID,
+  PTL_ME_IN_USE,
+  PTL_ME_LIST_TOO_LONG,
+  PTL_EQ_INVALID,
+  PTL_EQ_EMPTY,
+  PTL_EQ_DROPPED,
+  PTL_AC_INDEX_INVALID,
+  PTL_HANDLE_INVALID,
+  PTL_IFACE_INVALID,
+  PTL_PID_INVALID,
+  PTL_SEGV,
+  PTL_UNKNOWN_ERROR,
+};
+
+const char* ptl_err_str(int rc);
+
+// ----------------------------------------------------------- options ----
+
+// ptl_md_t options bits.
+inline constexpr unsigned PTL_MD_OP_PUT = 1u << 0;
+inline constexpr unsigned PTL_MD_OP_GET = 1u << 1;
+inline constexpr unsigned PTL_MD_MANAGE_REMOTE = 1u << 2;
+inline constexpr unsigned PTL_MD_TRUNCATE = 1u << 3;
+inline constexpr unsigned PTL_MD_ACK_DISABLE = 1u << 4;
+/// Auto-unlink when the remaining space drops below max_size (the Lustre
+/// buffer-carousel pattern).
+inline constexpr unsigned PTL_MD_MAX_SIZE = 1u << 5;
+inline constexpr unsigned PTL_MD_EVENT_START_DISABLE = 1u << 6;
+inline constexpr unsigned PTL_MD_EVENT_END_DISABLE = 1u << 7;
+/// The MD describes a scatter/gather list (MdDesc::iovecs) instead of one
+/// contiguous [start, start+length) region.
+inline constexpr unsigned PTL_MD_IOVEC = 1u << 8;
+
+/// ptl_md_t threshold: never exhausts.
+inline constexpr int PTL_MD_THRESH_INF = -1;
+
+/// ptl_unlink_t.
+enum class Unlink : std::uint8_t { kUnlink, kRetain };
+/// ptl_ins_pos_t.
+enum class InsPos : std::uint8_t { kBefore, kAfter };
+
+// ------------------------------------------------------- descriptors ----
+
+/// One scatter/gather segment of an MD (ptl_md_iovec_t).
+struct IoVec {
+  std::uint64_t start = 0;
+  std::uint32_t length = 0;
+  friend bool operator==(const IoVec&, const IoVec&) = default;
+};
+
+/// ptl_md_t: a memory descriptor visible to the API user.  `start` is a
+/// virtual address in the owning process's address space.  With
+/// PTL_MD_IOVEC set, `iovecs` describes the memory instead and `length`
+/// is the total across segments (filled in by the library).
+struct MdDesc {
+  std::uint64_t start = 0;
+  std::uint32_t length = 0;
+  int threshold = PTL_MD_THRESH_INF;
+  std::uint32_t max_size = 0;
+  unsigned options = 0;
+  std::uint64_t user_ptr = 0;
+  EqHandle eq = kEqNone;
+  std::vector<IoVec> iovecs;
+};
+
+// -------------------------------------------------------------- events ----
+
+/// ptl_event_kind_t (Portals 3.3 event set).
+enum class EventType : std::uint8_t {
+  kGetStart,    // PTL_EVENT_GET_START   (target, request matched)
+  kGetEnd,      // PTL_EVENT_GET_END     (target, reply data sent)
+  kPutStart,    // PTL_EVENT_PUT_START   (target, header matched)
+  kPutEnd,      // PTL_EVENT_PUT_END     (target, data deposited)
+  kReplyStart,  // PTL_EVENT_REPLY_START (initiator, reply header arrived)
+  kReplyEnd,    // PTL_EVENT_REPLY_END   (initiator, data deposited)
+  kSendStart,   // PTL_EVENT_SEND_START  (initiator, transmit accepted)
+  kSendEnd,     // PTL_EVENT_SEND_END    (initiator, transmit complete)
+  kAck,         // PTL_EVENT_ACK         (initiator, target delivered)
+  kUnlink,      // PTL_EVENT_UNLINK      (owner, ME/MD auto-unlinked)
+};
+
+const char* event_type_str(EventType t);
+
+/// ptl_ni_fail_t.
+enum NiFail : int {
+  PTL_NI_OK = 0,
+  PTL_NI_FAIL_DROPPED,
+};
+
+/// ptl_event_t.
+struct Event {
+  EventType type = EventType::kPutStart;
+  ProcessId initiator;
+  std::uint32_t pt_index = 0;
+  MatchBits match_bits = 0;
+  std::uint64_t rlength = 0;  // length requested by the operation
+  std::uint64_t mlength = 0;  // length actually manipulated
+  std::uint64_t offset = 0;   // offset within the MD
+  MdHandle md_handle;
+  MdDesc md;                  // MD state snapshot at event time
+  std::uint64_t hdr_data = 0;
+  std::uint64_t user_ptr = 0;
+  std::uint64_t link = 0;      // operation link id (start/end pairing)
+  std::uint64_t sequence = 0;  // EQ sequence number
+  int ni_fail = PTL_NI_OK;
+};
+
+// -------------------------------------------------------------- limits ----
+
+/// ptl_ni_limits_t.
+struct Limits {
+  std::uint32_t max_mes = 4096;
+  std::uint32_t max_mds = 4096;
+  std::uint32_t max_eqs = 64;
+  std::uint32_t max_ac_index = 16;
+  std::uint32_t max_pt_index = 64;
+  std::uint32_t max_me_list = 4096;  // longest match list
+};
+
+/// NI status registers (PtlNIStatus).
+enum class SrIndex : std::uint8_t {
+  kDropCount,       // PTL_SR_DROP_COUNT
+  kPermissionsViolations,
+  kMessagesSent,
+  kMessagesReceived,
+};
+
+}  // namespace xt::ptl

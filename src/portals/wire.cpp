@@ -1,0 +1,90 @@
+#include "portals/wire.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace xt::ptl {
+
+namespace {
+
+template <typename T>
+void put(std::span<std::byte> out, std::size_t& off, T v) {
+  std::memcpy(out.data() + off, &v, sizeof(T));
+  off += sizeof(T);
+}
+
+template <typename T>
+T get(std::span<const std::byte> in, std::size_t& off) {
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+void pack_header(const WireHeader& h, std::span<std::byte> out) {
+  assert(out.size() >= kWireHeaderBytes);
+  std::size_t off = 0;
+  put(out, off, static_cast<std::uint8_t>(h.op));
+  put(out, off, static_cast<std::uint8_t>(h.ack_req));
+  put(out, off, h.src_nid);
+  put(out, off, h.src_pid);
+  put(out, off, h.dst_pid);
+  put(out, off, h.pt_index);
+  put(out, off, h.ac_index);
+  put(out, off, h.match_bits);
+  put(out, off, h.remote_offset);
+  put(out, off, h.length);
+  put(out, off, h.hdr_data);
+  put(out, off, h.md_id);
+  put(out, off, h.md_gen);
+  put(out, off, h.stream_seq);
+  assert(off == kWireHeaderBytes);
+}
+
+WireHeader unpack_header(std::span<const std::byte> in) {
+  assert(in.size() >= kWireHeaderBytes);
+  WireHeader h;
+  std::size_t off = 0;
+  h.op = static_cast<WireOp>(get<std::uint8_t>(in, off));
+  h.ack_req = static_cast<AckReq>(get<std::uint8_t>(in, off));
+  h.src_nid = get<std::uint32_t>(in, off);
+  h.src_pid = get<std::uint16_t>(in, off);
+  h.dst_pid = get<std::uint16_t>(in, off);
+  h.pt_index = get<std::uint8_t>(in, off);
+  h.ac_index = get<std::uint8_t>(in, off);
+  h.match_bits = get<std::uint64_t>(in, off);
+  h.remote_offset = get<std::uint64_t>(in, off);
+  h.length = get<std::uint32_t>(in, off);
+  h.hdr_data = get<std::uint64_t>(in, off);
+  h.md_id = get<std::uint32_t>(in, off);
+  h.md_gen = get<std::uint32_t>(in, off);
+  h.stream_seq = get<std::uint32_t>(in, off);
+  assert(off == kWireHeaderBytes);
+  return h;
+}
+
+std::array<std::byte, kHeaderPacketBytes> make_header_packet(
+    const WireHeader& h, std::span<const std::byte> inline_payload) {
+  assert(inline_payload.size() <= kMaxInlineBytes);
+  std::array<std::byte, kHeaderPacketBytes> pkt{};
+  pack_header(h, pkt);
+  if (!inline_payload.empty()) {
+    std::memcpy(pkt.data() + kWireHeaderBytes, inline_payload.data(),
+                inline_payload.size());
+  }
+  return pkt;
+}
+
+std::span<const std::byte> inline_payload_of(
+    std::span<const std::byte> packet) {
+  assert(packet.size() >= kWireHeaderBytes);
+  const WireHeader h = unpack_header(packet);
+  const std::size_t n =
+      std::min<std::size_t>(h.length, kMaxInlineBytes);
+  if (packet.size() < kWireHeaderBytes + n) return {};
+  return packet.subspan(kWireHeaderBytes, n);
+}
+
+}  // namespace xt::ptl

@@ -1,0 +1,88 @@
+#pragma once
+
+// Portals wire header — the contents of the 64-byte header packet.
+//
+// The header carries everything the target needs to perform matching plus
+// everything the initiator needs reflected back in ACKs and replies.  The
+// packed layout is 52 bytes, which leaves exactly 12 bytes of the 64-byte
+// router packet for inline user data — the paper's §6 small-message
+// optimization ("Because 12 bytes of user data will fit in the 64 byte
+// header packet...").
+//
+// Two additional ops beyond the Portals four (put/get/reply/ack) implement
+// the firmware-level go-back-n control traffic of §4.3's resource
+// exhaustion recovery; they are invisible to the Portals library.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace xt::ptl {
+
+enum class WireOp : std::uint8_t {
+  kPut = 0,
+  kGet = 1,
+  kReply = 2,
+  kAck = 3,
+  // Firmware-internal (go-back-n): never surfaced to Portals.
+  kFwAck = 4,
+  kFwNack = 5,
+};
+
+/// Ack request modes for PtlPut (ptl_ack_req_t).
+enum class AckReq : std::uint8_t {
+  kNone = 0,  // PTL_NOACK_REQ
+  kAck = 1,   // PTL_ACK_REQ
+};
+
+struct WireHeader {
+  WireOp op = WireOp::kPut;
+  AckReq ack_req = AckReq::kNone;
+  std::uint32_t src_nid = 0;
+  std::uint16_t src_pid = 0;
+  std::uint16_t dst_pid = 0;
+  std::uint8_t pt_index = 0;
+  std::uint8_t ac_index = 0;
+  std::uint64_t match_bits = 0;
+  std::uint64_t remote_offset = 0;
+  /// Payload length for put/reply; requested length for get; delivered
+  /// length (mlength) for ack.
+  std::uint32_t length = 0;
+  std::uint64_t hdr_data = 0;
+  /// Initiator-side MD identity, echoed in acks/replies so the initiator
+  /// can post PTL_EVENT_ACK / REPLY without a match.
+  std::uint32_t md_id = 0;
+  std::uint32_t md_gen = 0;
+  /// Per (src-node, dst-node) stream sequence number (go-back-n, §4.3).
+  std::uint32_t stream_seq = 0;
+
+  friend bool operator==(const WireHeader&, const WireHeader&) = default;
+};
+
+/// Packed size of a WireHeader on the wire.
+inline constexpr std::size_t kWireHeaderBytes = 52;
+/// Router packet size (§2).
+inline constexpr std::size_t kHeaderPacketBytes = 64;
+/// Inline user-data capacity of the header packet: 64 - 52 = 12 bytes,
+/// matching the paper's measured optimization point.
+inline constexpr std::size_t kMaxInlineBytes =
+    kHeaderPacketBytes - kWireHeaderBytes;
+
+/// Serializes into exactly kWireHeaderBytes at the front of `out`
+/// (out.size() >= kWireHeaderBytes).
+void pack_header(const WireHeader& h, std::span<std::byte> out);
+
+/// Parses the packed form back.
+WireHeader unpack_header(std::span<const std::byte> in);
+
+/// Builds a full header packet: packed header + inline payload (for
+/// messages of <= kMaxInlineBytes user bytes).
+std::array<std::byte, kHeaderPacketBytes> make_header_packet(
+    const WireHeader& h, std::span<const std::byte> inline_payload);
+
+/// Inline payload carried in a header packet (length from the header).
+std::span<const std::byte> inline_payload_of(
+    std::span<const std::byte> packet);
+
+}  // namespace xt::ptl

@@ -1,0 +1,156 @@
+#pragma once
+
+// SeaStar / XT3 timing and sizing model.
+//
+// Every number the simulation charges for lives here, so ablation benches
+// can sweep them and EXPERIMENTS.md can tie each to its source:
+//
+//   * taken directly from the paper:
+//       - Catamount NULL-trap 75 ns, interrupt >= 2 us           (§3.3)
+//       - link payload 2.5 GB/s, 64 B router packets             (§2)
+//       - HT peak 3.2 GB/s, payload peak 2.8 GB/s, "practical
+//         rate somewhat lower than that"                         (§2)
+//       - 384 KB SeaStar local SRAM                              (§2, §3.3)
+//       - 1,024 sources / 1,274 generic-process pendings         (§4.2)
+//       - <= 12 B of user data rides in the 64 B header packet   (§6)
+//   * calibrated so the measured curves land on the paper's anchors
+//     (1 B put latency 5.39 us, uni-dir peak ~1109 MB/s, bi-dir ~2203
+//     MB/s, half-bandwidth near 7 KB ping-pong / 5 KB streaming):
+//       - effective DMA payload rates and the firmware handler costs
+//         (the PowerPC 440 is a 500 MHz dual-issue core; handlers are a
+//         few hundred instructions, i.e. a few hundred ns each).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace xt::ss {
+
+struct Config {
+  using Time = sim::Time;
+
+  // ---------------------------------------------------------- network ----
+  net::NetConfig net{};
+
+  // ----------------------------------------------------- HyperTransport ----
+  /// Effective payload rate of Tx DMA reads from host memory.  The 800 MHz
+  /// HT interface peaks at 2.8 GB/s of payload; the achieved practical rate
+  /// on early Red Storm silicon/firmware was far lower — this constant is
+  /// the calibration knob that sets the ~1.1 GB/s uni-directional plateau.
+  std::uint64_t ht_tx_rate = 1'115'000'000ull;
+  /// Effective payload rate of Rx DMA writes to host memory.
+  std::uint64_t ht_rx_rate = 1'115'000'000ull;
+  /// Rx DMA cut-through granularity: the deposit streams to host memory as
+  /// packets arrive, so once the receive command is programmed only the
+  /// final burst of this size trails the last wire byte.
+  std::size_t rx_deposit_burst = 1024;
+  /// One-way latency of a posted write crossing HT (host->NIC mailbox or
+  /// NIC->host event/upper-pending write).
+  Time ht_write_latency = Time::ns(175);
+  /// Round-trip latency of a read across HT (what the firmware pays if it
+  /// ever reads host memory; §4.2 explains it avoids doing so).
+  Time ht_read_latency = Time::ns(400);
+
+  // ------------------------------------------------- PowerPC firmware ----
+  /// Mailbox poll granularity of the idle main loop.
+  Time fw_poll = Time::ns(100);
+  /// Handler: host TX command -> lower pending init -> enqueue.
+  Time fw_tx_cmd = Time::ns(300);
+  /// Handler: program the Tx DMA engine for the message at list head.
+  Time fw_tx_start = Time::ns(200);
+  /// Handler: TX done -> unlink pending, post completion event.
+  Time fw_tx_complete = Time::ns(250);
+  /// Handler: new RX header -> source hash lookup/alloc, pending alloc,
+  /// header write-through to the upper pending.
+  Time fw_rx_header = Time::ns(350);
+  /// Handler: host RX command -> lower pending setup, source list link.
+  Time fw_rx_cmd = Time::ns(300);
+  /// Handler: RX deposit done -> post completion event.
+  Time fw_rx_complete = Time::ns(200);
+  /// Posting one event into a host event queue (HT write + bookkeeping).
+  Time fw_event_post = Time::ns(75);
+  /// Per pre-computed DMA command beyond the first (Linux paged buffers).
+  Time fw_per_dma_cmd = Time::ns(40);
+  /// Firmware-side Portals matching, per match-list entry examined
+  /// (accelerated mode only).
+  Time fw_match_per_me = Time::ns(150);
+
+  // ----------------------------------------------------------- host ----
+  /// NULL-trap into the Catamount quintessential kernel (§3.3: ~75 ns).
+  Time trap_catamount = Time::ns(75);
+  /// Syscall entry on the Linux service/compute nodes.
+  Time trap_linux = Time::ns(700);
+  /// Interrupt overhead on the host (§3.3: "at least 2 us each").
+  Time interrupt = Time::us(2);
+  /// Host-side Portals processing: fixed cost of one match attempt...
+  Time host_match_base = Time::ns(250);
+  /// ...plus this much per match-list entry walked.
+  Time host_match_per_me = Time::ns(50);
+  /// Library-side CPU cost of a plain API call (handle checks, bookkeeping).
+  Time host_api_call = Time::ns(100);
+  /// Building a Portals header / command on the host.
+  Time host_cmd_build = Time::ns(250);
+  /// Posting a Portals event to an application EQ and waking the waiter.
+  Time host_event_post = Time::ns(125);
+  /// Host memcpy bandwidth (eager-buffer copies in the MPI layer).
+  std::uint64_t host_memcpy_rate = 2'600'000'000ull;
+  /// Pinning + translating one page on Linux before pushing DMA commands.
+  Time linux_per_page = Time::ns(120);
+  std::size_t linux_page_size = 4096;
+
+  // ------------------------------------------------ sizes and limits ----
+  /// User bytes that fit in the header packet next to the Portals header
+  /// (§6: 12 bytes; saves the second interrupt on the receive side).
+  std::size_t inline_payload_max = 12;
+  /// SeaStar local SRAM (§2: 384 KB, ECC-protected).
+  std::size_t sram_bytes = 384 * 1024;
+  /// Firmware image resident in SRAM (§4: 22 KB when compiled -O3).
+  std::size_t fw_image_bytes = 22 * 1024;
+  /// Global source structures (§4.2: 1,024 for the whole firmware).
+  std::size_t n_sources = 1024;
+  /// Pendings allocated to the generic firmware-level process (§4.2 gives
+  /// the total as 1,274; the split between the firmware-managed RX pool and
+  /// the host-managed TX pool is ours).
+  std::size_t n_generic_rx_pendings = 1024;
+  std::size_t n_generic_tx_pendings = 250;
+  /// Pendings for each accelerated process (each pool).
+  std::size_t n_accel_rx_pendings = 192;
+  std::size_t n_accel_tx_pendings = 64;
+  /// Command FIFO depth of one firmware mailbox.
+  std::size_t mailbox_depth = 256;
+  /// Firmware-to-host event queue depth (generic kernel EQ and per
+  /// accelerated process EQ).
+  std::size_t fw_eq_depth = 4096;
+  /// Go-back-n: retransmit window retained per destination (messages).
+  std::size_t gobackn_window = 64;
+  /// Figure 3 structure sizes (32-byte lower pending is labelled in the
+  /// figure; sources are described as similar).
+  std::size_t lower_pending_bytes = 32;
+  std::size_t source_bytes = 32;
+  std::size_t control_block_bytes = 256;
+  std::size_t per_process_bytes = 192;  // process struct + mailbox
+
+  /// Enables the go-back-n recovery protocol the paper describes as work in
+  /// progress (§4.3).  Off by default: the shipped firmware "assumes that
+  /// resource exhaustion does not occur" and panics the node.
+  bool gobackn = false;
+  /// Retransmission backoff when a NACK arrives (go-back-n only).
+  Time gobackn_backoff = Time::us(5);
+  /// Cumulative FwAck frequency (accepted messages per ack).
+  std::size_t gobackn_ack_every = 1;
+  /// Sender-side retransmit watchdog period: if the window makes no
+  /// progress for this long, rewind from its base (covers NACKs lost or
+  /// suppressed while a rewind was already running).
+  Time gobackn_timeout = Time::us(25);
+  /// Retransmissions per rewind burst.  A full-window burst under incast
+  /// saturates the receiver's PowerPC with headers it must drop, starving
+  /// the deposits/releases that would free pendings (congestion collapse).
+  std::size_t gobackn_burst = 8;
+  /// Backoff doubles on every no-progress rewind up to this cap, and
+  /// resets when the window advances.
+  Time gobackn_backoff_max = Time::us(800);
+};
+
+}  // namespace xt::ss

@@ -1,0 +1,102 @@
+#include "seastar/nic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/crc.hpp"
+#include "sim/strf.hpp"
+
+namespace xt::ss {
+
+Nic::Nic(sim::Engine& eng, const Config& cfg, net::Network& net,
+         net::NodeId node)
+    : eng_(eng),
+      cfg_(cfg),
+      net_(net),
+      node_(node),
+      sram_(cfg.sram_bytes),
+      tx_dma_(eng, sim::strf("nic%u.tx", node)),
+      rx_dma_(eng, sim::strf("nic%u.rx", node)) {
+  net_.attach(node, *this);
+}
+
+sim::CoTask<void> Nic::transmit(net::MessagePtr msg, PayloadReader reader,
+                                std::size_t payload_bytes,
+                                std::size_t n_dma_cmds) {
+  co_await tx_dma_.acquire();
+  // Fetch the 64-byte header out of the upper pending in host memory.  This
+  // is the one HT read round-trip the transmit path cannot avoid.
+  co_await sim::delay(eng_, cfg_.ht_read_latency);
+  if (n_dma_cmds > 1) {
+    co_await sim::delay(eng_,
+                        cfg_.fw_per_dma_cmd * static_cast<std::int64_t>(
+                                                  n_dma_cmds - 1));
+  }
+  msg->payload.resize(payload_bytes);
+  net_.begin(msg);
+  net_.inject_header(msg);
+  // Stream the payload: read each chunk from host memory at the effective
+  // HT rate, then hand it to the wire (which is faster, so it never back-
+  // pressures the engine in the uncongested case).  The end-to-end CRC-32
+  // is accumulated as the engine streams — it must cover the bytes as
+  // actually read from host memory, and the final value is sealed before
+  // the last chunk is injected (the check happens at the far end after
+  // that chunk lands).
+  const std::size_t chunk = net_.chunk_size();
+  std::uint32_t crc = net::crc32_init();
+  crc = net::crc32_update(crc, msg->header);
+  for (std::size_t off = 0; off < payload_bytes; off += chunk) {
+    const std::size_t len = std::min(chunk, payload_bytes - off);
+    co_await sim::delay(eng_, sim::Time::for_bytes(len, cfg_.ht_tx_rate));
+    const auto slice = std::span(msg->payload).subspan(off, len);
+    if (reader) reader(off, slice);
+    crc = net::crc32_update(crc, slice);
+    if (off + len == payload_bytes) msg->e2e_crc = net::crc32_finish(crc);
+    net_.inject_payload(msg, off, len, off + len == payload_bytes);
+  }
+  ++msgs_sent_;
+  bytes_sent_ += payload_bytes;
+  tx_dma_.release();
+}
+
+sim::CoTask<void> Nic::deposit(std::size_t bytes, std::size_t n_dma_cmds) {
+  const sim::Time service = sim::Time::for_bytes(bytes, cfg_.ht_rx_rate);
+  // Ideally the deposit streamed concurrently with the wire arrival that
+  // just finished — its service would have STARTED `service` ago.  It can
+  // not have started before the pipe finished earlier messages, though:
+  // that queueing is what caps an incast at ht_rx_rate.
+  const sim::Time now = eng_.now();
+  const sim::Time ideal_start = now - service;
+  const sim::Time start = std::max(ideal_start, rx_free_at_);
+  rx_free_at_ = start + service;
+  rx_busy_accum_ += service;
+
+  const std::size_t burst = std::min(bytes, cfg_.rx_deposit_burst);
+  sim::Time finish = std::max(
+      rx_free_at_ + sim::Time::for_bytes(burst, cfg_.ht_rx_rate),
+      now + sim::Time::for_bytes(burst, cfg_.ht_rx_rate));
+  if (n_dma_cmds > 1) {
+    finish += cfg_.fw_per_dma_cmd * static_cast<std::int64_t>(n_dma_cmds - 1);
+  }
+  co_await sim::delay(eng_, finish - now);
+}
+
+void Nic::on_header(const net::MessagePtr& msg) {
+  assert(client_ != nullptr && "NIC has no firmware installed");
+  client_->on_rx_header(msg);
+}
+
+void Nic::on_complete(const net::MessagePtr& msg) {
+  assert(client_ != nullptr && "NIC has no firmware installed");
+  ++msgs_received_;
+  bytes_received_ += msg->payload.size();
+  // End-to-end CRC-32 check performed by the Rx DMA engine (§2).
+  std::uint32_t c = net::crc32_init();
+  c = net::crc32_update(c, msg->header);
+  c = net::crc32_update(c, msg->payload);
+  const bool ok = net::crc32_finish(c) == msg->e2e_crc && !msg->corrupted;
+  if (!ok) ++crc_drops_;
+  client_->on_rx_complete(msg, ok);
+}
+
+}  // namespace xt::ss

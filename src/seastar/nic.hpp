@@ -1,0 +1,111 @@
+#pragma once
+
+// The SeaStar NIC hardware shell (Figure 1 of the paper).
+//
+// Owns the two independent DMA engines, the local SRAM, and the node's
+// attachment to the torus.  The firmware (src/firmware) runs "on" this NIC:
+// the NIC delivers raw receive milestones to an installed RxClient and
+// executes DMA programs on the firmware's behalf.  Everything Portals-
+// specific lives above this layer.
+//
+// Independent Tx and Rx engines are what let the paper's Figure 7 sustain
+// ~2x the uni-directional rate: nothing here is shared between the transmit
+// and receive paths except the wire itself (which is also full-duplex).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "seastar/config.hpp"
+#include "seastar/sram.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace xt::ss {
+
+/// Receive-side observer implemented by the firmware.
+class RxClient {
+ public:
+  virtual ~RxClient() = default;
+  /// A new message header reached the Rx DMA engine.
+  virtual void on_rx_header(const net::MessagePtr& msg) = 0;
+  /// The last payload byte arrived.  `crc_ok` is the end-to-end CRC-32
+  /// verdict computed by the Rx DMA engine.
+  virtual void on_rx_complete(const net::MessagePtr& msg, bool crc_ok) = 0;
+};
+
+/// Reads payload bytes out of host memory as the Tx DMA engine consumes
+/// them (zero-copy transmit: §4.3 "payload DMA'ed directly from main
+/// memory").
+using PayloadReader =
+    std::function<void(std::size_t offset, std::span<std::byte> out)>;
+
+class Nic final : public net::Endpoint {
+ public:
+  Nic(sim::Engine& eng, const Config& cfg, net::Network& net,
+      net::NodeId node);
+
+  void set_rx_client(RxClient& c) { client_ = &c; }
+
+  /// Executes one transmit DMA program: fetches the header from the upper
+  /// pending across HT, then streams `payload_bytes` from host memory onto
+  /// the wire at the effective HT read rate.  Holds the Tx engine for the
+  /// duration — all transmits from a node serialize, mirroring the single
+  /// TX FIFO of §4.3.  `n_dma_cmds` > 1 charges the per-command overhead of
+  /// pre-computed (non-contiguous) programs.
+  sim::CoTask<void> transmit(net::MessagePtr msg, PayloadReader reader,
+                             std::size_t payload_bytes,
+                             std::size_t n_dma_cmds);
+
+  /// Completes a receive DMA program.  The engine is modeled as a
+  /// rate-limited pipe: a message's bytes stream to host memory DURING
+  /// their wire arrival (cut-through), so a lone message only pays the
+  /// trailing burst — but the pipe's capacity (ht_rx_rate) is shared, so
+  /// concurrent deposits from an incast serialize and the node's aggregate
+  /// receive rate caps at the HT practical rate (§2).
+  sim::CoTask<void> deposit(std::size_t bytes, std::size_t n_dma_cmds);
+
+  // net::Endpoint — wire-side arrivals, forwarded to the firmware.
+  void on_header(const net::MessagePtr& msg) override;
+  void on_complete(const net::MessagePtr& msg) override;
+
+  net::NodeId node() const { return node_; }
+  Sram& sram() { return sram_; }
+  const Config& config() const { return cfg_; }
+  sim::Engine& engine() const { return eng_; }
+  net::Network& network() { return net_; }
+
+  // Counters.
+  std::uint64_t msgs_sent() const { return msgs_sent_; }
+  std::uint64_t msgs_received() const { return msgs_received_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  std::uint64_t crc_drops() const { return crc_drops_; }
+  sim::Time tx_busy() const { return tx_dma_.busy_time(); }
+  sim::Time rx_busy() const { return rx_busy_accum_; }
+
+ private:
+  sim::Engine& eng_;
+  const Config& cfg_;
+  net::Network& net_;
+  net::NodeId node_;
+  Sram sram_;
+  sim::Resource tx_dma_;
+  sim::Resource rx_dma_;  // retained for potential exclusive-mode programs
+  /// Rx pipe bookkeeping: when the engine finishes its queued service.
+  sim::Time rx_free_at_{};
+  sim::Time rx_busy_accum_{};
+  RxClient* client_ = nullptr;
+
+  std::uint64_t msgs_sent_ = 0;
+  std::uint64_t msgs_received_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t crc_drops_ = 0;
+};
+
+}  // namespace xt::ss

@@ -1,0 +1,115 @@
+#pragma once
+
+// SeaStar local SRAM accounting.
+//
+// The paper's central hardware constraint (§3.3): only 384 KB of on-chip
+// SRAM is available to the firmware, which is why Portals matching stays on
+// the host in the initial implementation.  The firmware pre-allocates every
+// structure at initialization (§4.2: "There is no dynamic allocation of any
+// data structures by the firmware"), so the model is a set of named regions
+// reserved once at boot; exceeding the budget is a *boot-time* failure,
+// mirroring how the real firmware's compile-time constants are sized.
+//
+// The §4.2 occupancy formula  M = S*Ssize + sum_i(Pi * Psize)  is what
+// bench/tableA_sram prints from this accounting.
+
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xt::ss {
+
+class Sram {
+ public:
+  explicit Sram(std::size_t capacity) : capacity_(capacity) {}
+  Sram(const Sram&) = delete;
+  Sram& operator=(const Sram&) = delete;
+
+  /// RAII reservation of a named region.
+  class Region {
+   public:
+    Region() = default;
+    Region(Region&& o) noexcept
+        : sram_(std::exchange(o.sram_, nullptr)), idx_(o.idx_) {}
+    Region& operator=(Region&& o) noexcept {
+      if (this != &o) {
+        release();
+        sram_ = std::exchange(o.sram_, nullptr);
+        idx_ = o.idx_;
+      }
+      return *this;
+    }
+    Region(const Region&) = delete;
+    Region& operator=(const Region&) = delete;
+    ~Region() { release(); }
+
+    std::size_t size() const {
+      return sram_ ? sram_->entries_[idx_].bytes : 0;
+    }
+    bool valid() const { return sram_ != nullptr; }
+
+   private:
+    friend class Sram;
+    Region(Sram* s, std::size_t idx) : sram_(s), idx_(idx) {}
+    void release() {
+      if (sram_ != nullptr) {
+        sram_->release(idx_);
+        sram_ = nullptr;
+      }
+    }
+    Sram* sram_ = nullptr;
+    std::size_t idx_ = 0;
+  };
+
+  /// Reserves `bytes` under `name`.  Throws std::length_error when the
+  /// budget would be exceeded — the moral equivalent of the firmware image
+  /// failing to fit at boot.
+  Region reserve(std::string name, std::size_t bytes) {
+    if (used_ + bytes > capacity_) {
+      throw std::length_error("SeaStar SRAM exhausted reserving '" + name +
+                              "': " + std::to_string(used_ + bytes) + " of " +
+                              std::to_string(capacity_) + " bytes");
+    }
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+    entries_.push_back(Entry{std::move(name), bytes, /*live=*/true});
+    return Region{this, entries_.size() - 1};
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t peak() const { return peak_; }
+  std::size_t free_bytes() const { return capacity_ - used_; }
+
+  /// Live regions, in reservation order (name, bytes).
+  std::vector<std::pair<std::string, std::size_t>> table() const {
+    std::vector<std::pair<std::string, std::size_t>> out;
+    for (const auto& e : entries_) {
+      if (e.live) out.emplace_back(e.name, e.bytes);
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::size_t bytes = 0;
+    bool live = false;
+  };
+
+  void release(std::size_t idx) {
+    assert(idx < entries_.size() && entries_[idx].live);
+    entries_[idx].live = false;
+    used_ -= entries_[idx].bytes;
+  }
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace xt::ss

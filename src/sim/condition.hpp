@@ -1,0 +1,60 @@
+#pragma once
+
+// WaitQueue: the simulation's condition-variable analogue.
+//
+// A coroutine parks itself with `co_await wq.wait()`; notify_one/notify_all
+// schedule resumption through the engine (never inline), so a notifier
+// running inside an event callback cannot be re-entered by the woken
+// process.  As with condition variables, waiters must re-check their
+// predicate in a loop after waking.
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+
+#include "sim/engine.hpp"
+
+namespace xt::sim {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Engine& eng) : eng_(eng) {}
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  class Waiter {
+   public:
+    explicit Waiter(WaitQueue& wq) : wq_(wq) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { wq_.q_.push_back(h); }
+    void await_resume() const noexcept {}
+
+   private:
+    WaitQueue& wq_;
+  };
+
+  /// Awaitable that parks the calling coroutine until notified.
+  [[nodiscard]] Waiter wait() { return Waiter{*this}; }
+
+  /// Wakes the longest-waiting coroutine (if any) at the current time.
+  void notify_one() {
+    if (q_.empty()) return;
+    auto h = q_.front();
+    q_.pop_front();
+    eng_.schedule_after(Time{}, [h] { h.resume(); });
+  }
+
+  /// Wakes every parked coroutine at the current time.
+  void notify_all() {
+    while (!q_.empty()) notify_one();
+  }
+
+  std::size_t waiters() const { return q_.size(); }
+  Engine& engine() const { return eng_; }
+
+ private:
+  Engine& eng_;
+  std::deque<std::coroutine_handle<>> q_;
+};
+
+}  // namespace xt::sim

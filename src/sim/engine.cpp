@@ -1,0 +1,69 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace xt::sim {
+
+Engine::EventId Engine::schedule_at(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  heap_.push(Ev{t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void Engine::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already ran or cancelled
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    const Ev ev = heap_.top();
+    heap_.pop();
+    if (auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    auto it = callbacks_.find(ev.id);
+    assert(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.t;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::uint64_t Engine::run_until(Time t) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !heap_.empty()) {
+    // Peek past cancelled entries without executing.
+    const Ev ev = heap_.top();
+    if (cancelled_.count(ev.id) != 0) {
+      heap_.pop();
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    if (ev.t > t) break;
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace xt::sim

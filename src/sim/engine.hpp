@@ -1,0 +1,95 @@
+#pragma once
+
+// Discrete-event simulation kernel.
+//
+// The engine owns a min-heap of (time, sequence) ordered events.  Everything
+// in xtportals — DMA completions, firmware handler dispatch, interrupt
+// delivery, link serialization — is expressed as callbacks scheduled here.
+// Events at equal times run in scheduling order (FIFO), which together with
+// the deterministic RNG makes whole simulations bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xt::sim {
+
+/// The simulation scheduler.  Not thread-safe by design: a simulation is a
+/// single-threaded event loop (mirroring the single-threaded SeaStar
+/// firmware the project models).
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+  /// Token identifying a scheduled event, usable with cancel().
+  using EventId = std::uint64_t;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` to run `d` after the current time.
+  EventId schedule_after(Time d, Callback cb) {
+    return schedule_at(now_ + d, std::move(cb));
+  }
+
+  /// Cancels a pending event.  Cancelling an already-run (or already
+  /// cancelled) event is a no-op.
+  void cancel(EventId id);
+
+  /// Runs the next pending event, advancing time to it.
+  /// Returns false if the queue was empty.
+  bool step();
+
+  /// Runs until no events remain or stop() is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Runs all events with time <= `t`, then advances now() to exactly `t`.
+  std::uint64_t run_until(Time t);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  bool empty() const { return live_count() == 0; }
+  std::size_t pending() const { return live_count(); }
+
+  /// Total events executed since construction (for stats / budget guards).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Ev {
+    Time t;
+    EventId id;  // also the FIFO tie-breaker
+  };
+  struct EvLater {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  std::size_t live_count() const { return heap_.size() - cancelled_.size(); }
+
+  Time now_{};
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> heap_;
+  // Callbacks are stored out-of-band so cancel() can drop the closure
+  // immediately (freeing captured resources) while the heap entry stays.
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace xt::sim

@@ -1,0 +1,52 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/strf.hpp"
+
+namespace xt::sim {
+
+namespace {
+
+LogLevel parse_env() {
+  const char* v = std::getenv("XT_LOG");
+  if (v == nullptr) return LogLevel::kOff;
+  if (std::strcmp(v, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(v, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(v, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(v, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(v, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+LogLevel g_threshold = parse_env();
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "T";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+void set_log_threshold(LogLevel lvl) { g_threshold = lvl; }
+bool log_enabled(LogLevel lvl) { return lvl >= g_threshold; }
+
+void log_msg(LogLevel lvl, std::string_view component, Time t,
+             std::string_view msg) {
+  if (!log_enabled(lvl)) return;
+  std::fprintf(stderr, "[%12.3fus] %s %.*s: %.*s\n", t.to_us(),
+               level_name(lvl), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace xt::sim

@@ -1,0 +1,121 @@
+#pragma once
+
+// Resource: a serially-reusable server with priority queueing.
+//
+// Models anything that serializes work in the XT3 node: a DMA engine, a
+// network link, the host CPU, the HyperTransport channel.  Acquisition is
+// granted immediately when free, otherwise the requester parks in a
+// (priority, FIFO) queue.  Priorities are used to model interrupt handlers
+// preempting application work at the next scheduling boundary (the
+// simulation is non-preemptive within one usage; callers model long
+// occupancy as a sequence of short quanta where preemption fidelity
+// matters — see host::Cpu).
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace xt::sim {
+
+class Resource {
+ public:
+  explicit Resource(Engine& eng, std::string name = {})
+      : eng_(eng), name_(std::move(name)) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  class Acquire {
+   public:
+    Acquire(Resource& r, int prio) : r_(r), prio_(prio) {}
+    bool await_ready() const noexcept {
+      if (r_.busy_) return false;
+      r_.grant_now();
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      r_.waiters_.push(Waiter{prio_, r_.next_seq_++, h});
+      r_.max_queue_ = std::max(r_.max_queue_, r_.waiters_.size());
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Resource& r_;
+    int prio_;
+  };
+
+  /// Awaitable acquisition.  Higher `priority` wins; ties are FIFO.
+  [[nodiscard]] Acquire acquire(int priority = 0) {
+    return Acquire{*this, priority};
+  }
+
+  /// Releases the resource; hands it to the best waiter, if any.
+  void release();
+
+  /// Convenience: acquire, hold for `duration`, release.
+  CoTask<void> use(Time duration, int priority = 0) {
+    co_await acquire(priority);
+    co_await delay(eng_, duration);
+    release();
+  }
+
+  bool busy() const { return busy_; }
+  std::size_t queued() const { return waiters_.size(); }
+
+  /// Accumulated time the resource has been held (utilization numerator).
+  Time busy_time() const { return busy_accum_; }
+  std::size_t max_queue() const { return max_queue_; }
+  const std::string& name() const { return name_; }
+  Engine& engine() const { return eng_; }
+
+ private:
+  friend class Acquire;
+
+  struct Waiter {
+    int prio;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+  };
+  struct WorseFirst {
+    bool operator()(const Waiter& a, const Waiter& b) const {
+      if (a.prio != b.prio) return a.prio < b.prio;  // higher prio wins
+      return a.seq > b.seq;                          // then FIFO
+    }
+  };
+
+  void grant_now() {
+    busy_ = true;
+    held_since_ = eng_.now();
+  }
+
+  Engine& eng_;
+  std::string name_;
+  bool busy_ = false;
+  Time held_since_{};
+  Time busy_accum_{};
+  std::uint64_t next_seq_ = 0;
+  std::size_t max_queue_ = 0;
+  std::priority_queue<Waiter, std::vector<Waiter>, WorseFirst> waiters_;
+};
+
+inline void Resource::release() {
+  busy_accum_ += eng_.now() - held_since_;
+  if (waiters_.empty()) {
+    busy_ = false;
+    return;
+  }
+  const Waiter w = waiters_.top();
+  waiters_.pop();
+  // Stay busy across the handoff; the new holder's interval starts when the
+  // scheduled resume actually runs (same timestamp, later event order).
+  eng_.schedule_after(Time{}, [this, h = w.h] {
+    held_since_ = eng_.now();
+    h.resume();
+  });
+}
+
+}  // namespace xt::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+// Deterministic random number generation (xoshiro256++).
+//
+// The simulator never uses std::random_device or global state: every
+// stochastic component (link fault injection, workload generators) owns an
+// Rng seeded from the experiment configuration, so a run is reproducible
+// from its seed alone.
+
+#include <cassert>
+#include <cstdint>
+
+namespace xt::sim {
+
+class Rng {
+ public:
+  /// Seeds via splitmix64 so that small/sequential seeds still produce
+  /// well-distributed state.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) word = splitmix64(x);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).  n must be > 0.  (Lemire's multiply-shift method.)
+  std::uint64_t below(std::uint64_t n) {
+    assert(n > 0);
+    __extension__ using u128 = unsigned __int128;
+    const u128 m = static_cast<u128>(u64()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Forks an independent stream (for per-component RNGs derived from one
+  /// experiment seed).
+  Rng fork() { return Rng{u64()}; }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace xt::sim

@@ -1,0 +1,13 @@
+#include "sim/stats.hpp"
+
+#include "sim/strf.hpp"
+
+namespace xt::sim {
+
+std::string Accumulator::str() const {
+  return strf("n=%llu mean=%.4g [%.4g,%.4g] sd=%.4g",
+              static_cast<unsigned long long>(n_), mean(), min(), max(),
+              stddev());
+}
+
+}  // namespace xt::sim

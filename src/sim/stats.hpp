@@ -1,0 +1,49 @@
+#pragma once
+
+// Streaming statistics (Welford) used by the benchmark harness and by
+// component utilization counters.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace xt::sim {
+
+/// Single-pass accumulator for count/min/max/mean/stddev.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return mean_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = Accumulator{}; }
+
+  /// "n=5 mean=1.2 [1.0,1.5] sd=0.2"
+  std::string str() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace xt::sim

@@ -1,0 +1,39 @@
+#pragma once
+
+// printf-style string formatting helper.
+//
+// libstdc++ 12 does not ship std::format, so the project uses this small
+// type-checked wrapper around vsnprintf for log lines and table output.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace xt::sim {
+
+#if defined(__GNUC__)
+#define XT_PRINTF_LIKE(fmt_idx, arg_idx) \
+  __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define XT_PRINTF_LIKE(fmt_idx, arg_idx)
+#endif
+
+/// Returns the printf-formatted string.
+XT_PRINTF_LIKE(1, 2)
+inline std::string strf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace xt::sim

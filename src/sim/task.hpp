@@ -1,0 +1,193 @@
+#pragma once
+
+// Coroutine support for simulated processes.
+//
+// Real Portals applications block in calls like PtlEQWait; inside a
+// discrete-event simulation "blocking" must suspend the simulated process
+// and hand control back to the scheduler.  xtportals expresses simulated
+// processes as C++20 coroutines:
+//
+//   * CoTask<T>   — a lazy, awaitable coroutine returning T.  Library
+//                   routines that may block (PtlEQWait, MPI_Recv, ...) are
+//                   written as CoTask and co_await'ed by their callers.
+//   * spawn()     — launches a CoTask<void> as a detached top-level
+//                   simulated process (e.g. one rank of a benchmark).
+//   * delay()     — awaitable that suspends for a simulated duration.
+//   * yield()     — awaitable that reschedules at the current time, letting
+//                   other same-time events run first.
+//
+// Lifetime rules: a CoTask owns its coroutine frame and destroys it in its
+// destructor.  Detached processes destroy themselves on completion; a
+// detached process still parked in a WaitQueue when the simulation ends is
+// deliberately leaked (a process alive at power-off), which leak checkers
+// will flag — run them with detect_leaks=0 or ignore those reports.
+// All resumption goes through the Engine, never inline from notify calls,
+// so callbacks cannot re-enter each other.
+//
+// TOOLCHAIN HAZARD (GCC 12): a lambda with NON-TRIVIALLY-DESTRUCTIBLE
+// by-value captures appearing as a temporary inside a co_await expression
+// gets its captures double-destroyed (miscompiled frame cleanup).  Capture
+// such objects BY REFERENCE to a coroutine-frame local that outlives the
+// awaited call instead.  Trivial captures (pointers, ints, handles) are
+// unaffected.  See tests under ASAN for enforcement.
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace xt::sim {
+
+template <typename T>
+class CoTask;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise final : PromiseBase {
+  std::optional<T> value;
+  CoTask<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> final : PromiseBase {
+  CoTask<void> get_return_object();
+  void return_void() const noexcept {}
+};
+
+}  // namespace detail
+
+/// A lazy coroutine task.  Does not start until awaited (or spawned).
+template <typename T = void>
+class [[nodiscard]] CoTask {
+ public:
+  using promise_type = detail::Promise<T>;
+
+  CoTask(CoTask&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  CoTask& operator=(CoTask&& o) noexcept {
+    if (this != &o) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  ~CoTask() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;  // symmetric transfer: start the child task
+  }
+  T await_resume() {
+    auto& p = h_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    if constexpr (!std::is_void_v<T>) {
+      assert(p.value.has_value());
+      return std::move(*p.value);
+    }
+  }
+
+ private:
+  friend promise_type;
+  explicit CoTask(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+namespace detail {
+
+template <typename T>
+CoTask<T> Promise<T>::get_return_object() {
+  return CoTask<T>{std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+inline CoTask<void> Promise<void>::get_return_object() {
+  return CoTask<void>{
+      std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+
+/// Self-destroying driver for detached tasks.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() const noexcept { return {}; }
+    std::suspend_never initial_suspend() const noexcept { return {}; }
+    std::suspend_never final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    [[noreturn]] void unhandled_exception() noexcept {
+      // A detached simulated process has nowhere to propagate; failing loudly
+      // beats silently losing the error.
+      std::terminate();
+    }
+  };
+};
+
+inline Detached drive(CoTask<void> t) { co_await std::move(t); }
+
+}  // namespace detail
+
+/// Launches `t` as a detached simulated process.  The task starts running
+/// immediately (at the current simulated time) up to its first suspension.
+inline void spawn(CoTask<void> t) { detail::drive(std::move(t)); }
+
+/// Awaitable: suspend for a simulated duration.  A zero (or negative)
+/// delay completes without suspending.
+class Delay {
+ public:
+  Delay(Engine& eng, Time d) : eng_(eng), d_(d) {}
+  bool await_ready() const noexcept { return d_ <= Time{}; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    eng_.schedule_after(d_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Engine& eng_;
+  Time d_;
+};
+
+inline Delay delay(Engine& eng, Time d) { return Delay{eng, d}; }
+
+/// Awaitable: reschedule at the current time behind already-queued events.
+class Yield {
+ public:
+  explicit Yield(Engine& eng) : eng_(eng) {}
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    eng_.schedule_after(Time{}, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Engine& eng_;
+};
+
+inline Yield yield(Engine& eng) { return Yield{eng}; }
+
+}  // namespace xt::sim

@@ -1,0 +1,18 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+
+#include "sim/strf.hpp"
+
+namespace xt::sim {
+
+std::string Time::str() const {
+  const double aps = std::abs(static_cast<double>(ps_));
+  if (aps < 1e3) return strf("%lld ps", static_cast<long long>(ps_));
+  if (aps < 1e6) return strf("%.3f ns", to_ns());
+  if (aps < 1e9) return strf("%.3f us", to_us());
+  if (aps < 1e12) return strf("%.3f ms", to_ms());
+  return strf("%.3f s", to_sec());
+}
+
+}  // namespace xt::sim

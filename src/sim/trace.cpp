@@ -1,0 +1,83 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+#include "sim/strf.hpp"
+
+namespace xt::sim {
+
+namespace {
+Trace* g_trace = nullptr;
+
+/// Minimal JSON string escaping (tracks/names are code-controlled, but be
+/// safe about quotes and backslashes).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+Trace* global_trace() { return g_trace; }
+void set_global_trace(Trace* t) { g_trace = t; }
+
+void trace_begin(std::string track, std::string name, Time t) {
+  if (g_trace != nullptr) {
+    g_trace->begin(std::move(track), std::move(name), t);
+  }
+}
+void trace_end(std::string track, std::string name, Time t) {
+  if (g_trace != nullptr) g_trace->end(std::move(track), std::move(name), t);
+}
+void trace_instant(std::string track, std::string name, Time t,
+                   std::int64_t arg) {
+  if (g_trace != nullptr) {
+    g_trace->instant(std::move(track), std::move(name), t, arg);
+  }
+}
+
+std::string Trace::to_chrome_json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Record& r : records_) {
+    if (!first) out += ",\n";
+    first = false;
+    // One "process" per track keeps unrelated components on separate rows.
+    if (r.phase == Phase::kCounter) {
+      out += strf(
+          "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":\"%s\","
+          "\"args\":{\"value\":%lld}}",
+          escape(r.name).c_str(), r.t.to_us(), escape(r.track).c_str(),
+          static_cast<long long>(r.arg));
+    } else if (r.phase == Phase::kInstant) {
+      out += strf(
+          "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+          "\"pid\":\"%s\",\"tid\":1,\"args\":{\"arg\":%lld}}",
+          escape(r.name).c_str(), r.t.to_us(), escape(r.track).c_str(),
+          static_cast<long long>(r.arg));
+    } else {
+      out += strf(
+          "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":\"%s\","
+          "\"tid\":1}",
+          escape(r.name).c_str(), static_cast<char>(r.phase), r.t.to_us(),
+          escape(r.track).c_str());
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+bool Trace::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace xt::sim

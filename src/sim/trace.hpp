@@ -1,0 +1,85 @@
+#pragma once
+
+// Event tracing.
+//
+// Components emit (time, track, name, phase) records into a Trace attached
+// to the engine; the result can be dumped as Chrome trace-event JSON
+// (load in chrome://tracing or https://ui.perfetto.dev) to see a message's
+// life across host CPUs, firmware, DMA engines and links on one timeline.
+//
+// Tracing is off unless a Trace is installed, and emit sites are guarded by
+// a cheap enabled() check, so the hot path stays clean.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xt::sim {
+
+class Trace {
+ public:
+  /// Trace-event phases (a subset of the Chrome trace format).
+  enum class Phase : char {
+    kBegin = 'B',    // duration begin (pair with kEnd on the same track)
+    kEnd = 'E',      // duration end
+    kInstant = 'i',  // point event
+    kCounter = 'C',  // counter sample (value in `arg`)
+  };
+
+  struct Record {
+    Time t;
+    Phase phase;
+    std::string track;  // e.g. "node1.fw", "node0.cpu", "link.n0.x+"
+    std::string name;   // e.g. "rx_header", "interrupt", "put 4096B"
+    std::int64_t arg = 0;
+  };
+
+  void begin(std::string track, std::string name, Time t) {
+    records_.push_back({t, Phase::kBegin, std::move(track), std::move(name),
+                        0});
+  }
+  void end(std::string track, std::string name, Time t) {
+    records_.push_back({t, Phase::kEnd, std::move(track), std::move(name),
+                        0});
+  }
+  void instant(std::string track, std::string name, Time t,
+               std::int64_t arg = 0) {
+    records_.push_back({t, Phase::kInstant, std::move(track),
+                        std::move(name), arg});
+  }
+  void counter(std::string track, std::string name, Time t,
+               std::int64_t value) {
+    records_.push_back({t, Phase::kCounter, std::move(track),
+                        std::move(name), value});
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Serializes as Chrome trace-event JSON (the "traceEvents" array form).
+  /// Tracks become process/thread names; times are microseconds.
+  std::string to_chrome_json() const;
+
+  /// Writes to_chrome_json() to a file; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Global trace sink used by instrumented components.  Null (the default)
+/// disables all tracing.
+Trace* global_trace();
+void set_global_trace(Trace* t);
+inline bool trace_enabled() { return global_trace() != nullptr; }
+
+/// Emit helpers that no-op when tracing is off.
+void trace_begin(std::string track, std::string name, Time t);
+void trace_end(std::string track, std::string name, Time t);
+void trace_instant(std::string track, std::string name, Time t,
+                   std::int64_t arg = 0);
+
+}  // namespace xt::sim

@@ -1,0 +1,311 @@
+// Tests for accelerated mode (src/host/accel): user-space library,
+// firmware-offloaded matching, no traps or interrupts on the data path.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "host/node.hpp"
+#include "portals/api.hpp"
+
+namespace xt {
+namespace {
+
+using host::Machine;
+using host::Process;
+using ptl::AckReq;
+using ptl::Event;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::ProcessId;
+using ptl::PTL_OK;
+using ptl::Unlink;
+using sim::CoTask;
+using sim::Time;
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 3) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 59 + seed) & 0xFF);
+  }
+  return v;
+}
+
+CoTask<void> accel_receiver(Process& p, std::uint64_t buf, std::uint32_t len,
+                            int n_msgs, bool* done,
+                            std::vector<Event>* events) {
+  auto& api = p.api();
+  auto eq = co_await api.PtlEQAlloc(64);
+  EXPECT_EQ(eq.rc, PTL_OK);
+  auto me = co_await api.PtlMEAttach(0, ProcessId{ptl::kNidAny, ptl::kPidAny},
+                                     7, 0, Unlink::kRetain, InsPos::kAfter);
+  MdDesc d;
+  d.start = buf;
+  d.length = len;
+  d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_OP_GET;
+  d.eq = eq.value;
+  (void)co_await api.PtlMDAttach(me.value, d, Unlink::kRetain);
+  int ends = 0;
+  while (ends < n_msgs) {
+    auto ev = co_await api.PtlEQWait(eq.value);
+    EXPECT_EQ(ev.rc, PTL_OK);
+    events->push_back(ev.value);
+    if (ev.value.type == EventType::kPutEnd ||
+        ev.value.type == EventType::kGetEnd) {
+      ++ends;
+    }
+  }
+  *done = true;
+}
+
+CoTask<void> accel_sender(Process& p, std::uint64_t buf, std::uint32_t len,
+                          ProcessId target, AckReq ack, bool* done) {
+  auto& api = p.api();
+  auto eq = co_await api.PtlEQAlloc(64);
+  MdDesc d;
+  d.start = buf;
+  d.length = len;
+  d.eq = eq.value;
+  auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+  EXPECT_EQ(co_await api.PtlPut(md.value, ack, target, 0, 0, 7, 0, 0),
+            PTL_OK);
+  bool sent = false, acked = ack != AckReq::kAck;
+  while (!sent || !acked) {
+    auto ev = co_await api.PtlEQWait(eq.value);
+    EXPECT_EQ(ev.rc, PTL_OK);
+    if (ev.value.type == EventType::kSendEnd) sent = true;
+    if (ev.value.type == EventType::kAck) acked = true;
+  }
+  *done = true;
+}
+
+struct AccelPair {
+  Machine m{net::Shape::xt3(2, 1, 1)};
+  Process& src;
+  Process& dst;
+  AccelPair()
+      : src(m.node(0).spawn_accel_process(4)),
+        dst(m.node(1).spawn_accel_process(4)) {}
+};
+
+TEST(Accel, PutDeliversWithZeroInterrupts) {
+  AccelPair p;
+  const auto data = pattern(4096);
+  const std::uint64_t sbuf = p.src.alloc(4096);
+  const std::uint64_t rbuf = p.dst.alloc(4096);
+  p.src.write_bytes(sbuf, data);
+  bool sdone = false, rdone = false;
+  std::vector<Event> rev;
+  sim::spawn(accel_receiver(p.dst, rbuf, 4096, 1, &rdone, &rev));
+  sim::spawn(accel_sender(p.src, sbuf, 4096, p.dst.id(), AckReq::kNone,
+                          &sdone));
+  p.m.run();
+  ASSERT_TRUE(sdone && rdone);
+  std::vector<std::byte> got(4096);
+  p.dst.read_bytes(rbuf, got);
+  EXPECT_EQ(got, data);
+  // The whole point of accelerated mode: no interrupts anywhere.
+  EXPECT_EQ(p.m.node(0).firmware().counters().interrupts, 0u);
+  EXPECT_EQ(p.m.node(1).firmware().counters().interrupts, 0u);
+  EXPECT_GT(p.m.node(1).firmware().counters().accel_matches, 0u);
+}
+
+TEST(Accel, InlinePutDelivers) {
+  AccelPair p;
+  const auto data = pattern(8);
+  const std::uint64_t sbuf = p.src.alloc(8);
+  const std::uint64_t rbuf = p.dst.alloc(8);
+  p.src.write_bytes(sbuf, data);
+  bool sdone = false, rdone = false;
+  std::vector<Event> rev;
+  sim::spawn(accel_receiver(p.dst, rbuf, 8, 1, &rdone, &rev));
+  sim::spawn(accel_sender(p.src, sbuf, 8, p.dst.id(), AckReq::kNone,
+                          &sdone));
+  p.m.run();
+  ASSERT_TRUE(sdone && rdone);
+  std::vector<std::byte> got(8);
+  p.dst.read_bytes(rbuf, got);
+  EXPECT_EQ(got, data);
+}
+
+TEST(Accel, AckRoundTrip) {
+  AccelPair p;
+  const std::uint64_t sbuf = p.src.alloc(256);
+  const std::uint64_t rbuf = p.dst.alloc(256);
+  bool sdone = false, rdone = false;
+  std::vector<Event> rev;
+  sim::spawn(accel_receiver(p.dst, rbuf, 256, 1, &rdone, &rev));
+  sim::spawn(accel_sender(p.src, sbuf, 256, p.dst.id(), AckReq::kAck,
+                          &sdone));
+  p.m.run();
+  EXPECT_TRUE(sdone && rdone);
+}
+
+TEST(Accel, GetFetchesData) {
+  AccelPair p;
+  const auto data = pattern(10000, 9);
+  const std::uint64_t tbuf = p.dst.alloc(10000);
+  p.dst.write_bytes(tbuf, data);
+  const std::uint64_t ibuf = p.src.alloc(10000);
+  bool tdone = false, idone = false;
+  std::vector<Event> tev;
+  sim::spawn(accel_receiver(p.dst, tbuf, 10000, 1, &tdone, &tev));
+  sim::spawn([](Process& pr, std::uint64_t buf, ProcessId tgt,
+                bool* done) -> CoTask<void> {
+    auto& api = pr.api();
+    auto eq = co_await api.PtlEQAlloc(64);
+    MdDesc d;
+    d.start = buf;
+    d.length = 10000;
+    d.options = ptl::PTL_MD_OP_GET;
+    d.eq = eq.value;
+    auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+    EXPECT_EQ(co_await api.PtlGet(md.value, tgt, 0, 0, 7, 0), PTL_OK);
+    for (;;) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kReplyEnd) break;
+    }
+    *done = true;
+  }(p.src, ibuf, p.dst.id(), &idone));
+  p.m.run();
+  ASSERT_TRUE(tdone && idone);
+  std::vector<std::byte> got(10000);
+  p.src.read_bytes(ibuf, got);
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(p.m.node(0).firmware().counters().interrupts, 0u);
+  EXPECT_EQ(p.m.node(1).firmware().counters().interrupts, 0u);
+}
+
+TEST(Accel, LowerLatencyThanGenericMode) {
+  // One-way 1-byte latency, accelerated vs generic, same machine model.
+  auto one_way = [](bool accel) {
+    Machine m(net::Shape::xt3(2, 1, 1));
+    Process& a = accel ? m.node(0).spawn_accel_process(4)
+                       : m.node(0).spawn_process(4);
+    Process& b = accel ? m.node(1).spawn_accel_process(4)
+                       : m.node(1).spawn_process(4);
+    const std::uint64_t sbuf = a.alloc(8);
+    const std::uint64_t rbuf = b.alloc(8);
+    constexpr int kIters = 10;
+    bool done = false;
+    Time elapsed{};
+    // Simple ping-pong at Portals level.
+    sim::spawn([](Process& p, std::uint64_t sb, int it) -> CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(256);
+      auto me = co_await api.PtlMEAttach(
+          0, ProcessId{ptl::kNidAny, ptl::kPidAny}, 7, 0, Unlink::kRetain,
+          InsPos::kAfter);
+      MdDesc rd;
+      rd.start = sb;
+      rd.length = 1;
+      rd.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE;
+      rd.eq = eq.value;
+      (void)co_await api.PtlMDAttach(me.value, rd, Unlink::kRetain);
+      MdDesc ld;
+      ld.start = sb;
+      ld.length = 1;
+      ld.eq = eq.value;
+      auto md = co_await api.PtlMDBind(ld, Unlink::kRetain);
+      for (int i = 0; i < it; ++i) {
+        (void)co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{1, 4},
+                                  0, 0, 7, 0, 0);
+        int put_end = 0;
+        while (put_end == 0) {
+          auto ev = co_await api.PtlEQWait(eq.value);
+          if (ev.value.type == EventType::kPutEnd) ++put_end;
+        }
+      }
+    }(a, sbuf, kIters));
+    sim::spawn([](Process& p, std::uint64_t rb, int it, bool* d,
+                  Time* out, sim::Engine* eng) -> CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(256);
+      auto me = co_await api.PtlMEAttach(
+          0, ProcessId{ptl::kNidAny, ptl::kPidAny}, 7, 0, Unlink::kRetain,
+          InsPos::kAfter);
+      MdDesc rd;
+      rd.start = rb;
+      rd.length = 1;
+      rd.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE;
+      rd.eq = eq.value;
+      (void)co_await api.PtlMDAttach(me.value, rd, Unlink::kRetain);
+      MdDesc ld;
+      ld.start = rb;
+      ld.length = 1;
+      ld.eq = eq.value;
+      auto md = co_await api.PtlMDBind(ld, Unlink::kRetain);
+      const Time start = eng->now();
+      for (int i = 0; i < it; ++i) {
+        int put_end = 0;
+        while (put_end == 0) {
+          auto ev = co_await api.PtlEQWait(eq.value);
+          if (ev.value.type == EventType::kPutEnd) ++put_end;
+        }
+        (void)co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{0, 4},
+                                  0, 0, 7, 0, 0);
+      }
+      *out = eng->now() - start;
+      *d = true;
+    }(b, rbuf, kIters, &done, &elapsed, &m.engine()));
+    m.run();
+    EXPECT_TRUE(done);
+    return elapsed.to_us() / (2.0 * kIters);
+  };
+  const double generic_us = one_way(false);
+  const double accel_us = one_way(true);
+  // Offload removes both interrupts and all traps from the path (§3.3).
+  EXPECT_LT(accel_us, generic_us - 1.5);
+  EXPECT_GT(accel_us, 1.0);
+}
+
+TEST(Accel, CoexistsWithGenericProcessOnOneNode) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& accel = m.node(1).spawn_accel_process(4);
+  Process& generic = m.node(1).spawn_process(5);
+  Process& src = m.node(0).spawn_process(4);
+  const std::uint64_t sbuf = src.alloc(128);
+  const std::uint64_t abuf = accel.alloc(128);
+  const std::uint64_t gbuf = generic.alloc(128);
+  src.write_bytes(sbuf, pattern(128, 1));
+
+  bool a_done = false, g_done = false, s_done = false;
+  std::vector<Event> aev, gev;
+  sim::spawn(accel_receiver(accel, abuf, 128, 1, &a_done, &aev));
+  sim::spawn(accel_receiver(generic, gbuf, 128, 1, &g_done, &gev));
+  sim::spawn([](Process& p, std::uint64_t b, bool* d) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(64);
+    MdDesc desc;
+    desc.start = b;
+    desc.length = 128;
+    desc.eq = eq.value;
+    auto md = co_await api.PtlMDBind(desc, Unlink::kRetain);
+    // One message to the accelerated pid, one to the generic pid.
+    EXPECT_EQ(co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{1, 4},
+                                  0, 0, 7, 0, 0),
+              PTL_OK);
+    EXPECT_EQ(co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{1, 5},
+                                  0, 0, 7, 0, 0),
+              PTL_OK);
+    int sends = 0;
+    while (sends < 2) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kSendEnd) ++sends;
+    }
+    *d = true;
+  }(src, sbuf, &s_done));
+  m.run();
+  EXPECT_TRUE(a_done);
+  EXPECT_TRUE(g_done);
+  EXPECT_TRUE(s_done);
+  std::vector<std::byte> got(128);
+  accel.read_bytes(abuf, got);
+  EXPECT_EQ(got, pattern(128, 1));
+  generic.read_bytes(gbuf, got);
+  EXPECT_EQ(got, pattern(128, 1));
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,203 @@
+// Tests for the public Api surface beyond the data-movement calls:
+// identity, distance, multi-EQ polling, handle semantics, error returns.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "host/node.hpp"
+#include "portals/api.hpp"
+
+namespace xt {
+namespace {
+
+using host::Machine;
+using host::Process;
+using ptl::AckReq;
+using ptl::EqHandle;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::ProcessId;
+using ptl::PTL_OK;
+using ptl::Unlink;
+using sim::CoTask;
+using sim::Time;
+
+TEST(Api, GetIdReturnsNidPid) {
+  Machine m(net::Shape::xt3(3, 1, 1));
+  Process& p = m.node(2).spawn_process(7);
+  bool done = false;
+  sim::spawn([](Process& pr, bool* d) -> CoTask<void> {
+    auto id = co_await pr.api().PtlGetId();
+    EXPECT_EQ(id.rc, PTL_OK);
+    EXPECT_EQ(id.value, (ProcessId{2, 7}));
+    *d = true;
+  }(p, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Api, NIDistMatchesTopology) {
+  const net::Shape s = net::Shape::xt3(4, 4, 2);
+  Machine m(s);
+  Process& p = m.node(0).spawn_process(7);
+  bool done = false;
+  sim::spawn([](Process& pr, net::Shape sh, bool* d) -> CoTask<void> {
+    for (const net::NodeId dst : {0u, 1u, 5u, 31u}) {
+      auto r = co_await pr.api().PtlNIDist(dst);
+      EXPECT_EQ(r.rc, PTL_OK);
+      EXPECT_EQ(r.value,
+                static_cast<std::uint32_t>(net::hop_count(sh, 0, dst)));
+    }
+    *d = true;
+  }(p, s, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Api, EqPollTimesOutWhenSilent) {
+  Machine m(net::Shape::xt3(1, 1, 1));
+  Process& p = m.node(0).spawn_process(7);
+  bool done = false;
+  sim::spawn([](Process& pr, bool* d) -> CoTask<void> {
+    auto& api = pr.api();
+    auto eq1 = co_await api.PtlEQAlloc(8);
+    auto eq2 = co_await api.PtlEQAlloc(8);
+    const std::array<EqHandle, 2> eqs{eq1.value, eq2.value};
+    const Time start = pr.node().engine().now();
+    std::size_t which = 99;
+    auto r = co_await api.PtlEQPoll(eqs, Time::us(5), &which);
+    EXPECT_EQ(r.rc, ptl::PTL_EQ_EMPTY);
+    EXPECT_GE(pr.node().engine().now() - start, Time::us(5));
+    *d = true;
+  }(p, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Api, EqPollReportsWhichQueueFired) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& a = m.node(0).spawn_process(7);
+  Process& b = m.node(1).spawn_process(7);
+  bool done = false;
+  // b posts two receive MDs on different EQs; a targets the second one.
+  sim::spawn([](Process& pr, bool* d) -> CoTask<void> {
+    auto& api = pr.api();
+    auto eq1 = co_await api.PtlEQAlloc(8);
+    auto eq2 = co_await api.PtlEQAlloc(8);
+    for (int i = 0; i < 2; ++i) {
+      auto me = co_await api.PtlMEAttach(
+          0, ProcessId{ptl::kNidAny, ptl::kPidAny},
+          static_cast<ptl::MatchBits>(100 + i), 0, Unlink::kRetain,
+          InsPos::kAfter);
+      MdDesc md;
+      md.start = pr.alloc(64);
+      md.length = 64;
+      md.options = ptl::PTL_MD_OP_PUT;
+      md.eq = i == 0 ? eq1.value : eq2.value;
+      (void)co_await api.PtlMDAttach(me.value, md, Unlink::kRetain);
+    }
+    const std::array<EqHandle, 2> eqs{eq1.value, eq2.value};
+    std::size_t which = 99;
+    // Wait until the *second* EQ delivers PUT events.
+    for (;;) {
+      auto r = co_await api.PtlEQPoll(eqs, sim::Time::max(), &which);
+      EXPECT_EQ(r.rc, PTL_OK);
+      if (r.value.type == EventType::kPutEnd) break;
+    }
+    EXPECT_EQ(which, 1u);
+    *d = true;
+  }(b, &done));
+  sim::spawn([](Process& pr) -> CoTask<void> {
+    auto& api = pr.api();
+    auto eq = co_await api.PtlEQAlloc(8);
+    MdDesc md;
+    md.start = pr.alloc(8);
+    md.length = 8;
+    md.eq = eq.value;
+    auto h = co_await api.PtlMDBind(md, Unlink::kRetain);
+    (void)co_await api.PtlPut(h.value, AckReq::kNone, ProcessId{1, 7}, 0, 0,
+                              101, 0, 0);
+  }(a));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Api, HandleEqualityAndStaleness) {
+  Machine m(net::Shape::xt3(1, 1, 1));
+  Process& p = m.node(0).spawn_process(7);
+  bool done = false;
+  sim::spawn([](Process& pr, bool* d) -> CoTask<void> {
+    auto& api = pr.api();
+    auto me1 = co_await api.PtlMEAttach(0,
+                                        ProcessId{ptl::kNidAny, ptl::kPidAny},
+                                        1, 0, Unlink::kRetain, InsPos::kAfter);
+    auto copy = me1.value;
+    EXPECT_TRUE(ptl::Api::PtlHandleIsEqual(me1.value, copy));
+    // Unlink, then reattach: the slot may be reused but the generation
+    // must differ, so the stale handle never aliases the new entry.
+    EXPECT_EQ(co_await api.PtlMEUnlink(me1.value), PTL_OK);
+    auto me2 = co_await api.PtlMEAttach(0,
+                                        ProcessId{ptl::kNidAny, ptl::kPidAny},
+                                        2, 0, Unlink::kRetain, InsPos::kAfter);
+    EXPECT_FALSE(ptl::Api::PtlHandleIsEqual(me1.value, me2.value));
+    EXPECT_EQ(co_await api.PtlMEUnlink(me1.value), ptl::PTL_ME_INVALID);
+    EXPECT_EQ(co_await api.PtlMEUnlink(me2.value), PTL_OK);
+    *d = true;
+  }(p, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Api, ErrorStringsCoverCodes) {
+  EXPECT_STREQ(ptl::ptl_err_str(PTL_OK), "PTL_OK");
+  EXPECT_STREQ(ptl::ptl_err_str(ptl::PTL_EQ_EMPTY), "PTL_EQ_EMPTY");
+  EXPECT_STREQ(ptl::ptl_err_str(ptl::PTL_SEGV), "PTL_SEGV");
+  EXPECT_STREQ(ptl::ptl_err_str(9999), "PTL_UNKNOWN_ERROR");
+}
+
+TEST(Api, NIStatusCountsSentAndReceived) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& a = m.node(0).spawn_process(7);
+  Process& b = m.node(1).spawn_process(7);
+  bool done = false;
+  sim::spawn([](Process& pr, bool* d) -> CoTask<void> {
+    auto& api = pr.api();
+    auto eq = co_await api.PtlEQAlloc(8);
+    auto me = co_await api.PtlMEAttach(
+        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, 1, 0, Unlink::kRetain,
+        InsPos::kAfter);
+    MdDesc md;
+    md.start = pr.alloc(64);
+    md.length = 64;
+    md.options = ptl::PTL_MD_OP_PUT;
+    md.eq = eq.value;
+    (void)co_await api.PtlMDAttach(me.value, md, Unlink::kRetain);
+    for (;;) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kPutEnd) break;
+    }
+    auto recvd = co_await api.PtlNIStatus(ptl::SrIndex::kMessagesReceived);
+    EXPECT_GE(recvd.value, 1u);
+    *d = true;
+  }(b, &done));
+  sim::spawn([](Process& pr) -> CoTask<void> {
+    auto& api = pr.api();
+    auto eq = co_await api.PtlEQAlloc(8);
+    MdDesc md;
+    md.start = pr.alloc(8);
+    md.length = 8;
+    md.eq = eq.value;
+    auto h = co_await api.PtlMDBind(md, Unlink::kRetain);
+    (void)co_await api.PtlPut(h.value, AckReq::kNone, ProcessId{1, 7}, 0, 0,
+                              1, 0, 0);
+    auto sent = co_await api.PtlNIStatus(ptl::SrIndex::kMessagesSent);
+    EXPECT_GE(sent.value, 1u);
+  }(a));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,214 @@
+// Unit tests for the host substrate: address spaces (Catamount vs Linux),
+// CPU priorities, bridges, and node composition.
+
+#include <gtest/gtest.h>
+
+#include "host/cpu.hpp"
+#include "host/memory.hpp"
+#include "host/node.hpp"
+
+namespace xt::host {
+namespace {
+
+using sim::CoTask;
+using sim::Time;
+
+// -------------------------------------------------------- AddressSpace ----
+
+TEST(AddressSpace, AllocAdvancesAndAligns) {
+  AddressSpace as(OsType::kCatamount, 1 << 20, 4096);
+  const auto a = as.alloc(100, 64);
+  const auto b = as.alloc(100, 64);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(AddressSpace, ReadWriteRoundTrip) {
+  AddressSpace as(OsType::kLinux, 1 << 16, 4096);
+  const auto addr = as.alloc(256);
+  std::vector<std::byte> data(256);
+  for (std::size_t i = 0; i < 256; ++i) data[i] = static_cast<std::byte>(i);
+  as.write(addr, data);
+  std::vector<std::byte> got(256);
+  as.read(addr, got);
+  EXPECT_EQ(got, data);
+}
+
+TEST(AddressSpace, ValidBounds) {
+  AddressSpace as(OsType::kCatamount, 1000, 4096);
+  EXPECT_TRUE(as.valid(0, 1000));
+  EXPECT_FALSE(as.valid(0, 1001));
+  EXPECT_FALSE(as.valid(999, 2));
+  EXPECT_TRUE(as.valid(1000, 0));
+}
+
+TEST(AddressSpace, ExhaustionThrows) {
+  AddressSpace as(OsType::kCatamount, 1024, 4096);
+  (void)as.alloc(900);
+  EXPECT_THROW((void)as.alloc(900), std::length_error);
+}
+
+TEST(AddressSpace, CatamountIsAlwaysOneSegment) {
+  // "Catamount maps virtually contiguous pages to physically contiguous
+  // pages" — one DMA command regardless of size (§3.3).
+  AddressSpace as(OsType::kCatamount, 32 << 20, 4096);
+  const auto addr = as.alloc(16 << 20);
+  EXPECT_EQ(as.dma_segments(addr, 16 << 20), 1u);
+  EXPECT_EQ(as.dma_segments(addr, 1), 1u);
+}
+
+TEST(AddressSpace, LinuxSegmentsPerPage) {
+  AddressSpace as(OsType::kLinux, 1 << 20, 4096);
+  EXPECT_EQ(as.dma_segments(0, 1), 1u);
+  EXPECT_EQ(as.dma_segments(0, 4096), 1u);
+  EXPECT_EQ(as.dma_segments(0, 4097), 2u);
+  EXPECT_EQ(as.dma_segments(4095, 2), 2u);  // straddles a boundary
+  EXPECT_EQ(as.dma_segments(0, 65536), 16u);
+  EXPECT_EQ(as.dma_segments(0, 0), 1u);
+}
+
+// ------------------------------------------------------------------ Cpu ----
+
+TEST(Cpu, InterruptPreemptsQueuedAppWork) {
+  sim::Engine eng;
+  Cpu cpu(eng, "cpu");
+  std::vector<int> order;
+  // Occupy the CPU, then queue app work and an interrupt.
+  sim::spawn([](Cpu& c, std::vector<int>& out) -> CoTask<void> {
+    co_await c.run(Time::us(1));
+    out.push_back(0);
+  }(cpu, order));
+  sim::spawn([](Cpu& c, std::vector<int>& out) -> CoTask<void> {
+    co_await c.run(Time::us(1));
+    out.push_back(1);  // app work queued second
+  }(cpu, order));
+  sim::spawn([](Cpu& c, std::vector<int>& out) -> CoTask<void> {
+    co_await c.run_interrupt(Time::us(1));
+    out.push_back(2);  // interrupt queued last but runs first
+  }(cpu, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+// ------------------------------------------------------------- Machine ----
+
+TEST(Machine, BuildsNodesWithPerNodeOs) {
+  Machine m(net::Shape::red_storm(2, 1, 2), ss::Config{},
+            [](net::NodeId id) {
+              return id == 0 ? OsType::kLinux : OsType::kCatamount;
+            });
+  EXPECT_EQ(m.node_count(), 4u);
+  EXPECT_EQ(m.node(0).os(), OsType::kLinux);
+  EXPECT_EQ(m.node(1).os(), OsType::kCatamount);
+}
+
+TEST(Machine, ProcessModesSelectBridges) {
+  Machine m(net::Shape::xt3(1, 1, 1), ss::Config{},
+            [](net::NodeId) { return OsType::kLinux; });
+  Process& user = m.node(0).spawn_process(3);
+  Process& kern = m.node(0).spawn_kernel_process(4);
+  EXPECT_EQ(user.mode(), ProcMode::kUser);
+  EXPECT_EQ(kern.mode(), ProcMode::kKernel);
+  EXPECT_EQ(user.id(), (ptl::ProcessId{0, 3}));
+}
+
+TEST(Machine, UkbridgeAndKbridgeShareOneNode) {
+  // §3.2: "both kernel-level applications and user-level applications are
+  // able to cleanly share the network interface" — a Linux node with both
+  // a user-level and a kernel-level Portals client.
+  Machine m(net::Shape::xt3(2, 1, 1), ss::Config{},
+            [](net::NodeId) { return OsType::kLinux; });
+  Process& user = m.node(0).spawn_process(3);
+  Process& kern = m.node(0).spawn_kernel_process(4);
+  Process& peer = m.node(1).spawn_process(5);
+  const std::uint64_t ub = user.alloc(64), kb = kern.alloc(64),
+                      pb = peer.alloc(256);
+  int got = 0;
+  for (Process* rx : {&user, &kern}) {
+    sim::spawn([](Process& p, std::uint64_t buf, int* count) -> CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(16);
+      auto me = co_await api.PtlMEAttach(
+          0, ptl::ProcessId{ptl::kNidAny, ptl::kPidAny}, 9, 0,
+          ptl::Unlink::kRetain, ptl::InsPos::kAfter);
+      ptl::MdDesc d;
+      d.start = buf;
+      d.length = 64;
+      d.options = ptl::PTL_MD_OP_PUT;
+      d.eq = eq.value;
+      (void)co_await api.PtlMDAttach(me.value, d, ptl::Unlink::kRetain);
+      for (;;) {
+        auto ev = co_await api.PtlEQWait(eq.value);
+        if (ev.value.type == ptl::EventType::kPutEnd) break;
+      }
+      ++*count;
+    }(*rx, rx == &user ? ub : kb, &got));
+  }
+  sim::spawn([](Process& p, std::uint64_t buf) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(16);
+    ptl::MdDesc d;
+    d.start = buf;
+    d.length = 64;
+    d.eq = eq.value;
+    auto md = co_await api.PtlMDBind(d, ptl::Unlink::kRetain);
+    (void)co_await api.PtlPut(md.value, ptl::AckReq::kNone,
+                              ptl::ProcessId{0, 3}, 0, 0, 9, 0, 0);
+    (void)co_await api.PtlPut(md.value, ptl::AckReq::kNone,
+                              ptl::ProcessId{0, 4}, 0, 0, 9, 0, 0);
+  }(peer, pb));
+  m.run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST(Machine, LinuxTrapCostsExceedCatamount) {
+  // Same workload, Linux vs Catamount: the ukbridge syscall cost makes the
+  // Linux round trip strictly slower.
+  auto elapsed = [](OsType os) {
+    Machine m(net::Shape::xt3(2, 1, 1), ss::Config{},
+              [os](net::NodeId) { return os; });
+    Process& a = m.node(0).spawn_process(3);
+    Process& b = m.node(1).spawn_process(3);
+    const std::uint64_t ab = a.alloc(64), bb = b.alloc(64);
+    (void)ab;
+    sim::spawn([](Process& p, std::uint64_t buf) -> CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(16);
+      auto me = co_await api.PtlMEAttach(
+          0, ptl::ProcessId{ptl::kNidAny, ptl::kPidAny}, 9, 0,
+          ptl::Unlink::kRetain, ptl::InsPos::kAfter);
+      ptl::MdDesc d;
+      d.start = buf;
+      d.length = 64;
+      d.options = ptl::PTL_MD_OP_PUT;
+      d.eq = eq.value;
+      (void)co_await api.PtlMDAttach(me.value, d, ptl::Unlink::kRetain);
+      for (;;) {
+        auto ev = co_await api.PtlEQWait(eq.value);
+        if (ev.value.type == ptl::EventType::kPutEnd) break;
+      }
+    }(b, bb));
+    sim::spawn([](Process& p, std::uint64_t buf) -> CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(16);
+      ptl::MdDesc d;
+      d.start = buf;
+      d.length = 64;
+      d.eq = eq.value;
+      auto md = co_await api.PtlMDBind(d, ptl::Unlink::kRetain);
+      (void)co_await api.PtlPut(md.value, ptl::AckReq::kNone,
+                                ptl::ProcessId{1, 3}, 0, 0, 9, 0, 0);
+      for (;;) {
+        auto ev = co_await api.PtlEQWait(eq.value);
+        if (ev.value.type == ptl::EventType::kSendEnd) break;
+      }
+    }(a, a.alloc(64)));
+    m.run();
+    return m.engine().now();
+  };
+  EXPECT_GT(elapsed(OsType::kLinux), elapsed(OsType::kCatamount));
+}
+
+}  // namespace
+}  // namespace xt::host

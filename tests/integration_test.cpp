@@ -1,0 +1,463 @@
+// End-to-end integration tests: Portals operations through the full stack
+// (API -> bridge -> kernel library -> firmware -> NIC -> torus -> firmware
+// -> interrupt -> host matching -> DMA deposit -> events).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "host/node.hpp"
+#include "portals/api.hpp"
+
+namespace xt {
+namespace {
+
+using host::Machine;
+using host::OsType;
+using host::Process;
+using ptl::AckReq;
+using ptl::EqHandle;
+using ptl::Event;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::kNidAny;
+using ptl::kPidAny;
+using ptl::MatchBits;
+using ptl::MdDesc;
+using ptl::MdHandle;
+using ptl::MeHandle;
+using ptl::ProcessId;
+using ptl::PTL_OK;
+using ptl::Unlink;
+using sim::CoTask;
+using sim::Time;
+
+constexpr ptl::Pid kPid = 4;
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 131 + seed) & 0xFF);
+  }
+  return v;
+}
+
+/// Posts a match entry + MD accepting puts at pt 0 and reports readiness.
+CoTask<void> receiver_task(Process& p, std::uint64_t buf, std::uint32_t len,
+                           MatchBits bits, int n_msgs, bool* done,
+                           std::vector<Event>* events,
+                           unsigned extra_opts = 0) {
+  auto& api = p.api();
+  auto eq = co_await api.PtlEQAlloc(64);
+  EXPECT_EQ(eq.rc, PTL_OK);
+  auto me = co_await api.PtlMEAttach(0, ProcessId{kNidAny, kPidAny}, bits, 0,
+                                     Unlink::kRetain, InsPos::kAfter);
+  EXPECT_EQ(me.rc, PTL_OK);
+  MdDesc d;
+  d.start = buf;
+  d.length = len;
+  d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_OP_GET | extra_opts;
+  d.eq = eq.value;
+  auto md = co_await api.PtlMDAttach(me.value, d, Unlink::kRetain);
+  EXPECT_EQ(md.rc, PTL_OK);
+  int ends = 0;
+  while (ends < n_msgs) {
+    auto ev = co_await api.PtlEQWait(eq.value);
+    EXPECT_EQ(ev.rc, PTL_OK);
+    events->push_back(ev.value);
+    if (ev.value.type == EventType::kPutEnd ||
+        ev.value.type == EventType::kGetEnd) {
+      ++ends;
+    }
+  }
+  *done = true;
+}
+
+/// Sends one put and waits for SEND_END (and optionally the ACK).
+CoTask<void> sender_task(Process& p, std::uint64_t buf, std::uint32_t len,
+                         ProcessId target, MatchBits bits, AckReq ack,
+                         bool* done, std::vector<Event>* events) {
+  auto& api = p.api();
+  auto eq = co_await api.PtlEQAlloc(64);
+  EXPECT_EQ(eq.rc, PTL_OK);
+  MdDesc d;
+  d.start = buf;
+  d.length = len;
+  d.eq = eq.value;
+  auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+  EXPECT_EQ(md.rc, PTL_OK);
+  EXPECT_EQ(co_await api.PtlPut(md.value, ack, target, 0, 0, bits, 0, 0),
+            PTL_OK);
+  bool sent = false;
+  bool acked = ack != AckReq::kAck;
+  while (!sent || !acked) {
+    auto ev = co_await api.PtlEQWait(eq.value);
+    EXPECT_EQ(ev.rc, PTL_OK);
+    events->push_back(ev.value);
+    if (ev.value.type == EventType::kSendEnd) sent = true;
+    if (ev.value.type == EventType::kAck) acked = true;
+  }
+  *done = true;
+}
+
+struct PutResult {
+  bool ok = false;
+  Time elapsed{};
+  std::vector<Event> sender_events;
+  std::vector<Event> receiver_events;
+};
+
+/// Runs one put of `len` bytes from node 0 to node 1 and verifies delivery.
+PutResult run_put(std::uint32_t len, AckReq ack = AckReq::kNone,
+                  OsType os = OsType::kCatamount) {
+  Machine m(net::Shape::xt3(2, 1, 1), ss::Config{},
+            [os](net::NodeId) { return os; });
+  Process& src = m.node(0).spawn_process(kPid);
+  Process& dst = m.node(1).spawn_process(kPid);
+
+  const auto data = pattern(len);
+  const std::uint64_t sbuf = src.alloc(std::max<std::uint32_t>(len, 1));
+  const std::uint64_t rbuf = dst.alloc(std::max<std::uint32_t>(len, 1));
+  if (len > 0) src.write_bytes(sbuf, data);
+
+  PutResult r;
+  bool sdone = false, rdone = false;
+  sim::spawn(receiver_task(dst, rbuf, len, 7, 1, &rdone,
+                           &r.receiver_events));
+  sim::spawn(sender_task(src, sbuf, len, dst.id(), 7, ack, &sdone,
+                         &r.sender_events));
+  m.run();
+  r.elapsed = m.engine().now();
+  if (!sdone || !rdone) return r;
+
+  if (len > 0) {
+    std::vector<std::byte> got(len);
+    dst.read_bytes(rbuf, got);
+    if (got != data) return r;
+  }
+  if (m.node(0).firmware().panicked() || m.node(1).firmware().panicked()) {
+    return r;
+  }
+  r.ok = true;
+  return r;
+}
+
+// ------------------------------------------------------------- basics ----
+
+TEST(PutIntegration, OneBytePutDeliversAndCompletes) {
+  const PutResult r = run_put(1);
+  ASSERT_TRUE(r.ok);
+  // Sanity on the latency scale: several microseconds, not millis.
+  EXPECT_GT(r.elapsed, Time::us(2));
+  EXPECT_LT(r.elapsed, Time::us(30));
+}
+
+TEST(PutIntegration, ZeroLengthPut) {
+  EXPECT_TRUE(run_put(0).ok);
+}
+
+TEST(PutIntegration, InlineBoundary12Bytes) {
+  EXPECT_TRUE(run_put(12).ok);
+}
+
+TEST(PutIntegration, JustAboveInline13Bytes) {
+  EXPECT_TRUE(run_put(13).ok);
+}
+
+TEST(PutIntegration, MediumPut4KiB) {
+  EXPECT_TRUE(run_put(4096).ok);
+}
+
+TEST(PutIntegration, LargePut1MiB) {
+  const PutResult r = run_put(1 << 20);
+  ASSERT_TRUE(r.ok);
+  // ~1 MiB at ~1.1 GB/s plus overheads: around a millisecond.
+  EXPECT_GT(r.elapsed, Time::us(800));
+  EXPECT_LT(r.elapsed, Time::ms(3));
+}
+
+TEST(PutIntegration, ReceiverSeesStartAndEnd) {
+  const PutResult r = run_put(4096);
+  ASSERT_TRUE(r.ok);
+  ASSERT_GE(r.receiver_events.size(), 2u);
+  EXPECT_EQ(r.receiver_events[0].type, EventType::kPutStart);
+  EXPECT_EQ(r.receiver_events[1].type, EventType::kPutEnd);
+  EXPECT_EQ(r.receiver_events[1].mlength, 4096u);
+  EXPECT_EQ(r.receiver_events[1].initiator, (ProcessId{0, kPid}));
+}
+
+TEST(PutIntegration, SenderSeesSendStartAndEnd) {
+  const PutResult r = run_put(64);
+  ASSERT_TRUE(r.ok);
+  ASSERT_GE(r.sender_events.size(), 2u);
+  EXPECT_EQ(r.sender_events[0].type, EventType::kSendStart);
+  EXPECT_EQ(r.sender_events[1].type, EventType::kSendEnd);
+}
+
+TEST(PutIntegration, AckRequestedDeliversAckEvent) {
+  const PutResult r = run_put(256, AckReq::kAck);
+  ASSERT_TRUE(r.ok);
+  bool saw_ack = false;
+  for (const auto& ev : r.sender_events) {
+    if (ev.type == EventType::kAck) {
+      saw_ack = true;
+      EXPECT_EQ(ev.mlength, 256u);
+    }
+  }
+  EXPECT_TRUE(saw_ack);
+}
+
+TEST(PutIntegration, SmallMessageUsesOneInterruptLargeUsesTwo) {
+  // The §6 small-message optimization: <= 12 B needs a single interrupt at
+  // the receiver, larger messages need two (header + completion).
+  {
+    Machine m(net::Shape::xt3(2, 1, 1));
+    Process& src = m.node(0).spawn_process(kPid);
+    Process& dst = m.node(1).spawn_process(kPid);
+    const std::uint64_t sbuf = src.alloc(64);
+    const std::uint64_t rbuf = dst.alloc(64);
+    bool sdone = false, rdone = false;
+    std::vector<Event> sev, rev;
+    sim::spawn(receiver_task(dst, rbuf, 12, 7, 1, &rdone, &rev));
+    sim::spawn(sender_task(src, sbuf, 12, dst.id(), 7, AckReq::kNone, &sdone,
+                           &sev));
+    m.run();
+    ASSERT_TRUE(sdone && rdone);
+    // Receiver-side interrupts: exactly 1 for the inline message.
+    EXPECT_EQ(m.node(1).firmware().counters().interrupts, 1u);
+    EXPECT_EQ(m.node(1).firmware().counters().inline_deliveries, 1u);
+  }
+  {
+    Machine m(net::Shape::xt3(2, 1, 1));
+    Process& src = m.node(0).spawn_process(kPid);
+    Process& dst = m.node(1).spawn_process(kPid);
+    const std::uint64_t sbuf = src.alloc(64);
+    const std::uint64_t rbuf = dst.alloc(64);
+    bool sdone = false, rdone = false;
+    std::vector<Event> sev, rev;
+    sim::spawn(receiver_task(dst, rbuf, 13, 7, 1, &rdone, &rev));
+    sim::spawn(sender_task(src, sbuf, 13, dst.id(), 7, AckReq::kNone, &sdone,
+                           &sev));
+    m.run();
+    ASSERT_TRUE(sdone && rdone);
+    EXPECT_EQ(m.node(1).firmware().counters().interrupts, 2u);
+    EXPECT_EQ(m.node(1).firmware().counters().inline_deliveries, 0u);
+  }
+}
+
+TEST(PutIntegration, LinuxNodesDeliverToo) {
+  EXPECT_TRUE(run_put(100000, AckReq::kNone, OsType::kLinux).ok);
+}
+
+TEST(PutIntegration, ManyBackToBackPutsAllArriveInOrder) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& src = m.node(0).spawn_process(kPid);
+  Process& dst = m.node(1).spawn_process(kPid);
+  constexpr int kN = 32;
+  constexpr std::uint32_t kLen = 700;
+  const std::uint64_t rbuf = dst.alloc(kN * kLen);
+  bool rdone = false;
+  std::vector<Event> rev;
+  sim::spawn(receiver_task(dst, rbuf, kN * kLen, 7, kN, &rdone, &rev));
+  bool sdone = false;
+  sim::spawn([](Process& p, int n, std::uint32_t len,
+                ProcessId target, bool* done) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(128);
+    MdDesc d;
+    d.start = p.alloc(static_cast<std::size_t>(n) * len);
+    d.length = static_cast<std::uint32_t>(n) * len;
+    d.eq = eq.value;
+    auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+    for (int i = 0; i < n; ++i) {
+      // Stamp each message so ordering is verifiable at the receiver.
+      std::vector<std::byte> stamp(len,
+                                   static_cast<std::byte>(i & 0xFF));
+      p.write_bytes(d.start + static_cast<std::uint64_t>(i) * len, stamp);
+      EXPECT_EQ(co_await api.PtlPutRegion(
+                    md.value, static_cast<std::uint64_t>(i) * len, len,
+                    AckReq::kNone, target, 0, 0, 7, 0, 0),
+                PTL_OK);
+    }
+    int sends = 0;
+    while (sends < n) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kSendEnd) ++sends;
+    }
+    *done = true;
+  }(src, kN, kLen, dst.id(), &sdone));
+  m.run();
+  ASSERT_TRUE(sdone && rdone);
+  // Locally-managed offset => message i landed at offset i*len; verify the
+  // stamps ended up in order.
+  for (int i = 0; i < kN; ++i) {
+    std::vector<std::byte> got(kLen);
+    dst.read_bytes(rbuf + static_cast<std::uint64_t>(i) * kLen, got);
+    EXPECT_EQ(got[0], static_cast<std::byte>(i & 0xFF)) << "message " << i;
+  }
+  EXPECT_FALSE(m.node(1).firmware().panicked());
+}
+
+// ---------------------------------------------------------------- get ----
+
+CoTask<void> getter_task(Process& p, std::uint64_t buf, std::uint32_t len,
+                         ProcessId target, MatchBits bits, bool* done,
+                         std::vector<Event>* events) {
+  auto& api = p.api();
+  auto eq = co_await api.PtlEQAlloc(64);
+  EXPECT_EQ(eq.rc, PTL_OK);
+  MdDesc d;
+  d.start = buf;
+  d.length = len;
+  d.options = ptl::PTL_MD_OP_GET;
+  d.eq = eq.value;
+  auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+  EXPECT_EQ(md.rc, PTL_OK);
+  EXPECT_EQ(co_await api.PtlGet(md.value, target, 0, 0, bits, 0), PTL_OK);
+  for (;;) {
+    auto ev = co_await api.PtlEQWait(eq.value);
+    EXPECT_EQ(ev.rc, PTL_OK);
+    events->push_back(ev.value);
+    if (ev.value.type == EventType::kReplyEnd) break;
+  }
+  *done = true;
+}
+
+TEST(GetIntegration, GetFetchesRemoteData) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& ini = m.node(0).spawn_process(kPid);
+  Process& tgt = m.node(1).spawn_process(kPid);
+  constexpr std::uint32_t kLen = 8192;
+  const auto data = pattern(kLen, 9);
+  const std::uint64_t tbuf = tgt.alloc(kLen);
+  tgt.write_bytes(tbuf, data);
+  const std::uint64_t ibuf = ini.alloc(kLen);
+
+  bool idone = false, tdone = false;
+  std::vector<Event> iev, tev;
+  sim::spawn(receiver_task(tgt, tbuf, kLen, 7, 1, &tdone, &tev));
+  sim::spawn(getter_task(ini, ibuf, kLen, tgt.id(), 7, &idone, &iev));
+  m.run();
+  ASSERT_TRUE(idone && tdone);
+  std::vector<std::byte> got(kLen);
+  ini.read_bytes(ibuf, got);
+  EXPECT_EQ(got, data);
+  // Initiator: REPLY_START then REPLY_END.  Target: GET_START, GET_END.
+  ASSERT_GE(iev.size(), 2u);
+  EXPECT_EQ(iev[0].type, EventType::kReplyStart);
+  EXPECT_EQ(iev[1].type, EventType::kReplyEnd);
+  ASSERT_GE(tev.size(), 2u);
+  EXPECT_EQ(tev[0].type, EventType::kGetStart);
+  EXPECT_EQ(tev[1].type, EventType::kGetEnd);
+}
+
+TEST(GetIntegration, SmallGetUsesInlineReply) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& ini = m.node(0).spawn_process(kPid);
+  Process& tgt = m.node(1).spawn_process(kPid);
+  const auto data = pattern(8, 3);
+  const std::uint64_t tbuf = tgt.alloc(8);
+  tgt.write_bytes(tbuf, data);
+  const std::uint64_t ibuf = ini.alloc(8);
+  bool idone = false, tdone = false;
+  std::vector<Event> iev, tev;
+  sim::spawn(receiver_task(tgt, tbuf, 8, 7, 1, &tdone, &tev));
+  sim::spawn(getter_task(ini, ibuf, 8, tgt.id(), 7, &idone, &iev));
+  m.run();
+  ASSERT_TRUE(idone && tdone);
+  std::vector<std::byte> got(8);
+  ini.read_bytes(ibuf, got);
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(m.node(0).firmware().counters().inline_deliveries, 1u);
+}
+
+// --------------------------------------------------------- truncation ----
+
+TEST(TruncIntegration, OversizePutTruncatedWithMlength) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& src = m.node(0).spawn_process(kPid);
+  Process& dst = m.node(1).spawn_process(kPid);
+  const std::uint64_t sbuf = src.alloc(1000);
+  const std::uint64_t rbuf = dst.alloc(100);
+  src.write_bytes(sbuf, pattern(1000));
+  bool sdone = false, rdone = false;
+  std::vector<Event> sev, rev;
+  sim::spawn(receiver_task(dst, rbuf, 100, 7, 1, &rdone, &rev,
+                           ptl::PTL_MD_TRUNCATE));
+  sim::spawn(sender_task(src, sbuf, 1000, dst.id(), 7, AckReq::kAck, &sdone,
+                         &sev));
+  m.run();
+  ASSERT_TRUE(sdone && rdone);
+  // Receiver got the 100-byte prefix.
+  std::vector<std::byte> got(100);
+  dst.read_bytes(rbuf, got);
+  const auto expect = pattern(1000);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), expect.begin()));
+  bool saw_end = false;
+  for (const auto& ev : rev) {
+    if (ev.type == EventType::kPutEnd) {
+      saw_end = true;
+      EXPECT_EQ(ev.rlength, 1000u);
+      EXPECT_EQ(ev.mlength, 100u);
+    }
+  }
+  EXPECT_TRUE(saw_end);
+  // The ack reports the truncated length to the sender.
+  for (const auto& ev : sev) {
+    if (ev.type == EventType::kAck) {
+      EXPECT_EQ(ev.mlength, 100u);
+    }
+  }
+}
+
+TEST(TruncIntegration, UnmatchedPutIsDroppedAndCounted) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& src = m.node(0).spawn_process(kPid);
+  Process& dst = m.node(1).spawn_process(kPid);
+  const std::uint64_t sbuf = src.alloc(512);
+  bool sdone = false;
+  std::vector<Event> sev;
+  // Receiver posts nothing; sender's put cannot match.
+  sim::spawn(sender_task(src, sbuf, 512, dst.id(), 7, AckReq::kNone, &sdone,
+                         &sev));
+  m.run();
+  ASSERT_TRUE(sdone);  // SEND_END still fires locally
+  auto& api = dst.api();
+  bool checked = false;
+  sim::spawn([](ptl::Api& a, bool* done) -> CoTask<void> {
+    auto st = co_await a.PtlNIStatus(ptl::SrIndex::kDropCount);
+    EXPECT_EQ(st.rc, PTL_OK);
+    EXPECT_EQ(st.value, 1u);
+    *done = true;
+  }(api, &checked));
+  m.run();
+  EXPECT_TRUE(checked);
+  EXPECT_FALSE(m.node(1).firmware().panicked());
+}
+
+// -------------------------------------------------------- local sends ----
+
+TEST(Loopback, PutToSelfNode) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& a = m.node(0).spawn_process(kPid);
+  Process& b = m.node(0).spawn_process(static_cast<ptl::Pid>(kPid + 1));
+  const auto data = pattern(300);
+  const std::uint64_t sbuf = a.alloc(300);
+  const std::uint64_t rbuf = b.alloc(300);
+  a.write_bytes(sbuf, data);
+  bool sdone = false, rdone = false;
+  std::vector<Event> sev, rev;
+  sim::spawn(receiver_task(b, rbuf, 300, 7, 1, &rdone, &rev));
+  sim::spawn(sender_task(a, sbuf, 300, b.id(), 7, AckReq::kNone, &sdone,
+                         &sev));
+  m.run();
+  ASSERT_TRUE(sdone && rdone);
+  std::vector<std::byte> got(300);
+  b.read_bytes(rbuf, got);
+  EXPECT_EQ(got, data);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,274 @@
+// Tests for the NI lifecycle calls, the firmware result-FIFO query path
+// (including the RAS heartbeat), and MPI probe.
+
+#include <gtest/gtest.h>
+
+#include "host/node.hpp"
+#include "mpi/mpi.hpp"
+#include "portals/api.hpp"
+
+namespace xt {
+namespace {
+
+using host::Machine;
+using host::Process;
+using ptl::AckReq;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::Limits;
+using ptl::MdDesc;
+using ptl::ProcessId;
+using ptl::PTL_OK;
+using ptl::Unlink;
+using sim::CoTask;
+using sim::Time;
+
+// ------------------------------------------------------- NI lifecycle ----
+
+TEST(NiLifecycle, InitNegotiatesLimits) {
+  Machine m(net::Shape::xt3(1, 1, 1));
+  Process& p = m.node(0).spawn_process(7);
+  bool done = false;
+  sim::spawn([](Process& pr, bool* d) -> CoTask<void> {
+    auto& api = pr.api();
+    auto init = co_await api.PtlInit();
+    EXPECT_EQ(init.rc, PTL_OK);
+    EXPECT_EQ(init.value, 1);  // one interface per process
+
+    Limits want;
+    want.max_mes = 1u << 30;  // absurd: must be clamped
+    want.max_pt_index = 8;
+    auto ni = co_await api.PtlNIInit(want);
+    EXPECT_EQ(ni.rc, PTL_OK);
+    EXPECT_LE(ni.value.max_mes, 65536u);
+    EXPECT_EQ(ni.value.max_pt_index, 8u);
+
+    // pt indices beyond the negotiated bound must now be rejected.
+    auto me = co_await api.PtlMEAttach(9, ProcessId{ptl::kNidAny,
+                                                    ptl::kPidAny},
+                                       1, 0, Unlink::kRetain, InsPos::kAfter);
+    EXPECT_EQ(me.rc, ptl::PTL_PT_INDEX_INVALID);
+    auto ok = co_await api.PtlMEAttach(7, ProcessId{ptl::kNidAny,
+                                                    ptl::kPidAny},
+                                       1, 0, Unlink::kRetain, InsPos::kAfter);
+    EXPECT_EQ(ok.rc, PTL_OK);
+
+    // Re-init with live objects is refused.
+    auto again = co_await api.PtlNIInit(want);
+    EXPECT_EQ(again.rc, ptl::PTL_NI_INVALID);
+    *d = true;
+  }(p, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(NiLifecycle, FiniInvalidatesEverything) {
+  Machine m(net::Shape::xt3(1, 1, 1));
+  Process& p = m.node(0).spawn_process(7);
+  bool done = false;
+  sim::spawn([](Process& pr, bool* d) -> CoTask<void> {
+    auto& api = pr.api();
+    auto eq = co_await api.PtlEQAlloc(8);
+    auto me = co_await api.PtlMEAttach(0, ProcessId{ptl::kNidAny,
+                                                    ptl::kPidAny},
+                                       1, 0, Unlink::kRetain, InsPos::kAfter);
+    MdDesc d2;
+    d2.start = pr.alloc(64);
+    d2.length = 64;
+    auto md = co_await api.PtlMDAttach(me.value, d2, Unlink::kRetain);
+    EXPECT_EQ(co_await api.PtlNIFini(), PTL_OK);
+    // Every handle is now stale.
+    ptl::Event ev;
+    (void)ev;
+    auto g = co_await api.PtlEQGet(eq.value);
+    EXPECT_EQ(g.rc, ptl::PTL_EQ_INVALID);
+    EXPECT_EQ(co_await api.PtlMEUnlink(me.value), ptl::PTL_ME_INVALID);
+    EXPECT_EQ(co_await api.PtlMDUnlink(md.value), ptl::PTL_MD_INVALID);
+    // And the NI can be brought back up.
+    auto ni = co_await api.PtlNIInit(Limits{});
+    EXPECT_EQ(ni.rc, PTL_OK);
+    auto me2 = co_await api.PtlMEAttach(0, ProcessId{ptl::kNidAny,
+                                                     ptl::kPidAny},
+                                        1, 0, Unlink::kRetain,
+                                        InsPos::kAfter);
+    EXPECT_EQ(me2.rc, PTL_OK);
+    *d = true;
+  }(p, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+// ----------------------------------------------------- result FIFO ----
+
+TEST(FwQuery, ResultFifoReturnsValues) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  host::Node& n = m.node(0);
+  (void)n.agent();
+  bool done = false;
+  sim::spawn([](host::Node& node, bool* d) -> CoTask<void> {
+    const auto free0 = co_await node.firmware().host_query(
+        fw::kGenericProc, fw::QueryCommand::What::kRxFreePendings);
+    EXPECT_EQ(free0, node.config().n_generic_rx_pendings);
+    const auto src0 = co_await node.firmware().host_query(
+        fw::kGenericProc, fw::QueryCommand::What::kSourcesInUse);
+    EXPECT_EQ(src0, 0u);
+    *d = true;
+  }(n, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(FwQuery, QueriesInterleaveWithTraffic) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& src = m.node(0).spawn_process(7);
+  Process& dst = m.node(1).spawn_process(7);
+  const std::uint64_t rbuf = dst.alloc(4096);
+  const std::uint64_t sbuf = src.alloc(4096);
+  bool traffic_done = false, query_done = false;
+  sim::spawn([](Process& p, std::uint64_t buf, bool* d) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(64);
+    auto me = co_await api.PtlMEAttach(0, ProcessId{ptl::kNidAny,
+                                                    ptl::kPidAny},
+                                       1, 0, Unlink::kRetain, InsPos::kAfter);
+    MdDesc d2;
+    d2.start = buf;
+    d2.length = 4096;
+    d2.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE;
+    d2.eq = eq.value;
+    (void)co_await api.PtlMDAttach(me.value, d2, Unlink::kRetain);
+    int got = 0;
+    while (got < 10) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kPutEnd) ++got;
+    }
+    *d = true;
+  }(dst, rbuf, &traffic_done));
+  sim::spawn([](Process& p, std::uint64_t buf) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(64);
+    MdDesc d2;
+    d2.start = buf;
+    d2.length = 4096;
+    d2.eq = eq.value;
+    auto md = co_await api.PtlMDBind(d2, Unlink::kRetain);
+    for (int i = 0; i < 10; ++i) {
+      (void)co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{1, 7}, 0,
+                                0, 1, 0, 0);
+    }
+    int sends = 0;
+    while (sends < 10) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kSendEnd) ++sends;
+    }
+  }(src, sbuf));
+  sim::spawn([](Machine& mm, bool* d) -> CoTask<void> {
+    // Poll the receiver's firmware while the flood is in progress.
+    co_await sim::delay(mm.engine(), Time::us(20));
+    const auto msgs = co_await mm.node(1).firmware().host_query(
+        fw::kGenericProc, fw::QueryCommand::What::kRxMessages);
+    EXPECT_GT(msgs, 0u);
+    const auto srcs = co_await mm.node(1).firmware().host_query(
+        fw::kGenericProc, fw::QueryCommand::What::kSourcesInUse);
+    EXPECT_EQ(srcs, 1u);
+    *d = true;
+  }(m, &query_done));
+  m.run();
+  EXPECT_TRUE(traffic_done);
+  EXPECT_TRUE(query_done);
+}
+
+TEST(FwQuery, HeartbeatAdvancesAndFreezesOnPanic) {
+  ss::Config cfg;
+  cfg.n_generic_rx_pendings = 1;  // panics under a tiny flood
+  Machine m(net::Shape::xt3(2, 1, 1), cfg);
+  Process& src = m.node(0).spawn_process(7);
+  m.node(1).spawn_process(7);  // no posted buffers: arrivals exhaust fast
+  const std::uint64_t sbuf = src.alloc(64);
+  sim::spawn([](Process& p, std::uint64_t buf) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(64);
+    MdDesc d2;
+    d2.start = buf;
+    d2.length = 64;
+    d2.eq = eq.value;
+    auto md = co_await api.PtlMDBind(d2, Unlink::kRetain);
+    for (int i = 0; i < 8; ++i) {
+      (void)co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{1, 7}, 0,
+                                0, 1, 0, 0);
+    }
+  }(src, sbuf));
+  m.run();
+  ASSERT_TRUE(m.node(1).firmware().panicked());
+  const auto frozen = m.node(1).firmware().heartbeat();
+  m.engine().run_until(m.engine().now() + Time::ms(5));
+  EXPECT_EQ(m.node(1).firmware().heartbeat(), frozen);
+  // The healthy node's heartbeat keeps advancing.
+  EXPECT_GT(m.node(0).firmware().heartbeat(), frozen);
+}
+
+// ------------------------------------------------------------- probe ----
+
+TEST(MpiProbe, SeesUnexpectedWithoutConsuming) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  std::vector<ProcessId> ids{{0, 9}, {1, 9}};
+  Process& p0 = m.node(0).spawn_process(9, 64u << 20);
+  Process& p1 = m.node(1).spawn_process(9, 64u << 20);
+  mpi::Comm c0(p0, ids, 0), c1(p1, ids, 1);
+  const std::uint64_t sbuf = p0.alloc(512);
+  const std::uint64_t rbuf = p1.alloc(512);
+  bool done = false;
+  sim::spawn([](mpi::Comm& c, std::uint64_t b) -> CoTask<void> {
+    (void)co_await c.init();
+    (void)co_await c.send(b, 512, 1, 33);
+  }(c0, sbuf));
+  sim::spawn([](mpi::Comm& c, std::uint64_t b, bool* d) -> CoTask<void> {
+    (void)co_await c.init();
+    mpi::Status st;
+    // Blocking probe reports the message's envelope...
+    EXPECT_EQ(co_await c.probe(0, 33, &st), PTL_OK);
+    EXPECT_EQ(st.source, 0);
+    EXPECT_EQ(st.tag, 33);
+    EXPECT_EQ(st.len, 512u);
+    // ...a second probe still sees it (nothing was consumed)...
+    bool flag = false;
+    EXPECT_EQ(co_await c.iprobe(0, 33, &flag, &st), PTL_OK);
+    EXPECT_TRUE(flag);
+    // ...and the recv then picks it up.
+    EXPECT_EQ(co_await c.recv(b, 512, 0, 33, &st), PTL_OK);
+    EXPECT_EQ(st.len, 512u);
+    // Now nothing is left to probe.
+    EXPECT_EQ(co_await c.iprobe(0, 33, &flag, &st), PTL_OK);
+    EXPECT_FALSE(flag);
+    *d = true;
+  }(c1, rbuf, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MpiProbe, WildcardsMatchAnything) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  std::vector<ProcessId> ids{{0, 9}, {1, 9}};
+  Process& p0 = m.node(0).spawn_process(9, 64u << 20);
+  Process& p1 = m.node(1).spawn_process(9, 64u << 20);
+  mpi::Comm c0(p0, ids, 0), c1(p1, ids, 1);
+  const std::uint64_t sbuf = p0.alloc(64);
+  bool done = false;
+  sim::spawn([](mpi::Comm& c, std::uint64_t b) -> CoTask<void> {
+    (void)co_await c.init();
+    (void)co_await c.send(b, 64, 1, 5);
+  }(c0, sbuf));
+  sim::spawn([](mpi::Comm& c, bool* d) -> CoTask<void> {
+    (void)co_await c.init();
+    mpi::Status st;
+    EXPECT_EQ(co_await c.probe(mpi::kAnySource, mpi::kAnyTag, &st), PTL_OK);
+    EXPECT_EQ(st.source, 0);
+    EXPECT_EQ(st.tag, 5);
+    *d = true;
+  }(c1, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,256 @@
+// Tests for the MPI collectives (src/mpi/coll.cpp) over the full stack.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "host/node.hpp"
+#include "mpi/mpi.hpp"
+
+namespace xt::mpi {
+namespace {
+
+using host::Machine;
+using host::Process;
+using ptl::PTL_OK;
+using sim::CoTask;
+
+constexpr ptl::Pid kPid = 9;
+
+struct Job {
+  explicit Job(int nranks) : m(net::Shape::xt3(nranks, 1, 1)) {
+    std::vector<ptl::ProcessId> ids;
+    for (int r = 0; r < nranks; ++r) {
+      ids.push_back(ptl::ProcessId{static_cast<net::NodeId>(r), kPid});
+    }
+    for (int r = 0; r < nranks; ++r) {
+      procs.push_back(&m.node(static_cast<net::NodeId>(r))
+                           .spawn_process(kPid, 128u << 20));
+      comms.push_back(std::make_unique<Comm>(*procs.back(), ids, r));
+    }
+    for (auto& c : comms) {
+      sim::spawn([](Comm& comm) -> CoTask<void> {
+        EXPECT_EQ(co_await comm.init(), PTL_OK);
+      }(*c));
+    }
+    m.run();
+  }
+  Comm& comm(int r) { return *comms[static_cast<std::size_t>(r)]; }
+  Process& proc(int r) { return *procs[static_cast<std::size_t>(r)]; }
+  Machine m;
+  std::vector<Process*> procs;
+  std::vector<std::unique_ptr<Comm>> comms;
+};
+
+class CollSize : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollSize,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+
+TEST_P(CollSize, BcastReachesEveryRank) {
+  const int n = GetParam();
+  Job job(n);
+  constexpr std::uint32_t kLen = 4000;
+  constexpr int kRoot = 0;
+  std::vector<std::uint64_t> bufs;
+  std::vector<std::byte> payload(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    payload[i] = static_cast<std::byte>(i * 11);
+  }
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(job.proc(r).alloc(kLen));
+    if (r == kRoot) job.proc(r).write_bytes(bufs.back(), payload);
+    sim::spawn([](Comm& c, std::uint64_t b, int* d) -> CoTask<void> {
+      EXPECT_EQ(co_await c.bcast(b, kLen, kRoot), PTL_OK);
+      ++*d;
+    }(job.comm(r), bufs.back(), &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::byte> got(kLen);
+    job.proc(r).read_bytes(bufs[static_cast<std::size_t>(r)], got);
+    EXPECT_EQ(got, payload) << "rank " << r;
+  }
+}
+
+TEST_P(CollSize, BcastFromNonzeroRoot) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Job job(n);
+  const int root = n - 1;
+  constexpr std::uint32_t kLen = 64;
+  std::vector<std::uint64_t> bufs;
+  std::vector<std::byte> payload(kLen, std::byte{0x5A});
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(job.proc(r).alloc(kLen));
+    if (r == root) job.proc(r).write_bytes(bufs.back(), payload);
+    sim::spawn([](Comm& c, std::uint64_t b, int rt, int* d) -> CoTask<void> {
+      EXPECT_EQ(co_await c.bcast(b, kLen, rt), PTL_OK);
+      ++*d;
+    }(job.comm(r), bufs.back(), root, &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::byte> got(kLen);
+    job.proc(r).read_bytes(bufs[static_cast<std::size_t>(r)], got);
+    EXPECT_EQ(got, payload) << "rank " << r;
+  }
+}
+
+TEST_P(CollSize, ReduceSumsDoubles) {
+  const int n = GetParam();
+  Job job(n);
+  constexpr std::uint32_t kCount = 100;
+  std::vector<std::uint64_t> bufs;
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(job.proc(r).alloc(kCount * 8));
+    std::vector<double> v(kCount);
+    for (std::uint32_t i = 0; i < kCount; ++i) v[i] = r + i * 0.5;
+    job.proc(r).write_bytes(bufs.back(), std::as_bytes(std::span(v)));
+    sim::spawn([](Comm& c, std::uint64_t b, int* d) -> CoTask<void> {
+      EXPECT_EQ(co_await c.reduce_sum(b, kCount, 0), PTL_OK);
+      ++*d;
+    }(job.comm(r), bufs.back(), &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  std::vector<double> got(kCount);
+  job.proc(0).read_bytes(bufs[0], std::as_writable_bytes(std::span(got)));
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    double want = 0;
+    for (int r = 0; r < n; ++r) want += r + i * 0.5;
+    EXPECT_DOUBLE_EQ(got[i], want) << "element " << i;
+  }
+}
+
+TEST_P(CollSize, AllreduceEveryRankHasSum) {
+  const int n = GetParam();
+  Job job(n);
+  constexpr std::uint32_t kCount = 16;
+  std::vector<std::uint64_t> bufs;
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(job.proc(r).alloc(kCount * 8));
+    std::vector<double> v(kCount, static_cast<double>(r + 1));
+    job.proc(r).write_bytes(bufs.back(), std::as_bytes(std::span(v)));
+    sim::spawn([](Comm& c, std::uint64_t b, int* d) -> CoTask<void> {
+      EXPECT_EQ(co_await c.allreduce_sum(b, kCount), PTL_OK);
+      ++*d;
+    }(job.comm(r), bufs.back(), &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  const double want = n * (n + 1) / 2.0;
+  for (int r = 0; r < n; ++r) {
+    std::vector<double> got(kCount);
+    job.proc(r).read_bytes(bufs[static_cast<std::size_t>(r)],
+                           std::as_writable_bytes(std::span(got)));
+    for (const double g : got) EXPECT_DOUBLE_EQ(g, want) << "rank " << r;
+  }
+}
+
+TEST_P(CollSize, GatherCollectsBlocks) {
+  const int n = GetParam();
+  Job job(n);
+  constexpr std::uint32_t kLen = 256;
+  std::vector<std::uint64_t> sbufs;
+  const std::uint64_t rbuf =
+      job.proc(0).alloc(static_cast<std::size_t>(n) * kLen);
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    sbufs.push_back(job.proc(r).alloc(kLen));
+    std::vector<std::byte> v(kLen, static_cast<std::byte>(r * 3 + 1));
+    job.proc(r).write_bytes(sbufs.back(), v);
+    sim::spawn([](Comm& c, std::uint64_t s, std::uint64_t d,
+                  int* dn) -> CoTask<void> {
+      EXPECT_EQ(co_await c.gather(s, kLen, d, 0), PTL_OK);
+      ++*dn;
+    }(job.comm(r), sbufs.back(), rbuf, &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::byte> got(kLen);
+    job.proc(0).read_bytes(rbuf + static_cast<std::uint64_t>(r) * kLen, got);
+    for (const auto b : got) {
+      ASSERT_EQ(b, static_cast<std::byte>(r * 3 + 1)) << "rank " << r;
+    }
+  }
+}
+
+TEST_P(CollSize, AlltoallExchangesAllBlocks) {
+  const int n = GetParam();
+  Job job(n);
+  constexpr std::uint32_t kLen = 128;
+  std::vector<std::uint64_t> sbufs, rbufs;
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    sbufs.push_back(job.proc(r).alloc(static_cast<std::size_t>(n) * kLen));
+    rbufs.push_back(job.proc(r).alloc(static_cast<std::size_t>(n) * kLen));
+    for (int to = 0; to < n; ++to) {
+      // Block r->to stamped with (r, to).
+      std::vector<std::byte> v(kLen,
+                               static_cast<std::byte>(r * 16 + to + 1));
+      job.proc(r).write_bytes(
+          sbufs.back() + static_cast<std::uint64_t>(to) * kLen, v);
+    }
+    sim::spawn([](Comm& c, std::uint64_t s, std::uint64_t d,
+                  int* dn) -> CoTask<void> {
+      EXPECT_EQ(co_await c.alltoall(s, d, kLen), PTL_OK);
+      ++*dn;
+    }(job.comm(r), sbufs.back(), rbufs.back(), &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  for (int r = 0; r < n; ++r) {
+    for (int from = 0; from < n; ++from) {
+      std::vector<std::byte> got(kLen);
+      job.proc(r).read_bytes(
+          rbufs[static_cast<std::size_t>(r)] +
+              static_cast<std::uint64_t>(from) * kLen,
+          got);
+      for (const auto b : got) {
+        ASSERT_EQ(b, static_cast<std::byte>(from * 16 + r + 1))
+            << "rank " << r << " from " << from;
+      }
+    }
+  }
+}
+
+TEST(CollLarge, BcastRendezvousSized) {
+  Job job(4);
+  const std::uint32_t len = 512 * 1024;  // above the eager threshold
+  std::vector<std::uint64_t> bufs;
+  std::vector<std::byte> payload(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    payload[i] = static_cast<std::byte>(i * 13 + 5);
+  }
+  int done = 0;
+  for (int r = 0; r < 4; ++r) {
+    bufs.push_back(job.proc(r).alloc(len));
+    if (r == 0) job.proc(r).write_bytes(bufs.back(), payload);
+    sim::spawn([](Comm& c, std::uint64_t b, std::uint32_t l,
+                  int* d) -> CoTask<void> {
+      EXPECT_EQ(co_await c.bcast(b, l, 0), PTL_OK);
+      ++*d;
+    }(job.comm(r), bufs.back(), len, &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, 4);
+  for (int r = 0; r < 4; ++r) {
+    std::vector<std::byte> got(len);
+    job.proc(r).read_bytes(bufs[static_cast<std::size_t>(r)], got);
+    EXPECT_EQ(got, payload) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace xt::mpi

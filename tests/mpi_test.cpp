@@ -1,0 +1,387 @@
+// Tests for the mini-MPI layer (src/mpi) over the full simulated stack.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "host/node.hpp"
+#include "mpi/mpi.hpp"
+
+namespace xt::mpi {
+namespace {
+
+using host::Machine;
+using host::Process;
+using ptl::PTL_OK;
+using sim::CoTask;
+using sim::Time;
+
+constexpr ptl::Pid kPid = 9;
+
+/// A job: one Comm per rank on consecutive nodes of a small machine.
+struct Job {
+  explicit Job(int nranks, Flavor flavor = Flavor::mpich1(),
+               net::Shape shape = {})
+      : m(shape.count() >= nranks ? shape
+                                  : net::Shape::xt3(nranks, 1, 1)) {
+    std::vector<ptl::ProcessId> ids;
+    for (int r = 0; r < nranks; ++r) {
+      ids.push_back(ptl::ProcessId{static_cast<net::NodeId>(r), kPid});
+    }
+    for (int r = 0; r < nranks; ++r) {
+      procs.push_back(&m.node(static_cast<net::NodeId>(r))
+                           .spawn_process(kPid));
+      comms.push_back(std::make_unique<Comm>(*procs.back(), ids, r, flavor));
+    }
+    for (auto& c : comms) {
+      sim::spawn([](Comm& comm) -> CoTask<void> {
+        EXPECT_EQ(co_await comm.init(), PTL_OK);
+      }(*c));
+    }
+    m.run();
+  }
+  Comm& comm(int r) { return *comms[static_cast<std::size_t>(r)]; }
+  Process& proc(int r) { return *procs[static_cast<std::size_t>(r)]; }
+
+  Machine m;
+  std::vector<Process*> procs;
+  std::vector<std::unique_ptr<Comm>> comms;
+};
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 37 + seed) & 0xFF);
+  }
+  return v;
+}
+
+/// Simple blocking exchange: rank 0 sends `len` bytes to rank 1.
+void run_send_recv(std::uint32_t len, Flavor flavor, bool recv_first) {
+  Job job(2, flavor);
+  const auto data = pattern(len, 5);
+  const std::uint64_t sbuf = job.proc(0).alloc(len ? len : 1);
+  const std::uint64_t rbuf = job.proc(1).alloc(len ? len : 1);
+  if (len > 0) job.proc(0).write_bytes(sbuf, data);
+
+  bool sdone = false, rdone = false;
+  Status st;
+  auto sender = [](Comm& c, std::uint64_t buf, std::uint32_t n,
+                   bool* done) -> CoTask<void> {
+    EXPECT_EQ(co_await c.send(buf, n, 1, 42), PTL_OK);
+    *done = true;
+  };
+  auto receiver = [](Comm& c, std::uint64_t buf, std::uint32_t n, Status* s,
+                     bool* done) -> CoTask<void> {
+    EXPECT_EQ(co_await c.recv(buf, n, 0, 42, s), PTL_OK);
+    *done = true;
+  };
+  if (recv_first) {
+    sim::spawn(receiver(job.comm(1), rbuf, len, &st, &rdone));
+    sim::spawn(sender(job.comm(0), sbuf, len, &sdone));
+  } else {
+    sim::spawn(sender(job.comm(0), sbuf, len, &sdone));
+    sim::spawn(receiver(job.comm(1), rbuf, len, &st, &rdone));
+  }
+  job.m.run();
+  ASSERT_TRUE(sdone);
+  ASSERT_TRUE(rdone);
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 42);
+  EXPECT_EQ(st.len, len);
+  if (len > 0) {
+    std::vector<std::byte> got(len);
+    job.proc(1).read_bytes(rbuf, got);
+    EXPECT_EQ(got, data);
+  }
+  EXPECT_FALSE(job.m.node(0).firmware().panicked());
+  EXPECT_FALSE(job.m.node(1).firmware().panicked());
+}
+
+TEST(MpiSendRecv, ZeroBytes) { run_send_recv(0, Flavor::mpich1(), true); }
+TEST(MpiSendRecv, OneByteExpected) {
+  run_send_recv(1, Flavor::mpich1(), true);
+}
+TEST(MpiSendRecv, OneByteUnexpected) {
+  run_send_recv(1, Flavor::mpich1(), false);
+}
+TEST(MpiSendRecv, EagerMidSize) { run_send_recv(8192, Flavor::mpich1(), true); }
+TEST(MpiSendRecv, EagerMidSizeUnexpected) {
+  run_send_recv(8192, Flavor::mpich1(), false);
+}
+TEST(MpiSendRecv, EagerMaxBoundary) {
+  run_send_recv(Flavor::mpich1().eager_max, Flavor::mpich1(), true);
+}
+TEST(MpiSendRecv, RendezvousExpected) {
+  run_send_recv(512 * 1024, Flavor::mpich1(), true);
+}
+TEST(MpiSendRecv, RendezvousUnexpected) {
+  run_send_recv(512 * 1024, Flavor::mpich1(), false);
+}
+TEST(MpiSendRecv, Mpich2FlavorWorks) {
+  run_send_recv(1024, Flavor::mpich2(), true);
+}
+
+TEST(MpiSendRecv, ProtocolCountersReflectPath) {
+  Job job(2);
+  const std::uint64_t sbuf = job.proc(0).alloc(1 << 20);
+  const std::uint64_t rbuf = job.proc(1).alloc(1 << 20);
+  bool sdone = false, rdone = false;
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    EXPECT_EQ(co_await c.send(b, 100, 1, 1), PTL_OK);          // eager
+    EXPECT_EQ(co_await c.send(b, 1 << 20, 1, 2), PTL_OK);      // rndv
+    *done = true;
+  }(job.comm(0), sbuf, &sdone));
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    EXPECT_EQ(co_await c.recv(b, 100, 0, 1, nullptr), PTL_OK);
+    EXPECT_EQ(co_await c.recv(b, 1 << 20, 0, 2, nullptr), PTL_OK);
+    *done = true;
+  }(job.comm(1), rbuf, &rdone));
+  job.m.run();
+  ASSERT_TRUE(sdone && rdone);
+  EXPECT_EQ(job.comm(0).counters().eager_sent, 1u);
+  EXPECT_EQ(job.comm(0).counters().rndv_sent, 1u);
+}
+
+// ------------------------------------------------------------ matching ----
+
+TEST(MpiMatching, TagsSelectMessages) {
+  Job job(2);
+  const std::uint64_t sbuf = job.proc(0).alloc(8);
+  const std::uint64_t rbuf = job.proc(1).alloc(8);
+  job.proc(0).write_bytes(sbuf, pattern(8));
+  bool sdone = false, rdone = false;
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    EXPECT_EQ(co_await c.send(b, 4, 1, 10), PTL_OK);
+    EXPECT_EQ(co_await c.send(b, 8, 1, 20), PTL_OK);
+    *done = true;
+  }(job.comm(0), sbuf, &sdone));
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    Status s20, s10;
+    // Receive tag 20 first even though tag 10 was sent first.
+    EXPECT_EQ(co_await c.recv(b, 8, 0, 20, &s20), PTL_OK);
+    EXPECT_EQ(s20.tag, 20);
+    EXPECT_EQ(s20.len, 8u);
+    EXPECT_EQ(co_await c.recv(b, 8, 0, 10, &s10), PTL_OK);
+    EXPECT_EQ(s10.tag, 10);
+    EXPECT_EQ(s10.len, 4u);
+    *done = true;
+  }(job.comm(1), rbuf, &rdone));
+  job.m.run();
+  EXPECT_TRUE(sdone && rdone);
+}
+
+TEST(MpiMatching, AnySourceAnyTag) {
+  Job job(3);
+  const std::uint64_t b0 = job.proc(0).alloc(8);
+  const std::uint64_t b2 = job.proc(2).alloc(8);
+  const std::uint64_t rbuf = job.proc(1).alloc(8);
+  bool d0 = false, d2 = false, rdone = false;
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    EXPECT_EQ(co_await c.send(b, 8, 1, 5), PTL_OK);
+    *done = true;
+  }(job.comm(0), b0, &d0));
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    EXPECT_EQ(co_await c.send(b, 8, 1, 6), PTL_OK);
+    *done = true;
+  }(job.comm(2), b2, &d2));
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    Status a, b2s;
+    EXPECT_EQ(co_await c.recv(b, 8, kAnySource, kAnyTag, &a), PTL_OK);
+    EXPECT_EQ(co_await c.recv(b, 8, kAnySource, kAnyTag, &b2s), PTL_OK);
+    // Both messages arrived, from ranks 0 and 2 in some order.
+    EXPECT_TRUE((a.source == 0 && b2s.source == 2) ||
+                (a.source == 2 && b2s.source == 0));
+    *done = true;
+  }(job.comm(1), rbuf, &rdone));
+  job.m.run();
+  EXPECT_TRUE(d0 && d2 && rdone);
+}
+
+TEST(MpiMatching, OrderPreservedPerSenderAndTag) {
+  Job job(2);
+  constexpr int kN = 16;
+  const std::uint64_t sbuf = job.proc(0).alloc(kN * 4);
+  const std::uint64_t rbuf = job.proc(1).alloc(4);
+  bool sdone = false, rdone = false;
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    for (int i = 0; i < kN; ++i) {
+      std::uint32_t v = static_cast<std::uint32_t>(i) * 1000 + 7;
+      std::byte raw[4];
+      std::memcpy(raw, &v, 4);
+      c.process().write_bytes(b + static_cast<std::uint64_t>(i) * 4,
+                              std::span<const std::byte>(raw, 4));
+      EXPECT_EQ(co_await c.send(b + static_cast<std::uint64_t>(i) * 4, 4, 1,
+                                3),
+                PTL_OK);
+    }
+    *done = true;
+  }(job.comm(0), sbuf, &sdone));
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(co_await c.recv(b, 4, 0, 3, nullptr), PTL_OK);
+      std::byte raw[4];
+      c.process().read_bytes(b, std::span<std::byte>(raw, 4));
+      std::uint32_t v;
+      std::memcpy(&v, raw, 4);
+      EXPECT_EQ(v, static_cast<std::uint32_t>(i) * 1000 + 7);
+    }
+    *done = true;
+  }(job.comm(1), rbuf, &rdone));
+  job.m.run();
+  EXPECT_TRUE(sdone && rdone);
+}
+
+TEST(MpiMatching, TruncationFlagsStatus) {
+  Job job(2);
+  const std::uint64_t sbuf = job.proc(0).alloc(1000);
+  const std::uint64_t rbuf = job.proc(1).alloc(100);
+  bool sdone = false, rdone = false;
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    EXPECT_EQ(co_await c.send(b, 1000, 1, 1), PTL_OK);
+    *done = true;
+  }(job.comm(0), sbuf, &sdone));
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    Status s;
+    EXPECT_EQ(co_await c.recv(b, 100, 0, 1, &s), PTL_OK);
+    EXPECT_TRUE(s.truncated);
+    EXPECT_EQ(s.len, 100u);
+    *done = true;
+  }(job.comm(1), rbuf, &rdone));
+  job.m.run();
+  EXPECT_TRUE(sdone && rdone);
+}
+
+// --------------------------------------------------------- nonblocking ----
+
+TEST(MpiNonblocking, IsendIrecvWaitall) {
+  Job job(2);
+  constexpr int kN = 8;
+  constexpr std::uint32_t kLen = 2048;
+  const std::uint64_t sbuf = job.proc(0).alloc(kN * kLen);
+  const std::uint64_t rbuf = job.proc(1).alloc(kN * kLen);
+  for (int i = 0; i < kN; ++i) {
+    job.proc(0).write_bytes(sbuf + static_cast<std::uint64_t>(i) * kLen,
+                            pattern(kLen, static_cast<unsigned>(i)));
+  }
+  bool sdone = false, rdone = false;
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    std::vector<Request> reqs(kN);
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(co_await c.isend(b + static_cast<std::uint64_t>(i) * kLen,
+                                 kLen, 1, i, &reqs[static_cast<size_t>(i)]),
+                PTL_OK);
+    }
+    EXPECT_EQ(co_await c.waitall(reqs), PTL_OK);
+    *done = true;
+  }(job.comm(0), sbuf, &sdone));
+  sim::spawn([](Comm& c, std::uint64_t b, bool* done) -> CoTask<void> {
+    std::vector<Request> reqs(kN);
+    // Post in reverse tag order to force out-of-order matching.
+    for (int i = kN - 1; i >= 0; --i) {
+      EXPECT_EQ(co_await c.irecv(b + static_cast<std::uint64_t>(i) * kLen,
+                                 kLen, 0, i, &reqs[static_cast<size_t>(i)]),
+                PTL_OK);
+    }
+    EXPECT_EQ(co_await c.waitall(reqs), PTL_OK);
+    *done = true;
+  }(job.comm(1), rbuf, &rdone));
+  job.m.run();
+  ASSERT_TRUE(sdone && rdone);
+  for (int i = 0; i < kN; ++i) {
+    std::vector<std::byte> got(kLen);
+    job.proc(1).read_bytes(rbuf + static_cast<std::uint64_t>(i) * kLen, got);
+    EXPECT_EQ(got, pattern(kLen, static_cast<unsigned>(i))) << "msg " << i;
+  }
+}
+
+// ----------------------------------------------------------- collectives ----
+
+TEST(MpiCollectives, BarrierSynchronizesRanks) {
+  constexpr int kRanks = 5;
+  Job job(kRanks);
+  std::vector<Time> after(kRanks);
+  int arrived = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    sim::spawn([](Job& j, int rank, std::vector<Time>* out,
+                  int* count) -> CoTask<void> {
+      // Stagger arrival: rank r waits r*10us before the barrier.
+      co_await sim::delay(j.m.engine(), Time::us(rank * 10));
+      ++*count;
+      EXPECT_EQ(co_await j.comm(rank).barrier(), PTL_OK);
+      // No rank may exit before the last one arrived.
+      EXPECT_EQ(*count, 5);
+      (*out)[static_cast<std::size_t>(rank)] = j.m.engine().now();
+    }(job, r, &after, &arrived));
+  }
+  job.m.run();
+  EXPECT_EQ(arrived, kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_GE(after[static_cast<std::size_t>(r)], Time::us(40));
+  }
+}
+
+TEST(MpiCollectives, SendrecvExchanges) {
+  Job job(2);
+  const std::uint64_t a_s = job.proc(0).alloc(64), a_r = job.proc(0).alloc(64);
+  const std::uint64_t b_s = job.proc(1).alloc(64), b_r = job.proc(1).alloc(64);
+  job.proc(0).write_bytes(a_s, pattern(64, 1));
+  job.proc(1).write_bytes(b_s, pattern(64, 2));
+  bool d0 = false, d1 = false;
+  sim::spawn([](Comm& c, std::uint64_t s, std::uint64_t r,
+                bool* done) -> CoTask<void> {
+    EXPECT_EQ(co_await c.sendrecv(s, 64, 1, 0, r, 64, 1, 0, nullptr), PTL_OK);
+    *done = true;
+  }(job.comm(0), a_s, a_r, &d0));
+  sim::spawn([](Comm& c, std::uint64_t s, std::uint64_t r,
+                bool* done) -> CoTask<void> {
+    EXPECT_EQ(co_await c.sendrecv(s, 64, 0, 0, r, 64, 0, 0, nullptr), PTL_OK);
+    *done = true;
+  }(job.comm(1), b_s, b_r, &d1));
+  job.m.run();
+  ASSERT_TRUE(d0 && d1);
+  std::vector<std::byte> got(64);
+  job.proc(0).read_bytes(a_r, got);
+  EXPECT_EQ(got, pattern(64, 2));
+  job.proc(1).read_bytes(b_r, got);
+  EXPECT_EQ(got, pattern(64, 1));
+}
+
+// --------------------------------------------------------------- perf ----
+
+TEST(MpiPerf, MpiSlowerThanRawPortalsButSameOrder) {
+  // One-way small-message latency through MPI must exceed raw put latency
+  // (the MPI library adds host overhead) but stay in the same few-us range.
+  Job job(2);
+  const std::uint64_t sbuf = job.proc(0).alloc(8);
+  const std::uint64_t rbuf = job.proc(1).alloc(8);
+  constexpr int kIters = 20;
+  bool done = false;
+  Time elapsed{};
+  sim::spawn([](Job& j, std::uint64_t sb, bool*) -> CoTask<void> {
+    for (int i = 0; i < kIters; ++i) {
+      EXPECT_EQ(co_await j.comm(0).send(sb, 8, 1, 1), PTL_OK);
+      EXPECT_EQ(co_await j.comm(0).recv(sb, 8, 1, 2, nullptr), PTL_OK);
+    }
+  }(job, sbuf, nullptr));
+  sim::spawn([](Job& j, std::uint64_t rb, bool* d,
+                Time* out) -> CoTask<void> {
+    const Time start = j.m.engine().now();
+    for (int i = 0; i < kIters; ++i) {
+      EXPECT_EQ(co_await j.comm(1).recv(rb, 8, 0, 1, nullptr), PTL_OK);
+      EXPECT_EQ(co_await j.comm(1).send(rb, 8, 0, 2), PTL_OK);
+    }
+    *out = j.m.engine().now() - start;
+    *d = true;
+  }(job, rbuf, &done, &elapsed));
+  job.m.run();
+  ASSERT_TRUE(done);
+  const double one_way_us = elapsed.to_us() / (2.0 * kIters);
+  EXPECT_GT(one_way_us, 5.39);  // must exceed raw portals put
+  EXPECT_LT(one_way_us, 20.0);  // but stay in range
+}
+
+}  // namespace
+}  // namespace xt::mpi

@@ -1,0 +1,413 @@
+// Unit tests for the 3D torus network substrate (src/net).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "net/coord.hpp"
+#include "net/crc.hpp"
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "net/routing.hpp"
+#include "sim/rng.hpp"
+
+namespace xt::net {
+namespace {
+
+using sim::Time;
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+// --------------------------------------------------------------- Shape ----
+
+TEST(Shape, IdCoordRoundTrip) {
+  const Shape s = Shape::xt3(4, 3, 5);
+  for (NodeId id = 0; id < static_cast<NodeId>(s.count()); ++id) {
+    EXPECT_EQ(s.to_id(s.to_coord(id)), id);
+  }
+}
+
+TEST(Shape, CountAndContains) {
+  const Shape s = Shape::red_storm(27, 16, 24);  // Red Storm scale
+  EXPECT_EQ(s.count(), 27 * 16 * 24);
+  EXPECT_TRUE(s.contains(Coord{0, 0, 0}));
+  EXPECT_TRUE(s.contains(Coord{26, 15, 23}));
+  EXPECT_FALSE(s.contains(Coord{27, 0, 0}));
+  EXPECT_FALSE(s.contains(Coord{0, -1, 0}));
+}
+
+TEST(Shape, RedStormWrapsOnlyZ) {
+  const Shape s = Shape::red_storm(4, 4, 4);
+  EXPECT_FALSE(s.wrap_x);
+  EXPECT_FALSE(s.wrap_y);
+  EXPECT_TRUE(s.wrap_z);
+}
+
+// ------------------------------------------------------------- Routing ----
+
+TEST(Routing, ResolvesDimensionsInXyzOrder) {
+  const Shape s = Shape::xt3(4, 4, 4);
+  const Coord self{0, 0, 0};
+  EXPECT_EQ(route_step(s, self, Coord{1, 1, 1}), Port::kXPlus);
+  EXPECT_EQ(route_step(s, self, Coord{0, 1, 1}), Port::kYPlus);
+  EXPECT_EQ(route_step(s, self, Coord{0, 0, 1}), Port::kZPlus);
+  EXPECT_EQ(route_step(s, self, Coord{0, 0, 0}), Port::kLocal);
+}
+
+TEST(Routing, TorusTakesShorterRingDirection) {
+  const Shape s = Shape::xt3(8, 1, 1);
+  // 0 -> 7 is one hop backward around the ring.
+  EXPECT_EQ(route_step(s, Coord{0, 0, 0}, Coord{7, 0, 0}), Port::kXMinus);
+  // 0 -> 3 is three hops forward, shorter than five backward.
+  EXPECT_EQ(route_step(s, Coord{0, 0, 0}, Coord{3, 0, 0}), Port::kXPlus);
+  // Tie (0 -> 4: four either way) breaks toward +.
+  EXPECT_EQ(route_step(s, Coord{0, 0, 0}, Coord{4, 0, 0}), Port::kXPlus);
+}
+
+TEST(Routing, MeshNeverWraps) {
+  const Shape s = Shape::red_storm(8, 1, 1);
+  // Without wraparound, 0 -> 7 must go all the way forward.
+  EXPECT_EQ(route_step(s, Coord{0, 0, 0}, Coord{7, 0, 0}), Port::kXPlus);
+  EXPECT_EQ(hop_count(s, 0, 7), 7);
+}
+
+TEST(Routing, HopCountMatchesManhattanDistanceOnMesh) {
+  const Shape s = Shape::red_storm(5, 4, 3);
+  s.to_coord(0);
+  const NodeId a = s.to_id(Coord{0, 1, 0});
+  const NodeId b = s.to_id(Coord{4, 3, 2});
+  // x: 4, y: 2, z: min(2, 1 wrap) = 1 (z wraps in red storm).
+  EXPECT_EQ(hop_count(s, a, b), 4 + 2 + 1);
+}
+
+TEST(Routing, PathEndpointsAndContinuity) {
+  const Shape s = Shape::xt3(4, 4, 4);
+  const auto path = route_path(s, 5, 62);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 5u);
+  EXPECT_EQ(path.back(), 62u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_EQ(hop_count(s, path[i], path[i + 1]), 1);
+  }
+}
+
+TEST(Routing, TableMatchesRouteStep) {
+  const Shape s = Shape::xt3(3, 3, 3);
+  for (NodeId self = 0; self < static_cast<NodeId>(s.count()); ++self) {
+    const RoutingTable t(s, s.to_coord(self));
+    for (NodeId dst = 0; dst < static_cast<NodeId>(s.count()); ++dst) {
+      EXPECT_EQ(t.next_port(dst),
+                route_step(s, s.to_coord(self), s.to_coord(dst)));
+    }
+  }
+}
+
+TEST(Routing, FixedPathsAreDeterministic) {
+  const Shape s = Shape::xt3(4, 4, 4);
+  EXPECT_EQ(route_path(s, 3, 40), route_path(s, 3, 40));
+}
+
+TEST(Routing, NeighborInverts) {
+  const Shape s = Shape::xt3(4, 4, 4);
+  const NodeId n = s.to_id(Coord{1, 2, 3});
+  EXPECT_EQ(neighbor(s, neighbor(s, n, Port::kXPlus), Port::kXMinus), n);
+  EXPECT_EQ(neighbor(s, neighbor(s, n, Port::kZPlus), Port::kZMinus), n);
+}
+
+TEST(Routing, NeighborWrapsTorus) {
+  const Shape s = Shape::xt3(4, 1, 1);
+  EXPECT_EQ(neighbor(s, 3, Port::kXPlus), 0u);
+  EXPECT_EQ(neighbor(s, 0, Port::kXMinus), 3u);
+}
+
+// ----------------------------------------------------------------- CRC ----
+
+TEST(Crc, Crc16KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+  EXPECT_EQ(crc16(bytes_of("123456789")), 0x29B1);
+}
+
+TEST(Crc, Crc32KnownVector) {
+  // CRC-32/IEEE("123456789") = 0xCBF43926.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc, Crc32IncrementalMatchesOneShot) {
+  const auto data = bytes_of("the quick brown fox jumps over the lazy dog");
+  std::uint32_t st = crc32_init();
+  st = crc32_update(st, std::span(data).subspan(0, 10));
+  st = crc32_update(st, std::span(data).subspan(10));
+  EXPECT_EQ(crc32_finish(st), crc32(data));
+}
+
+TEST(Crc, DetectsSingleBitFlip) {
+  auto data = bytes_of("payload payload payload");
+  const auto orig16 = crc16(data);
+  const auto orig32 = crc32(data);
+  data[5] ^= std::byte{0x10};
+  EXPECT_NE(crc16(data), orig16);
+  EXPECT_NE(crc32(data), orig32);
+}
+
+TEST(Crc, EmptyInput) {
+  EXPECT_EQ(crc16({}), 0xFFFF);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+// ---------------------------------------------------------------- Link ----
+
+TEST(Link, SerializeTimeIsPacketGranular) {
+  sim::Engine eng;
+  LinkConfig cfg;  // 2.5 GB/s, 64 B packets
+  Link l(eng, cfg, 1, "l");
+  // 1 byte still occupies a whole 64-byte packet: 25.6 ns.
+  EXPECT_EQ(l.serialize_time(1), Time::ps(25600));
+  EXPECT_EQ(l.serialize_time(64), Time::ps(25600));
+  EXPECT_EQ(l.serialize_time(65), Time::ps(51200));
+  // Zero-byte carry still needs one packet.
+  EXPECT_EQ(l.serialize_time(0), Time::ps(25600));
+}
+
+TEST(Link, CarryTakesSerializationPlusHop) {
+  sim::Engine eng;
+  LinkConfig cfg;
+  cfg.hop_latency = Time::ns(40);
+  Link l(eng, cfg, 1, "l");
+  Time done{};
+  sim::spawn([](sim::Engine& e, Link& lk, Time& out) -> sim::CoTask<void> {
+    (void)co_await lk.carry(64);
+    out = e.now();
+  }(eng, l, done));
+  eng.run();
+  EXPECT_EQ(done, Time::ps(25600) + Time::ns(40));
+}
+
+TEST(Link, BackToBackChunksSerialize) {
+  sim::Engine eng;
+  LinkConfig cfg;
+  cfg.hop_latency = Time{};
+  Link l(eng, cfg, 1, "l");
+  std::vector<Time> done;
+  for (int i = 0; i < 3; ++i) {
+    sim::spawn([](sim::Engine& e, Link& lk, auto& out) -> sim::CoTask<void> {
+      (void)co_await lk.carry(6400);  // 100 packets = 2.56 us
+      out.push_back(e.now());
+    }(eng, l, done));
+  }
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], Time::ps(2560000));
+  EXPECT_EQ(done[1], Time::ps(5120000));
+  EXPECT_EQ(done[2], Time::ps(7680000));
+}
+
+TEST(Link, FaultInjectionCausesRetries) {
+  sim::Engine eng;
+  LinkConfig cfg;
+  cfg.pkt_corrupt_prob = 0.05;
+  Link l(eng, cfg, 42, "l");
+  sim::spawn([](Link& lk) -> sim::CoTask<void> {
+    for (int i = 0; i < 200; ++i) (void)co_await lk.carry(64 * 100);
+  }(l));
+  eng.run();
+  // 200 chunks x 100 packets x 5% => virtually certain to see retries.
+  EXPECT_GT(l.retries(), 0u);
+}
+
+TEST(Link, NoFaultsMeansNoRetries) {
+  sim::Engine eng;
+  Link l(eng, LinkConfig{}, 42, "l");
+  sim::spawn([](Link& lk) -> sim::CoTask<void> {
+    for (int i = 0; i < 100; ++i) (void)co_await lk.carry(4096);
+  }(l));
+  eng.run();
+  EXPECT_EQ(l.retries(), 0u);
+}
+
+// ------------------------------------------------------------- Network ----
+
+/// Records delivery milestones.
+class Probe final : public Endpoint {
+ public:
+  void on_header(const MessagePtr& m) override { headers.push_back(m); }
+  void on_complete(const MessagePtr& m) override { completes.push_back(m); }
+  std::vector<MessagePtr> headers;
+  std::vector<MessagePtr> completes;
+};
+
+struct TwoNode {
+  sim::Engine eng;
+  Network net{eng, Shape::xt3(2, 1, 1)};
+  Probe p0, p1;
+  TwoNode() {
+    net.attach(0, p0);
+    net.attach(1, p1);
+  }
+  MessagePtr make(NodeId src, NodeId dst, std::size_t payload) {
+    auto m = std::make_shared<Message>();
+    m->src = src;
+    m->dst = dst;
+    m->header.resize(64);
+    m->payload.resize(payload, std::byte{0xAB});
+    return m;
+  }
+};
+
+TEST(Network, HeaderOnlyMessageDelivered) {
+  TwoNode t;
+  t.net.send(t.make(0, 1, 0));
+  t.eng.run();
+  ASSERT_EQ(t.p1.headers.size(), 1u);
+  ASSERT_EQ(t.p1.completes.size(), 1u);
+  // One 64 B packet at 2.5 GB/s + 40 ns hop = 65.6 ns.
+  EXPECT_EQ(t.p1.headers[0]->header_at, Time::ps(65600));
+  EXPECT_EQ(t.p1.completes[0]->completed_at, Time::ps(65600));
+}
+
+TEST(Network, HeaderArrivesBeforeBodyCompletes) {
+  TwoNode t;
+  t.net.send(t.make(0, 1, 256 * 1024));
+  t.eng.run();
+  ASSERT_EQ(t.p1.headers.size(), 1u);
+  ASSERT_EQ(t.p1.completes.size(), 1u);
+  EXPECT_LT(t.p1.headers[0]->header_at, t.p1.completes[0]->completed_at);
+  // 256 KiB at 2.5 GB/s is ~105 us of serialization.
+  EXPECT_NEAR(t.p1.completes[0]->completed_at.to_us(), 105.0, 5.0);
+}
+
+TEST(Network, PayloadBytesSurviveTransit) {
+  TwoNode t;
+  auto m = t.make(0, 1, 1000);
+  for (std::size_t i = 0; i < m->payload.size(); ++i) {
+    m->payload[i] = static_cast<std::byte>(i * 7);
+  }
+  const auto expect = m->payload;
+  t.net.send(m);
+  t.eng.run();
+  ASSERT_EQ(t.p1.completes.size(), 1u);
+  EXPECT_EQ(t.p1.completes[0]->payload, expect);
+}
+
+TEST(Network, E2eCrcMatchesContents) {
+  TwoNode t;
+  auto m = t.make(0, 1, 5000);
+  t.net.send(m);
+  t.eng.run();
+  const auto& got = *t.p1.completes[0];
+  std::uint32_t c = crc32_init();
+  c = crc32_update(c, got.header);
+  c = crc32_update(c, got.payload);
+  EXPECT_EQ(crc32_finish(c), got.e2e_crc);
+}
+
+TEST(Network, InOrderDeliveryPerPair) {
+  TwoNode t;
+  for (int i = 0; i < 20; ++i) {
+    t.net.send(t.make(0, 1, static_cast<std::size_t>(1 + 977 * i % 9000)));
+  }
+  t.eng.run();
+  ASSERT_EQ(t.p1.completes.size(), 20u);
+  for (std::size_t i = 0; i + 1 < 20; ++i) {
+    EXPECT_LT(t.p1.completes[i]->seq, t.p1.completes[i + 1]->seq);
+  }
+}
+
+TEST(Network, LoopbackDelivers) {
+  TwoNode t;
+  t.net.send(t.make(0, 0, 100));
+  t.eng.run();
+  EXPECT_EQ(t.p0.completes.size(), 1u);
+}
+
+TEST(Network, BidirectionalTrafficDoesNotShareLinks) {
+  // Opposite directions use independent links: simultaneous sends finish
+  // at (nearly) the same time as a single send.
+  TwoNode t;
+  t.net.send(t.make(0, 1, 1 << 20));
+  t.net.send(t.make(1, 0, 1 << 20));
+  t.eng.run();
+  ASSERT_EQ(t.p0.completes.size(), 1u);
+  ASSERT_EQ(t.p1.completes.size(), 1u);
+  const double a = t.p0.completes[0]->completed_at.to_us();
+  const double b = t.p1.completes[0]->completed_at.to_us();
+  EXPECT_NEAR(a, b, 1.0);
+  // 1 MiB at 2.5 GB/s ~ 420 us; far less than 2x if links were shared.
+  EXPECT_LT(a, 500.0);
+}
+
+TEST(Network, SharedLinkHalvesThroughput) {
+  // Two flows (0->2 and 1->2 ... actually 0->1 and 0->1) through the same
+  // link take twice as long as one.
+  TwoNode t;
+  t.net.send(t.make(0, 1, 1 << 20));
+  t.net.send(t.make(0, 1, 1 << 20));
+  t.eng.run();
+  ASSERT_EQ(t.p1.completes.size(), 2u);
+  EXPECT_NEAR(t.p1.completes[1]->completed_at.to_us(), 840.0, 40.0);
+}
+
+TEST(Network, MultiHopAddsPerHopLatency) {
+  sim::Engine eng;
+  Network net(eng, Shape::red_storm(5, 1, 1));
+  Probe p;
+  net.attach(4, p);
+  auto m = std::make_shared<Message>();
+  m->src = 0;
+  m->dst = 4;
+  m->header.resize(64);
+  net.send(m);
+  eng.run();
+  ASSERT_EQ(p.completes.size(), 1u);
+  // 4 hops: 4 x (25.6 ns serialize + 40 ns hop).
+  EXPECT_EQ(p.completes[0]->completed_at, Time::ps(4 * (25600 + 40000)));
+}
+
+TEST(Network, PathLinksMatchesHopCount) {
+  sim::Engine eng;
+  const Shape s = Shape::xt3(4, 4, 4);
+  Network net(eng, s);
+  EXPECT_EQ(net.path_links(0, 63).size(),
+            static_cast<std::size_t>(hop_count(s, 0, 63)));
+}
+
+TEST(Network, UndetectedCorruptionFlagsMessage) {
+  sim::Engine eng;
+  NetConfig cfg;
+  cfg.link.undetected_corrupt_prob = 1.0;  // force it
+  Network net(eng, Shape::xt3(2, 1, 1), cfg);
+  Probe p;
+  net.attach(1, p);
+  auto m = std::make_shared<Message>();
+  m->src = 0;
+  m->dst = 1;
+  m->header.resize(64);
+  net.send(m);
+  eng.run();
+  ASSERT_EQ(p.completes.size(), 1u);
+  EXPECT_TRUE(p.completes[0]->corrupted);
+}
+
+// Property: random pairs on a Red Storm shaped machine always route, with
+// hop count <= sum of dimension extents.
+TEST(NetworkProperty, AllPairsRouteOnRedStormShape) {
+  const Shape s = Shape::red_storm(6, 5, 4);
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(s.count())));
+    const auto b = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(s.count())));
+    const int h = hop_count(s, a, b);
+    EXPECT_GE(h, 0);
+    EXPECT_LE(h, (s.nx - 1) + (s.ny - 1) + s.nz / 2);
+    if (a == b) {
+      EXPECT_EQ(h, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xt::net

@@ -1,0 +1,160 @@
+// Tests for the NetPIPE harness (src/netpipe), including the properties of
+// the measured curves that reproduce the paper's figures.
+
+#include <gtest/gtest.h>
+
+#include "netpipe/netpipe.hpp"
+
+namespace xt::np {
+namespace {
+
+// ------------------------------------------------------------- ladder ----
+
+TEST(SizeLadder, CoversPowersOfTwoWithPerturbation) {
+  Options o;
+  o.min_bytes = 1;
+  o.max_bytes = 64;
+  o.perturbation = 3;
+  const auto l = size_ladder(o);
+  // Must include 1..64 powers of two and their +/-3 neighbours in range.
+  for (const std::size_t want : {1u, 2u, 4u, 5u, 7u, 8u, 11u, 13u, 16u, 19u,
+                                 29u, 32u, 35u, 61u, 64u}) {
+    EXPECT_NE(std::find(l.begin(), l.end(), want), l.end()) << want;
+  }
+  EXPECT_TRUE(std::is_sorted(l.begin(), l.end()));
+  EXPECT_EQ(std::adjacent_find(l.begin(), l.end()), l.end());  // unique
+  EXPECT_LE(l.back(), 64u + 3u);
+}
+
+TEST(SizeLadder, RespectsBounds) {
+  Options o;
+  o.min_bytes = 100;
+  o.max_bytes = 1000;
+  for (const auto s : size_ladder(o)) {
+    EXPECT_GE(s, 100u);
+    EXPECT_LE(s, 1000u);
+  }
+}
+
+TEST(FormatTable, ContainsSeriesAndRows) {
+  std::vector<Sample> s{{64, 5.0, 12.8}};
+  const auto t = format_table("put", Pattern::kPingPong, s);
+  EXPECT_NE(t.find("put"), std::string::npos);
+  EXPECT_NE(t.find("64"), std::string::npos);
+  EXPECT_NE(t.find("ping-pong"), std::string::npos);
+}
+
+// ---------------------------------------------- figure-shape properties ----
+
+Options small_sweep(std::size_t max) {
+  Options o;
+  o.max_bytes = max;
+  o.base_iters = 8;
+  o.min_iters = 2;
+  return o;
+}
+
+TEST(Figure4, PutLatencyMatchesPaperAnchor) {
+  const auto s = measure(Transport::kPut, Pattern::kPingPong, small_sweep(16));
+  ASSERT_FALSE(s.empty());
+  // Paper: 5.39 us one-way at 1 byte.  Calibrated within 2%.
+  EXPECT_NEAR(s.front().usec_per_transfer, 5.39, 0.11);
+}
+
+TEST(Figure4, InlineStepAtThirteenBytes) {
+  const auto s = measure(Transport::kPut, Pattern::kPingPong, small_sweep(16));
+  double at12 = 0, at13 = 0;
+  for (const auto& x : s) {
+    if (x.bytes == 11) at12 = x.usec_per_transfer;  // ladder: 8+3
+    if (x.bytes == 13) at13 = x.usec_per_transfer;
+  }
+  ASSERT_GT(at12, 0);
+  ASSERT_GT(at13, 0);
+  // The second interrupt appears: a jump of well over a microsecond.
+  EXPECT_GT(at13 - at12, 1.5);
+}
+
+TEST(Figure4, TransportOrderingMatchesPaper) {
+  // put < get, put < mpich-1.2.6 < mpich2 at 1 byte.
+  const auto put =
+      measure(Transport::kPut, Pattern::kPingPong, small_sweep(1));
+  const auto get =
+      measure(Transport::kGet, Pattern::kPingPong, small_sweep(1));
+  const auto m1 =
+      measure(Transport::kMpich1, Pattern::kPingPong, small_sweep(1));
+  const auto m2 =
+      measure(Transport::kMpich2, Pattern::kPingPong, small_sweep(1));
+  const double p = put.front().usec_per_transfer;
+  EXPECT_LT(p, get.front().usec_per_transfer);
+  EXPECT_LT(p, m1.front().usec_per_transfer);
+  EXPECT_LT(m1.front().usec_per_transfer, m2.front().usec_per_transfer);
+  // MPI anchors: 7.97 and 8.40 us.
+  EXPECT_NEAR(m1.front().usec_per_transfer, 7.97, 0.25);
+  EXPECT_NEAR(m2.front().usec_per_transfer, 8.40, 0.25);
+}
+
+TEST(Figure5, PeakBandwidthNearPaperAnchor) {
+  Options o = small_sweep(4 << 20);
+  o.perturbation = 0;
+  const auto s = measure(Transport::kPut, Pattern::kPingPong, o);
+  // Paper: 1108.76 MB/s at 8 MB; by 4 MB the curve is within ~1% of peak.
+  EXPECT_NEAR(s.back().mbytes_per_sec, 1108.0, 25.0);
+}
+
+TEST(Figure5, BandwidthMonotonicallyRises) {
+  Options o = small_sweep(1 << 20);
+  o.perturbation = 0;
+  const auto s = measure(Transport::kPut, Pattern::kPingPong, o);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GE(s[i].mbytes_per_sec, s[i - 1].mbytes_per_sec * 0.95)
+        << "at " << s[i].bytes;
+  }
+}
+
+TEST(Figure6, StreamingBeatsPingPongAtSmallSizes) {
+  Options o = small_sweep(4096);
+  o.perturbation = 0;
+  const auto pp = measure(Transport::kPut, Pattern::kPingPong, o);
+  const auto st = measure(Transport::kPut, Pattern::kStream, o);
+  // "the graph is steeper for this curve": streaming reaches a given
+  // bandwidth at smaller sizes.
+  for (std::size_t i = 0; i < pp.size(); ++i) {
+    EXPECT_GT(st[i].mbytes_per_sec, pp[i].mbytes_per_sec) << pp[i].bytes;
+  }
+}
+
+TEST(Figure6, StreamingGetCannotPipeline) {
+  // The gap is widest where per-message overhead dominates: each get is a
+  // full blocking round trip, while puts pipeline back to back.
+  Options o = small_sweep(8192);
+  o.perturbation = 0;
+  const auto put = measure(Transport::kPut, Pattern::kStream, o);
+  const auto get = measure(Transport::kGet, Pattern::kStream, o);
+  // "a much greater impact on the performance of the get operation".
+  EXPECT_LT(get.back().mbytes_per_sec, put.back().mbytes_per_sec * 0.6);
+}
+
+TEST(Figure7, BidirDoublesUnidir) {
+  Options o = small_sweep(4 << 20);
+  o.perturbation = 0;
+  const auto uni = measure(Transport::kPut, Pattern::kPingPong, o);
+  const auto bi = measure(Transport::kPut, Pattern::kBidir, o);
+  // Paper: 2203.19 vs 1108.76 MB/s at the top end (ratio ~1.99).
+  const double ratio =
+      bi.back().mbytes_per_sec / uni.back().mbytes_per_sec;
+  EXPECT_NEAR(ratio, 2.0, 0.1);
+  EXPECT_NEAR(bi.back().mbytes_per_sec, 2203.0, 60.0);
+}
+
+TEST(Figures, MpiTracksPutBandwidthClosely) {
+  // "The MPI bandwidth is only slightly less" (Fig. 5).
+  Options o = small_sweep(1 << 20);
+  o.perturbation = 0;
+  const auto put = measure(Transport::kPut, Pattern::kPingPong, o);
+  const auto mpi = measure(Transport::kMpich1, Pattern::kPingPong, o);
+  EXPECT_GT(mpi.back().mbytes_per_sec, put.back().mbytes_per_sec * 0.85);
+  EXPECT_LE(mpi.back().mbytes_per_sec, put.back().mbytes_per_sec * 1.001);
+}
+
+}  // namespace
+}  // namespace xt::np

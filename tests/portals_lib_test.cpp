@@ -1,0 +1,702 @@
+// Unit tests for the Portals 3.3 reference library (src/portals), driven
+// through fake NAL/Memory seams so matching semantics are exercised without
+// the firmware or network underneath.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "portals/library.hpp"
+#include "sim/engine.hpp"
+
+namespace xt::ptl {
+namespace {
+
+class FakeMemory final : public Memory {
+ public:
+  explicit FakeMemory(std::size_t size) : mem_(size) {}
+  bool valid(std::uint64_t addr, std::size_t len) const override {
+    return addr + len <= mem_.size();
+  }
+  void read(std::uint64_t addr, std::span<std::byte> out) const override {
+    std::memcpy(out.data(), mem_.data() + addr, out.size());
+  }
+  void write(std::uint64_t addr, std::span<const std::byte> in) override {
+    std::memcpy(mem_.data() + addr, in.data(), in.size());
+  }
+  std::vector<std::byte> mem_;
+};
+
+class FakeNal final : public Nal {
+ public:
+  struct Sent {
+    TxKind kind;
+    std::uint32_t dst_nid;
+    WireHeader hdr;
+    std::vector<IoVec> payload;
+    std::uint64_t token;
+    std::uint64_t addr() const { return payload.empty() ? 0 : payload[0].start; }
+    std::uint32_t len() const {
+      std::uint32_t n = 0;
+      for (const IoVec& v : payload) n += v.length;
+      return n;
+    }
+  };
+  int send(TxKind kind, std::uint32_t dst_nid, const WireHeader& hdr,
+           std::vector<IoVec> payload, std::uint64_t token) override {
+    sent.push_back(Sent{kind, dst_nid, hdr, std::move(payload), token});
+    return PTL_OK;
+  }
+  std::uint32_t nid() const override { return 7; }
+  int distance(std::uint32_t) const override { return 1; }
+  std::vector<Sent> sent;
+};
+
+/// One process's library with its fakes.
+struct Proc {
+  sim::Engine eng;
+  FakeMemory mem{1 << 16};
+  FakeNal nal;
+  Library lib;
+  explicit Proc(Nid nid = 7, Pid pid = 3)
+      : lib(eng, Library::Config{ProcessId{nid, pid}, Limits{}, true}, nal,
+            mem) {}
+
+  EqHandle eq(std::size_t n = 64) {
+    EqHandle h;
+    EXPECT_EQ(lib.eq_alloc(n, &h), PTL_OK);
+    return h;
+  }
+  MeHandle me(std::uint32_t pt, MatchBits mb, MatchBits ib = 0,
+              ProcessId src = {kNidAny, kPidAny},
+              Unlink unlink = Unlink::kRetain) {
+    MeHandle h;
+    EXPECT_EQ(lib.me_attach(pt, src, mb, ib, unlink, InsPos::kAfter, &h),
+              PTL_OK);
+    return h;
+  }
+  MdHandle md_on(MeHandle meh, std::uint64_t start, std::uint32_t len,
+                 unsigned options, EqHandle eqh, int threshold = -1,
+                 Unlink unlink_op = Unlink::kRetain,
+                 std::uint32_t max_size = 0) {
+    MdDesc d;
+    d.start = start;
+    d.length = len;
+    d.options = options;
+    d.eq = eqh;
+    d.threshold = threshold;
+    d.max_size = max_size;
+    MdHandle h;
+    EXPECT_EQ(lib.md_attach(meh, d, unlink_op, &h), PTL_OK);
+    return h;
+  }
+  void mem_write(std::uint64_t addr, std::byte v) { mem.mem_[addr] = v; }
+
+  /// Drains every event currently in the EQ.
+  std::vector<Event> drain(EqHandle eqh) {
+    std::vector<Event> evs;
+    Event ev;
+    int rc;
+    while ((rc = lib.eq_get(eqh, &ev)) != PTL_EQ_EMPTY) {
+      EXPECT_TRUE(rc == PTL_OK || rc == PTL_EQ_DROPPED);
+      evs.push_back(ev);
+    }
+    return evs;
+  }
+};
+
+WireHeader put_hdr(std::uint32_t len, MatchBits mb, Nid src_nid = 1,
+                   Pid src_pid = 2, std::uint32_t pt = 4,
+                   std::uint64_t roffset = 0) {
+  WireHeader h;
+  h.op = WireOp::kPut;
+  h.src_nid = src_nid;
+  h.src_pid = src_pid;
+  h.pt_index = static_cast<std::uint8_t>(pt);
+  h.ac_index = 0;
+  h.match_bits = mb;
+  h.length = len;
+  h.remote_offset = roffset;
+  h.md_id = 99;  // initiator token (opaque here)
+  return h;
+}
+
+// ----------------------------------------------------------- EQ basics ----
+
+TEST(PtlEq, AllocGetEmptyFree) {
+  Proc p;
+  EqHandle h = p.eq(8);
+  Event ev;
+  EXPECT_EQ(p.lib.eq_get(h, &ev), PTL_EQ_EMPTY);
+  EXPECT_EQ(p.lib.eq_free(h), PTL_OK);
+  EXPECT_EQ(p.lib.eq_get(h, &ev), PTL_EQ_INVALID);  // stale handle
+}
+
+TEST(PtlEq, OverflowReportsDropped) {
+  Proc p;
+  EqHandle h = p.eq(2);
+  EventQueue* q = p.lib.eq_object(h);
+  ASSERT_NE(q, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    Event ev;
+    ev.type = EventType::kPutEnd;
+    q->post(ev);
+  }
+  Event ev;
+  // The drop is reported (once) on the first successful get after the
+  // overflow; an event is still returned with PTL_EQ_DROPPED.
+  EXPECT_EQ(p.lib.eq_get(h, &ev), PTL_EQ_DROPPED);
+  EXPECT_EQ(p.lib.eq_get(h, &ev), PTL_OK);
+  EXPECT_EQ(p.lib.eq_get(h, &ev), PTL_EQ_EMPTY);
+}
+
+TEST(PtlEq, SequenceNumbersIncrease) {
+  Proc p;
+  EqHandle h = p.eq(8);
+  EventQueue* q = p.lib.eq_object(h);
+  for (int i = 0; i < 3; ++i) q->post(Event{});
+  auto evs = p.drain(h);
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_LT(evs[0].sequence, evs[1].sequence);
+  EXPECT_LT(evs[1].sequence, evs[2].sequence);
+}
+
+// ----------------------------------------------------------- ME lists ----
+
+TEST(PtlMe, AttachValidatesPtIndex) {
+  Proc p;
+  MeHandle h;
+  EXPECT_EQ(p.lib.me_attach(Limits{}.max_pt_index, ProcessId{kNidAny, kPidAny},
+                            0, 0, Unlink::kRetain, InsPos::kAfter, &h),
+            PTL_PT_INDEX_INVALID);
+}
+
+TEST(PtlMe, UnlinkInvalidatesHandle) {
+  Proc p;
+  MeHandle h = p.me(0, 5);
+  EXPECT_EQ(p.lib.me_unlink(h), PTL_OK);
+  EXPECT_EQ(p.lib.me_unlink(h), PTL_ME_INVALID);
+}
+
+TEST(PtlMe, FirstMatchingEntryWins) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me1 = p.me(4, 42);
+  MeHandle me2 = p.me(4, 42);  // same bits, later in list
+  p.md_on(me1, 0, 128, PTL_MD_OP_PUT, eq);
+  p.md_on(me2, 1024, 128, PTL_MD_OP_PUT, eq);
+  auto d = p.lib.on_put_header(put_hdr(64, 42));
+  ASSERT_TRUE(d.deliver);
+  ASSERT_FALSE(d.segments.empty());
+  EXPECT_EQ(d.segments[0].start, 0u);  // me1's MD
+  EXPECT_EQ(d.entries_walked, 1u);
+}
+
+TEST(PtlMe, InsBeforePrepends) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me1 = p.me(4, 42);
+  p.md_on(me1, 0, 128, PTL_MD_OP_PUT, eq);
+  // Insert a second matching entry at the head.
+  MeHandle me2;
+  ASSERT_EQ(p.lib.me_attach(4, ProcessId{kNidAny, kPidAny}, 42, 0,
+                            Unlink::kRetain, InsPos::kBefore, &me2),
+            PTL_OK);
+  p.md_on(me2, 2048, 128, PTL_MD_OP_PUT, eq);
+  auto d = p.lib.on_put_header(put_hdr(64, 42));
+  ASSERT_TRUE(d.deliver);
+  ASSERT_FALSE(d.segments.empty());
+  EXPECT_EQ(d.segments[0].start, 2048u);
+}
+
+TEST(PtlMe, InsertBeforeExistingEntry) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me1 = p.me(4, 42);
+  p.md_on(me1, 0, 128, PTL_MD_OP_PUT, eq);
+  MeHandle me2;
+  ASSERT_EQ(p.lib.me_insert(me1, ProcessId{kNidAny, kPidAny}, 42, 0,
+                            Unlink::kRetain, InsPos::kBefore, &me2),
+            PTL_OK);
+  p.md_on(me2, 4096, 128, PTL_MD_OP_PUT, eq);
+  auto d = p.lib.on_put_header(put_hdr(64, 42));
+  ASSERT_TRUE(d.deliver);
+  ASSERT_FALSE(d.segments.empty());
+  EXPECT_EQ(d.segments[0].start, 4096u);
+}
+
+// ------------------------------------------------------------ matching ----
+
+TEST(PtlMatch, IgnoreBitsMaskMismatches) {
+  Proc p;
+  EqHandle eq = p.eq();
+  // Match 0xAB00 with low byte ignored.
+  MeHandle me = p.me(4, 0xAB00, 0x00FF);
+  p.md_on(me, 0, 256, PTL_MD_OP_PUT, eq);
+  EXPECT_TRUE(p.lib.on_put_header(put_hdr(8, 0xAB42)).deliver);
+  EXPECT_TRUE(p.lib.on_put_header(put_hdr(8, 0xAB00)).deliver);
+  EXPECT_FALSE(p.lib.on_put_header(put_hdr(8, 0xAC00)).deliver);
+}
+
+TEST(PtlMatch, SourceIdFiltering) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me;
+  ASSERT_EQ(p.lib.me_attach(4, ProcessId{1, 2}, 7, 0, Unlink::kRetain,
+                            InsPos::kAfter, &me),
+            PTL_OK);
+  p.md_on(me, 0, 256, PTL_MD_OP_PUT, eq);
+  EXPECT_TRUE(p.lib.on_put_header(put_hdr(8, 7, /*src_nid=*/1, 2)).deliver);
+  EXPECT_FALSE(p.lib.on_put_header(put_hdr(8, 7, /*src_nid=*/9, 2)).deliver);
+  EXPECT_FALSE(p.lib.on_put_header(put_hdr(8, 7, /*src_nid=*/1, 5)).deliver);
+  EXPECT_EQ(p.lib.status(SrIndex::kDropCount), 2u);
+}
+
+TEST(PtlMatch, OpPermissionsRespected) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 256, PTL_MD_OP_GET, eq);  // only get allowed
+  EXPECT_FALSE(p.lib.on_put_header(put_hdr(8, 1)).deliver);
+  WireHeader g = put_hdr(8, 1);
+  g.op = WireOp::kGet;
+  EXPECT_TRUE(p.lib.on_get_header(g).deliver);
+}
+
+TEST(PtlMatch, TruncateClampsLength) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 100, PTL_MD_OP_PUT | PTL_MD_TRUNCATE, eq);
+  auto d = p.lib.on_put_header(put_hdr(500, 1));
+  ASSERT_TRUE(d.deliver);
+  EXPECT_EQ(d.mlength, 100u);
+}
+
+TEST(PtlMatch, NoTruncateSkipsToNextEntry) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle small = p.me(4, 1);
+  p.md_on(small, 0, 100, PTL_MD_OP_PUT, eq);  // no truncate, too small
+  MeHandle big = p.me(4, 1);
+  p.md_on(big, 1000, 1000, PTL_MD_OP_PUT, eq);
+  auto d = p.lib.on_put_header(put_hdr(500, 1));
+  ASSERT_TRUE(d.deliver);
+  ASSERT_FALSE(d.segments.empty());
+  EXPECT_EQ(d.segments[0].start, 1000u);
+  EXPECT_EQ(d.entries_walked, 2u);
+}
+
+TEST(PtlMatch, LocallyManagedOffsetAdvances) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 1000, PTL_MD_OP_PUT, eq);
+  auto d1 = p.lib.on_put_header(put_hdr(100, 1));
+  auto d2 = p.lib.on_put_header(put_hdr(100, 1));
+  EXPECT_EQ(d1.segments[0].start, 0u);
+  EXPECT_EQ(d2.segments[0].start, 100u);
+  EXPECT_EQ(d2.mlength, 100u);
+}
+
+TEST(PtlMatch, ManageRemoteUsesInitiatorOffset) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 1000, PTL_MD_OP_PUT | PTL_MD_MANAGE_REMOTE, eq);
+  auto d1 = p.lib.on_put_header(put_hdr(100, 1, 1, 2, 4, /*roffset=*/300));
+  auto d2 = p.lib.on_put_header(put_hdr(100, 1, 1, 2, 4, /*roffset=*/0));
+  EXPECT_EQ(d1.segments[0].start, 300u);
+  EXPECT_EQ(d2.segments[0].start, 0u);  // did not advance
+}
+
+TEST(PtlMatch, NoMatchDropsAndCounts) {
+  Proc p;
+  EXPECT_FALSE(p.lib.on_put_header(put_hdr(8, 77)).deliver);
+  EXPECT_EQ(p.lib.status(SrIndex::kDropCount), 1u);
+}
+
+// ----------------------------------------------------- threshold/unlink ----
+
+TEST(PtlMd, ThresholdExhaustionDeactivates) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 1000, PTL_MD_OP_PUT, eq, /*threshold=*/2);
+  EXPECT_TRUE(p.lib.on_put_header(put_hdr(10, 1)).deliver);
+  EXPECT_TRUE(p.lib.on_put_header(put_hdr(10, 1)).deliver);
+  EXPECT_FALSE(p.lib.on_put_header(put_hdr(10, 1)).deliver);
+}
+
+TEST(PtlMd, AutoUnlinkPostsUnlinkEvent) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1, 0, {kNidAny, kPidAny}, Unlink::kUnlink);
+  p.md_on(me, 0, 1000, PTL_MD_OP_PUT, eq, /*threshold=*/1, Unlink::kUnlink);
+  auto d = p.lib.on_put_header(put_hdr(10, 1));
+  ASSERT_TRUE(d.deliver);
+  (void)p.lib.deposited(d.token);
+  auto evs = p.drain(eq);
+  ASSERT_EQ(evs.size(), 3u);  // PUT_START, PUT_END, UNLINK
+  EXPECT_EQ(evs[0].type, EventType::kPutStart);
+  EXPECT_EQ(evs[1].type, EventType::kPutEnd);
+  EXPECT_EQ(evs[2].type, EventType::kUnlink);
+  // The ME went away with its MD (Unlink::kUnlink on the ME).
+  EXPECT_EQ(p.lib.me_unlink(me), PTL_ME_INVALID);
+}
+
+TEST(PtlMd, RetainKeepsMeAfterMdUnlink) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1, 0, {kNidAny, kPidAny}, Unlink::kRetain);
+  p.md_on(me, 0, 1000, PTL_MD_OP_PUT, eq, /*threshold=*/1, Unlink::kUnlink);
+  auto d = p.lib.on_put_header(put_hdr(10, 1));
+  (void)p.lib.deposited(d.token);
+  // ME survives; we can attach a new MD.
+  MdHandle md2;
+  MdDesc desc;
+  desc.start = 0;
+  desc.length = 64;
+  desc.options = PTL_MD_OP_PUT;
+  EXPECT_EQ(p.lib.md_attach(me, desc, Unlink::kRetain, &md2), PTL_OK);
+}
+
+TEST(PtlMd, MaxSizeRetiresWhenSpaceLow) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  MdDesc d;
+  d.start = 0;
+  d.length = 250;
+  d.options = PTL_MD_OP_PUT | PTL_MD_MAX_SIZE | PTL_MD_TRUNCATE;
+  d.max_size = 100;
+  d.eq = eq;
+  MdHandle h;
+  ASSERT_EQ(p.lib.md_attach(me, d, Unlink::kUnlink, &h), PTL_OK);
+  EXPECT_TRUE(p.lib.on_put_header(put_hdr(100, 1)).deliver);  // 150 left
+  EXPECT_TRUE(p.lib.on_put_header(put_hdr(100, 1)).deliver);  // 50 < 100
+  EXPECT_FALSE(p.lib.on_put_header(put_hdr(10, 1)).deliver);  // retired
+}
+
+TEST(PtlMd, UnlinkWhileBusyFails) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  MdHandle md = p.md_on(me, 0, 1000, PTL_MD_OP_PUT, eq);
+  auto d = p.lib.on_put_header(put_hdr(10, 1));
+  ASSERT_TRUE(d.deliver);
+  EXPECT_EQ(p.lib.md_unlink(md), PTL_MD_IN_USE);  // deposit in flight
+  (void)p.lib.deposited(d.token);
+  EXPECT_EQ(p.lib.md_unlink(md), PTL_OK);
+}
+
+TEST(PtlMd, BindValidatesMemory) {
+  Proc p;
+  MdDesc d;
+  d.start = 1u << 20;  // beyond the 64 KiB fake AS
+  d.length = 64;
+  MdHandle h;
+  EXPECT_EQ(p.lib.md_bind(d, Unlink::kRetain, &h), PTL_SEGV);
+}
+
+TEST(PtlMd, UpdateRefusedWhenTestEqNonEmpty) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  MdHandle md = p.md_on(me, 0, 100, PTL_MD_OP_PUT, eq);
+  p.lib.eq_object(eq)->post(Event{});
+  MdDesc nd;
+  nd.start = 0;
+  nd.length = 50;
+  nd.options = PTL_MD_OP_PUT;
+  EXPECT_EQ(p.lib.md_update(md, nullptr, &nd, eq), PTL_MD_NO_UPDATE);
+  Event ev;
+  (void)p.lib.eq_get(eq, &ev);
+  EXPECT_EQ(p.lib.md_update(md, nullptr, &nd, eq), PTL_OK);
+}
+
+// --------------------------------------------------------------- ACL ----
+
+TEST(PtlAcl, RejectsWrongSource) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 100, PTL_MD_OP_PUT, eq);
+  // Restrict AC index 0 to nid 5 only.
+  ASSERT_EQ(p.lib.ac_entry(0, ProcessId{5, kPidAny}, kPtIndexAny), PTL_OK);
+  EXPECT_FALSE(p.lib.on_put_header(put_hdr(8, 1, /*src_nid=*/1)).deliver);
+  EXPECT_TRUE(p.lib.on_put_header(put_hdr(8, 1, /*src_nid=*/5)).deliver);
+  EXPECT_EQ(p.lib.status(SrIndex::kPermissionsViolations), 1u);
+}
+
+TEST(PtlAcl, UnsetIndexRejects) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 100, PTL_MD_OP_PUT, eq);
+  WireHeader h = put_hdr(8, 1);
+  h.ac_index = 3;  // never configured
+  EXPECT_FALSE(p.lib.on_put_header(h).deliver);
+  EXPECT_EQ(p.lib.status(SrIndex::kPermissionsViolations), 1u);
+}
+
+// ----------------------------------------------------- initiator side ----
+
+TEST(PtlPut, SendsWireHeaderAndEvents) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MdDesc d;
+  d.start = 100;
+  d.length = 64;
+  d.options = PTL_MD_OP_PUT;
+  d.eq = eq;
+  MdHandle md;
+  ASSERT_EQ(p.lib.md_bind(d, Unlink::kRetain, &md), PTL_OK);
+  ASSERT_EQ(p.lib.put(md, AckReq::kAck, ProcessId{3, 9}, 4, 0, 0xBEEF, 0,
+                      0x1234),
+            PTL_OK);
+  ASSERT_EQ(p.nal.sent.size(), 1u);
+  const auto& s = p.nal.sent[0];
+  EXPECT_EQ(s.kind, Nal::TxKind::kPut);
+  EXPECT_EQ(s.hdr.op, WireOp::kPut);
+  EXPECT_EQ(s.hdr.src_nid, 7u);
+  EXPECT_EQ(s.hdr.src_pid, 3);
+  EXPECT_EQ(s.hdr.dst_pid, 9);
+  EXPECT_EQ(s.hdr.match_bits, 0xBEEFu);
+  EXPECT_EQ(s.hdr.length, 64u);
+  EXPECT_EQ(s.hdr.hdr_data, 0x1234u);
+  EXPECT_EQ(s.addr(), 100u);
+  EXPECT_EQ(s.len(), 64u);
+
+  auto evs = p.drain(eq);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].type, EventType::kSendStart);
+
+  p.lib.send_complete(s.token);
+  evs = p.drain(eq);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].type, EventType::kSendEnd);
+
+  // The target's ack arrives.
+  WireHeader ack;
+  ack.op = WireOp::kAck;
+  ack.length = 64;
+  ack.md_id = s.hdr.md_id;
+  ack.md_gen = s.hdr.md_gen;
+  p.lib.on_ack(ack);
+  evs = p.drain(eq);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].type, EventType::kAck);
+  EXPECT_EQ(evs[0].mlength, 64u);
+}
+
+TEST(PtlPut, RegionSendsSubrange) {
+  Proc p;
+  MdDesc d;
+  d.start = 0;
+  d.length = 1000;
+  MdHandle md;
+  ASSERT_EQ(p.lib.md_bind(d, Unlink::kRetain, &md), PTL_OK);
+  ASSERT_EQ(p.lib.put_region(md, 100, 50, AckReq::kNone, ProcessId{1, 1}, 0,
+                             0, 0, 0, 0),
+            PTL_OK);
+  EXPECT_EQ(p.nal.sent[0].addr(), 100u);
+  EXPECT_EQ(p.nal.sent[0].len(), 50u);
+  EXPECT_EQ(p.lib.put_region(md, 990, 50, AckReq::kNone, ProcessId{1, 1}, 0,
+                             0, 0, 0, 0),
+            PTL_MD_ILLEGAL);
+}
+
+TEST(PtlPut, InactiveMdRejected) {
+  Proc p;
+  MdDesc d;
+  d.start = 0;
+  d.length = 8;
+  d.threshold = 1;
+  MdHandle md;
+  ASSERT_EQ(p.lib.md_bind(d, Unlink::kRetain, &md), PTL_OK);
+  EXPECT_EQ(p.lib.put(md, AckReq::kNone, ProcessId{1, 1}, 0, 0, 0, 0, 0),
+            PTL_OK);
+  EXPECT_EQ(p.lib.put(md, AckReq::kNone, ProcessId{1, 1}, 0, 0, 0, 0, 0),
+            PTL_MD_INVALID);  // threshold exhausted
+}
+
+// ------------------------------------------------------------ get flow ----
+
+TEST(PtlGet, TargetBuildsReplyAndGetEvents) {
+  Proc target;
+  EqHandle eq = target.eq();
+  MeHandle me = target.me(4, 11);
+  target.md_on(me, 200, 512, PTL_MD_OP_GET, eq);
+  for (std::size_t i = 0; i < 512; ++i) {
+    target.mem_write(200 + i, static_cast<std::byte>(i));
+  }
+  WireHeader g;
+  g.op = WireOp::kGet;
+  g.src_nid = 1;
+  g.src_pid = 2;
+  g.pt_index = 4;
+  g.match_bits = 11;
+  g.length = 128;
+  g.md_id = 55;
+  auto d = target.lib.on_get_header(g);
+  ASSERT_TRUE(d.deliver);
+  EXPECT_EQ(d.mlength, 128u);
+  ASSERT_FALSE(d.segments.empty());
+  EXPECT_EQ(d.segments[0].start, 200u);
+  EXPECT_EQ(d.reply_header.op, WireOp::kReply);
+  EXPECT_EQ(d.reply_header.dst_pid, 2);
+  EXPECT_EQ(d.reply_header.length, 128u);
+  EXPECT_EQ(d.reply_header.md_id, 55u);
+
+  auto evs = target.drain(eq);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].type, EventType::kGetStart);
+
+  target.lib.reply_sent(d.token);
+  evs = target.drain(eq);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].type, EventType::kGetEnd);
+}
+
+TEST(PtlGet, InitiatorReplyFlow) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MdDesc d;
+  d.start = 0;
+  d.length = 256;
+  d.options = PTL_MD_OP_GET;
+  d.eq = eq;
+  MdHandle md;
+  ASSERT_EQ(p.lib.md_bind(d, Unlink::kRetain, &md), PTL_OK);
+  ASSERT_EQ(p.lib.get(md, ProcessId{3, 9}, 4, 0, 11, 0), PTL_OK);
+  ASSERT_EQ(p.nal.sent.size(), 1u);
+  EXPECT_EQ(p.nal.sent[0].kind, Nal::TxKind::kGetRequest);
+  EXPECT_EQ(p.nal.sent[0].len(), 0u);  // requests carry no payload
+  EXPECT_EQ(p.drain(eq).size(), 0u);  // no send events for gets
+
+  WireHeader reply;
+  reply.op = WireOp::kReply;
+  reply.length = 256;
+  reply.md_id = p.nal.sent[0].hdr.md_id;
+  reply.md_gen = p.nal.sent[0].hdr.md_gen;
+  auto rd = p.lib.on_reply_header(reply);
+  ASSERT_TRUE(rd.deliver);
+  EXPECT_EQ(rd.mlength, 256u);
+  ASSERT_FALSE(rd.segments.empty());
+  EXPECT_EQ(rd.segments[0].start, 0u);
+  auto evs = p.drain(eq);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].type, EventType::kReplyStart);
+
+  (void)p.lib.deposited(rd.token);
+  evs = p.drain(eq);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].type, EventType::kReplyEnd);
+}
+
+TEST(PtlGet, StrayReplyDropped) {
+  Proc p;
+  WireHeader reply;
+  reply.op = WireOp::kReply;
+  reply.md_id = 12345;
+  EXPECT_FALSE(p.lib.on_reply_header(reply).deliver);
+  EXPECT_EQ(p.lib.status(SrIndex::kDropCount), 1u);
+}
+
+// -------------------------------------------------------- target acks ----
+
+TEST(PtlAck, TargetBuildsAckAfterDeposit) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 100, PTL_MD_OP_PUT | PTL_MD_TRUNCATE, eq);
+  WireHeader h = put_hdr(400, 1);
+  h.ack_req = AckReq::kAck;
+  auto d = p.lib.on_put_header(h);
+  ASSERT_TRUE(d.deliver);
+  auto ack = p.lib.deposited(d.token);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->op, WireOp::kAck);
+  EXPECT_EQ(ack->length, 100u);  // truncated mlength reported
+  EXPECT_EQ(ack->dst_pid, 2);
+  EXPECT_EQ(ack->md_id, 99u);
+}
+
+TEST(PtlAck, AckDisableSuppressesAck) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 100, PTL_MD_OP_PUT | PTL_MD_ACK_DISABLE, eq);
+  WireHeader h = put_hdr(50, 1);
+  h.ack_req = AckReq::kAck;
+  auto d = p.lib.on_put_header(h);
+  ASSERT_TRUE(d.deliver);
+  EXPECT_FALSE(p.lib.deposited(d.token).has_value());
+}
+
+// ------------------------------------------------------- event options ----
+
+TEST(PtlEvents, StartDisableSuppressesStartOnly) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 100,
+          PTL_MD_OP_PUT | PTL_MD_EVENT_START_DISABLE, eq);
+  auto d = p.lib.on_put_header(put_hdr(10, 1));
+  (void)p.lib.deposited(d.token);
+  auto evs = p.drain(eq);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].type, EventType::kPutEnd);
+}
+
+TEST(PtlEvents, EventFieldsPopulated) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 21);
+  MdDesc desc;
+  desc.start = 64;
+  desc.length = 512;
+  desc.options = PTL_MD_OP_PUT;
+  desc.eq = eq;
+  desc.user_ptr = 0xCAFE;
+  MdHandle md;
+  ASSERT_EQ(p.lib.md_attach(me, desc, Unlink::kRetain, &md), PTL_OK);
+  WireHeader h = put_hdr(32, 21, /*src_nid=*/5, /*src_pid=*/6);
+  h.hdr_data = 0x77;
+  auto d = p.lib.on_put_header(h);
+  (void)p.lib.deposited(d.token);
+  auto evs = p.drain(eq);
+  ASSERT_EQ(evs.size(), 2u);
+  const Event& e = evs[1];
+  EXPECT_EQ(e.type, EventType::kPutEnd);
+  EXPECT_EQ(e.initiator, (ProcessId{5, 6}));
+  EXPECT_EQ(e.pt_index, 4u);
+  EXPECT_EQ(e.match_bits, 21u);
+  EXPECT_EQ(e.rlength, 32u);
+  EXPECT_EQ(e.mlength, 32u);
+  EXPECT_EQ(e.offset, 0u);
+  EXPECT_EQ(e.hdr_data, 0x77u);
+  EXPECT_EQ(e.user_ptr, 0xCAFEu);
+  EXPECT_EQ(e.link, evs[0].link);  // START/END pairing
+}
+
+// ------------------------------------------------------ failure paths ----
+
+TEST(PtlFail, RxDroppedPostsFailedEndEvent) {
+  Proc p;
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);
+  p.md_on(me, 0, 100, PTL_MD_OP_PUT, eq);
+  auto d = p.lib.on_put_header(put_hdr(10, 1));
+  ASSERT_TRUE(d.deliver);
+  p.lib.rx_dropped(d.token);
+  auto evs = p.drain(eq);
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[1].type, EventType::kPutEnd);
+  EXPECT_EQ(evs[1].ni_fail, PTL_NI_FAIL_DROPPED);
+}
+
+}  // namespace
+}  // namespace xt::ptl

@@ -1,0 +1,459 @@
+// Property-based tests: randomized traffic and parameter sweeps over the
+// full stack, checking the invariants the design promises rather than
+// specific scenarios.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "host/node.hpp"
+#include "mpi/mpi.hpp"
+#include "portals/api.hpp"
+#include "sim/rng.hpp"
+
+namespace xt {
+namespace {
+
+using host::Machine;
+using host::Process;
+using ptl::AckReq;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::ProcessId;
+using ptl::PTL_OK;
+using ptl::Unlink;
+using sim::CoTask;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  std::vector<std::byte> v(n);
+  sim::Rng rng(seed);
+  for (auto& b : v) b = static_cast<std::byte>(rng.below(256));
+  return v;
+}
+
+// ------------------------------------------- truncation invariant sweep ----
+
+// Invariant: for a put of rlength bytes into an MD of `space` bytes with
+// TRUNCATE, mlength == min(rlength, space) and exactly mlength bytes land.
+class TruncSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TruncSweep,
+    ::testing::Values(std::pair{1u, 1u}, std::pair{100u, 100u},
+                      std::pair{100u, 37u}, std::pair{37u, 100u},
+                      std::pair{5000u, 4096u}, std::pair{4096u, 5000u},
+                      std::pair{70000u, 1000u}, std::pair{12u, 5u},
+                      std::pair{13u, 12u}, std::pair{1u, 0u}));
+
+TEST_P(TruncSweep, MlengthIsMinAndBytesExact) {
+  const auto [rlength, space] = GetParam();
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& src = m.node(0).spawn_process(4);
+  Process& dst = m.node(1).spawn_process(4);
+  const auto data = pattern(rlength, rlength * 131 + space);
+  const std::uint64_t sbuf = src.alloc(rlength + 1);
+  // Guard bytes around the receive window to catch overruns.
+  const std::uint64_t rbuf = dst.alloc(space + 64);
+  src.write_bytes(sbuf, data);
+  std::vector<std::byte> guard(space + 64, std::byte{0xEE});
+  dst.write_bytes(rbuf, guard);
+
+  std::uint64_t got_mlength = ~0ull;
+  sim::spawn([](Process& p, std::uint64_t buf, std::uint32_t cap,
+                std::uint64_t* out) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(16);
+    auto me = co_await api.PtlMEAttach(
+        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, 9, 0, Unlink::kRetain,
+        InsPos::kAfter);
+    MdDesc d;
+    d.start = buf;
+    d.length = cap;
+    d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_TRUNCATE;
+    d.eq = eq.value;
+    (void)co_await api.PtlMDAttach(me.value, d, Unlink::kRetain);
+    for (;;) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kPutEnd) {
+        *out = ev.value.mlength;
+        break;
+      }
+    }
+  }(dst, rbuf, space, &got_mlength));
+  sim::spawn([](Process& p, std::uint64_t buf,
+                std::uint32_t len) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(16);
+    MdDesc d;
+    d.start = buf;
+    d.length = len;
+    d.eq = eq.value;
+    auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+    (void)co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{1, 4}, 0, 0,
+                              9, 0, 0);
+    for (;;) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kSendEnd) break;
+    }
+  }(src, sbuf, rlength));
+  m.run();
+
+  const std::uint64_t want = std::min(rlength, space);
+  EXPECT_EQ(got_mlength, want);
+  // Exactly mlength bytes deposited; everything past it untouched.
+  std::vector<std::byte> after(space + 64);
+  dst.read_bytes(rbuf, after);
+  for (std::uint64_t i = 0; i < want; ++i) {
+    ASSERT_EQ(after[i], data[i]) << "byte " << i;
+  }
+  for (std::uint64_t i = want; i < space + 64; ++i) {
+    ASSERT_EQ(after[i], std::byte{0xEE}) << "overrun at " << i;
+  }
+}
+
+// ---------------------------------------------- inline boundary sweep ----
+
+class InlineSweep : public ::testing::TestWithParam<std::uint32_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, InlineSweep,
+                         ::testing::Range(0u, 16u));  // straddles 12
+
+TEST_P(InlineSweep, EverySizeDeliversExactly) {
+  const std::uint32_t len = GetParam();
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& src = m.node(0).spawn_process(4);
+  Process& dst = m.node(1).spawn_process(4);
+  const auto data = pattern(len, len + 1);
+  const std::uint64_t sbuf = src.alloc(len + 1);
+  const std::uint64_t rbuf = dst.alloc(len + 1);
+  if (len > 0) src.write_bytes(sbuf, data);
+  bool done = false;
+  sim::spawn([](Process& p, std::uint64_t buf, std::uint32_t cap,
+                bool* d) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(16);
+    auto me = co_await api.PtlMEAttach(
+        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, 9, 0, Unlink::kRetain,
+        InsPos::kAfter);
+    MdDesc desc;
+    desc.start = buf;
+    desc.length = cap;
+    desc.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_TRUNCATE;
+    desc.eq = eq.value;
+    (void)co_await api.PtlMDAttach(me.value, desc, Unlink::kRetain);
+    for (;;) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kPutEnd) break;
+    }
+    *d = true;
+  }(dst, rbuf, len + 1, &done));
+  sim::spawn([](Process& p, std::uint64_t buf,
+                std::uint32_t len_) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(16);
+    MdDesc d;
+    d.start = buf;
+    d.length = len_;
+    d.eq = eq.value;
+    auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+    (void)co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{1, 4}, 0, 0,
+                              9, 0, 0);
+    for (;;) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kSendEnd) break;
+    }
+  }(src, sbuf, len));
+  m.run();
+  ASSERT_TRUE(done);
+  if (len > 0) {
+    std::vector<std::byte> got(len);
+    dst.read_bytes(rbuf, got);
+    EXPECT_EQ(got, data);
+  }
+}
+
+// ------------------------------------------------ random torus traffic ----
+
+class TrafficSeed : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, TrafficSeed,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+// N random puts between random pairs on a 2x2x2 torus: every message
+// arrives intact (unique match bits route each to its own buffer).
+TEST_P(TrafficSeed, RandomPairsAllDelivered) {
+  sim::Rng rng(GetParam());
+  constexpr int kNodes = 8;
+  constexpr int kMsgs = 24;
+  Machine m(net::Shape::xt3(2, 2, 2));
+  std::vector<Process*> procs;
+  for (int i = 0; i < kNodes; ++i) {
+    procs.push_back(
+        &m.node(static_cast<net::NodeId>(i)).spawn_process(4, 64u << 20));
+  }
+
+  struct Msg {
+    int src, dst;
+    std::uint32_t len;
+    std::uint64_t sbuf, rbuf;
+    std::vector<std::byte> data;
+  };
+  std::vector<Msg> msgs;
+  int delivered = 0;
+  for (int i = 0; i < kMsgs; ++i) {
+    Msg mm;
+    mm.src = static_cast<int>(rng.below(kNodes));
+    do {
+      mm.dst = static_cast<int>(rng.below(kNodes));
+    } while (mm.dst == mm.src);
+    mm.len = static_cast<std::uint32_t>(1 + rng.below(100000));
+    mm.data = pattern(mm.len, GetParam() * 1000 + static_cast<unsigned>(i));
+    mm.sbuf = procs[static_cast<std::size_t>(mm.src)]->alloc(mm.len);
+    mm.rbuf = procs[static_cast<std::size_t>(mm.dst)]->alloc(mm.len);
+    procs[static_cast<std::size_t>(mm.src)]->write_bytes(mm.sbuf, mm.data);
+    msgs.push_back(std::move(mm));
+  }
+
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const Msg& mm = msgs[i];
+    // Receiver: one ME per message with unique bits.
+    sim::spawn([](Process& p, std::uint64_t buf, std::uint32_t len,
+                  std::uint64_t bits, int* count) -> CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(8);
+      auto me = co_await api.PtlMEAttach(
+          0, ProcessId{ptl::kNidAny, ptl::kPidAny}, bits, 0, Unlink::kRetain,
+          InsPos::kAfter);
+      MdDesc d;
+      d.start = buf;
+      d.length = len;
+      d.options = ptl::PTL_MD_OP_PUT;
+      d.eq = eq.value;
+      (void)co_await api.PtlMDAttach(me.value, d, Unlink::kRetain);
+      for (;;) {
+        auto ev = co_await api.PtlEQWait(eq.value);
+        if (ev.value.type == EventType::kPutEnd) break;
+      }
+      ++*count;
+    }(*procs[static_cast<std::size_t>(mm.dst)], mm.rbuf, mm.len, 100 + i,
+      &delivered));
+    // Sender: staggered start.
+    sim::spawn([](Process& p, std::uint64_t buf, std::uint32_t len,
+                  std::uint64_t bits, ProcessId target,
+                  sim::Time start) -> CoTask<void> {
+      co_await sim::delay(p.node().engine(), start);
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(8);
+      MdDesc d;
+      d.start = buf;
+      d.length = len;
+      d.eq = eq.value;
+      auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+      (void)co_await api.PtlPut(md.value, AckReq::kNone, target, 0, 0, bits,
+                                0, 0);
+      for (;;) {
+        auto ev = co_await api.PtlEQWait(eq.value);
+        if (ev.value.type == EventType::kSendEnd) break;
+      }
+    }(*procs[static_cast<std::size_t>(mm.src)], mm.sbuf, mm.len, 100 + i,
+      procs[static_cast<std::size_t>(mm.dst)]->id(),
+      sim::Time::us(static_cast<std::int64_t>(rng.below(50)))));
+  }
+  m.run();
+  ASSERT_EQ(delivered, kMsgs);
+  for (const Msg& mm : msgs) {
+    std::vector<std::byte> got(mm.len);
+    procs[static_cast<std::size_t>(mm.dst)]->read_bytes(mm.rbuf, got);
+    ASSERT_EQ(got, mm.data) << "message " << mm.src << "->" << mm.dst;
+  }
+  for (int i = 0; i < kNodes; ++i) {
+    EXPECT_FALSE(m.node(static_cast<net::NodeId>(i)).firmware().panicked());
+  }
+}
+
+// ------------------------------------------------------ MPI random mix ----
+
+TEST_P(TrafficSeed, MpiRandomSizesAndTags) {
+  sim::Rng rng(GetParam() * 7 + 1);
+  Machine m(net::Shape::xt3(2, 1, 1));
+  std::vector<ptl::ProcessId> ids{{0, 9}, {1, 9}};
+  Process& p0 = m.node(0).spawn_process(9, 256u << 20);
+  Process& p1 = m.node(1).spawn_process(9, 256u << 20);
+  mpi::Comm c0(p0, ids, 0), c1(p1, ids, 1);
+
+  constexpr int kMsgs = 20;
+  struct Xfer {
+    std::uint32_t len;
+    int tag;
+    std::uint64_t sbuf, rbuf;
+    std::vector<std::byte> data;
+  };
+  std::vector<Xfer> xfers;
+  for (int i = 0; i < kMsgs; ++i) {
+    Xfer x;
+    // Mix of inline, eager, boundary and rendezvous sizes.
+    const std::uint64_t kind = rng.below(4);
+    x.len = kind == 0   ? static_cast<std::uint32_t>(rng.below(16))
+            : kind == 1 ? static_cast<std::uint32_t>(rng.below(8192))
+            : kind == 2 ? 128 * 1024 + static_cast<std::uint32_t>(
+                                           rng.below(1024)) -
+                              512
+                        : static_cast<std::uint32_t>(rng.below(400000));
+    x.tag = static_cast<int>(rng.below(5));
+    x.data = pattern(x.len, GetParam() * 999 + static_cast<unsigned>(i));
+    x.sbuf = p0.alloc(x.len ? x.len : 1);
+    x.rbuf = p1.alloc(x.len ? x.len : 1);
+    if (x.len > 0) p0.write_bytes(x.sbuf, x.data);
+    xfers.push_back(std::move(x));
+  }
+
+  bool sdone = false, rdone = false;
+  sim::spawn([](mpi::Comm& c, std::vector<Xfer>* xs,
+                bool* d) -> CoTask<void> {
+    EXPECT_EQ(co_await c.init(), PTL_OK);
+    for (const Xfer& x : *xs) {
+      EXPECT_EQ(co_await c.send(x.sbuf, x.len, 1, x.tag), PTL_OK);
+    }
+    *d = true;
+  }(c0, &xfers, &sdone));
+  sim::spawn([](mpi::Comm& c, std::vector<Xfer>* xs,
+                bool* d) -> CoTask<void> {
+    EXPECT_EQ(co_await c.init(), PTL_OK);
+    // Receive in sending order per tag, but post them in a scrambled
+    // global order (same tag keeps FIFO per MPI semantics).
+    for (const Xfer& x : *xs) {
+      mpi::Status st;
+      EXPECT_EQ(co_await c.recv(x.rbuf, x.len, 0, x.tag, &st), PTL_OK);
+      EXPECT_EQ(st.len, x.len);
+    }
+    *d = true;
+  }(c1, &xfers, &rdone));
+  m.run();
+  ASSERT_TRUE(sdone);
+  ASSERT_TRUE(rdone);
+  for (const Xfer& x : xfers) {
+    if (x.len == 0) continue;
+    std::vector<std::byte> got(x.len);
+    p1.read_bytes(x.rbuf, got);
+    ASSERT_EQ(got, x.data) << "len " << x.len << " tag " << x.tag;
+  }
+}
+
+// -------------------------------------------------------- determinism ----
+
+TEST(Determinism, IdenticalRunsBitIdentical) {
+  auto run_once = [] {
+    Machine m(net::Shape::xt3(2, 2, 1));
+    std::vector<Process*> procs;
+    for (int i = 0; i < 4; ++i) {
+      procs.push_back(&m.node(static_cast<net::NodeId>(i)).spawn_process(4));
+    }
+    int done = 0;
+    for (int i = 0; i < 4; ++i) {
+      const int peer = (i + 1) % 4;
+      sim::spawn([](Process& p, ProcessId target, int idx,
+                    int* d) -> CoTask<void> {
+        auto& api = p.api();
+        auto eq = co_await api.PtlEQAlloc(64);
+        auto me = co_await api.PtlMEAttach(
+            0, ProcessId{ptl::kNidAny, ptl::kPidAny}, 1, 0, Unlink::kRetain,
+            InsPos::kAfter);
+        MdDesc rd;
+        rd.start = p.alloc(4096);
+        rd.length = 4096;
+        rd.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE |
+                     ptl::PTL_MD_TRUNCATE;
+        rd.eq = eq.value;
+        (void)co_await api.PtlMDAttach(me.value, rd, Unlink::kRetain);
+        MdDesc ld;
+        ld.start = p.alloc(4096);
+        ld.length = static_cast<std::uint32_t>(64 * (idx + 1));
+        ld.eq = eq.value;
+        auto md = co_await api.PtlMDBind(ld, Unlink::kRetain);
+        for (int k = 0; k < 8; ++k) {
+          (void)co_await api.PtlPut(md.value, AckReq::kNone, target, 0, 0, 1,
+                                    0, 0);
+        }
+        int sends = 0, puts = 0;
+        while (sends < 8 || puts < 8) {
+          auto ev = co_await api.PtlEQWait(eq.value);
+          if (ev.value.type == EventType::kSendEnd) ++sends;
+          if (ev.value.type == EventType::kPutEnd) ++puts;
+        }
+        ++*d;
+      }(*procs[static_cast<std::size_t>(i)],
+        ProcessId{static_cast<net::NodeId>(peer), 4}, i, &done));
+    }
+    m.run();
+    EXPECT_EQ(done, 4);
+    return std::pair{m.engine().now(), m.engine().executed()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+// ------------------------------------------------ fault injection sweep ----
+
+class FaultSweep : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Rates, FaultSweep,
+                         ::testing::Values(0.001, 0.01, 0.05));
+
+// Link-level corruption is always caught by the CRC-16 retry protocol:
+// delivery stays lossless, only slower.
+TEST_P(FaultSweep, LinkCrcRetriesKeepDeliveryLossless) {
+  ss::Config cfg;
+  cfg.net.link.pkt_corrupt_prob = GetParam();
+  Machine m(net::Shape::xt3(2, 1, 1), cfg);
+  Process& src = m.node(0).spawn_process(4, 64u << 20);
+  Process& dst = m.node(1).spawn_process(4, 64u << 20);
+  constexpr int kMsgs = 20;
+  constexpr std::uint32_t kLen = 4096;
+  const std::uint64_t rbuf = dst.alloc(kLen);
+  int delivered = 0;
+  sim::spawn([](Process& p, std::uint64_t buf, int* count) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(256);
+    auto me = co_await api.PtlMEAttach(
+        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, 1, 0, Unlink::kRetain,
+        InsPos::kAfter);
+    MdDesc d;
+    d.start = buf;
+    d.length = kLen;
+    d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE;
+    d.eq = eq.value;
+    (void)co_await api.PtlMDAttach(me.value, d, Unlink::kRetain);
+    while (*count < kMsgs) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kPutEnd) ++*count;
+    }
+  }(dst, rbuf, &delivered));
+  sim::spawn([](Process& p) -> CoTask<void> {
+    auto& api = p.api();
+    auto eq = co_await api.PtlEQAlloc(256);
+    MdDesc d;
+    d.start = p.alloc(kLen);
+    d.length = kLen;
+    d.eq = eq.value;
+    auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+    for (int i = 0; i < kMsgs; ++i) {
+      (void)co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{1, 4}, 0,
+                                0, 1, 0, 0);
+    }
+    int sends = 0;
+    while (sends < kMsgs) {
+      auto ev = co_await api.PtlEQWait(eq.value);
+      if (ev.value.type == EventType::kSendEnd) ++sends;
+    }
+  }(src));
+  m.run();
+  EXPECT_EQ(delivered, kMsgs);
+  EXPECT_EQ(m.node(1).nic().crc_drops(), 0u);  // nothing slipped through
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,470 @@
+// Unit tests for the discrete-event simulation kernel (src/sim).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/strf.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace xt::sim {
+namespace {
+
+// ---------------------------------------------------------------- Time ----
+
+TEST(Time, UnitConstructorsAgree) {
+  EXPECT_EQ(Time::ns(1), Time::ps(1000));
+  EXPECT_EQ(Time::us(1), Time::ns(1000));
+  EXPECT_EQ(Time::ms(1), Time::us(1000));
+  EXPECT_EQ(Time::sec(1), Time::ms(1000));
+}
+
+TEST(Time, ArithmeticAndComparison) {
+  const Time a = Time::us(3);
+  const Time b = Time::us(2);
+  EXPECT_EQ((a + b).to_us(), 5.0);
+  EXPECT_EQ((a - b).to_us(), 1.0);
+  EXPECT_EQ((a * 4).to_us(), 12.0);
+  EXPECT_EQ((a / 3).to_us(), 1.0);
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+  EXPECT_LT(b, a);
+  EXPECT_TRUE(Time{}.is_zero());
+}
+
+TEST(Time, ForBytesRoundsUp) {
+  // 1 byte at 1 GB/s = exactly 1000 ps.
+  EXPECT_EQ(Time::for_bytes(1, 1'000'000'000), Time::ps(1000));
+  // 1 byte at 3 GB/s = 333.33 ps, rounded up to 334.
+  EXPECT_EQ(Time::for_bytes(1, 3'000'000'000ull), Time::ps(334));
+  // Large transfer does not overflow: 8 MiB at 1.1 GB/s ~ 7.6 ms.
+  const Time t = Time::for_bytes(8u << 20, 1'100'000'000ull);
+  EXPECT_NEAR(t.to_ms(), 7.626, 0.01);
+}
+
+TEST(Time, ForBytesExactAtRate) {
+  // 64-byte packet at 2.5 GB/s payload = 25.6 ns.
+  EXPECT_EQ(Time::for_bytes(64, 2'500'000'000ull), Time::ps(25600));
+}
+
+TEST(Time, StrPicksUnits) {
+  EXPECT_EQ(Time::ps(12).str(), "12 ps");
+  EXPECT_EQ(Time::us(5).str(), "5.000 us");
+}
+
+// -------------------------------------------------------------- Engine ----
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(Time::ns(30), [&] { order.push_back(3); });
+  eng.schedule_at(Time::ns(10), [&] { order.push_back(1); });
+  eng.schedule_at(Time::ns(20), [&] { order.push_back(2); });
+  EXPECT_EQ(eng.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), Time::ns(30));
+}
+
+TEST(Engine, EqualTimesRunFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    eng.schedule_at(Time::ns(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine eng;
+  Time seen{};
+  eng.schedule_at(Time::ns(100), [&] {
+    eng.schedule_after(Time::ns(50), [&] { seen = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(seen, Time::ns(150));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool ran = false;
+  auto id = eng.schedule_at(Time::ns(10), [&] { ran = true; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(Engine, CancelTwiceIsNoop) {
+  Engine eng;
+  auto id = eng.schedule_at(Time::ns(10), [] {});
+  eng.cancel(id);
+  eng.cancel(id);
+  EXPECT_EQ(eng.run(), 0u);
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine eng;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    eng.schedule_at(Time::ns(i), [&] {
+      if (++count == 3) eng.stop();
+    });
+  }
+  EXPECT_EQ(eng.run(), 3u);
+  EXPECT_EQ(eng.pending(), 2u);
+}
+
+TEST(Engine, RunUntilAdvancesTimeExactly) {
+  Engine eng;
+  int count = 0;
+  eng.schedule_at(Time::ns(10), [&] { ++count; });
+  eng.schedule_at(Time::ns(30), [&] { ++count; });
+  eng.run_until(Time::ns(20));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(eng.now(), Time::ns(20));
+  eng.run_until(Time::ns(40));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(eng.now(), Time::ns(40));
+}
+
+TEST(Engine, PendingCountExcludesCancelled) {
+  Engine eng;
+  auto a = eng.schedule_at(Time::ns(1), [] {});
+  eng.schedule_at(Time::ns(2), [] {});
+  EXPECT_EQ(eng.pending(), 2u);
+  eng.cancel(a);
+  EXPECT_EQ(eng.pending(), 1u);
+}
+
+// ------------------------------------------------------------ CoTask ------
+
+CoTask<int> answer() { co_return 42; }
+
+CoTask<int> add_async(Engine& eng, int a, int b) {
+  co_await delay(eng, Time::ns(5));
+  co_return a + b;
+}
+
+TEST(Task, SpawnedTaskRunsToCompletion) {
+  Engine eng;
+  int result = 0;
+  spawn([](Engine& e, int& out) -> CoTask<void> {
+    out = co_await add_async(e, 20, 22);
+  }(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Task, ImmediateTaskCompletesWithoutEngine) {
+  Engine eng;
+  int result = 0;
+  spawn([](int& out) -> CoTask<void> { out = co_await answer(); }(result));
+  EXPECT_EQ(result, 42);  // no suspension anywhere: done inline
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(Task, NestedAwaitPropagatesValues) {
+  Engine eng;
+  int result = 0;
+  spawn([](Engine& e, int& out) -> CoTask<void> {
+    const int x = co_await add_async(e, 1, 2);
+    const int y = co_await add_async(e, x, 10);
+    out = y;
+  }(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 13);
+  EXPECT_EQ(eng.now(), Time::ns(10));
+}
+
+TEST(Task, DelayAdvancesSimTime) {
+  Engine eng;
+  Time end{};
+  spawn([](Engine& e, Time& out) -> CoTask<void> {
+    co_await delay(e, Time::us(3));
+    co_await delay(e, Time::us(4));
+    out = e.now();
+  }(eng, end));
+  eng.run();
+  EXPECT_EQ(end, Time::us(7));
+}
+
+TEST(Task, ZeroDelayDoesNotSuspend) {
+  Engine eng;
+  bool done = false;
+  spawn([](Engine& e, bool& out) -> CoTask<void> {
+    co_await delay(e, Time{});
+    out = true;
+  }(eng, done));
+  EXPECT_TRUE(done);
+}
+
+TEST(Task, YieldRunsBehindQueuedEvents) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(Time{}, [&] { order.push_back(1); });
+  spawn([](Engine& e, std::vector<int>& out) -> CoTask<void> {
+    out.push_back(0);
+    co_await yield(e);
+    out.push_back(2);
+  }(eng, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Engine eng;
+  bool caught = false;
+  spawn([](bool& out) -> CoTask<void> {
+    auto thrower = []() -> CoTask<int> {
+      throw std::runtime_error("boom");
+      co_return 0;  // unreachable; makes this a coroutine
+    };
+    try {
+      (void)co_await thrower();
+    } catch (const std::runtime_error&) {
+      out = true;
+    }
+  }(caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+// --------------------------------------------------------- WaitQueue ------
+
+TEST(WaitQueue, NotifyOneWakesInFifoOrder) {
+  Engine eng;
+  WaitQueue wq(eng);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](WaitQueue& w, std::vector<int>& out, int id) -> CoTask<void> {
+      co_await w.wait();
+      out.push_back(id);
+    }(wq, order, i));
+  }
+  eng.run();
+  EXPECT_EQ(wq.waiters(), 3u);
+  wq.notify_one();
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  wq.notify_all();
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueue, NotifyOnEmptyIsNoop) {
+  Engine eng;
+  WaitQueue wq(eng);
+  wq.notify_one();
+  wq.notify_all();
+  EXPECT_EQ(eng.run(), 0u);
+}
+
+TEST(WaitQueue, PredicateLoopPattern) {
+  Engine eng;
+  WaitQueue wq(eng);
+  int value = 0;
+  int seen = 0;
+  spawn([](WaitQueue& w, int& v, int& out) -> CoTask<void> {
+    while (v < 3) co_await w.wait();
+    out = v;
+  }(wq, value, seen));
+  for (int i = 1; i <= 3; ++i) {
+    eng.schedule_at(Time::ns(i * 10), [&, i] {
+      value = i;
+      wq.notify_all();
+    });
+  }
+  eng.run();
+  EXPECT_EQ(seen, 3);
+}
+
+// ---------------------------------------------------------- Resource ------
+
+TEST(Resource, SerializesUsers) {
+  Engine eng;
+  Resource r(eng, "dma");
+  std::vector<std::pair<int, Time>> done;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Engine& e, Resource& res, auto& out, int id) -> CoTask<void> {
+      co_await res.use(Time::ns(100));
+      out.emplace_back(id, e.now());
+    }(eng, r, done, i));
+  }
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], (std::pair<int, Time>{0, Time::ns(100)}));
+  EXPECT_EQ(done[1], (std::pair<int, Time>{1, Time::ns(200)}));
+  EXPECT_EQ(done[2], (std::pair<int, Time>{2, Time::ns(300)}));
+  EXPECT_EQ(r.busy_time(), Time::ns(300));
+  EXPECT_FALSE(r.busy());
+}
+
+TEST(Resource, HigherPriorityJumpsQueue) {
+  Engine eng;
+  Resource r(eng, "cpu");
+  std::vector<std::string> order;
+  // Holder occupies [0, 100).
+  spawn([](Resource& res, auto& out) -> CoTask<void> {
+    co_await res.use(Time::ns(100));
+    out.push_back("holder");
+  }(r, order));
+  // Two low-priority and one high-priority waiter arrive while busy.
+  for (const char* name : {"low1", "low2"}) {
+    spawn([](Resource& res, auto& out, std::string n) -> CoTask<void> {
+      co_await res.use(Time::ns(10), /*priority=*/0);
+      out.push_back(std::move(n));
+    }(r, order, name));
+  }
+  spawn([](Resource& res, auto& out) -> CoTask<void> {
+    co_await res.use(Time::ns(10), /*priority=*/10);
+    out.push_back("high");
+  }(r, order));
+  eng.run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "holder");
+  EXPECT_EQ(order[1], "high");
+  EXPECT_EQ(order[2], "low1");
+  EXPECT_EQ(order[3], "low2");
+}
+
+TEST(Resource, FreeResourceGrantsImmediately) {
+  Engine eng;
+  Resource r(eng);
+  bool got = false;
+  spawn([](Resource& res, bool& out) -> CoTask<void> {
+    co_await res.acquire();
+    out = true;
+    res.release();
+  }(r, got));
+  EXPECT_TRUE(got);  // no suspension needed
+}
+
+TEST(Resource, TracksMaxQueue) {
+  Engine eng;
+  Resource r(eng);
+  for (int i = 0; i < 5; ++i) {
+    spawn([](Resource& res) -> CoTask<void> {
+      co_await res.use(Time::ns(1));
+    }(r));
+  }
+  eng.run();
+  EXPECT_EQ(r.max_queue(), 4u);
+}
+
+// --------------------------------------------------------------- Rng ------
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.u64(), b.u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.u64() == b.u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformCoversClosedRange) {
+  Rng r(7);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    lo |= (v == 3);
+    hi |= (v == 5);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(5);
+  Rng b = a.fork();
+  EXPECT_NE(a.u64(), b.u64());
+}
+
+// ------------------------------------------------------------- Stats ------
+
+TEST(Stats, AccumulatorMoments) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+}
+
+TEST(Stats, EmptyAccumulatorIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Stats, ResetClears) {
+  Accumulator acc;
+  acc.add(5);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+}
+
+// -------------------------------------------------------------- strf ------
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+// ------------------------------------------------- determinism sweep ------
+
+// The same program must produce the same event count and end time on every
+// run: the engine and RNG are the only sources of ordering.
+TEST(Determinism, RepeatedRunsIdentical) {
+  auto run_once = [] {
+    Engine eng;
+    Rng rng(42);
+    Resource r(eng);
+    std::uint64_t checksum = 0;
+    for (int i = 0; i < 50; ++i) {
+      spawn([](Engine& e, Resource& res, Rng& rg,
+               std::uint64_t& sum) -> CoTask<void> {
+        co_await delay(e, Time::ns(static_cast<std::int64_t>(rg.below(100))));
+        co_await res.use(Time::ns(static_cast<std::int64_t>(rg.below(50))));
+        sum = sum * 31 + static_cast<std::uint64_t>(e.now().to_ps());
+      }(eng, r, rng, checksum));
+    }
+    eng.run();
+    return std::pair{checksum, eng.now()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace xt::sim

@@ -1,0 +1,114 @@
+// Tests for the tracing facility (src/sim/trace) and its instrumentation
+// hooks in the firmware/host layers.
+
+#include <gtest/gtest.h>
+
+#include "host/node.hpp"
+#include "portals/api.hpp"
+#include "sim/trace.hpp"
+
+namespace xt::sim {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  EXPECT_FALSE(trace_enabled());
+  // Emitting with no sink is a safe no-op.
+  trace_begin("t", "x", Time::ns(1));
+  trace_end("t", "x", Time::ns(2));
+  trace_instant("t", "y", Time::ns(3));
+}
+
+TEST(Trace, RecordsInOrderWithPhases) {
+  Trace tr;
+  tr.begin("cpu", "work", Time::us(1));
+  tr.instant("cpu", "tick", Time::us(2), 7);
+  tr.end("cpu", "work", Time::us(3));
+  tr.counter("q", "depth", Time::us(4), 42);
+  ASSERT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.records()[0].phase, Trace::Phase::kBegin);
+  EXPECT_EQ(tr.records()[1].arg, 7);
+  EXPECT_EQ(tr.records()[2].phase, Trace::Phase::kEnd);
+  EXPECT_EQ(tr.records()[3].arg, 42);
+}
+
+TEST(Trace, ChromeJsonIsWellFormed) {
+  Trace tr;
+  tr.begin("n0.fw", "rx \"quoted\"", Time::us(1));
+  tr.end("n0.fw", "rx \"quoted\"", Time::us(2));
+  tr.counter("n0.q", "depth", Time::us(3), 5);
+  const std::string json = tr.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // Balanced braces as a cheap well-formedness proxy.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Trace, FullStackRunEmitsFirmwareAndCpuSpans) {
+  Trace tr;
+  set_global_trace(&tr);
+  {
+    host::Machine m(net::Shape::xt3(2, 1, 1));
+    host::Process& a = m.node(0).spawn_process(4);
+    host::Process& b = m.node(1).spawn_process(4);
+    const std::uint64_t sbuf = a.alloc(4096);
+    const std::uint64_t rbuf = b.alloc(4096);
+    sim::spawn([](host::Process& p, std::uint64_t buf) -> CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(16);
+      auto me = co_await api.PtlMEAttach(
+          0, ptl::ProcessId{ptl::kNidAny, ptl::kPidAny}, 1, 0,
+          ptl::Unlink::kRetain, ptl::InsPos::kAfter);
+      ptl::MdDesc d;
+      d.start = buf;
+      d.length = 4096;
+      d.options = ptl::PTL_MD_OP_PUT;
+      d.eq = eq.value;
+      (void)co_await api.PtlMDAttach(me.value, d, ptl::Unlink::kRetain);
+      for (;;) {
+        auto ev = co_await api.PtlEQWait(eq.value);
+        if (ev.value.type == ptl::EventType::kPutEnd) break;
+      }
+    }(b, rbuf));
+    sim::spawn([](host::Process& p, std::uint64_t buf) -> CoTask<void> {
+      auto& api = p.api();
+      auto eq = co_await api.PtlEQAlloc(16);
+      ptl::MdDesc d;
+      d.start = buf;
+      d.length = 4096;
+      d.eq = eq.value;
+      auto md = co_await api.PtlMDBind(d, ptl::Unlink::kRetain);
+      (void)co_await api.PtlPut(md.value, ptl::AckReq::kNone,
+                                ptl::ProcessId{1, 4}, 0, 0, 1, 0, 0);
+      for (;;) {
+        auto ev = co_await api.PtlEQWait(eq.value);
+        if (ev.value.type == ptl::EventType::kSendEnd) break;
+      }
+    }(a, sbuf));
+    m.run();
+  }
+  set_global_trace(nullptr);
+
+  bool saw_fw = false, saw_irq = false, saw_tx = false, saw_deposit = false;
+  for (const auto& r : tr.records()) {
+    if (r.track == "n1.fw" && r.name == "rx_header") saw_fw = true;
+    if (r.track == "n1.cpu" && r.name == "interrupt") saw_irq = true;
+    if (r.track == "n0.txdma") saw_tx = true;
+    if (r.track == "n1.rxdma") saw_deposit = true;
+  }
+  EXPECT_TRUE(saw_fw);
+  EXPECT_TRUE(saw_irq);
+  EXPECT_TRUE(saw_tx);
+  EXPECT_TRUE(saw_deposit);
+  // Begin/end pairs balance per track+name.
+  int depth = 0;
+  for (const auto& r : tr.records()) {
+    if (r.phase == Trace::Phase::kBegin) ++depth;
+    if (r.phase == Trace::Phase::kEnd) --depth;
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace xt::sim
