@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_accel_mode.dir/abl_accel_mode.cpp.o"
+  "CMakeFiles/abl_accel_mode.dir/abl_accel_mode.cpp.o.d"
+  "abl_accel_mode"
+  "abl_accel_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_accel_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

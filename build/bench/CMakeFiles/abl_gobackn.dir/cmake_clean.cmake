@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gobackn.dir/abl_gobackn.cpp.o"
+  "CMakeFiles/abl_gobackn.dir/abl_gobackn.cpp.o.d"
+  "abl_gobackn"
+  "abl_gobackn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gobackn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_interrupt_cost.dir/abl_interrupt_cost.cpp.o"
+  "CMakeFiles/abl_interrupt_cost.dir/abl_interrupt_cost.cpp.o.d"
+  "abl_interrupt_cost"
+  "abl_interrupt_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interrupt_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

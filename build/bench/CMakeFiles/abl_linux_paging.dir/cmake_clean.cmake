@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_linux_paging.dir/abl_linux_paging.cpp.o"
+  "CMakeFiles/abl_linux_paging.dir/abl_linux_paging.cpp.o.d"
+  "abl_linux_paging"
+  "abl_linux_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_linux_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

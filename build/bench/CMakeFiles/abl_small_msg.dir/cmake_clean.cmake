@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_small_msg.dir/abl_small_msg.cpp.o"
+  "CMakeFiles/abl_small_msg.dir/abl_small_msg.cpp.o.d"
+  "abl_small_msg"
+  "abl_small_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_small_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

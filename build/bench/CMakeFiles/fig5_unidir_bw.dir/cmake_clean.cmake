@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_unidir_bw.dir/fig5_unidir_bw.cpp.o"
+  "CMakeFiles/fig5_unidir_bw.dir/fig5_unidir_bw.cpp.o.d"
+  "fig5_unidir_bw"
+  "fig5_unidir_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_unidir_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_stream_bw.dir/fig6_stream_bw.cpp.o"
+  "CMakeFiles/fig6_stream_bw.dir/fig6_stream_bw.cpp.o.d"
+  "fig6_stream_bw"
+  "fig6_stream_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_stream_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bidir_bw.dir/fig7_bidir_bw.cpp.o"
+  "CMakeFiles/fig7_bidir_bw.dir/fig7_bidir_bw.cpp.o.d"
+  "fig7_bidir_bw"
+  "fig7_bidir_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bidir_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

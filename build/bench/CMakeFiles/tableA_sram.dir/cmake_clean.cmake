@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableA_sram.dir/tableA_sram.cpp.o"
+  "CMakeFiles/tableA_sram.dir/tableA_sram.cpp.o.d"
+  "tableA_sram"
+  "tableA_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableA_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

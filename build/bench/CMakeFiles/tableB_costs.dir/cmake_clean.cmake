@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableB_costs.dir/tableB_costs.cpp.o"
+  "CMakeFiles/tableB_costs.dir/tableB_costs.cpp.o.d"
+  "tableB_costs"
+  "tableB_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableB_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tableB_costs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lustre_io.dir/lustre_io.cpp.o"
+  "CMakeFiles/lustre_io.dir/lustre_io.cpp.o.d"
+  "lustre_io"
+  "lustre_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lustre_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpipe_demo.dir/netpipe_demo.cpp.o"
+  "CMakeFiles/netpipe_demo.dir/netpipe_demo.cpp.o.d"
+  "netpipe_demo"
+  "netpipe_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpipe_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/red_storm_scale.dir/red_storm_scale.cpp.o"
+  "CMakeFiles/red_storm_scale.dir/red_storm_scale.cpp.o.d"
+  "red_storm_scale"
+  "red_storm_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/red_storm_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

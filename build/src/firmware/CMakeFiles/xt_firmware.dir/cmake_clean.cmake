@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_firmware.dir/firmware.cpp.o"
+  "CMakeFiles/xt_firmware.dir/firmware.cpp.o.d"
+  "libxt_firmware.a"
+  "libxt_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_host.dir/accel.cpp.o"
+  "CMakeFiles/xt_host.dir/accel.cpp.o.d"
+  "CMakeFiles/xt_host.dir/kernel_agent.cpp.o"
+  "CMakeFiles/xt_host.dir/kernel_agent.cpp.o.d"
+  "CMakeFiles/xt_host.dir/node.cpp.o"
+  "CMakeFiles/xt_host.dir/node.cpp.o.d"
+  "libxt_host.a"
+  "libxt_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_mpi.dir/coll.cpp.o"
+  "CMakeFiles/xt_mpi.dir/coll.cpp.o.d"
+  "CMakeFiles/xt_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/xt_mpi.dir/mpi.cpp.o.d"
+  "libxt_mpi.a"
+  "libxt_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_net.dir/crc.cpp.o"
+  "CMakeFiles/xt_net.dir/crc.cpp.o.d"
+  "CMakeFiles/xt_net.dir/link.cpp.o"
+  "CMakeFiles/xt_net.dir/link.cpp.o.d"
+  "CMakeFiles/xt_net.dir/network.cpp.o"
+  "CMakeFiles/xt_net.dir/network.cpp.o.d"
+  "CMakeFiles/xt_net.dir/routing.cpp.o"
+  "CMakeFiles/xt_net.dir/routing.cpp.o.d"
+  "libxt_net.a"
+  "libxt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

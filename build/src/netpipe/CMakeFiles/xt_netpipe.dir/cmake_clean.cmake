@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_netpipe.dir/netpipe.cpp.o"
+  "CMakeFiles/xt_netpipe.dir/netpipe.cpp.o.d"
+  "libxt_netpipe.a"
+  "libxt_netpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_netpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

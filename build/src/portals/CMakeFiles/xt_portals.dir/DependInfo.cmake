@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/portals/api.cpp" "src/portals/CMakeFiles/xt_portals.dir/api.cpp.o" "gcc" "src/portals/CMakeFiles/xt_portals.dir/api.cpp.o.d"
+  "/root/repo/src/portals/library.cpp" "src/portals/CMakeFiles/xt_portals.dir/library.cpp.o" "gcc" "src/portals/CMakeFiles/xt_portals.dir/library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/portals/CMakeFiles/xt_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

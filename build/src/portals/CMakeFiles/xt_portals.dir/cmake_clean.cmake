@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_portals.dir/api.cpp.o"
+  "CMakeFiles/xt_portals.dir/api.cpp.o.d"
+  "CMakeFiles/xt_portals.dir/library.cpp.o"
+  "CMakeFiles/xt_portals.dir/library.cpp.o.d"
+  "libxt_portals.a"
+  "libxt_portals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_portals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

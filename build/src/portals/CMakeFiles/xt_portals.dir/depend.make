@@ -1,0 +1,2 @@
+# Empty dependencies file for xt_portals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_wire.dir/wire.cpp.o"
+  "CMakeFiles/xt_wire.dir/wire.cpp.o.d"
+  "libxt_wire.a"
+  "libxt_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

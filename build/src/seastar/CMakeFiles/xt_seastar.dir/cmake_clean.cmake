@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_seastar.dir/nic.cpp.o"
+  "CMakeFiles/xt_seastar.dir/nic.cpp.o.d"
+  "libxt_seastar.a"
+  "libxt_seastar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_seastar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

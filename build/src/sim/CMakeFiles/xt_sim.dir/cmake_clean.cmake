@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_sim.dir/engine.cpp.o"
+  "CMakeFiles/xt_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/xt_sim.dir/log.cpp.o"
+  "CMakeFiles/xt_sim.dir/log.cpp.o.d"
+  "CMakeFiles/xt_sim.dir/stats.cpp.o"
+  "CMakeFiles/xt_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/xt_sim.dir/time.cpp.o"
+  "CMakeFiles/xt_sim.dir/time.cpp.o.d"
+  "CMakeFiles/xt_sim.dir/trace.cpp.o"
+  "CMakeFiles/xt_sim.dir/trace.cpp.o.d"
+  "libxt_sim.a"
+  "libxt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/host_test.cpp" "tests/CMakeFiles/host_test.dir/host_test.cpp.o" "gcc" "tests/CMakeFiles/host_test.dir/host_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/xt_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/portals/CMakeFiles/xt_portals.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/xt_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/portals/CMakeFiles/xt_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/seastar/CMakeFiles/xt_seastar.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iovec_test.dir/iovec_test.cpp.o"
+  "CMakeFiles/iovec_test.dir/iovec_test.cpp.o.d"
+  "iovec_test"
+  "iovec_test.pdb"
+  "iovec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iovec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netpipe_test.dir/netpipe_test.cpp.o"
+  "CMakeFiles/netpipe_test.dir/netpipe_test.cpp.o.d"
+  "netpipe_test"
+  "netpipe_test.pdb"
+  "netpipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netpipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

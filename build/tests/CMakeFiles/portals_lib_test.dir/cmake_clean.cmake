@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portals_lib_test.dir/portals_lib_test.cpp.o"
+  "CMakeFiles/portals_lib_test.dir/portals_lib_test.cpp.o.d"
+  "portals_lib_test"
+  "portals_lib_test.pdb"
+  "portals_lib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portals_lib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seastar_test.dir/seastar_test.cpp.o"
+  "CMakeFiles/seastar_test.dir/seastar_test.cpp.o.d"
+  "seastar_test"
+  "seastar_test.pdb"
+  "seastar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seastar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
