@@ -10,35 +10,21 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "netpipe/netpipe.hpp"
+#include "harness/netpipe_bench.hpp"
 
-namespace {
-
-using namespace xt;
-
-std::vector<np::Sample> sweep(bool accel, np::Pattern pattern,
-                              const np::Options& o) {
-  host::Machine m(net::Shape::xt3(2, 1, 1));
-  host::Process& a = accel
-                         ? m.node(0).spawn_accel_process(10, 64u << 20)
-                         : m.node(0).spawn_process(10, 64u << 20);
-  host::Process& b = accel
-                         ? m.node(1).spawn_accel_process(10, 64u << 20)
-                         : m.node(1).spawn_process(10, 64u << 20);
-  auto mod = np::make_portals_module(a, b, /*use_get=*/false);
-  return np::run_sweep(m, *mod, pattern, o);
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace xt;
-  np::Options o;
-  o.max_bytes = 1 << 20;
+  const harness::BenchOptions o =
+      harness::BenchOptions::parse(argc, argv, 1u << 20);
+  ss::Config cfg;
+  cfg.net.seed = o.seed;
 
   std::printf("=== Ablation: generic vs accelerated mode (put) ===\n\n");
-  const auto gen_pp = sweep(false, np::Pattern::kPingPong, o);
-  const auto acc_pp = sweep(true, np::Pattern::kPingPong, o);
+  const auto series = harness::measure_series(
+      {np::Transport::kPut, np::Transport::kPutAccel}, np::Pattern::kPingPong,
+      o.np, cfg, o.jobs);
+  const auto& gen_pp = series[0].samples;
+  const auto& acc_pp = series[1].samples;
 
   std::printf("  %10s %14s %14s %9s\n", "bytes", "generic us", "accel us",
               "speedup");
@@ -71,5 +57,11 @@ int main() {
               "at which half\n   bandwidth is achieved as processing is "
               "offloaded ... and the costly\n   interrupt latency is "
               "eliminated\")\n");
+
+  if (!o.json_path.empty() &&
+      !harness::write_series_json(o.json_path, "Ablation: accelerated mode",
+                                  o.jobs, series)) {
+    return 1;
+  }
   return 0;
 }

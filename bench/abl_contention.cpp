@@ -14,10 +14,14 @@
 //      which is exactly what the numbers show.
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
-#include "host/node.hpp"
+#include "harness/options.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
 #include "portals/api.hpp"
+#include "sim/strf.hpp"
 
 namespace {
 
@@ -81,17 +85,16 @@ CoTask<void> sender(host::Process& p, ProcessId target, int n) {
   }
 }
 
-double incast_bw(int senders) {
-  host::Machine m(net::Shape::xt3(senders + 1, 1, 1));
-  host::Process& rx = m.node(0).spawn_process(kPid, 16u << 20);
+double incast_bw(int senders, std::uint64_t seed) {
+  auto inst =
+      harness::Scenario::incast(senders, kPid).with_seed(seed).build();
   Time done{};
-  sim::spawn(receiver(rx, senders * kMsgsPerSender, &done));
+  sim::spawn(receiver(inst->proc(0), senders * kMsgsPerSender, &done));
   for (int s = 1; s <= senders; ++s) {
-    host::Process& tx =
-        m.node(static_cast<net::NodeId>(s)).spawn_process(kPid, 16u << 20);
-    sim::spawn(sender(tx, rx.id(), kMsgsPerSender));
+    sim::spawn(sender(inst->proc(static_cast<std::size_t>(s)),
+                      inst->proc(0).id(), kMsgsPerSender));
   }
-  m.run();
+  inst->run();
   const double bytes =
       static_cast<double>(senders) * kMsgsPerSender * kMsg;
   return bytes / done.to_us();  // MB/s (1e6)
@@ -99,14 +102,31 @@ double incast_bw(int senders) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace xt;
+  const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
+
+  // Every incast point is a self-contained machine — fan them out.
+  const std::vector<int> ks = {1, 2, 4, 8};
+  std::vector<std::function<double()>> tasks;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const int k = ks[i];
+    const std::uint64_t seed = o.seed + i;
+    tasks.push_back([k, seed] { return incast_bw(k, seed); });
+  }
+  const auto bw = harness::SweepRunner(o.jobs).run(std::move(tasks));
+
   std::printf("=== Ablation: bandwidth limits under contention ===\n\n");
   std::printf("  incast (k senders -> 1 receiver, %u KB puts):\n",
               kMsg / 1024);
   std::printf("  %10s %18s\n", "senders", "aggregate MB/s");
-  for (const int k : {1, 2, 4, 8}) {
-    std::printf("  %10d %18.1f\n", k, incast_bw(k));
+  std::string json = "{\n  \"ablation\": \"contention\",\n  \"incast\": [\n";
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    std::printf("  %10d %18.1f\n", ks[i], bw[i]);
+    json += sim::strf("    {\"senders\": %d, \"aggregate_mbs\": %.1f}%s\n",
+                      ks[i], bw[i], i + 1 < ks.size() ? "," : "");
   }
+  json += "  ],\n";
   std::printf("\n  expected: ~1100 MB/s regardless of k — the receiver's\n"
               "  HT/Rx-DMA practical rate is the bottleneck, not the\n"
               "  2.5 GB/s links (\"a practical rate somewhat lower\", §2)\n");
@@ -114,17 +134,24 @@ int main() {
   // Shared link: nodes 0 and 1 both send to nodes 2 and 3 on a 4-chain —
   // flows 0->2 and 1->3 both cross the 1->2 link.
   {
-    host::Machine m(net::Shape::red_storm(4, 1, 1));
-    host::Process& rx2 = m.node(2).spawn_process(kPid, 16u << 20);
-    host::Process& rx3 = m.node(3).spawn_process(kPid, 16u << 20);
-    host::Process& tx0 = m.node(0).spawn_process(kPid, 16u << 20);
-    host::Process& tx1 = m.node(1).spawn_process(kPid, 16u << 20);
+    auto inst = harness::Scenario{}
+                    .with_shape(net::Shape::red_storm(4, 1, 1))
+                    .with_seed(o.seed + ks.size())
+                    .add_proc(0, kPid, 16u << 20)
+                    .add_proc(1, kPid, 16u << 20)
+                    .add_proc(2, kPid, 16u << 20)
+                    .add_proc(3, kPid, 16u << 20)
+                    .build();
+    host::Process& tx0 = inst->proc(0);
+    host::Process& tx1 = inst->proc(1);
+    host::Process& rx2 = inst->proc(2);
+    host::Process& rx3 = inst->proc(3);
     Time d2{}, d3{};
     sim::spawn(receiver(rx2, kMsgsPerSender, &d2));
     sim::spawn(receiver(rx3, kMsgsPerSender, &d3));
     sim::spawn(sender(tx0, rx2.id(), kMsgsPerSender));
     sim::spawn(sender(tx1, rx3.id(), kMsgsPerSender));
-    m.run();
+    inst->run();
     const double bytes = static_cast<double>(kMsgsPerSender) * kMsg;
     std::printf("\n  shared middle link (flows 0->2 and 1->3 on a chain):\n");
     std::printf("    flow 0->2: %8.1f MB/s\n", bytes / d2.to_us());
@@ -133,6 +160,13 @@ int main() {
                 "fit inside one\n  2.5 GB/s link, so endpoint rate (not "
                 "the wire) remains the limit;\n  the XT3's 2 GB/s links "
                 "were sized for exactly this headroom\n");
+    json += sim::strf("  \"shared_link\": {\"flow02_mbs\": %.1f, "
+                      "\"flow13_mbs\": %.1f}\n}\n",
+                      bytes / d2.to_us(), bytes / d3.to_us());
+  }
+
+  if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {
+    return 1;
   }
   return 0;
 }

@@ -7,10 +7,14 @@
 // pool is made artificially tiny, and compares the two policies.
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
-#include "host/node.hpp"
+#include "harness/options.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
 #include "portals/api.hpp"
+#include "sim/strf.hpp"
 
 namespace {
 
@@ -34,14 +38,18 @@ struct IncastResult {
 };
 
 IncastResult run_incast(bool gobackn, int senders, int msgs_each,
-                        std::uint32_t bytes) {
+                        std::uint32_t bytes, std::uint64_t seed) {
   ss::Config cfg;
   cfg.gobackn = gobackn;
   // Starve the receiver: a handful of RX pendings for the whole node.
   cfg.n_generic_rx_pendings = 4;
-  host::Machine m(net::Shape::xt3(senders + 1, 1, 1), cfg);
+  harness::Scenario sc = harness::Scenario::incast(senders, 7);
+  sc.with_config(cfg).with_seed(seed);
+  sc.procs[0].mem_bytes = 128u << 20;
+  auto inst = sc.build();
+  host::Machine& m = inst->machine();
 
-  host::Process& rx = m.node(0).spawn_process(7, 128u << 20);
+  host::Process& rx = inst->proc(0);
   const std::uint64_t rbuf = rx.alloc(1u << 20);
   int delivered = 0;
   sim::spawn([](host::Process& p, std::uint64_t buf, int total,
@@ -66,8 +74,7 @@ IncastResult run_incast(bool gobackn, int senders, int msgs_each,
   }(rx, rbuf, senders * msgs_each, &delivered));
 
   for (int sidx = 1; sidx <= senders; ++sidx) {
-    host::Process& tx =
-        m.node(static_cast<net::NodeId>(sidx)).spawn_process(7, 16u << 20);
+    host::Process& tx = inst->proc(static_cast<std::size_t>(sidx));
     sim::spawn([](host::Process& p, int n, std::uint32_t len)
                    -> CoTask<void> {
       auto& api = p.api();
@@ -90,7 +97,7 @@ IncastResult run_incast(bool gobackn, int senders, int msgs_each,
     }(tx, msgs_each, bytes));
   }
 
-  m.run();
+  inst->run();
 
   IncastResult r;
   r.panicked = m.node(0).firmware().panicked();
@@ -113,7 +120,9 @@ IncastResult run_incast(bool gobackn, int senders, int msgs_each,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace xt;
+  const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
   constexpr int kSenders = 8;
   constexpr int kMsgs = 40;
   constexpr std::uint32_t kBytes = 2048;
@@ -123,8 +132,19 @@ int main() {
               "with only 4 RX pendings)\n\n",
               kSenders, kMsgs, kBytes);
 
-  for (const bool gbn : {false, true}) {
-    const IncastResult r = run_incast(gbn, kSenders, kMsgs, kBytes);
+  std::vector<std::function<IncastResult()>> tasks;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const bool gbn = i == 1;
+    const std::uint64_t seed = o.seed + i;
+    tasks.push_back(
+        [gbn, seed] { return run_incast(gbn, kSenders, kMsgs, kBytes, seed); });
+  }
+  const auto results = harness::SweepRunner(o.jobs).run(std::move(tasks));
+
+  std::string json = "{\n  \"ablation\": \"gobackn\",\n  \"policies\": [\n";
+  for (std::size_t i = 0; i < 2; ++i) {
+    const bool gbn = i == 1;
+    const IncastResult& r = results[i];
     std::printf("  policy: %-10s  ", gbn ? "go-back-n" : "panic");
     if (r.panicked) {
       std::printf("NODE PANIC (\"%s\") after %d/%d messages\n",
@@ -137,10 +157,23 @@ int main() {
                   static_cast<unsigned long long>(r.nacks),
                   static_cast<unsigned long long>(r.retransmits));
     }
+    json += sim::strf(
+        "    {\"policy\": \"%s\", \"panicked\": %s, \"delivered\": %d, "
+        "\"ms\": %.3f, \"drops\": %llu, \"nacks\": %llu, "
+        "\"retransmits\": %llu}%s\n",
+        gbn ? "go-back-n" : "panic", r.panicked ? "true" : "false",
+        r.delivered, r.ms, static_cast<unsigned long long>(r.drops),
+        static_cast<unsigned long long>(r.nacks),
+        static_cast<unsigned long long>(r.retransmits), i == 0 ? "," : "");
   }
+  json += "  ]\n}\n";
   std::printf("\n  paper: \"The current approach is to panic the node, "
               "which results in\n  application failure.  We are currently "
               "working on a simple go-back-n\n  protocol to resolve "
               "resource exhaustion gracefully.\"\n");
+
+  if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {
+    return 1;
+  }
   return 0;
 }

@@ -9,34 +9,45 @@
 // visible in latency and bandwidth.
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
-#include "netpipe/netpipe.hpp"
+#include "harness/netpipe_bench.hpp"
+#include "harness/sweep.hpp"
 
 namespace {
 
 using namespace xt;
 
-std::vector<np::Sample> sweep(host::OsType os, const np::Options& o) {
+std::vector<np::Sample> sweep(host::OsType os, const np::Options& o,
+                              std::uint64_t seed) {
   ss::Config cfg;
-  host::Machine m(net::Shape::xt3(2, 1, 1), cfg,
-                  [os](net::NodeId) { return os; });
-  host::Process& a = m.node(0).spawn_process(10, 64u << 20);
-  host::Process& b = m.node(1).spawn_process(10, 64u << 20);
-  auto mod = np::make_portals_module(a, b, false);
-  return np::run_sweep(m, *mod, np::Pattern::kPingPong, o);
+  cfg.net.seed = seed;
+  auto inst = harness::Scenario::pair()
+                  .with_config(cfg)
+                  .with_os(os)
+                  .build();
+  auto mod = np::make_portals_module(inst->proc(0), inst->proc(1),
+                                     /*use_get=*/false);
+  return np::run_sweep(inst->machine(), *mod, np::Pattern::kPingPong, o);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xt;
-  np::Options o;
-  o.max_bytes = 1 << 20;
-  o.perturbation = 0;
+  harness::BenchOptions o = harness::BenchOptions::parse(argc, argv, 1u << 20);
+  o.np.perturbation = 0;
 
   std::printf("=== Ablation: Catamount vs Linux send/receive path ===\n\n");
-  const auto cat = sweep(host::OsType::kCatamount, o);
-  const auto lin = sweep(host::OsType::kLinux, o);
+  std::vector<std::function<std::vector<np::Sample>()>> tasks;
+  tasks.push_back(
+      [o] { return sweep(host::OsType::kCatamount, o.np, o.seed); });
+  tasks.push_back(
+      [o] { return sweep(host::OsType::kLinux, o.np, o.seed + 1); });
+  const auto results = harness::SweepRunner(o.jobs).run(std::move(tasks));
+  const auto& cat = results[0];
+  const auto& lin = results[1];
 
   std::printf("  %10s %16s %16s %12s %10s\n", "bytes", "catamount us",
               "linux us", "overhead us", "pages");
@@ -53,5 +64,16 @@ int main() {
               "per-page pinning/translation plus per-DMA-command\n"
               "  firmware work on both sides, growing with the page "
               "count\n");
+
+  if (!o.json_path.empty()) {
+    const std::vector<harness::SeriesResult> series = {
+        {"catamount", np::Pattern::kPingPong, cat},
+        {"linux", np::Pattern::kPingPong, lin}};
+    if (!harness::write_series_json(o.json_path,
+                                    "Ablation: Catamount vs Linux", o.jobs,
+                                    series)) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -7,21 +7,38 @@
 // off) to the full 12 and shows the latency step moving accordingly.
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
-#include "netpipe/netpipe.hpp"
+#include "harness/netpipe_bench.hpp"
+#include "harness/sweep.hpp"
 #include "portals/wire.hpp"
+#include "sim/strf.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xt;
+  harness::BenchOptions o = harness::BenchOptions::parse(argc, argv, 64);
+  o.np.perturbation = 4;  // puts 4, 12, 20, ... on the ladder
+
   std::printf("=== Ablation: inline-payload threshold ===\n\n");
   std::printf("  header packet %zu B - packed Portals header %zu B = "
               "%zu B inline capacity\n\n",
               ptl::kHeaderPacketBytes, ptl::kWireHeaderBytes,
               ptl::kMaxInlineBytes);
 
-  np::Options o;
-  o.max_bytes = 64;
-  o.perturbation = 4;  // puts 4, 12, 20, ... on the ladder
+  // One self-contained measurement per threshold, fanned across workers.
+  const std::vector<std::size_t> thresholds = {0, 4, 8, 12};
+  std::vector<std::function<std::vector<np::Sample>()>> tasks;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    ss::Config cfg;
+    cfg.inline_payload_max = thresholds[i];
+    cfg.net.seed = o.seed + i;
+    tasks.push_back([o, cfg] {
+      return harness::measure(np::Transport::kPut, np::Pattern::kPingPong,
+                              o.np, cfg);
+    });
+  }
+  const auto results = harness::SweepRunner(o.jobs).run(std::move(tasks));
 
   std::printf("  one-way put latency (us) by message size:\n");
   std::printf("  %10s", "inline<=");
@@ -29,12 +46,10 @@ int main() {
   for (const auto s : probe_sizes) std::printf(" %8zu", s);
   std::printf("\n");
 
-  for (const std::size_t thresh : {0u, 4u, 8u, 12u}) {
-    ss::Config cfg;
-    cfg.inline_payload_max = thresh;
-    const auto samples = np::measure(np::Transport::kPut,
-                                     np::Pattern::kPingPong, o, cfg);
-    std::printf("  %10zu", thresh);
+  std::vector<harness::SeriesResult> series;
+  for (std::size_t t = 0; t < thresholds.size(); ++t) {
+    const auto& samples = results[t];
+    std::printf("  %10zu", thresholds[t]);
     for (const auto want : probe_sizes) {
       double us = 0;
       for (const auto& s : samples) {
@@ -43,10 +58,20 @@ int main() {
       std::printf(" %8.2f", us);
     }
     std::printf("\n");
+    series.push_back(harness::SeriesResult{
+        sim::strf("inline<=%zu", thresholds[t]), np::Pattern::kPingPong,
+        samples});
   }
   std::printf("\n  expected: with threshold T, sizes <= T stay on the "
               "one-interrupt fast path;\n  the ~3 us step moves to T+1 "
               "(paper: \"At 12 bytes we see the results of a small\n"
               "  message optimization\")\n");
+
+  if (!o.json_path.empty() &&
+      !harness::write_series_json(o.json_path,
+                                  "Ablation: inline-payload threshold",
+                                  o.jobs, series)) {
+    return 1;
+  }
   return 0;
 }

@@ -10,10 +10,14 @@
 // while accelerated mode gets back under it.
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
-#include "host/node.hpp"
+#include "harness/options.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
 #include "portals/api.hpp"
+#include "sim/strf.hpp"
 
 namespace {
 
@@ -28,14 +32,20 @@ using sim::CoTask;
 
 constexpr ptl::Pid kPid = 12;
 
-/// One-way 1-byte put latency from node 0 to `dst` (ping-pong halved).
-double one_way_us(host::Machine& m, net::NodeId dst, bool accel) {
-  host::Node& n0 = m.node(0);
-  host::Node& nd = m.node(dst);
-  host::Process& a =
-      accel ? n0.spawn_accel_process(kPid) : n0.spawn_process(kPid);
-  host::Process& b =
-      accel ? nd.spawn_accel_process(kPid) : nd.spawn_process(kPid);
+/// One-way 1-byte put latency from node 0 to `dst` (ping-pong halved),
+/// on a fresh self-contained machine.
+double one_way_us(const net::Shape& shape, net::NodeId dst, bool accel,
+                  std::uint64_t seed) {
+  const host::ProcMode mode =
+      accel ? host::ProcMode::kAccel : host::ProcMode::kUser;
+  auto inst = harness::Scenario{}
+                  .with_shape(shape)
+                  .with_seed(seed)
+                  .add_proc(0, kPid, 64u << 20, mode)
+                  .add_proc(dst, kPid, 64u << 20, mode)
+                  .build();
+  host::Process& a = inst->proc(0);
+  host::Process& b = inst->proc(1);
   constexpr int kIters = 8;
   sim::Time elapsed{};
   bool done = false;
@@ -81,36 +91,56 @@ double one_way_us(host::Machine& m, net::NodeId dst, bool accel) {
 
   sim::spawn(side(a, b.id(), true, kIters, nullptr, nullptr));
   sim::spawn(side(b, a.id(), false, kIters, &elapsed, &done));
-  m.run();
+  inst->run();
   if (!done) return -1;
   return elapsed.to_us() / (2.0 * kIters);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace xt;
+  const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
+
   // A Red Storm-flavored slice: mesh in X and Y, torus in Z.
   const net::Shape shape = net::Shape::red_storm(8, 4, 4);
   std::printf("=== Ablation: latency across the torus (%dx%dx%d, torus in "
               "Z only) ===\n\n",
               shape.nx, shape.ny, shape.nz);
 
-  // Targets at increasing dimension-order distance from node 0.
+  // Targets at increasing dimension-order distance from node 0; each
+  // (target, mode) point is a self-contained machine, fanned across
+  // workers.
   const net::Coord targets[] = {{1, 0, 0}, {4, 0, 0}, {7, 0, 0},
                                 {7, 3, 0}, {7, 3, 2}, {7, 3, 1}};
+  std::vector<std::function<double()>> tasks;
+  std::uint64_t seed = o.seed;
+  for (const auto c : targets) {
+    const net::NodeId dst = shape.to_id(c);
+    for (const bool accel : {false, true}) {
+      const std::uint64_t s = seed++;
+      tasks.push_back(
+          [shape, dst, accel, s] { return one_way_us(shape, dst, accel, s); });
+    }
+  }
+  const auto us = harness::SweepRunner(o.jobs).run(std::move(tasks));
+
   std::printf("  %-12s %6s %14s %14s\n", "target", "hops", "generic us",
               "accel us");
   double g1 = 0, gmax = 0;
   int h1 = 1, hmax = 1;
-  for (const auto c : targets) {
+  std::string json = "{\n  \"ablation\": \"topology\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < std::size(targets); ++i) {
+    const net::Coord c = targets[i];
     const net::NodeId dst = shape.to_id(c);
     const int hops = net::hop_count(shape, 0, dst);
-    host::Machine mg(shape);
-    const double g = one_way_us(mg, dst, false);
-    host::Machine ma(shape);
-    const double a = one_way_us(ma, dst, true);
+    const double g = us[2 * i];
+    const double a = us[2 * i + 1];
     std::printf("  (%2d,%2d,%2d)   %6d %14.3f %14.3f\n", c.x, c.y, c.z,
                 hops, g, a);
+    json += sim::strf("    {\"hops\": %d, \"generic_us\": %.3f, "
+                      "\"accel_us\": %.3f}%s\n",
+                      hops, g, a, i + 1 < std::size(targets) ? "," : "");
     if (hops == 1) {
       g1 = g;
       h1 = hops;
@@ -120,6 +150,7 @@ int main() {
       gmax = g;
     }
   }
+  json += "  ]\n}\n";
   const double per_hop = (gmax - g1) / (hmax - h1);
   std::printf("\n  fitted per-hop cost: %.0f ns/hop — endpoint processing "
               "dominates the wire\n",
@@ -129,5 +160,10 @@ int main() {
               "\"it will be necessary to eliminate all\n  interrupts from "
               "the data path\"); accelerated mode comes back within "
               "reach.\n");
+
+  if (!o.json_path.empty() &&
+      !harness::write_text_file(o.json_path, json)) {
+    return 1;
+  }
   return 0;
 }

@@ -8,17 +8,20 @@
 // plus the step just above 12 bytes where the inline-payload optimization
 // stops applying and the second receive-side interrupt appears.
 
-#include "fig_common.hpp"
+#include <cstdio>
+
+#include "harness/netpipe_bench.hpp"
 
 int main(int argc, char** argv) {
   using namespace xt;
-  np::Options o = bench::parse_options(argc, argv, 1024);
-  bench::run_figure("Figure 4", "one-way latency vs message size",
-                    np::Pattern::kPingPong, o);
+  const harness::FigureSpec spec{"Figure 4",
+                                 "one-way latency vs message size",
+                                 np::Pattern::kPingPong, 1024};
+  const int rc = harness::run_figure(spec, argc, argv);
 
   std::printf("--- paper anchors (1 byte): put 5.39us  get 6.60us  "
               "mpich-1.2.6 7.97us  mpich2 8.40us\n");
   std::printf("--- expected shape: flat to 12 bytes, step at 13 bytes "
               "(second interrupt), slow rise beyond\n");
-  return 0;
+  return rc;
 }

@@ -4,15 +4,17 @@
 // half-bandwidth is reached around a 7 KB message; both MPI
 // implementations sit slightly below raw put.
 
-#include "fig_common.hpp"
+#include <cstdio>
+
+#include "harness/netpipe_bench.hpp"
 
 int main(int argc, char** argv) {
   using namespace xt;
-  np::Options o = bench::parse_options(argc, argv, 8 * 1024 * 1024);
-  bench::run_figure("Figure 5", "uni-directional bandwidth",
-                    np::Pattern::kPingPong, o);
+  const harness::FigureSpec spec{"Figure 5", "uni-directional bandwidth",
+                                 np::Pattern::kPingPong, 8u << 20};
+  const int rc = harness::run_figure(spec, argc, argv);
 
   std::printf("--- paper anchors: put peak 1108.76 MB/s @ 8 MB; "
               "half-bandwidth near 7 KB; MPI slightly below put\n");
-  return 0;
+  return rc;
 }

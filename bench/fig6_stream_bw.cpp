@@ -4,15 +4,17 @@
 // 5 KB, and a much lower curve for get, "a blocking operation (for this
 // benchmark) that cannot be pipelined".
 
-#include "fig_common.hpp"
+#include <cstdio>
+
+#include "harness/netpipe_bench.hpp"
 
 int main(int argc, char** argv) {
   using namespace xt;
-  np::Options o = bench::parse_options(argc, argv, 8 * 1024 * 1024);
-  bench::run_figure("Figure 6", "streaming bandwidth", np::Pattern::kStream,
-                    o);
+  const harness::FigureSpec spec{"Figure 6", "streaming bandwidth",
+                                 np::Pattern::kStream, 8u << 20};
+  const int rc = harness::run_figure(spec, argc, argv);
 
   std::printf("--- paper anchors: steeper curve than Figure 5 "
               "(half-bandwidth ~5 KB); get far below put (unpipelined)\n");
-  return 0;
+  return rc;
 }

@@ -4,15 +4,17 @@
 // twice the uni-directional rate, demonstrating that the SeaStar's
 // independent send and receive DMA engines sustain full duplex.
 
-#include "fig_common.hpp"
+#include <cstdio>
+
+#include "harness/netpipe_bench.hpp"
 
 int main(int argc, char** argv) {
   using namespace xt;
-  np::Options o = bench::parse_options(argc, argv, 8 * 1024 * 1024);
-  bench::run_figure("Figure 7", "bi-directional bandwidth",
-                    np::Pattern::kBidir, o);
+  const harness::FigureSpec spec{"Figure 7", "bi-directional bandwidth",
+                                 np::Pattern::kBidir, 8u << 20};
+  const int rc = harness::run_figure(spec, argc, argv);
 
   std::printf("--- paper anchors: put peak 2203.19 MB/s @ 8 MB "
               "(~2x uni-directional: independent Tx/Rx DMA engines)\n");
-  return 0;
+  return rc;
 }

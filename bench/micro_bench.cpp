@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "host/node.hpp"
@@ -22,10 +26,76 @@ using namespace xt;
 
 // ------------------------------------------------------------ engine ----
 
-void BM_EngineScheduleRun(benchmark::State& state) {
+/// The pre-slab scheduler, kept verbatim as the measurement baseline: a
+/// heap of (time, seq, id) plus an id->callback hash map, with cancelled
+/// ids collected in a hash set.  Every BM_Engine* benchmark below runs
+/// against both this and sim::Engine so the slab rewrite's win stays
+/// measured, not remembered.
+class BaselineEngine {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  sim::Time now() const { return now_; }
+
+  EventId schedule_at(sim::Time t, Callback cb) {
+    const EventId id = next_id_++;
+    heap_.push(Ent{t, id});
+    cbs_.emplace(id, std::move(cb));
+    return id;
+  }
+  EventId schedule_after(sim::Time d, Callback cb) {
+    return schedule_at(now_ + d, std::move(cb));
+  }
+  void cancel(EventId id) {
+    auto it = cbs_.find(id);
+    if (it == cbs_.end()) return;
+    cbs_.erase(it);
+    cancelled_.insert(id);
+  }
+
+  std::uint64_t run() {
+    std::uint64_t executed = 0;
+    while (!heap_.empty()) {
+      const Ent e = heap_.top();
+      heap_.pop();
+      if (auto c = cancelled_.find(e.id); c != cancelled_.end()) {
+        cancelled_.erase(c);
+        continue;
+      }
+      auto it = cbs_.find(e.id);
+      Callback cb = std::move(it->second);
+      cbs_.erase(it);
+      now_ = e.t;
+      ++executed;
+      cb();
+    }
+    return executed;
+  }
+
+ private:
+  struct Ent {
+    sim::Time t;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Ent& a, const Ent& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+  sim::Time now_{};
+  EventId next_id_ = 1;
+  std::priority_queue<Ent, std::vector<Ent>, Later> heap_;
+  std::unordered_map<EventId, Callback> cbs_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+template <typename E>
+void schedule_run(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    sim::Engine eng;
+    E eng;
     for (int i = 0; i < n; ++i) {
       eng.schedule_at(sim::Time::ns(i), [] {});
     }
@@ -33,7 +103,79 @@ void BM_EngineScheduleRun(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  schedule_run<sim::Engine>(state);
+}
 BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_BaselineEngineScheduleRun(benchmark::State& state) {
+  schedule_run<BaselineEngine>(state);
+}
+BENCHMARK(BM_BaselineEngineScheduleRun)->Arg(1000)->Arg(100000);
+
+/// Schedule/cancel churn: the pattern of protocol timeouts — almost every
+/// timer is cancelled before it fires (acks arrive first).  This is where
+/// hash-map erase vs O(1) generation-checked disarm diverges hardest.
+template <typename E>
+void churn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    E eng;
+    std::vector<typename E::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(
+          eng.schedule_at(sim::Time::us(1000 + i), [] {}));  // "timeout"
+      eng.schedule_at(sim::Time::ns(i), [] {});              // "ack"
+    }
+    for (const auto id : ids) eng.cancel(id);  // acks beat the timeouts
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+
+void BM_EngineScheduleCancelChurn(benchmark::State& state) {
+  churn<sim::Engine>(state);
+}
+BENCHMARK(BM_EngineScheduleCancelChurn)->Arg(1000)->Arg(100000);
+
+void BM_BaselineEngineScheduleCancelChurn(benchmark::State& state) {
+  churn<BaselineEngine>(state);
+}
+BENCHMARK(BM_BaselineEngineScheduleCancelChurn)->Arg(1000)->Arg(100000);
+
+/// Timer-wheel workload: a rolling window of outstanding timers where each
+/// expiry schedules its successor — the steady state of a long simulation
+/// (slab occupancy stays flat, slots recycle continuously).
+template <typename E>
+void timer_wheel(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  constexpr int kTicks = 10000;
+  for (auto _ : state) {
+    E eng;
+    int fired = 0;
+    std::function<void()> arm = [&] {
+      if (++fired < kTicks) eng.schedule_after(sim::Time::ns(window), arm);
+    };
+    for (int i = 0; i < window; ++i) {
+      eng.schedule_at(sim::Time::ns(i), arm);
+    }
+    benchmark::DoNotOptimize(eng.run());
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kTicks);
+}
+
+void BM_EngineTimerWheel(benchmark::State& state) {
+  timer_wheel<sim::Engine>(state);
+}
+BENCHMARK(BM_EngineTimerWheel)->Arg(16)->Arg(256);
+
+void BM_BaselineEngineTimerWheel(benchmark::State& state) {
+  timer_wheel<BaselineEngine>(state);
+}
+BENCHMARK(BM_BaselineEngineTimerWheel)->Arg(16)->Arg(256);
 
 void BM_CoroutinePingPong(benchmark::State& state) {
   for (auto _ : state) {

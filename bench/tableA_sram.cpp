@@ -12,24 +12,38 @@
 
 #include <cstdio>
 
-#include "host/node.hpp"
+#include "harness/options.hpp"
+#include "harness/scenario.hpp"
+#include "sim/strf.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xt;
+  const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
   const ss::Config cfg;
-  host::Machine m(net::Shape::xt3(1, 1, 1), cfg);
-  host::Node& node = m.node(0);
+  auto inst = harness::Scenario{}
+                  .with_shape(net::Shape::xt3(1, 1, 1))
+                  .with_config(cfg)
+                  .with_seed(o.seed)
+                  .build();
+  host::Node& node = inst->machine().node(0);
 
   std::printf("=== Table A: SeaStar local SRAM occupancy ===\n\n");
   ss::Sram& sram = node.nic().sram();
   std::printf("  %-28s %10s\n", "region", "bytes");
-  for (const auto& [name, bytes] : sram.table()) {
+  std::string json = "{\n  \"table\": \"A\",\n  \"regions\": [\n";
+  const auto table = sram.table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& [name, bytes] = table[i];
     std::printf("  %-28s %10zu\n", name.c_str(), bytes);
+    json += sim::strf("    {\"region\": \"%s\", \"bytes\": %zu}%s\n",
+                      name.c_str(), bytes, i + 1 < table.size() ? "," : "");
   }
   std::printf("  %-28s %10zu of %zu (%.1f%%)\n", "TOTAL", sram.used(),
               sram.capacity(),
               100.0 * static_cast<double>(sram.used()) /
                   static_cast<double>(sram.capacity()));
+  json += sim::strf("  ],\n  \"used\": %zu,\n  \"capacity\": %zu\n}\n",
+                    sram.used(), sram.capacity());
 
   // The paper's formula, evaluated symbolically.
   const std::size_t S = cfg.n_sources;
@@ -52,5 +66,9 @@ int main() {
               sram.free_bytes(), extra, pool);
   std::printf("  (paper: \"several more similarly sized pending pools can "
               "be supported\")\n");
+
+  if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {
+    return 1;
+  }
   return 0;
 }

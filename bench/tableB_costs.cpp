@@ -8,21 +8,28 @@
 // and decomposes the 1-byte one-way latency.
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
-#include "host/node.hpp"
+#include "harness/options.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
 #include "netpipe/netpipe.hpp"
+#include "sim/strf.hpp"
 
 namespace {
 
 using namespace xt;
 
-/// Sends `iters` puts of `bytes` from node 0 to node 1 and reports the
-/// receive-side interrupt count per message.
-double interrupts_per_message(std::size_t bytes, int iters) {
-  host::Machine m(net::Shape::xt3(2, 1, 1));
-  host::Process& a = m.node(0).spawn_process(10, 32 << 20);
-  host::Process& b = m.node(1).spawn_process(10, 32 << 20);
-  auto mod = np::make_portals_module(a, b, false);
+/// Sends `iters` puts of `bytes` from node 0 to node 1 on a fresh machine
+/// and reports the receive-side interrupt count per message.
+double interrupts_per_message(std::size_t bytes, int iters,
+                              std::uint64_t seed) {
+  auto inst = harness::Scenario::pair(host::ProcMode::kUser, 10, 32u << 20)
+                  .with_seed(seed)
+                  .build();
+  auto mod = np::make_portals_module(inst->proc(0), inst->proc(1),
+                                     /*use_get=*/false);
   bool done = false;
   sim::spawn([](np::Module& mm, std::size_t n, int it,
                 bool* d) -> sim::CoTask<void> {
@@ -32,18 +39,21 @@ double interrupts_per_message(std::size_t bytes, int iters) {
     co_await mm.pingpong(n, it);
     *d = true;
   }(*mod, bytes, iters, &done));
-  m.run();
+  inst->run();
   if (!done) return -1.0;
   // Node 1 takes one TxComplete interrupt per pong it sends back; subtract
   // those to isolate the receive-side count per incoming message.
-  return static_cast<double>(m.node(1).firmware().counters().interrupts) /
+  return static_cast<double>(
+             inst->machine().node(1).firmware().counters().interrupts) /
              iters -
          1.0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace xt;
+  const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
   const ss::Config cfg;
   std::printf("=== Table B: generic-mode cost structure ===\n\n");
   std::printf("  host crossing costs (model inputs, from the paper):\n");
@@ -56,14 +66,29 @@ int main() {
   std::printf("    ratio interrupt/trap    %8.1f x\n\n",
               cfg.interrupt.to_ns() / cfg.trap_catamount.to_ns());
 
+  // Each probed size is a self-contained machine — fan them out.
+  const std::vector<std::size_t> sizes = {1, 8, 12, 13, 64, 4096};
+  std::vector<std::function<double()>> tasks;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t bytes = sizes[i];
+    const std::uint64_t seed = o.seed + i;
+    tasks.push_back(
+        [bytes, seed] { return interrupts_per_message(bytes, 12, seed); });
+  }
+  const auto ipms = harness::SweepRunner(o.jobs).run(std::move(tasks));
+
   std::printf("  receive-side interrupts per message (measured):\n");
-  for (const std::size_t bytes : {1u, 8u, 12u, 13u, 64u, 4096u}) {
-    const double ipm = interrupts_per_message(bytes, 12);
-    std::printf("    %6zu bytes   %5.2f interrupts/message%s\n", bytes, ipm,
-                bytes <= cfg.inline_payload_max
+  std::string json = "{\n  \"table\": \"B\",\n  \"interrupts_per_message\": [\n";
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("    %6zu bytes   %5.2f interrupts/message%s\n", sizes[i],
+                ipms[i],
+                sizes[i] <= cfg.inline_payload_max
                     ? "   (inline: header+data together)"
                     : "   (header + completion)");
+    json += sim::strf("    {\"bytes\": %zu, \"ipm\": %.2f}%s\n", sizes[i],
+                      ipms[i], i + 1 < sizes.size() ? "," : "");
   }
+  json += "  ]\n}\n";
 
   std::printf("\n  1-byte one-way latency decomposition (model):\n");
   const double trap_api =
@@ -99,5 +124,9 @@ int main() {
               "\"a significant amount of the current latency is due to\n"
               "   interrupt processing by the host\")\n",
               100.0 * irq / total);
+
+  if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {
+    return 1;
+  }
   return 0;
 }

@@ -2,13 +2,14 @@
 //
 // Measures the four transports of the paper's figures over a handful of
 // sizes and prints them side by side — a quick way to see the performance
-// landscape without running the full figure benches.
+// landscape without running the full figure benches.  The four series are
+// independent scenarios, so the harness fans them out across cores.
 //
 // Run:  ./build/examples/netpipe_demo
 
 #include <cstdio>
 
-#include "netpipe/netpipe.hpp"
+#include "harness/netpipe_bench.hpp"
 
 int main() {
   using namespace xt;
@@ -18,26 +19,24 @@ int main() {
   o.base_iters = 8;
   o.min_iters = 3;
 
-  const np::Transport series[] = {np::Transport::kPut, np::Transport::kGet,
-                                  np::Transport::kMpich1,
-                                  np::Transport::kMpich2};
-  std::vector<std::vector<np::Sample>> results;
-  for (const auto t : series) {
-    results.push_back(np::measure(t, np::Pattern::kPingPong, o));
-  }
+  const std::vector<np::Transport> series = {
+      np::Transport::kPut, np::Transport::kGet, np::Transport::kMpich1,
+      np::Transport::kMpich2};
+  const auto results = harness::measure_series(
+      series, np::Pattern::kPingPong, o, {}, /*jobs=*/0);
 
   std::printf("NetPIPE ping-pong on a simulated Cray XT3 (2 neighbor "
               "nodes)\n\n");
   std::printf("  %10s |", "bytes");
-  for (const auto t : series) std::printf(" %11s |", np::transport_name(t));
+  for (const auto& r : results) std::printf(" %11s |", r.name.c_str());
   std::printf("\n  %10s |", "");
   for (std::size_t i = 0; i < 4; ++i) std::printf(" %8s    |", "us  MB/s");
   std::printf("\n");
-  for (std::size_t row = 0; row < results[0].size(); ++row) {
-    std::printf("  %10zu |", results[0][row].bytes);
+  for (std::size_t row = 0; row < results[0].samples.size(); ++row) {
+    std::printf("  %10zu |", results[0].samples[row].bytes);
     for (const auto& r : results) {
-      std::printf(" %5.2f %5.0f |", r[row].usec_per_transfer,
-                  r[row].mbytes_per_sec);
+      std::printf(" %5.2f %5.0f |", r.samples[row].usec_per_transfer,
+                  r.samples[row].mbytes_per_sec);
     }
     std::printf("\n");
   }

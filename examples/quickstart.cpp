@@ -128,10 +128,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string_view(argv[i]) == "--trace") trace_path = argv[i + 1];
   }
-  if (trace_path != nullptr) sim::set_global_trace(&trace);
-
   // A 2-node XT3: Opterons, SeaStars, Catamount, the works.
   host::Machine m(net::Shape::xt3(2, 1, 1));
+  if (trace_path != nullptr) m.engine().set_trace(&trace);
   host::Process& a = m.node(0).spawn_process(kPid);
   host::Process& b = m.node(1).spawn_process(kPid);
 
@@ -144,7 +143,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   m.node(1).firmware().counters().interrupts));
   if (trace_path != nullptr) {
-    sim::set_global_trace(nullptr);
     if (trace.write_chrome_json(trace_path)) {
       std::printf("trace (%zu records) written to %s\n", trace.size(),
                   trace_path);

@@ -249,19 +249,17 @@ sim::CoTask<void> Firmware::tx_worker() {
       TxStream& stream = tx_streams_[msg->dst];
       patch_stream_seq(msg->header, stream.next_seq++);
     }
-    if (sim::trace_enabled()) {
-      sim::trace_begin(sim::strf("n%u.txdma", nic_.node()),
+    if (eng_.trace_enabled()) {
+      sim::trace_begin(eng_, sim::strf("n%u.txdma", nic_.node()),
                        sim::strf("tx %u B -> n%u", lp.tx.payload_bytes,
-                                 msg->dst),
-                       eng_.now());
+                                 msg->dst));
     }
     co_await nic_.transmit(msg, lp.tx.reader, lp.tx.payload_bytes,
                            lp.tx.n_dma_cmds);
-    if (sim::trace_enabled()) {
-      sim::trace_end(sim::strf("n%u.txdma", nic_.node()),
+    if (eng_.trace_enabled()) {
+      sim::trace_end(eng_, sim::strf("n%u.txdma", nic_.node()),
                      sim::strf("tx %u B -> n%u", lp.tx.payload_bytes,
-                               msg->dst),
-                     eng_.now());
+                               msg->dst));
     }
     if (cfg_.gobackn) gbn_record(msg->dst, *msg, lp.tx.n_dma_cmds);
     ++counters_.tx_msgs;
@@ -286,14 +284,12 @@ void Firmware::on_rx_complete(const net::MessagePtr& msg, bool crc_ok) {
 }
 
 sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
-  if (sim::trace_enabled()) {
-    sim::trace_begin(sim::strf("n%u.fw", nic_.node()), "rx_header",
-                     eng_.now());
+  if (eng_.trace_enabled()) {
+    sim::trace_begin(eng_, sim::strf("n%u.fw", nic_.node()), "rx_header");
   }
   co_await ppc_.use(cfg_.fw_rx_header);
-  if (sim::trace_enabled()) {
-    sim::trace_end(sim::strf("n%u.fw", nic_.node()), "rx_header",
-                   eng_.now());
+  if (eng_.trace_enabled()) {
+    sim::trace_end(eng_, sim::strf("n%u.fw", nic_.node()), "rx_header");
   }
   if (panicked_) co_return;
   ++counters_.rx_headers;
@@ -580,16 +576,14 @@ sim::CoTask<void> Firmware::deposit_worker(net::NodeId source_node) {
     if (!lp.cmd_ready || !lp.body_complete) break;
     lp.state = LowerPending::State::kRxActive;
 
-    if (sim::trace_enabled()) {
-      sim::trace_begin(sim::strf("n%u.rxdma", nic_.node()),
-                       sim::strf("deposit %u B", lp.rx.deliver_bytes),
-                       eng_.now());
+    if (eng_.trace_enabled()) {
+      sim::trace_begin(eng_, sim::strf("n%u.rxdma", nic_.node()),
+                       sim::strf("deposit %u B", lp.rx.deliver_bytes));
     }
     co_await nic_.deposit(lp.rx.deliver_bytes, lp.rx.n_dma_cmds);
-    if (sim::trace_enabled()) {
-      sim::trace_end(sim::strf("n%u.rxdma", nic_.node()),
-                     sim::strf("deposit %u B", lp.rx.deliver_bytes),
-                     eng_.now());
+    if (eng_.trace_enabled()) {
+      sim::trace_end(eng_, sim::strf("n%u.rxdma", nic_.node()),
+                     sim::strf("deposit %u B", lp.rx.deliver_bytes));
     }
     if (lp.rx.deposit && lp.rx.deliver_bytes > 0) {
       lp.rx.deposit(std::span<const std::byte>(lp.msg->payload)
@@ -650,8 +644,8 @@ void Firmware::panic(std::string reason) {
   panicked_ = true;
   panic_time_ = eng_.now();
   panic_reason_ = std::move(reason);
-  sim::log_msg(sim::LogLevel::kError, sim::strf("fw.n%u", nic_.node()),
-               eng_.now(), "PANIC: " + panic_reason_);
+  sim::log_msg(eng_, sim::LogLevel::kError, sim::strf("fw.n%u", nic_.node()),
+               "PANIC: " + panic_reason_);
 }
 
 void Firmware::gbn_record(net::NodeId dst, const net::Message& msg,

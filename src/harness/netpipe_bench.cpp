@@ -1,0 +1,152 @@
+#include "harness/netpipe_bench.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+#include "harness/sweep.hpp"
+#include "sim/strf.hpp"
+
+namespace xt::harness {
+
+namespace {
+
+const char* pattern_name(np::Pattern p) {
+  switch (p) {
+    case np::Pattern::kPingPong: return "ping-pong";
+    case np::Pattern::kStream: return "streaming";
+    case np::Pattern::kBidir: return "bi-directional";
+  }
+  return "?";
+}
+
+std::unique_ptr<np::Module> make_module(np::Transport t, host::Process& a,
+                                        host::Process& b) {
+  switch (t) {
+    case np::Transport::kPut:
+    case np::Transport::kPutAccel:
+      return np::make_portals_module(a, b, /*use_get=*/false);
+    case np::Transport::kGet:
+    case np::Transport::kGetAccel:
+      return np::make_portals_module(a, b, /*use_get=*/true);
+    case np::Transport::kMpich1:
+      return np::make_mpi_module(a, b, mpi::Flavor::mpich1());
+    case np::Transport::kMpich2:
+      return np::make_mpi_module(a, b, mpi::Flavor::mpich2());
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Scenario netpipe_scenario(np::Transport t, const np::Options& o,
+                          const ss::Config& cfg) {
+  const bool accel =
+      t == np::Transport::kPutAccel || t == np::Transport::kGetAccel;
+  // Headroom for the transfer buffers plus the MPI module's unexpected
+  // slabs and per-operation scratch.
+  const std::size_t mem = 2 * o.max_bytes + (32u << 20);
+  Scenario sc = Scenario::pair(
+      accel ? host::ProcMode::kAccel : host::ProcMode::kUser, 10, mem);
+  sc.config = cfg;
+  return sc;
+}
+
+std::vector<np::Sample> measure(np::Transport t, np::Pattern pattern,
+                                const np::Options& o,
+                                const ss::Config& cfg) {
+  auto inst = netpipe_scenario(t, o, cfg).build();
+  auto mod = make_module(t, inst->proc(0), inst->proc(1));
+  return np::run_sweep(inst->machine(), *mod, pattern, o);
+}
+
+std::vector<SeriesResult> measure_series(
+    const std::vector<np::Transport>& transports, np::Pattern pattern,
+    const np::Options& o, const ss::Config& cfg, int jobs) {
+  std::vector<std::function<std::vector<np::Sample>()>> tasks;
+  tasks.reserve(transports.size());
+  for (std::size_t i = 0; i < transports.size(); ++i) {
+    const np::Transport t = transports[i];
+    // Each point gets its own derived seed so the stochastic streams of
+    // concurrently running scenarios stay independent (and identical to a
+    // serial run).
+    ss::Config c = cfg;
+    c.net.seed = cfg.net.seed + i;
+    tasks.push_back([t, pattern, o, c] { return measure(t, pattern, o, c); });
+  }
+  auto results = SweepRunner(jobs).run(std::move(tasks));
+  std::vector<SeriesResult> out;
+  out.reserve(transports.size());
+  for (std::size_t i = 0; i < transports.size(); ++i) {
+    out.push_back(SeriesResult{np::transport_name(transports[i]), pattern,
+                               std::move(results[i])});
+  }
+  return out;
+}
+
+std::string series_json(const std::string& figure, int jobs,
+                        const std::vector<SeriesResult>& series) {
+  std::string out =
+      sim::strf("{\n  \"figure\": \"%s\",\n  \"jobs\": %d,\n"
+                "  \"series\": [\n",
+                figure.c_str(), jobs);
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const SeriesResult& r = series[s];
+    out += sim::strf("    {\"name\": \"%s\", \"pattern\": \"%s\", "
+                     "\"samples\": [\n",
+                     r.name.c_str(), pattern_name(r.pattern));
+    for (std::size_t i = 0; i < r.samples.size(); ++i) {
+      const np::Sample& x = r.samples[i];
+      out += sim::strf(
+          "      {\"bytes\": %zu, \"usec_per_transfer\": %.3f, "
+          "\"mbytes_per_sec\": %.2f}%s\n",
+          x.bytes, x.usec_per_transfer, x.mbytes_per_sec,
+          i + 1 < r.samples.size() ? "," : "");
+    }
+    out += sim::strf("    ]}%s\n", s + 1 < series.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool write_series_json(const std::string& path, const std::string& figure,
+                       int jobs, const std::vector<SeriesResult>& series) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = series_json(figure, jobs, series);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+int run_figure(const FigureSpec& spec, int argc, char** argv) {
+  const BenchOptions o =
+      BenchOptions::parse(argc, argv, spec.max_bytes_default);
+  std::printf("=== %s: %s ===\n", spec.figure, spec.title);
+  std::printf("(series x sizes, NetPIPE-style ladder to %zu bytes)\n\n",
+              o.np.max_bytes);
+
+  const std::vector<np::Transport> transports = {
+      np::Transport::kPut, np::Transport::kGet, np::Transport::kMpich1,
+      np::Transport::kMpich2};
+  ss::Config cfg;
+  cfg.net.seed = o.seed;
+  const auto series =
+      measure_series(transports, spec.pattern, o.np, cfg, o.jobs);
+
+  for (const SeriesResult& r : series) {
+    std::fputs(
+        np::format_table(r.name.c_str(), r.pattern, r.samples).c_str(),
+        stdout);
+    std::fputs("\n", stdout);
+  }
+  if (!o.json_path.empty() &&
+      !write_series_json(o.json_path, spec.figure, o.jobs, series)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 o.json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace xt::harness

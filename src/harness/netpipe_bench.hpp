@@ -1,0 +1,63 @@
+#pragma once
+
+// NetPIPE measurement points on top of the Scenario/SweepRunner layer.
+//
+// measure() builds a fresh two-node scenario for one (transport, pattern,
+// options, config) point and runs the NetPIPE sweep on it — every call is
+// fully self-contained, so points can be fanned out across threads.
+// run_figure() is the shared main() body of the fig4..fig7 binaries: it
+// parses the common CLI, measures the paper's four series concurrently,
+// and prints them in fixed order (byte-identical for any --jobs value).
+
+#include <string>
+#include <vector>
+
+#include "harness/options.hpp"
+#include "harness/scenario.hpp"
+#include "netpipe/netpipe.hpp"
+
+namespace xt::harness {
+
+/// The two-node neighbor scenario used by every NetPIPE measurement
+/// (accelerated-mode processes for the *Accel transports).
+Scenario netpipe_scenario(np::Transport t, const np::Options& o,
+                          const ss::Config& cfg = {});
+
+/// Builds a fresh two-node machine and measures one transport under one
+/// pattern.  (Replaces the old np::measure.)
+std::vector<np::Sample> measure(np::Transport t, np::Pattern pattern,
+                                const np::Options& o,
+                                const ss::Config& cfg = {});
+
+/// One measured series, ready for table or JSON rendering.
+struct SeriesResult {
+  std::string name;
+  np::Pattern pattern;
+  std::vector<np::Sample> samples;
+};
+
+/// Measures the given transports under one pattern, fanning the points out
+/// over `jobs` workers; results come back in input order.
+std::vector<SeriesResult> measure_series(
+    const std::vector<np::Transport>& transports, np::Pattern pattern,
+    const np::Options& o, const ss::Config& cfg, int jobs);
+
+/// Renders/writes the JSON dump of a measured figure.
+std::string series_json(const std::string& figure, int jobs,
+                        const std::vector<SeriesResult>& series);
+bool write_series_json(const std::string& path, const std::string& figure,
+                       int jobs, const std::vector<SeriesResult>& series);
+
+/// Shared driver for the figure-reproduction benches (Figures 4-7).
+struct FigureSpec {
+  const char* figure;  // e.g. "Figure 4"
+  const char* title;   // e.g. "one-way latency vs message size"
+  np::Pattern pattern;
+  std::size_t max_bytes_default;
+};
+
+/// Parses the common CLI and reproduces the figure's four series
+/// (put, get, mpich-1.2.6, mpich2).  Returns a process exit code.
+int run_figure(const FigureSpec& spec, int argc, char** argv);
+
+}  // namespace xt::harness

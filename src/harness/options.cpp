@@ -1,0 +1,70 @@
+#include "harness/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xt::harness {
+
+namespace {
+
+[[noreturn]] void usage(const char* prog, int rc) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--max BYTES] [--quick] [--jobs N] [--json FILE] "
+      "[--seed N]\n"
+      "  --max BYTES  largest message size on the NetPIPE ladder\n"
+      "  --quick      reduced iteration counts (smoke run)\n"
+      "  --jobs N     sweep worker threads (default: hardware cores;\n"
+      "               output is identical for every N)\n"
+      "  --json FILE  also dump the measured series as JSON\n"
+      "  --seed N     base RNG seed for the scenarios\n",
+      prog);
+  std::exit(rc);
+}
+
+}  // namespace
+
+BenchOptions BenchOptions::parse(int argc, char** argv,
+                                 std::size_t max_bytes_default) {
+  BenchOptions o;
+  o.np.max_bytes = max_bytes_default;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--max") == 0 && i + 1 < argc) {
+      o.np.max_bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      o.quick = true;
+      o.np.base_iters = 8;
+      o.np.min_iters = 2;
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      o.jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      o.json_path = argv[++i];
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+      usage(argv[0], 2);
+    }
+  }
+  return o;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace xt::harness

@@ -1,0 +1,42 @@
+#pragma once
+
+// The one CLI parser shared by every bench binary (fig*, abl*, tables).
+//
+// Flags:
+//   --max N      largest message size in bytes (NetPIPE ladder top)
+//   --quick      cut iteration counts for a fast smoke run
+//   --jobs N     worker threads for the sweep (default: all hardware cores)
+//   --json FILE  also dump the measured series as JSON
+//   --seed N     base RNG seed for the scenarios
+//   --help
+//
+// Output is deterministic: serial (--jobs 1) and parallel runs print
+// byte-identical tables (see harness/sweep.hpp).
+
+#include <cstdint>
+#include <string>
+
+#include "netpipe/netpipe.hpp"
+
+namespace xt::harness {
+
+struct BenchOptions {
+  np::Options np;
+  /// Sweep worker threads; 0 means hardware concurrency.
+  int jobs = 0;
+  /// Non-empty: also write the measured series to this file as JSON.
+  std::string json_path;
+  bool quick = false;
+  /// Base RNG seed; sweep point i derives its own stream from seed + i.
+  std::uint64_t seed = 1;
+
+  /// Parses argv; on --help or an unknown flag prints usage and exits.
+  static BenchOptions parse(int argc, char** argv,
+                            std::size_t max_bytes_default = 8u << 20);
+};
+
+/// Writes `content` to `path`; warns on stderr and returns false on
+/// failure.  Used by benches honoring --json with bespoke schemas.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace xt::harness

@@ -1,0 +1,46 @@
+#include "harness/scenario.hpp"
+
+namespace xt::harness {
+
+Scenario Scenario::pair(host::ProcMode mode, ptl::Pid pid,
+                        std::size_t mem_bytes) {
+  Scenario sc;
+  sc.shape = net::Shape::xt3(2, 1, 1);
+  sc.add_proc(0, pid, mem_bytes, mode);
+  sc.add_proc(1, pid, mem_bytes, mode);
+  return sc;
+}
+
+Scenario Scenario::incast(int senders, ptl::Pid pid, std::size_t mem_bytes) {
+  Scenario sc;
+  sc.shape = net::Shape::xt3(senders + 1, 1, 1);
+  for (net::NodeId n = 0; n <= static_cast<net::NodeId>(senders); ++n) {
+    sc.add_proc(n, pid, mem_bytes, host::ProcMode::kUser);
+  }
+  return sc;
+}
+
+std::unique_ptr<Instance> Scenario::build() const {
+  return std::make_unique<Instance>(*this);
+}
+
+Instance::Instance(const Scenario& sc)
+    : machine_(sc.shape, sc.config, sc.os_of) {
+  procs_.reserve(sc.procs.size());
+  for (const Scenario::ProcSpec& p : sc.procs) {
+    host::Node& node = machine_.node(p.node);
+    switch (p.mode) {
+      case host::ProcMode::kUser:
+        procs_.push_back(&node.spawn_process(p.pid, p.mem_bytes));
+        break;
+      case host::ProcMode::kKernel:
+        procs_.push_back(&node.spawn_kernel_process(p.pid, p.mem_bytes));
+        break;
+      case host::ProcMode::kAccel:
+        procs_.push_back(&node.spawn_accel_process(p.pid, p.mem_bytes));
+        break;
+    }
+  }
+}
+
+}  // namespace xt::harness

@@ -1,0 +1,104 @@
+#pragma once
+
+// Scenario: declarative construction of one simulation setup.
+//
+// Every bench and example used to hand-roll the same dance — pick a torus
+// shape, tweak a ss::Config, build a Machine, spawn processes of the right
+// mode on the right nodes.  A Scenario captures that as data, so a sweep
+// point is just (Scenario, workload), and because the whole xt::sim stack
+// is re-entrant, any number of Instances built from Scenarios can run
+// concurrently on different threads.
+//
+//   auto inst = harness::Scenario::pair().with_max_bytes(1 << 20).build();
+//   inst->machine().run();
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "host/node.hpp"
+
+namespace xt::harness {
+
+class Instance;
+
+struct Scenario {
+  struct ProcSpec {
+    net::NodeId node = 0;
+    ptl::Pid pid = 10;
+    std::size_t mem_bytes = 64u << 20;
+    host::ProcMode mode = host::ProcMode::kUser;
+  };
+
+  net::Shape shape = net::Shape::xt3(2, 1, 1);
+  ss::Config config{};
+  /// Per-node OS choice; null means all-Catamount (the Red Storm compute
+  /// partition).
+  std::function<host::OsType(net::NodeId)> os_of;
+  std::vector<ProcSpec> procs;
+
+  // ------------------------------------------------- fluent builders ----
+
+  Scenario& with_shape(net::Shape s) {
+    shape = s;
+    return *this;
+  }
+  Scenario& with_config(const ss::Config& c) {
+    config = c;
+    return *this;
+  }
+  Scenario& with_os(host::OsType os) {
+    os_of = [os](net::NodeId) { return os; };
+    return *this;
+  }
+  /// Seeds every stochastic stream of the scenario (fault injection etc.);
+  /// sweep points get distinct seeds so their streams are independent.
+  Scenario& with_seed(std::uint64_t seed) {
+    config.net.seed = seed;
+    return *this;
+  }
+  Scenario& add_proc(net::NodeId node, ptl::Pid pid = 10,
+                     std::size_t mem_bytes = 64u << 20,
+                     host::ProcMode mode = host::ProcMode::kUser) {
+    procs.push_back(ProcSpec{node, pid, mem_bytes, mode});
+    return *this;
+  }
+
+  /// Two neighbor nodes on the torus with one process each — the setup of
+  /// every NetPIPE-style point-to-point measurement.
+  static Scenario pair(host::ProcMode mode = host::ProcMode::kUser,
+                       ptl::Pid pid = 10, std::size_t mem_bytes = 64u << 20);
+
+  /// k sender nodes all pointed at one receiver node 0 (incast), one
+  /// process per node.
+  static Scenario incast(int senders, ptl::Pid pid = 10,
+                         std::size_t mem_bytes = 16u << 20);
+
+  /// Instantiates the machine and spawns every process.
+  std::unique_ptr<Instance> build() const;
+};
+
+/// A live Scenario: owns the Machine, exposes the spawned processes in
+/// spec order.  Self-contained — holds no references to the Scenario or to
+/// any global — so Instances are safe to run on different threads.
+class Instance {
+ public:
+  explicit Instance(const Scenario& sc);
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  host::Machine& machine() { return machine_; }
+  sim::Engine& engine() { return machine_.engine(); }
+  host::Process& proc(std::size_t i) { return *procs_.at(i); }
+  std::size_t proc_count() const { return procs_.size(); }
+
+  /// Runs the simulation to quiescence; returns events executed.
+  std::uint64_t run() { return machine_.run(); }
+
+ private:
+  host::Machine machine_;
+  std::vector<host::Process*> procs_;
+};
+
+}  // namespace xt::harness

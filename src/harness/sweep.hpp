@@ -1,0 +1,87 @@
+#pragma once
+
+// SweepRunner: fan independent simulation points out across worker threads.
+//
+// The evaluation suite is a large family of *independent* simulations
+// (four NetPIPE series per figure, six-plus ablation sweeps).  Each point
+// builds its own Machine/Engine, and since the stack holds no process-
+// global mutable state, points can run concurrently.  SweepRunner is the
+// one thread pool every bench shares: give it N self-contained tasks, get
+// N results back **in input order**, regardless of which worker finished
+// first — which is what makes `--jobs 1` and `--jobs 8` output
+// byte-identical.
+//
+// Tasks must be self-contained: build their own scenario, touch no state
+// shared with other tasks.  An exception thrown by a task is captured and
+// rethrown (the earliest by input order) after all workers drain.
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace xt::harness {
+
+/// Worker count for `jobs <= 0`: the hardware concurrency, at least 1.
+inline int default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+class SweepRunner {
+ public:
+  /// `jobs <= 0` selects default_jobs().
+  explicit SweepRunner(int jobs = 0)
+      : jobs_(jobs <= 0 ? default_jobs() : jobs) {}
+
+  int jobs() const { return jobs_; }
+
+  /// Runs every task and returns their results in input order.
+  template <typename R>
+  std::vector<R> run(std::vector<std::function<R()>> tasks) const {
+    std::vector<std::optional<R>> slots(tasks.size());
+    std::vector<std::exception_ptr> errors(tasks.size());
+
+    const std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(jobs_), tasks.size());
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        slots[i].emplace(tasks[i]());
+      }
+    } else {
+      std::atomic<std::size_t> next{0};
+      auto worker = [&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= tasks.size()) return;
+          try {
+            slots[i].emplace(tasks[i]());
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+      for (const std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(e);
+      }
+    }
+
+    std::vector<R> out;
+    out.reserve(tasks.size());
+    for (std::optional<R>& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace xt::harness

@@ -128,8 +128,8 @@ void KernelAgent::on_interrupt() {
 
 sim::CoTask<void> KernelAgent::irq_task() {
   ++irq_invocations_;
-  if (sim::trace_enabled()) {
-    sim::trace_begin(sim::strf("n%u.cpu", self_), "interrupt", eng_.now());
+  if (eng_.trace_enabled()) {
+    sim::trace_begin(eng_, sim::strf("n%u.cpu", self_), "interrupt");
   }
   // Interrupt entry/exit overhead (§3.3: "at least 2 us each").
   co_await cpu_.run_interrupt(cfg_.interrupt);
@@ -139,8 +139,8 @@ sim::CoTask<void> KernelAgent::irq_task() {
     co_await handle_event(*ev);
   }
   irq_active_ = false;
-  if (sim::trace_enabled()) {
-    sim::trace_end(sim::strf("n%u.cpu", self_), "interrupt", eng_.now());
+  if (eng_.trace_enabled()) {
+    sim::trace_end(eng_, sim::strf("n%u.cpu", self_), "interrupt");
   }
 }
 
@@ -214,9 +214,9 @@ sim::CoTask<void> KernelAgent::handle_rx_header(fw::PendingId pending) {
   ptl::Library* lib = lib_for(hdr.dst_pid);
   AddressSpace* as = as_for(hdr.dst_pid);
   const bool has_body = up.msg != nullptr && !up.msg->payload.empty();
-  if (sim::log_enabled(sim::LogLevel::kDebug)) {
-    sim::log_msg(sim::LogLevel::kDebug, sim::strf("agent.n%u", self_),
-                 eng_.now(),
+  if (eng_.log_enabled(sim::LogLevel::kDebug)) {
+    sim::log_msg(eng_, sim::LogLevel::kDebug,
+                 sim::strf("agent.n%u", self_),
                  sim::strf("rx header pending=%u op=%u len=%u body=%d",
                            pending, static_cast<unsigned>(hdr.op),
                            hdr.length, static_cast<int>(has_body)));

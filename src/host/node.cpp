@@ -72,7 +72,7 @@ Process& Node::spawn_accel_process(ptl::Pid pid, std::size_t mem_bytes) {
 
 Machine::Machine(net::Shape shape, ss::Config cfg,
                  std::function<OsType(net::NodeId)> os_of)
-    : cfg_(cfg), net_(eng_, shape, cfg.net) {
+    : cfg_(cfg), net_(eng_, shape, cfg.net, cfg.net.seed) {
   nodes_.reserve(static_cast<std::size_t>(shape.count()));
   for (net::NodeId id = 0; id < static_cast<net::NodeId>(shape.count());
        ++id) {

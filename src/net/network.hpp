@@ -41,6 +41,11 @@ struct NetConfig {
   /// its DMA injection (as the 64-byte-packet hardware does), while
   /// keeping an 8 MB transfer at ~4k simulation events.
   std::size_t chunk_size = 2 * 1024;
+  /// Seed for the network's fault-injection RNG streams.  Every stochastic
+  /// stream in a simulation derives from this one value, so a scenario is
+  /// reproducible from (config, seed) alone and concurrent scenarios can
+  /// be given independent streams.
+  std::uint64_t seed = 1;
 };
 
 class Network {

@@ -478,38 +478,6 @@ const char* transport_name(Transport t) {
   return "?";
 }
 
-std::vector<Sample> measure(Transport t, Pattern pattern, const Options& o,
-                            const ss::Config& cfg) {
-  Machine m(net::Shape::xt3(2, 1, 1), cfg);
-  // Headroom for the transfer buffers plus the MPI module's unexpected
-  // slabs and per-operation scratch.
-  const std::size_t mem = 2 * o.max_bytes + (32u << 20);
-  const bool accel =
-      t == Transport::kPutAccel || t == Transport::kGetAccel;
-  Process& a = accel ? m.node(0).spawn_accel_process(10, mem)
-                     : m.node(0).spawn_process(10, mem);
-  Process& b = accel ? m.node(1).spawn_accel_process(10, mem)
-                     : m.node(1).spawn_process(10, mem);
-  std::unique_ptr<Module> mod;
-  switch (t) {
-    case Transport::kPut:
-    case Transport::kPutAccel:
-      mod = make_portals_module(a, b, false);
-      break;
-    case Transport::kGet:
-    case Transport::kGetAccel:
-      mod = make_portals_module(a, b, true);
-      break;
-    case Transport::kMpich1:
-      mod = make_mpi_module(a, b, mpi::Flavor::mpich1());
-      break;
-    case Transport::kMpich2:
-      mod = make_mpi_module(a, b, mpi::Flavor::mpich2());
-      break;
-  }
-  return run_sweep(m, *mod, pattern, o);
-}
-
 std::string format_table(const char* series, Pattern pattern,
                          const std::vector<Sample>& samples) {
   std::string out = sim::strf("# series: %s (%s)\n# %10s %14s %12s\n",

@@ -91,16 +91,13 @@ std::unique_ptr<Module> make_portals_module(host::Process& a,
 std::unique_ptr<Module> make_mpi_module(host::Process& a, host::Process& b,
                                         const mpi::Flavor& flavor);
 
-// --------------------------------------------------- one-call benchmark ----
+// ------------------------------------------------------ series naming ----
 
 /// The four transport series of the paper's figures, plus accelerated-mode
 /// variants of the Portals transports (the paper's future work).
+/// (One-call measurement lives in harness/netpipe_bench.hpp, built on the
+/// Scenario layer.)
 enum class Transport { kPut, kGet, kMpich1, kMpich2, kPutAccel, kGetAccel };
 const char* transport_name(Transport t);
-
-/// Builds a fresh two-node machine (neighbors on the torus) and measures
-/// one transport under one pattern.
-std::vector<Sample> measure(Transport t, Pattern pattern, const Options& o,
-                            const ss::Config& cfg = {});
 
 }  // namespace xt::np

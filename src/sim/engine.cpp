@@ -5,36 +5,62 @@
 
 namespace xt::sim {
 
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+    return slot;
+  }
+  assert(slab_.size() < kNilSlot && "event slab exhausted");
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Engine::release_slot(std::uint32_t slot) {
+  Rec& r = slab_[slot];
+  r.cb = nullptr;  // drop any closure resources immediately
+  ++r.gen;         // invalidate outstanding EventIds for this slot
+  r.armed = false;
+  r.next_free = free_head_;
+  free_head_ = slot;
+}
+
 Engine::EventId Engine::schedule_at(Time t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  heap_.push(Ev{t, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  Rec& r = slab_[slot];
+  r.cb = std::move(cb);
+  r.armed = true;
+  heap_.push(HeapEnt{t, next_seq_++, slot});
+  ++live_;
+  return (static_cast<EventId>(r.gen) << 32) | slot;
 }
 
 void Engine::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;  // already ran or cancelled
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slab_.size()) return;
+  Rec& r = slab_[slot];
+  if (r.gen != gen_of(id) || !r.armed) return;  // already ran or cancelled
+  r.armed = false;
+  r.cb = nullptr;  // free captured resources now; slot recycles at pop
+  --live_;
 }
 
 bool Engine::step() {
   while (!heap_.empty()) {
-    const Ev ev = heap_.top();
+    const HeapEnt ev = heap_.top();
     heap_.pop();
-    if (auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
-      cancelled_.erase(c);
+    Rec& r = slab_[ev.slot];
+    if (!r.armed) {  // cancelled: recycle and keep looking
+      release_slot(ev.slot);
       continue;
     }
-    auto it = callbacks_.find(ev.id);
-    assert(it != callbacks_.end());
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+    Callback cb = std::move(r.cb);
+    release_slot(ev.slot);
     now_ = ev.t;
+    --live_;
     ++executed_;
-    cb();
+    cb();  // may grow the slab; no record references live past here
     return true;
   }
   return false;
@@ -52,10 +78,10 @@ std::uint64_t Engine::run_until(Time t) {
   std::uint64_t n = 0;
   while (!stopped_ && !heap_.empty()) {
     // Peek past cancelled entries without executing.
-    const Ev ev = heap_.top();
-    if (cancelled_.count(ev.id) != 0) {
+    const HeapEnt ev = heap_.top();
+    if (!slab_[ev.slot].armed) {
       heap_.pop();
-      cancelled_.erase(ev.id);
+      release_slot(ev.slot);
       continue;
     }
     if (ev.t > t) break;

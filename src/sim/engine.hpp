@@ -7,28 +7,48 @@
 // delivery, link serialization — is expressed as callbacks scheduled here.
 // Events at equal times run in scheduling order (FIFO), which together with
 // the deterministic RNG makes whole simulations bit-reproducible.
+//
+// Event storage is a slab: each scheduled event occupies one record in a
+// contiguous arena, recycled through an intrusive free list.  The heap holds
+// (time, seq, slot) triples, so schedule/cancel/pop never touch a hash
+// table; cancel is an O(1) generation-checked slot write.  EventIds encode
+// (generation << 32 | slot) so a stale id from a recycled slot is rejected.
+//
+// Engines also carry the simulation's observability context (log threshold,
+// trace sink).  Nothing in the kernel is process-global: any number of
+// Engines may run concurrently on different threads, which is what lets the
+// benchmark harness fan a whole evaluation suite out across cores.
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace xt::sim {
 
-/// The simulation scheduler.  Not thread-safe by design: a simulation is a
-/// single-threaded event loop (mirroring the single-threaded SeaStar
-/// firmware the project models).
+class Trace;
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// The process-wide default threshold, parsed once from XT_LOG
+/// (trace|debug|info|warn|error; default kOff).  Immutable after startup;
+/// new Engines start from it.
+LogLevel default_log_threshold();
+
+/// The simulation scheduler.  A single Engine is not thread-safe by design:
+/// a simulation is a single-threaded event loop (mirroring the
+/// single-threaded SeaStar firmware the project models).  Distinct Engines
+/// share no state and may run on distinct threads concurrently.
 class Engine {
  public:
   using Callback = std::function<void()>;
   /// Token identifying a scheduled event, usable with cancel().
   using EventId = std::uint64_t;
 
-  Engine() = default;
+  Engine() : log_threshold_(default_log_threshold()) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -61,35 +81,70 @@ class Engine {
   /// Requests that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
 
-  bool empty() const { return live_count() == 0; }
-  std::size_t pending() const { return live_count(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t pending() const { return live_; }
 
   /// Total events executed since construction (for stats / budget guards).
   std::uint64_t executed() const { return executed_; }
 
+  // ------------------------------------------- observability context ----
+  // Per-engine so that two simulations in one process (or on two threads)
+  // never share mutable state.
+
+  /// Trace sink for this simulation; null (the default) disables tracing.
+  Trace* trace() const { return trace_; }
+  void set_trace(Trace* t) { trace_ = t; }
+  bool trace_enabled() const { return trace_ != nullptr; }
+
+  LogLevel log_threshold() const { return log_threshold_; }
+  void set_log_threshold(LogLevel lvl) { log_threshold_ = lvl; }
+  bool log_enabled(LogLevel lvl) const { return lvl >= log_threshold_; }
+
  private:
-  struct Ev {
-    Time t;
-    EventId id;  // also the FIFO tie-breaker
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  /// One slab record.  `armed` distinguishes pending from cancelled while
+  /// the slot is still referenced by a heap entry; the slot returns to the
+  /// free list (generation bumped) only when that entry is popped.
+  struct Rec {
+    Callback cb;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNilSlot;
+    bool armed = false;
   };
-  struct EvLater {
-    bool operator()(const Ev& a, const Ev& b) const {
+  struct HeapEnt {
+    Time t;
+    std::uint64_t seq;  // FIFO tie-breaker at equal times
+    std::uint32_t slot;
+  };
+  struct HeapLater {
+    bool operator()(const HeapEnt& a, const HeapEnt& b) const {
       if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
-  std::size_t live_count() const { return heap_.size() - cancelled_.size(); }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
 
   Time now_{};
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Ev, std::vector<Ev>, EvLater> heap_;
-  // Callbacks are stored out-of-band so cancel() can drop the closure
-  // immediately (freeing captured resources) while the heap entry stays.
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  std::priority_queue<HeapEnt, std::vector<HeapEnt>, HeapLater> heap_;
+  std::vector<Rec> slab_;
+  std::uint32_t free_head_ = kNilSlot;
+
+  Trace* trace_ = nullptr;
+  LogLevel log_threshold_;
 };
 
 }  // namespace xt::sim

@@ -21,8 +21,6 @@ LogLevel parse_env() {
   return LogLevel::kOff;
 }
 
-LogLevel g_threshold = parse_env();
-
 const char* level_name(LogLevel lvl) {
   switch (lvl) {
     case LogLevel::kTrace: return "T";
@@ -37,14 +35,17 @@ const char* level_name(LogLevel lvl) {
 
 }  // namespace
 
-LogLevel log_threshold() { return g_threshold; }
-void set_log_threshold(LogLevel lvl) { g_threshold = lvl; }
-bool log_enabled(LogLevel lvl) { return lvl >= g_threshold; }
+LogLevel default_log_threshold() {
+  // Parsed once; immutable afterwards, so concurrent Engine construction
+  // on multiple threads is race-free.
+  static const LogLevel threshold = parse_env();
+  return threshold;
+}
 
-void log_msg(LogLevel lvl, std::string_view component, Time t,
+void log_msg(const Engine& eng, LogLevel lvl, std::string_view component,
              std::string_view msg) {
-  if (!log_enabled(lvl)) return;
-  std::fprintf(stderr, "[%12.3fus] %s %.*s: %.*s\n", t.to_us(),
+  if (!eng.log_enabled(lvl)) return;
+  std::fprintf(stderr, "[%12.3fus] %s %.*s: %.*s\n", eng.now().to_us(),
                level_name(lvl), static_cast<int>(component.size()),
                component.data(), static_cast<int>(msg.size()), msg.data());
 }

@@ -3,31 +3,25 @@
 // Minimal leveled logging for simulator internals.
 //
 // Off by default; set the XT_LOG environment variable to one of
-// trace|debug|info|warn|error to enable.  Log lines carry the simulated
-// timestamp and a component tag, e.g.:
+// trace|debug|info|warn|error to enable.  The threshold lives on the
+// Engine (per-simulation, never process-global), so two simulations — even
+// on two threads — can log at different levels without sharing state.
+// Log lines carry the simulated timestamp and a component tag, e.g.:
 //
 //   [  5.390us] fw.n3: rx header from nid 2, 64 bytes
 
 #include <string>
 #include <string_view>
 
+#include "sim/engine.hpp"
 #include "sim/time.hpp"
 
 namespace xt::sim {
 
-enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
-
-/// Global threshold, parsed once from XT_LOG (default kOff).
-LogLevel log_threshold();
-
-/// For tests: override the threshold at runtime.
-void set_log_threshold(LogLevel lvl);
-
-bool log_enabled(LogLevel lvl);
-
-/// Writes one log line to stderr.  Callers should guard message formatting
-/// with log_enabled() on hot paths.
-void log_msg(LogLevel lvl, std::string_view component, Time t,
+/// Writes one log line to stderr if `eng`'s threshold admits `lvl`.  The
+/// timestamp is eng.now().  Callers should guard message formatting with
+/// eng.log_enabled() on hot paths.
+void log_msg(const Engine& eng, LogLevel lvl, std::string_view component,
              std::string_view msg);
 
 }  // namespace xt::sim

@@ -7,8 +7,6 @@
 namespace xt::sim {
 
 namespace {
-Trace* g_trace = nullptr;
-
 /// Minimal JSON string escaping (tracks/names are code-controlled, but be
 /// safe about quotes and backslashes).
 std::string escape(const std::string& s) {
@@ -22,21 +20,20 @@ std::string escape(const std::string& s) {
 }
 }  // namespace
 
-Trace* global_trace() { return g_trace; }
-void set_global_trace(Trace* t) { g_trace = t; }
-
-void trace_begin(std::string track, std::string name, Time t) {
-  if (g_trace != nullptr) {
-    g_trace->begin(std::move(track), std::move(name), t);
+void trace_begin(Engine& eng, std::string track, std::string name) {
+  if (Trace* tr = eng.trace()) {
+    tr->begin(std::move(track), std::move(name), eng.now());
   }
 }
-void trace_end(std::string track, std::string name, Time t) {
-  if (g_trace != nullptr) g_trace->end(std::move(track), std::move(name), t);
+void trace_end(Engine& eng, std::string track, std::string name) {
+  if (Trace* tr = eng.trace()) {
+    tr->end(std::move(track), std::move(name), eng.now());
+  }
 }
-void trace_instant(std::string track, std::string name, Time t,
+void trace_instant(Engine& eng, std::string track, std::string name,
                    std::int64_t arg) {
-  if (g_trace != nullptr) {
-    g_trace->instant(std::move(track), std::move(name), t, arg);
+  if (Trace* tr = eng.trace()) {
+    tr->instant(std::move(track), std::move(name), eng.now(), arg);
   }
 }
 

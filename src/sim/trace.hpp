@@ -2,18 +2,22 @@
 
 // Event tracing.
 //
-// Components emit (time, track, name, phase) records into a Trace attached
-// to the engine; the result can be dumped as Chrome trace-event JSON
-// (load in chrome://tracing or https://ui.perfetto.dev) to see a message's
-// life across host CPUs, firmware, DMA engines and links on one timeline.
+// Components emit (time, track, name, phase) records into the Trace
+// installed on their Engine (Engine::set_trace); the result can be dumped
+// as Chrome trace-event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) to see a message's life across host CPUs,
+// firmware, DMA engines and links on one timeline.
 //
-// Tracing is off unless a Trace is installed, and emit sites are guarded by
-// a cheap enabled() check, so the hot path stays clean.
+// Tracing is off unless a Trace is installed on the engine, and emit sites
+// are guarded by a cheap Engine::trace_enabled() check, so the hot path
+// stays clean.  The sink is per-engine — never process-global — so
+// concurrent simulations each collect their own timeline.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "sim/time.hpp"
 
 namespace xt::sim {
@@ -70,16 +74,11 @@ class Trace {
   std::vector<Record> records_;
 };
 
-/// Global trace sink used by instrumented components.  Null (the default)
-/// disables all tracing.
-Trace* global_trace();
-void set_global_trace(Trace* t);
-inline bool trace_enabled() { return global_trace() != nullptr; }
-
-/// Emit helpers that no-op when tracing is off.
-void trace_begin(std::string track, std::string name, Time t);
-void trace_end(std::string track, std::string name, Time t);
-void trace_instant(std::string track, std::string name, Time t,
+/// Emit helpers that no-op when `eng` has no trace installed; timestamps
+/// are eng.now().
+void trace_begin(Engine& eng, std::string track, std::string name);
+void trace_end(Engine& eng, std::string track, std::string name);
+void trace_instant(Engine& eng, std::string track, std::string name,
                    std::int64_t arg = 0);
 
 }  // namespace xt::sim

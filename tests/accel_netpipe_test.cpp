@@ -4,6 +4,7 @@
 
 #include <array>
 
+#include "harness/netpipe_bench.hpp"
 #include "mpi/mpi.hpp"
 #include "netpipe/netpipe.hpp"
 #include "portals/wire.hpp"
@@ -26,8 +27,8 @@ np::Options quick(std::size_t max) {
 
 TEST(AccelNetpipe, PutAccelBeatsGenericEverywhere) {
   const auto gen =
-      np::measure(np::Transport::kPut, np::Pattern::kPingPong, quick(65536));
-  const auto acc = np::measure(np::Transport::kPutAccel,
+      harness::measure(np::Transport::kPut, np::Pattern::kPingPong, quick(65536));
+  const auto acc = harness::measure(np::Transport::kPutAccel,
                                np::Pattern::kPingPong, quick(65536));
   ASSERT_EQ(gen.size(), acc.size());
   for (std::size_t i = 0; i < gen.size(); ++i) {
@@ -41,17 +42,17 @@ TEST(AccelNetpipe, PutAccelBeatsGenericEverywhere) {
 
 TEST(AccelNetpipe, PeakBandwidthUnchangedByOffload) {
   // Offload removes per-message host costs; the DMA-limited plateau stays.
-  const auto gen = np::measure(np::Transport::kPut, np::Pattern::kPingPong,
+  const auto gen = harness::measure(np::Transport::kPut, np::Pattern::kPingPong,
                                quick(4 << 20));
-  const auto acc = np::measure(np::Transport::kPutAccel,
+  const auto acc = harness::measure(np::Transport::kPutAccel,
                                np::Pattern::kPingPong, quick(4 << 20));
   EXPECT_NEAR(acc.back().mbytes_per_sec, gen.back().mbytes_per_sec, 20.0);
 }
 
 TEST(AccelNetpipe, GetAccelWorksAndBeatsGenericGet) {
   const auto gen =
-      np::measure(np::Transport::kGet, np::Pattern::kPingPong, quick(1024));
-  const auto acc = np::measure(np::Transport::kGetAccel,
+      harness::measure(np::Transport::kGet, np::Pattern::kPingPong, quick(1024));
+  const auto acc = harness::measure(np::Transport::kGetAccel,
                                np::Pattern::kPingPong, quick(1024));
   for (std::size_t i = 0; i < gen.size(); ++i) {
     EXPECT_LT(acc[i].usec_per_transfer, gen[i].usec_per_transfer);

@@ -1,0 +1,219 @@
+// Tests for the harness layer: Scenario construction, SweepRunner ordering
+// and determinism, and the re-entrancy guarantee the parallel evaluation
+// suite rests on — any number of Machines in one process, interleaved on
+// one thread or spread across several, produce identical results.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/netpipe_bench.hpp"
+#include "harness/options.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+
+namespace xt {
+namespace {
+
+using sim::CoTask;
+
+// ------------------------------------------------------------ Scenario ----
+
+TEST(Scenario, PairBuildsTwoNeighborProcesses) {
+  auto inst = harness::Scenario::pair().build();
+  ASSERT_EQ(inst->proc_count(), 2u);
+  EXPECT_EQ(inst->proc(0).node().id(), 0);
+  EXPECT_EQ(inst->proc(1).node().id(), 1);
+  EXPECT_EQ(inst->proc(0).mode(), host::ProcMode::kUser);
+}
+
+TEST(Scenario, BuilderAppliesConfigOsAndMode) {
+  ss::Config cfg;
+  cfg.inline_payload_max = 7;
+  auto inst = harness::Scenario::pair(host::ProcMode::kAccel)
+                  .with_config(cfg)
+                  .with_os(host::OsType::kLinux)
+                  .with_seed(42)
+                  .build();
+  EXPECT_EQ(inst->proc(0).mode(), host::ProcMode::kAccel);
+  EXPECT_EQ(inst->machine().node(0).os(), host::OsType::kLinux);
+}
+
+TEST(Scenario, IncastSpansAllNodes) {
+  auto inst = harness::Scenario::incast(4).build();
+  ASSERT_EQ(inst->proc_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(inst->proc(i).node().id(), static_cast<net::NodeId>(i));
+  }
+}
+
+// --------------------------------------------------------- SweepRunner ----
+
+TEST(SweepRunner, ResultsComeBackInInputOrder) {
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.push_back([i] {
+      // Stagger the work so completion order differs from input order.
+      volatile int spin = (31 - i) * 1000;
+      while (spin > 0) spin = spin - 1;
+      return i;
+    });
+  }
+  const auto out = harness::SweepRunner(4).run(std::move(tasks));
+  ASSERT_EQ(out.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SweepRunner, SerialAndParallelAgree) {
+  auto make_tasks = [] {
+    std::vector<std::function<std::uint64_t()>> tasks;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      tasks.push_back([i] {
+        sim::Engine eng;
+        std::uint64_t acc = 0;
+        for (std::uint64_t k = 0; k < 50; ++k) {
+          eng.schedule_at(sim::Time::ns(static_cast<std::int64_t>((i + 1) * k)),
+                          [&acc, k] { acc += k; });
+        }
+        eng.run();
+        return acc * eng.executed() +
+               static_cast<std::uint64_t>(eng.now().to_ps());
+      });
+    }
+    return tasks;
+  };
+  const auto serial = harness::SweepRunner(1).run(make_tasks());
+  const auto parallel = harness::SweepRunner(4).run(make_tasks());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepRunner, PropagatesTaskException) {
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([] { return 1; });
+  tasks.push_back([]() -> int { throw std::runtime_error("boom"); });
+  tasks.push_back([] { return 3; });
+  EXPECT_THROW(harness::SweepRunner(2).run(std::move(tasks)),
+               std::runtime_error);
+}
+
+TEST(SweepRunner, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(harness::default_jobs(), 1);
+  EXPECT_GE(harness::SweepRunner(0).jobs(), 1);
+}
+
+// ----------------------------------------------------------- re-entrancy ----
+
+struct Rig {
+  std::unique_ptr<harness::Instance> inst;
+  std::unique_ptr<np::Module> mod;
+};
+
+Rig make_rig() {
+  Rig r;
+  r.inst = harness::Scenario::pair().build();
+  r.mod = np::make_portals_module(r.inst->proc(0), r.inst->proc(1),
+                                  /*use_get=*/false);
+  sim::spawn([](np::Module& m) -> CoTask<void> {
+    co_await m.setup(4096);
+    co_await m.pingpong(64, 4);
+  }(*r.mod));
+  return r;
+}
+
+TEST(Reentrancy, InterleavedSteppingMatchesStraightRun) {
+  // Reference: one machine run straight to quiescence.
+  Rig ref = make_rig();
+  ref.inst->run();
+
+  // Two identical machines stepped alternately on ONE thread: neither may
+  // perturb the other.
+  Rig a = make_rig();
+  Rig b = make_rig();
+  bool more = true;
+  while (more) {
+    more = false;
+    if (a.inst->engine().step()) more = true;
+    if (b.inst->engine().step()) more = true;
+  }
+  EXPECT_EQ(a.inst->engine().now(), ref.inst->engine().now());
+  EXPECT_EQ(b.inst->engine().now(), ref.inst->engine().now());
+  EXPECT_EQ(a.inst->engine().executed(), ref.inst->engine().executed());
+  EXPECT_EQ(b.inst->engine().executed(), ref.inst->engine().executed());
+}
+
+TEST(Reentrancy, TwoThreadsMatchStraightRun) {
+  Rig ref = make_rig();
+  ref.inst->run();
+
+  // The same two machines, each run to quiescence on its own thread.
+  Rig a = make_rig();
+  Rig b = make_rig();
+  std::thread ta([&] { a.inst->run(); });
+  std::thread tb([&] { b.inst->run(); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.inst->engine().now(), ref.inst->engine().now());
+  EXPECT_EQ(b.inst->engine().now(), ref.inst->engine().now());
+  EXPECT_EQ(a.inst->engine().executed(), ref.inst->engine().executed());
+  EXPECT_EQ(b.inst->engine().executed(), ref.inst->engine().executed());
+}
+
+TEST(Reentrancy, MeasureIsJobCountInvariant) {
+  // The actual determinism guarantee the benches advertise: the measured
+  // samples are byte-identical whether the series run serially or fanned
+  // out across workers.
+  np::Options o;
+  o.max_bytes = 256;
+  o.base_iters = 4;
+  o.min_iters = 2;
+  o.perturbation = 0;
+  const std::vector<np::Transport> ts = {np::Transport::kPut,
+                                         np::Transport::kGet};
+  const auto serial = harness::measure_series(ts, np::Pattern::kPingPong, o,
+                                              {}, /*jobs=*/1);
+  const auto parallel = harness::measure_series(ts, np::Pattern::kPingPong, o,
+                                                {}, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    ASSERT_EQ(serial[s].samples.size(), parallel[s].samples.size());
+    for (std::size_t i = 0; i < serial[s].samples.size(); ++i) {
+      EXPECT_EQ(serial[s].samples[i].bytes, parallel[s].samples[i].bytes);
+      EXPECT_EQ(serial[s].samples[i].usec_per_transfer,
+                parallel[s].samples[i].usec_per_transfer);
+      EXPECT_EQ(serial[s].samples[i].mbytes_per_sec,
+                parallel[s].samples[i].mbytes_per_sec);
+    }
+  }
+}
+
+// ------------------------------------------------------------- options ----
+
+TEST(BenchOptions, ParsesAllFlags) {
+  const char* argv[] = {"bench",  "--max",  "4096", "--quick", "--jobs",
+                        "3",      "--json", "/tmp/out.json",   "--seed",
+                        "99"};
+  const auto o = harness::BenchOptions::parse(
+      static_cast<int>(std::size(argv)), const_cast<char**>(argv), 1 << 20);
+  EXPECT_EQ(o.np.max_bytes, 4096u);
+  EXPECT_TRUE(o.quick);
+  EXPECT_EQ(o.jobs, 3);
+  EXPECT_EQ(o.json_path, "/tmp/out.json");
+  EXPECT_EQ(o.seed, 99u);
+}
+
+TEST(BenchOptions, DefaultsApply) {
+  const char* argv[] = {"bench"};
+  const auto o = harness::BenchOptions::parse(1, const_cast<char**>(argv),
+                                              2048);
+  EXPECT_EQ(o.np.max_bytes, 2048u);
+  EXPECT_FALSE(o.quick);
+  EXPECT_EQ(o.jobs, 0);
+  EXPECT_TRUE(o.json_path.empty());
+  EXPECT_EQ(o.seed, 1u);
+}
+
+}  // namespace
+}  // namespace xt

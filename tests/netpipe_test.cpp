@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/netpipe_bench.hpp"
 #include "netpipe/netpipe.hpp"
 
 namespace xt::np {
 namespace {
+
+using harness::measure;
 
 // ------------------------------------------------------------- ladder ----
 

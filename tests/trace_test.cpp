@@ -11,11 +11,24 @@ namespace xt::sim {
 namespace {
 
 TEST(Trace, DisabledByDefault) {
-  EXPECT_FALSE(trace_enabled());
+  Engine eng;
+  EXPECT_FALSE(eng.trace_enabled());
   // Emitting with no sink is a safe no-op.
-  trace_begin("t", "x", Time::ns(1));
-  trace_end("t", "x", Time::ns(2));
-  trace_instant("t", "y", Time::ns(3));
+  trace_begin(eng, "t", "x");
+  trace_end(eng, "t", "x");
+  trace_instant(eng, "t", "y");
+}
+
+TEST(Trace, SinkIsPerEngine) {
+  Engine a, b;
+  Trace tr;
+  a.set_trace(&tr);
+  EXPECT_TRUE(a.trace_enabled());
+  EXPECT_FALSE(b.trace_enabled());  // installing on one engine leaks nowhere
+  trace_instant(a, "t", "x");
+  trace_instant(b, "t", "y");
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr.records()[0].name, "x");
 }
 
 TEST(Trace, RecordsInOrderWithPhases) {
@@ -47,9 +60,9 @@ TEST(Trace, ChromeJsonIsWellFormed) {
 
 TEST(Trace, FullStackRunEmitsFirmwareAndCpuSpans) {
   Trace tr;
-  set_global_trace(&tr);
   {
     host::Machine m(net::Shape::xt3(2, 1, 1));
+    m.engine().set_trace(&tr);
     host::Process& a = m.node(0).spawn_process(4);
     host::Process& b = m.node(1).spawn_process(4);
     const std::uint64_t sbuf = a.alloc(4096);
@@ -88,7 +101,6 @@ TEST(Trace, FullStackRunEmitsFirmwareAndCpuSpans) {
     }(a, sbuf));
     m.run();
   }
-  set_global_trace(nullptr);
 
   bool saw_fw = false, saw_irq = false, saw_tx = false, saw_deposit = false;
   for (const auto& r : tr.records()) {
