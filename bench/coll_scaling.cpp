@@ -1,0 +1,316 @@
+// Collective scaling: host-driven vs NIC-offloaded (triggered ops).
+//
+// Sweeps communicator size x algorithm x mode and reports the latency of
+// an 8-byte-token barrier and a 64-double allreduce.  Host mode runs the
+// algorithms over the src/mpi point-to-point layer (the paper's measured
+// configuration); offload mode arms the firmware counting-event/triggered-
+// operation schedule (src/collective) so every hop after the start
+// increment happens on the NICs.  The sweep locates the crossover size
+// where taking the host out of the loop starts to pay, and verifies the
+// offload runs took zero host interrupts.  Per-process firmware SRAM cost
+// of the offload machinery is reported against the 384 KB budget.
+//
+//   --quick    cap the ladder at 64 ranks (CI smoke)
+//   --jobs N   sweep worker threads (output is jobs-invariant)
+//   --json F   dump the curves as JSON
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "collective/collective.hpp"
+#include "harness/options.hpp"
+#include "harness/sweep.hpp"
+#include "host/node.hpp"
+#include "sim/strf.hpp"
+
+namespace {
+
+using namespace xt;
+
+constexpr ptl::Pid kPid = 11;
+constexpr std::uint32_t kAllreduceCount = 64;  // doubles per rank
+
+enum class Op : std::uint8_t {
+  kBarrierDissem,
+  kBarrierTree,
+  kAllreduceRecDbl,
+  kAllreduceTree,
+};
+
+const char* op_str(Op op) {
+  switch (op) {
+    case Op::kBarrierDissem: return "barrier/dissemination";
+    case Op::kBarrierTree: return "barrier/tree";
+    case Op::kAllreduceRecDbl: return "allreduce/recdbl";
+    case Op::kAllreduceTree: return "allreduce/tree";
+  }
+  return "?";
+}
+
+struct Row {
+  Op op = Op::kBarrierDissem;
+  coll::Mode mode = coll::Mode::kHost;
+  int n = 0;
+  double usec = 0;             // per-operation completion latency
+  std::uint64_t interrupts = 0;
+  std::uint64_t fires = 0;     // triggered operations launched on NICs
+  std::size_t sram_footprint = 0;
+  std::size_t sram_used = 0;
+};
+
+/// Near-cubic power-of-two torus for n = 2^e ranks.
+net::Shape shape_for(int n) {
+  int e = 0;
+  while ((1 << e) < n) ++e;
+  const int ex = (e + 2) / 3, ey = (e + 1) / 3, ez = e / 3;
+  return net::Shape::xt3(1 << ex, 1 << ey, 1 << ez);
+}
+
+/// Small-footprint MPI flavor so a 4096-rank host-mode machine fits in
+/// memory; every collective message here is well under the eager limit.
+mpi::Flavor small_flavor() {
+  mpi::Flavor f = mpi::Flavor::mpich1();
+  f.eager_max = 4096;
+  f.n_ux_slabs = 4;
+  f.ux_slab_bytes = 16 * 1024;
+  return f;
+}
+
+Row point(Op op, coll::Mode mode, int n, bool quick) {
+  host::Machine m(shape_for(n));
+  std::vector<ptl::ProcessId> ids;
+  for (int r = 0; r < n; ++r) {
+    ids.push_back(ptl::ProcessId{static_cast<net::NodeId>(r), kPid});
+  }
+  coll::Config cc;
+  cc.mode = mode;
+  cc.flavor = small_flavor();
+  std::vector<host::Process*> procs;
+  std::vector<std::unique_ptr<coll::Coll>> colls;
+  for (int r = 0; r < n; ++r) {
+    auto& node = m.node(static_cast<net::NodeId>(r));
+    host::Process& p = mode == coll::Mode::kOffload
+                           ? node.spawn_accel_process(kPid, 128u << 10)
+                           : node.spawn_process(kPid, 256u << 10);
+    procs.push_back(&p);
+    colls.push_back(std::make_unique<coll::Coll>(p, ids, r, cc));
+    sim::spawn([](coll::Coll& c) -> sim::CoTask<void> {
+      if (co_await c.init() != ptl::PTL_OK) {
+        throw std::runtime_error("coll init failed");
+      }
+    }(*colls.back()));
+  }
+  m.run();
+
+  std::vector<std::uint64_t> bufs;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(procs[static_cast<std::size_t>(r)]->alloc(
+        kAllreduceCount * 8));
+    std::vector<double> v(kAllreduceCount,
+                          static_cast<double>(r % 7) * 0.5 + 1.0);
+    procs[static_cast<std::size_t>(r)]->write_bytes(
+        bufs.back(), std::as_bytes(std::span(v)));
+  }
+
+  for (int r = 0; r < n; ++r) {
+    sim::spawn([](coll::Coll& c, Op o) -> sim::CoTask<void> {
+      int rc = ptl::PTL_OK;
+      switch (o) {
+        case Op::kBarrierDissem:
+          rc = co_await c.prepare_barrier(coll::BarrierAlgo::kDissemination);
+          break;
+        case Op::kBarrierTree:
+          rc = co_await c.prepare_barrier(coll::BarrierAlgo::kTree);
+          break;
+        case Op::kAllreduceRecDbl:
+          rc = co_await c.prepare_allreduce(
+              coll::AllreduceAlgo::kRecursiveDoubling, kAllreduceCount);
+          break;
+        case Op::kAllreduceTree:
+          rc = co_await c.prepare_allreduce(coll::AllreduceAlgo::kTree,
+                                            kAllreduceCount);
+          break;
+      }
+      if (rc != ptl::PTL_OK) throw std::runtime_error("prepare failed");
+    }(*colls[static_cast<std::size_t>(r)], op));
+  }
+  m.run();
+
+  auto fires = [&] {
+    std::uint64_t s = 0;
+    for (net::NodeId i = 0; i < m.node_count(); ++i) {
+      s += m.node(i).firmware().counters().triggered_fires;
+    }
+    return s;
+  };
+  auto interrupts = [&] {
+    std::uint64_t s = 0;
+    for (net::NodeId i = 0; i < m.node_count(); ++i) {
+      s += m.node(i).firmware().counters().interrupts;
+    }
+    return s;
+  };
+
+  const int iters = quick ? 2 : 3;  // first is warmup
+  const std::uint64_t irq0 = interrupts();
+  const std::uint64_t fires0 = fires();
+  double measured_us = 0;
+  int measured = 0;
+  for (int it = 0; it < iters; ++it) {
+    const sim::Time t0 = m.engine().now();
+    for (int r = 0; r < n; ++r) {
+      sim::spawn([](coll::Coll& c, Op o, std::uint64_t b) -> sim::CoTask<void> {
+        int rc = ptl::PTL_OK;
+        switch (o) {
+          case Op::kBarrierDissem:
+            rc = co_await c.barrier(coll::BarrierAlgo::kDissemination);
+            break;
+          case Op::kBarrierTree:
+            rc = co_await c.barrier(coll::BarrierAlgo::kTree);
+            break;
+          case Op::kAllreduceRecDbl:
+            rc = co_await c.allreduce(coll::AllreduceAlgo::kRecursiveDoubling,
+                                      b, kAllreduceCount);
+            break;
+          case Op::kAllreduceTree:
+            rc = co_await c.allreduce(coll::AllreduceAlgo::kTree, b,
+                                      kAllreduceCount);
+            break;
+        }
+        if (rc != ptl::PTL_OK) throw std::runtime_error("collective failed");
+      }(*colls[static_cast<std::size_t>(r)], op,
+        bufs[static_cast<std::size_t>(r)]));
+    }
+    m.run();
+    if (it > 0) {
+      measured_us += (m.engine().now() - t0).to_us();
+      ++measured;
+    }
+    for (int r = 0; r < n; ++r) {
+      sim::spawn([](coll::Coll& c) -> sim::CoTask<void> {
+        if (co_await c.rearm_iteration() != ptl::PTL_OK) {
+          throw std::runtime_error("rearm failed");
+        }
+      }(*colls[static_cast<std::size_t>(r)]));
+    }
+    m.run();
+  }
+
+  Row row;
+  row.op = op;
+  row.mode = mode;
+  row.n = n;
+  row.usec = measured_us / measured;
+  row.interrupts = interrupts() - irq0;
+  row.fires = fires() - fires0;
+  row.sram_footprint = colls[0]->sram_footprint();
+  row.sram_used = m.node(0).nic().sram().used();
+  if (mode == coll::Mode::kOffload && row.interrupts != 0) {
+    throw std::runtime_error(sim::strf(
+        "offload %s n=%d took %llu host interrupts (want 0)", op_str(op), n,
+        static_cast<unsigned long long>(row.interrupts)));
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
+
+  const int max_n = o.quick ? 64 : 4096;
+  std::vector<int> sizes;
+  for (int n = 2; n <= max_n; n *= 2) sizes.push_back(n);
+  const std::vector<Op> ops = {Op::kBarrierDissem, Op::kBarrierTree,
+                               Op::kAllreduceRecDbl, Op::kAllreduceTree};
+  const std::vector<coll::Mode> modes = {coll::Mode::kHost,
+                                         coll::Mode::kOffload};
+
+  std::vector<std::function<Row()>> tasks;
+  for (const Op op : ops) {
+    for (const coll::Mode mode : modes) {
+      for (const int n : sizes) {
+        const bool quick = o.quick;
+        tasks.push_back([op, mode, n, quick] {
+          return point(op, mode, n, quick);
+        });
+      }
+    }
+  }
+  const auto rows = harness::SweepRunner(o.jobs).run(std::move(tasks));
+
+  auto find = [&](Op op, coll::Mode mode, int n) -> const Row& {
+    for (const Row& r : rows) {
+      if (r.op == op && r.mode == mode && r.n == n) return r;
+    }
+    throw std::logic_error("missing sweep point");
+  };
+
+  std::printf("=== Collective scaling: host vs NIC-offloaded "
+              "(triggered ops) ===\n");
+  std::printf("\nbarrier: 8 B tokens; allreduce: %u doubles; latency is "
+              "all-ranks completion,\naveraged over %d iterations after "
+              "warmup\n",
+              kAllreduceCount, o.quick ? 1 : 2);
+  for (const Op op : ops) {
+    std::printf("\n-- %s --\n", op_str(op));
+    std::printf("  %6s %12s %12s %10s %10s\n", "ranks", "host us",
+                "offload us", "speedup", "nic fires");
+    int crossover = 0;
+    for (const int n : sizes) {
+      const Row& h = find(op, coll::Mode::kHost, n);
+      const Row& f = find(op, coll::Mode::kOffload, n);
+      std::printf("  %6d %12.3f %12.3f %9.2fx %10llu\n", n, h.usec, f.usec,
+                  h.usec / f.usec,
+                  static_cast<unsigned long long>(f.fires));
+      if (crossover == 0 && f.usec < h.usec) crossover = n;
+    }
+    if (crossover != 0) {
+      std::printf("  crossover: offload wins from n=%d\n", crossover);
+    } else {
+      std::printf("  crossover: host wins across the swept range\n");
+    }
+  }
+
+  const Row& any = find(ops[0], coll::Mode::kOffload, sizes[0]);
+  std::printf("\nfirmware SRAM for offload machinery: %zu B per process "
+              "(counter + trigger\ntables) of the %d KB SeaStar SRAM; "
+              "node total in use: %zu B\n",
+              any.sram_footprint, 384, any.sram_used);
+  std::printf("every offload point completed with 0 host interrupts\n");
+
+  if (!o.json_path.empty()) {
+    std::string j = "{\n  \"bench\": \"coll_scaling\",\n";
+    j += sim::strf("  \"jobs\": %d,\n", o.jobs);
+    j += sim::strf("  \"allreduce_count\": %u,\n", kAllreduceCount);
+    j += sim::strf("  \"sram_footprint_bytes\": %zu,\n", any.sram_footprint);
+    j += sim::strf("  \"sram_budget_bytes\": %zu,\n",
+                   static_cast<std::size_t>(384 * 1024));
+    j += "  \"series\": [\n";
+    bool first = true;
+    for (const Op op : ops) {
+      for (const coll::Mode mode : modes) {
+        if (!first) j += ",\n";
+        first = false;
+        j += sim::strf("    {\"op\": \"%s\", \"mode\": \"%s\", \"points\": [",
+                       op_str(op), coll::mode_str(mode));
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+          const Row& r = find(op, mode, sizes[i]);
+          j += sim::strf("%s\n      {\"ranks\": %d, \"usec\": %.3f, "
+                         "\"interrupts\": %llu, \"nic_fires\": %llu}",
+                         i == 0 ? "" : ",", r.n, r.usec,
+                         static_cast<unsigned long long>(r.interrupts),
+                         static_cast<unsigned long long>(r.fires));
+        }
+        j += "\n    ]}";
+      }
+    }
+    j += "\n  ]\n}\n";
+    if (!harness::write_text_file(o.json_path, j)) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,743 @@
+#include "collective/collective.hpp"
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+
+#include "portals/triggered.hpp"
+
+namespace xt::coll {
+
+using sim::CoTask;
+
+namespace {
+
+/// Portal table index the collective match entries live on.
+constexpr std::uint32_t kPt = 0;
+
+// Match bits for the offload landing pads.  High nibble pattern keeps them
+// out of the way of application traffic on the same portal index.
+constexpr ptl::MatchBits kBarBase = 0xC0110000'00000010ull;  // + round
+constexpr ptl::MatchBits kUpBits = 0xC0110000'00000002ull;
+constexpr ptl::MatchBits kDownBits = 0xC0110000'00000003ull;
+constexpr ptl::MatchBits kBcastBits = 0xC0110000'00000004ull;
+constexpr ptl::MatchBits kRoundBase = 0xC0110000'00000100ull;  // + round
+
+// Host-mode tags: user range, clear of the mpi-internal 0xFFxx00 block.
+constexpr int kTagBar = 0x710000;  // + round
+constexpr int kTagUp = 0x720000;
+constexpr int kTagDown = 0x730000;
+constexpr int kTagArU = 0x740000;
+constexpr int kTagArD = 0x750000;
+constexpr int kTagBc = 0x760000;
+
+int ceil_log2(int n) {
+  int r = 0;
+  while ((1 << r) < n) ++r;
+  return r;
+}
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Host-CPU cost of summing `count` doubles (matches src/mpi/coll.cpp).
+sim::Time sum_cost(std::uint32_t count) {
+  return sim::Time::ns(2) * static_cast<std::int64_t>(count);
+}
+
+}  // namespace
+
+const char* mode_str(Mode m) {
+  return m == Mode::kHost ? "host" : "offload";
+}
+
+const char* barrier_algo_str(BarrierAlgo a) {
+  return a == BarrierAlgo::kDissemination ? "dissemination" : "tree";
+}
+
+const char* allreduce_algo_str(AllreduceAlgo a) {
+  return a == AllreduceAlgo::kRecursiveDoubling ? "recdbl" : "tree";
+}
+
+Coll::Coll(host::Process& proc, std::vector<ptl::ProcessId> ranks, int rank,
+           Config cfg)
+    : proc_(proc), ranks_(std::move(ranks)), rank_(rank), cfg_(cfg) {
+  assert(rank_ >= 0 && rank_ < size());
+  assert(cfg_.tree_arity >= 1);
+}
+
+Coll::~Coll() = default;
+
+CoTask<int> Coll::init() {
+  if (cfg_.mode == Mode::kHost) {
+    comm_ = std::make_unique<mpi::Comm>(proc_, ranks_, rank_, cfg_.flavor);
+    co_return co_await comm_->init();
+  }
+  co_return ptl::PTL_OK;
+}
+
+std::vector<int> Coll::tree_children(int v) const {
+  std::vector<int> out;
+  const int n = size();
+  for (int i = 0; i < cfg_.tree_arity; ++i) {
+    const int c = v * cfg_.tree_arity + 1 + i;
+    if (c < n) out.push_back(c);
+  }
+  return out;
+}
+
+std::uint64_t Coll::buf_slot(std::size_t slot, std::size_t bytes) {
+  if (slot >= bufs_.size()) bufs_.resize(slot + 1);
+  BufSlot& s = bufs_[slot];
+  if (bytes > s.cap) {
+    s.addr = proc_.alloc(bytes);
+    s.cap = bytes;
+  }
+  return s.addr;
+}
+
+void Coll::zero_buf(std::uint64_t addr, std::uint32_t len) {
+  const std::vector<std::byte> z(len);
+  proc_.write_bytes(addr, z);
+}
+
+std::size_t Coll::sram_footprint() const {
+  if (cfg_.mode == Mode::kHost) return 0;
+  const ss::Config& c = proc_.node().config();
+  return c.n_accel_counters * c.counter_bytes +
+         c.n_accel_triggers * c.trigger_bytes;
+}
+
+std::size_t Coll::triggers_armed() const {
+  if (cfg_.mode == Mode::kHost) return 0;
+  ptl::TriggeredOps* t = proc_.api().bridge().triggered();
+  return t == nullptr ? 0 : t->triggers_armed();
+}
+
+// ------------------------------------------------------ offload plumbing ----
+
+CoTask<int> Coll::attach_ct_me(ptl::MatchBits bits, std::uint64_t buf,
+                               std::uint32_t len, ptl::CtHandle ct) {
+  ptl::Api& api = proc_.api();
+  auto me = co_await api.PtlMEAttach(
+      kPt, ptl::ProcessId{ptl::kNidAny, ptl::kPidAny}, bits, /*ibits=*/0,
+      ptl::Unlink::kRetain, ptl::InsPos::kAfter);
+  if (me.rc != ptl::PTL_OK) co_return me.rc;
+  sched_.mes.push_back(me.value);
+  ptl::MdDesc md;
+  md.start = buf;
+  md.length = len;
+  // MANAGE_REMOTE pins every deposit at the initiator's remote offset
+  // (always 0 here) instead of a locally-advancing offset, so repeated
+  // atomic-sums accumulate in place.  No EQ: deposits complete entirely in
+  // the firmware (fw_complete) and only the counter records them.
+  md.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE |
+               ptl::PTL_MD_EVENT_CT_PUT;
+  md.ct = ct;
+  auto h = co_await api.PtlMDAttach(me.value, md, ptl::Unlink::kRetain);
+  if (h.rc != ptl::PTL_OK) co_return h.rc;
+  sched_.mds.push_back(h.value);
+  co_return ptl::PTL_OK;
+}
+
+CoTask<int> Coll::teardown() {
+  if (sched_.kind == OpKind::kNone) co_return ptl::PTL_OK;
+  ptl::Api& api = proc_.api();
+  // Best-effort: drop triggers first (they reference the MDs/counters),
+  // then the Portals objects, then the counters.
+  (void)co_await api.PtlCTResetTriggers();
+  for (const ptl::MdHandle md : sched_.mds) (void)co_await api.PtlMDUnlink(md);
+  for (const ptl::MeHandle me : sched_.mes) (void)co_await api.PtlMEUnlink(me);
+  for (const ptl::CtHandle ct : sched_.cts) (void)co_await api.PtlCTFree(ct);
+  sched_ = Sched{};
+  co_return ptl::PTL_OK;
+}
+
+CoTask<int> Coll::rearm() {
+  ptl::Api& api = proc_.api();
+  // Counters to zero BEFORE clearing fired flags: a trigger scan still in
+  // flight must not see old counter values against re-armed triggers.
+  for (const ptl::CtHandle ct : sched_.cts) {
+    const int rc = co_await api.PtlCTSet(ct, 0);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  for (const std::uint64_t addr : sched_.zero_addrs) {
+    zero_buf(addr, sched_.io_bytes);
+  }
+  const int rc = co_await api.PtlCTRearm();
+  if (rc != ptl::PTL_OK) co_return rc;
+  sched_.fresh = true;
+  co_return ptl::PTL_OK;
+}
+
+CoTask<int> Coll::rearm_iteration() {
+  if (cfg_.mode == Mode::kHost || size() == 1 ||
+      sched_.kind == OpKind::kNone || sched_.fresh) {
+    co_return ptl::PTL_OK;
+  }
+  co_return co_await rearm();
+}
+
+CoTask<int> Coll::run_armed(std::uint64_t buf) {
+  Sched& s = sched_;
+  ptl::Api& api = proc_.api();
+  // A consumed schedule is an iteration-protocol violation, not something
+  // to paper over: rearming here could zero away a peer's early
+  // next-iteration bumps (see the header).
+  if (!s.fresh) co_return ptl::PTL_FAIL;
+  s.fresh = false;
+
+  // Stage this rank's contribution.  The read-modify-write for the
+  // accumulating case is suspension-free, so it cannot interleave with a
+  // firmware deposit into the same buffer.
+  if (s.in_addr != 0 && buf != 0 && s.io_bytes != 0) {
+    const std::size_t count = s.io_bytes / 8;
+    std::vector<double> mine(count);
+    proc_.read_bytes(buf, std::as_writable_bytes(std::span(mine)));
+    if (s.accumulate_in) {
+      std::vector<double> acc(count);
+      proc_.read_bytes(s.in_addr, std::as_writable_bytes(std::span(acc)));
+      for (std::size_t i = 0; i < count; ++i) acc[i] += mine[i];
+      proc_.write_bytes(s.in_addr, std::as_bytes(std::span(acc)));
+    } else {
+      proc_.write_bytes(s.in_addr, std::as_bytes(std::span(mine)));
+    }
+  }
+
+  // Start: the single host touch.  Everything between here and the
+  // completion wait happens on NICs.
+  if (s.start_ct.valid()) {
+    const int rc = co_await api.PtlCTInc(s.start_ct, 1);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  auto w = co_await api.PtlCTWait(s.done_ct, s.done_thr);
+  if (w.rc != ptl::PTL_OK) co_return w.rc;
+
+  if (s.out_addr != 0 && buf != 0 && s.io_bytes != 0) {
+    std::vector<std::byte> res(s.io_bytes);
+    proc_.read_bytes(s.out_addr, res);
+    proc_.write_bytes(buf, res);
+  }
+  co_return ptl::PTL_OK;
+}
+
+// ------------------------------------------------------- offload arming ----
+
+// Dissemination barrier on one cumulative counter.  ct counts the rank's
+// own arrival (the start inc) plus every received round message, so the
+// round-k send to rank+2^k is due at ct >= k+1 and completion at
+// ct >= rounds+1.  A send therefore certifies "arrived and heard k rounds"
+// — the transitive closure that makes dissemination a barrier.
+CoTask<int> Coll::arm_bar_dissem() {
+  int rc = co_await teardown();
+  if (rc != ptl::PTL_OK) co_return rc;
+  ptl::Api& api = proc_.api();
+  const int n = size();
+  const int rounds = ceil_log2(n);
+
+  // One counter per round plus a start counter, chained by a progress
+  // token.  A single cumulative counter is NOT sound here: inbound
+  // receives alone could reach a send's threshold, launching this rank's
+  // round-k message before the rank itself arrived at the barrier.  With
+  // the chain, the round-k send fires only once the rank has started AND
+  // received the round-0..k-1 messages:
+  //
+  //   S >= 1        -> put round 0;  C_0 += 1   (token: round 0 sent)
+  //   C_{k-1} >= 2  -> put round k;  C_k += 1   (receive + token)
+  //   done:  C_{R-1} >= 2
+  //
+  // Each round's message carries its own match bits so its receive bumps
+  // only that round's counter.
+  auto start = co_await api.PtlCTAlloc();
+  if (start.rc != ptl::PTL_OK) co_return start.rc;
+  sched_.kind = OpKind::kBarDissem;
+  sched_.cts.push_back(start.value);
+  std::vector<ptl::CtHandle> round_ct;
+  for (int k = 0; k < rounds; ++k) {
+    auto c = co_await api.PtlCTAlloc();
+    if (c.rc != ptl::PTL_OK) co_return c.rc;
+    sched_.cts.push_back(c.value);
+    round_ct.push_back(c.value);
+  }
+  for (const ptl::CtHandle c : sched_.cts) {
+    rc = co_await api.PtlCTSet(c, 0);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+
+  const std::uint64_t pad = buf_slot(0, 8);
+  for (int k = 0; k < rounds; ++k) {
+    rc = co_await attach_ct_me(kBarBase + static_cast<std::uint64_t>(k), pad,
+                               8, round_ct[static_cast<std::size_t>(k)]);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+
+  ptl::MdDesc src;
+  src.start = pad;
+  src.length = 8;
+  auto smd = co_await api.PtlMDBind(src, ptl::Unlink::kRetain);
+  if (smd.rc != ptl::PTL_OK) co_return smd.rc;
+  sched_.mds.push_back(smd.value);
+
+  for (int k = 0; k < rounds; ++k) {
+    const int peer = (rank_ + (1 << k)) % n;
+    const ptl::CtHandle trig =
+        k == 0 ? start.value : round_ct[static_cast<std::size_t>(k) - 1];
+    const std::uint64_t thr = k == 0 ? 1 : 2;
+    rc = co_await api.PtlTriggeredPut(
+        smd.value, 0, /*len=*/0, ranks_[static_cast<std::size_t>(peer)], kPt,
+        0, kBarBase + static_cast<std::uint64_t>(k), 0, 0, trig, thr);
+    if (rc != ptl::PTL_OK) co_return rc;
+    rc = co_await api.PtlTriggeredCTInc(
+        trig, thr, round_ct[static_cast<std::size_t>(k)], 1);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  sched_.start_ct = start.value;
+  sched_.done_ct = round_ct.back();
+  sched_.done_thr = 2;
+  sched_.fresh = true;
+  co_return ptl::PTL_OK;
+}
+
+// k-ary tree barrier: arrivals fan in on ct_up (children's puts + the
+// rank's own start inc), the root's full ct_up releases the fan-out, and
+// ct_down forwards it.
+CoTask<int> Coll::arm_bar_tree() {
+  int rc = co_await teardown();
+  if (rc != ptl::PTL_OK) co_return rc;
+  ptl::Api& api = proc_.api();
+  const std::vector<int> kids = tree_children(rank_);
+  const std::uint64_t arrivals = kids.size() + 1;  // children + own start
+
+  auto up = co_await api.PtlCTAlloc();
+  if (up.rc != ptl::PTL_OK) co_return up.rc;
+  sched_.kind = OpKind::kBarTree;
+  sched_.cts.push_back(up.value);
+  auto dn = co_await api.PtlCTAlloc();
+  if (dn.rc != ptl::PTL_OK) co_return dn.rc;
+  sched_.cts.push_back(dn.value);
+  for (const ptl::CtHandle c : sched_.cts) {
+    rc = co_await api.PtlCTSet(c, 0);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+
+  const std::uint64_t pad = buf_slot(0, 8);
+  rc = co_await attach_ct_me(kUpBits, pad, 8, up.value);
+  if (rc != ptl::PTL_OK) co_return rc;
+  rc = co_await attach_ct_me(kDownBits, pad, 8, dn.value);
+  if (rc != ptl::PTL_OK) co_return rc;
+
+  ptl::MdDesc src;
+  src.start = pad;
+  src.length = 8;
+  auto smd = co_await api.PtlMDBind(src, ptl::Unlink::kRetain);
+  if (smd.rc != ptl::PTL_OK) co_return smd.rc;
+  sched_.mds.push_back(smd.value);
+
+  if (rank_ == 0) {
+    for (const int c : kids) {
+      rc = co_await api.PtlTriggeredPut(
+          smd.value, 0, 0, ranks_[static_cast<std::size_t>(c)], kPt, 0,
+          kDownBits, 0, 0, up.value, arrivals);
+      if (rc != ptl::PTL_OK) co_return rc;
+    }
+    sched_.done_ct = up.value;
+    sched_.done_thr = arrivals;
+  } else {
+    const int parent = tree_parent(rank_);
+    rc = co_await api.PtlTriggeredPut(
+        smd.value, 0, 0, ranks_[static_cast<std::size_t>(parent)], kPt, 0,
+        kUpBits, 0, 0, up.value, arrivals);
+    if (rc != ptl::PTL_OK) co_return rc;
+    for (const int c : kids) {
+      rc = co_await api.PtlTriggeredPut(
+          smd.value, 0, 0, ranks_[static_cast<std::size_t>(c)], kPt, 0,
+          kDownBits, 0, 0, dn.value, 1);
+      if (rc != ptl::PTL_OK) co_return rc;
+    }
+    sched_.done_ct = dn.value;
+    sched_.done_thr = 1;
+  }
+  sched_.start_ct = up.value;
+  sched_.fresh = true;
+  co_return ptl::PTL_OK;
+}
+
+// Recursive-doubling allreduce: per-round buffer B_k accumulates exactly
+// two atomic-sum deposits — the round-k partner's partial and this rank's
+// own (a triggered self-put over the network loopback).  ct_k hitting 2
+// certifies B_k complete and fires both round-k+1 puts.
+CoTask<int> Coll::arm_ar_recdbl(std::uint32_t count) {
+  int rc = co_await teardown();
+  if (rc != ptl::PTL_OK) co_return rc;
+  ptl::Api& api = proc_.api();
+  const int n = size();
+  const int rounds = ceil_log2(n);
+  const std::uint32_t bytes = count * 8;
+
+  sched_.kind = OpKind::kArRecDbl;
+  sched_.io_bytes = bytes;
+
+  auto cts = co_await api.PtlCTAlloc();  // start counter
+  if (cts.rc != ptl::PTL_OK) co_return cts.rc;
+  sched_.cts.push_back(cts.value);
+  std::vector<ptl::CtHandle> round_ct;
+  for (int k = 0; k < rounds; ++k) {
+    auto c = co_await api.PtlCTAlloc();
+    if (c.rc != ptl::PTL_OK) co_return c.rc;
+    sched_.cts.push_back(c.value);
+    round_ct.push_back(c.value);
+  }
+  for (const ptl::CtHandle c : sched_.cts) {
+    rc = co_await api.PtlCTSet(c, 0);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+
+  const std::uint64_t b_in = buf_slot(1, bytes);
+  std::vector<std::uint64_t> b;
+  for (int k = 0; k < rounds; ++k) {
+    const std::uint64_t addr = buf_slot(2 + static_cast<std::size_t>(k),
+                                        bytes);
+    b.push_back(addr);
+    zero_buf(addr, bytes);
+    sched_.zero_addrs.push_back(addr);
+    rc = co_await attach_ct_me(kRoundBase + static_cast<std::uint64_t>(k),
+                               addr, bytes, round_ct[static_cast<std::size_t>(k)]);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+
+  // Source MDs: the input buffer feeds round 0, B_k feeds round k+1.
+  std::vector<ptl::MdHandle> src_md;
+  {
+    ptl::MdDesc d;
+    d.start = b_in;
+    d.length = bytes;
+    auto h = co_await api.PtlMDBind(d, ptl::Unlink::kRetain);
+    if (h.rc != ptl::PTL_OK) co_return h.rc;
+    sched_.mds.push_back(h.value);
+    src_md.push_back(h.value);
+  }
+  for (int k = 0; k + 1 < rounds; ++k) {
+    ptl::MdDesc d;
+    d.start = b[static_cast<std::size_t>(k)];
+    d.length = bytes;
+    auto h = co_await api.PtlMDBind(d, ptl::Unlink::kRetain);
+    if (h.rc != ptl::PTL_OK) co_return h.rc;
+    sched_.mds.push_back(h.value);
+    src_md.push_back(h.value);
+  }
+
+  for (int k = 0; k < rounds; ++k) {
+    const int partner = rank_ ^ (1 << k);
+    const ptl::MatchBits bits = kRoundBase + static_cast<std::uint64_t>(k);
+    const ptl::CtHandle trig = k == 0 ? cts.value : round_ct[static_cast<std::size_t>(k - 1)];
+    const std::uint64_t thr = k == 0 ? 1 : 2;
+    const ptl::MdHandle md = src_md[static_cast<std::size_t>(k)];
+    rc = co_await api.PtlTriggeredAtomicSum(
+        md, 0, bytes, ranks_[static_cast<std::size_t>(partner)], kPt, 0,
+        bits, 0, 0, trig, thr);
+    if (rc != ptl::PTL_OK) co_return rc;
+    rc = co_await api.PtlTriggeredAtomicSum(
+        md, 0, bytes, ranks_[static_cast<std::size_t>(rank_)], kPt, 0, bits,
+        0, 0, trig, thr);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+
+  sched_.start_ct = cts.value;
+  sched_.done_ct = round_ct.back();
+  sched_.done_thr = 2;
+  sched_.in_addr = b_in;
+  sched_.out_addr = b.back();
+  sched_.fresh = true;
+  co_return ptl::PTL_OK;
+}
+
+// k-ary tree allreduce: atomic-sum fan-in into B_up (children's triggered
+// partials + the host's own contribution folded in at start), plain-put
+// fan-out of the root's full sum through B_down.
+CoTask<int> Coll::arm_ar_tree(std::uint32_t count) {
+  int rc = co_await teardown();
+  if (rc != ptl::PTL_OK) co_return rc;
+  ptl::Api& api = proc_.api();
+  const std::vector<int> kids = tree_children(rank_);
+  const std::uint64_t arrivals = kids.size() + 1;
+  const std::uint32_t bytes = count * 8;
+
+  sched_.kind = OpKind::kArTree;
+  sched_.io_bytes = bytes;
+
+  auto up = co_await api.PtlCTAlloc();
+  if (up.rc != ptl::PTL_OK) co_return up.rc;
+  sched_.cts.push_back(up.value);
+  auto dn = co_await api.PtlCTAlloc();
+  if (dn.rc != ptl::PTL_OK) co_return dn.rc;
+  sched_.cts.push_back(dn.value);
+  for (const ptl::CtHandle c : sched_.cts) {
+    rc = co_await api.PtlCTSet(c, 0);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+
+  const std::uint64_t b_up = buf_slot(1, bytes);
+  const std::uint64_t b_dn = buf_slot(2, bytes);
+  zero_buf(b_up, bytes);
+  sched_.zero_addrs.push_back(b_up);
+  rc = co_await attach_ct_me(kUpBits, b_up, bytes, up.value);
+  if (rc != ptl::PTL_OK) co_return rc;
+  rc = co_await attach_ct_me(kDownBits, b_dn, bytes, dn.value);
+  if (rc != ptl::PTL_OK) co_return rc;
+
+  ptl::MdHandle md_up, md_dn;
+  {
+    ptl::MdDesc d;
+    d.start = b_up;
+    d.length = bytes;
+    auto h = co_await api.PtlMDBind(d, ptl::Unlink::kRetain);
+    if (h.rc != ptl::PTL_OK) co_return h.rc;
+    sched_.mds.push_back(h.value);
+    md_up = h.value;
+  }
+  {
+    ptl::MdDesc d;
+    d.start = b_dn;
+    d.length = bytes;
+    auto h = co_await api.PtlMDBind(d, ptl::Unlink::kRetain);
+    if (h.rc != ptl::PTL_OK) co_return h.rc;
+    sched_.mds.push_back(h.value);
+    md_dn = h.value;
+  }
+
+  if (rank_ == 0) {
+    for (const int c : kids) {
+      rc = co_await api.PtlTriggeredPut(
+          md_up, 0, bytes, ranks_[static_cast<std::size_t>(c)], kPt, 0,
+          kDownBits, 0, 0, up.value, arrivals);
+      if (rc != ptl::PTL_OK) co_return rc;
+    }
+    sched_.done_ct = up.value;
+    sched_.done_thr = arrivals;
+    sched_.out_addr = b_up;
+  } else {
+    const int parent = tree_parent(rank_);
+    rc = co_await api.PtlTriggeredAtomicSum(
+        md_up, 0, bytes, ranks_[static_cast<std::size_t>(parent)], kPt, 0,
+        kUpBits, 0, 0, up.value, arrivals);
+    if (rc != ptl::PTL_OK) co_return rc;
+    for (const int c : kids) {
+      rc = co_await api.PtlTriggeredPut(
+          md_dn, 0, bytes, ranks_[static_cast<std::size_t>(c)], kPt, 0,
+          kDownBits, 0, 0, dn.value, 1);
+      if (rc != ptl::PTL_OK) co_return rc;
+    }
+    sched_.done_ct = dn.value;
+    sched_.done_thr = 1;
+    sched_.out_addr = b_dn;
+  }
+  sched_.start_ct = up.value;
+  sched_.in_addr = b_up;
+  sched_.accumulate_in = true;
+  sched_.fresh = true;
+  co_return ptl::PTL_OK;
+}
+
+// k-ary tree bcast rooted at `root` (virtual ranks rotate the tree).
+CoTask<int> Coll::arm_bcast(std::uint32_t len, int root) {
+  int rc = co_await teardown();
+  if (rc != ptl::PTL_OK) co_return rc;
+  ptl::Api& api = proc_.api();
+  const int n = size();
+  const int v = (rank_ - root + n) % n;
+
+  sched_.kind = OpKind::kBcast;
+  sched_.io_bytes = len;
+  sched_.root = root;
+
+  auto ct = co_await api.PtlCTAlloc();
+  if (ct.rc != ptl::PTL_OK) co_return ct.rc;
+  sched_.cts.push_back(ct.value);
+  rc = co_await api.PtlCTSet(ct.value, 0);
+  if (rc != ptl::PTL_OK) co_return rc;
+
+  const std::uint64_t b = buf_slot(1, len);
+  rc = co_await attach_ct_me(kBcastBits, b, len, ct.value);
+  if (rc != ptl::PTL_OK) co_return rc;
+
+  ptl::MdDesc d;
+  d.start = b;
+  d.length = len;
+  auto smd = co_await api.PtlMDBind(d, ptl::Unlink::kRetain);
+  if (smd.rc != ptl::PTL_OK) co_return smd.rc;
+  sched_.mds.push_back(smd.value);
+
+  for (const int vc : tree_children(v)) {
+    const int child = (vc + root) % n;
+    rc = co_await api.PtlTriggeredPut(
+        smd.value, 0, len, ranks_[static_cast<std::size_t>(child)], kPt, 0,
+        kBcastBits, 0, 0, ct.value, 1);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  sched_.done_ct = ct.value;
+  sched_.done_thr = 1;
+  if (v == 0) {
+    sched_.in_addr = b;
+    sched_.start_ct = ct.value;
+  }
+  sched_.out_addr = b;
+  sched_.fresh = true;
+  co_return ptl::PTL_OK;
+}
+
+// ----------------------------------------------------------- preparing ----
+
+CoTask<int> Coll::prepare_barrier(BarrierAlgo algo) {
+  if (cfg_.mode == Mode::kHost || size() == 1) co_return ptl::PTL_OK;
+  const OpKind want = algo == BarrierAlgo::kDissemination
+                          ? OpKind::kBarDissem
+                          : OpKind::kBarTree;
+  if (sched_.kind == want) co_return ptl::PTL_OK;
+  if (want == OpKind::kBarDissem) co_return co_await arm_bar_dissem();
+  co_return co_await arm_bar_tree();
+}
+
+CoTask<int> Coll::prepare_allreduce(AllreduceAlgo algo, std::uint32_t count) {
+  if (cfg_.mode == Mode::kHost || size() == 1) co_return ptl::PTL_OK;
+  const bool recdbl =
+      algo == AllreduceAlgo::kRecursiveDoubling && is_pow2(size());
+  const OpKind want = recdbl ? OpKind::kArRecDbl : OpKind::kArTree;
+  if (sched_.kind == want && sched_.io_bytes == count * 8) {
+    co_return ptl::PTL_OK;
+  }
+  if (recdbl) co_return co_await arm_ar_recdbl(count);
+  co_return co_await arm_ar_tree(count);
+}
+
+CoTask<int> Coll::prepare_bcast(std::uint32_t len, int root) {
+  if (cfg_.mode == Mode::kHost || size() == 1) co_return ptl::PTL_OK;
+  if (sched_.kind == OpKind::kBcast && sched_.io_bytes == len &&
+      sched_.root == root) {
+    co_return ptl::PTL_OK;
+  }
+  co_return co_await arm_bcast(len, root);
+}
+
+// ----------------------------------------------------------- operations ----
+
+CoTask<int> Coll::barrier(BarrierAlgo algo) {
+  if (size() == 1) co_return ptl::PTL_OK;
+  if (cfg_.mode == Mode::kHost) {
+    if (algo == BarrierAlgo::kDissemination) {
+      co_return co_await host_barrier_dissem();
+    }
+    co_return co_await host_barrier_tree();
+  }
+  const int rc = co_await prepare_barrier(algo);
+  if (rc != ptl::PTL_OK) co_return rc;
+  co_return co_await run_armed(0);
+}
+
+CoTask<int> Coll::allreduce(AllreduceAlgo algo, std::uint64_t buf,
+                            std::uint32_t count) {
+  if (size() == 1) co_return ptl::PTL_OK;
+  if (cfg_.mode == Mode::kHost) {
+    if (algo == AllreduceAlgo::kRecursiveDoubling && is_pow2(size())) {
+      // The mpi layer's allreduce_sum runs recursive doubling for
+      // power-of-two communicators.
+      co_return co_await comm_->allreduce_sum(buf, count);
+    }
+    co_return co_await host_allreduce_tree(buf, count);
+  }
+  const int rc = co_await prepare_allreduce(algo, count);
+  if (rc != ptl::PTL_OK) co_return rc;
+  co_return co_await run_armed(buf);
+}
+
+CoTask<int> Coll::bcast(std::uint64_t buf, std::uint32_t len, int root) {
+  if (size() == 1) co_return ptl::PTL_OK;
+  if (cfg_.mode == Mode::kHost) co_return co_await host_bcast_tree(buf, len, root);
+  const int rc = co_await prepare_bcast(len, root);
+  if (rc != ptl::PTL_OK) co_return rc;
+  co_return co_await run_armed(buf);
+}
+
+// ------------------------------------------------------------ host mode ----
+
+CoTask<int> Coll::host_barrier_dissem() {
+  const int n = size();
+  const std::uint64_t stok = buf_slot(0, 16);
+  const std::uint64_t rtok = stok + 8;
+  for (int k = 0; (1 << k) < n; ++k) {
+    const int dist = 1 << k;
+    const int dst = (rank_ + dist) % n;
+    const int src = (rank_ - dist + n) % n;
+    const int rc = co_await comm_->sendrecv(stok, 8, dst, kTagBar + k, rtok,
+                                            8, src, kTagBar + k);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  co_return ptl::PTL_OK;
+}
+
+CoTask<int> Coll::host_barrier_tree() {
+  const std::uint64_t stok = buf_slot(0, 16);
+  const std::uint64_t rtok = stok + 8;
+  const std::vector<int> kids = tree_children(rank_);
+  for (const int c : kids) {
+    const int rc = co_await comm_->recv(rtok, 8, c, kTagUp);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  if (rank_ != 0) {
+    const int parent = tree_parent(rank_);
+    int rc = co_await comm_->send(stok, 8, parent, kTagUp);
+    if (rc != ptl::PTL_OK) co_return rc;
+    rc = co_await comm_->recv(rtok, 8, parent, kTagDown);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  for (const int c : kids) {
+    const int rc = co_await comm_->send(stok, 8, c, kTagDown);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  co_return ptl::PTL_OK;
+}
+
+CoTask<int> Coll::host_allreduce_tree(std::uint64_t buf,
+                                      std::uint32_t count) {
+  const std::uint32_t bytes = count * 8;
+  const std::uint64_t tmp = buf_slot(1, bytes);
+  std::vector<double> mine(count), theirs(count);
+  proc_.read_bytes(buf, std::as_writable_bytes(std::span(mine)));
+  for (const int c : tree_children(rank_)) {
+    const int rc = co_await comm_->recv(tmp, bytes, c, kTagArU);
+    if (rc != ptl::PTL_OK) co_return rc;
+    proc_.read_bytes(tmp, std::as_writable_bytes(std::span(theirs)));
+    co_await proc_.node().cpu().run(sum_cost(count));
+    for (std::uint32_t i = 0; i < count; ++i) mine[i] += theirs[i];
+  }
+  proc_.write_bytes(buf, std::as_bytes(std::span(mine)));
+  if (rank_ != 0) {
+    const int parent = tree_parent(rank_);
+    int rc = co_await comm_->send(buf, bytes, parent, kTagArU);
+    if (rc != ptl::PTL_OK) co_return rc;
+    rc = co_await comm_->recv(buf, bytes, parent, kTagArD);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  for (const int c : tree_children(rank_)) {
+    const int rc = co_await comm_->send(buf, bytes, c, kTagArD);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  co_return ptl::PTL_OK;
+}
+
+CoTask<int> Coll::host_bcast_tree(std::uint64_t buf, std::uint32_t len,
+                                  int root) {
+  const int n = size();
+  const int v = (rank_ - root + n) % n;
+  if (v != 0) {
+    const int parent = (tree_parent(v) + root) % n;
+    const int rc = co_await comm_->recv(buf, len, parent, kTagBc);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  for (const int vc : tree_children(v)) {
+    const int child = (vc + root) % n;
+    const int rc = co_await comm_->send(buf, len, child, kTagBc);
+    if (rc != ptl::PTL_OK) co_return rc;
+  }
+  co_return ptl::PTL_OK;
+}
+
+}  // namespace xt::coll

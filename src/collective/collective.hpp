@@ -1,0 +1,208 @@
+#pragma once
+
+// NIC-offloaded collective engine.
+//
+// The paper's accelerated mode (§3.3) exists to take the host out of the
+// data path: matching moves into the SeaStar firmware and interrupts
+// disappear.  This subsystem takes the next step the Portals community
+// took after the XT3 — Portals-4-style counting events and triggered
+// operations (portals/triggered.hpp) — and builds collectives that run
+// *entirely on the NIC* between a start and a completion touch:
+//
+//   * the host arms a schedule once: match entries whose deposits bump
+//     firmware counters, plus triggered puts/atomic-sums that launch when
+//     a counter reaches its threshold;
+//   * one PtlCTInc starts the collective; every subsequent hop is a
+//     firmware counter reaching threshold and firing the next message,
+//     with zero host interrupts and zero host cycles;
+//   * the host learns of completion by PtlCTWait on the final counter
+//     (a user-space poll/suspend, not an interrupt).
+//
+// Each collective comes in two algorithms and two modes:
+//
+//   barrier    — dissemination (one counter, cumulative thresholds: the
+//                round-k send fires at ct >= k+1 = own arrival + k
+//                receives) and k-ary tree (fan-in counter at the parent,
+//                fan-out trigger on the way down);
+//   allreduce  — recursive doubling (per-round accumulation buffers with
+//                threshold-2 counters fed by the partner's and the rank's
+//                own triggered atomic-sum puts — the self-put rides the
+//                network loopback path) and k-ary tree (atomic fan-in to
+//                the root's buffer, plain-put fan-out);
+//   bcast      — k-ary tree forwarding (arrival bumps the counter that
+//                triggers the sends to the children).
+//
+// Mode::kHost runs the same algorithms over the src/mpi point-to-point
+// layer on generic-mode processes (the paper's measured configuration);
+// Mode::kOffload requires accelerated-mode processes (spawn_accel_process)
+// and arms the firmware schedule described above.  bench/coll_scaling.cpp
+// sweeps both to locate the host-vs-offload crossover.
+//
+// Iteration protocol (bench/tests): arm with prepare_*(), run the
+// collective on every rank, then rearm_iteration() on every rank — and
+// only start the next iteration once every rank has rearmed.  The two
+// global quiescence points matter: a rank that rearms while a peer is
+// still mid-iteration would zero away counter bumps belonging to the
+// next iteration (messages from fast ranks that already started it),
+// losing them and deadlocking the schedule.  An offload operation on a
+// consumed schedule returns PTL_FAIL rather than rearming behind the
+// caller's back.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "host/node.hpp"
+#include "mpi/mpi.hpp"
+#include "portals/api.hpp"
+#include "sim/task.hpp"
+
+namespace xt::coll {
+
+enum class Mode : std::uint8_t {
+  kHost,     // algorithms over src/mpi point-to-point (host CPU drives hops)
+  kOffload,  // firmware counters + triggered ops (NIC drives hops)
+};
+
+enum class BarrierAlgo : std::uint8_t { kDissemination, kTree };
+enum class AllreduceAlgo : std::uint8_t { kRecursiveDoubling, kTree };
+
+const char* mode_str(Mode m);
+const char* barrier_algo_str(BarrierAlgo a);
+const char* allreduce_algo_str(AllreduceAlgo a);
+
+struct Config {
+  Mode mode = Mode::kHost;
+  /// Fan-out of the k-ary tree algorithms.
+  int tree_arity = 4;
+  /// Host-mode point-to-point protocol constants.
+  mpi::Flavor flavor = mpi::Flavor::mpich1();
+};
+
+/// One rank's view of a communicator: `ranks[i]` is the Portals id of rank
+/// i, and `proc` must be the process behind `ranks[rank]`.
+class Coll {
+ public:
+  Coll(host::Process& proc, std::vector<ptl::ProcessId> ranks, int rank,
+       Config cfg = {});
+  ~Coll();
+
+  /// Host mode: brings up the MPI layer (must complete on every rank
+  /// before traffic flows).  Offload mode: nothing to do yet.
+  sim::CoTask<int> init();
+
+  // Arms the offload schedule (counters, match entries, triggered ops) for
+  // one collective shape.  Must complete on EVERY rank before any rank
+  // starts the operation — a triggered message arriving at a rank that has
+  // not posted its match entries yet would be dropped.  No-ops in host
+  // mode and when the wanted schedule is already armed; switching shapes
+  // tears the old schedule down (the firmware trigger table is a scarce
+  // SRAM resource).
+  sim::CoTask<int> prepare_barrier(BarrierAlgo algo);
+  sim::CoTask<int> prepare_allreduce(AllreduceAlgo algo, std::uint32_t count);
+  sim::CoTask<int> prepare_bcast(std::uint32_t len, int root);
+
+  /// Re-arms a consumed offload schedule for another iteration: counters
+  /// to zero, accumulation buffers cleared, trigger fired-flags reset.
+  /// Must run on every rank after ALL ranks completed the previous
+  /// iteration and before ANY rank starts the next (see the iteration
+  /// protocol above).  No-op in host mode or when the schedule is fresh.
+  sim::CoTask<int> rearm_iteration();
+
+  /// Collective operations.  `buf` is a virtual address in the owning
+  /// process; allreduce sums `count` doubles in place; bcast moves `len`
+  /// bytes from `root`'s buf into everyone else's.  Recursive doubling
+  /// requires a power-of-two communicator and falls back to the tree
+  /// algorithm otherwise.
+  sim::CoTask<int> barrier(BarrierAlgo algo);
+  sim::CoTask<int> allreduce(AllreduceAlgo algo, std::uint64_t buf,
+                             std::uint32_t count);
+  sim::CoTask<int> bcast(std::uint64_t buf, std::uint32_t len, int root);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(ranks_.size()); }
+  Mode mode() const { return cfg_.mode; }
+  host::Process& process() { return proc_; }
+  /// Host-mode point-to-point layer (nullptr in offload mode).
+  mpi::Comm* comm() { return comm_.get(); }
+
+  /// NIC SRAM the offload machinery occupies for this process (the
+  /// firmware's counter + trigger tables, reserved at boot); 0 in host
+  /// mode.  Compare against ss::Config::sram_bytes (384 KB).
+  std::size_t sram_footprint() const;
+  /// Armed triggered operations (offload; firmware table occupancy).
+  std::size_t triggers_armed() const;
+
+ private:
+  enum class OpKind : std::uint8_t {
+    kNone,
+    kBarDissem,
+    kBarTree,
+    kArRecDbl,
+    kArTree,
+    kBcast,
+  };
+
+  /// The armed offload schedule: every firmware/Portals resource it holds
+  /// plus the start/completion protocol run_armed() drives.
+  struct Sched {
+    OpKind kind = OpKind::kNone;
+    std::uint32_t io_bytes = 0;  // payload bytes moved per operation
+    int root = 0;                // bcast root the schedule was built for
+    std::vector<ptl::CtHandle> cts;
+    std::vector<ptl::MeHandle> mes;
+    std::vector<ptl::MdHandle> mds;
+    ptl::CtHandle start_ct{};  // invalid: this rank only reacts
+    ptl::CtHandle done_ct{};
+    std::uint64_t done_thr = 0;
+    std::uint64_t in_addr = 0;   // run() stages input here (0: none)
+    std::uint64_t out_addr = 0;  // result read back from here (0: none)
+    bool accumulate_in = false;  // input is summed into in_addr (f64)
+    std::vector<std::uint64_t> zero_addrs;  // zeroed on (re)arm
+    bool fresh = false;  // armed/rearmed and not consumed by a run yet
+  };
+
+  // k-ary tree helpers (virtual ranks; root is vrank 0).
+  int tree_parent(int v) const { return (v - 1) / cfg_.tree_arity; }
+  std::vector<int> tree_children(int v) const;
+
+  /// Grow-only cached process-memory buffers (the simulated address space
+  /// never frees, so per-arm allocations would leak address space).
+  std::uint64_t buf_slot(std::size_t slot, std::size_t bytes);
+  void zero_buf(std::uint64_t addr, std::uint32_t len);
+
+  sim::CoTask<int> attach_ct_me(ptl::MatchBits bits, std::uint64_t buf,
+                                std::uint32_t len, ptl::CtHandle ct);
+  sim::CoTask<int> teardown();
+  sim::CoTask<int> rearm();
+  sim::CoTask<int> run_armed(std::uint64_t buf);
+
+  sim::CoTask<int> arm_bar_dissem();
+  sim::CoTask<int> arm_bar_tree();
+  sim::CoTask<int> arm_ar_recdbl(std::uint32_t count);
+  sim::CoTask<int> arm_ar_tree(std::uint32_t count);
+  sim::CoTask<int> arm_bcast(std::uint32_t len, int root);
+
+  sim::CoTask<int> host_barrier_dissem();
+  sim::CoTask<int> host_barrier_tree();
+  sim::CoTask<int> host_allreduce_tree(std::uint64_t buf,
+                                       std::uint32_t count);
+  sim::CoTask<int> host_bcast_tree(std::uint64_t buf, std::uint32_t len,
+                                   int root);
+
+  host::Process& proc_;
+  std::vector<ptl::ProcessId> ranks_;
+  int rank_;
+  Config cfg_;
+
+  std::unique_ptr<mpi::Comm> comm_;  // host mode only
+  Sched sched_;
+
+  struct BufSlot {
+    std::uint64_t addr = 0;
+    std::size_t cap = 0;
+  };
+  std::vector<BufSlot> bufs_;
+};
+
+}  // namespace xt::coll

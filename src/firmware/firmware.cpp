@@ -71,6 +71,21 @@ FwProcId Firmware::register_process(const ProcessOptions& opts) {
   }
   p.eq = std::make_unique<FwEventQueue>(eng_, cfg_.fw_eq_depth);
   p.result_waiters = std::make_unique<sim::WaitQueue>(eng_);
+  if (opts.accelerated) {
+    // Counting events + trigger table live in SRAM and only exist for
+    // accelerated processes (the generic path has no firmware matching to
+    // hang them off).
+    p.ct_sram = nic_.sram().reserve(
+        sim::strf("proc%zu counters+triggers", procs_.size()),
+        cfg_.n_accel_counters * cfg_.counter_bytes +
+            cfg_.n_accel_triggers * cfg_.trigger_bytes);
+    p.cts.assign(cfg_.n_accel_counters, 0);
+    p.ct_live.assign(cfg_.n_accel_counters, false);
+    // Reserved once: trigger_scan suspends mid-vector, so the table must
+    // never reallocate under it.
+    p.triggers.reserve(cfg_.n_accel_triggers);
+    p.ct_waiters = std::make_unique<sim::WaitQueue>(eng_);
+  }
   procs_.push_back(std::move(p));
   return static_cast<FwProcId>(procs_.size() - 1);
 }
@@ -180,6 +195,11 @@ sim::CoTask<void> Firmware::handle_command(FwProcId proc, Command cmd) {
     co_await ppc_.use(cfg_.fw_event_post);
     ++counters_.releases;
     free_rx_pending(proc, rel->pending);
+  } else if (auto* ct = std::get_if<CtCommand>(&cmd)) {
+    // The host touch that starts an offloaded collective: one mailbox
+    // write, then the trigger table takes over.
+    co_await ppc_.use(cfg_.fw_ct_inc);
+    ct_add(proc, ct->ct, ct->inc);
   } else if (auto* q = std::get_if<QueryCommand>(&cmd)) {
     co_await ppc_.use(cfg_.fw_event_post);
     std::uint64_t value = 0;
@@ -224,6 +244,152 @@ sim::CoTask<std::uint64_t> Firmware::host_query(FwProcId proc,
     }
     co_await p.result_waiters->wait();
   }
+}
+
+CtId Firmware::host_ct_alloc(FwProcId proc) {
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  for (std::size_t i = 0; i < p.cts.size(); ++i) {
+    if (!p.ct_live[i]) {
+      p.ct_live[i] = true;
+      p.cts[i] = 0;
+      return static_cast<CtId>(i);
+    }
+  }
+  return kNoCt;
+}
+
+void Firmware::host_ct_free(FwProcId proc, CtId ct) {
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  assert(ct < p.ct_live.size());
+  p.ct_live[ct] = false;
+  p.cts[ct] = 0;
+}
+
+std::uint64_t Firmware::host_ct_get(FwProcId proc, CtId ct) const {
+  return procs_[static_cast<std::size_t>(proc)].cts[ct];
+}
+
+void Firmware::host_ct_set(FwProcId proc, CtId ct, std::uint64_t value) {
+  procs_[static_cast<std::size_t>(proc)].cts[ct] = value;
+}
+
+bool Firmware::host_add_trigger(FwProcId proc, TriggeredOp op) {
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  // Capacity == n_accel_triggers was reserved at boot; refusing beyond it
+  // both models the SRAM table limit and guarantees a suspended
+  // trigger_scan never sees the vector reallocate.
+  if (p.triggers.size() >= cfg_.n_accel_triggers) return false;
+  p.triggers.push_back(std::move(op));
+  return true;
+}
+
+void Firmware::host_rearm_triggers(FwProcId proc) {
+  for (auto& t : procs_[static_cast<std::size_t>(proc)].triggers) {
+    t.fired = false;
+  }
+}
+
+void Firmware::host_reset_triggers(FwProcId proc) {
+  procs_[static_cast<std::size_t>(proc)].triggers.clear();
+}
+
+std::size_t Firmware::triggers_armed(FwProcId proc) const {
+  const auto& p = procs_[static_cast<std::size_t>(proc)];
+  std::size_t n = 0;
+  for (const auto& t : p.triggers) {
+    if (!t.fired) ++n;
+  }
+  return n;
+}
+
+sim::WaitQueue& Firmware::ct_waiters(FwProcId proc) {
+  return *procs_[static_cast<std::size_t>(proc)].ct_waiters;
+}
+
+void Firmware::ct_add(FwProcId proc, CtId ct, std::uint64_t inc) {
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  assert(ct < p.cts.size());
+  p.cts[ct] += inc;
+  ++counters_.ct_increments;
+  p.ct_waiters->notify_all();
+  if (p.trigger_scan_running) return;  // the live scan will re-pass
+  for (const auto& t : p.triggers) {
+    if (!t.fired && t.trig_ct == ct && p.cts[ct] >= t.threshold) {
+      p.trigger_scan_running = true;
+      sim::spawn(trigger_scan(proc));
+      return;
+    }
+  }
+}
+
+sim::CoTask<void> Firmware::trigger_scan(FwProcId proc) {
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  // Passes repeat until one fires nothing.  A zero-fire pass runs without
+  // suspending, so no counter can change under it — which makes "nothing
+  // fired" a sound quiescence test.  Increments that land while a firing
+  // pass is suspended are picked up by the next pass (ct_add sees
+  // trigger_scan_running and does not spawn a second scan).
+  for (;;) {
+    bool fired_any = false;
+    for (std::size_t i = 0; i < p.triggers.size(); ++i) {
+      // Index-based access: entries armed during a suspension are fine
+      // (capacity is pre-reserved, the vector never moves).
+      if (p.triggers[i].fired) continue;
+      const CtId ct = p.triggers[i].trig_ct;
+      if (ct == kNoCt || p.cts[ct] < p.triggers[i].threshold) continue;
+      p.triggers[i].fired = true;
+      fired_any = true;
+      if (p.triggers[i].kind == TriggeredOp::Kind::kCtInc) {
+        // Counter chaining is a pure SRAM update folded into the scan.
+        co_await ppc_.use(cfg_.fw_ct_inc);
+        ct_add(proc, p.triggers[i].target_ct, p.triggers[i].inc);
+      } else {
+        co_await fire_triggered_put(proc, i);
+      }
+      if (panicked_) break;
+    }
+    if (!fired_any || panicked_) break;
+  }
+  p.trigger_scan_running = false;
+}
+
+sim::CoTask<void> Firmware::fire_triggered_put(FwProcId proc,
+                                               std::size_t idx) {
+  auto& p = procs_[static_cast<std::size_t>(proc)];
+  co_await ppc_.use(cfg_.fw_trigger_fire);
+  if (panicked_) co_return;
+  // Coroutine-frame copies (the table is stable, but the transmit below
+  // suspends for a long time and rearm may clear fields meanwhile).
+  const net::NodeId dst = p.triggers[idx].dst;
+  const ptl::WireHeader hdr = p.triggers[idx].hdr;
+  const ss::PayloadReader reader = p.triggers[idx].reader;
+  const std::uint32_t payload_bytes = p.triggers[idx].payload_bytes;
+  const std::uint32_t n_dma_cmds = p.triggers[idx].n_dma_cmds;
+
+  auto msg = std::make_shared<net::Message>();
+  msg->src = nic_.node();
+  msg->dst = dst;
+  // The payload read happens NOW — at fire time, not arm time — so a
+  // triggered put of an accumulation buffer ships the values deposited
+  // since arming.  Small payloads ride inline in the header packet (§6).
+  std::vector<std::byte> inline_bytes;
+  if (payload_bytes > 0 && payload_bytes <= cfg_.inline_payload_max &&
+      reader) {
+    inline_bytes.resize(payload_bytes);
+    reader(0, inline_bytes);
+  }
+  const auto pkt = ptl::make_header_packet(hdr, inline_bytes);
+  msg->header.assign(pkt.begin(), pkt.end());
+  if (cfg_.gobackn) {
+    TxStream& stream = tx_streams_[msg->dst];
+    patch_stream_seq(msg->header, stream.next_seq++);
+  }
+  const std::uint32_t wire_payload =
+      inline_bytes.empty() ? payload_bytes : 0;
+  co_await nic_.transmit(msg, reader, wire_payload, n_dma_cmds);
+  if (cfg_.gobackn) gbn_record(msg->dst, *msg, n_dma_cmds);
+  ++counters_.tx_msgs;
+  ++counters_.triggered_fires;
 }
 
 std::uint64_t Firmware::heartbeat() const {
@@ -394,7 +560,8 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
   // presence of a body, not by hdr.length alone: a sender that chose not
   // to inline a small message still delivers it as a body.
   lp.inline_delivery =
-      (hdr.op == ptl::WireOp::kPut || hdr.op == ptl::WireOp::kReply) &&
+      (hdr.op == ptl::WireOp::kPut || hdr.op == ptl::WireOp::kReply ||
+       hdr.op == ptl::WireOp::kAtomicSum) &&
       msg->payload.empty();
 
   inflight_rx_[msg->seq] = {proc, id};
@@ -463,6 +630,8 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
     lp.rx.deliver_bytes = res->mlength;
     lp.rx.n_dma_cmds = res->n_dma_cmds;
     lp.rx.deposit = std::move(res->deposit);
+    lp.rx.ct = res->ct_id;
+    lp.rx.fw_complete = res->fw_complete;
     lp.cmd_ready = true;
     if (!lp.inline_delivery) {
       src->rx_list.emplace_back(proc, id);
@@ -539,8 +708,19 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
         lp.rx.deposit(inl.first(
             std::min<std::size_t>(lp.rx.deliver_bytes, inl.size())));
       }
-      lp.state = LowerPending::State::kHostOwned;
-      post_event(proc, FwEvent{FwEvent::Type::kRxComplete, id});
+      const CtId ct = lp.rx.ct;
+      if (lp.rx.fw_complete) {
+        // CT-counted EQ-less deposit: the firmware retires the pending
+        // itself — no event, no host touch.  Bump the counter AFTER the
+        // pending is back in the pool so a triggered put fired by this
+        // count finds the slot free.
+        free_rx_pending(proc, id);
+        if (ct != kNoCt) ct_add(proc, ct, 1);
+      } else {
+        lp.state = LowerPending::State::kHostOwned;
+        if (ct != kNoCt) ct_add(proc, ct, 1);
+        post_event(proc, FwEvent{FwEvent::Type::kRxComplete, id});
+      }
     } else {
       lp.state = LowerPending::State::kHostOwned;
       post_event(proc, FwEvent{FwEvent::Type::kRxHeader, id});
@@ -593,8 +773,16 @@ sim::CoTask<void> Firmware::deposit_worker(net::NodeId source_node) {
     ++counters_.rx_completions;
     inflight_rx_.erase(lp.msg->seq);
     src->rx_list.pop_front();
-    lp.state = LowerPending::State::kHostOwned;
-    post_event(owner, FwEvent{FwEvent::Type::kRxComplete, id});
+    const CtId ct = lp.rx.ct;
+    if (lp.rx.fw_complete) {
+      // Offload-collective data path: firmware-complete, no host event.
+      free_rx_pending(owner, id);
+      if (ct != kNoCt) ct_add(owner, ct, 1);
+    } else {
+      lp.state = LowerPending::State::kHostOwned;
+      if (ct != kNoCt) ct_add(owner, ct, 1);
+      post_event(owner, FwEvent{FwEvent::Type::kRxComplete, id});
+    }
   }
   src->deposit_active = false;
 }

@@ -55,6 +55,11 @@ class AccelMatcher {
     std::uint32_t mlength = 0;
     std::uint32_t n_dma_cmds = 1;
     DepositFn deposit;  // may be empty when mlength == 0
+    /// Counting event to bump when the deposit completes (kNoCt: none).
+    CtId ct_id = kNoCt;
+    /// Firmware completes the reception itself — no host event (CT-counted
+    /// deposit into an EQ-less MD; the offload-collective data path).
+    bool fw_complete = false;
   };
   /// Returns the deposit decision for an incoming put/reply header, or
   /// nullopt to drop the message.  `pending` identifies the RX pending so
@@ -127,6 +132,32 @@ class Firmware final : public ss::RxClient {
   sim::CoTask<std::uint64_t> host_query(FwProcId proc,
                                         QueryCommand::What what);
 
+  // ------------------- counting events + triggered operations (accel) ----
+  // Setup-phase calls are direct host accesses to the per-process SRAM
+  // tables (the caller charges its own HT/CPU costs); the *start* of a
+  // collective goes through the mailbox (post_command with a CtCommand) so
+  // the increment runs in firmware context and fires the trigger scan.
+
+  /// Allocates a counter slot; kNoCt when the table is exhausted.
+  CtId host_ct_alloc(FwProcId proc);
+  void host_ct_free(FwProcId proc, CtId ct);
+  std::uint64_t host_ct_get(FwProcId proc, CtId ct) const;
+  /// Plain store (setup/rearm only — does NOT run the trigger scan).
+  void host_ct_set(FwProcId proc, CtId ct, std::uint64_t value);
+  /// Arms one triggered operation; false when the table is full (the
+  /// PTL_NO_SPACE condition the library surfaces).
+  bool host_add_trigger(FwProcId proc, TriggeredOp op);
+  /// Clears the fired flags so an identical collective can run again
+  /// without re-building the table (per-iteration rearm).
+  void host_rearm_triggers(FwProcId proc);
+  /// Empties the trigger table (new collective schedule).
+  void host_reset_triggers(FwProcId proc);
+  std::size_t triggers_armed(FwProcId proc) const;
+  /// Notified on every counter change of the process; CT waiters re-check
+  /// their thresholds (simulation stand-in for polling process-space
+  /// counter mirrors).
+  sim::WaitQueue& ct_waiters(FwProcId proc);
+
   /// RAS heartbeat (Figure 3's control block field): advances with
   /// firmware time and freezes on panic, which is how the RAS system
   /// detects a dead node.
@@ -154,6 +185,8 @@ class Firmware final : public ss::RxClient {
     std::uint64_t rewinds = 0;
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t accel_matches = 0;
+    std::uint64_t ct_increments = 0;
+    std::uint64_t triggered_fires = 0;
   };
   const Counters& counters() const { return counters_; }
   bool panicked() const { return panicked_; }
@@ -198,6 +231,13 @@ class Firmware final : public ss::RxClient {
     std::deque<std::pair<std::uint64_t, std::uint64_t>> results;
     std::unique_ptr<sim::WaitQueue> result_waiters;
     ss::Sram::Region sram;
+    // Counting events + triggered operations (accelerated only).
+    std::vector<std::uint64_t> cts;
+    std::vector<bool> ct_live;
+    std::vector<TriggeredOp> triggers;  // capacity reserved at boot
+    std::unique_ptr<sim::WaitQueue> ct_waiters;
+    ss::Sram::Region ct_sram;
+    bool trigger_scan_running = false;
   };
 
   /// Go-back-n per-destination transmit stream.
@@ -226,6 +266,16 @@ class Firmware final : public ss::RxClient {
   sim::CoTask<void> rx_header_handler(net::MessagePtr msg);
   sim::CoTask<void> rx_complete_handler(net::MessagePtr msg, bool crc_ok);
   sim::CoTask<void> deposit_worker(net::NodeId source_node);
+
+  /// Bumps a counter in firmware context: notifies CT waiters and kicks
+  /// the trigger scan when armed entries may have become due.
+  void ct_add(FwProcId proc, CtId ct, std::uint64_t inc);
+  /// Drains every due triggered op; re-scans until a pass fires nothing
+  /// (a fired op may bump further counters).
+  sim::CoTask<void> trigger_scan(FwProcId proc);
+  /// Fires triggers[idx] (kind kPut): modeled on the accelerated-GET reply
+  /// transmit — header fetch, payload read at fire time, NIC transmit.
+  sim::CoTask<void> fire_triggered_put(FwProcId proc, std::size_t idx);
 
   /// Posts an event to a process EQ: HT write + (generic) interrupt.
   void post_event(FwProcId proc, FwEvent ev);

@@ -40,6 +40,37 @@ inline constexpr FwProcId kGenericProc = 0;
 /// in for the Rx DMA engine's pre-programmed command list).
 using DepositFn = std::function<void(std::span<const std::byte>)>;
 
+/// Counting-event slot index within one accelerated process (Portals-4
+/// style: a bare uint64 in SRAM that deposits and triggered ops bump).
+using CtId = std::uint16_t;
+inline constexpr CtId kNoCt = 0xFFFF;
+
+/// One armed entry of the firmware-resident triggered-operation table.
+/// When `trig_ct` reaches `threshold` the firmware fires the operation
+/// itself — the next hop of a collective leaves the NIC with no host
+/// interrupt and no HT round trip beyond the payload DMA read.
+struct TriggeredOp {
+  enum class Kind : std::uint8_t {
+    kPut,    // transmit hdr (+payload read at fire time) to dst
+    kCtInc,  // bump another local counter (chains trigger cascades)
+  };
+  Kind kind = Kind::kPut;
+  CtId trig_ct = kNoCt;
+  std::uint64_t threshold = 0;
+  bool fired = false;
+  // kPut:
+  net::NodeId dst = 0;
+  ptl::WireHeader hdr;
+  /// Reads the payload from host memory AT FIRE TIME (the Tx DMA), so a
+  /// triggered put of an accumulation buffer ships the accumulated values.
+  ss::PayloadReader reader;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t n_dma_cmds = 1;
+  // kCtInc:
+  CtId target_ct = kNoCt;
+  std::uint64_t inc = 1;
+};
+
 /// Upper pending: host-memory half of a pending (Figure 3).
 struct UpperPending {
   /// Full 64-byte header packet as it crossed the wire — the Portals header
@@ -70,6 +101,13 @@ struct RxCommand {
   std::uint32_t deliver_bytes = 0;
   std::uint32_t n_dma_cmds = 1;
   DepositFn deposit;
+  /// Counting event to bump once the deposit completes (accelerated
+  /// matcher decision; kNoCt for everything else).
+  CtId ct = kNoCt;
+  /// The firmware completes this reception itself (free the pending, no
+  /// host event) — set for CT-counted deposits into EQ-less MDs, which is
+  /// what keeps the host out of the offload collective data path.
+  bool fw_complete = false;
 };
 
 /// Host is done with an RX upper pending; return it to the firmware pool.
@@ -91,8 +129,15 @@ struct QueryCommand {
   std::uint64_t ticket = 0;  // matches the result back to the request
 };
 
-using Command =
-    std::variant<TxCommand, RxCommand, ReleaseCommand, QueryCommand>;
+/// Host-side increment of a counting event (the one host touch that starts
+/// an offloaded collective; everything after runs from the trigger table).
+struct CtCommand {
+  CtId ct = kNoCt;
+  std::uint64_t inc = 1;
+};
+
+using Command = std::variant<TxCommand, RxCommand, ReleaseCommand,
+                             QueryCommand, CtCommand>;
 
 /// Firmware-to-host events (posted into a host event queue, §4.1).
 struct FwEvent {

@@ -100,12 +100,12 @@ std::optional<fw::AccelMatcher::Result> AccelAgent::fw_match(
     lib_->on_ack(hdr);
     return std::nullopt;
   }
-  const ptl::Library::RxDecision d = hdr.op == WireOp::kPut
-                                         ? lib_->on_put_header(hdr)
+  const bool atomic = hdr.op == WireOp::kAtomicSum;
+  const ptl::Library::RxDecision d =
+      (hdr.op == WireOp::kPut || atomic) ? lib_->on_put_header(hdr)
                                          : lib_->on_reply_header(hdr);
   entries_walked = std::max<std::size_t>(d.entries_walked, 1);
   if (!d.deliver) return std::nullopt;
-  rx_map_[pending] = d.token;
   Result r;
   r.mlength = d.mlength;
   r.n_dma_cmds =
@@ -113,11 +113,166 @@ std::optional<fw::AccelMatcher::Result> AccelAgent::fw_match(
   if (d.mlength > 0) {
     AddressSpace* as = &as_;
     auto segs = std::make_shared<std::vector<ptl::IoVec>>(d.segments);
-    r.deposit = [as, segs](std::span<const std::byte> bytes) {
-      scatter_write(*as, *segs, bytes);
+    if (atomic) {
+      r.deposit = [as, segs](std::span<const std::byte> bytes) {
+        scatter_accumulate_f64(*as, *segs, bytes);
+      };
+    } else {
+      r.deposit = [as, segs](std::span<const std::byte> bytes) {
+        scatter_write(*as, *segs, bytes);
+      };
+    }
+  }
+  if (d.ct.valid()) {
+    r.ct_id = static_cast<fw::CtId>(d.ct.idx);
+    if (d.eqless) {
+      // CT-counted deposit into an EQ-less MD: the firmware completes the
+      // reception itself and the host never sees it — the offload
+      // collective data path.  Retire the library's op record NOW (there
+      // is no event to post); if the initiator asked for an ack, send it
+      // through the normal user-level path.
+      r.fw_complete = true;
+      if (auto ack = lib_->deposited(d.token); ack.has_value()) {
+        send(TxKind::kAck, hdr.src_nid, *ack, {}, 0);
+      }
+      return r;
+    }
+  }
+  rx_map_[pending] = d.token;
+  return r;
+}
+
+// ------------------- counting events + triggered operations ------------
+
+int AccelAgent::ct_alloc(ptl::CtHandle* out) {
+  const fw::CtId id = node_.firmware().host_ct_alloc(fwproc_);
+  if (id == fw::kNoCt) return ptl::PTL_NO_SPACE;
+  *out = ptl::CtHandle{id, 1};
+  return ptl::PTL_OK;
+}
+
+int AccelAgent::ct_free(ptl::CtHandle ct) {
+  if (!ct.valid()) return ptl::PTL_HANDLE_INVALID;
+  node_.firmware().host_ct_free(fwproc_, static_cast<fw::CtId>(ct.idx));
+  return ptl::PTL_OK;
+}
+
+int AccelAgent::ct_get(ptl::CtHandle ct, std::uint64_t* value) {
+  if (!ct.valid()) return ptl::PTL_HANDLE_INVALID;
+  *value = node_.firmware().host_ct_get(fwproc_,
+                                        static_cast<fw::CtId>(ct.idx));
+  return ptl::PTL_OK;
+}
+
+int AccelAgent::ct_set(ptl::CtHandle ct, std::uint64_t value) {
+  if (!ct.valid()) return ptl::PTL_HANDLE_INVALID;
+  node_.firmware().host_ct_set(fwproc_, static_cast<fw::CtId>(ct.idx),
+                               value);
+  return ptl::PTL_OK;
+}
+
+int AccelAgent::ct_inc(ptl::CtHandle ct, std::uint64_t inc) {
+  if (!ct.valid()) return ptl::PTL_HANDLE_INVALID;
+  fw::CtCommand cmd;
+  cmd.ct = static_cast<fw::CtId>(ct.idx);
+  cmd.inc = inc;
+  node_.firmware().post_command(fwproc_, cmd);
+  return ptl::PTL_OK;
+}
+
+sim::CoTask<int> AccelAgent::ct_wait(ptl::CtHandle ct,
+                                     std::uint64_t threshold,
+                                     std::uint64_t* value) {
+  if (!ct.valid()) co_return ptl::PTL_HANDLE_INVALID;
+  fw::Firmware& fw = node_.firmware();
+  const fw::CtId id = static_cast<fw::CtId>(ct.idx);
+  while (fw.host_ct_get(fwproc_, id) < threshold) {
+    co_await fw.ct_waiters(fwproc_).wait();
+  }
+  if (value != nullptr) *value = fw.host_ct_get(fwproc_, id);
+  co_return ptl::PTL_OK;
+}
+
+int AccelAgent::triggered_put(ptl::MdHandle md, std::uint64_t offset,
+                              std::uint32_t len, ptl::ProcessId target,
+                              std::uint32_t pt_index, std::uint32_t ac_index,
+                              ptl::MatchBits mbits,
+                              std::uint64_t remote_offset,
+                              std::uint64_t hdr_data, bool atomic,
+                              ptl::CtHandle trig_ct,
+                              std::uint64_t threshold) {
+  if (!trig_ct.valid()) return ptl::PTL_HANDLE_INVALID;
+  std::vector<ptl::IoVec> segs;
+  if (int rc = lib_->md_segments(md, offset, len, &segs);
+      rc != ptl::PTL_OK) {
+    return rc;
+  }
+
+  fw::TriggeredOp op;
+  op.kind = fw::TriggeredOp::Kind::kPut;
+  op.trig_ct = static_cast<fw::CtId>(trig_ct.idx);
+  op.threshold = threshold;
+  op.dst = target.nid;
+  // Fire-and-forget header: md_id/md_gen stay 0, so the initiator library
+  // has no op record and generates no SEND/ACK events for the launch.
+  ptl::WireHeader hdr;
+  hdr.op = atomic ? WireOp::kAtomicSum : WireOp::kPut;
+  hdr.ack_req = ptl::AckReq::kNone;
+  hdr.src_nid = node_.id();
+  hdr.src_pid = pid_;
+  hdr.dst_pid = target.pid;
+  hdr.pt_index = static_cast<std::uint8_t>(pt_index);
+  hdr.ac_index = static_cast<std::uint8_t>(ac_index);
+  hdr.match_bits = mbits;
+  hdr.remote_offset = remote_offset;
+  hdr.length = len;
+  hdr.hdr_data = hdr_data;
+  op.hdr = hdr;
+  op.payload_bytes = len;
+  op.n_dma_cmds =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(segs.size()));
+  if (len > 0) {
+    AddressSpace* as = &as_;
+    auto sp = std::make_shared<std::vector<ptl::IoVec>>(std::move(segs));
+    op.reader = [as, sp](std::size_t off, std::span<std::byte> out) {
+      gather_read(*as, *sp, off, out);
     };
   }
-  return r;
+  if (!node_.firmware().host_add_trigger(fwproc_, std::move(op))) {
+    return ptl::PTL_NO_SPACE;
+  }
+  return ptl::PTL_OK;
+}
+
+int AccelAgent::triggered_ct_inc(ptl::CtHandle trig_ct,
+                                 std::uint64_t threshold,
+                                 ptl::CtHandle target_ct,
+                                 std::uint64_t inc) {
+  if (!trig_ct.valid() || !target_ct.valid()) return ptl::PTL_HANDLE_INVALID;
+  fw::TriggeredOp op;
+  op.kind = fw::TriggeredOp::Kind::kCtInc;
+  op.trig_ct = static_cast<fw::CtId>(trig_ct.idx);
+  op.threshold = threshold;
+  op.target_ct = static_cast<fw::CtId>(target_ct.idx);
+  op.inc = inc;
+  if (!node_.firmware().host_add_trigger(fwproc_, std::move(op))) {
+    return ptl::PTL_NO_SPACE;
+  }
+  return ptl::PTL_OK;
+}
+
+int AccelAgent::rearm_triggers() {
+  node_.firmware().host_rearm_triggers(fwproc_);
+  return ptl::PTL_OK;
+}
+
+int AccelAgent::reset_triggers() {
+  node_.firmware().host_reset_triggers(fwproc_);
+  return ptl::PTL_OK;
+}
+
+std::size_t AccelAgent::triggers_armed() const {
+  return node_.firmware().triggers_armed(fwproc_);
 }
 
 std::optional<fw::AccelMatcher::ReplyProg> AccelAgent::fw_get(

@@ -25,6 +25,7 @@
 #include "portals/api.hpp"
 #include "portals/bridge.hpp"
 #include "portals/library.hpp"
+#include "portals/triggered.hpp"
 
 namespace xt::host {
 
@@ -32,7 +33,8 @@ class Node;
 
 class AccelAgent final : public fw::AccelMatcher,
                          public ptl::Bridge,
-                         public ptl::Nal {
+                         public ptl::Nal,
+                         public ptl::TriggeredOps {
  public:
   AccelAgent(Node& node, ptl::Pid pid, AddressSpace& as);
   ~AccelAgent() override;
@@ -46,6 +48,27 @@ class AccelAgent final : public fw::AccelMatcher,
                         sim::Time cost_hint) override;
   ptl::Library& library() override { return *lib_; }
   sim::Engine& engine() override;
+  ptl::TriggeredOps* triggered() override { return this; }
+
+  // ---- ptl::TriggeredOps (NIC SRAM counters + trigger table).
+  int ct_alloc(ptl::CtHandle* out) override;
+  int ct_free(ptl::CtHandle ct) override;
+  int ct_get(ptl::CtHandle ct, std::uint64_t* value) override;
+  int ct_set(ptl::CtHandle ct, std::uint64_t value) override;
+  int ct_inc(ptl::CtHandle ct, std::uint64_t inc) override;
+  sim::CoTask<int> ct_wait(ptl::CtHandle ct, std::uint64_t threshold,
+                           std::uint64_t* value) override;
+  int triggered_put(ptl::MdHandle md, std::uint64_t offset, std::uint32_t len,
+                    ptl::ProcessId target, std::uint32_t pt_index,
+                    std::uint32_t ac_index, ptl::MatchBits mbits,
+                    std::uint64_t remote_offset, std::uint64_t hdr_data,
+                    bool atomic, ptl::CtHandle trig_ct,
+                    std::uint64_t threshold) override;
+  int triggered_ct_inc(ptl::CtHandle trig_ct, std::uint64_t threshold,
+                       ptl::CtHandle target_ct, std::uint64_t inc) override;
+  int rearm_triggers() override;
+  int reset_triggers() override;
+  std::size_t triggers_armed() const override;
 
   // ---- ptl::Nal (user-level command posting).
   int send(TxKind kind, std::uint32_t dst_nid, const ptl::WireHeader& hdr,

@@ -238,8 +238,12 @@ sim::CoTask<void> KernelAgent::handle_rx_header(fw::PendingId pending) {
 
   switch (hdr.op) {
     case WireOp::kPut:
+    case WireOp::kAtomicSum:
     case WireOp::kReply: {
-      const bool is_put = hdr.op == WireOp::kPut;
+      // Atomic sums match and complete exactly like puts; only the deposit
+      // differs (accumulate instead of overwrite).
+      const bool is_put = hdr.op != WireOp::kReply;
+      const bool atomic = hdr.op == WireOp::kAtomicSum;
       const ptl::Library::RxDecision d =
           is_put ? lib->on_put_header(hdr) : lib->on_reply_header(hdr);
       // Host-side Portals matching cost; replies skip the match walk
@@ -253,7 +257,7 @@ sim::CoTask<void> KernelAgent::handle_rx_header(fw::PendingId pending) {
         // the §6 small-message optimization (one interrupt total).
         cost += cfg_.host_event_post;
         co_await cpu_.run_interrupt(cost);
-        finish_inline(*lib, *as, d, up);
+        finish_inline(*lib, *as, d, up, atomic);
         release(pending);
       } else {
         std::uint32_t segs = 1;
@@ -272,9 +276,15 @@ sim::CoTask<void> KernelAgent::handle_rx_header(fw::PendingId pending) {
           AddressSpace* tas = as;
           auto segs_ptr =
               std::make_shared<std::vector<ptl::IoVec>>(d.segments);
-          cmd.deposit = [tas, segs_ptr](std::span<const std::byte> bytes) {
-            scatter_write(*tas, *segs_ptr, bytes);
-          };
+          if (atomic) {
+            cmd.deposit = [tas, segs_ptr](std::span<const std::byte> bytes) {
+              scatter_accumulate_f64(*tas, *segs_ptr, bytes);
+            };
+          } else {
+            cmd.deposit = [tas, segs_ptr](std::span<const std::byte> bytes) {
+              scatter_write(*tas, *segs_ptr, bytes);
+            };
+          }
         }
         rx_map_[pending] = RxRec{d.token, hdr.dst_pid};
         fw_.post_command(fw::kGenericProc, std::move(cmd));
@@ -315,13 +325,18 @@ sim::CoTask<void> KernelAgent::handle_rx_header(fw::PendingId pending) {
 
 void KernelAgent::finish_inline(ptl::Library& lib, AddressSpace& as,
                                 const ptl::Library::RxDecision& d,
-                                const fw::UpperPending& up) {
+                                const fw::UpperPending& up, bool atomic) {
   if (d.token == 0) return;  // dropped by matching; nothing to finish
   if (d.deliver && d.mlength > 0) {
     const auto inl = ptl::inline_payload_of(
         std::span<const std::byte>(up.header_packet));
-    scatter_write(as, d.segments,
-                  inl.first(std::min<std::size_t>(d.mlength, inl.size())));
+    const auto bytes =
+        inl.first(std::min<std::size_t>(d.mlength, inl.size()));
+    if (atomic) {
+      scatter_accumulate_f64(as, d.segments, bytes);
+    } else {
+      scatter_write(as, d.segments, bytes);
+    }
   }
   const WireHeader hdr = ptl::unpack_header(up.header_packet);
   auto ack = lib.deposited(d.token);

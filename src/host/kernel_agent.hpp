@@ -99,7 +99,7 @@ class KernelAgent {
   sim::CoTask<void> handle_rx_header(fw::PendingId pending);
   void finish_inline(ptl::Library& lib, AddressSpace& as,
                      const ptl::Library::RxDecision& d,
-                     const fw::UpperPending& up);
+                     const fw::UpperPending& up, bool atomic);
   void send_ack_if_any(ptl::Pid pid, std::uint32_t dst_nid,
                        const std::optional<ptl::WireHeader>& ack);
   void release(fw::PendingId pending);

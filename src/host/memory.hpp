@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <span>
 #include <vector>
@@ -114,6 +115,29 @@ inline void scatter_write(AddressSpace& as,
     as.write(seg.start, in.subspan(consumed, take));
     consumed += take;
   }
+}
+
+/// The kAtomicSum deposit: accumulates `in` into a scatter/gather list as
+/// a sum of f64 values instead of overwriting.  Staged through a linear
+/// copy because a segment boundary may split a double; any tail shorter
+/// than 8 bytes is copied plainly.
+inline void scatter_accumulate_f64(AddressSpace& as,
+                                   const std::vector<ptl::IoVec>& segs,
+                                   std::span<const std::byte> in) {
+  std::vector<std::byte> cur(in.size());
+  gather_read(as, segs, 0, cur);
+  const std::size_t n8 = in.size() / 8 * 8;
+  for (std::size_t i = 0; i < n8; i += 8) {
+    double a = 0.0;
+    double b = 0.0;
+    std::memcpy(&a, cur.data() + i, 8);
+    std::memcpy(&b, in.data() + i, 8);
+    a += b;
+    std::memcpy(&cur[i], &a, 8);
+  }
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(n8), in.end(),
+            cur.begin() + static_cast<std::ptrdiff_t>(n8));
+  scatter_write(as, segs, cur);
 }
 
 /// Total DMA commands a scatter/gather transfer needs (per-segment page

@@ -17,8 +17,17 @@ constexpr int kTagBcast = 0xFFFE00;
 constexpr int kTagReduce = 0xFFFD00;
 constexpr int kTagGather = 0xFFFC00;
 constexpr int kTagAlltoall = 0xFFFB00;
+constexpr int kTagAllred = 0xFFFA00;  // + round number
 
 }  // namespace
+
+std::uint64_t Comm::scratch(std::size_t bytes) {
+  if (bytes > scratch_cap_) {
+    scratch_ = proc_.alloc(bytes);
+    scratch_cap_ = bytes;
+  }
+  return scratch_;
+}
 
 CoTask<int> Comm::bcast(std::uint64_t buf, std::uint32_t len, int root) {
   const int n = size();
@@ -56,7 +65,10 @@ CoTask<int> Comm::reduce_sum(std::uint64_t buf, std::uint32_t count,
   if (n == 1) co_return ptl::PTL_OK;
   const int vrank = (rank_ - root + n) % n;
   const std::uint32_t bytes = count * 8;
-  const std::uint64_t tmp = proc_.alloc(bytes);
+  // Lazily grabbed from the scratch cache: pure leaves (odd vranks) send
+  // and return without ever needing a receive staging buffer, and the bump
+  // allocator would leak a per-call alloc anyway.
+  std::uint64_t tmp = 0;
 
   // Accumulate children (low bits first), then send to the parent.
   std::vector<double> mine(count), theirs(count);
@@ -69,6 +81,7 @@ CoTask<int> Comm::reduce_sum(std::uint64_t buf, std::uint32_t count,
     }
     if (vrank + mask < n) {
       const int child = ((vrank + mask) + root) % n;
+      if (tmp == 0) tmp = scratch(bytes);
       const int rc = co_await recv(tmp, bytes, child, kTagReduce);
       if (rc != ptl::PTL_OK) co_return rc;
       proc_.read_bytes(tmp, std::as_writable_bytes(std::span(theirs)));
@@ -83,9 +96,35 @@ CoTask<int> Comm::reduce_sum(std::uint64_t buf, std::uint32_t count,
 }
 
 CoTask<int> Comm::allreduce_sum(std::uint64_t buf, std::uint32_t count) {
-  const int rc = co_await reduce_sum(buf, count, 0);
-  if (rc != ptl::PTL_OK) co_return rc;
-  co_return co_await bcast(buf, count * 8, 0);
+  const int n = size();
+  if (n == 1) co_return ptl::PTL_OK;
+  if ((n & (n - 1)) != 0) {
+    // Non-power-of-two: binomial reduce to rank 0, then bcast.
+    const int rc = co_await reduce_sum(buf, count, 0);
+    if (rc != ptl::PTL_OK) co_return rc;
+    co_return co_await bcast(buf, count * 8, 0);
+  }
+  // Recursive doubling: log2(n) exchange rounds, every rank active in
+  // every round, each ending with the full sum — half the root's serial
+  // work of reduce+bcast and no fan-in hot spot.
+  const std::uint32_t bytes = count * 8;
+  const std::uint64_t tmp = scratch(bytes);
+  std::vector<double> mine(count), theirs(count);
+  proc_.read_bytes(buf, std::as_writable_bytes(std::span(mine)));
+  int round = 0;
+  for (int mask = 1; mask < n; mask <<= 1, ++round) {
+    const int partner = rank_ ^ mask;
+    proc_.write_bytes(buf, std::as_bytes(std::span(mine)));
+    const int rc = co_await sendrecv(buf, bytes, partner, kTagAllred + round,
+                                     tmp, bytes, partner, kTagAllred + round);
+    if (rc != ptl::PTL_OK) co_return rc;
+    proc_.read_bytes(tmp, std::as_writable_bytes(std::span(theirs)));
+    co_await proc_.node().cpu().run(
+        sim::Time::ns(2) * static_cast<std::int64_t>(count));
+    for (std::uint32_t i = 0; i < count; ++i) mine[i] += theirs[i];
+  }
+  proc_.write_bytes(buf, std::as_bytes(std::span(mine)));
+  co_return ptl::PTL_OK;
 }
 
 CoTask<int> Comm::gather(std::uint64_t sbuf, std::uint32_t len,

@@ -144,7 +144,9 @@ class Comm {
   /// (every rank contributes its own buf contents).
   sim::CoTask<int> reduce_sum(std::uint64_t buf, std::uint32_t count,
                               int root);
-  /// reduce_sum to rank 0 followed by bcast: every rank ends with the sum.
+  /// Every rank ends with the sum: recursive doubling when the
+  /// communicator size is a power of two (log2(n) rounds, all ranks busy
+  /// every round), reduce_sum to rank 0 + bcast otherwise.
   sim::CoTask<int> allreduce_sum(std::uint64_t buf, std::uint32_t count);
   /// Root gathers `len` bytes from every rank into rbuf (rank i's block at
   /// offset i*len).  rbuf is only read at the root.
@@ -204,6 +206,10 @@ class Comm {
   sim::CoTask<void> start_rndv_get(ReqState& st, ptl::ProcessId sender,
                                    std::uint64_t rndv_bits);
   sim::CoTask<void> repost_slab(Slab& slab);
+  /// Reusable collective scratch buffer.  The simulated address space is a
+  /// bump allocator with no free, so per-call allocs in collectives leak
+  /// address space; this caches one grow-only region instead.
+  std::uint64_t scratch(std::size_t bytes);
 
   host::Process& proc_;
   ptl::Api& api_;
@@ -220,6 +226,9 @@ class Comm {
   std::uint64_t next_req_ = 1;
   std::uint64_t next_rndv_ = 1;
   bool inited_ = false;
+
+  std::uint64_t scratch_ = 0;
+  std::size_t scratch_cap_ = 0;
 
   // Counters (for tests and the benchmark harness).
  public:

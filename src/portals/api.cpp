@@ -1,5 +1,7 @@
 #include "portals/api.hpp"
 
+#include "portals/triggered.hpp"
+
 namespace xt::ptl {
 
 sim::CoTask<Res<int>> Api::PtlInit() {
@@ -237,6 +239,147 @@ sim::CoTask<int> Api::PtlGetRegion(MdHandle md, std::uint64_t offset,
                               mbits, remote_offset);
       },
       data_cost_);
+}
+
+sim::CoTask<int> Api::PtlAtomicSum(MdHandle md, AckReq ack, ProcessId target,
+                                   std::uint32_t pt_index,
+                                   std::uint32_t ac_index, MatchBits mbits,
+                                   std::uint64_t remote_offset,
+                                   std::uint64_t hdr_data) {
+  co_return co_await b_.call(
+      [=](Library& lib) {
+        return lib.put_atomic(md, ack, target, pt_index, ac_index, mbits,
+                              remote_offset, hdr_data);
+      },
+      data_cost_);
+}
+
+sim::CoTask<int> Api::PtlAtomicSumRegion(
+    MdHandle md, std::uint64_t offset, std::uint32_t len, AckReq ack,
+    ProcessId target, std::uint32_t pt_index, std::uint32_t ac_index,
+    MatchBits mbits, std::uint64_t remote_offset, std::uint64_t hdr_data) {
+  co_return co_await b_.call(
+      [=](Library& lib) {
+        return lib.put_atomic_region(md, offset, len, ack, target, pt_index,
+                                     ac_index, mbits, remote_offset,
+                                     hdr_data);
+      },
+      data_cost_);
+}
+
+// ---------------------- counting events + triggered ops (accel only) ----
+// Each call still goes through Bridge::call so the library-entry cost (and
+// the event-queue poll that comes with entering the user-level library) is
+// charged; the TriggeredOps work itself runs against NIC SRAM.
+
+sim::CoTask<Res<CtHandle>> Api::PtlCTAlloc() {
+  Res<CtHandle> r;
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return Res<CtHandle>{PTL_NI_INVALID, {}};
+  r.rc = co_await b_.call([&](Library&) { return t->ct_alloc(&r.value); },
+                          call_cost_);
+  co_return r;
+}
+
+sim::CoTask<int> Api::PtlCTFree(CtHandle ct) {
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return PTL_NI_INVALID;
+  co_return co_await b_.call([&](Library&) { return t->ct_free(ct); },
+                             call_cost_);
+}
+
+sim::CoTask<Res<std::uint64_t>> Api::PtlCTGet(CtHandle ct) {
+  Res<std::uint64_t> r;
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return Res<std::uint64_t>{PTL_NI_INVALID, 0};
+  r.rc = co_await b_.call([&](Library&) { return t->ct_get(ct, &r.value); },
+                          call_cost_);
+  co_return r;
+}
+
+sim::CoTask<int> Api::PtlCTSet(CtHandle ct, std::uint64_t value) {
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return PTL_NI_INVALID;
+  co_return co_await b_.call([&](Library&) { return t->ct_set(ct, value); },
+                             call_cost_);
+}
+
+sim::CoTask<int> Api::PtlCTInc(CtHandle ct, std::uint64_t inc) {
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return PTL_NI_INVALID;
+  co_return co_await b_.call([&](Library&) { return t->ct_inc(ct, inc); },
+                             call_cost_);
+}
+
+sim::CoTask<Res<std::uint64_t>> Api::PtlCTWait(CtHandle ct,
+                                               std::uint64_t threshold) {
+  Res<std::uint64_t> r;
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return Res<std::uint64_t>{PTL_NI_INVALID, 0};
+  co_await b_.call([](Library&) { return PTL_OK; }, call_cost_);
+  r.rc = co_await t->ct_wait(ct, threshold, &r.value);
+  co_return r;
+}
+
+sim::CoTask<int> Api::PtlTriggeredPut(MdHandle md, std::uint64_t offset,
+                                      std::uint32_t len, ProcessId target,
+                                      std::uint32_t pt_index,
+                                      std::uint32_t ac_index, MatchBits mbits,
+                                      std::uint64_t remote_offset,
+                                      std::uint64_t hdr_data, CtHandle trig_ct,
+                                      std::uint64_t threshold) {
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return PTL_NI_INVALID;
+  co_return co_await b_.call(
+      [&](Library&) {
+        return t->triggered_put(md, offset, len, target, pt_index, ac_index,
+                                mbits, remote_offset, hdr_data,
+                                /*atomic=*/false, trig_ct, threshold);
+      },
+      data_cost_);
+}
+
+sim::CoTask<int> Api::PtlTriggeredAtomicSum(
+    MdHandle md, std::uint64_t offset, std::uint32_t len, ProcessId target,
+    std::uint32_t pt_index, std::uint32_t ac_index, MatchBits mbits,
+    std::uint64_t remote_offset, std::uint64_t hdr_data, CtHandle trig_ct,
+    std::uint64_t threshold) {
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return PTL_NI_INVALID;
+  co_return co_await b_.call(
+      [&](Library&) {
+        return t->triggered_put(md, offset, len, target, pt_index, ac_index,
+                                mbits, remote_offset, hdr_data,
+                                /*atomic=*/true, trig_ct, threshold);
+      },
+      data_cost_);
+}
+
+sim::CoTask<int> Api::PtlTriggeredCTInc(CtHandle trig_ct,
+                                        std::uint64_t threshold,
+                                        CtHandle target_ct,
+                                        std::uint64_t inc) {
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return PTL_NI_INVALID;
+  co_return co_await b_.call(
+      [&](Library&) {
+        return t->triggered_ct_inc(trig_ct, threshold, target_ct, inc);
+      },
+      call_cost_);
+}
+
+sim::CoTask<int> Api::PtlCTRearm() {
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return PTL_NI_INVALID;
+  co_return co_await b_.call([&](Library&) { return t->rearm_triggers(); },
+                             call_cost_);
+}
+
+sim::CoTask<int> Api::PtlCTResetTriggers() {
+  TriggeredOps* t = b_.triggered();
+  if (t == nullptr) co_return PTL_NI_INVALID;
+  co_return co_await b_.call([&](Library&) { return t->reset_triggers(); },
+                             call_cost_);
 }
 
 }  // namespace xt::ptl

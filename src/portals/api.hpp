@@ -107,6 +107,58 @@ class Api {
                                 std::uint32_t pt_index,
                                 std::uint32_t ac_index, MatchBits mbits,
                                 std::uint64_t remote_offset);
+  /// Put whose target deposit accumulates (f64 sum) instead of
+  /// overwriting; initiator semantics identical to PtlPut.
+  sim::CoTask<int> PtlAtomicSum(MdHandle md, AckReq ack, ProcessId target,
+                                std::uint32_t pt_index,
+                                std::uint32_t ac_index, MatchBits mbits,
+                                std::uint64_t remote_offset,
+                                std::uint64_t hdr_data);
+  sim::CoTask<int> PtlAtomicSumRegion(MdHandle md, std::uint64_t offset,
+                                      std::uint32_t len, AckReq ack,
+                                      ProcessId target,
+                                      std::uint32_t pt_index,
+                                      std::uint32_t ac_index, MatchBits mbits,
+                                      std::uint64_t remote_offset,
+                                      std::uint64_t hdr_data);
+
+  // -------------------- counting events + triggered ops (accel only) ----
+  // Portals-4-style entry points backed by the firmware's SRAM counter and
+  // trigger tables (see portals/triggered.hpp).  On a generic-mode bridge
+  // (no TriggeredOps) every call returns PTL_NI_INVALID.
+  sim::CoTask<Res<CtHandle>> PtlCTAlloc();
+  sim::CoTask<int> PtlCTFree(CtHandle ct);
+  sim::CoTask<Res<std::uint64_t>> PtlCTGet(CtHandle ct);
+  sim::CoTask<int> PtlCTSet(CtHandle ct, std::uint64_t value);
+  /// Mailbox increment: the host touch that starts an offloaded
+  /// collective.
+  sim::CoTask<int> PtlCTInc(CtHandle ct, std::uint64_t inc);
+  /// Suspends until the counter reaches `threshold`; value at wakeup.
+  sim::CoTask<Res<std::uint64_t>> PtlCTWait(CtHandle ct,
+                                            std::uint64_t threshold);
+  sim::CoTask<int> PtlTriggeredPut(MdHandle md, std::uint64_t offset,
+                                   std::uint32_t len, ProcessId target,
+                                   std::uint32_t pt_index,
+                                   std::uint32_t ac_index, MatchBits mbits,
+                                   std::uint64_t remote_offset,
+                                   std::uint64_t hdr_data, CtHandle trig_ct,
+                                   std::uint64_t threshold);
+  sim::CoTask<int> PtlTriggeredAtomicSum(MdHandle md, std::uint64_t offset,
+                                         std::uint32_t len, ProcessId target,
+                                         std::uint32_t pt_index,
+                                         std::uint32_t ac_index,
+                                         MatchBits mbits,
+                                         std::uint64_t remote_offset,
+                                         std::uint64_t hdr_data,
+                                         CtHandle trig_ct,
+                                         std::uint64_t threshold);
+  sim::CoTask<int> PtlTriggeredCTInc(CtHandle trig_ct,
+                                     std::uint64_t threshold,
+                                     CtHandle target_ct, std::uint64_t inc);
+  /// Clears fired flags so the armed schedule can run another iteration.
+  sim::CoTask<int> PtlCTRearm();
+  /// Drops every armed trigger.
+  sim::CoTask<int> PtlCTResetTriggers();
 
   /// PtlHandleIsEqual for any handle kind.
   template <int K>

@@ -19,6 +19,8 @@
 
 namespace xt::ptl {
 
+class TriggeredOps;
+
 class Bridge {
  public:
   virtual ~Bridge() = default;
@@ -34,6 +36,11 @@ class Bridge {
   virtual Library& library() = 0;
 
   virtual sim::Engine& engine() = 0;
+
+  /// Counting-event / triggered-operation surface.  Non-null only on the
+  /// accelerated bridge (the counters live in NIC SRAM); generic-mode
+  /// bridges have no firmware matching to hang them off and return null.
+  virtual TriggeredOps* triggered() { return nullptr; }
 };
 
 }  // namespace xt::ptl

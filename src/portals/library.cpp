@@ -650,7 +650,7 @@ int Library::start_outgoing(OpRec::Kind kind, Nal::TxKind txkind,
                             std::uint32_t len, AckReq ack, ProcessId target,
                             std::uint32_t pt_index, std::uint32_t ac_index,
                             MatchBits mbits, std::uint64_t remote_offset,
-                            std::uint64_t hdr_data) {
+                            std::uint64_t hdr_data, bool atomic) {
   MdRec* md = md_deref(mdh);
   if (md == nullptr || !md_active(*md)) return PTL_MD_INVALID;
   if (offset + len > md->desc.length) return PTL_MD_ILLEGAL;
@@ -681,7 +681,9 @@ int Library::start_outgoing(OpRec::Kind kind, Nal::TxKind txkind,
   op.ack = ack;
 
   WireHeader hdr;
-  hdr.op = (kind == OpRec::Kind::kGetOut) ? WireOp::kGet : WireOp::kPut;
+  hdr.op = (kind == OpRec::Kind::kGetOut)
+               ? WireOp::kGet
+               : (atomic ? WireOp::kAtomicSum : WireOp::kPut);
   hdr.ack_req = ack;
   hdr.src_nid = cfg_.id.nid;
   hdr.src_pid = cfg_.id.pid;
@@ -725,6 +727,36 @@ int Library::put_region(MdHandle md, std::uint64_t offset, std::uint32_t len,
   return start_outgoing(OpRec::Kind::kPutOut, Nal::TxKind::kPut, md, offset,
                         len, ack, target, pt_index, ac_index, mbits,
                         remote_offset, hdr_data);
+}
+
+int Library::put_atomic(MdHandle md, AckReq ack, ProcessId target,
+                        std::uint32_t pt_index, std::uint32_t ac_index,
+                        MatchBits mbits, std::uint64_t remote_offset,
+                        std::uint64_t hdr_data) {
+  MdRec* rec = md_deref(md);
+  if (rec == nullptr) return PTL_MD_INVALID;
+  return put_atomic_region(md, 0, rec->desc.length, ack, target, pt_index,
+                           ac_index, mbits, remote_offset, hdr_data);
+}
+
+int Library::put_atomic_region(MdHandle md, std::uint64_t offset,
+                               std::uint32_t len, AckReq ack,
+                               ProcessId target, std::uint32_t pt_index,
+                               std::uint32_t ac_index, MatchBits mbits,
+                               std::uint64_t remote_offset,
+                               std::uint64_t hdr_data) {
+  return start_outgoing(OpRec::Kind::kPutOut, Nal::TxKind::kPut, md, offset,
+                        len, ack, target, pt_index, ac_index, mbits,
+                        remote_offset, hdr_data, /*atomic=*/true);
+}
+
+int Library::md_segments(MdHandle mdh, std::uint64_t offset,
+                         std::uint32_t len, std::vector<IoVec>* out) {
+  MdRec* md = md_deref(mdh);
+  if (md == nullptr) return PTL_MD_INVALID;
+  if (offset + len > md->desc.length) return PTL_MD_ILLEGAL;
+  *out = md_slice(md->desc, offset, len);
+  return PTL_OK;
 }
 
 int Library::get(MdHandle md, ProcessId target, std::uint32_t pt_index,
@@ -805,6 +837,8 @@ Library::RxDecision Library::on_put_header(const WireHeader& hdr) {
   d.mlength = mlength;
   d.segments = md_slice(md.desc, offset, mlength);
   d.token = token;
+  if ((md.desc.options & PTL_MD_EVENT_CT_PUT) != 0) d.ct = md.desc.ct;
+  d.eqless = !md.desc.eq.valid();
   return d;
 }
 

@@ -90,6 +90,17 @@ class Library {
                  ProcessId target, std::uint32_t pt_index,
                  std::uint32_t ac_index, MatchBits mbits,
                  std::uint64_t remote_offset);
+  /// PtlAtomicSum: a put whose deposit ACCUMULATES (f64 sum) at the
+  /// target.  Initiator-side semantics (events, acks, MD consumption) are
+  /// identical to put.
+  int put_atomic(MdHandle md, AckReq ack, ProcessId target,
+                 std::uint32_t pt_index, std::uint32_t ac_index,
+                 MatchBits mbits, std::uint64_t remote_offset,
+                 std::uint64_t hdr_data);
+  int put_atomic_region(MdHandle md, std::uint64_t offset, std::uint32_t len,
+                        AckReq ack, ProcessId target, std::uint32_t pt_index,
+                        std::uint32_t ac_index, MatchBits mbits,
+                        std::uint64_t remote_offset, std::uint64_t hdr_data);
 
   ProcessId id() const { return cfg_.id; }
   const Limits& limits() const { return cfg_.limits; }
@@ -107,6 +118,12 @@ class Library {
   static std::vector<IoVec> md_slice(const MdDesc& desc, std::uint64_t offset,
                                      std::uint32_t len);
 
+  /// Segments of [offset, offset+len) of a LIVE MD — the triggered-op
+  /// engine builds fire-time DMA programs from this.  PTL_MD_INVALID /
+  /// PTL_MD_ILLEGAL on a dead handle or out-of-range window.
+  int md_segments(MdHandle md, std::uint64_t offset, std::uint32_t len,
+                  std::vector<IoVec>* out);
+
   // ------------------------------------------------------ wire side ----
 
   /// Deposit decision for an incoming put or reply header.
@@ -118,6 +135,12 @@ class Library {
     std::vector<IoVec> segments;
     std::uint64_t token = 0;     // hand back in deposited()/dropped()
     std::size_t entries_walked = 0;  // match-list work (for cost models)
+    /// Counting event of the matched MD (PTL_MD_EVENT_CT_PUT); kCtNone
+    /// when the MD does not count deposits.
+    CtHandle ct = kCtNone;
+    /// The matched MD has no EQ: nothing to post, so a CT-counted deposit
+    /// can complete entirely in firmware (the offload data path).
+    bool eqless = false;
   };
   /// Incoming put header: ACL check + matching + START event.
   RxDecision on_put_header(const WireHeader& hdr);
@@ -243,7 +266,8 @@ class Library {
                      std::uint64_t offset, std::uint32_t len, AckReq ack,
                      ProcessId target, std::uint32_t pt_index,
                      std::uint32_t ac_index, MatchBits mbits,
-                     std::uint64_t remote_offset, std::uint64_t hdr_data);
+                     std::uint64_t remote_offset, std::uint64_t hdr_data,
+                     bool atomic = false);
 
   sim::Engine& eng_;
   Config cfg_;

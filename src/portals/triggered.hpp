@@ -1,0 +1,68 @@
+#pragma once
+
+// Counting events + triggered operations (the NIC-offload collective
+// engine's control surface; Portals-4 anticipated from a Portals 3.3 base).
+//
+// Only the accelerated bridge implements this interface: the counters and
+// the trigger table live in SeaStar SRAM and are driven by the firmware's
+// handler loop, so a counter reaching its threshold launches the next hop
+// of a collective entirely on the NIC — no host interrupt, no HT read.
+// Generic-mode bridges return nullptr from Bridge::triggered() and the
+// Api-level PtlCT*/PtlTriggered* calls fail with PTL_NI_INVALID.
+//
+// Setup-phase calls (alloc/arm) are plain host stores into SRAM; the one
+// host touch that STARTS an offloaded collective is ct_inc, which goes
+// through the firmware mailbox so the increment and the resulting trigger
+// scan run in firmware context.
+
+#include <cstdint>
+
+#include "portals/types.hpp"
+#include "sim/task.hpp"
+
+namespace xt::ptl {
+
+class TriggeredOps {
+ public:
+  virtual ~TriggeredOps() = default;
+
+  // ------------------------------------------------- counting events ----
+  virtual int ct_alloc(CtHandle* out) = 0;
+  virtual int ct_free(CtHandle ct) = 0;
+  virtual int ct_get(CtHandle ct, std::uint64_t* value) = 0;
+  /// Plain store (setup/rearm only; does not run the trigger scan).
+  virtual int ct_set(CtHandle ct, std::uint64_t value) = 0;
+  /// Mailbox increment — the host touch that starts an offloaded
+  /// collective; the firmware bumps the counter and scans the triggers.
+  virtual int ct_inc(CtHandle ct, std::uint64_t inc) = 0;
+  /// Suspends the calling process until the counter reaches `threshold`
+  /// (polling the process-space counter mirror).
+  virtual sim::CoTask<int> ct_wait(CtHandle ct, std::uint64_t threshold,
+                                   std::uint64_t* value) = 0;
+
+  // --------------------------------------------- triggered operations ----
+  /// Arms a put of [offset, offset+len) of `md` that fires when `trig_ct`
+  /// reaches `threshold`.  With `atomic` the target deposit ACCUMULATES
+  /// (f64 sum) instead of overwriting.  The payload is read from host
+  /// memory at FIRE time, so a put of an accumulation buffer ships the
+  /// values deposited since arming.  Fire-and-forget: no initiator-side
+  /// events are generated.  PTL_NO_SPACE when the trigger table is full.
+  virtual int triggered_put(MdHandle md, std::uint64_t offset,
+                            std::uint32_t len, ProcessId target,
+                            std::uint32_t pt_index, std::uint32_t ac_index,
+                            MatchBits mbits, std::uint64_t remote_offset,
+                            std::uint64_t hdr_data, bool atomic,
+                            CtHandle trig_ct, std::uint64_t threshold) = 0;
+  /// Arms a counter chain: target_ct += inc when trig_ct reaches
+  /// threshold (lets one arrival cascade into several launches).
+  virtual int triggered_ct_inc(CtHandle trig_ct, std::uint64_t threshold,
+                               CtHandle target_ct, std::uint64_t inc) = 0;
+  /// Clears the fired flags so an identical schedule can run again
+  /// (per-iteration rearm; counters must be ct_set back too).
+  virtual int rearm_triggers() = 0;
+  /// Drops every armed trigger (new collective schedule).
+  virtual int reset_triggers() = 0;
+  virtual std::size_t triggers_armed() const = 0;
+};
+
+}  // namespace xt::ptl

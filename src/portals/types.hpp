@@ -30,11 +30,16 @@ using NiHandle = Handle<0>;
 using MeHandle = Handle<1>;
 using MdHandle = Handle<2>;
 using EqHandle = Handle<3>;
+/// Counting event (Portals-4 ptl_handle_ct_t anticipated by the offload
+/// collective engine).  idx is the firmware counter slot of the owning
+/// accelerated process.
+using CtHandle = Handle<4>;
 
 /// PTL_EQ_NONE / PTL_HANDLE_INVALID analogues.
 inline constexpr EqHandle kEqNone{};
 inline constexpr MdHandle kMdInvalid{};
 inline constexpr MeHandle kMeInvalid{};
+inline constexpr CtHandle kCtNone{};
 
 // -------------------------------------------------------- identifiers ----
 
@@ -100,6 +105,10 @@ inline constexpr unsigned PTL_MD_EVENT_END_DISABLE = 1u << 7;
 /// The MD describes a scatter/gather list (MdDesc::iovecs) instead of one
 /// contiguous [start, start+length) region.
 inline constexpr unsigned PTL_MD_IOVEC = 1u << 8;
+/// Count put/atomic deposits into this MD on MdDesc::ct (Portals-4-style
+/// counting events; accelerated mode only — the firmware bumps the counter
+/// with no host involvement).
+inline constexpr unsigned PTL_MD_EVENT_CT_PUT = 1u << 9;
 
 /// ptl_md_t threshold: never exhausts.
 inline constexpr int PTL_MD_THRESH_INF = -1;
@@ -130,6 +139,8 @@ struct MdDesc {
   unsigned options = 0;
   std::uint64_t user_ptr = 0;
   EqHandle eq = kEqNone;
+  /// Counting event bumped per deposit when PTL_MD_EVENT_CT_PUT is set.
+  CtHandle ct = kCtNone;
   std::vector<IoVec> iovecs;
 };
 

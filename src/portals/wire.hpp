@@ -28,6 +28,11 @@ enum class WireOp : std::uint8_t {
   // Firmware-internal (go-back-n): never surfaced to Portals.
   kFwAck = 4,
   kFwNack = 5,
+  /// Put whose deposit ACCUMULATES (sum of f64) into the matched buffer
+  /// instead of overwriting it — the target-side primitive the offload
+  /// collective engine builds reductions from.  Matching, acks and events
+  /// are identical to kPut.
+  kAtomicSum = 6,
 };
 
 /// Ack request modes for PtlPut (ptl_ack_req_t).

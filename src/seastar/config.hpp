@@ -76,6 +76,12 @@ struct Config {
   /// Firmware-side Portals matching, per match-list entry examined
   /// (accelerated mode only).
   Time fw_match_per_me = Time::ns(150);
+  /// Handler: bump one counting event and scan the armed trigger table
+  /// (counting events / triggered operations, accelerated mode only).
+  Time fw_ct_inc = Time::ns(50);
+  /// Handler: launch one triggered put from the trigger table (header
+  /// fetch + Tx DMA program; the transmit itself is charged by the NIC).
+  Time fw_trigger_fire = Time::ns(250);
 
   // ----------------------------------------------------------- host ----
   /// NULL-trap into the Catamount quintessential kernel (§3.3: ~75 ns).
@@ -118,6 +124,18 @@ struct Config {
   /// Pendings for each accelerated process (each pool).
   std::size_t n_accel_rx_pendings = 192;
   std::size_t n_accel_tx_pendings = 64;
+  /// Counting events per accelerated process (Portals-4-style lightweight
+  /// counters living in SRAM; the offload collective engine's only state).
+  std::size_t n_accel_counters = 64;
+  /// Triggered-operation table entries per accelerated process.  Each armed
+  /// entry holds a prebuilt header plus a DMA program and fires when its
+  /// counter reaches threshold — entirely on the NIC, no host interrupt.
+  std::size_t n_accel_triggers = 128;
+  /// SRAM charged per counter (value + waiter bookkeeping).
+  std::size_t counter_bytes = 8;
+  /// SRAM charged per trigger table entry (64 B header packet + counter id,
+  /// threshold, DMA program descriptor).
+  std::size_t trigger_bytes = 96;
   /// Command FIFO depth of one firmware mailbox.
   std::size_t mailbox_depth = 256;
   /// Firmware-to-host event queue depth (generic kernel EQ and per

@@ -1,0 +1,601 @@
+// Tests for the firmware counting-event/triggered-op engine
+// (src/firmware + portals/triggered.hpp) and the collective engine built
+// on it (src/collective): counter thresholds, trigger firing order, SRAM
+// and trigger-table exhaustion, offload correctness with zero host
+// interrupts, and host-vs-offload result equivalence.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "collective/collective.hpp"
+#include "host/node.hpp"
+#include "portals/api.hpp"
+
+namespace xt {
+namespace {
+
+using host::Machine;
+using host::Process;
+using ptl::CtHandle;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::ProcessId;
+using ptl::PTL_FAIL;
+using ptl::PTL_NO_SPACE;
+using ptl::PTL_OK;
+using ptl::Unlink;
+using sim::CoTask;
+using sim::Time;
+
+constexpr ptl::Pid kPid = 9;
+
+std::uint64_t machine_interrupts(Machine& m) {
+  std::uint64_t sum = 0;
+  for (net::NodeId i = 0; i < m.node_count(); ++i) {
+    sum += m.node(i).firmware().counters().interrupts;
+  }
+  return sum;
+}
+
+std::uint64_t machine_triggered_fires(Machine& m) {
+  std::uint64_t sum = 0;
+  for (net::NodeId i = 0; i < m.node_count(); ++i) {
+    sum += m.node(i).firmware().counters().triggered_fires;
+  }
+  return sum;
+}
+
+// ------------------------------------------------ counting-event basics ----
+
+TEST(TriggeredCt, AllocSetIncWaitAndExhaustion) {
+  Machine m(net::Shape::xt3(1, 1, 1));
+  Process& p = m.node(0).spawn_accel_process(kPid);
+  const std::size_t limit = m.config().n_accel_counters;
+  bool done = false;
+  sim::spawn([](Process& proc, std::size_t cap, bool* d) -> CoTask<void> {
+    auto& api = proc.api();
+    auto ct = co_await api.PtlCTAlloc();
+    EXPECT_EQ(ct.rc, PTL_OK);
+    auto g = co_await api.PtlCTGet(ct.value);
+    EXPECT_EQ(g.rc, PTL_OK);
+    EXPECT_EQ(g.value, 0u);
+    EXPECT_EQ(co_await api.PtlCTSet(ct.value, 41), PTL_OK);
+    // Mailbox increment: goes through the firmware command path.
+    EXPECT_EQ(co_await api.PtlCTInc(ct.value, 1), PTL_OK);
+    auto w = co_await api.PtlCTWait(ct.value, 42);
+    EXPECT_EQ(w.rc, PTL_OK);
+    EXPECT_EQ(w.value, 42u);
+
+    // The counter table is finite firmware SRAM: allocation stops at the
+    // configured limit and resumes after a free.
+    std::vector<CtHandle> all{ct.value};
+    for (;;) {
+      auto c = co_await api.PtlCTAlloc();
+      if (c.rc != PTL_OK) {
+        EXPECT_EQ(c.rc, PTL_NO_SPACE);
+        break;
+      }
+      all.push_back(c.value);
+    }
+    EXPECT_EQ(all.size(), cap);
+    EXPECT_EQ(co_await api.PtlCTFree(all.back()), PTL_OK);
+    auto again = co_await api.PtlCTAlloc();
+    EXPECT_EQ(again.rc, PTL_OK);
+    *d = true;
+  }(p, limit, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(TriggeredCt, TriggeredCtIncFiresAtThresholdAndRearms) {
+  Machine m(net::Shape::xt3(1, 1, 1));
+  Process& p = m.node(0).spawn_accel_process(kPid);
+  bool done = false;
+  sim::spawn([](Process& proc, bool* d) -> CoTask<void> {
+    auto& api = proc.api();
+    auto a = co_await api.PtlCTAlloc();
+    auto b = co_await api.PtlCTAlloc();
+    EXPECT_EQ(a.rc, PTL_OK);
+    EXPECT_EQ(b.rc, PTL_OK);
+    EXPECT_EQ(co_await api.PtlTriggeredCTInc(a.value, 3, b.value, 7),
+              PTL_OK);
+
+    // Below threshold: nothing fires.
+    EXPECT_EQ(co_await api.PtlCTInc(a.value, 1), PTL_OK);
+    co_await sim::delay(proc.node().engine(), Time::us(50));
+    auto gb = co_await api.PtlCTGet(b.value);
+    EXPECT_EQ(gb.value, 0u);
+
+    // Crossing the threshold fires exactly once.
+    EXPECT_EQ(co_await api.PtlCTInc(a.value, 2), PTL_OK);
+    auto wb = co_await api.PtlCTWait(b.value, 7);
+    EXPECT_EQ(wb.rc, PTL_OK);
+    EXPECT_EQ(wb.value, 7u);
+    EXPECT_EQ(co_await api.PtlCTInc(a.value, 5), PTL_OK);
+    co_await sim::delay(proc.node().engine(), Time::us(50));
+    gb = co_await api.PtlCTGet(b.value);
+    EXPECT_EQ(gb.value, 7u);
+
+    // Rearm protocol: counters to zero FIRST, then clear fired flags.
+    EXPECT_EQ(co_await api.PtlCTSet(a.value, 0), PTL_OK);
+    EXPECT_EQ(co_await api.PtlCTRearm(), PTL_OK);
+    EXPECT_EQ(co_await api.PtlCTInc(a.value, 3), PTL_OK);
+    wb = co_await api.PtlCTWait(b.value, 14);
+    EXPECT_EQ(wb.value, 14u);
+    *d = true;
+  }(p, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+// Two triggered puts on one counter, armed in REVERSE threshold order:
+// only the lower threshold fires at ct=1, both have fired at ct=2, and
+// deposits land where each trigger aimed.
+TEST(TriggeredCt, TriggeredPutsFireByThresholdNotArmOrder) {
+  Machine m(net::Shape::xt3(2, 1, 1));
+  Process& src = m.node(0).spawn_accel_process(kPid);
+  Process& dst = m.node(1).spawn_accel_process(kPid);
+  const std::uint64_t sbuf = src.alloc(64);
+  const std::uint64_t rbuf = dst.alloc(64);
+  std::vector<double> vals = {1.5, 2.5};
+  src.write_bytes(sbuf, std::as_bytes(std::span(vals)));
+
+  struct Shared {
+    CtHandle rct{};
+    bool target_ready = false;
+    bool done = false;
+  } sh;
+
+  sim::spawn([](Process& proc, std::uint64_t buf, Shared* s) -> CoTask<void> {
+    auto& api = proc.api();
+    auto ct = co_await api.PtlCTAlloc();
+    EXPECT_EQ(ct.rc, PTL_OK);
+    s->rct = ct.value;
+    auto me = co_await api.PtlMEAttach(
+        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, 7, 0, Unlink::kRetain,
+        InsPos::kAfter);
+    EXPECT_EQ(me.rc, PTL_OK);
+    MdDesc d;
+    d.start = buf;
+    d.length = 64;
+    d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE |
+                ptl::PTL_MD_EVENT_CT_PUT;
+    d.ct = ct.value;
+    auto md = co_await api.PtlMDAttach(me.value, d, Unlink::kRetain);
+    EXPECT_EQ(md.rc, PTL_OK);
+    s->target_ready = true;
+  }(dst, rbuf, &sh));
+  m.run();
+  ASSERT_TRUE(sh.target_ready);
+
+  sim::spawn([](Process& proc, Process& target, std::uint64_t buf,
+                std::uint64_t tbuf, Shared* s) -> CoTask<void> {
+    auto& api = proc.api();
+    auto& tapi = target.api();
+    auto ct = co_await api.PtlCTAlloc();
+    EXPECT_EQ(ct.rc, PTL_OK);
+    MdDesc d;
+    d.start = buf;
+    d.length = 64;
+    auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+    EXPECT_EQ(md.rc, PTL_OK);
+    // Armed first, fires second: threshold 2, second double to offset 8.
+    EXPECT_EQ(co_await api.PtlTriggeredPut(md.value, 8, 8, target.id(), 0, 0,
+                                           7, 8, 0, ct.value, 2),
+              PTL_OK);
+    // Armed second, fires first: threshold 1, first double to offset 0.
+    EXPECT_EQ(co_await api.PtlTriggeredPut(md.value, 0, 8, target.id(), 0, 0,
+                                           7, 0, 0, ct.value, 1),
+              PTL_OK);
+
+    EXPECT_EQ(co_await api.PtlCTInc(ct.value, 1), PTL_OK);
+    auto w = co_await tapi.PtlCTWait(s->rct, 1);
+    EXPECT_EQ(w.rc, PTL_OK);
+    std::vector<double> got(2);
+    target.read_bytes(tbuf, std::as_writable_bytes(std::span(got)));
+    EXPECT_DOUBLE_EQ(got[0], 1.5);  // low threshold landed
+    EXPECT_DOUBLE_EQ(got[1], 0.0);  // high threshold has not fired
+
+    EXPECT_EQ(co_await api.PtlCTInc(ct.value, 1), PTL_OK);
+    w = co_await tapi.PtlCTWait(s->rct, 2);
+    EXPECT_EQ(w.rc, PTL_OK);
+    target.read_bytes(tbuf, std::as_writable_bytes(std::span(got)));
+    EXPECT_DOUBLE_EQ(got[0], 1.5);
+    EXPECT_DOUBLE_EQ(got[1], 2.5);
+    s->done = true;
+  }(src, dst, sbuf, rbuf, &sh));
+  m.run();
+  EXPECT_TRUE(sh.done);
+  EXPECT_EQ(machine_interrupts(m), 0u);
+  EXPECT_EQ(machine_triggered_fires(m), 2u);
+}
+
+TEST(TriggeredCt, TriggerTableExhaustsAtConfiguredSize) {
+  ss::Config cfg;
+  cfg.n_accel_triggers = 4;
+  Machine m(net::Shape::xt3(1, 1, 1), cfg);
+  Process& p = m.node(0).spawn_accel_process(kPid);
+  bool done = false;
+  sim::spawn([](Process& proc, bool* d) -> CoTask<void> {
+    auto& api = proc.api();
+    auto a = co_await api.PtlCTAlloc();
+    auto b = co_await api.PtlCTAlloc();
+    EXPECT_EQ(a.rc, PTL_OK);
+    EXPECT_EQ(b.rc, PTL_OK);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(co_await api.PtlTriggeredCTInc(a.value, 100, b.value, 1),
+                PTL_OK);
+    }
+    // The table is a fixed SRAM reservation: entry 5 does not fit.
+    EXPECT_EQ(co_await api.PtlTriggeredCTInc(a.value, 100, b.value, 1),
+              PTL_NO_SPACE);
+    // Reset frees the whole table.
+    EXPECT_EQ(co_await api.PtlCTResetTriggers(), PTL_OK);
+    EXPECT_EQ(co_await api.PtlTriggeredCTInc(a.value, 100, b.value, 1),
+              PTL_OK);
+    *d = true;
+  }(p, &done));
+  m.run();
+  EXPECT_TRUE(done);
+}
+
+// The counter + trigger tables are part of the firmware's 384 KB SRAM
+// budget: a configuration that does not fit must fail at boot
+// (registration), not corrupt silently.
+TEST(TriggeredCt, CtTablesMustFitSramBudget) {
+  ss::Config cfg;
+  cfg.n_accel_triggers = 8192;  // 8192 * 96 B = 768 KB > 384 KB
+  Machine m(net::Shape::xt3(1, 1, 1), cfg);
+  EXPECT_THROW(m.node(0).spawn_accel_process(kPid), std::length_error);
+}
+
+// ------------------------------------------------- collective fixtures ----
+
+struct CollJob {
+  CollJob(int nranks, coll::Mode mode, int arity = 2)
+      : m(net::Shape::xt3(nranks, 1, 1)) {
+    std::vector<ProcessId> ids;
+    for (int r = 0; r < nranks; ++r) {
+      ids.push_back(ProcessId{static_cast<net::NodeId>(r), kPid});
+    }
+    coll::Config cc;
+    cc.mode = mode;
+    cc.tree_arity = arity;
+    for (int r = 0; r < nranks; ++r) {
+      auto& node = m.node(static_cast<net::NodeId>(r));
+      Process& p = mode == coll::Mode::kOffload
+                       ? node.spawn_accel_process(kPid, 8u << 20)
+                       : node.spawn_process(kPid, 32u << 20);
+      procs.push_back(&p);
+      colls.push_back(std::make_unique<coll::Coll>(p, ids, r, cc));
+    }
+    for (auto& c : colls) {
+      sim::spawn([](coll::Coll& cl) -> CoTask<void> {
+        EXPECT_EQ(co_await cl.init(), PTL_OK);
+      }(*c));
+    }
+    m.run();
+  }
+  coll::Coll& coll(int r) { return *colls[static_cast<std::size_t>(r)]; }
+  Process& proc(int r) { return *procs[static_cast<std::size_t>(r)]; }
+  Machine m;
+  std::vector<Process*> procs;
+  std::vector<std::unique_ptr<coll::Coll>> colls;
+};
+
+/// Runs one barrier on every rank with staggered arrivals and checks no
+/// rank leaves before the last one arrives.
+void run_barrier_iteration(CollJob& job, int n, coll::BarrierAlgo algo) {
+  std::vector<Time> done_at(static_cast<std::size_t>(n));
+  Time last_start = Time{};
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    const Time stagger = Time::us(3) * r;
+    last_start = std::max(last_start, stagger);
+    sim::spawn([](CollJob& j, int rk, Time delay, coll::BarrierAlgo a,
+                  std::vector<Time>* out, int* d) -> CoTask<void> {
+      co_await sim::delay(j.m.engine(), delay);
+      EXPECT_EQ(co_await j.coll(rk).barrier(a), PTL_OK);
+      (*out)[static_cast<std::size_t>(rk)] = j.m.engine().now();
+      ++*d;
+    }(job, r, stagger, algo, &done_at, &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  for (int r = 0; r < n; ++r) {
+    EXPECT_GE(done_at[static_cast<std::size_t>(r)], last_start)
+        << "rank " << r << " left the barrier before the last arrival";
+  }
+}
+
+void rearm_all(CollJob& job, int n) {
+  for (int r = 0; r < n; ++r) {
+    sim::spawn([](coll::Coll& c) -> CoTask<void> {
+      EXPECT_EQ(co_await c.rearm_iteration(), PTL_OK);
+    }(job.coll(r)));
+  }
+  job.m.run();
+}
+
+class OffloadSizes : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, OffloadSizes,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+TEST_P(OffloadSizes, BarrierDisseminationHoldsEveryRank) {
+  const int n = GetParam();
+  CollJob job(n, coll::Mode::kOffload);
+  for (int r = 0; r < n; ++r) {
+    sim::spawn([](coll::Coll& c) -> CoTask<void> {
+      EXPECT_EQ(co_await c.prepare_barrier(coll::BarrierAlgo::kDissemination),
+                PTL_OK);
+    }(job.coll(r)));
+  }
+  job.m.run();
+  for (int iter = 0; iter < 3; ++iter) {
+    run_barrier_iteration(job, n, coll::BarrierAlgo::kDissemination);
+    rearm_all(job, n);
+  }
+  EXPECT_EQ(machine_interrupts(job.m), 0u);
+  EXPECT_GT(machine_triggered_fires(job.m), 0u);
+}
+
+TEST_P(OffloadSizes, BarrierTreeHoldsEveryRank) {
+  const int n = GetParam();
+  CollJob job(n, coll::Mode::kOffload);
+  for (int r = 0; r < n; ++r) {
+    sim::spawn([](coll::Coll& c) -> CoTask<void> {
+      EXPECT_EQ(co_await c.prepare_barrier(coll::BarrierAlgo::kTree),
+                PTL_OK);
+    }(job.coll(r)));
+  }
+  job.m.run();
+  for (int iter = 0; iter < 2; ++iter) {
+    run_barrier_iteration(job, n, coll::BarrierAlgo::kTree);
+    rearm_all(job, n);
+  }
+  EXPECT_EQ(machine_interrupts(job.m), 0u);
+}
+
+void run_allreduce_and_check(CollJob& job, int n, coll::AllreduceAlgo algo,
+                             std::uint32_t count, double salt) {
+  std::vector<std::uint64_t> bufs;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(job.proc(r).alloc(count * 8));
+    std::vector<double> v(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      v[i] = (r + 1) * 1.25 + i * salt;
+    }
+    job.proc(r).write_bytes(bufs.back(), std::as_bytes(std::span(v)));
+  }
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    sim::spawn([](coll::Coll& c, coll::AllreduceAlgo a, std::uint64_t b,
+                  std::uint32_t cnt, int* d) -> CoTask<void> {
+      EXPECT_EQ(co_await c.allreduce(a, b, cnt), PTL_OK);
+      ++*d;
+    }(job.coll(r), algo, bufs[static_cast<std::size_t>(r)], count, &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  for (int r = 0; r < n; ++r) {
+    std::vector<double> got(count);
+    job.proc(r).read_bytes(bufs[static_cast<std::size_t>(r)],
+                           std::as_writable_bytes(std::span(got)));
+    for (std::uint32_t i = 0; i < count; ++i) {
+      double want = 0;
+      for (int k = 0; k < n; ++k) want += (k + 1) * 1.25 + i * salt;
+      EXPECT_DOUBLE_EQ(got[i], want) << "rank " << r << " element " << i;
+    }
+  }
+}
+
+TEST_P(OffloadSizes, AllreduceTreeSumsEverywhereWithZeroInterrupts) {
+  const int n = GetParam();
+  CollJob job(n, coll::Mode::kOffload);
+  constexpr std::uint32_t kCount = 16;
+  for (int r = 0; r < n; ++r) {
+    sim::spawn([](coll::Coll& c) -> CoTask<void> {
+      EXPECT_EQ(co_await c.prepare_allreduce(coll::AllreduceAlgo::kTree,
+                                             kCount),
+                PTL_OK);
+    }(job.coll(r)));
+  }
+  job.m.run();
+  run_allreduce_and_check(job, n, coll::AllreduceAlgo::kTree, kCount, 0.5);
+  rearm_all(job, n);
+  run_allreduce_and_check(job, n, coll::AllreduceAlgo::kTree, kCount, 0.25);
+  EXPECT_EQ(machine_interrupts(job.m), 0u);
+}
+
+class OffloadPow2 : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, OffloadPow2,
+                         ::testing::Values(2, 4, 8));
+
+TEST_P(OffloadPow2, AllreduceRecursiveDoublingSumsEverywhere) {
+  const int n = GetParam();
+  CollJob job(n, coll::Mode::kOffload);
+  constexpr std::uint32_t kCount = 16;
+  for (int r = 0; r < n; ++r) {
+    sim::spawn([](coll::Coll& c) -> CoTask<void> {
+      EXPECT_EQ(co_await c.prepare_allreduce(
+                    coll::AllreduceAlgo::kRecursiveDoubling, kCount),
+                PTL_OK);
+    }(job.coll(r)));
+  }
+  job.m.run();
+  run_allreduce_and_check(job, n, coll::AllreduceAlgo::kRecursiveDoubling,
+                          kCount, 0.5);
+  rearm_all(job, n);
+  run_allreduce_and_check(job, n, coll::AllreduceAlgo::kRecursiveDoubling,
+                          kCount, 2.0);
+  EXPECT_EQ(machine_interrupts(job.m), 0u);
+}
+
+TEST(Collective, OffloadBcastDeliversFromNonzeroRoot) {
+  const int n = 6;
+  const int root = 2;
+  constexpr std::uint32_t kLen = 256;
+  CollJob job(n, coll::Mode::kOffload, /*arity=*/3);
+  std::vector<std::byte> payload(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    payload[i] = static_cast<std::byte>(i * 7 + 3);
+  }
+  std::vector<std::uint64_t> bufs;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(job.proc(r).alloc(kLen));
+    if (r == root) job.proc(r).write_bytes(bufs.back(), payload);
+    sim::spawn([](coll::Coll& c) -> CoTask<void> {
+      EXPECT_EQ(co_await c.prepare_bcast(kLen, 2), PTL_OK);
+    }(job.coll(r)));
+  }
+  job.m.run();
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    sim::spawn([](coll::Coll& c, std::uint64_t b, int* d) -> CoTask<void> {
+      EXPECT_EQ(co_await c.bcast(b, kLen, 2), PTL_OK);
+      ++*d;
+    }(job.coll(r), bufs[static_cast<std::size_t>(r)], &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::byte> got(kLen);
+    job.proc(r).read_bytes(bufs[static_cast<std::size_t>(r)], got);
+    EXPECT_EQ(got, payload) << "rank " << r;
+  }
+  EXPECT_EQ(machine_interrupts(job.m), 0u);
+}
+
+TEST(Collective, ConsumedScheduleRejectsRunWithoutRearm) {
+  const int n = 2;
+  CollJob job(n, coll::Mode::kOffload);
+  for (int r = 0; r < n; ++r) {
+    sim::spawn([](coll::Coll& c) -> CoTask<void> {
+      EXPECT_EQ(co_await c.prepare_barrier(coll::BarrierAlgo::kDissemination),
+                PTL_OK);
+    }(job.coll(r)));
+  }
+  job.m.run();
+  run_barrier_iteration(job, n, coll::BarrierAlgo::kDissemination);
+  int rc = -1;
+  sim::spawn([](coll::Coll& c, int* out) -> CoTask<void> {
+    *out = co_await c.barrier(coll::BarrierAlgo::kDissemination);
+  }(job.coll(0), &rc));
+  job.m.run();
+  EXPECT_EQ(rc, PTL_FAIL);
+}
+
+// ------------------------------------------------- host-mode algorithms ----
+
+class HostSizes : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, HostSizes, ::testing::Values(2, 5, 8));
+
+TEST_P(HostSizes, HostBarrierBothAlgosHoldEveryRank) {
+  const int n = GetParam();
+  CollJob job(n, coll::Mode::kHost);
+  run_barrier_iteration(job, n, coll::BarrierAlgo::kDissemination);
+  run_barrier_iteration(job, n, coll::BarrierAlgo::kTree);
+}
+
+TEST_P(HostSizes, HostAllreduceBothAlgosSumEverywhere) {
+  const int n = GetParam();
+  CollJob job(n, coll::Mode::kHost);
+  run_allreduce_and_check(job, n, coll::AllreduceAlgo::kRecursiveDoubling,
+                          16, 0.5);
+  run_allreduce_and_check(job, n, coll::AllreduceAlgo::kTree, 16, 0.5);
+}
+
+TEST(Collective, HostBcastTreeDeliversFromNonzeroRoot) {
+  const int n = 5;
+  const int root = 3;
+  constexpr std::uint32_t kLen = 512;
+  CollJob job(n, coll::Mode::kHost, /*arity=*/2);
+  std::vector<std::byte> payload(kLen, std::byte{0xA7});
+  std::vector<std::uint64_t> bufs;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(job.proc(r).alloc(kLen));
+    if (r == root) job.proc(r).write_bytes(bufs.back(), payload);
+  }
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    sim::spawn([](coll::Coll& c, std::uint64_t b, int rt,
+                  int* d) -> CoTask<void> {
+      EXPECT_EQ(co_await c.bcast(b, kLen, rt), PTL_OK);
+      ++*d;
+    }(job.coll(r), bufs[static_cast<std::size_t>(r)], root, &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::byte> got(kLen);
+    job.proc(r).read_bytes(bufs[static_cast<std::size_t>(r)], got);
+    EXPECT_EQ(got, payload) << "rank " << r;
+  }
+}
+
+// Host and offload must compute identical results (pairwise double sums
+// associate the same way in both schedules).
+TEST(Collective, HostAndOffloadAllreduceAgree) {
+  const int n = 4;
+  constexpr std::uint32_t kCount = 8;
+  std::vector<std::vector<double>> results;
+  for (const coll::Mode mode : {coll::Mode::kHost, coll::Mode::kOffload}) {
+    CollJob job(n, mode);
+    std::vector<std::uint64_t> bufs;
+    for (int r = 0; r < n; ++r) {
+      bufs.push_back(job.proc(r).alloc(kCount * 8));
+      std::vector<double> v(kCount);
+      for (std::uint32_t i = 0; i < kCount; ++i) {
+        v[i] = (r + 1) * 0.3 + i * 1.7;
+      }
+      job.proc(r).write_bytes(bufs.back(), std::as_bytes(std::span(v)));
+      sim::spawn([](coll::Coll& c) -> CoTask<void> {
+        EXPECT_EQ(co_await c.prepare_allreduce(
+                      coll::AllreduceAlgo::kRecursiveDoubling, kCount),
+                  PTL_OK);
+      }(job.coll(r)));
+    }
+    job.m.run();
+    int done = 0;
+    for (int r = 0; r < n; ++r) {
+      sim::spawn([](coll::Coll& c, std::uint64_t b, int* d) -> CoTask<void> {
+        EXPECT_EQ(co_await c.allreduce(
+                      coll::AllreduceAlgo::kRecursiveDoubling, b, kCount),
+                  PTL_OK);
+        ++*d;
+      }(job.coll(r), bufs[static_cast<std::size_t>(r)], &done));
+    }
+    job.m.run();
+    EXPECT_EQ(done, n);
+    std::vector<double> got(kCount);
+    job.proc(0).read_bytes(bufs[0], std::as_writable_bytes(std::span(got)));
+    results.push_back(got);
+  }
+  ASSERT_EQ(results.size(), 2u);
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    EXPECT_DOUBLE_EQ(results[0][i], results[1][i]) << "element " << i;
+  }
+}
+
+TEST(Collective, SramFootprintReportedAgainstBudget) {
+  CollJob job(2, coll::Mode::kOffload);
+  const std::size_t fp = job.coll(0).sram_footprint();
+  const ss::Config& cfg = job.m.config();
+  EXPECT_EQ(fp, cfg.n_accel_counters * cfg.counter_bytes +
+                    cfg.n_accel_triggers * cfg.trigger_bytes);
+  EXPECT_LT(fp, cfg.sram_bytes);
+  EXPECT_LE(job.m.node(0).nic().sram().used(), cfg.sram_bytes);
+  // Host mode occupies nothing.
+  CollJob host(2, coll::Mode::kHost);
+  EXPECT_EQ(host.coll(0).sram_footprint(), 0u);
+}
+
+}  // namespace
+}  // namespace xt

@@ -48,7 +48,7 @@ struct Job {
 class CollSize : public ::testing::TestWithParam<int> {};
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, CollSize,
-                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12));
 
 TEST_P(CollSize, BcastReachesEveryRank) {
   const int n = GetParam();
@@ -222,6 +222,126 @@ TEST_P(CollSize, AlltoallExchangesAllBlocks) {
             << "rank " << r << " from " << from;
       }
     }
+  }
+}
+
+TEST_P(CollSize, ReduceSumsDoublesNonzeroRoot) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Job job(n);
+  const int root = n - 1;
+  constexpr std::uint32_t kCount = 64;
+  std::vector<std::uint64_t> bufs;
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(job.proc(r).alloc(kCount * 8));
+    std::vector<double> v(kCount);
+    for (std::uint32_t i = 0; i < kCount; ++i) v[i] = r * 2.0 + i * 0.25;
+    job.proc(r).write_bytes(bufs.back(), std::as_bytes(std::span(v)));
+    sim::spawn([](Comm& c, std::uint64_t b, int rt, int* d) -> CoTask<void> {
+      EXPECT_EQ(co_await c.reduce_sum(b, kCount, rt), PTL_OK);
+      ++*d;
+    }(job.comm(r), bufs.back(), root, &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  std::vector<double> got(kCount);
+  job.proc(root).read_bytes(bufs[static_cast<std::size_t>(root)],
+                            std::as_writable_bytes(std::span(got)));
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    double want = 0;
+    for (int r = 0; r < n; ++r) want += r * 2.0 + i * 0.25;
+    EXPECT_DOUBLE_EQ(got[i], want) << "element " << i;
+  }
+}
+
+TEST_P(CollSize, GatherToNonzeroRoot) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Job job(n);
+  const int root = n / 2;
+  constexpr std::uint32_t kLen = 96;
+  std::vector<std::uint64_t> sbufs;
+  const std::uint64_t rbuf =
+      job.proc(root).alloc(static_cast<std::size_t>(n) * kLen);
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    sbufs.push_back(job.proc(r).alloc(kLen));
+    std::vector<std::byte> v(kLen, static_cast<std::byte>(r * 5 + 2));
+    job.proc(r).write_bytes(sbufs.back(), v);
+    sim::spawn([](Comm& c, std::uint64_t s, std::uint64_t d, int rt,
+                  int* dn) -> CoTask<void> {
+      EXPECT_EQ(co_await c.gather(s, kLen, d, rt), PTL_OK);
+      ++*dn;
+    }(job.comm(r), sbufs.back(), rbuf, root, &done));
+  }
+  job.m.run();
+  ASSERT_EQ(done, n);
+  for (int r = 0; r < n; ++r) {
+    std::vector<std::byte> got(kLen);
+    job.proc(root).read_bytes(
+        rbuf + static_cast<std::uint64_t>(r) * kLen, got);
+    for (const auto b : got) {
+      ASSERT_EQ(b, static_cast<std::byte>(r * 5 + 2)) << "rank " << r;
+    }
+  }
+}
+
+// Regression: reduce_sum/allreduce_sum used to bump-allocate a fresh
+// scratch buffer per call; the simulated address space never frees, so a
+// long-running job exhausted its memory.  With the cached scratch this
+// loop stays within a small footprint; before the fix it throws
+// std::length_error long before the final iteration.
+class CollScratch : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollScratch, ::testing::Values(3, 4));
+
+TEST_P(CollScratch, AllreduceScratchIsReusedAcrossIterations) {
+  const int n = GetParam();
+  constexpr std::uint32_t kCount = 4096;  // 32 KB of doubles per scratch
+  constexpr int kIters = 300;             // x300 would need ~9.6 MB leaked
+  Machine m(net::Shape::xt3(n, 1, 1));
+  std::vector<ptl::ProcessId> ids;
+  for (int r = 0; r < n; ++r) {
+    ids.push_back(ptl::ProcessId{static_cast<net::NodeId>(r), kPid});
+  }
+  std::vector<Process*> procs;
+  std::vector<std::unique_ptr<Comm>> comms;
+  for (int r = 0; r < n; ++r) {
+    // Tight budget: unexpected slabs (8 MB) + buffers + little headroom.
+    procs.push_back(&m.node(static_cast<net::NodeId>(r))
+                         .spawn_process(kPid, 9u << 20));
+    comms.push_back(std::make_unique<Comm>(*procs.back(), ids, r));
+    sim::spawn([](Comm& comm) -> CoTask<void> {
+      EXPECT_EQ(co_await comm.init(), PTL_OK);
+    }(*comms.back()));
+  }
+  m.run();
+  std::vector<std::uint64_t> bufs;
+  int done = 0;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(procs[static_cast<std::size_t>(r)]->alloc(kCount * 8));
+    std::vector<double> v(kCount, 1.0);
+    procs[static_cast<std::size_t>(r)]->write_bytes(
+        bufs.back(), std::as_bytes(std::span(v)));
+    sim::spawn([](Comm& c, std::uint64_t b, int* d) -> CoTask<void> {
+      for (int it = 0; it < kIters; ++it) {
+        EXPECT_EQ(co_await c.allreduce_sum(b, kCount), PTL_OK);
+      }
+      ++*d;
+    }(*comms[static_cast<std::size_t>(r)], bufs.back(), &done));
+  }
+  m.run();
+  ASSERT_EQ(done, n);
+  // After kIters summations of all-ones the value is n^kIters (finite for
+  // these parameters); just check every rank agrees.
+  std::vector<double> r0(kCount);
+  procs[0]->read_bytes(bufs[0], std::as_writable_bytes(std::span(r0)));
+  for (int r = 1; r < n; ++r) {
+    std::vector<double> got(kCount);
+    procs[static_cast<std::size_t>(r)]->read_bytes(
+        bufs[static_cast<std::size_t>(r)],
+        std::as_writable_bytes(std::span(got)));
+    EXPECT_EQ(got, r0) << "rank " << r;
   }
 }
 
