@@ -22,10 +22,12 @@
 #include <vector>
 
 #include "collective/collective.hpp"
+#include "harness/netpipe_bench.hpp"
 #include "harness/options.hpp"
 #include "harness/sweep.hpp"
 #include "host/node.hpp"
 #include "sim/strf.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
@@ -60,6 +62,8 @@ struct Row {
   std::uint64_t fires = 0;     // triggered operations launched on NICs
   std::size_t sram_footprint = 0;
   std::size_t sram_used = 0;
+  std::string metrics_json;    // set when --metrics was given
+  std::vector<sim::Trace::Record> trace_records;  // set when --trace
 };
 
 /// Near-cubic power-of-two torus for n = 2^e ranks.
@@ -80,8 +84,15 @@ mpi::Flavor small_flavor() {
   return f;
 }
 
-Row point(Op op, coll::Mode mode, int n, bool quick) {
+Row point(Op op, coll::Mode mode, int n, bool quick, bool want_metrics,
+          bool want_trace) {
   host::Machine m(shape_for(n));
+  // This bench builds its Machine directly (no Scenario), so the
+  // telemetry sinks are wired by hand: sampling on the engine registry,
+  // a per-point Trace collected into the Row.
+  if (want_metrics) m.engine().metrics().set_sampling(true);
+  sim::Trace tr;
+  if (want_trace) m.engine().set_trace(&tr);
   std::vector<ptl::ProcessId> ids;
   for (int r = 0; r < n; ++r) {
     ids.push_back(ptl::ProcessId{static_cast<net::NodeId>(r), kPid});
@@ -209,6 +220,11 @@ Row point(Op op, coll::Mode mode, int n, bool quick) {
   row.fires = fires() - fires0;
   row.sram_footprint = colls[0]->sram_footprint();
   row.sram_used = m.node(0).nic().sram().used();
+  if (want_metrics) row.metrics_json = m.engine().metrics().to_json();
+  if (want_trace) {
+    row.trace_records = tr.records();
+    m.engine().set_trace(nullptr);
+  }
   if (mode == coll::Mode::kOffload && row.interrupts != 0) {
     throw std::runtime_error(sim::strf(
         "offload %s n=%d took %llu host interrupts (want 0)", op_str(op), n,
@@ -235,8 +251,10 @@ int main(int argc, char** argv) {
     for (const coll::Mode mode : modes) {
       for (const int n : sizes) {
         const bool quick = o.quick;
-        tasks.push_back([op, mode, n, quick] {
-          return point(op, mode, n, quick);
+        const bool wm = !o.metrics_path.empty();
+        const bool wt = !o.trace_path.empty();
+        tasks.push_back([op, mode, n, quick, wm, wt] {
+          return point(op, mode, n, quick, wm, wt);
         });
       }
     }
@@ -311,6 +329,37 @@ int main(int argc, char** argv) {
     }
     j += "\n  ]\n}\n";
     if (!harness::write_text_file(o.json_path, j)) return 1;
+  }
+
+  if (!o.metrics_path.empty() || !o.trace_path.empty()) {
+    // Merge the per-point registries/timelines through the harness
+    // helpers; points are named "op/mode/nN" so the exports stay
+    // self-describing (and byte-identical for any --jobs).
+    std::vector<harness::SeriesResult> series;
+    for (const Op op : ops) {
+      for (const coll::Mode mode : modes) {
+        for (const int n : sizes) {
+          const Row& r = find(op, mode, n);
+          harness::SeriesResult s;
+          s.name = sim::strf("%s/%s/n%d", op_str(op), coll::mode_str(mode),
+                             r.n);
+          s.pattern = np::Pattern::kPingPong;
+          s.metrics_json = r.metrics_json;
+          s.trace_records = r.trace_records;
+          series.push_back(std::move(s));
+        }
+      }
+    }
+    if (!o.metrics_path.empty() &&
+        !harness::write_text_file(
+            o.metrics_path, harness::metrics_json("coll_scaling", series))) {
+      return 1;
+    }
+    if (!o.trace_path.empty() &&
+        !harness::write_text_file(o.trace_path,
+                                  harness::merged_trace_json(series))) {
+      return 1;
+    }
   }
   return 0;
 }

@@ -7,10 +7,13 @@
 #include "sim/log.hpp"
 #include "sim/trace.hpp"
 #include "sim/strf.hpp"
+#include "telemetry/hooks.hpp"
 
 namespace xt::fw {
 
 using sim::Time;
+using telemetry::Stage;
+using telemetry::prov_stamp;
 
 namespace {
 
@@ -36,6 +39,51 @@ Firmware::Firmware(sim::Engine& eng, ss::Nic& nic, const ss::Config& cfg)
           nic.sram().reserve("sources", cfg.n_sources * cfg.source_bytes)),
       image_region_(nic.sram().reserve("firmware image", cfg.fw_image_bytes)) {
   nic_.set_rx_client(*this);
+  auto& reg = eng_.metrics();
+  const std::string pre = sim::strf("fw.n%u.", nic_.node());
+  c_.tx_cmds = &reg.counter(pre + "tx_cmds");
+  c_.rx_cmds = &reg.counter(pre + "rx_cmds");
+  c_.releases = &reg.counter(pre + "releases");
+  c_.tx_msgs = &reg.counter(pre + "tx_msgs");
+  c_.rx_headers = &reg.counter(pre + "rx_headers");
+  c_.rx_completions = &reg.counter(pre + "rx_completions");
+  c_.inline_deliveries = &reg.counter(pre + "inline_deliveries");
+  c_.interrupts = &reg.counter(pre + "interrupts");
+  c_.crc_drops = &reg.counter(pre + "crc_drops");
+  c_.exhaustion_drops = &reg.counter(pre + "exhaustion_drops");
+  c_.nacks_sent = &reg.counter(pre + "nacks_sent");
+  c_.nacks_received = &reg.counter(pre + "nacks_received");
+  c_.retransmits = &reg.counter(pre + "retransmits");
+  c_.rewinds = &reg.counter(pre + "rewinds");
+  c_.duplicates_dropped = &reg.counter(pre + "duplicates_dropped");
+  c_.accel_matches = &reg.counter(pre + "accel_matches");
+  c_.ct_increments = &reg.counter(pre + "ct_increments");
+  c_.triggered_fires = &reg.counter(pre + "triggered_fires");
+  c_.mailbox_polls = &reg.counter(pre + "mailbox_polls");
+  c_.rx_pendings_in_use = &reg.gauge(pre + "rx_pendings_in_use");
+}
+
+Firmware::Counters Firmware::counters() const {
+  Counters s;
+  s.tx_cmds = c_.tx_cmds->value;
+  s.rx_cmds = c_.rx_cmds->value;
+  s.releases = c_.releases->value;
+  s.tx_msgs = c_.tx_msgs->value;
+  s.rx_headers = c_.rx_headers->value;
+  s.rx_completions = c_.rx_completions->value;
+  s.inline_deliveries = c_.inline_deliveries->value;
+  s.interrupts = c_.interrupts->value;
+  s.crc_drops = c_.crc_drops->value;
+  s.exhaustion_drops = c_.exhaustion_drops->value;
+  s.nacks_sent = c_.nacks_sent->value;
+  s.nacks_received = c_.nacks_received->value;
+  s.retransmits = c_.retransmits->value;
+  s.rewinds = c_.rewinds->value;
+  s.duplicates_dropped = c_.duplicates_dropped->value;
+  s.accel_matches = c_.accel_matches->value;
+  s.ct_increments = c_.ct_increments->value;
+  s.triggered_fires = c_.triggered_fires->value;
+  return s;
 }
 
 Firmware::~Firmware() = default;
@@ -139,6 +187,7 @@ sim::CoTask<void> Firmware::dispatch_loop() {
   co_await sim::delay(eng_, cfg_.fw_poll);
   for (;;) {
     bool any = false;
+    c_.mailbox_polls->add();
     for (FwProcId proc = 0; proc < static_cast<FwProcId>(procs_.size());
          ++proc) {
       auto& p = procs_[static_cast<std::size_t>(proc)];
@@ -157,7 +206,8 @@ sim::CoTask<void> Firmware::handle_command(FwProcId proc, Command cmd) {
   if (panicked_) co_return;
   if (auto* tx = std::get_if<TxCommand>(&cmd)) {
     co_await ppc_.use(cfg_.fw_tx_cmd);
-    ++counters_.tx_cmds;
+    c_.tx_cmds->add();
+    prov_stamp(eng_, tx->prov, Stage::kFwTxCmd);
     LowerPending& lp = lower(proc, tx->pending);
     lp.state = LowerPending::State::kTxQueued;
     lp.proc = proc;
@@ -176,7 +226,7 @@ sim::CoTask<void> Firmware::handle_command(FwProcId proc, Command cmd) {
     }
   } else if (auto* rx = std::get_if<RxCommand>(&cmd)) {
     co_await ppc_.use(cfg_.fw_rx_cmd);
-    ++counters_.rx_cmds;
+    c_.rx_cmds->add();
     LowerPending& lp = lower(proc, rx->pending);
     if (lp.state != LowerPending::State::kRxHeader) {
       // The message was dropped (e.g. failed the end-to-end CRC) after the
@@ -184,6 +234,7 @@ sim::CoTask<void> Firmware::handle_command(FwProcId proc, Command cmd) {
       // been told via kRxDropped and will release the pending.
       co_return;
     }
+    if (lp.msg) prov_stamp(eng_, lp.msg->prov_id, Stage::kFwRxCmd);
     lp.rx = std::move(*rx);
     lp.cmd_ready = true;
     // Link at the tail of the source's RX pending list (§4.3).
@@ -193,7 +244,7 @@ sim::CoTask<void> Firmware::handle_command(FwProcId proc, Command cmd) {
     maybe_start_deposit(*src);
   } else if (auto* rel = std::get_if<ReleaseCommand>(&cmd)) {
     co_await ppc_.use(cfg_.fw_event_post);
-    ++counters_.releases;
+    c_.releases->add();
     free_rx_pending(proc, rel->pending);
   } else if (auto* ct = std::get_if<CtCommand>(&cmd)) {
     // The host touch that starts an offloaded collective: one mailbox
@@ -212,7 +263,7 @@ sim::CoTask<void> Firmware::handle_command(FwProcId proc, Command cmd) {
         value = procs_[static_cast<std::size_t>(proc)].rx_free.size();
         break;
       case QueryCommand::What::kRxMessages:
-        value = counters_.rx_completions;
+        value = c_.rx_completions->value;
         break;
     }
     // The result becomes visible to the busy-waiting host one HT posted
@@ -310,7 +361,7 @@ void Firmware::ct_add(FwProcId proc, CtId ct, std::uint64_t inc) {
   auto& p = procs_[static_cast<std::size_t>(proc)];
   assert(ct < p.cts.size());
   p.cts[ct] += inc;
-  ++counters_.ct_increments;
+  c_.ct_increments->add();
   p.ct_waiters->notify_all();
   if (p.trigger_scan_running) return;  // the live scan will re-pass
   for (const auto& t : p.triggers) {
@@ -388,8 +439,8 @@ sim::CoTask<void> Firmware::fire_triggered_put(FwProcId proc,
       inline_bytes.empty() ? payload_bytes : 0;
   co_await nic_.transmit(msg, reader, wire_payload, n_dma_cmds);
   if (cfg_.gobackn) gbn_record(msg->dst, *msg, n_dma_cmds);
-  ++counters_.tx_msgs;
-  ++counters_.triggered_fires;
+  c_.tx_msgs->add();
+  c_.triggered_fires->add();
 }
 
 std::uint64_t Firmware::heartbeat() const {
@@ -405,10 +456,12 @@ sim::CoTask<void> Firmware::tx_worker() {
     LowerPending& lp = lower(proc, id);
     lp.state = LowerPending::State::kTxActive;
     co_await ppc_.use(cfg_.fw_tx_start);
+    prov_stamp(eng_, lp.tx.prov, Stage::kTxDma);
 
     auto msg = std::make_shared<net::Message>();
     msg->src = nic_.node();
     msg->dst = lp.tx.dst;
+    msg->prov_id = lp.tx.prov;
     UpperPending& up = upper(proc, id);
     msg->header.assign(up.header_packet.begin(), up.header_packet.end());
     if (cfg_.gobackn) {
@@ -428,7 +481,7 @@ sim::CoTask<void> Firmware::tx_worker() {
                                msg->dst));
     }
     if (cfg_.gobackn) gbn_record(msg->dst, *msg, lp.tx.n_dma_cmds);
-    ++counters_.tx_msgs;
+    c_.tx_msgs->add();
 
     co_await ppc_.use(cfg_.fw_tx_complete);
     lp.state = LowerPending::State::kHostOwned;
@@ -458,7 +511,8 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
     sim::trace_end(eng_, sim::strf("n%u.fw", nic_.node()), "rx_header");
   }
   if (panicked_) co_return;
-  ++counters_.rx_headers;
+  c_.rx_headers->add();
+  prov_stamp(eng_, msg->prov_id, Stage::kFwRxHeader);
   const ptl::WireHeader hdr = ptl::unpack_header(msg->header);
 
   // Firmware-level control traffic (go-back-n) never reaches a process.
@@ -471,7 +525,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
     co_return;
   }
   if (hdr.op == ptl::WireOp::kFwNack) {
-    ++counters_.nacks_received;
+    c_.nacks_received->add();
     sim::spawn(gbn_rewind(msg->src, hdr.stream_seq));
     co_return;
   }
@@ -486,7 +540,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
   // Source structure lookup/allocation (§4.3).
   SourceSlot* src = sources_.lookup_or_alloc(msg->src);
   if (src == nullptr) {
-    ++counters_.exhaustion_drops;
+    c_.exhaustion_drops->add();
     if (!cfg_.gobackn) {
       panic("source pool exhausted on receive");
     }
@@ -503,12 +557,12 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
         // A predecessor was dropped: discard and (once) NACK the gap.
         if (!src->nack_outstanding) {
           src->nack_outstanding = true;
-          ++counters_.nacks_sent;
+          c_.nacks_sent->add();
           sim::spawn(gbn_send_control(msg->src, ptl::WireOp::kFwNack,
                                       src->expected_seq));
         }
       } else {
-        ++counters_.duplicates_dropped;
+        c_.duplicates_dropped->add();
       }
       co_return;
     }
@@ -516,14 +570,14 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
 
   // Allocate an RX pending from the target process' pool (§4.3).
   if (p.rx_free.empty()) {
-    ++counters_.exhaustion_drops;
+    c_.exhaustion_drops->add();
     if (!cfg_.gobackn) {
       panic(sim::strf("out of RX pendings for firmware process %d", proc));
       co_return;
     }
     if (!src->nack_outstanding) {
       src->nack_outstanding = true;
-      ++counters_.nacks_sent;
+      c_.nacks_sent->add();
       sim::spawn(gbn_send_control(msg->src, ptl::WireOp::kFwNack,
                                   src->expected_seq));
     }
@@ -531,6 +585,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
   }
   const PendingId id = p.rx_free.back();
   p.rx_free.pop_back();
+  c_.rx_pendings_in_use->set(++rx_in_use_);
 
   if (cfg_.gobackn) {
     ++src->expected_seq;
@@ -572,7 +627,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
     std::size_t walked = 0;
     if (hdr.op == ptl::WireOp::kGet) {
       auto prog = p.matcher->fw_get(hdr, id, walked);
-      ++counters_.accel_matches;
+      c_.accel_matches->add();
       if (!prog.has_value()) {
         inflight_rx_.erase(msg->seq);
         free_rx_pending(proc, id);
@@ -606,7 +661,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
       co_await nic_.transmit(reply, prog->reader, wire_payload,
                              prog->n_dma_cmds);
       if (cfg_.gobackn) gbn_record(reply->dst, *reply, prog->n_dma_cmds);
-      ++counters_.tx_msgs;
+      c_.tx_msgs->add();
       // The GET side is complete; hand the request pending to the library
       // so it can post PTL_EVENT_GET_* and release.
       lp.state = LowerPending::State::kHostOwned;
@@ -614,7 +669,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
       co_return;
     }
     auto res = p.matcher->fw_match(hdr, id, walked);
-    ++counters_.accel_matches;
+    c_.accel_matches->add();
     if (!res.has_value()) {
       inflight_rx_.erase(msg->seq);
       free_rx_pending(proc, id);
@@ -639,6 +694,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
     co_await ppc_.use(cfg_.fw_match_per_me *
                       static_cast<std::int64_t>(
                           std::max<std::size_t>(walked, 1)));
+    prov_stamp(eng_, msg->prov_id, Stage::kFwMatch);
     if (!lp.inline_delivery) {
       if (SourceSlot* s2 = sources_.lookup(msg->src)) {
         maybe_start_deposit(*s2);
@@ -652,7 +708,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
   // completion handler, which knows the CRC verdict; messages with a body
   // get the header event immediately so host matching overlaps arrival.
   if (!msg->payload.empty()) {
-    post_event(proc, FwEvent{FwEvent::Type::kRxHeader, id});
+    post_event(proc, FwEvent{FwEvent::Type::kRxHeader, id}, msg->prov_id);
   }
 }
 
@@ -676,7 +732,7 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
   }
 
   if (!crc_ok) {
-    ++counters_.crc_drops;
+    c_.crc_drops->add();
     inflight_rx_.erase(it);
     if (msg->payload.empty()) {
       // No event was posted yet; silently reclaim.
@@ -699,8 +755,9 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
     // delivering the "new message" and "message complete" notifications
     // together is exactly the §6 small-message optimization.
     inflight_rx_.erase(it);
-    ++counters_.rx_completions;
-    if (lp.inline_delivery) ++counters_.inline_deliveries;
+    c_.rx_completions->add();
+    prov_stamp(eng_, msg->prov_id, Stage::kFwComplete);
+    if (lp.inline_delivery) c_.inline_deliveries->add();
     if (p.accelerated && lp.inline_delivery) {
       if (lp.rx.deposit) {
         const auto inl = ptl::inline_payload_of(
@@ -719,11 +776,12 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
       } else {
         lp.state = LowerPending::State::kHostOwned;
         if (ct != kNoCt) ct_add(proc, ct, 1);
-        post_event(proc, FwEvent{FwEvent::Type::kRxComplete, id});
+        post_event(proc, FwEvent{FwEvent::Type::kRxComplete, id},
+                   msg->prov_id);
       }
     } else {
       lp.state = LowerPending::State::kHostOwned;
-      post_event(proc, FwEvent{FwEvent::Type::kRxHeader, id});
+      post_event(proc, FwEvent{FwEvent::Type::kRxHeader, id}, msg->prov_id);
     }
     co_return;
   }
@@ -765,12 +823,15 @@ sim::CoTask<void> Firmware::deposit_worker(net::NodeId source_node) {
       sim::trace_end(eng_, sim::strf("n%u.rxdma", nic_.node()),
                      sim::strf("deposit %u B", lp.rx.deliver_bytes));
     }
+    prov_stamp(eng_, lp.msg->prov_id, Stage::kRxDma);
     if (lp.rx.deposit && lp.rx.deliver_bytes > 0) {
       lp.rx.deposit(std::span<const std::byte>(lp.msg->payload)
                         .first(lp.rx.deliver_bytes));
     }
     co_await ppc_.use(cfg_.fw_rx_complete);
-    ++counters_.rx_completions;
+    c_.rx_completions->add();
+    const std::uint64_t prov = lp.msg->prov_id;
+    prov_stamp(eng_, prov, Stage::kFwComplete);
     inflight_rx_.erase(lp.msg->seq);
     src->rx_list.pop_front();
     const CtId ct = lp.rx.ct;
@@ -781,27 +842,33 @@ sim::CoTask<void> Firmware::deposit_worker(net::NodeId source_node) {
     } else {
       lp.state = LowerPending::State::kHostOwned;
       if (ct != kNoCt) ct_add(owner, ct, 1);
-      post_event(owner, FwEvent{FwEvent::Type::kRxComplete, id});
+      post_event(owner, FwEvent{FwEvent::Type::kRxComplete, id}, prov);
     }
   }
   src->deposit_active = false;
 }
 
-void Firmware::post_event(FwProcId proc, FwEvent ev) {
+void Firmware::post_event(FwProcId proc, FwEvent ev, std::uint64_t prov) {
   auto& p = procs_[static_cast<std::size_t>(proc)];
   const bool generic = !p.accelerated;
-  eng_.schedule_after(cfg_.ht_write_latency + cfg_.fw_event_post,
-                      [this, proc, ev, generic] {
-                        auto& pp = procs_[static_cast<std::size_t>(proc)];
-                        if (!pp.eq->post(ev)) {
-                          panic("firmware event queue overflow");
-                          return;
-                        }
-                        if (generic && irq_) {
-                          ++counters_.interrupts;
-                          irq_();
-                        }
-                      });
+  eng_.schedule_after(
+      cfg_.ht_write_latency + cfg_.fw_event_post,
+      [this, proc, ev, generic, prov] {
+        auto& pp = procs_[static_cast<std::size_t>(proc)];
+        if (!pp.eq->post(ev)) {
+          panic("firmware event queue overflow");
+          return;
+        }
+        if (generic && irq_) {
+          c_.interrupts->add();
+          prov_stamp(eng_, prov, Stage::kIrqRaise);
+          irq_();
+        } else if (!generic) {
+          // Accelerated mode never interrupts: the event sits in the
+          // polled queue until the library's pump notices it.
+          prov_stamp(eng_, prov, Stage::kEventPost);
+        }
+      });
 }
 
 void Firmware::free_rx_pending(FwProcId proc, PendingId id) {
@@ -809,6 +876,7 @@ void Firmware::free_rx_pending(FwProcId proc, PendingId id) {
   p.lower[id] = LowerPending{};
   p.upper[id].msg.reset();
   p.rx_free.push_back(id);
+  c_.rx_pendings_in_use->set(--rx_in_use_);
 }
 
 std::vector<std::string> Firmware::debug_pendings(FwProcId proc) const {
@@ -901,7 +969,7 @@ sim::CoTask<void> Firmware::gbn_rewind(net::NodeId dst,
                                        std::uint32_t from_seq) {
   TxStream& stream = tx_streams_[dst];
   if (stream.rewinding) co_return;
-  ++counters_.rewinds;
+  c_.rewinds->add();
   stream.rewinding = true;
   // Everything before from_seq is implicitly acknowledged.
   while (stream.window_base < from_seq && !stream.window.empty()) {
@@ -925,7 +993,7 @@ sim::CoTask<void> Firmware::gbn_rewind(net::NodeId dst,
     // lambda captures inside co_await expressions.  The local outlives the
     // fully-awaited transmit.
     TxStream::Sent sent = stream.window[i];
-    ++counters_.retransmits;
+    c_.retransmits->add();
     auto msg = std::make_shared<net::Message>();
     msg->src = nic_.node();
     msg->dst = dst;

@@ -42,6 +42,7 @@
 #include "sim/condition.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace xt::fw {
 
@@ -168,6 +169,10 @@ class Firmware final : public ss::RxClient {
   void on_rx_complete(const net::MessagePtr& msg, bool crc_ok) override;
 
   // ---------------------------------------------------- introspection ----
+  /// Value snapshot of the firmware's op counters.  The live values are
+  /// named entries in the engine's MetricsRegistry ("fw.nN.*"), so they
+  /// appear in --metrics snapshots; this struct is assembled on demand for
+  /// the existing test/bench call sites.
   struct Counters {
     std::uint64_t tx_cmds = 0;
     std::uint64_t rx_cmds = 0;
@@ -188,7 +193,7 @@ class Firmware final : public ss::RxClient {
     std::uint64_t ct_increments = 0;
     std::uint64_t triggered_fires = 0;
   };
-  const Counters& counters() const { return counters_; }
+  Counters counters() const;
   bool panicked() const { return panicked_; }
   const std::string& panic_reason() const { return panic_reason_; }
   std::size_t sources_in_use() const { return sources_.in_use(); }
@@ -278,7 +283,9 @@ class Firmware final : public ss::RxClient {
   sim::CoTask<void> fire_triggered_put(FwProcId proc, std::size_t idx);
 
   /// Posts an event to a process EQ: HT write + (generic) interrupt.
-  void post_event(FwProcId proc, FwEvent ev);
+  /// `prov` (when nonzero) stamps the interrupt-raise / event-post stage
+  /// on the message's provenance record.
+  void post_event(FwProcId proc, FwEvent ev, std::uint64_t prov = 0);
   /// Checks the head of `src`'s RX list and starts its deposit if ready.
   void maybe_start_deposit(SourceSlot& src);
   void free_rx_pending(FwProcId proc, PendingId id);
@@ -315,8 +322,35 @@ class Firmware final : public ss::RxClient {
 
   std::unordered_map<net::NodeId, TxStream> tx_streams_;
 
+  /// Registry-backed op counters (one MetricsRegistry entry each, named
+  /// "fw.nN.<field>"); cached handles so bumps are a single integer add.
+  struct CounterHandles {
+    telemetry::Counter* tx_cmds;
+    telemetry::Counter* rx_cmds;
+    telemetry::Counter* releases;
+    telemetry::Counter* tx_msgs;
+    telemetry::Counter* rx_headers;
+    telemetry::Counter* rx_completions;
+    telemetry::Counter* inline_deliveries;
+    telemetry::Counter* interrupts;
+    telemetry::Counter* crc_drops;
+    telemetry::Counter* exhaustion_drops;
+    telemetry::Counter* nacks_sent;
+    telemetry::Counter* nacks_received;
+    telemetry::Counter* retransmits;
+    telemetry::Counter* rewinds;
+    telemetry::Counter* duplicates_dropped;
+    telemetry::Counter* accel_matches;
+    telemetry::Counter* ct_increments;
+    telemetry::Counter* triggered_fires;
+    telemetry::Counter* mailbox_polls;
+    telemetry::Gauge* rx_pendings_in_use;  // high_water = paper's "pendings
+                                           // high-water mark"
+  };
+
   std::function<void()> irq_;
-  Counters counters_;
+  CounterHandles c_{};
+  std::int64_t rx_in_use_ = 0;
   bool panicked_ = false;
   sim::Time panic_time_{};
   std::uint64_t next_ticket_ = 1;

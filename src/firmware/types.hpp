@@ -92,6 +92,9 @@ struct TxCommand {
   std::uint32_t n_dma_cmds = 1;
   /// Reads payload out of host memory as the Tx DMA consumes it.
   ss::PayloadReader reader;
+  /// Provenance record id stamped by the posting host (0 = untracked);
+  /// the firmware copies it onto the wire message it builds.
+  std::uint64_t prov = 0;
 };
 
 struct RxCommand {

@@ -62,8 +62,9 @@ std::vector<np::Sample> measure(np::Transport t, np::Pattern pattern,
 
 std::vector<SeriesResult> measure_series(
     const std::vector<np::Transport>& transports, np::Pattern pattern,
-    const np::Options& o, const ss::Config& cfg, int jobs) {
-  std::vector<std::function<std::vector<np::Sample>()>> tasks;
+    const np::Options& o, const ss::Config& cfg, int jobs,
+    Scenario::TelemetrySpec tel) {
+  std::vector<std::function<SeriesResult()>> tasks;
   tasks.reserve(transports.size());
   for (std::size_t i = 0; i < transports.size(); ++i) {
     const np::Transport t = transports[i];
@@ -72,16 +73,60 @@ std::vector<SeriesResult> measure_series(
     // serial run).
     ss::Config c = cfg;
     c.net.seed = cfg.net.seed + i;
-    tasks.push_back([t, pattern, o, c] { return measure(t, pattern, o, c); });
+    tasks.push_back([t, pattern, o, c, tel] {
+      auto inst = netpipe_scenario(t, o, c).with_telemetry(tel).build();
+      auto mod = make_module(t, inst->proc(0), inst->proc(1));
+      SeriesResult r;
+      r.name = np::transport_name(t);
+      r.pattern = pattern;
+      r.samples = np::run_sweep(inst->machine(), *mod, pattern, o);
+      if (tel.sampling) r.metrics_json = inst->metrics_json();
+      if (tel.trace && inst->trace() != nullptr) {
+        r.trace_records = inst->trace()->records();
+      }
+      return r;
+    });
   }
-  auto results = SweepRunner(jobs).run(std::move(tasks));
-  std::vector<SeriesResult> out;
-  out.reserve(transports.size());
-  for (std::size_t i = 0; i < transports.size(); ++i) {
-    out.push_back(SeriesResult{np::transport_name(transports[i]), pattern,
-                               std::move(results[i])});
+  return SweepRunner(jobs).run(std::move(tasks));
+}
+
+std::string metrics_json(const std::string& bench,
+                         const std::vector<SeriesResult>& series) {
+  std::string out =
+      sim::strf("{\n  \"bench\": \"%s\",\n  \"series\": [\n", bench.c_str());
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const SeriesResult& r = series[s];
+    out += sim::strf("    {\"name\": \"%s\", \"metrics\": %s}%s\n",
+                     r.name.c_str(),
+                     r.metrics_json.empty() ? "{}" : r.metrics_json.c_str(),
+                     s + 1 < series.size() ? "," : "");
   }
+  out += "  ]\n}\n";
   return out;
+}
+
+std::string merged_trace_json(const std::vector<SeriesResult>& series) {
+  sim::Trace merged;
+  for (const SeriesResult& r : series) {
+    for (const sim::Trace::Record& rec : r.trace_records) {
+      const std::string track = r.name + "/" + rec.track;
+      switch (rec.phase) {
+        case sim::Trace::Phase::kBegin:
+          merged.begin(track, rec.name, rec.t);
+          break;
+        case sim::Trace::Phase::kEnd:
+          merged.end(track, rec.name, rec.t);
+          break;
+        case sim::Trace::Phase::kInstant:
+          merged.instant(track, rec.name, rec.t, rec.arg);
+          break;
+        case sim::Trace::Phase::kCounter:
+          merged.counter(track, rec.name, rec.t, rec.arg);
+          break;
+      }
+    }
+  }
+  return merged.to_chrome_json();
 }
 
 std::string series_json(const std::string& figure, int jobs,
@@ -131,8 +176,11 @@ int run_figure(const FigureSpec& spec, int argc, char** argv) {
       np::Transport::kMpich2};
   ss::Config cfg;
   cfg.net.seed = o.seed;
+  Scenario::TelemetrySpec tel;
+  tel.sampling = !o.metrics_path.empty();
+  tel.trace = !o.trace_path.empty();
   const auto series =
-      measure_series(transports, spec.pattern, o.np, cfg, o.jobs);
+      measure_series(transports, spec.pattern, o.np, cfg, o.jobs, tel);
 
   for (const SeriesResult& r : series) {
     std::fputs(
@@ -140,13 +188,22 @@ int run_figure(const FigureSpec& spec, int argc, char** argv) {
         stdout);
     std::fputs("\n", stdout);
   }
+  int rc = 0;
   if (!o.json_path.empty() &&
       !write_series_json(o.json_path, spec.figure, o.jobs, series)) {
     std::fprintf(stderr, "warning: could not write %s\n",
                  o.json_path.c_str());
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (!o.metrics_path.empty() &&
+      !write_text_file(o.metrics_path, metrics_json(spec.figure, series))) {
+    rc = 1;
+  }
+  if (!o.trace_path.empty() &&
+      !write_text_file(o.trace_path, merged_trace_json(series))) {
+    rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace xt::harness

@@ -29,18 +29,37 @@ std::vector<np::Sample> measure(np::Transport t, np::Pattern pattern,
                                 const np::Options& o,
                                 const ss::Config& cfg = {});
 
-/// One measured series, ready for table or JSON rendering.
+/// One measured series, ready for table or JSON rendering.  The telemetry
+/// fields stay empty unless the corresponding TelemetrySpec bit was set
+/// when the series was measured.
 struct SeriesResult {
   std::string name;
   np::Pattern pattern;
   std::vector<np::Sample> samples;
+  /// Metrics-registry snapshot of this series' scenario (JSON object).
+  std::string metrics_json;
+  /// Raw trace records of this series' scenario.
+  std::vector<sim::Trace::Record> trace_records;
 };
 
 /// Measures the given transports under one pattern, fanning the points out
-/// over `jobs` workers; results come back in input order.
+/// over `jobs` workers; results come back in input order.  `tel` picks
+/// which telemetry each point collects (collected inside the worker, so
+/// results are input-order deterministic for any `jobs`).
 std::vector<SeriesResult> measure_series(
     const std::vector<np::Transport>& transports, np::Pattern pattern,
-    const np::Options& o, const ss::Config& cfg, int jobs);
+    const np::Options& o, const ss::Config& cfg, int jobs,
+    Scenario::TelemetrySpec tel = {});
+
+/// Renders the merged metrics dump of a figure: one entry per series, each
+/// holding that scenario's registry snapshot.  Byte-identical for any
+/// --jobs value.
+std::string metrics_json(const std::string& bench,
+                         const std::vector<SeriesResult>& series);
+
+/// Merges every series' trace records into one Chrome trace; tracks are
+/// prefixed "series-name/track" so timelines stay distinguishable.
+std::string merged_trace_json(const std::vector<SeriesResult>& series);
 
 /// Renders/writes the JSON dump of a measured figure.
 std::string series_json(const std::string& figure, int jobs,

@@ -12,15 +12,35 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s [--max BYTES] [--quick] [--jobs N] [--json FILE] "
-      "[--seed N]\n"
-      "  --max BYTES  largest message size on the NetPIPE ladder\n"
-      "  --quick      reduced iteration counts (smoke run)\n"
-      "  --jobs N     sweep worker threads (default: hardware cores;\n"
-      "               output is identical for every N)\n"
-      "  --json FILE  also dump the measured series as JSON\n"
-      "  --seed N     base RNG seed for the scenarios\n",
+      "[--metrics FILE] [--trace FILE] [--seed N]\n"
+      "  --max BYTES     largest message size on the NetPIPE ladder\n"
+      "  --quick         reduced iteration counts (smoke run)\n"
+      "  --jobs N        sweep worker threads (default: hardware cores;\n"
+      "                  output is identical for every N)\n"
+      "  --json FILE     also dump the measured series as JSON\n"
+      "  --metrics FILE  dump the metrics-registry snapshots as JSON\n"
+      "  --trace FILE    dump a merged Chrome trace (chrome://tracing)\n"
+      "  --seed N        base RNG seed for the scenarios\n",
       prog);
   std::exit(rc);
+}
+
+/// Matches `--flag FILE` and `--flag=FILE`; on a hit stores the value and
+/// returns true (possibly consuming argv[i+1]).
+bool path_flag(const char* flag, int argc, char** argv, int& i,
+               std::string* out) {
+  const char* arg = argv[i];
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0) return false;
+  if (arg[n] == '\0' && i + 1 < argc) {
+    *out = argv[++i];
+    return true;
+  }
+  if (arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -41,6 +61,8 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       o.jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
       o.json_path = argv[++i];
+    } else if (path_flag("--metrics", argc, argv, i, &o.metrics_path)) {
+    } else if (path_flag("--trace", argc, argv, i, &o.trace_path)) {
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
       o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(arg, "--help") == 0 ||

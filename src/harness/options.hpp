@@ -3,12 +3,16 @@
 // The one CLI parser shared by every bench binary (fig*, abl*, tables).
 //
 // Flags:
-//   --max N      largest message size in bytes (NetPIPE ladder top)
-//   --quick      cut iteration counts for a fast smoke run
-//   --jobs N     worker threads for the sweep (default: all hardware cores)
-//   --json FILE  also dump the measured series as JSON
-//   --seed N     base RNG seed for the scenarios
+//   --max N         largest message size in bytes (NetPIPE ladder top)
+//   --quick         cut iteration counts for a fast smoke run
+//   --jobs N        worker threads for the sweep (default: all cores)
+//   --json FILE     also dump the measured series as JSON
+//   --metrics FILE  dump every scenario's metrics registry as JSON
+//   --trace FILE    dump a merged Chrome trace of every scenario
+//   --seed N        base RNG seed for the scenarios
 //   --help
+//
+// --metrics and --trace also accept the --flag=FILE spelling.
 //
 // Output is deterministic: serial (--jobs 1) and parallel runs print
 // byte-identical tables (see harness/sweep.hpp).
@@ -26,6 +30,13 @@ struct BenchOptions {
   int jobs = 0;
   /// Non-empty: also write the measured series to this file as JSON.
   std::string json_path;
+  /// Non-empty: write the merged metrics-registry snapshot (JSON, one
+  /// object per measured series) to this file.  Byte-identical for any
+  /// --jobs value.
+  std::string metrics_path;
+  /// Non-empty: write a merged Chrome trace of every scenario to this
+  /// file (tracks are prefixed with the series name).
+  std::string trace_path;
   bool quick = false;
   /// Base RNG seed; sweep point i derives its own stream from seed + i.
   std::uint64_t seed = 1;

@@ -26,6 +26,18 @@ std::unique_ptr<Instance> Scenario::build() const {
 
 Instance::Instance(const Scenario& sc)
     : machine_(sc.shape, sc.config, sc.os_of) {
+  // Install the sinks before any process spawns so nothing misses the
+  // start of the run.  All sinks are per-Instance, never global, so
+  // concurrent Instances keep independent timelines.
+  if (sc.telemetry.sampling) engine().metrics().set_sampling(true);
+  if (sc.telemetry.trace) {
+    trace_ = std::make_unique<sim::Trace>();
+    engine().set_trace(trace_.get());
+  }
+  if (sc.telemetry.provenance) {
+    prov_ = std::make_unique<telemetry::ProvenanceLog>();
+    engine().set_provenance(prov_.get());
+  }
   procs_.reserve(sc.procs.size());
   for (const Scenario::ProcSpec& p : sc.procs) {
     host::Node& node = machine_.node(p.node);
@@ -41,6 +53,10 @@ Instance::Instance(const Scenario& sc)
         break;
     }
   }
+}
+
+std::string Instance::metrics_json() {
+  return machine_.engine().metrics().to_json();
 }
 
 }  // namespace xt::harness

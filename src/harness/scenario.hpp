@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "host/node.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/provenance.hpp"
 
 namespace xt::harness {
 
@@ -31,12 +33,22 @@ struct Scenario {
     host::ProcMode mode = host::ProcMode::kUser;
   };
 
+  /// What the built Instance collects beyond the always-on counters.
+  /// Everything here defaults to off so sweeps pay nothing they did not
+  /// ask for.
+  struct TelemetrySpec {
+    bool sampling = false;    ///< registry distribution samples (histograms)
+    bool provenance = false;  ///< per-message stage stamps (waterfalls)
+    bool trace = false;       ///< Chrome trace-event collection
+  };
+
   net::Shape shape = net::Shape::xt3(2, 1, 1);
   ss::Config config{};
   /// Per-node OS choice; null means all-Catamount (the Red Storm compute
   /// partition).
   std::function<host::OsType(net::NodeId)> os_of;
   std::vector<ProcSpec> procs;
+  TelemetrySpec telemetry{};
 
   // ------------------------------------------------- fluent builders ----
 
@@ -56,6 +68,10 @@ struct Scenario {
   /// sweep points get distinct seeds so their streams are independent.
   Scenario& with_seed(std::uint64_t seed) {
     config.net.seed = seed;
+    return *this;
+  }
+  Scenario& with_telemetry(TelemetrySpec t) {
+    telemetry = t;
     return *this;
   }
   Scenario& add_proc(net::NodeId node, ptl::Pid pid = 10,
@@ -96,9 +112,17 @@ class Instance {
   /// Runs the simulation to quiescence; returns events executed.
   std::uint64_t run() { return machine_.run(); }
 
+  /// Telemetry sinks the Scenario asked for (null when off).
+  sim::Trace* trace() { return trace_.get(); }
+  telemetry::ProvenanceLog* provenance() { return prov_.get(); }
+  /// Deterministic JSON snapshot of the engine's metrics registry.
+  std::string metrics_json();
+
  private:
   host::Machine machine_;
   std::vector<host::Process*> procs_;
+  std::unique_ptr<sim::Trace> trace_;
+  std::unique_ptr<telemetry::ProvenanceLog> prov_;
 };
 
 }  // namespace xt::harness

@@ -5,6 +5,8 @@
 
 #include "host/node.hpp"
 #include "net/routing.hpp"
+#include "sim/strf.hpp"
+#include "telemetry/hooks.hpp"
 
 namespace xt::host {
 
@@ -12,6 +14,8 @@ using ptl::WireHeader;
 using ptl::WireOp;
 using sim::CoTask;
 using sim::Time;
+using telemetry::Stage;
+using telemetry::prov_stamp;
 
 AccelAgent::AccelAgent(Node& node, ptl::Pid pid, AddressSpace& as)
     : node_(node), pid_(pid), as_(as) {
@@ -25,6 +29,10 @@ AccelAgent::AccelAgent(Node& node, ptl::Pid pid, AddressSpace& as)
   opts.matcher = this;
   fwproc_ = node.firmware().register_process(opts);
   node.firmware().bind_pid(pid, fwproc_);
+  auto& reg = node.engine().metrics();
+  const std::string pre = sim::strf("accel.n%u.", node.id());
+  c_ct_waits_ = &reg.counter(pre + "ct_waits");
+  c_ct_wait_wakeups_ = &reg.counter(pre + "ct_wait_wakeups");
   sim::spawn(pump());
 }
 
@@ -50,13 +58,21 @@ int AccelAgent::send(TxKind kind, std::uint32_t dst_nid,
       node_.firmware().host_alloc_tx_pending(fwproc_);
   if (pd == fw::kNoPending) return ptl::PTL_NO_SPACE;
   tx_map_[pd] = TxRec{kind, token};
-  sim::spawn(tx_post_task(pd, dst_nid, hdr, std::move(payload)));
+  std::uint64_t prov = 0;
+  if (node_.engine().provenance_enabled() &&
+      (kind == TxKind::kPut || kind == TxKind::kReply)) {
+    std::uint32_t len = 0;
+    for (const ptl::IoVec& v : payload) len += v.length;
+    prov = telemetry::prov_begin(node_.engine(), node_.id(), dst_nid, len);
+  }
+  sim::spawn(tx_post_task(pd, dst_nid, hdr, std::move(payload), prov));
   return ptl::PTL_OK;
 }
 
 CoTask<void> AccelAgent::tx_post_task(fw::PendingId pd,
                                       std::uint32_t dst_nid, WireHeader hdr,
-                                      std::vector<ptl::IoVec> payload) {
+                                      std::vector<ptl::IoVec> payload,
+                                      std::uint64_t prov) {
   const ss::Config& cfg = node_.config();
   // User-level command construction — no trap, no kernel.
   co_await node_.cpu().run(cfg.host_cmd_build);
@@ -74,6 +90,7 @@ CoTask<void> AccelAgent::tx_post_task(fw::PendingId pd,
   fw::TxCommand cmd;
   cmd.pending = pd;
   cmd.dst = dst_nid;
+  cmd.prov = prov;
   cmd.payload_bytes = is_inline ? 0 : payload_len;
   // Catamount buffers are physically contiguous: one DMA command per
   // scatter/gather segment.
@@ -186,7 +203,9 @@ sim::CoTask<int> AccelAgent::ct_wait(ptl::CtHandle ct,
   if (!ct.valid()) co_return ptl::PTL_HANDLE_INVALID;
   fw::Firmware& fw = node_.firmware();
   const fw::CtId id = static_cast<fw::CtId>(ct.idx);
+  c_ct_waits_->add();
   while (fw.host_ct_get(fwproc_, id) < threshold) {
+    c_ct_wait_wakeups_->add();
     co_await fw.ct_waiters(fwproc_).wait();
   }
   if (value != nullptr) *value = fw.host_ct_get(fwproc_, id);
@@ -328,6 +347,11 @@ CoTask<void> AccelAgent::handle(fw::FwEvent ev) {
       if (it != rx_map_.end()) {
         const std::uint64_t token = it->second;
         rx_map_.erase(it);
+        const fw::UpperPending& up =
+            node_.firmware().upper(fwproc_, ev.pending);
+        if (up.msg) {
+          prov_stamp(node_.engine(), up.msg->prov_id, Stage::kHostDeliver);
+        }
         auto ack = lib_->deposited(token);
         if (ack.has_value()) {
           // Route the ack back through the normal user-level send path;

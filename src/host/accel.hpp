@@ -92,7 +92,8 @@ class AccelAgent final : public fw::AccelMatcher,
 
   sim::CoTask<void> tx_post_task(fw::PendingId pd, std::uint32_t dst_nid,
                                  ptl::WireHeader hdr,
-                                 std::vector<ptl::IoVec> payload);
+                                 std::vector<ptl::IoVec> payload,
+                                 std::uint64_t prov);
   /// Drains all pending firmware events (polled, interrupt-free).
   sim::CoTask<void> drain();
   sim::CoTask<void> handle(fw::FwEvent ev);
@@ -109,6 +110,10 @@ class AccelAgent final : public fw::AccelMatcher,
   std::unordered_map<fw::PendingId, TxRec> tx_map_;
   std::unordered_map<fw::PendingId, std::uint64_t> rx_map_;
   bool draining_ = false;
+  /// Registry instruments ("accel.nN.*"): counter-wait calls and the
+  /// wakeups they burn re-checking thresholds (per-round collective cost).
+  telemetry::Counter* c_ct_waits_ = nullptr;
+  telemetry::Counter* c_ct_wait_wakeups_ = nullptr;
 };
 
 }  // namespace xt::host

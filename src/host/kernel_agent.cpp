@@ -6,18 +6,25 @@
 #include "sim/log.hpp"
 #include "sim/trace.hpp"
 #include "sim/strf.hpp"
+#include "telemetry/hooks.hpp"
 
 namespace xt::host {
 
 using ptl::WireHeader;
 using ptl::WireOp;
 using sim::Time;
+using telemetry::Stage;
+using telemetry::prov_stamp;
 
 KernelAgent::KernelAgent(sim::Engine& eng, const ss::Config& cfg,
                          fw::Firmware& fw, Cpu& cpu, net::NodeId self,
                          const net::Shape& shape)
     : eng_(eng), cfg_(cfg), fw_(fw), cpu_(cpu), self_(self), shape_(shape) {
   fw_.set_irq([this] { on_interrupt(); });
+  auto& reg = eng_.metrics();
+  const std::string pre = sim::strf("agent.n%u.", self_);
+  c_irq_ = &reg.counter(pre + "interrupts_serviced");
+  h_events_per_irq_ = &reg.histogram(pre + "events_per_irq");
 }
 
 KernelAgent::~KernelAgent() = default;
@@ -68,7 +75,18 @@ int KernelAgent::send_message(ptl::Pid src_pid, ptl::Nal::TxKind kind,
   const fw::PendingId pd = fw_.host_alloc_tx_pending(fw::kGenericProc);
   if (pd == fw::kNoPending) return ptl::PTL_NO_SPACE;
   tx_map_[pd] = TxRec{kind, token, src_pid};
-  sim::spawn(tx_post_task(pd, src_pid, dst_nid, hdr, std::move(payload)));
+  // Open a provenance record at post time for the message kinds that can be
+  // observed end to end (puts and get replies reach a remote delivery; acks
+  // and get requests complete as part of another record's path).
+  std::uint64_t prov = 0;
+  if (eng_.provenance_enabled() && (kind == ptl::Nal::TxKind::kPut ||
+                                    kind == ptl::Nal::TxKind::kReply)) {
+    std::uint32_t len = 0;
+    for (const ptl::IoVec& v : payload) len += v.length;
+    prov = telemetry::prov_begin(eng_, self_, dst_nid, len);
+  }
+  sim::spawn(
+      tx_post_task(pd, src_pid, dst_nid, hdr, std::move(payload), prov));
   return ptl::PTL_OK;
 }
 
@@ -76,7 +94,8 @@ sim::CoTask<void> KernelAgent::tx_post_task(fw::PendingId pd,
                                             ptl::Pid src_pid,
                                             std::uint32_t dst_nid,
                                             ptl::WireHeader hdr,
-                                            std::vector<ptl::IoVec> payload) {
+                                            std::vector<ptl::IoVec> payload,
+                                            std::uint64_t prov) {
   AddressSpace* as = as_for(src_pid);
   assert(as != nullptr);
   std::uint32_t payload_len = 0;
@@ -110,6 +129,7 @@ sim::CoTask<void> KernelAgent::tx_post_task(fw::PendingId pd,
   cmd.dst = dst_nid;
   cmd.payload_bytes = wire_payload;
   cmd.n_dma_cmds = segs;
+  cmd.prov = prov;
   if (wire_payload > 0) {
     auto segs_ptr =
         std::make_shared<std::vector<ptl::IoVec>>(std::move(payload));
@@ -127,17 +147,20 @@ void KernelAgent::on_interrupt() {
 }
 
 sim::CoTask<void> KernelAgent::irq_task() {
-  ++irq_invocations_;
+  c_irq_->add();
   if (eng_.trace_enabled()) {
     sim::trace_begin(eng_, sim::strf("n%u.cpu", self_), "interrupt");
   }
   // Interrupt entry/exit overhead (§3.3: "at least 2 us each").
   co_await cpu_.run_interrupt(cfg_.interrupt);
+  std::uint64_t drained = 0;
   for (;;) {
     auto ev = fw_.event_queue(fw::kGenericProc).poll();
     if (!ev.has_value()) break;
+    ++drained;
     co_await handle_event(*ev);
   }
+  if (eng_.metrics().sampling()) h_events_per_irq_->record(drained);
   irq_active_ = false;
   if (eng_.trace_enabled()) {
     sim::trace_end(eng_, sim::strf("n%u.cpu", self_), "interrupt");
@@ -160,6 +183,7 @@ sim::CoTask<void> KernelAgent::handle_event(fw::FwEvent ev) {
           const fw::UpperPending& up = fw_.upper(fw::kGenericProc, ev.pending);
           const WireHeader hdr = ptl::unpack_header(up.header_packet);
           auto ack = lib->deposited(rec.token);
+          if (up.msg) prov_stamp(eng_, up.msg->prov_id, Stage::kHostDeliver);
           send_ack_if_any(rec.pid, hdr.src_nid, ack);
         }
       }
@@ -257,7 +281,12 @@ sim::CoTask<void> KernelAgent::handle_rx_header(fw::PendingId pending) {
         // the §6 small-message optimization (one interrupt total).
         cost += cfg_.host_event_post;
         co_await cpu_.run_interrupt(cost);
+        // Match and delivery run in one CPU charge here, so the host_match
+        // interval carries the combined cost and host_deliver is the
+        // delivery instant (zero-width).
+        if (up.msg) prov_stamp(eng_, up.msg->prov_id, Stage::kHostMatch);
         finish_inline(*lib, *as, d, up, atomic);
+        if (up.msg) prov_stamp(eng_, up.msg->prov_id, Stage::kHostDeliver);
         release(pending);
       } else {
         std::uint32_t segs = 1;
@@ -268,6 +297,7 @@ sim::CoTask<void> KernelAgent::handle_rx_header(fw::PendingId pending) {
           }
         }
         co_await cpu_.run_interrupt(cost + cfg_.host_cmd_build);
+        if (up.msg) prov_stamp(eng_, up.msg->prov_id, Stage::kHostMatch);
         fw::RxCommand cmd;
         cmd.pending = pending;
         cmd.deliver_bytes = d.deliver ? d.mlength : 0;

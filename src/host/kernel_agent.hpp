@@ -48,8 +48,9 @@ class KernelAgent {
   void on_interrupt();
 
   /// Interrupt-handler invocations (not raised lines; coalescing means
-  /// this can be lower than the firmware's interrupt counter).
-  std::uint64_t irq_invocations() const { return irq_invocations_; }
+  /// this can be lower than the firmware's interrupt counter).  Reads the
+  /// registry-backed "agent.nN.interrupts_serviced" counter.
+  std::uint64_t irq_invocations() const { return c_irq_->value; }
 
  private:
   /// The per-process Nal implementation handed to each Library.
@@ -92,7 +93,8 @@ class KernelAgent {
                    std::vector<ptl::IoVec> payload, std::uint64_t token);
   sim::CoTask<void> tx_post_task(fw::PendingId pd, ptl::Pid src_pid,
                                  std::uint32_t dst_nid, ptl::WireHeader hdr,
-                                 std::vector<ptl::IoVec> payload);
+                                 std::vector<ptl::IoVec> payload,
+                                 std::uint64_t prov);
 
   sim::CoTask<void> irq_task();
   sim::CoTask<void> handle_event(fw::FwEvent ev);
@@ -116,7 +118,10 @@ class KernelAgent {
   std::unordered_map<fw::PendingId, RxRec> rx_map_;
 
   bool irq_active_ = false;
-  std::uint64_t irq_invocations_ = 0;
+  /// Registry instruments ("agent.nN.*"): handler invocations and the
+  /// events-drained-per-invocation distribution (coalescing visibility).
+  telemetry::Counter* c_irq_ = nullptr;
+  telemetry::Histogram* h_events_per_irq_ = nullptr;
 };
 
 }  // namespace xt::host

@@ -25,6 +25,8 @@ struct Message {
   NodeId dst = 0;
   /// Network-assigned sequence number (global, for tracing/tests).
   std::uint64_t seq = 0;
+  /// Provenance record id (telemetry::ProvenanceLog); 0 = untracked.
+  std::uint64_t prov_id = 0;
 
   /// Contents of the header packet (at most Config::packet_size bytes).
   std::vector<std::byte> header;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/strf.hpp"
+
 namespace xt::ptl {
 
 const char* ptl_err_str(int rc) {
@@ -73,6 +75,13 @@ Library::Library(sim::Engine& eng, Config cfg, Nal& nal, Memory& mem)
     ac_[0].match_id = ProcessId{kNidAny, kPidAny};
     ac_[0].pt_index = kPtIndexAny;
   }
+  auto& reg = eng_.metrics();
+  const std::string pre =
+      sim::strf("ptl.n%u.p%u.", cfg_.id.nid, cfg_.id.pid);
+  c_match_attempts_ = &reg.counter(pre + "match_attempts");
+  c_match_hits_ = &reg.counter(pre + "match_hits");
+  c_match_misses_ = &reg.counter(pre + "match_misses");
+  h_eq_depth_ = &reg.histogram(pre + "eq_depth");
 }
 
 // -------------------------------------------------------------- NI ----
@@ -551,9 +560,13 @@ std::uint32_t Library::match_walk(const WireHeader& hdr, bool is_get,
     *offset_out = offset;
     *mlength_out = mlength;
     *walked_out = walked;
+    c_match_attempts_->add(walked);
+    c_match_hits_->add();
     return idx;
   }
   *walked_out = walked;
+  c_match_attempts_->add(walked);
+  c_match_misses_->add();
   return kNone;
 }
 
@@ -609,7 +622,10 @@ void Library::post_event(const MdRec& md, Event ev) {
 }
 
 void Library::post_event_to(EqHandle eq, Event ev) {
-  if (EventQueue* q = eq_object(eq)) q->post(ev);
+  if (EventQueue* q = eq_object(eq)) {
+    q->post(ev);
+    if (eng_.metrics().sampling()) h_eq_depth_->record(q->size());
+  }
 }
 
 void Library::auto_unlink(MdHandle mdh) {

@@ -27,6 +27,7 @@
 #include "portals/nal.hpp"
 #include "portals/types.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace xt::ptl {
 
@@ -290,6 +291,14 @@ class Library {
   std::uint64_t perm_violations_ = 0;
   std::uint64_t msgs_sent_ = 0;
   std::uint64_t msgs_received_ = 0;
+
+  // Registry instruments ("ptl.nN.pP.*"): match-walk effort (entries
+  // examined vs. accepting/rejecting walks) and EQ backlog at post time
+  // (the depth samples are gated on MetricsRegistry::sampling()).
+  telemetry::Counter* c_match_attempts_ = nullptr;
+  telemetry::Counter* c_match_hits_ = nullptr;
+  telemetry::Counter* c_match_misses_ = nullptr;
+  telemetry::Histogram* h_eq_depth_ = nullptr;
 };
 
 }  // namespace xt::ptl

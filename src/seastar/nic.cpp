@@ -5,8 +5,12 @@
 
 #include "net/crc.hpp"
 #include "sim/strf.hpp"
+#include "telemetry/hooks.hpp"
 
 namespace xt::ss {
+
+using telemetry::Stage;
+using telemetry::prov_stamp;
 
 Nic::Nic(sim::Engine& eng, const Config& cfg, net::Network& net,
          net::NodeId node)
@@ -18,6 +22,12 @@ Nic::Nic(sim::Engine& eng, const Config& cfg, net::Network& net,
       tx_dma_(eng, sim::strf("nic%u.tx", node)),
       rx_dma_(eng, sim::strf("nic%u.rx", node)) {
   net_.attach(node, *this);
+  auto& reg = eng_.metrics();
+  const std::string pre = sim::strf("nic.n%u.", node_);
+  m_tx_busy_ps_ = &reg.gauge(pre + "tx_busy_ps");
+  m_rx_busy_ps_ = &reg.gauge(pre + "rx_busy_ps");
+  m_rx_queue_ps_ = &reg.histogram(pre + "rx_queue_ps");
+  m_sram_used_ = &reg.histogram(pre + "sram_used");
 }
 
 sim::CoTask<void> Nic::transmit(net::MessagePtr msg, PayloadReader reader,
@@ -33,6 +43,10 @@ sim::CoTask<void> Nic::transmit(net::MessagePtr msg, PayloadReader reader,
                                                   n_dma_cmds - 1));
   }
   msg->payload.resize(payload_bytes);
+  if (eng_.metrics().sampling()) {
+    m_sram_used_->record(sram_.used());
+  }
+  prov_stamp(eng_, msg->prov_id, Stage::kWireHeader);
   net_.begin(msg);
   net_.inject_header(msg);
   // Stream the payload: read each chunk from host memory at the effective
@@ -57,6 +71,7 @@ sim::CoTask<void> Nic::transmit(net::MessagePtr msg, PayloadReader reader,
   ++msgs_sent_;
   bytes_sent_ += payload_bytes;
   tx_dma_.release();
+  m_tx_busy_ps_->set(tx_dma_.busy_time().to_ps());
 }
 
 sim::CoTask<void> Nic::deposit(std::size_t bytes, std::size_t n_dma_cmds) {
@@ -68,8 +83,15 @@ sim::CoTask<void> Nic::deposit(std::size_t bytes, std::size_t n_dma_cmds) {
   const sim::Time now = eng_.now();
   const sim::Time ideal_start = now - service;
   const sim::Time start = std::max(ideal_start, rx_free_at_);
+  if (eng_.metrics().sampling()) {
+    // How long the pipe's backlog delayed this deposit's ideal cut-through
+    // start: 0 when uncongested, grows with incast pressure.
+    m_rx_queue_ps_->record(
+        static_cast<std::uint64_t>((start - ideal_start).to_ps()));
+  }
   rx_free_at_ = start + service;
   rx_busy_accum_ += service;
+  m_rx_busy_ps_->set(rx_busy_accum_.to_ps());
 
   const std::size_t burst = std::min(bytes, cfg_.rx_deposit_burst);
   sim::Time finish = std::max(
@@ -83,6 +105,7 @@ sim::CoTask<void> Nic::deposit(std::size_t bytes, std::size_t n_dma_cmds) {
 
 void Nic::on_header(const net::MessagePtr& msg) {
   assert(client_ != nullptr && "NIC has no firmware installed");
+  prov_stamp(eng_, msg->prov_id, Stage::kRxNicHeader);
   client_->on_rx_header(msg);
 }
 
@@ -96,6 +119,11 @@ void Nic::on_complete(const net::MessagePtr& msg) {
   c = net::crc32_update(c, msg->payload);
   const bool ok = net::crc32_finish(c) == msg->e2e_crc && !msg->corrupted;
   if (!ok) ++crc_drops_;
+  // Header-only messages complete at header time; stamping the same
+  // instant twice would only pad the waterfall.
+  if (!msg->payload.empty()) {
+    prov_stamp(eng_, msg->prov_id, Stage::kRxNicComplete);
+  }
   client_->on_rx_complete(msg, ok);
 }
 

@@ -24,6 +24,7 @@
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace xt::ss {
 
@@ -106,6 +107,14 @@ class Nic final : public net::Endpoint {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t crc_drops_ = 0;
+
+  // Registry instruments ("nic.nN.*").  Busy gauges update on every DMA
+  // program; the distribution samples (Rx pipe queueing delay, SRAM
+  // occupancy at transmit) are gated on MetricsRegistry::sampling().
+  telemetry::Gauge* m_tx_busy_ps_ = nullptr;
+  telemetry::Gauge* m_rx_busy_ps_ = nullptr;
+  telemetry::Histogram* m_rx_queue_ps_ = nullptr;
+  telemetry::Histogram* m_sram_used_ = nullptr;
 };
 
 }  // namespace xt::ss

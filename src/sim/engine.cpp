@@ -3,7 +3,15 @@
 #include <cassert>
 #include <utility>
 
+#include "telemetry/metrics.hpp"
+
 namespace xt::sim {
+
+Engine::Engine()
+    : log_threshold_(default_log_threshold()),
+      metrics_(std::make_unique<telemetry::MetricsRegistry>()) {}
+
+Engine::~Engine() = default;
 
 std::uint32_t Engine::acquire_slot() {
   if (free_head_ != kNilSlot) {

@@ -22,10 +22,16 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
+
+namespace xt::telemetry {
+class MetricsRegistry;
+class ProvenanceLog;
+}  // namespace xt::telemetry
 
 namespace xt::sim {
 
@@ -48,7 +54,8 @@ class Engine {
   /// Token identifying a scheduled event, usable with cancel().
   using EventId = std::uint64_t;
 
-  Engine() : log_threshold_(default_log_threshold()) {}
+  Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -100,6 +107,18 @@ class Engine {
   void set_log_threshold(LogLevel lvl) { log_threshold_ = lvl; }
   bool log_enabled(LogLevel lvl) const { return lvl >= log_threshold_; }
 
+  /// This simulation's metrics registry (always present; whether the
+  /// expensive distribution sampling is on is the registry's business —
+  /// see MetricsRegistry::sampling()).
+  telemetry::MetricsRegistry& metrics() { return *metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Provenance log for per-stage message attribution; null (the default)
+  /// disables stamping, exactly like the trace sink.
+  telemetry::ProvenanceLog* provenance() const { return provenance_; }
+  void set_provenance(telemetry::ProvenanceLog* p) { provenance_ = p; }
+  bool provenance_enabled() const { return provenance_ != nullptr; }
+
  private:
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
@@ -145,6 +164,8 @@ class Engine {
 
   Trace* trace_ = nullptr;
   LogLevel log_threshold_;
+  std::unique_ptr<telemetry::MetricsRegistry> metrics_;
+  telemetry::ProvenanceLog* provenance_ = nullptr;
 };
 
 }  // namespace xt::sim

@@ -8,10 +8,7 @@
 
 namespace xt::sim {
 
-namespace {
-
-LogLevel parse_env() {
-  const char* v = std::getenv("XT_LOG");
+LogLevel parse_log_level(const char* v) {
   if (v == nullptr) return LogLevel::kOff;
   if (std::strcmp(v, "trace") == 0) return LogLevel::kTrace;
   if (std::strcmp(v, "debug") == 0) return LogLevel::kDebug;
@@ -20,6 +17,8 @@ LogLevel parse_env() {
   if (std::strcmp(v, "error") == 0) return LogLevel::kError;
   return LogLevel::kOff;
 }
+
+namespace {
 
 const char* level_name(LogLevel lvl) {
   switch (lvl) {
@@ -38,7 +37,7 @@ const char* level_name(LogLevel lvl) {
 LogLevel default_log_threshold() {
   // Parsed once; immutable afterwards, so concurrent Engine construction
   // on multiple threads is race-free.
-  static const LogLevel threshold = parse_env();
+  static const LogLevel threshold = parse_log_level(std::getenv("XT_LOG"));
   return threshold;
 }
 

@@ -18,6 +18,11 @@
 
 namespace xt::sim {
 
+/// Parses an XT_LOG-style level string (trace|debug|info|warn|error).
+/// Anything else — including nullptr for "unset" — maps to kOff.  Exposed
+/// so tests can exercise the parsing without mutating the environment.
+LogLevel parse_log_level(const char* v);
+
 /// Writes one log line to stderr if `eng`'s threshold admits `lvl`.  The
 /// timestamp is eng.now().  Callers should guard message formatting with
 /// eng.log_enabled() on hot paths.

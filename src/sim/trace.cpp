@@ -20,20 +20,27 @@ std::string escape(const std::string& s) {
 }
 }  // namespace
 
-void trace_begin(Engine& eng, std::string track, std::string name) {
+void trace_begin(Engine& eng, std::string_view track,
+                 std::string_view name) {
   if (Trace* tr = eng.trace()) {
-    tr->begin(std::move(track), std::move(name), eng.now());
+    tr->begin(std::string(track), std::string(name), eng.now());
   }
 }
-void trace_end(Engine& eng, std::string track, std::string name) {
+void trace_end(Engine& eng, std::string_view track, std::string_view name) {
   if (Trace* tr = eng.trace()) {
-    tr->end(std::move(track), std::move(name), eng.now());
+    tr->end(std::string(track), std::string(name), eng.now());
   }
 }
-void trace_instant(Engine& eng, std::string track, std::string name,
-                   std::int64_t arg) {
+void trace_instant(Engine& eng, std::string_view track,
+                   std::string_view name, std::int64_t arg) {
   if (Trace* tr = eng.trace()) {
-    tr->instant(std::move(track), std::move(name), eng.now(), arg);
+    tr->instant(std::string(track), std::string(name), eng.now(), arg);
+  }
+}
+void trace_counter(Engine& eng, std::string_view track,
+                   std::string_view name, std::int64_t value) {
+  if (Trace* tr = eng.trace()) {
+    tr->counter(std::string(track), std::string(name), eng.now(), value);
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -75,10 +76,13 @@ class Trace {
 };
 
 /// Emit helpers that no-op when `eng` has no trace installed; timestamps
-/// are eng.now().
-void trace_begin(Engine& eng, std::string track, std::string name);
-void trace_end(Engine& eng, std::string track, std::string name);
-void trace_instant(Engine& eng, std::string track, std::string name,
-                   std::int64_t arg = 0);
+/// are eng.now().  Views, not strings: the owning std::string is built
+/// only on the traced path, so untraced hot paths allocate nothing.
+void trace_begin(Engine& eng, std::string_view track, std::string_view name);
+void trace_end(Engine& eng, std::string_view track, std::string_view name);
+void trace_instant(Engine& eng, std::string_view track,
+                   std::string_view name, std::int64_t arg = 0);
+void trace_counter(Engine& eng, std::string_view track,
+                   std::string_view name, std::int64_t value);
 
 }  // namespace xt::sim

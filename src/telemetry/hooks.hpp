@@ -1,0 +1,32 @@
+#pragma once
+
+// Engine-gated provenance emit helpers, mirroring trace_begin/trace_end in
+// sim/trace.hpp: no-ops (and no allocation) unless a ProvenanceLog is
+// installed on the engine.  Lives in its own header so the core telemetry
+// library stays independent of the sim kernel.
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "telemetry/provenance.hpp"
+
+namespace xt::telemetry {
+
+/// Opens a provenance record for a message posted now; returns its id, or
+/// 0 (the untracked sentinel) when provenance is disabled on `eng`.
+inline std::uint64_t prov_begin(sim::Engine& eng, std::uint32_t src,
+                                std::uint32_t dst, std::uint32_t bytes) {
+  if (ProvenanceLog* p = eng.provenance()) {
+    return p->begin_message(src, dst, bytes, eng.now());
+  }
+  return 0;
+}
+
+/// Stamps stage `s` on message `id` at eng.now(); no-op for id 0 or when
+/// provenance is disabled.
+inline void prov_stamp(sim::Engine& eng, std::uint64_t id, Stage s) {
+  if (id == 0) return;
+  if (ProvenanceLog* p = eng.provenance()) p->stamp(id, s, eng.now());
+}
+
+}  // namespace xt::telemetry

@@ -1,0 +1,127 @@
+#include "telemetry/metrics.hpp"
+
+#include <bit>
+
+#include "sim/strf.hpp"
+
+namespace xt::telemetry {
+
+using sim::strf;
+
+int Histogram::bucket_index(std::uint64_t v) {
+  // 0 -> 0; otherwise 1 + floor(log2 v), i.e. std::bit_width.
+  return static_cast<int>(std::bit_width(v));
+}
+
+std::uint64_t Histogram::bucket_lo(int i) {
+  if (i <= 0) return 0;
+  return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(int i) {
+  if (i <= 0) return 0;
+  if (i >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << i) - 1;
+}
+
+std::uint64_t Histogram::percentile(int p) const {
+  if (count == 0) return 0;
+  // rank = ceil(count * p / 100), clamped to [1, count].
+  std::uint64_t rank = (count * static_cast<std::uint64_t>(p) + 99) / 100;
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets[static_cast<std::size_t>(i)];
+    if (cum >= rank) return bucket_hi(i);
+  }
+  return bucket_hi(kBuckets - 1);
+}
+
+namespace {
+
+template <typename Map, typename Emit>
+void emit_object(std::string& out, const char* key, const Map& m,
+                 Emit&& emit) {
+  out += strf("\"%s\":{", key);
+  bool first = true;
+  for (const auto& [name, inst] : m) {
+    if (!first) out += ',';
+    first = false;
+    out += strf("\"%s\":", name.c_str());
+    emit(out, *inst);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  counter_slab_.emplace_back();
+  Counter* c = &counter_slab_.back();
+  counters_.emplace(std::string(name), c);
+  return *c;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  gauge_slab_.emplace_back();
+  Gauge* g = &gauge_slab_.back();
+  gauges_.emplace(std::string(name), g);
+  return *g;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  histogram_slab_.emplace_back();
+  Histogram* h = &histogram_slab_.back();
+  histograms_.emplace(std::string(name), h);
+  return *h;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  emit_object(out, "counters", counters_,
+              [](std::string& o, const Counter& c) {
+                o += strf("%llu",
+                          static_cast<unsigned long long>(c.value));
+              });
+  out += ',';
+  emit_object(out, "gauges", gauges_, [](std::string& o, const Gauge& g) {
+    o += strf("{\"value\":%lld,\"high_water\":%lld}",
+              static_cast<long long>(g.value),
+              static_cast<long long>(g.high_water));
+  });
+  out += ',';
+  emit_object(
+      out, "histograms", histograms_,
+      [](std::string& o, const Histogram& h) {
+        o += strf("{\"count\":%llu,\"sum\":%llu,\"p50\":%llu,\"p90\":%llu,"
+                  "\"p99\":%llu,\"buckets\":[",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.percentile(50)),
+                  static_cast<unsigned long long>(h.percentile(90)),
+                  static_cast<unsigned long long>(h.percentile(99)));
+        bool first = true;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          const std::uint64_t n = h.buckets[static_cast<std::size_t>(i)];
+          if (n == 0) continue;
+          if (!first) o += ',';
+          first = false;
+          o += strf("[%llu,%llu,%llu]",
+                    static_cast<unsigned long long>(Histogram::bucket_lo(i)),
+                    static_cast<unsigned long long>(Histogram::bucket_hi(i)),
+                    static_cast<unsigned long long>(n));
+        }
+        o += "]}";
+      });
+  out += '}';
+  return out;
+}
+
+}  // namespace xt::telemetry

@@ -1,0 +1,101 @@
+#pragma once
+
+// Per-engine metrics registry.
+//
+// Counters, gauges and log2-bucketed histograms, registered by name and
+// snapshotable to deterministic JSON.  One registry per sim::Engine (never
+// process-global), so parallel sweeps collect independent snapshots that
+// merge byte-identically regardless of --jobs.
+//
+// Cost model, in the spirit of Engine::trace_enabled():
+//   * Counter::add / Gauge::set are a single integer op on a cached handle —
+//     always live, cheap enough for every hot path (this is where the
+//     firmware and kernel-agent op counts live).
+//   * Distribution *sampling* (histograms, occupancy/depth gauges) is gated
+//     behind MetricsRegistry::sampling(), default off, so runs that never
+//     ask for --metrics pay one predicted-not-taken branch.
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime (deque storage): components look them up once at
+// construction and keep the pointer.
+//
+// Everything snapshotted is an integer (counts, picoseconds, bucket
+// bounds), so to_json() is bit-reproducible across runs and platforms.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace xt::telemetry {
+
+struct Counter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t n = 1) { value += n; }
+};
+
+/// Last-value gauge that also tracks its high-water mark.
+struct Gauge {
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+  void set(std::int64_t v) {
+    value = v;
+    if (v > high_water) high_water = v;
+  }
+};
+
+/// Log2-bucketed histogram.  Bucket 0 holds exactly the value 0; bucket
+/// i >= 1 holds [2^(i-1), 2^i - 1].  64-bit values need at most 65 buckets.
+struct Histogram {
+  static constexpr int kBuckets = 65;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  static int bucket_index(std::uint64_t v);
+  /// Inclusive [lo, hi] range covered by bucket `i`.
+  static std::uint64_t bucket_lo(int i);
+  static std::uint64_t bucket_hi(int i);
+
+  void record(std::uint64_t v) {
+    ++count;
+    sum += v;
+    ++buckets[static_cast<std::size_t>(bucket_index(v))];
+  }
+
+  /// Upper bound of the bucket containing the p-th percentile sample
+  /// (rank = ceil(count * p / 100), integer math only).  0 when empty.
+  std::uint64_t percentile(int p) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Looks up or creates the named instrument.  The reference stays valid
+  /// for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Gate for distribution sampling (histograms, occupancy gauges).
+  /// Counters ignore this — they are always live.
+  bool sampling() const { return sampling_; }
+  void set_sampling(bool on) { sampling_ = on; }
+
+  /// Deterministic snapshot: sorted names, integer values only.
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string to_json() const;
+
+ private:
+  bool sampling_ = false;
+  std::deque<Counter> counter_slab_;
+  std::deque<Gauge> gauge_slab_;
+  std::deque<Histogram> histogram_slab_;
+  std::map<std::string, Counter*, std::less<>> counters_;
+  std::map<std::string, Gauge*, std::less<>> gauges_;
+  std::map<std::string, Histogram*, std::less<>> histograms_;
+};
+
+}  // namespace xt::telemetry

@@ -1,0 +1,100 @@
+#include "telemetry/provenance.hpp"
+
+#include <array>
+
+#include "sim/strf.hpp"
+
+namespace xt::telemetry {
+
+using sim::strf;
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kHostPost: return "host_post";
+    case Stage::kFwTxCmd: return "fw_tx_cmd";
+    case Stage::kTxDma: return "tx_dma";
+    case Stage::kWireHeader: return "wire_header";
+    case Stage::kRxNicHeader: return "rx_nic_header";
+    case Stage::kRxNicComplete: return "rx_nic_complete";
+    case Stage::kFwRxHeader: return "fw_rx_header";
+    case Stage::kFwMatch: return "fw_match";
+    case Stage::kFwRxCmd: return "fw_rx_cmd";
+    case Stage::kRxDma: return "rx_dma";
+    case Stage::kFwComplete: return "fw_complete";
+    case Stage::kIrqRaise: return "irq_raise";
+    case Stage::kEventPost: return "event_post";
+    case Stage::kHostMatch: return "host_match";
+    case Stage::kHostDeliver: return "host_deliver";
+  }
+  return "?";
+}
+
+std::uint64_t ProvenanceLog::begin_message(std::uint32_t src,
+                                           std::uint32_t dst,
+                                           std::uint32_t bytes, sim::Time t) {
+  MsgRecord rec;
+  rec.id = msgs_.size() + 1;
+  rec.src = src;
+  rec.dst = dst;
+  rec.bytes = bytes;
+  rec.stamps.emplace_back(Stage::kHostPost, t);
+  msgs_.push_back(std::move(rec));
+  return msgs_.back().id;
+}
+
+void ProvenanceLog::stamp(std::uint64_t id, Stage s, sim::Time t) {
+  if (id == 0 || id > msgs_.size()) return;
+  msgs_[id - 1].stamps.emplace_back(s, t);
+}
+
+Attribution ProvenanceLog::attribute() const {
+  std::array<std::uint64_t, kStageCount> total{};
+  std::array<std::uint64_t, kStageCount> visits{};
+  Attribution out;
+  for (const MsgRecord& m : msgs_) {
+    if (m.stamps.size() < 2) continue;
+    if (m.stamps.front().first != Stage::kHostPost) continue;
+    if (m.stamps.back().first != Stage::kHostDeliver) continue;
+    ++out.messages;
+    out.e2e_ps += static_cast<std::uint64_t>(
+        (m.stamps.back().second - m.stamps.front().second).to_ps());
+    for (std::size_t i = 1; i < m.stamps.size(); ++i) {
+      const auto idx = static_cast<std::size_t>(m.stamps[i].first);
+      total[idx] += static_cast<std::uint64_t>(
+          (m.stamps[i].second - m.stamps[i - 1].second).to_ps());
+      ++visits[idx];
+    }
+  }
+  for (int i = 0; i < kStageCount; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (visits[idx] == 0) continue;
+    out.rows.push_back(
+        StageRow{static_cast<Stage>(i), total[idx], visits[idx]});
+  }
+  return out;
+}
+
+std::string ProvenanceLog::to_json() const {
+  std::string out = "{\"messages\":[";
+  bool first_msg = true;
+  for (const MsgRecord& m : msgs_) {
+    if (!first_msg) out += ',';
+    first_msg = false;
+    out += strf("{\"id\":%llu,\"src\":%u,\"dst\":%u,\"bytes\":%u,"
+                "\"stamps\":[",
+                static_cast<unsigned long long>(m.id), m.src, m.dst,
+                m.bytes);
+    bool first_st = true;
+    for (const auto& [stage, t] : m.stamps) {
+      if (!first_st) out += ',';
+      first_st = false;
+      out += strf("[\"%s\",%lld]", stage_name(stage),
+                  static_cast<long long>(t.to_ps()));
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace xt::telemetry

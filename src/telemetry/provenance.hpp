@@ -1,0 +1,105 @@
+#pragma once
+
+// Message provenance: per-stage latency attribution.
+//
+// Each wire message can be stamped with a provenance id at the host that
+// posts it; every layer it traverses then appends a (stage, time) stamp to
+// the message's record.  The result is a per-message latency waterfall
+// (host post -> HT crossing -> Tx DMA -> wire -> Rx DMA -> firmware
+// match/deposit -> interrupt raise -> host event delivery) and, aggregated,
+// a measured stage-attribution table — the paper's Table-B cost breakdown
+// reproduced from measurement instead of from the config constants.
+//
+// Attribution is by telescoping interval: the time between consecutive
+// stamps is charged to the *later* stamp's stage, so per-stage sums equal
+// the end-to-end latency exactly.  Records are append-only and the engine
+// is single-threaded, so stamps within one message are time-ordered.
+//
+// Like sim::Trace, the log is installed per-engine (Engine::set_provenance)
+// and null by default; the prov_begin/prov_stamp helpers in
+// telemetry/hooks.hpp no-op when disabled (id 0 is the "untracked"
+// sentinel that propagates for free through message structs).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xt::telemetry {
+
+/// Pipeline stages, in path order.  A single message only visits a subset
+/// (e.g. inline deliveries skip the Rx DMA stages; accelerated mode skips
+/// the interrupt/host-match stages in favour of kFwMatch/kEventPost).
+enum class Stage : std::uint8_t {
+  kHostPost = 0,      // application/agent issues the send
+  kFwTxCmd,           // firmware picked the Tx command off the mailbox
+  kTxDma,             // Tx DMA program started
+  kWireHeader,        // header handed to the link (HT read done)
+  kRxNicHeader,       // header arrived at the destination NIC
+  kRxNicComplete,     // last payload flit arrived at the destination NIC
+  kFwRxHeader,        // destination firmware parsed the header
+  kFwMatch,           // firmware-side match walk finished (accel mode)
+  kFwRxCmd,           // firmware picked the host's Rx command (generic mode)
+  kRxDma,             // Rx DMA deposit finished
+  kFwComplete,        // firmware completion processing done
+  kIrqRaise,          // event posted + interrupt raised (generic mode)
+  kEventPost,         // event posted for host polling (accel mode)
+  kHostMatch,         // host-side match walk finished (generic mode)
+  kHostDeliver,       // full event delivered to the application
+};
+
+inline constexpr int kStageCount = static_cast<int>(Stage::kHostDeliver) + 1;
+
+const char* stage_name(Stage s);
+
+struct MsgRecord {
+  std::uint64_t id = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t bytes = 0;
+  std::vector<std::pair<Stage, sim::Time>> stamps;
+};
+
+/// One aggregated attribution row: total time charged to `stage` across
+/// all attributed messages, and how many messages visited it.
+struct StageRow {
+  Stage stage;
+  std::uint64_t total_ps = 0;
+  std::uint64_t visits = 0;
+};
+
+struct Attribution {
+  std::vector<StageRow> rows;   // path order, only visited stages
+  std::uint64_t messages = 0;   // complete records aggregated
+  std::uint64_t e2e_ps = 0;     // sum of (last - first) over those records
+};
+
+class ProvenanceLog {
+ public:
+  /// Starts a record and stamps kHostPost at `t`.  Returns the new id
+  /// (never 0; 0 means "untracked" at stamp sites).
+  std::uint64_t begin_message(std::uint32_t src, std::uint32_t dst,
+                              std::uint32_t bytes, sim::Time t);
+
+  /// Appends a stamp to message `id`.  No-op for id 0 / unknown ids.
+  void stamp(std::uint64_t id, Stage s, sim::Time t);
+
+  const std::vector<MsgRecord>& messages() const { return msgs_; }
+  std::size_t size() const { return msgs_.size(); }
+  void clear() { msgs_.clear(); }
+
+  /// Aggregates every record whose first stamp is kHostPost and last stamp
+  /// is kHostDeliver (i.e. messages observed end to end).  By construction
+  /// sum(rows[i].total_ps) == e2e_ps.
+  Attribution attribute() const;
+
+  /// Deterministic JSON: the per-message waterfalls, times in ps.
+  std::string to_json() const;
+
+ private:
+  std::vector<MsgRecord> msgs_;
+};
+
+}  // namespace xt::telemetry

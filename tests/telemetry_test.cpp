@@ -1,0 +1,198 @@
+// Telemetry: histogram bucket math, registry snapshots, XT_LOG parsing,
+// and end-to-end provenance attribution through the full stack.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "netpipe/netpipe.hpp"
+#include "sim/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/provenance.hpp"
+
+namespace {
+
+using namespace xt;
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+using telemetry::ProvenanceLog;
+using telemetry::Stage;
+
+// Runs first in this binary (gtest default order is declaration order):
+// default_log_threshold() caches its first parse, so the environment must
+// be set before anything constructs an Engine.
+TEST(LogLevelTest, DefaultThresholdParsesEnvOnceAndCaches) {
+  ASSERT_EQ(setenv("XT_LOG", "warn", 1), 0);
+  EXPECT_EQ(sim::default_log_threshold(), sim::LogLevel::kWarn);
+  // Cached: later environment changes are deliberately ignored.
+  ASSERT_EQ(setenv("XT_LOG", "trace", 1), 0);
+  EXPECT_EQ(sim::default_log_threshold(), sim::LogLevel::kWarn);
+  ASSERT_EQ(unsetenv("XT_LOG"), 0);
+}
+
+TEST(LogLevelTest, ParsesAllFiveLevels) {
+  EXPECT_EQ(sim::parse_log_level("trace"), sim::LogLevel::kTrace);
+  EXPECT_EQ(sim::parse_log_level("debug"), sim::LogLevel::kDebug);
+  EXPECT_EQ(sim::parse_log_level("info"), sim::LogLevel::kInfo);
+  EXPECT_EQ(sim::parse_log_level("warn"), sim::LogLevel::kWarn);
+  EXPECT_EQ(sim::parse_log_level("error"), sim::LogLevel::kError);
+}
+
+TEST(LogLevelTest, GarbageAndUnsetMapToOff) {
+  EXPECT_EQ(sim::parse_log_level(nullptr), sim::LogLevel::kOff);
+  EXPECT_EQ(sim::parse_log_level(""), sim::LogLevel::kOff);
+  EXPECT_EQ(sim::parse_log_level("verbose"), sim::LogLevel::kOff);
+  EXPECT_EQ(sim::parse_log_level("WARN"), sim::LogLevel::kOff);  // no casefold
+  EXPECT_EQ(sim::parse_log_level("debug "), sim::LogLevel::kOff);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  // Bucket 0 holds exactly 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 1);
+  EXPECT_EQ(Histogram::bucket_index(2), 2);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 3);
+  EXPECT_EQ(Histogram::bucket_index(7), 3);
+  EXPECT_EQ(Histogram::bucket_index(8), 4);
+  EXPECT_EQ(Histogram::bucket_index((1ull << 32) - 1), 32);
+  EXPECT_EQ(Histogram::bucket_index(1ull << 32), 33);
+  EXPECT_EQ(Histogram::bucket_index(~0ull), 64);
+
+  for (int i = 1; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lo(i)), i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_hi(i)), i);
+    if (i > 1) {
+      EXPECT_EQ(Histogram::bucket_lo(i), Histogram::bucket_hi(i - 1) + 1);
+    }
+  }
+  EXPECT_EQ(Histogram::bucket_hi(64), ~0ull);
+}
+
+TEST(HistogramTest, RecordAndPercentiles) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(50), 0u);  // empty
+
+  h.record(5);  // lone sample: every percentile lands in its bucket [4,7]
+  EXPECT_EQ(h.percentile(1), 7u);
+  EXPECT_EQ(h.percentile(50), 7u);
+  EXPECT_EQ(h.percentile(99), 7u);
+
+  // 10 zeros + 9 samples near 1000 (bucket [512,1023]): the median is a
+  // zero, the tail is the big bucket.
+  Histogram m;
+  for (int i = 0; i < 10; ++i) m.record(0);
+  for (int i = 0; i < 9; ++i) m.record(1000);
+  EXPECT_EQ(m.count, 19u);
+  EXPECT_EQ(m.sum, 9000u);
+  EXPECT_EQ(m.percentile(50), 0u);
+  EXPECT_EQ(m.percentile(90), 1023u);
+  EXPECT_EQ(m.percentile(99), 1023u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  telemetry::Counter& a = reg.counter("x.count");
+  a.add();
+  a.add(41);
+  EXPECT_EQ(reg.counter("x.count").value, 42u);
+  EXPECT_EQ(&reg.counter("x.count"), &a);
+
+  telemetry::Gauge& g = reg.gauge("x.depth");
+  g.set(7);
+  g.set(3);
+  EXPECT_EQ(g.value, 3);
+  EXPECT_EQ(g.high_water, 7);
+}
+
+TEST(MetricsRegistryTest, JsonIsDeterministicAndSorted) {
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("b.second").add(2);
+    reg.counter("a.first").add(1);
+    reg.gauge("z.gauge").set(-4);
+    reg.histogram("h.lat").record(3);
+    return reg.to_json();
+  };
+  const std::string j1 = build();
+  const std::string j2 = build();
+  EXPECT_EQ(j1, j2);
+  // Sorted keys: "a.first" serializes before "b.second".
+  EXPECT_LT(j1.find("a.first"), j1.find("b.second"));
+  EXPECT_NE(j1.find("\"z.gauge\":{\"value\":-4,\"high_water\":0}"),
+            std::string::npos);
+  EXPECT_NE(j1.find("\"h.lat\""), std::string::npos);
+}
+
+TEST(ProvenanceTest, TelescopingSumsEqualEndToEnd) {
+  ProvenanceLog log;
+  const std::uint64_t id =
+      log.begin_message(0, 1, 64, sim::Time::ns(100));
+  log.stamp(id, Stage::kFwTxCmd, sim::Time::ns(400));
+  log.stamp(id, Stage::kWireHeader, sim::Time::ns(900));
+  log.stamp(id, Stage::kHostDeliver, sim::Time::ns(2500));
+  // Incomplete record (no kHostDeliver): excluded from attribution.
+  const std::uint64_t id2 =
+      log.begin_message(1, 0, 64, sim::Time::ns(0));
+  log.stamp(id2, Stage::kFwTxCmd, sim::Time::ns(300));
+
+  const telemetry::Attribution att = log.attribute();
+  EXPECT_EQ(att.messages, 1u);
+  EXPECT_EQ(att.e2e_ps, sim::Time::ns(2400).to_ps());
+  std::uint64_t sum = 0;
+  for (const telemetry::StageRow& r : att.rows) sum += r.total_ps;
+  EXPECT_EQ(sum, att.e2e_ps);
+
+  // Stamping an untracked id is a no-op, not a crash.
+  log.stamp(0, Stage::kFwTxCmd, sim::Time::ns(1));
+  log.stamp(12345, Stage::kFwTxCmd, sim::Time::ns(1));
+  EXPECT_EQ(log.size(), 2u);
+}
+
+/// Full stack: a real ping-pong with provenance enabled must produce
+/// complete waterfalls whose stage sums equal the end-to-end latency.
+TEST(ProvenanceTest, FullStackAttributionIsExact) {
+  for (const host::ProcMode mode :
+       {host::ProcMode::kUser, host::ProcMode::kAccel}) {
+    harness::Scenario sc = harness::Scenario::pair(mode, 10, 16u << 20);
+    harness::Scenario::TelemetrySpec tel;
+    tel.provenance = true;
+    sc.with_telemetry(tel);
+    auto inst = sc.build();
+    auto mod = np::make_portals_module(inst->proc(0), inst->proc(1),
+                                       /*use_get=*/false);
+    bool done = false;
+    sim::spawn([](np::Module& m, bool* d) -> sim::CoTask<void> {
+      co_await m.setup(1 << 16);
+      co_await m.pingpong(8, 3);
+      co_await m.pingpong(4096, 3);
+      *d = true;
+    }(*mod, &done));
+    inst->run();
+    ASSERT_TRUE(done);
+
+    ASSERT_NE(inst->provenance(), nullptr);
+    const telemetry::Attribution att = inst->provenance()->attribute();
+    EXPECT_GT(att.messages, 0u);
+    std::uint64_t sum = 0;
+    for (const telemetry::StageRow& r : att.rows) sum += r.total_ps;
+    EXPECT_EQ(sum, att.e2e_ps);
+
+    // Mode signature: generic matches on the host, accel in the firmware.
+    bool saw_host_match = false, saw_fw_match = false;
+    for (const telemetry::StageRow& r : att.rows) {
+      if (r.stage == Stage::kHostMatch) saw_host_match = true;
+      if (r.stage == Stage::kFwMatch) saw_fw_match = true;
+    }
+    if (mode == host::ProcMode::kUser) {
+      EXPECT_TRUE(saw_host_match);
+      EXPECT_FALSE(saw_fw_match);
+    } else {
+      EXPECT_TRUE(saw_fw_match);
+      EXPECT_FALSE(saw_host_match);
+    }
+  }
+}
+
+}  // namespace
