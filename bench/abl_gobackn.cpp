@@ -3,122 +3,18 @@
 // The shipped firmware "assumes that resource exhaustion does not occur
 // ... The current approach is to panic the node, which results in
 // application failure", with a go-back-n recovery protocol in progress.
-// This bench drives a many-to-one incast at a receiver whose RX pending
-// pool is made artificially tiny, and compares the two policies.
+// This bench drives a many-to-one incast (workload::run_incast) at a
+// receiver whose RX pending pool is made artificially tiny, and compares
+// the two policies.
 
 #include <cstdio>
 #include <functional>
 #include <vector>
 
 #include "harness/options.hpp"
-#include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
-#include "portals/api.hpp"
 #include "sim/strf.hpp"
-
-namespace {
-
-using namespace xt;
-using ptl::AckReq;
-using ptl::EventType;
-using ptl::InsPos;
-using ptl::MdDesc;
-using ptl::ProcessId;
-using ptl::Unlink;
-using sim::CoTask;
-
-struct IncastResult {
-  bool panicked = false;
-  std::string panic_reason;
-  int delivered = 0;
-  std::uint64_t nacks = 0;
-  std::uint64_t retransmits = 0;
-  std::uint64_t drops = 0;
-  double ms = 0.0;
-};
-
-IncastResult run_incast(bool gobackn, int senders, int msgs_each,
-                        std::uint32_t bytes, std::uint64_t seed) {
-  ss::Config cfg;
-  cfg.gobackn = gobackn;
-  // Starve the receiver: a handful of RX pendings for the whole node.
-  cfg.n_generic_rx_pendings = 4;
-  harness::Scenario sc = harness::Scenario::incast(senders, 7);
-  sc.with_config(cfg).with_seed(seed);
-  sc.procs[0].mem_bytes = 128u << 20;
-  auto inst = sc.build();
-  host::Machine& m = inst->machine();
-
-  host::Process& rx = inst->proc(0);
-  const std::uint64_t rbuf = rx.alloc(1u << 20);
-  int delivered = 0;
-  sim::spawn([](host::Process& p, std::uint64_t buf, int total,
-                int* count) -> CoTask<void> {
-    auto& api = p.api();
-    auto eq = co_await api.PtlEQAlloc(8192);
-    auto me = co_await api.PtlMEAttach(
-        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, 1, 0, Unlink::kRetain,
-        InsPos::kAfter);
-    MdDesc d;
-    d.start = buf;
-    d.length = 1u << 20;
-    d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE |
-                ptl::PTL_MD_TRUNCATE;
-    d.eq = eq.value;
-    (void)co_await api.PtlMDAttach(me.value, d, Unlink::kRetain);
-    while (*count < total) {
-      auto ev = co_await api.PtlEQWait(eq.value);
-      if (ev.rc != ptl::PTL_OK && ev.rc != ptl::PTL_EQ_DROPPED) co_return;
-      if (ev.value.type == EventType::kPutEnd) ++*count;
-    }
-  }(rx, rbuf, senders * msgs_each, &delivered));
-
-  for (int sidx = 1; sidx <= senders; ++sidx) {
-    host::Process& tx = inst->proc(static_cast<std::size_t>(sidx));
-    sim::spawn([](host::Process& p, int n, std::uint32_t len)
-                   -> CoTask<void> {
-      auto& api = p.api();
-      auto eq = co_await api.PtlEQAlloc(8192);
-      MdDesc d;
-      d.start = p.alloc(len);
-      d.length = len;
-      d.eq = eq.value;
-      auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
-      int sent = 0;
-      for (int i = 0; i < n; ++i) {
-        (void)co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{0, 7},
-                                  0, 0, 1, 0, 0);
-      }
-      while (sent < n) {
-        auto ev = co_await api.PtlEQWait(eq.value);
-        if (ev.rc != ptl::PTL_OK) co_return;
-        if (ev.value.type == EventType::kSendEnd) ++sent;
-      }
-    }(tx, msgs_each, bytes));
-  }
-
-  inst->run();
-
-  IncastResult r;
-  r.panicked = m.node(0).firmware().panicked();
-  r.panic_reason = m.node(0).firmware().panic_reason();
-  r.delivered = delivered;
-  const auto& c = m.node(0).firmware().counters();
-  r.nacks = c.nacks_sent;
-  r.drops = c.exhaustion_drops;
-  std::uint64_t rt = 0;
-  for (int sidx = 1; sidx <= senders; ++sidx) {
-    rt += m.node(static_cast<net::NodeId>(sidx))
-              .firmware()
-              .counters()
-              .retransmits;
-  }
-  r.retransmits = rt;
-  r.ms = m.engine().now().to_ms();
-  return r;
-}
-
-}  // namespace
+#include "workload/incast.hpp"
 
 int main(int argc, char** argv) {
   using namespace xt;
@@ -132,19 +28,24 @@ int main(int argc, char** argv) {
               "with only 4 RX pendings)\n\n",
               kSenders, kMsgs, kBytes);
 
-  std::vector<std::function<IncastResult()>> tasks;
+  std::vector<std::function<workload::IncastResult()>> tasks;
   for (std::size_t i = 0; i < 2; ++i) {
-    const bool gbn = i == 1;
-    const std::uint64_t seed = o.seed + i;
-    tasks.push_back(
-        [gbn, seed] { return run_incast(gbn, kSenders, kMsgs, kBytes, seed); });
+    workload::IncastSpec spec;
+    spec.senders = kSenders;
+    spec.msgs_each = kMsgs;
+    spec.bytes = kBytes;
+    spec.seed = o.seed + i;
+    spec.cfg.gobackn = i == 1;
+    // Starve the receiver: a handful of RX pendings for the whole node.
+    spec.cfg.n_generic_rx_pendings = 4;
+    tasks.push_back([spec] { return workload::run_incast(spec); });
   }
   const auto results = harness::SweepRunner(o.jobs).run(std::move(tasks));
 
   std::string json = "{\n  \"ablation\": \"gobackn\",\n  \"policies\": [\n";
   for (std::size_t i = 0; i < 2; ++i) {
     const bool gbn = i == 1;
-    const IncastResult& r = results[i];
+    const workload::IncastResult& r = results[i];
     std::printf("  policy: %-10s  ", gbn ? "go-back-n" : "panic");
     if (r.panicked) {
       std::printf("NODE PANIC (\"%s\") after %d/%d messages\n",
@@ -153,7 +54,7 @@ int main(int argc, char** argv) {
       std::printf("delivered %d/%d in %.2f ms  "
                   "(drops %llu, nacks %llu, retransmits %llu)\n",
                   r.delivered, kSenders * kMsgs, r.ms,
-                  static_cast<unsigned long long>(r.drops),
+                  static_cast<unsigned long long>(r.exhaustion_drops),
                   static_cast<unsigned long long>(r.nacks),
                   static_cast<unsigned long long>(r.retransmits));
     }
@@ -162,7 +63,8 @@ int main(int argc, char** argv) {
         "\"ms\": %.3f, \"drops\": %llu, \"nacks\": %llu, "
         "\"retransmits\": %llu}%s\n",
         gbn ? "go-back-n" : "panic", r.panicked ? "true" : "false",
-        r.delivered, r.ms, static_cast<unsigned long long>(r.drops),
+        r.delivered, r.ms,
+        static_cast<unsigned long long>(r.exhaustion_drops),
         static_cast<unsigned long long>(r.nacks),
         static_cast<unsigned long long>(r.retransmits), i == 0 ? "," : "");
   }

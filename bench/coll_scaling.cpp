@@ -23,6 +23,7 @@
 
 #include "collective/collective.hpp"
 #include "harness/netpipe_bench.hpp"
+#include "harness/scenario.hpp"
 #include "harness/options.hpp"
 #include "harness/sweep.hpp"
 #include "host/node.hpp"
@@ -67,13 +68,6 @@ struct Row {
 };
 
 /// Near-cubic power-of-two torus for n = 2^e ranks.
-net::Shape shape_for(int n) {
-  int e = 0;
-  while ((1 << e) < n) ++e;
-  const int ex = (e + 2) / 3, ey = (e + 1) / 3, ez = e / 3;
-  return net::Shape::xt3(1 << ex, 1 << ey, 1 << ez);
-}
-
 /// Small-footprint MPI flavor so a 4096-rank host-mode machine fits in
 /// memory; every collective message here is well under the eager limit.
 mpi::Flavor small_flavor() {
@@ -86,7 +80,7 @@ mpi::Flavor small_flavor() {
 
 Row point(Op op, coll::Mode mode, int n, bool quick, bool want_metrics,
           bool want_trace) {
-  host::Machine m(shape_for(n));
+  host::Machine m(harness::shape_for_ranks(n));
   // This bench builds its Machine directly (no Scenario), so the
   // telemetry sinks are wired by hand: sampling on the engine registry,
   // a per-point Trace collected into the Row.

@@ -1,0 +1,246 @@
+// Throughput–latency load sweeps over the full Portals stack.
+//
+// For each (transport config x traffic pattern) the bench replays an
+// open-loop workload across a ladder of offered loads and prints the
+// delivered-throughput / latency-percentile curve with its saturation
+// point (workload/load_runner.hpp).  A closed-loop RPC section sweeps the
+// outstanding-request window, and a final anchor cross-checks the
+// 1-outstanding 8-byte RPC against the Figure-4 ping-pong measurement —
+// the same wire exchange measured by two independent harnesses, so the
+// two numbers must agree.
+//
+// All output (stdout and --json) is byte-identical for any --jobs value.
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/netpipe_bench.hpp"
+#include "harness/options.hpp"
+#include "harness/sweep.hpp"
+#include "sim/strf.hpp"
+#include "workload/load_runner.hpp"
+
+namespace {
+
+using namespace xt;
+
+struct TransportConfig {
+  const char* name;
+  host::ProcMode mode;
+  bool gobackn;
+};
+
+double us(std::uint64_t ps) { return static_cast<double>(ps) * 1e-6; }
+
+std::string point_json(const workload::LoadPoint& p) {
+  const workload::WorkloadResult& r = p.result;
+  return sim::strf(
+      "{\"delivered\": %llu, \"delivered_per_sec\": %.1f, "
+      "\"offered_eff_per_sec\": %.1f, \"offered_per_sec\": %.1f, "
+      "\"p50_us\": %.3f, \"p90_us\": %.3f, \"p99_us\": %.3f, "
+      "\"sent\": %llu}",
+      static_cast<unsigned long long>(r.delivered), r.delivered_per_sec(),
+      r.offered_effective_per_sec(), p.offered_msgs_per_sec,
+      us(r.percentile_ps(50)), us(r.percentile_ps(90)),
+      us(r.percentile_ps(99)), static_cast<unsigned long long>(r.sent));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
+
+  const int ranks = o.ranks > 0 ? o.ranks : (o.quick ? 8 : 16);
+  const int msgs = o.quick ? 40 : 120;
+
+  std::vector<double> ladder;
+  if (o.offered_load > 0.0) {
+    ladder = {o.offered_load};
+  } else if (o.quick) {
+    ladder = {1e5, 4e5, 1.6e6};
+  } else {
+    ladder = {5e4, 1e5, 2e5, 4e5, 8e5, 1.6e6, 3.2e6};
+  }
+
+  const std::vector<TransportConfig> configs = {
+      {"generic", host::ProcMode::kUser, false},
+      {"generic+gbn", host::ProcMode::kUser, true},
+      {"accel", host::ProcMode::kAccel, false},
+      {"accel+gbn", host::ProcMode::kAccel, true},
+  };
+  std::vector<workload::PatternKind> patterns = {
+      workload::PatternKind::kUniform, workload::PatternKind::kHalo3d,
+      workload::PatternKind::kPermutation, workload::PatternKind::kIncast};
+  bool want_rpc = true;
+  if (!o.pattern.empty()) {
+    const auto k = workload::pattern_from_name(o.pattern);
+    if (!k) {
+      std::fprintf(stderr, "unknown pattern '%s'\n", o.pattern.c_str());
+      return 2;
+    }
+    want_rpc = *k == workload::PatternKind::kRpc;
+    patterns.clear();
+    if (!want_rpc) patterns.push_back(*k);
+  }
+
+  std::printf("=== Load sweep: offered vs delivered throughput (%d ranks, "
+              "%d msgs/sender, 2 KB) ===\n\n",
+              ranks, msgs);
+
+  std::string curves_json;
+  std::uint64_t seed = o.seed;
+  for (const TransportConfig& tc : configs) {
+    for (workload::PatternKind pk : patterns) {
+      workload::LoadSweepSpec ls;
+      ls.base.pattern = pk;
+      ls.base.ranks = ranks;
+      ls.base.bytes = 2048;
+      ls.base.msgs_per_sender = msgs;
+      ls.base.seed = o.seed;
+      ls.mode = tc.mode;
+      ls.cfg.gobackn = tc.gobackn;
+      ls.offered = ladder;
+      ls.jobs = o.jobs;
+      ls.seed = seed;
+      seed += ladder.size();
+
+      const workload::LoadCurve curve = workload::run_load_sweep(ls);
+
+      std::printf("-- %s / %s\n", tc.name, workload::pattern_name(pk));
+      std::printf("   %12s %14s %10s %10s %10s\n", "offered/s", "delivered/s",
+                  "p50 us", "p90 us", "p99 us");
+      std::string pts;
+      for (std::size_t i = 0; i < curve.points.size(); ++i) {
+        const workload::LoadPoint& p = curve.points[i];
+        const workload::WorkloadResult& r = p.result;
+        std::printf("   %12.0f %14.1f %10.3f %10.3f %10.3f%s%s\n",
+                    p.offered_msgs_per_sec, r.delivered_per_sec(),
+                    us(r.percentile_ps(50)), us(r.percentile_ps(90)),
+                    us(r.percentile_ps(99)),
+                    static_cast<int>(i) == curve.saturation_index
+                        ? "   <-- saturated"
+                        : "",
+                    r.complete ? "" : "   [incomplete]");
+        pts += (i == 0 ? "" : ", ") + point_json(p);
+      }
+      if (curve.saturation_index < 0) {
+        std::printf("   (not saturated within the ladder)\n");
+      }
+      std::printf("\n");
+
+      if (!curves_json.empty()) curves_json += ",\n";
+      curves_json += sim::strf(
+          "    {\"config\": \"%s\", \"gobackn\": %s, \"pattern\": \"%s\", "
+          "\"points\": [%s], \"ranks\": %d, \"saturation_index\": %d, "
+          "\"saturation_per_sec\": %.1f}",
+          tc.name, tc.gobackn ? "true" : "false", workload::pattern_name(pk),
+          pts.c_str(), ranks, curve.saturation_index,
+          curve.saturation_msgs_per_sec);
+    }
+  }
+
+  // Closed-loop RPC: latency vs outstanding-request window.
+  std::string closed_json;
+  if (want_rpc) {
+    std::vector<int> windows;
+    if (o.outstanding > 0) {
+      windows = {o.outstanding};
+    } else if (o.quick) {
+      windows = {1, 4};
+    } else {
+      windows = {1, 2, 4, 8};
+    }
+    std::printf("-- closed-loop rpc, %d ranks, 2 KB requests\n", ranks);
+    std::printf("   %-12s %11s %12s %10s %10s %10s\n", "config",
+                "outstanding", "requests/s", "rtt p50", "rtt p90", "rtt p99");
+    for (const char* cname : {"generic", "accel"}) {
+      const host::ProcMode mode = std::string(cname) == "accel"
+                                      ? host::ProcMode::kAccel
+                                      : host::ProcMode::kUser;
+      std::vector<std::function<workload::WorkloadResult()>> tasks;
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        workload::WorkloadSpec ws;
+        ws.pattern = workload::PatternKind::kRpc;
+        ws.ranks = ranks;
+        ws.bytes = 2048;
+        ws.msgs_per_sender = msgs;
+        ws.loop = workload::Loop::kClosed;
+        ws.outstanding = windows[i];
+        ws.seed = o.seed;
+        const std::uint64_t sseed = seed + i;
+        tasks.push_back([ws, mode, sseed] {
+          return workload::run_load_point(ws, mode, ss::Config{}, sseed);
+        });
+      }
+      seed += windows.size();
+      const auto results =
+          harness::SweepRunner(o.jobs).run(std::move(tasks));
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        const workload::WorkloadResult& r = results[i];
+        std::printf("   %-12s %11d %12.1f %10.3f %10.3f %10.3f\n", cname,
+                    windows[i], r.delivered_per_sec(),
+                    us(r.percentile_ps(50)), us(r.percentile_ps(90)),
+                    us(r.percentile_ps(99)));
+        if (!closed_json.empty()) closed_json += ",\n";
+        closed_json += sim::strf(
+            "    {\"config\": \"%s\", \"outstanding\": %d, "
+            "\"pattern\": \"rpc\", \"per_sec\": %.1f, "
+            "\"rtt_p50_us\": %.3f, \"rtt_p90_us\": %.3f, "
+            "\"rtt_p99_us\": %.3f}",
+            cname, windows[i], r.delivered_per_sec(),
+            us(r.percentile_ps(50)), us(r.percentile_ps(90)),
+            us(r.percentile_ps(99)));
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Anchor: the 1-outstanding 8-byte closed-loop RPC is the same wire
+  // exchange as the Figure-4 ping-pong; the two harnesses must agree.
+  workload::WorkloadSpec anchor;
+  anchor.pattern = workload::PatternKind::kRpc;
+  anchor.ranks = 2;
+  anchor.rpc_clients = 1;
+  anchor.bytes = 8;
+  anchor.msgs_per_sender = o.quick ? 256 : 512;
+  anchor.loop = workload::Loop::kClosed;
+  anchor.outstanding = 1;
+  anchor.seed = o.seed;
+  const workload::WorkloadResult ar =
+      workload::run_load_point(anchor, host::ProcMode::kUser, ss::Config{},
+                               seed);
+  double mean_rtt_ps = 0.0;
+  for (std::uint64_t v : ar.latency_ps) mean_rtt_ps += static_cast<double>(v);
+  if (!ar.latency_ps.empty()) {
+    mean_rtt_ps /= static_cast<double>(ar.latency_ps.size());
+  }
+  const double rpc_usec = mean_rtt_ps * 1e-6 / 2.0;  // one-way, like Fig 4
+
+  np::Options nopt;
+  nopt.min_bytes = 8;
+  nopt.max_bytes = 8;
+  nopt.perturbation = 0;
+  const auto fig4 =
+      harness::measure(np::Transport::kPut, np::Pattern::kPingPong, nopt);
+  const double fig4_usec = fig4.empty() ? 0.0 : fig4[0].usec_per_transfer;
+  const double div_pct =
+      fig4_usec > 0.0 ? (rpc_usec - fig4_usec) / fig4_usec * 100.0 : 0.0;
+  std::printf("-- anchor: 8 B 1-outstanding rpc one-way %.3f us vs fig4 "
+              "ping-pong %.3f us (%+.2f%%)\n",
+              rpc_usec, fig4_usec, div_pct);
+
+  const std::string json = sim::strf(
+      "{\n  \"anchor\": {\"divergence_pct\": %.2f, \"fig4_usec\": %.3f, "
+      "\"rpc_usec\": %.3f},\n  \"bench\": \"load_sweep\",\n"
+      "  \"closed_loop\": [\n%s\n  ],\n  \"curves\": [\n%s\n  ],\n"
+      "  \"quick\": %s,\n  \"seed\": %llu\n}\n",
+      div_pct, fig4_usec, rpc_usec, closed_json.c_str(), curves_json.c_str(),
+      o.quick ? "true" : "false", static_cast<unsigned long long>(o.seed));
+  if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {
+    return 1;
+  }
+  return 0;
+}

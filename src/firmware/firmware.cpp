@@ -550,7 +550,9 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
     co_return;
   }
 
-  // Go-back-n stream check.
+  // Go-back-n stream check.  NACKs always carry verified_seq — the sender
+  // may pop window entries only below the CRC-verified cursor, since
+  // anything at or above it might still have to be retransmitted.
   if (cfg_.gobackn) {
     if (hdr.stream_seq != src->expected_seq) {
       if (hdr.stream_seq > src->expected_seq) {
@@ -559,10 +561,20 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
           src->nack_outstanding = true;
           c_.nacks_sent->add();
           sim::spawn(gbn_send_control(msg->src, ptl::WireOp::kFwNack,
-                                      src->expected_seq));
+                                      src->verified_seq));
         }
       } else {
         c_.duplicates_dropped->add();
+        // A duplicate of a fully verified stream means the sender is
+        // retransmitting on stale window state (e.g. the tail of a burst
+        // with a coalesced ack still pending): re-ack so its window drains
+        // instead of the watchdog retransmitting forever.
+        if (!src->nack_outstanding &&
+            src->verified_seq == src->expected_seq) {
+          src->unacked_accepts = 0;
+          sim::spawn(gbn_send_control(msg->src, ptl::WireOp::kFwAck,
+                                      src->verified_seq));
+        }
       }
       co_return;
     }
@@ -579,7 +591,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
       src->nack_outstanding = true;
       c_.nacks_sent->add();
       sim::spawn(gbn_send_control(msg->src, ptl::WireOp::kFwNack,
-                                  src->expected_seq));
+                                  src->verified_seq));
     }
     co_return;
   }
@@ -588,13 +600,12 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
   c_.rx_pendings_in_use->set(++rx_in_use_);
 
   if (cfg_.gobackn) {
+    // Accept into the stream.  The cumulative FwAck is deferred to the
+    // completion handler (gbn_verified): acking at header time would let
+    // the sender trim window entries the receiver might still have to
+    // NACK back after an end-to-end CRC failure.
     ++src->expected_seq;
     src->nack_outstanding = false;
-    if (++src->unacked_accepts >= cfg_.gobackn_ack_every) {
-      src->unacked_accepts = 0;
-      sim::spawn(
-          gbn_send_control(msg->src, ptl::WireOp::kFwAck, src->expected_seq));
-    }
   }
 
   LowerPending& lp = p.lower[id];
@@ -602,6 +613,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
   lp.state = LowerPending::State::kRxHeader;
   lp.proc = proc;
   lp.msg = msg;
+  lp.stream_seq = hdr.stream_seq;
 
   // Write the header packet through to the upper pending (HT posted write;
   // the host sees it before the event that announces it).
@@ -629,6 +641,9 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
       auto prog = p.matcher->fw_get(hdr, id, walked);
       c_.accel_matches->add();
       if (!prog.has_value()) {
+        if (cfg_.gobackn) {
+          gbn_discards_[msg->seq] = {msg->src, hdr.stream_seq};
+        }
         inflight_rx_.erase(msg->seq);
         free_rx_pending(proc, id);
         co_return;
@@ -671,6 +686,9 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
     auto res = p.matcher->fw_match(hdr, id, walked);
     c_.accel_matches->add();
     if (!res.has_value()) {
+      if (cfg_.gobackn) {
+        gbn_discards_[msg->seq] = {msg->src, hdr.stream_seq};
+      }
       inflight_rx_.erase(msg->seq);
       free_rx_pending(proc, id);
       co_await ppc_.use(cfg_.fw_match_per_me *
@@ -716,23 +734,55 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
                                                 bool crc_ok) {
   co_await ppc_.use(cfg_.fw_rx_complete);
   if (panicked_) co_return;
+  if (cfg_.gobackn) {
+    // Accepted into the stream but intentionally discarded (no match /
+    // released before completion): the CRC verdict still moves the
+    // verified cursor, or the sender's window would never drain.
+    if (auto d = gbn_discards_.find(msg->seq); d != gbn_discards_.end()) {
+      const auto [src_node, seq] = d->second;
+      gbn_discards_.erase(d);
+      if (crc_ok) {
+        gbn_verified(src_node, seq);
+      } else {
+        c_.crc_drops->add();
+        gbn_crc_fail(src_node, seq);
+      }
+      co_return;
+    }
+  }
   auto it = inflight_rx_.find(msg->seq);
   if (it == inflight_rx_.end()) co_return;  // dropped at header time
   const auto [proc, id] = it->second;
   auto& p = procs_[static_cast<std::size_t>(proc)];
   LowerPending& lp = p.lower[id];
-  lp.body_complete = true;
   lp.crc_ok = crc_ok;
 
   if (lp.fw_owned) {
     // Accelerated GET request: the header handler transmits the reply and
     // posts the event itself.
+    if (cfg_.gobackn) {
+      if (crc_ok) {
+        gbn_verified(msg->src, lp.stream_seq);
+      } else {
+        c_.crc_drops->add();
+        gbn_crc_fail(msg->src, lp.stream_seq);
+      }
+    }
     inflight_rx_.erase(it);
     co_return;
   }
 
-  if (!crc_ok) {
-    c_.crc_drops->add();
+  if (!crc_ok || lp.gbn_cancelled) {
+    if (!crc_ok) {
+      c_.crc_drops->add();
+      // With go-back-n the failure is recoverable: rewind the stream and
+      // NACK so the sender retransmits.  A message cancelled by an earlier
+      // failure of its own stream must not rewind again (the stream
+      // already restarts below its sequence).
+      if (cfg_.gobackn && !lp.gbn_cancelled) {
+        gbn_crc_fail(msg->src, lp.stream_seq);
+      }
+    }
     inflight_rx_.erase(it);
     if (msg->payload.empty()) {
       // No event was posted yet; silently reclaim.
@@ -748,6 +798,9 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
     }
     co_return;
   }
+
+  lp.body_complete = true;
+  if (cfg_.gobackn) gbn_verified(msg->src, lp.stream_seq);
 
   if (msg->payload.empty()) {
     // Header-only: inline put/reply, zero-length put, get request, or a
@@ -873,7 +926,19 @@ void Firmware::post_event(FwProcId proc, FwEvent ev, std::uint64_t prov) {
 
 void Firmware::free_rx_pending(FwProcId proc, PendingId id) {
   auto& p = procs_[static_cast<std::size_t>(proc)];
-  p.lower[id] = LowerPending{};
+  LowerPending& lp = p.lower[id];
+  if (cfg_.gobackn && lp.msg) {
+    // Freed before its wire completion handler ran (e.g. the host dropped
+    // an unmatched message mid-stream and released the pending): the CRC
+    // verdict must still move the stream's verified cursor, so remember
+    // the stream position under the network seq.
+    auto it = inflight_rx_.find(lp.msg->seq);
+    if (it != inflight_rx_.end() && it->second == std::pair{proc, id}) {
+      gbn_discards_[lp.msg->seq] = {lp.msg->src, lp.stream_seq};
+      inflight_rx_.erase(it);
+    }
+  }
+  lp = LowerPending{};
   p.upper[id].msg.reset();
   p.rx_free.push_back(id);
   c_.rx_pendings_in_use->set(--rx_in_use_);
@@ -902,6 +967,46 @@ void Firmware::panic(std::string reason) {
   panic_reason_ = std::move(reason);
   sim::log_msg(eng_, sim::LogLevel::kError, sim::strf("fw.n%u", nic_.node()),
                "PANIC: " + panic_reason_);
+}
+
+void Firmware::gbn_verified(net::NodeId src_node, std::uint32_t seq) {
+  SourceSlot* s = sources_.lookup(src_node);
+  // Completions arrive in wire order per source, so `seq` is normally
+  // exactly the verified cursor; anything else is a stale completion from
+  // a rewound stream segment and must not advance it.
+  if (s == nullptr || s->verified_seq != seq) return;
+  s->verified_seq = seq + 1;
+  if (++s->unacked_accepts >= cfg_.gobackn_ack_every) {
+    s->unacked_accepts = 0;
+    sim::spawn(
+        gbn_send_control(src_node, ptl::WireOp::kFwAck, s->verified_seq));
+  }
+}
+
+void Firmware::gbn_crc_fail(net::NodeId src_node, std::uint32_t seq) {
+  SourceSlot* s = sources_.lookup(src_node);
+  if (s == nullptr) return;
+  // The stream restarts at the failed message: everything accepted after
+  // it will be re-delivered by the retransmit, so cancel in-flight
+  // successors (a second delivery would otherwise follow) and forget
+  // discarded ones (the retransmit re-discards them).
+  s->expected_seq = seq;
+  s->unacked_accepts = 0;
+  for (auto& [net_seq, pi] : inflight_rx_) {
+    LowerPending& lp = lower(pi.first, pi.second);
+    if (lp.msg && lp.msg->src == src_node && !lp.fw_owned &&
+        lp.stream_seq > seq) {
+      lp.gbn_cancelled = true;
+    }
+  }
+  std::erase_if(gbn_discards_, [&](const auto& kv) {
+    return kv.second.first == src_node && kv.second.second > seq;
+  });
+  if (!s->nack_outstanding) {
+    s->nack_outstanding = true;
+    c_.nacks_sent->add();
+    sim::spawn(gbn_send_control(src_node, ptl::WireOp::kFwNack, seq));
+  }
 }
 
 void Firmware::gbn_record(net::NodeId dst, const net::Message& msg,

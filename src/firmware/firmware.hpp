@@ -22,8 +22,13 @@
 // mirrors the shipped behaviour — it panics the node.  With it true, the
 // in-progress go-back-n protocol is active: each message carries a per-
 // destination stream sequence number; a receiver that must drop (no source
-// slot / no pending / out-of-order arrival) NACKs the expected sequence and
-// the sender rewinds and retransmits its window from there.
+// slot / no pending / out-of-order arrival) NACKs and the sender rewinds
+// and retransmits its window from there.  Acknowledgement is tied to the
+// end-to-end CRC: a message is *accepted* at header time but only *acked*
+// (cumulative FwAck of SourceSlot::verified_seq) once its last flit arrived
+// and the e2e CRC-32 checked out, and a CRC failure rewinds the stream and
+// NACKs so the sender retransmits — an undetected link corruption costs a
+// drop + retransmit instead of a lost message.
 
 #include <cstdint>
 #include <deque>
@@ -292,6 +297,13 @@ class Firmware final : public ss::RxClient {
   void panic(std::string reason);
 
   // Go-back-n.
+  /// Completion-time verification: message `seq` from `src_node` passed the
+  /// e2e CRC.  Advances verified_seq and sends the cumulative FwAck.
+  void gbn_verified(net::NodeId src_node, std::uint32_t seq);
+  /// Completion-time CRC failure of message `seq`: rewinds expected_seq,
+  /// cancels already-accepted successors of the stream (the retransmit will
+  /// re-deliver them) and NACKs the sender.
+  void gbn_crc_fail(net::NodeId src_node, std::uint32_t seq);
   void gbn_record(net::NodeId dst, const net::Message& msg,
                   std::uint32_t n_dma_cmds);
   sim::CoTask<void> gbn_send_control(net::NodeId dst, ptl::WireOp op,
@@ -321,6 +333,13 @@ class Firmware final : public ss::RxClient {
       inflight_rx_;
 
   std::unordered_map<net::NodeId, TxStream> tx_streams_;
+
+  /// Go-back-n: messages accepted into a stream but intentionally discarded
+  /// at header time (no Portals match), keyed by network seq.  Their CRC
+  /// verdict still has to advance or rewind the verified cursor at
+  /// completion time, or the sender's window would never drain.
+  std::unordered_map<std::uint64_t, std::pair<net::NodeId, std::uint32_t>>
+      gbn_discards_;
 
   /// Registry-backed op counters (one MetricsRegistry entry each, named
   /// "fw.nN.<field>"); cached handles so bumps are a single integer add.

@@ -29,10 +29,19 @@ struct SourceSlot {
   std::deque<std::pair<FwProcId, PendingId>> rx_list;
   /// Go-back-n: next stream_seq this node expects from the source.
   std::uint32_t expected_seq = 0;
-  /// Go-back-n: a NACK for expected_seq has been sent and not yet satisfied
-  /// (suppresses duplicate NACKs while the sender rewinds).
+  /// Go-back-n: next stream_seq awaiting its end-to-end CRC verdict.  A
+  /// message is *accepted* (expected_seq advances) when its header passes
+  /// the stream check, but only *verified* (verified_seq advances) when the
+  /// last flit arrives and the e2e CRC-32 matches.  Cumulative FwAcks carry
+  /// verified_seq: the sender may only trim window entries the receiver can
+  /// no longer NACK back, and a CRC failure rewinds expected_seq to
+  /// verified_seq so the failed message is retransmitted (§4.3 "drop +
+  /// retransmit" instead of a silent host-visible drop).
+  std::uint32_t verified_seq = 0;
+  /// Go-back-n: a NACK has been sent and not yet satisfied (suppresses
+  /// duplicate NACKs while the sender rewinds).
   bool nack_outstanding = false;
-  /// Go-back-n: accepted messages since the last cumulative FwAck.
+  /// Go-back-n: verified messages since the last cumulative FwAck.
   std::uint32_t unacked_accepts = 0;
   /// A deposit worker is draining this source's RX list.
   bool deposit_active = false;

@@ -175,6 +175,13 @@ struct LowerPending {
   bool cmd_ready = false;
   bool crc_ok = true;
   bool inline_delivery = false;
+  /// Go-back-n stream sequence this message was accepted under (needed at
+  /// completion time to advance verified_seq / rewind on CRC failure).
+  std::uint32_t stream_seq = 0;
+  /// Go-back-n: an earlier message of the same stream failed its e2e CRC
+  /// after this one was accepted; the retransmit will re-deliver it, so
+  /// the completion handler must drop it instead of delivering twice.
+  bool gbn_cancelled = false;
   /// The firmware itself is driving this pending to completion
   /// (accelerated GET: the reply transmit); the completion handler must
   /// not post events or reclaim it.

@@ -20,7 +20,11 @@ namespace {
       "  --json FILE     also dump the measured series as JSON\n"
       "  --metrics FILE  dump the metrics-registry snapshots as JSON\n"
       "  --trace FILE    dump a merged Chrome trace (chrome://tracing)\n"
-      "  --seed N        base RNG seed for the scenarios\n",
+      "  --seed N        base RNG seed for the scenarios\n"
+      "  --pattern NAME  workload benches: only this traffic pattern\n"
+      "  --offered-load X  workload benches: single offered load (msgs/s)\n"
+      "  --outstanding N workload benches: closed-loop requests in flight\n"
+      "  --ranks N       workload benches: participating ranks\n",
       prog);
   std::exit(rc);
 }
@@ -65,6 +69,13 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
     } else if (path_flag("--trace", argc, argv, i, &o.trace_path)) {
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
       o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (path_flag("--pattern", argc, argv, i, &o.pattern)) {
+    } else if (std::strcmp(arg, "--offered-load") == 0 && i + 1 < argc) {
+      o.offered_load = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--outstanding") == 0 && i + 1 < argc) {
+      o.outstanding = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--ranks") == 0 && i + 1 < argc) {
+      o.ranks = std::atoi(argv[++i]);
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
       usage(argv[0], 0);

@@ -10,6 +10,11 @@
 //   --metrics FILE  dump every scenario's metrics registry as JSON
 //   --trace FILE    dump a merged Chrome trace of every scenario
 //   --seed N        base RNG seed for the scenarios
+//   --pattern NAME  workload benches: run only this traffic pattern
+//   --offered-load X  workload benches: single offered load (msgs/s)
+//                     instead of the built-in ladder
+//   --outstanding N workload benches: closed-loop requests in flight
+//   --ranks N       workload benches: ranks participating
 //   --help
 //
 // --metrics and --trace also accept the --flag=FILE spelling.
@@ -40,6 +45,14 @@ struct BenchOptions {
   bool quick = false;
   /// Base RNG seed; sweep point i derives its own stream from seed + i.
   std::uint64_t seed = 1;
+  /// Workload benches (src/workload consumers).  The harness keeps these
+  /// as plain strings/numbers — interpreting the pattern name is the
+  /// workload library's job, so the dependency points the right way.
+  /// Empty / 0 mean "bench default" (all patterns, built-in ladders).
+  std::string pattern;
+  double offered_load = 0.0;
+  int outstanding = 0;
+  int ranks = 0;
 
   /// Parses argv; on --help or an unknown flag prints usage and exits.
   static BenchOptions parse(int argc, char** argv,

@@ -2,6 +2,13 @@
 
 namespace xt::harness {
 
+net::Shape shape_for_ranks(int n) {
+  int e = 0;
+  while ((1 << e) < n) ++e;
+  const int ex = (e + 2) / 3, ey = (e + 1) / 3, ez = e / 3;
+  return net::Shape::xt3(1 << ex, 1 << ey, 1 << ez);
+}
+
 Scenario Scenario::pair(host::ProcMode mode, ptl::Pid pid,
                         std::size_t mem_bytes) {
   Scenario sc;
@@ -16,6 +23,16 @@ Scenario Scenario::incast(int senders, ptl::Pid pid, std::size_t mem_bytes) {
   sc.shape = net::Shape::xt3(senders + 1, 1, 1);
   for (net::NodeId n = 0; n <= static_cast<net::NodeId>(senders); ++n) {
     sc.add_proc(n, pid, mem_bytes, host::ProcMode::kUser);
+  }
+  return sc;
+}
+
+Scenario Scenario::workload(int ranks, host::ProcMode mode, ptl::Pid pid,
+                            std::size_t mem_bytes) {
+  Scenario sc;
+  sc.shape = shape_for_ranks(ranks);
+  for (net::NodeId n = 0; n < static_cast<net::NodeId>(ranks); ++n) {
+    sc.add_proc(n, pid, mem_bytes, mode);
   }
   return sc;
 }

@@ -25,6 +25,11 @@ namespace xt::harness {
 
 class Instance;
 
+/// Smallest near-cubic power-of-two torus holding at least `n` nodes —
+/// the shape every rank-count sweep (collectives, workloads) runs on, so
+/// curves over n stay comparable.
+net::Shape shape_for_ranks(int n);
+
 struct Scenario {
   struct ProcSpec {
     net::NodeId node = 0;
@@ -90,6 +95,14 @@ struct Scenario {
   /// process per node.
   static Scenario incast(int senders, ptl::Pid pid = 10,
                          std::size_t mem_bytes = 16u << 20);
+
+  /// `ranks` processes (one per node, rank i on node i) on the near-cubic
+  /// torus from shape_for_ranks — the setup of every src/workload traffic
+  /// pattern.
+  static Scenario workload(int ranks,
+                           host::ProcMode mode = host::ProcMode::kUser,
+                           ptl::Pid pid = 10,
+                           std::size_t mem_bytes = 32u << 20);
 
   /// Instantiates the machine and spawns every process.
   std::unique_ptr<Instance> build() const;

@@ -107,6 +107,12 @@ CoTask<void> AccelAgent::tx_post_task(fw::PendingId pd,
   node_.firmware().post_command(fwproc_, std::move(cmd));
 }
 
+void AccelAgent::send_ack(std::uint32_t dst_nid, const WireHeader& ack) {
+  if (send(TxKind::kAck, dst_nid, ack, {}, 0) == ptl::PTL_NO_SPACE) {
+    deferred_acks_.emplace_back(dst_nid, ack);
+  }
+}
+
 std::optional<fw::AccelMatcher::Result> AccelAgent::fw_match(
     const WireHeader& hdr, fw::PendingId pending,
     std::size_t& entries_walked) {
@@ -150,7 +156,7 @@ std::optional<fw::AccelMatcher::Result> AccelAgent::fw_match(
       // through the normal user-level path.
       r.fw_complete = true;
       if (auto ack = lib_->deposited(d.token); ack.has_value()) {
-        send(TxKind::kAck, hdr.src_nid, *ack, {}, 0);
+        send_ack(hdr.src_nid, *ack);
       }
       return r;
     }
@@ -339,6 +345,14 @@ CoTask<void> AccelAgent::handle(fw::FwEvent ev) {
         tx_map_.erase(it);
         if (rec.kind == TxKind::kPut) lib_->send_complete(rec.token);
         node_.firmware().host_free_tx_pending(fwproc_, ev.pending);
+        while (!deferred_acks_.empty()) {
+          const auto [dst, hdr] = deferred_acks_.front();
+          deferred_acks_.pop_front();
+          if (send(TxKind::kAck, dst, hdr, {}, 0) == ptl::PTL_NO_SPACE) {
+            deferred_acks_.emplace_front(dst, hdr);
+            break;  // still full; the next kTxComplete retries
+          }
+        }
       }
       break;
     }
@@ -359,7 +373,7 @@ CoTask<void> AccelAgent::handle(fw::FwEvent ev) {
           // sitting in the upper pending.
           const WireHeader in = ptl::unpack_header(
               node_.firmware().upper(fwproc_, ev.pending).header_packet);
-          send(TxKind::kAck, in.src_nid, *ack, {}, 0);
+          send_ack(in.src_nid, *ack);
         }
       }
       node_.firmware().post_command(fwproc_,
@@ -395,7 +409,12 @@ CoTask<void> AccelAgent::pump() {
   fw::FwEventQueue& q = node_.firmware().event_queue(fwproc_);
   for (;;) {
     co_await drain();
-    if (q.empty()) co_await q.waiters().wait();
+    // Park whenever the queue is empty OR another logical poller (an
+    // API-entry drain suspended inside handle()) is active: drain() then
+    // returned without consuming anything, and looping on a non-empty
+    // queue would spin inside this resume forever.  The active drainer
+    // empties the queue; any later post notifies the waiters again.
+    if (q.empty() || draining_) co_await q.waiters().wait();
   }
 }
 

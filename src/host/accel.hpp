@@ -16,8 +16,10 @@
 // Constraint from the paper: accelerated mode does not support
 // non-contiguous buffers, so it is limited to Catamount processes.
 
+#include <deque>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "firmware/firmware.hpp"
 #include "host/cpu.hpp"
@@ -94,6 +96,11 @@ class AccelAgent final : public fw::AccelMatcher,
                                  ptl::WireHeader hdr,
                                  std::vector<ptl::IoVec> payload,
                                  std::uint64_t prov);
+  /// Sends a Portals-level ack, parking it in deferred_acks_ when the tx
+  /// pending pool is transiently exhausted (incast fan-in issues one ack
+  /// per delivered put, back to back; a silently dropped ack strands the
+  /// initiator forever).
+  void send_ack(std::uint32_t dst_nid, const ptl::WireHeader& ack);
   /// Drains all pending firmware events (polled, interrupt-free).
   sim::CoTask<void> drain();
   sim::CoTask<void> handle(fw::FwEvent ev);
@@ -109,6 +116,8 @@ class AccelAgent final : public fw::AccelMatcher,
 
   std::unordered_map<fw::PendingId, TxRec> tx_map_;
   std::unordered_map<fw::PendingId, std::uint64_t> rx_map_;
+  /// Acks awaiting a free tx pending, flushed on kTxComplete.
+  std::deque<std::pair<std::uint32_t, ptl::WireHeader>> deferred_acks_;
   bool draining_ = false;
   /// Registry instruments ("accel.nN.*"): counter-wait calls and the
   /// wakeups they burn re-checking thresholds (per-round collective cost).

@@ -22,6 +22,17 @@ inline std::uint64_t prov_begin(sim::Engine& eng, std::uint32_t src,
   return 0;
 }
 
+/// Opens a provenance record whose first stamp is `first` instead of
+/// kHostPost — workload generators open request records at kAppArrival.
+inline std::uint64_t prov_begin_at(sim::Engine& eng, std::uint32_t src,
+                                   std::uint32_t dst, std::uint32_t bytes,
+                                   Stage first) {
+  if (ProvenanceLog* p = eng.provenance()) {
+    return p->begin_message(src, dst, bytes, eng.now(), first);
+  }
+  return 0;
+}
+
 /// Stamps stage `s` on message `id` at eng.now(); no-op for id 0 or when
 /// provenance is disabled.
 inline void prov_stamp(sim::Engine& eng, std::uint64_t id, Stage s) {

@@ -10,6 +10,8 @@ using sim::strf;
 
 const char* stage_name(Stage s) {
   switch (s) {
+    case Stage::kAppArrival: return "app_arrival";
+    case Stage::kAppQueue: return "app_queue";
     case Stage::kHostPost: return "host_post";
     case Stage::kFwTxCmd: return "fw_tx_cmd";
     case Stage::kTxDma: return "tx_dma";
@@ -31,13 +33,14 @@ const char* stage_name(Stage s) {
 
 std::uint64_t ProvenanceLog::begin_message(std::uint32_t src,
                                            std::uint32_t dst,
-                                           std::uint32_t bytes, sim::Time t) {
+                                           std::uint32_t bytes, sim::Time t,
+                                           Stage first) {
   MsgRecord rec;
   rec.id = msgs_.size() + 1;
   rec.src = src;
   rec.dst = dst;
   rec.bytes = bytes;
-  rec.stamps.emplace_back(Stage::kHostPost, t);
+  rec.stamps.emplace_back(first, t);
   msgs_.push_back(std::move(rec));
   return msgs_.back().id;
 }
@@ -53,7 +56,10 @@ Attribution ProvenanceLog::attribute() const {
   Attribution out;
   for (const MsgRecord& m : msgs_) {
     if (m.stamps.size() < 2) continue;
-    if (m.stamps.front().first != Stage::kHostPost) continue;
+    if (m.stamps.front().first != Stage::kHostPost &&
+        m.stamps.front().first != Stage::kAppArrival) {
+      continue;
+    }
     if (m.stamps.back().first != Stage::kHostDeliver) continue;
     ++out.messages;
     out.e2e_ps += static_cast<std::uint64_t>(

@@ -32,8 +32,14 @@ namespace xt::telemetry {
 /// Pipeline stages, in path order.  A single message only visits a subset
 /// (e.g. inline deliveries skip the Rx DMA stages; accelerated mode skips
 /// the interrupt/host-match stages in favour of kFwMatch/kEventPost).
+/// The two kApp* stages sit above the Portals API: workload generators use
+/// them to split request latency into queueing (arrival -> issue) and
+/// service (issue -> delivery) without touching the per-message NIC path.
 enum class Stage : std::uint8_t {
-  kHostPost = 0,      // application/agent issues the send
+  kAppArrival = 0,    // request generated (open-loop intended arrival)
+  kAppQueue,          // request issued to the API (time since arrival =
+                      // generator queueing delay)
+  kHostPost,          // application/agent issues the send
   kFwTxCmd,           // firmware picked the Tx command off the mailbox
   kTxDma,             // Tx DMA program started
   kWireHeader,        // header handed to the link (HT read done)
@@ -78,10 +84,12 @@ struct Attribution {
 
 class ProvenanceLog {
  public:
-  /// Starts a record and stamps kHostPost at `t`.  Returns the new id
-  /// (never 0; 0 means "untracked" at stamp sites).
+  /// Starts a record and stamps `first` (default kHostPost) at `t`.
+  /// Returns the new id (never 0; 0 means "untracked" at stamp sites).
+  /// Workload generators open their records at kAppArrival.
   std::uint64_t begin_message(std::uint32_t src, std::uint32_t dst,
-                              std::uint32_t bytes, sim::Time t);
+                              std::uint32_t bytes, sim::Time t,
+                              Stage first = Stage::kHostPost);
 
   /// Appends a stamp to message `id`.  No-op for id 0 / unknown ids.
   void stamp(std::uint64_t id, Stage s, sim::Time t);
@@ -90,9 +98,9 @@ class ProvenanceLog {
   std::size_t size() const { return msgs_.size(); }
   void clear() { msgs_.clear(); }
 
-  /// Aggregates every record whose first stamp is kHostPost and last stamp
-  /// is kHostDeliver (i.e. messages observed end to end).  By construction
-  /// sum(rows[i].total_ps) == e2e_ps.
+  /// Aggregates every record whose first stamp is kHostPost or kAppArrival
+  /// and whose last stamp is kHostDeliver (i.e. messages/requests observed
+  /// end to end).  By construction sum(rows[i].total_ps) == e2e_ps.
   Attribution attribute() const;
 
   /// Deterministic JSON: the per-message waterfalls, times in ps.

@@ -1,0 +1,117 @@
+#pragma once
+
+// Synthetic traffic generation over the full Portals stack.
+//
+// run_workload() drives one WorkloadSpec against a live harness::Instance:
+// it precomputes the complete destination schedule and (open loop) arrival
+// timeline from the spec seed, attaches one event queue, receive buffer and
+// send MD per rank, then runs sender and event-pump coroutines until every
+// rank has observed its exact expected event counts.  Because the schedule
+// is a pure function of the spec (sim::Rng streams forked in rank order),
+// results are byte-identical across reruns and --jobs values.
+//
+// Loop disciplines:
+//   kOpen    messages are injected at precomputed absolute arrival times
+//            (exponential / uniform / fixed inter-arrivals at the offered
+//            rate); latency is measured from the *intended* arrival, so
+//            queueing delay shows up in the percentiles and the curve turns
+//            into the classic hockey stick past saturation.  A per-sender
+//            in-flight cap (spec.outstanding) bounds resource usage — past
+//            saturation the generator degrades to closed-loop at the cap,
+//            which is exactly where delivered throughput stops tracking
+//            offered load (load_runner.hpp detects that point).
+//   kClosed  each sender keeps spec.outstanding requests in flight and
+//            issues the next the moment a slot frees; latency is measured
+//            from issue time (pure service latency, no self-queueing).
+//
+// Completion tracking: every message carries its arrival/issue timestamp in
+// hdr_data.  One-way latency is recorded at the receiver's kPutEnd; RPC
+// clients track each outstanding request individually and record RTT when
+// the server's reply (echoing the request's hdr_data) lands.  Non-RPC
+// senders request Portals acks and pace on kAck, so the in-flight cap
+// counts messages not yet *delivered*, not merely not yet transmitted.
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "sim/time.hpp"
+#include "workload/pattern.hpp"
+
+namespace xt::workload {
+
+enum class Loop : std::uint8_t { kOpen, kClosed };
+enum class Arrival : std::uint8_t { kExponential, kUniform, kFixed };
+
+const char* loop_name(Loop l);
+const char* arrival_name(Arrival a);
+
+struct WorkloadSpec {
+  PatternKind pattern = PatternKind::kUniform;
+  int ranks = 8;
+  std::uint32_t bytes = 2048;
+  /// Messages each sending rank injects (RPC: requests per client).
+  int msgs_per_sender = 100;
+  Loop loop = Loop::kOpen;
+  Arrival arrival = Arrival::kExponential;
+  /// Aggregate offered load in messages/second across all senders (open
+  /// loop only; closed loop runs as fast as the outstanding window allows).
+  double offered_msgs_per_sec = 1e5;
+  /// Closed loop: requests each sender keeps in flight.  Open loop: cap on
+  /// a sender's undelivered messages (bounds NIC pending usage; see above).
+  int outstanding = 8;
+  std::uint64_t seed = 1;
+  /// kRpc only: when > 0, ranks [0, rpc_clients) are pure clients and the
+  /// rest are pure servers; when 0, every rank is both (uniform server
+  /// choice either way).
+  int rpc_clients = 0;
+  /// Corruption experiments with retransmission off: pace on kSendEnd
+  /// instead of kAck and let receivers count dropped deliveries toward
+  /// their expected totals, so the run terminates even though some
+  /// messages are never delivered intact.
+  bool count_drops = false;
+};
+
+struct WorkloadResult {
+  std::uint64_t sent = 0;       ///< data messages issued (excludes replies)
+  std::uint64_t delivered = 0;  ///< target kPutEnd with ni_fail == PTL_NI_OK
+  std::uint64_t dropped = 0;    ///< target kPutEnd with PTL_NI_FAIL_DROPPED
+  std::uint64_t replies = 0;    ///< RPC replies delivered back to clients
+  /// False when a pump gave up (event-queue failure) or the run quiesced
+  /// with expected events still missing — e.g. messages lost with no
+  /// recovery protocol enabled.
+  bool complete = false;
+  sim::Time span{};  ///< traffic-phase duration (setup excluded)
+  /// Open loop: the last scheduled arrival offset — the injection horizon
+  /// the finite sample actually offered.  sent / sched_span is the
+  /// *effective* offered rate (a finite exponential sample's tail makes it
+  /// sit below the nominal rate), which is what delivered throughput must
+  /// track below saturation.  Zero for closed loop.
+  sim::Time sched_span{};
+  /// One sample per delivered message: one-way latency at the receiver,
+  /// or request RTT at the client for kRpc.  Rank-major order.
+  std::vector<std::uint64_t> latency_ps;
+
+  double delivered_per_sec() const;
+  /// sent / sched_span — the offered rate realized by the schedule (0 when
+  /// closed loop / no schedule).
+  double offered_effective_per_sec() const;
+  /// Exact p-th percentile (nearest-rank) of latency_ps; 0 when empty.
+  std::uint64_t percentile_ps(int p) const;
+};
+
+/// Builds the scenario shape every workload runs on: one process per node,
+/// rank i on node i, on the near-cubic torus from shape_for_ranks().
+harness::Scenario workload_scenario(const WorkloadSpec& spec,
+                                    host::ProcMode mode,
+                                    const ss::Config& cfg,
+                                    std::uint64_t scenario_seed);
+
+/// Runs the workload on `inst` (built from a Scenario with >= spec.ranks
+/// processes, rank i on node i).  Reentrant with respect to the instance:
+/// runs the engine to quiescence twice (setup, then traffic).  Records
+/// workload.* counters — and the workload.latency_ps histogram when
+/// sampling is on — into the engine's metrics registry.
+WorkloadResult run_workload(harness::Instance& inst, const WorkloadSpec& spec);
+
+}  // namespace xt::workload

@@ -1,0 +1,115 @@
+#include "workload/incast.hpp"
+
+#include "harness/scenario.hpp"
+#include "portals/api.hpp"
+#include "sim/task.hpp"
+
+namespace xt::workload {
+
+namespace {
+
+using ptl::AckReq;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::ProcessId;
+using ptl::Unlink;
+using sim::CoTask;
+
+struct RxCount {
+  int ok = 0;
+  int dropped = 0;
+};
+
+CoTask<void> receiver(host::Process& p, std::uint64_t buf, int total,
+                      IncastSpec::Exit exit, RxCount* count) {
+  auto& api = p.api();
+  auto eq = co_await api.PtlEQAlloc(8192);
+  auto me = co_await api.PtlMEAttach(0, ProcessId{ptl::kNidAny, ptl::kPidAny},
+                                     1, 0, Unlink::kRetain, InsPos::kAfter);
+  MdDesc d;
+  d.start = buf;
+  d.length = 1u << 20;
+  d.options =
+      ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE | ptl::PTL_MD_TRUNCATE;
+  d.eq = eq.value;
+  (void)co_await api.PtlMDAttach(me.value, d, Unlink::kRetain);
+  while (count->ok < total &&
+         (exit == IncastSpec::Exit::kRetryUntilOk ||
+          count->ok + count->dropped < total)) {
+    auto ev = co_await api.PtlEQWait(eq.value);
+    if (ev.rc != ptl::PTL_OK && ev.rc != ptl::PTL_EQ_DROPPED) co_return;
+    if (ev.value.type == EventType::kPutEnd) {
+      if (ev.value.ni_fail == ptl::PTL_NI_OK) {
+        ++count->ok;
+      } else {
+        ++count->dropped;
+      }
+    }
+  }
+}
+
+CoTask<void> sender(host::Process& p, int n, std::uint32_t len,
+                    ptl::Pid pid) {
+  auto& api = p.api();
+  auto eq = co_await api.PtlEQAlloc(8192);
+  MdDesc d;
+  d.start = p.alloc(len);
+  d.length = len;
+  d.eq = eq.value;
+  auto md = co_await api.PtlMDBind(d, Unlink::kRetain);
+  int sent = 0;
+  for (int i = 0; i < n; ++i) {
+    (void)co_await api.PtlPut(md.value, AckReq::kNone, ProcessId{0, pid}, 0,
+                              0, 1, 0, 0);
+  }
+  while (sent < n) {
+    auto ev = co_await api.PtlEQWait(eq.value);
+    if (ev.rc != ptl::PTL_OK) co_return;
+    if (ev.value.type == EventType::kSendEnd) ++sent;
+  }
+}
+
+}  // namespace
+
+IncastResult run_incast(const IncastSpec& spec) {
+  harness::Scenario sc = harness::Scenario::incast(spec.senders, spec.pid);
+  sc.with_config(spec.cfg).with_seed(spec.seed);
+  sc.procs[0].mem_bytes = spec.receiver_mem;
+  auto inst = sc.build();
+  host::Machine& m = inst->machine();
+
+  host::Process& rx = inst->proc(0);
+  const std::uint64_t rbuf = rx.alloc(1u << 20);
+  RxCount count;
+  sim::spawn(receiver(rx, rbuf, spec.senders * spec.msgs_each, spec.exit,
+                      &count));
+  for (int sidx = 1; sidx <= spec.senders; ++sidx) {
+    sim::spawn(sender(inst->proc(static_cast<std::size_t>(sidx)),
+                      spec.msgs_each, spec.bytes, spec.pid));
+  }
+
+  inst->run();
+
+  IncastResult r;
+  r.panicked = m.node(0).firmware().panicked();
+  r.panic_reason = m.node(0).firmware().panic_reason();
+  r.delivered = count.ok;
+  r.dropped = count.dropped;
+  const auto& c = m.node(0).firmware().counters();
+  r.nacks = c.nacks_sent;
+  r.exhaustion_drops = c.exhaustion_drops;
+  r.crc_drops = c.crc_drops;
+  std::uint64_t rt = 0;
+  for (int sidx = 1; sidx <= spec.senders; ++sidx) {
+    rt += m.node(static_cast<net::NodeId>(sidx))
+              .firmware()
+              .counters()
+              .retransmits;
+  }
+  r.retransmits = rt;
+  r.ms = m.engine().now().to_ms();
+  return r;
+}
+
+}  // namespace xt::workload

@@ -1,0 +1,57 @@
+#pragma once
+
+// Many-to-one incast on raw PtlPut, extracted from bench/abl_gobackn.cpp
+// so the exhaustion ablation and the link-corruption regression tests
+// drive the identical traffic.
+//
+// Unlike the schedule-driven generator (generator.hpp), this is the
+// simplest possible hot loop: every sender binds one MD and fires
+// `msgs_each` unacked puts at rank 0 back to back, then waits for its
+// kSendEnd events; the receiver counts kPutEnd events against the total.
+// That bluntness is the point — it reproduces the firmware-level behaviour
+// (exhaustion panics, go-back-n NACK storms, CRC drop-and-retransmit)
+// without any application-level pacing in the way.
+
+#include <cstdint>
+#include <string>
+
+#include "portals/types.hpp"
+#include "seastar/config.hpp"
+
+namespace xt::workload {
+
+struct IncastSpec {
+  /// Receiver exit policy.  kRetryUntilOk waits for `senders * msgs_each`
+  /// intact deliveries — right when a recovery protocol (go-back-n)
+  /// retransmits every loss.  kCountDrops also counts failed deliveries
+  /// (kPutEnd with PTL_NI_FAIL_DROPPED) toward the total, so corruption
+  /// runs with no retransmission still terminate.
+  enum class Exit : std::uint8_t { kRetryUntilOk, kCountDrops };
+
+  int senders = 8;
+  int msgs_each = 40;
+  std::uint32_t bytes = 2048;
+  ptl::Pid pid = 7;
+  ss::Config cfg{};
+  std::uint64_t seed = 1;
+  std::size_t receiver_mem = 128u << 20;
+  Exit exit = Exit::kRetryUntilOk;
+};
+
+struct IncastResult {
+  bool panicked = false;
+  std::string panic_reason;
+  int delivered = 0;  ///< intact deliveries (ni_fail == PTL_NI_OK)
+  int dropped = 0;    ///< failed delivery attempts seen by the receiver
+  std::uint64_t nacks = 0;        ///< receiver-firmware NACKs sent
+  std::uint64_t exhaustion_drops = 0;
+  std::uint64_t crc_drops = 0;    ///< receiver e2e CRC rejections
+  std::uint64_t retransmits = 0;  ///< summed over all sender firmwares
+  double ms = 0.0;
+};
+
+/// Builds the incast scenario, runs it to quiescence, and returns the
+/// delivery outcome plus the firmware counters the §4.3 ablation reports.
+IncastResult run_incast(const IncastSpec& spec);
+
+}  // namespace xt::workload

@@ -1,0 +1,59 @@
+#pragma once
+
+// Throughput–latency load sweeps over the workload generator.
+//
+// run_load_sweep() replays one WorkloadSpec across a ladder of offered
+// loads (each point a fresh, self-contained Instance, fanned out over the
+// harness::SweepRunner thread pool — results are input-ordered and
+// byte-identical for any --jobs value) and marks the saturation point:
+// the first ladder rung where delivered throughput stops tracking offered
+// load within `tolerance`.  Below saturation an open-loop generator
+// delivers what it offers; past it the in-flight cap throttles injection
+// and delivered throughput flattens at the stack's capacity, while the
+// measured-from-intended-arrival latency percentiles blow up — the two
+// views of the same knee.
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace xt::workload {
+
+struct LoadPoint {
+  double offered_msgs_per_sec = 0.0;
+  WorkloadResult result;
+};
+
+struct LoadCurve {
+  std::vector<LoadPoint> points;  ///< ladder order (ascending offered load)
+  /// Index of the first point whose delivered rate fell short of
+  /// (1 - tolerance) * offered; -1 when the ladder never saturated.
+  int saturation_index = -1;
+  /// Delivered throughput at the saturation point (0 when not reached).
+  double saturation_msgs_per_sec = 0.0;
+};
+
+struct LoadSweepSpec {
+  /// Template for every point; offered_msgs_per_sec is overridden per rung
+  /// (and loop is forced to kOpen — saturation needs an open loop).
+  WorkloadSpec base;
+  host::ProcMode mode = host::ProcMode::kUser;
+  ss::Config cfg{};
+  std::vector<double> offered;  ///< the ladder, ascending
+  double tolerance = 0.1;
+  int jobs = 0;  ///< SweepRunner threads; 0 = hardware concurrency
+  /// Scenario seed base; rung i runs with scenario seed `seed + i` so
+  /// fault-injection streams are independent across points.
+  std::uint64_t seed = 1;
+};
+
+/// One self-contained measurement: builds the scenario, runs the workload,
+/// returns the result.  Thread-safe (nothing shared, nothing global).
+WorkloadResult run_load_point(const WorkloadSpec& spec, host::ProcMode mode,
+                              const ss::Config& cfg,
+                              std::uint64_t scenario_seed);
+
+LoadCurve run_load_sweep(const LoadSweepSpec& spec);
+
+}  // namespace xt::workload

@@ -1,0 +1,128 @@
+#include "workload/pattern.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xt::workload {
+
+const char* pattern_name(PatternKind k) {
+  switch (k) {
+    case PatternKind::kUniform: return "uniform";
+    case PatternKind::kHalo3d: return "halo3d";
+    case PatternKind::kPermutation: return "permutation";
+    case PatternKind::kIncast: return "incast";
+    case PatternKind::kRpc: return "rpc";
+  }
+  return "?";
+}
+
+std::optional<PatternKind> pattern_from_name(std::string_view name) {
+  for (PatternKind k : all_patterns()) {
+    if (name == pattern_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+const std::vector<PatternKind>& all_patterns() {
+  static const std::vector<PatternKind> kAll = {
+      PatternKind::kUniform, PatternKind::kHalo3d, PatternKind::kPermutation,
+      PatternKind::kIncast, PatternKind::kRpc};
+  return kAll;
+}
+
+std::vector<int> halo_neighbors(const net::Shape& shape, int rank) {
+  const net::Coord c = shape.to_coord(static_cast<net::NodeId>(rank));
+  std::vector<int> out;
+  const auto push = [&](int x, int y, int z, int extent, bool wrap) {
+    if (extent > 1) {
+      // Mesh dimensions (Red Storm X/Y) have no wraparound link.
+      if (!wrap && (x < 0 || x >= shape.nx || y < 0 || y >= shape.ny ||
+                    z < 0 || z >= shape.nz)) {
+        return;
+      }
+      const net::Coord n{(x + shape.nx) % shape.nx, (y + shape.ny) % shape.ny,
+                         (z + shape.nz) % shape.nz};
+      const int id = static_cast<int>(shape.to_id(n));
+      if (id != rank && std::find(out.begin(), out.end(), id) == out.end()) {
+        out.push_back(id);
+      }
+    }
+  };
+  push(c.x + 1, c.y, c.z, shape.nx, shape.wrap_x);
+  push(c.x - 1, c.y, c.z, shape.nx, shape.wrap_x);
+  push(c.x, c.y + 1, c.z, shape.ny, shape.wrap_y);
+  push(c.x, c.y - 1, c.z, shape.ny, shape.wrap_y);
+  push(c.x, c.y, c.z + 1, shape.nz, shape.wrap_z);
+  push(c.x, c.y, c.z - 1, shape.nz, shape.wrap_z);
+  return out;
+}
+
+Pattern::Pattern(PatternKind kind, const net::Shape& shape, int ranks,
+                 std::uint64_t seed)
+    : kind_(kind), shape_(shape), ranks_(ranks) {
+  assert(ranks >= 2);
+  assert(ranks <= shape.count());
+  sim::Rng base(seed);
+  rank_rng_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) rank_rng_.push_back(base.fork());
+  if (kind == PatternKind::kHalo3d) {
+    nbrs_.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) nbrs_.push_back(halo_neighbors(shape, r));
+  }
+  if (kind == PatternKind::kPermutation) {
+    perm_.resize(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) perm_[static_cast<std::size_t>(r)] = r;
+    // Fisher-Yates off a dedicated fork (taken after the per-rank forks so
+    // those streams stay stable across kinds), then break any fixed point
+    // by swapping with the neighbouring slot — deterministic, and the
+    // result stays a permutation with pi(r) != r everywhere for ranks >= 2.
+    sim::Rng prng = base.fork();
+    for (int r = ranks - 1; r > 0; --r) {
+      const auto j = static_cast<std::size_t>(
+          prng.below(static_cast<std::uint64_t>(r) + 1));
+      std::swap(perm_[static_cast<std::size_t>(r)], perm_[j]);
+    }
+    for (int r = 0; r < ranks; ++r) {
+      const auto u = static_cast<std::size_t>(r);
+      if (perm_[u] == r) {
+        const std::size_t v = static_cast<std::size_t>((r + 1) % ranks);
+        std::swap(perm_[u], perm_[v]);
+      }
+    }
+  }
+}
+
+bool Pattern::is_sender(int rank) const {
+  if (kind_ == PatternKind::kIncast) return rank != 0;
+  if (kind_ == PatternKind::kHalo3d) {
+    return !nbrs_[static_cast<std::size_t>(rank)].empty();
+  }
+  return true;
+}
+
+int Pattern::dest(int rank, std::uint64_t i) {
+  assert(rank >= 0 && rank < ranks_);
+  switch (kind_) {
+    case PatternKind::kUniform:
+    case PatternKind::kRpc: {
+      auto d = static_cast<int>(rank_rng_[static_cast<std::size_t>(rank)]
+                                    .below(static_cast<std::uint64_t>(
+                                        ranks_ - 1)));
+      if (d >= rank) ++d;  // skip self, stay uniform over the others
+      return d;
+    }
+    case PatternKind::kHalo3d: {
+      const auto& n = nbrs_[static_cast<std::size_t>(rank)];
+      assert(!n.empty());
+      return n[static_cast<std::size_t>(i % n.size())];
+    }
+    case PatternKind::kPermutation:
+      return perm_[static_cast<std::size_t>(rank)];
+    case PatternKind::kIncast:
+      assert(rank != 0);
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace xt::workload

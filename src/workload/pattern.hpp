@@ -1,0 +1,82 @@
+#pragma once
+
+// Deterministic traffic patterns (who talks to whom).
+//
+// A Pattern maps (sender rank, message index) to a destination rank with
+// no state outside a per-rank RNG stream forked in rank order from the
+// pattern seed — so the destination schedule is a pure function of
+// (kind, shape, ranks, seed), byte-identical across reruns, threads and
+// --jobs values.  The generator (generator.hpp) precomputes the whole
+// schedule before spawning any coroutine, which is also what lets every
+// receiver wait for an exact expected message count and exit cleanly.
+//
+// Patterns (ISSUE 4; shapes from the MPICH2/InfiniBand and NIC-collective
+// related work):
+//   uniform      each message to a uniformly random other rank
+//   halo3d       nearest-neighbour exchange on the torus (round-robin over
+//                the rank's deduplicated +/-x/y/z neighbour set)
+//   permutation  a fixed random derangement: rank r always sends to pi(r)
+//   incast       every rank > 0 sends to rank 0 (many-to-one hotspot)
+//   rpc          request/reply: uniform server choice, server replies to
+//                the client (closed- or open-loop, see generator.hpp)
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/coord.hpp"
+#include "sim/rng.hpp"
+
+namespace xt::workload {
+
+enum class PatternKind : std::uint8_t {
+  kUniform,
+  kHalo3d,
+  kPermutation,
+  kIncast,
+  kRpc,
+};
+
+const char* pattern_name(PatternKind k);
+std::optional<PatternKind> pattern_from_name(std::string_view name);
+/// All patterns, in a fixed order (bench/test iteration).
+const std::vector<PatternKind>& all_patterns();
+
+/// Torus/mesh neighbour ranks of `rank` under `shape`, in +x,-x,+y,-y,
+/// +z,-z probe order, deduplicated and self-excluded (dimensions of extent
+/// 1 contribute nothing; extent 2 contributes one neighbour, not two).
+/// Ranks map 1:1 onto nodes, so adjacency is net::Coord adjacency.
+std::vector<int> halo_neighbors(const net::Shape& shape, int rank);
+
+class Pattern {
+ public:
+  Pattern(PatternKind kind, const net::Shape& shape, int ranks,
+          std::uint64_t seed);
+
+  PatternKind kind() const { return kind_; }
+  int ranks() const { return ranks_; }
+
+  /// True when `rank` originates traffic under this pattern (incast: only
+  /// ranks > 0 send; every other pattern: all ranks send).
+  bool is_sender(int rank) const;
+
+  /// The destination of `rank`'s i-th message.  Must be called with
+  /// ascending i per rank (uniform/rpc draw from the rank's RNG stream);
+  /// the streams of distinct ranks are independent, so per-rank schedules
+  /// can be generated in any rank order.
+  int dest(int rank, std::uint64_t i);
+
+  /// The fixed permutation (kPermutation only; empty otherwise).
+  const std::vector<int>& permutation() const { return perm_; }
+
+ private:
+  PatternKind kind_;
+  net::Shape shape_;
+  int ranks_;
+  std::vector<sim::Rng> rank_rng_;       // forked in rank order
+  std::vector<std::vector<int>> nbrs_;   // halo neighbour sets
+  std::vector<int> perm_;                // permutation targets
+};
+
+}  // namespace xt::workload

@@ -1,0 +1,415 @@
+// Tests for src/workload: pattern determinism, torus adjacency, message
+// conservation over the live stack, --jobs invariance of results,
+// percentile cross-checks, the link-corruption/e2e-CRC regression, and the
+// closed-loop-RPC vs Figure-4 ping-pong anchor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "harness/netpipe_bench.hpp"
+#include "harness/scenario.hpp"
+#include "net/coord.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/provenance.hpp"
+#include "workload/generator.hpp"
+#include "workload/incast.hpp"
+#include "workload/load_runner.hpp"
+#include "workload/pattern.hpp"
+
+namespace xt {
+namespace {
+
+using workload::Pattern;
+using workload::PatternKind;
+
+// ------------------------------------------------------------ patterns --
+
+TEST(WorkloadPattern, NameRoundTrip) {
+  for (PatternKind k : workload::all_patterns()) {
+    const auto back = workload::pattern_from_name(workload::pattern_name(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(workload::pattern_from_name("bogus").has_value());
+}
+
+TEST(WorkloadPattern, DeterministicAcrossInstances) {
+  const net::Shape shape = harness::shape_for_ranks(8);
+  for (PatternKind k : workload::all_patterns()) {
+    Pattern a(k, shape, 8, 42);
+    Pattern b(k, shape, 8, 42);
+    for (int r = 0; r < 8; ++r) {
+      if (!a.is_sender(r)) continue;
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        ASSERT_EQ(a.dest(r, i), b.dest(r, i))
+            << workload::pattern_name(k) << " rank " << r << " msg " << i;
+      }
+    }
+  }
+}
+
+TEST(WorkloadPattern, SeedChangesUniformSchedule) {
+  const net::Shape shape = harness::shape_for_ranks(8);
+  Pattern a(PatternKind::kUniform, shape, 8, 1);
+  Pattern b(PatternKind::kUniform, shape, 8, 2);
+  bool differs = false;
+  for (int r = 0; r < 8 && !differs; ++r) {
+    for (std::uint64_t i = 0; i < 64 && !differs; ++i) {
+      differs = a.dest(r, i) != b.dest(r, i);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadPattern, DestinationsNeverSelfAndInRange) {
+  const net::Shape shape = harness::shape_for_ranks(8);
+  for (PatternKind k : workload::all_patterns()) {
+    Pattern p(k, shape, 8, 7);
+    for (int r = 0; r < 8; ++r) {
+      if (!p.is_sender(r)) continue;
+      for (std::uint64_t i = 0; i < 32; ++i) {
+        const int d = p.dest(r, i);
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, 8);
+        EXPECT_NE(d, r) << workload::pattern_name(k);
+      }
+    }
+  }
+}
+
+// Brute-force Coord adjacency under `shape` (ranks map 1:1 onto nodes).
+std::set<int> coord_neighbors(const net::Shape& shape, int rank) {
+  const net::Coord c = shape.to_coord(static_cast<net::NodeId>(rank));
+  std::set<int> out;
+  // Step one dimension by +/-1, wrapping only where the shape wraps.
+  const auto step = [](int a, int extent, bool wrap, bool up) {
+    const int b = up ? a + 1 : a - 1;
+    if (b >= 0 && b < extent) return b;
+    return wrap ? (b + extent) % extent : -1;
+  };
+  const auto add = [&](net::Coord nc) {
+    if (!shape.contains(nc)) return;
+    const int id = static_cast<int>(shape.to_id(nc));
+    if (id != rank) out.insert(id);
+  };
+  for (bool up : {true, false}) {
+    add(net::Coord{step(c.x, shape.nx, shape.wrap_x, up), c.y, c.z});
+    add(net::Coord{c.x, step(c.y, shape.ny, shape.wrap_y, up), c.z});
+    add(net::Coord{c.x, c.y, step(c.z, shape.nz, shape.wrap_z, up)});
+  }
+  return out;
+}
+
+TEST(WorkloadPattern, HaloNeighborsMatchCoordAdjacency) {
+  const std::vector<net::Shape> shapes = {
+      net::Shape::xt3(2, 2, 2), net::Shape::xt3(4, 2, 2),
+      net::Shape::red_storm(3, 2, 4), net::Shape::xt3(4, 1, 1)};
+  for (const net::Shape& shape : shapes) {
+    for (int r = 0; r < shape.count(); ++r) {
+      const std::vector<int> got = workload::halo_neighbors(shape, r);
+      const std::set<int> want = coord_neighbors(shape, r);
+      EXPECT_EQ(std::set<int>(got.begin(), got.end()), want)
+          << shape.nx << "x" << shape.ny << "x" << shape.nz << " rank " << r;
+      // Probe order must be deduplicated, not merely set-equal.
+      EXPECT_EQ(got.size(), want.size());
+    }
+  }
+}
+
+TEST(WorkloadPattern, HaloRoundRobinsOverNeighbors) {
+  const net::Shape shape = net::Shape::xt3(2, 2, 2);
+  Pattern p(PatternKind::kHalo3d, shape, 8, 3);
+  const std::vector<int> nbrs = workload::halo_neighbors(shape, 5);
+  ASSERT_FALSE(nbrs.empty());
+  for (std::uint64_t i = 0; i < 3 * nbrs.size(); ++i) {
+    EXPECT_EQ(p.dest(5, i), nbrs[i % nbrs.size()]);
+  }
+}
+
+TEST(WorkloadPattern, PermutationIsDerangement) {
+  const net::Shape shape = harness::shape_for_ranks(16);
+  Pattern p(PatternKind::kPermutation, shape, 16, 9);
+  const std::vector<int>& perm = p.permutation();
+  ASSERT_EQ(perm.size(), 16u);
+  std::set<int> targets(perm.begin(), perm.end());
+  EXPECT_EQ(targets.size(), 16u);  // bijection
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_NE(perm[static_cast<std::size_t>(r)], r);  // no fixed points
+    EXPECT_EQ(p.dest(r, 0), perm[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(p.dest(r, 5), perm[static_cast<std::size_t>(r)]);  // fixed
+  }
+}
+
+TEST(WorkloadPattern, IncastOnlyNonRootSendsToRoot) {
+  const net::Shape shape = harness::shape_for_ranks(8);
+  Pattern p(PatternKind::kIncast, shape, 8, 1);
+  EXPECT_FALSE(p.is_sender(0));
+  for (int r = 1; r < 8; ++r) {
+    EXPECT_TRUE(p.is_sender(r));
+    EXPECT_EQ(p.dest(r, 0), 0);
+    EXPECT_EQ(p.dest(r, 17), 0);
+  }
+}
+
+// ----------------------------------------------------------- generator --
+
+workload::WorkloadResult run_spec(const workload::WorkloadSpec& spec,
+                                  host::ProcMode mode = host::ProcMode::kUser) {
+  return workload::run_load_point(spec, mode, ss::Config{}, /*seed=*/1);
+}
+
+TEST(WorkloadGenerator, ClosedLoopConservesMessages) {
+  workload::WorkloadSpec spec;
+  spec.pattern = PatternKind::kUniform;
+  spec.ranks = 4;
+  spec.bytes = 512;
+  spec.msgs_per_sender = 20;
+  spec.loop = workload::Loop::kClosed;
+  spec.outstanding = 4;
+  const workload::WorkloadResult r = run_spec(spec);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.sent, 4u * 20u);
+  EXPECT_EQ(r.delivered, r.sent);  // lossless fabric: nothing vanishes
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.latency_ps.size(), r.delivered);
+  EXPECT_GT(r.span.to_ps(), 0);
+}
+
+TEST(WorkloadGenerator, OpenLoopConservesMessagesOnEveryPattern) {
+  for (PatternKind k :
+       {PatternKind::kUniform, PatternKind::kHalo3d, PatternKind::kPermutation,
+        PatternKind::kIncast}) {
+    workload::WorkloadSpec spec;
+    spec.pattern = k;
+    spec.ranks = 4;
+    spec.bytes = 256;
+    spec.msgs_per_sender = 10;
+    spec.loop = workload::Loop::kOpen;
+    spec.offered_msgs_per_sec = 2e5;
+    const workload::WorkloadResult r = run_spec(spec);
+    const int senders = k == PatternKind::kIncast ? 3 : 4;
+    EXPECT_TRUE(r.complete) << workload::pattern_name(k);
+    EXPECT_EQ(r.sent, static_cast<std::uint64_t>(senders) * 10u);
+    EXPECT_EQ(r.delivered, r.sent);
+    EXPECT_EQ(r.latency_ps.size(), r.delivered);
+    EXPECT_GT(r.sched_span.to_ps(), 0);
+    EXPECT_GT(r.offered_effective_per_sec(), 0.0);
+  }
+}
+
+TEST(WorkloadGenerator, RpcEveryRequestGetsExactlyOneReply) {
+  workload::WorkloadSpec spec;
+  spec.pattern = PatternKind::kRpc;
+  spec.ranks = 4;
+  spec.bytes = 128;
+  spec.msgs_per_sender = 15;
+  spec.loop = workload::Loop::kClosed;
+  spec.outstanding = 2;
+  const workload::WorkloadResult r = run_spec(spec);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.sent, 4u * 15u);
+  EXPECT_EQ(r.delivered, r.sent);   // requests landing on servers
+  EXPECT_EQ(r.replies, r.sent);     // one reply per request, all tracked
+  EXPECT_EQ(r.latency_ps.size(), r.sent);  // RTT per request
+}
+
+TEST(WorkloadGenerator, ResultsIdenticalAcrossRerunsAndModes) {
+  workload::WorkloadSpec spec;
+  spec.pattern = PatternKind::kUniform;
+  spec.ranks = 4;
+  spec.msgs_per_sender = 12;
+  spec.loop = workload::Loop::kOpen;
+  spec.offered_msgs_per_sec = 4e5;
+  const workload::WorkloadResult a = run_spec(spec);
+  const workload::WorkloadResult b = run_spec(spec);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.span.to_ps(), b.span.to_ps());
+  EXPECT_EQ(a.latency_ps, b.latency_ps);  // full sample vector, not summary
+}
+
+TEST(WorkloadLoadRunner, SweepIsJobsInvariant) {
+  workload::LoadSweepSpec ls;
+  ls.base.pattern = PatternKind::kPermutation;
+  ls.base.ranks = 4;
+  ls.base.bytes = 1024;
+  ls.base.msgs_per_sender = 10;
+  ls.offered = {1e5, 1e6};
+  ls.seed = 5;
+  ls.jobs = 1;
+  const workload::LoadCurve serial = workload::run_load_sweep(ls);
+  ls.jobs = 2;
+  const workload::LoadCurve parallel = workload::run_load_sweep(ls);
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    const workload::WorkloadResult& a = serial.points[i].result;
+    const workload::WorkloadResult& b = parallel.points[i].result;
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.span.to_ps(), b.span.to_ps());
+    EXPECT_EQ(a.latency_ps, b.latency_ps);
+  }
+  EXPECT_EQ(serial.saturation_index, parallel.saturation_index);
+}
+
+// --------------------------------------------------------- percentiles --
+
+TEST(WorkloadPercentile, NearestRankMatchesBruteForce) {
+  workload::WorkloadResult r;
+  sim::Rng rng(11);
+  for (int i = 0; i < 257; ++i) r.latency_ps.push_back(rng.below(1'000'000));
+  std::vector<std::uint64_t> sorted = r.latency_ps;
+  std::sort(sorted.begin(), sorted.end());
+  for (int p : {1, 25, 50, 90, 99, 100}) {
+    const std::size_t n = sorted.size();
+    std::size_t rank = (n * static_cast<std::size_t>(p) + 99) / 100;
+    rank = std::min(std::max<std::size_t>(rank, 1), n);
+    EXPECT_EQ(r.percentile_ps(p), sorted[rank - 1]) << "p" << p;
+  }
+  EXPECT_EQ(workload::WorkloadResult{}.percentile_ps(50), 0u);
+}
+
+TEST(WorkloadPercentile, HistogramBucketBoundsBracketExactValue) {
+  // The log2-bucketed histogram reports the containing bucket's upper
+  // bound; cross-check it brackets the brute-force nearest-rank value.
+  telemetry::Histogram h;
+  std::vector<std::uint64_t> vals;
+  sim::Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = 1 + rng.below(1u << 20);
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (int p : {50, 90, 99}) {
+    std::size_t rank = (vals.size() * static_cast<std::size_t>(p) + 99) / 100;
+    rank = std::min(std::max<std::size_t>(rank, 1), vals.size());
+    const std::uint64_t exact = vals[rank - 1];
+    const std::uint64_t got = h.percentile(p);
+    EXPECT_GE(got, exact) << "p" << p;
+    EXPECT_EQ(got, telemetry::Histogram::bucket_hi(
+                       telemetry::Histogram::bucket_index(exact)))
+        << "p" << p;
+  }
+}
+
+// ----------------------------------------------- telemetry integration --
+
+TEST(WorkloadTelemetry, MetricsAndProvenanceRecorded) {
+  workload::WorkloadSpec spec;
+  spec.pattern = PatternKind::kUniform;
+  spec.ranks = 4;
+  spec.msgs_per_sender = 8;
+  spec.loop = workload::Loop::kOpen;
+  spec.offered_msgs_per_sec = 2e5;
+
+  harness::Scenario sc = workload::workload_scenario(
+      spec, host::ProcMode::kUser, ss::Config{}, /*scenario_seed=*/1);
+  sc.telemetry.sampling = true;
+  sc.telemetry.provenance = true;
+  auto inst = sc.build();
+  const workload::WorkloadResult r = workload::run_workload(*inst, spec);
+  ASSERT_TRUE(r.complete);
+
+  const std::string json = inst->metrics_json();
+  EXPECT_NE(json.find("workload.sent"), std::string::npos);
+  EXPECT_NE(json.find("workload.delivered"), std::string::npos);
+  EXPECT_NE(json.find("workload.latency_ps"), std::string::npos);
+
+  // Open-loop records open at the intended arrival and are stamped through
+  // the stack; every workload message shows up in the waterfall.
+  ASSERT_NE(inst->provenance(), nullptr);
+  std::uint64_t app_opened = 0;
+  for (const telemetry::MsgRecord& m : inst->provenance()->messages()) {
+    if (!m.stamps.empty() &&
+        m.stamps.front().first == telemetry::Stage::kAppArrival) {
+      ++app_opened;
+      EXPECT_GE(m.stamps.size(), 2u);  // at least arrival + queue
+      EXPECT_EQ(m.stamps[1].first, telemetry::Stage::kAppQueue);
+    }
+  }
+  EXPECT_EQ(app_opened, r.sent);
+}
+
+// ------------------------------------- link corruption / e2e CRC guard --
+
+// Regression for the paper's end-to-end CRC-32 claim: corruption that
+// slips the link-level CRC must always be caught at the destination NIC
+// and never surface as a successful delivery.
+
+TEST(WorkloadCrc, UndetectedCorruptionNeverDeliversWithoutGobackn) {
+  workload::IncastSpec spec;
+  spec.senders = 4;
+  spec.msgs_each = 30;
+  spec.bytes = 2048;
+  spec.cfg.gobackn = false;
+  spec.cfg.net.link.undetected_corrupt_prob = 0.05;  // slips the link CRC
+  spec.exit = workload::IncastSpec::Exit::kCountDrops;
+  const workload::IncastResult r = workload::run_incast(spec);
+  const int total = spec.senders * spec.msgs_each;
+  ASSERT_FALSE(r.panicked) << r.panic_reason;
+  EXPECT_GT(r.dropped, 0);                    // corruption actually struck
+  EXPECT_EQ(r.delivered + r.dropped, total);  // every message accounted for
+  EXPECT_LT(r.delivered, total);              // and none delivered corrupt
+  // Every failed delivery is an e2e CRC rejection — no other drop cause.
+  EXPECT_EQ(r.crc_drops, static_cast<std::uint64_t>(r.dropped));
+  EXPECT_EQ(r.exhaustion_drops, 0u);
+  EXPECT_EQ(r.retransmits, 0u);  // no recovery protocol in this mode
+}
+
+TEST(WorkloadCrc, GobacknRetransmitsEveryCrcDropToCompletion) {
+  workload::IncastSpec spec;
+  spec.senders = 4;
+  spec.msgs_each = 30;
+  spec.bytes = 2048;
+  spec.cfg.gobackn = true;
+  spec.cfg.net.link.undetected_corrupt_prob = 0.05;
+  spec.exit = workload::IncastSpec::Exit::kRetryUntilOk;
+  const workload::IncastResult r = workload::run_incast(spec);
+  const int total = spec.senders * spec.msgs_each;
+  ASSERT_FALSE(r.panicked) << r.panic_reason;
+  EXPECT_EQ(r.delivered, total);   // go-back-n recovers every loss
+  EXPECT_GT(r.crc_drops, 0u);      // the e2e CRC kept catching corruption
+  EXPECT_GT(r.retransmits, 0u);    // recovery actually ran
+}
+
+// ------------------------------------------------------- fig 4 anchor --
+
+TEST(WorkloadAnchor, ClosedLoopRpcMatchesFig4PingPong) {
+  // A 1-outstanding 8-byte RPC is the same wire exchange as the Figure-4
+  // ping-pong; the two independent harnesses must agree within 5%.
+  workload::WorkloadSpec spec;
+  spec.pattern = PatternKind::kRpc;
+  spec.ranks = 2;
+  spec.rpc_clients = 1;
+  spec.bytes = 8;
+  spec.msgs_per_sender = 128;
+  spec.loop = workload::Loop::kClosed;
+  spec.outstanding = 1;
+  const workload::WorkloadResult r = run_spec(spec);
+  ASSERT_TRUE(r.complete);
+  ASSERT_EQ(r.latency_ps.size(), 128u);
+  double mean_rtt = 0.0;
+  for (std::uint64_t v : r.latency_ps) mean_rtt += static_cast<double>(v);
+  mean_rtt /= static_cast<double>(r.latency_ps.size());
+  const double rpc_usec = mean_rtt * 1e-6 / 2.0;  // one-way, like Fig 4
+
+  np::Options nopt;
+  nopt.min_bytes = 8;
+  nopt.max_bytes = 8;
+  nopt.perturbation = 0;
+  const auto fig4 =
+      harness::measure(np::Transport::kPut, np::Pattern::kPingPong, nopt);
+  ASSERT_FALSE(fig4.empty());
+  const double fig4_usec = fig4[0].usec_per_transfer;
+  ASSERT_GT(fig4_usec, 0.0);
+  EXPECT_LT(std::abs(rpc_usec - fig4_usec) / fig4_usec, 0.05)
+      << "rpc " << rpc_usec << " us vs fig4 " << fig4_usec << " us";
+}
+
+}  // namespace
+}  // namespace xt
