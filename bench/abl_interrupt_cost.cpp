@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < irq_ns.size(); ++i) {
       series.push_back(harness::SeriesResult{
           sim::strf("irq=%dns", irq_ns[i]), np::Pattern::kPingPong,
-          rows[i].bw, {}, {}});
+          rows[i].bw, {}, {}, {}});
     }
     if (!harness::write_series_json(o.json_path,
                                     "Ablation: interrupt overhead", o.jobs,

@@ -67,8 +67,8 @@ int main(int argc, char** argv) {
 
   if (!o.json_path.empty()) {
     const std::vector<harness::SeriesResult> series = {
-        {"catamount", np::Pattern::kPingPong, cat, {}, {}},
-        {"linux", np::Pattern::kPingPong, lin, {}, {}}};
+        {"catamount", np::Pattern::kPingPong, cat, {}, {}, {}},
+        {"linux", np::Pattern::kPingPong, lin, {}, {}, {}}};
     if (!harness::write_series_json(o.json_path,
                                     "Ablation: Catamount vs Linux", o.jobs,
                                     series)) {

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     std::printf("\n");
     series.push_back(harness::SeriesResult{
         sim::strf("inline<=%zu", thresholds[t]), np::Pattern::kPingPong,
-        samples, {}, {}});
+        samples, {}, {}, {}});
   }
   std::printf("\n  expected: with threshold T, sizes <= T stay on the "
               "one-interrupt fast path;\n  the ~3 us step moves to T+1 "

@@ -1,0 +1,227 @@
+// Delivered-throughput and recovery-latency curves vs. injected fault rate.
+//
+// For each transport configuration (generic/accel x go-back-n on/off) the
+// bench replays the same closed-loop uniform workload under a ladder of
+// fault rates (whole-message drops at router egress plus CRC-16-evading
+// silent corruption) and prints, per point: delivered fraction, delivered
+// throughput, latency percentiles, the p99 inflation over the same
+// config's fault-free baseline (the recovery-latency cost of retransmits),
+// and the injector's event totals.
+//
+// Two cross-checks ride along, mirroring the invariants the fuzzer and
+// property suite assert:
+//   * with go-back-n on, every accepted message is delivered at every
+//     tested rate (delivered == sent, run complete) while the no-retry
+//     configs degrade — the headline recovery claim;
+//   * the fault.* metrics counters account for every event the injector
+//     reports (drift fails the bench).
+//
+// Output (stdout and --json) is byte-identical for any --jobs value.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "harness/options.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+#include "sim/strf.hpp"
+#include "telemetry/metrics.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace xt;
+
+struct TransportConfig {
+  const char* name;
+  host::ProcMode mode;
+  bool gobackn;
+};
+
+struct Point {
+  double rate = 0.0;
+  workload::WorkloadResult res;
+  fault::Injector::Totals tot{};
+  std::uint64_t injected = 0;  ///< rate-fault events (drops + corrupts)
+  bool counters_ok = true;
+};
+
+double us(std::uint64_t ps) { return static_cast<double>(ps) * 1e-6; }
+
+Point run_point(const TransportConfig& tc, double rate,
+                workload::WorkloadSpec spec, fault::FaultPlan plan,
+                std::uint64_t scenario_seed) {
+  spec.count_drops = !tc.gobackn;  // no retry: pace on send-end, count losses
+  plan.rate = rate;
+  ss::Config cfg;
+  cfg.gobackn = tc.gobackn;
+
+  harness::Scenario sc =
+      workload::workload_scenario(spec, tc.mode, cfg, scenario_seed);
+  sc.with_faults(plan, /*invariants=*/false);  // measuring, not auditing
+  auto inst = sc.build();
+
+  Point p;
+  p.rate = rate;
+  p.res = workload::run_workload(*inst, spec);
+  p.tot = inst->injector()->totals();
+  p.injected = p.tot.drops + p.tot.scripted_drops + p.tot.silent_corrupts +
+               p.tot.reorders + p.tot.corrupt_bursts;
+
+  // Telemetry cross-check: the registry's fault.* counters must agree with
+  // the injector's own books, event for event.
+  const std::pair<const char*, std::uint64_t> want[] = {
+      {"fault.drops", p.tot.drops},
+      {"fault.scripted_drops", p.tot.scripted_drops},
+      {"fault.reorders", p.tot.reorders},
+      {"fault.silent_corrupts", p.tot.silent_corrupts},
+      {"fault.corrupt_bursts", p.tot.corrupt_bursts},
+      {"fault.sram_denials", p.tot.sram_denials},
+      {"fault.irq_dropped", p.tot.irq_dropped},
+      {"fault.irq_delayed", p.tot.irq_delayed},
+      {"fault.fw_stalls", p.tot.stalls},
+      {"fault.node_kills", p.tot.kills},
+      {"fault.node_revives", p.tot.revives},
+      {"fault.ack_timeouts", p.tot.ack_timeouts}};
+  for (const auto& [name, v] : want) {
+    if (inst->engine().metrics().counter(name).value != v) {
+      p.counters_ok = false;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
+
+  const int ranks = o.ranks > 0 ? o.ranks : 8;
+  const int msgs = o.quick ? 30 : 80;
+
+  std::vector<double> rates;
+  if (o.faults_set && o.faults.rate > 0.0) {
+    rates = {0.0, o.faults.rate};
+  } else if (o.quick) {
+    rates = {0.0, 0.01, 0.05};
+  } else {
+    rates = {0.0, 0.005, 0.01, 0.02, 0.05};
+  }
+
+  workload::WorkloadSpec spec;
+  spec.pattern = workload::PatternKind::kUniform;
+  spec.ranks = ranks;
+  spec.bytes = 2048;
+  spec.msgs_per_sender = msgs;
+  spec.loop = workload::Loop::kClosed;
+  spec.outstanding = 4;
+  spec.seed = o.seed;
+
+  fault::FaultPlan plan;
+  plan.kinds = o.faults_set && o.faults.kinds != 0
+                   ? o.faults.kinds
+                   : (fault::kDrop | fault::kSilentCorrupt);
+  plan.seed = o.faults_set ? o.faults.seed : o.seed;
+  plan.ack_timeout_ns = 10'000'000;
+
+  const std::vector<TransportConfig> configs = {
+      {"generic", host::ProcMode::kUser, false},
+      {"generic+gbn", host::ProcMode::kUser, true},
+      {"accel", host::ProcMode::kAccel, false},
+      {"accel+gbn", host::ProcMode::kAccel, true},
+  };
+
+  std::printf("=== Fault sweep: delivery and recovery vs. fault rate "
+              "(%d ranks, %d msgs/sender, 2 KB, kinds=%s) ===\n\n",
+              ranks, msgs, fault::FaultPlan::kinds_str(plan.kinds).c_str());
+
+  bool accounting_ok = true;
+  bool gbn_lossless = true;
+  std::string curves_json;
+  std::uint64_t seed = o.seed;
+  for (const TransportConfig& tc : configs) {
+    std::vector<std::function<Point()>> tasks;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const double rate = rates[i];
+      const std::uint64_t sseed = seed + i;
+      tasks.push_back([&tc, rate, spec, plan, sseed] {
+        return run_point(tc, rate, spec, plan, sseed);
+      });
+    }
+    seed += rates.size();
+    const std::vector<Point> points =
+        harness::SweepRunner(o.jobs).run(std::move(tasks));
+
+    std::printf("-- %s\n", tc.name);
+    std::printf("   %7s %8s %10s %6s %12s %9s %9s %11s %8s %9s\n", "rate",
+                "sent", "delivered", "del%", "delivered/s", "p50 us",
+                "p99 us", "recov99 us", "faults", "timeouts");
+    const std::uint64_t base_p99 = points[0].res.percentile_ps(99);
+    std::string pts;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      const workload::WorkloadResult& r = p.res;
+      const double del_pct =
+          r.sent > 0 ? 100.0 * static_cast<double>(r.delivered) /
+                           static_cast<double>(r.sent)
+                     : 0.0;
+      // Recovery latency: how much the tail stretched relative to this
+      // config's own fault-free run — the latency price of retransmits
+      // (gbn) or of timeouts surfacing losses (no retry).
+      const std::uint64_t p99 = r.percentile_ps(99);
+      const double recov_us =
+          p99 > base_p99 ? us(p99 - base_p99) : 0.0;
+      std::printf("   %7.3f %8llu %10llu %6.1f %12.1f %9.3f %9.3f %11.3f "
+                  "%8llu %8llu%s%s\n",
+                  p.rate, static_cast<unsigned long long>(r.sent),
+                  static_cast<unsigned long long>(r.delivered), del_pct,
+                  r.delivered_per_sec(), us(r.percentile_ps(50)), us(p99),
+                  recov_us, static_cast<unsigned long long>(p.injected),
+                  static_cast<unsigned long long>(p.tot.ack_timeouts),
+                  p.counters_ok ? "" : "   [counter drift]",
+                  !tc.gobackn || r.complete ? "" : "   [incomplete]");
+      accounting_ok = accounting_ok && p.counters_ok;
+      if (tc.gobackn && (r.delivered != r.sent || !r.complete)) {
+        gbn_lossless = false;
+      }
+      pts += sim::strf(
+          "%s{\"rate\": %.3f, \"sent\": %llu, \"delivered\": %llu, "
+          "\"delivered_per_sec\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+          "\"recovery_p99_us\": %.3f, \"faults\": %llu, "
+          "\"ack_timeouts\": %llu, \"complete\": %s}",
+          i == 0 ? "" : ", ", p.rate,
+          static_cast<unsigned long long>(r.sent),
+          static_cast<unsigned long long>(r.delivered),
+          r.delivered_per_sec(), us(r.percentile_ps(50)), us(p99), recov_us,
+          static_cast<unsigned long long>(p.injected),
+          static_cast<unsigned long long>(p.tot.ack_timeouts),
+          r.complete ? "true" : "false");
+    }
+    std::printf("\n");
+    if (!curves_json.empty()) curves_json += ",\n";
+    curves_json += sim::strf(
+        "    {\"config\": \"%s\", \"gobackn\": %s, \"points\": [%s]}",
+        tc.name, tc.gobackn ? "true" : "false", pts.c_str());
+  }
+
+  std::printf("-- go-back-n lossless at every rate: %s; "
+              "fault counters account for every event: %s\n",
+              gbn_lossless ? "yes" : "NO", accounting_ok ? "yes" : "NO");
+
+  const std::string json = sim::strf(
+      "{\n  \"bench\": \"fault_sweep\",\n  \"counters_ok\": %s,\n"
+      "  \"curves\": [\n%s\n  ],\n  \"gbn_lossless\": %s,\n"
+      "  \"kinds\": \"%s\",\n  \"quick\": %s,\n  \"seed\": %llu\n}\n",
+      accounting_ok ? "true" : "false", curves_json.c_str(),
+      gbn_lossless ? "true" : "false",
+      fault::FaultPlan::kinds_str(plan.kinds).c_str(),
+      o.quick ? "true" : "false", static_cast<unsigned long long>(o.seed));
+  if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {
+    return 1;
+  }
+  return (gbn_lossless && accounting_ok) ? 0 : 1;
+}

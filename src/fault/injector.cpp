@@ -1,0 +1,124 @@
+#include "fault/injector.hpp"
+
+#include "telemetry/metrics.hpp"
+
+namespace xt::fault {
+
+Injector::Injector(sim::Engine& eng, FaultPlan plan)
+    : eng_(eng), plan_(std::move(plan)), net_rng_(plan_.seed) {
+  link_rng_ = net_rng_.fork();
+  fw_rng_ = net_rng_.fork();
+  auto& reg = eng_.metrics();
+  c_drops_ = &reg.counter("fault.drops");
+  c_scripted_ = &reg.counter("fault.scripted_drops");
+  c_reorders_ = &reg.counter("fault.reorders");
+  c_silent_ = &reg.counter("fault.silent_corrupts");
+  c_bursts_ = &reg.counter("fault.corrupt_bursts");
+  c_sram_ = &reg.counter("fault.sram_denials");
+  c_irq_dropped_ = &reg.counter("fault.irq_dropped");
+  c_irq_delayed_ = &reg.counter("fault.irq_delayed");
+  c_stalls_ = &reg.counter("fault.fw_stalls");
+  c_kills_ = &reg.counter("fault.node_kills");
+  c_revives_ = &reg.counter("fault.node_revives");
+  c_ack_timeouts_ = &reg.counter("fault.ack_timeouts");
+  c_gbn_giveups_ = &reg.counter("fault.gbn_giveups");
+}
+
+void Injector::bump(telemetry::Counter* c) {
+  if (c != nullptr) c->add();
+}
+
+bool Injector::drop_message(std::uint32_t src, std::uint32_t dst) {
+  if (src == dst) return false;  // loopback never touches a router
+  if (!plan_.scripted_drops.empty()) {
+    const std::uint32_t nth = sent_[{src, dst}]++;
+    for (const ScriptedDrop& d : plan_.scripted_drops) {
+      if (d.src == src && d.dst == dst && d.nth == nth) {
+        ++scripted_;
+        ++drops_;
+        bump(c_scripted_);
+        bump(c_drops_);
+        return true;
+      }
+    }
+  }
+  if ((plan_.kinds & kDrop) != 0 && net_rng_.chance(plan_.rate)) {
+    ++drops_;
+    bump(c_drops_);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Injector::reorder_delay_ps() {
+  if ((plan_.kinds & kReorder) == 0 || !net_rng_.chance(plan_.rate)) return 0;
+  ++reorders_;
+  bump(c_reorders_);
+  // 1..reorder_max_ns of extra latency, enough to slip behind later
+  // messages of the same stream.
+  return (1 + net_rng_.below(plan_.reorder_max_ns)) * 1000;
+}
+
+bool Injector::silently_corrupt() {
+  if ((plan_.kinds & kSilentCorrupt) == 0 || !net_rng_.chance(plan_.rate)) {
+    return false;
+  }
+  ++silent_;
+  bump(c_silent_);
+  return true;
+}
+
+std::uint32_t Injector::corrupt_burst_retries() {
+  if ((plan_.kinds & kLinkCorrupt) == 0 || !link_rng_.chance(plan_.rate)) {
+    return 0;
+  }
+  ++bursts_;
+  bump(c_bursts_);
+  // A short burst: 1..4 consecutive CRC-16 failures of the same chunk.
+  return 1 + static_cast<std::uint32_t>(link_rng_.below(4));
+}
+
+bool Injector::sram_alloc_fails(std::uint32_t) {
+  if ((plan_.kinds & kSramFail) == 0 || !fw_rng_.chance(plan_.rate)) {
+    return false;
+  }
+  ++sram_denials_;
+  bump(c_sram_);
+  return true;
+}
+
+Injector::IrqFate Injector::irq_fate(std::uint32_t) {
+  IrqFate f;
+  if ((plan_.kinds & kIrqDrop) != 0 && fw_rng_.chance(plan_.rate)) {
+    f.drop = true;
+    f.recovery_ps = plan_.irq_recovery_ns * 1000;
+    ++irq_dropped_;
+    bump(c_irq_dropped_);
+    return f;
+  }
+  if ((plan_.kinds & kIrqDelay) != 0 && fw_rng_.chance(plan_.rate)) {
+    f.delay_ps = (1 + fw_rng_.below(plan_.irq_delay_ns)) * 1000;
+    ++irq_delayed_;
+    bump(c_irq_delayed_);
+  }
+  return f;
+}
+
+Injector::Totals Injector::totals() const {
+  Totals t;
+  t.drops = drops_;
+  t.scripted_drops = scripted_;
+  t.reorders = reorders_;
+  t.silent_corrupts = silent_;
+  t.corrupt_bursts = bursts_;
+  t.sram_denials = sram_denials_;
+  t.irq_dropped = irq_dropped_;
+  t.irq_delayed = irq_delayed_;
+  t.stalls = stalls_injected_;
+  t.kills = kills_;
+  t.revives = revives_;
+  t.ack_timeouts = ack_timeouts_;
+  return t;
+}
+
+}  // namespace xt::fault

@@ -1,0 +1,129 @@
+#pragma once
+
+// Injector: the imperative half of the fault-injection subsystem.
+//
+// One Injector is installed per sim::Engine (Engine::set_fault_injector),
+// mirroring the trace/provenance sink pattern: layers that host an
+// injection point ask the engine for the injector and consult it only when
+// one is installed, so the zero-fault fast path costs a null check.
+//
+// Every decision is drawn from forked sim::Rng streams seeded from the
+// plan's seed.  Because a simulation is a single-threaded event loop with
+// deterministic event ordering, the decision sequence — and therefore the
+// whole faulted run — is bit-reproducible from (scenario, plan).
+//
+// Each injected fault increments a "fault.*" counter in the engine's
+// MetricsRegistry, so --metrics snapshots account for every event a plan
+// injected (the accounting the fault_sweep bench cross-checks).
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "fault/plan.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace xt::telemetry {
+struct Counter;
+}
+
+namespace xt::fault {
+
+class Injector {
+ public:
+  Injector(sim::Engine& eng, FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  sim::Engine& engine() const { return eng_; }
+
+  // ---------------------------------------------- net injection points ----
+  /// Consulted once per wire message at injection time (Network::begin).
+  /// Also counts the message against the scripted-drop indices.
+  bool drop_message(std::uint32_t src, std::uint32_t dst);
+  /// Extra delivery delay for this message (0 = none); shifts the whole
+  /// message so later traffic can overtake it.
+  std::uint64_t reorder_delay_ps();
+  /// CRC-16-evading flip: the message's payload is corrupted but every
+  /// link-level check passes; only the e2e CRC-32 can catch it.
+  bool silently_corrupt();
+  /// Extra CRC-16-visible retries to charge this chunk (a corruption
+  /// burst); 0 = clean chunk.
+  std::uint32_t corrupt_burst_retries();
+
+  // ----------------------------------- seastar/firmware injection points ----
+  /// Transient SRAM allocation failure: the firmware's pending/source
+  /// allocation fails this once even though the pool has space.
+  bool sram_alloc_fails(std::uint32_t node);
+
+  struct IrqFate {
+    bool drop = false;             ///< lost: deliver via housekeeping poll
+    std::uint64_t delay_ps = 0;    ///< late: deliver after this delay
+    std::uint64_t recovery_ps = 0; ///< drop: housekeeping poll latency
+  };
+  IrqFate irq_fate(std::uint32_t node);
+
+  // -------------------------------------------------- event accounting ----
+  void count_stall() { ++stalls_injected_; bump(c_stalls_); }
+  void count_kill() { ++kills_; bump(c_kills_); }
+  void count_revive() { ++revives_; bump(c_revives_); }
+  void count_ack_timeout() { ++ack_timeouts_; bump(c_ack_timeouts_); }
+  void count_gbn_giveup() { bump(c_gbn_giveups_); }
+
+  struct Totals {
+    std::uint64_t drops = 0;
+    std::uint64_t scripted_drops = 0;
+    std::uint64_t reorders = 0;
+    std::uint64_t silent_corrupts = 0;
+    std::uint64_t corrupt_bursts = 0;
+    std::uint64_t sram_denials = 0;
+    std::uint64_t irq_dropped = 0;
+    std::uint64_t irq_delayed = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t kills = 0;
+    std::uint64_t revives = 0;
+    std::uint64_t ack_timeouts = 0;
+  };
+  Totals totals() const;
+
+ private:
+  void bump(telemetry::Counter* c);
+
+  sim::Engine& eng_;
+  FaultPlan plan_;
+  sim::Rng net_rng_;   // drop/reorder/silent decisions
+  sim::Rng link_rng_;  // per-chunk corruption bursts
+  sim::Rng fw_rng_;    // SRAM + interrupt fates
+
+  /// Wire-message counts per (src, dst), for scripted drops.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> sent_;
+
+  std::uint64_t drops_ = 0;
+  std::uint64_t scripted_ = 0;
+  std::uint64_t reorders_ = 0;
+  std::uint64_t silent_ = 0;
+  std::uint64_t bursts_ = 0;
+  std::uint64_t sram_denials_ = 0;
+  std::uint64_t irq_dropped_ = 0;
+  std::uint64_t irq_delayed_ = 0;
+  std::uint64_t stalls_injected_ = 0;
+  std::uint64_t kills_ = 0;
+  std::uint64_t revives_ = 0;
+  std::uint64_t ack_timeouts_ = 0;
+
+  telemetry::Counter* c_drops_ = nullptr;
+  telemetry::Counter* c_scripted_ = nullptr;
+  telemetry::Counter* c_reorders_ = nullptr;
+  telemetry::Counter* c_silent_ = nullptr;
+  telemetry::Counter* c_bursts_ = nullptr;
+  telemetry::Counter* c_sram_ = nullptr;
+  telemetry::Counter* c_irq_dropped_ = nullptr;
+  telemetry::Counter* c_irq_delayed_ = nullptr;
+  telemetry::Counter* c_stalls_ = nullptr;
+  telemetry::Counter* c_kills_ = nullptr;
+  telemetry::Counter* c_revives_ = nullptr;
+  telemetry::Counter* c_ack_timeouts_ = nullptr;
+  telemetry::Counter* c_gbn_giveups_ = nullptr;
+};
+
+}  // namespace xt::fault

@@ -1,0 +1,157 @@
+#include "fault/invariants.hpp"
+
+#include "sim/strf.hpp"
+
+namespace xt::fault {
+
+namespace {
+
+std::uint32_t nid_of(const InvariantChecker::Key& k) {
+  return static_cast<std::uint32_t>(k.first >> 16);
+}
+
+}  // namespace
+
+void InvariantChecker::add_violation(const std::string& msg) {
+  // Cap the list so a systematically broken run does not balloon memory.
+  if (violations_.size() < 256) violations_.push_back(msg);
+}
+
+void InvariantChecker::target_accepted(std::uint32_t nid, std::uint32_t pid,
+                                       std::uint64_t token) {
+  ++n_accepted_;
+  auto [it, fresh] = targets_.try_emplace(key(nid, pid, token));
+  if (!fresh) {
+    add_violation(sim::strf("conservation: token %llu accepted twice at "
+                            "n%u.p%u",
+                            static_cast<unsigned long long>(token), nid, pid));
+  }
+}
+
+void InvariantChecker::target_delivered(std::uint32_t nid, std::uint32_t pid,
+                                        std::uint64_t token) {
+  ++n_delivered_;
+  Track& t = targets_[key(nid, pid, token)];
+  if (++t.delivered > 1) {
+    add_violation(sim::strf("conservation: token %llu delivered %d times at "
+                            "n%u.p%u",
+                            static_cast<unsigned long long>(token),
+                            static_cast<int>(t.delivered), nid, pid));
+  }
+  if (t.failed != 0) {
+    add_violation(sim::strf("conservation: token %llu both failed and "
+                            "delivered at n%u.p%u",
+                            static_cast<unsigned long long>(token), nid, pid));
+  }
+}
+
+void InvariantChecker::target_failed(std::uint32_t nid, std::uint32_t pid,
+                                     std::uint64_t token) {
+  ++n_failed_;
+  Track& t = targets_[key(nid, pid, token)];
+  ++t.failed;
+  if (t.delivered != 0) {
+    add_violation(sim::strf("conservation: token %llu both delivered and "
+                            "failed at n%u.p%u",
+                            static_cast<unsigned long long>(token), nid, pid));
+  }
+}
+
+void InvariantChecker::initiator_open(std::uint32_t nid, std::uint32_t pid,
+                                      std::uint64_t token) {
+  initiators_.insert(key(nid, pid, token));
+}
+
+void InvariantChecker::initiator_done(std::uint32_t nid, std::uint32_t pid,
+                                      std::uint64_t token) {
+  initiators_.erase(key(nid, pid, token));
+}
+
+void InvariantChecker::node_died(std::uint32_t nid) {
+  dead_nodes_.insert(nid);
+}
+
+void InvariantChecker::on_rx_verdict(bool crc_ok, bool corrupted) {
+  if (crc_ok && corrupted) {
+    add_violation(
+        "crc: message corrupted past CRC-16 was delivered as CRC-32 clean");
+  }
+}
+
+void InvariantChecker::on_eq_post(std::uint64_t eq_key, std::uint64_t seq) {
+  auto [it, fresh] = eq_posted_.try_emplace(eq_key, seq);
+  if (!fresh) {
+    if (seq != it->second + 1) {
+      add_violation(sim::strf("eq-order: queue %llx posted seq %llu after "
+                              "%llu (gap or duplicate)",
+                              static_cast<unsigned long long>(eq_key),
+                              static_cast<unsigned long long>(seq),
+                              static_cast<unsigned long long>(it->second)));
+    }
+    it->second = seq;
+  }
+}
+
+void InvariantChecker::on_eq_get(std::uint64_t eq_key, std::uint64_t seq) {
+  auto [it, fresh] = eq_got_.try_emplace(eq_key, seq);
+  if (!fresh) {
+    if (seq <= it->second) {
+      add_violation(sim::strf("eq-order: queue %llx returned seq %llu after "
+                              "%llu (reordered delivery)",
+                              static_cast<unsigned long long>(eq_key),
+                              static_cast<unsigned long long>(seq),
+                              static_cast<unsigned long long>(it->second)));
+    }
+    it->second = seq;
+  }
+}
+
+void InvariantChecker::sram_baseline(std::uint32_t node, std::uint64_t used) {
+  sram_ledger_[node] = static_cast<std::int64_t>(used);
+}
+
+void InvariantChecker::on_sram(std::uint32_t node, std::uint64_t used,
+                               std::uint64_t capacity, std::int64_t delta) {
+  std::int64_t& ledger = sram_ledger_[node];
+  ledger += delta;
+  if (ledger < 0 || static_cast<std::uint64_t>(ledger) != used) {
+    add_violation(sim::strf(
+        "sram: node %u ledger imbalance (allocations-frees %lld, live bytes "
+        "%llu)",
+        node, static_cast<long long>(ledger),
+        static_cast<unsigned long long>(used)));
+  }
+  if (used > capacity) {
+    add_violation(sim::strf("sram: node %u live bytes %llu exceed capacity "
+                            "%llu",
+                            node, static_cast<unsigned long long>(used),
+                            static_cast<unsigned long long>(capacity)));
+  }
+}
+
+void InvariantChecker::violation(std::string msg) {
+  add_violation(std::move(msg));
+}
+
+void InvariantChecker::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (const auto& [k, t] : targets_) {
+    if (t.delivered + t.failed == 0) {
+      if (dead_nodes_.count(nid_of(k)) != 0) continue;  // excused: mortality
+      add_violation(sim::strf(
+          "conservation: token %llu accepted at n%u but neither delivered "
+          "nor failed",
+          static_cast<unsigned long long>(k.second), nid_of(k)));
+    }
+  }
+  for (const Key& k : initiators_) {
+    if (dead_nodes_.count(nid_of(k)) != 0) continue;
+    add_violation(sim::strf(
+        "liveness: initiator op token %llu at n%u never completed or timed "
+        "out (stranded)",
+        static_cast<unsigned long long>(k.second), nid_of(k)));
+  }
+}
+
+}  // namespace xt::fault

@@ -1,0 +1,116 @@
+#pragma once
+
+// InvariantChecker: stack-wide correctness properties, asserted live.
+//
+// The checker is installed on the engine next to the injector
+// (Engine::set_invariants) and probed from the same hook points telemetry
+// uses.  Probes take only primitive values, so every layer can report
+// without the fault library depending on any of them.  Violations are
+// collected as strings rather than aborting: the fuzzer and property suite
+// decide what a failure means (and print a seed reproducer).
+//
+// Invariants checked:
+//   * message conservation — every put accepted by target-side Portals
+//     matching is delivered exactly once or explicitly failed (kRxDropped);
+//   * no corrupt delivery — a message that fault injection corrupted past
+//     the link CRC-16 must never pass the end-to-end CRC-32;
+//   * EQ event ordering — per event queue, retrieved sequence numbers are
+//     strictly increasing and posts are gap-free;
+//   * SRAM ledger balance — per node, allocations - frees == live bytes,
+//     never exceeding the 384 KB budget;
+//   * no stranded initiators — every in-flight put/get completes or is
+//     explicitly timed out (checked at end of run via finish()).
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xt::fault {
+
+class InvariantChecker {
+ public:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;  // (nid:pid, token)
+
+  static Key key(std::uint32_t nid, std::uint32_t pid, std::uint64_t token) {
+    return {(static_cast<std::uint64_t>(nid) << 16) | pid, token};
+  }
+
+  // ------------------------------------------------ conservation probes ----
+  void target_accepted(std::uint32_t nid, std::uint32_t pid,
+                       std::uint64_t token);
+  void target_delivered(std::uint32_t nid, std::uint32_t pid,
+                        std::uint64_t token);
+  void target_failed(std::uint32_t nid, std::uint32_t pid,
+                     std::uint64_t token);
+
+  /// Initiator-side liveness: op opened (ack/reply outstanding) / resolved
+  /// (ack, reply, or timeout-with-failure-event).
+  void initiator_open(std::uint32_t nid, std::uint32_t pid,
+                      std::uint64_t token);
+  void initiator_done(std::uint32_t nid, std::uint32_t pid,
+                      std::uint64_t token);
+
+  /// A node died: its accepted-but-undelivered messages and unresolved
+  /// initiator ops are excused at finish() (mortality is an injected fault,
+  /// not a stack bug).
+  void node_died(std::uint32_t nid);
+
+  // ------------------------------------------------------- CRC probe ----
+  /// Rx DMA engine verdict for one completed message.
+  void on_rx_verdict(bool crc_ok, bool corrupted);
+
+  // ------------------------------------------------- EQ ordering probe ----
+  /// `eq_key` identifies one event queue ((nid:pid << 16) | eq index);
+  /// `seq` is the queue's post-time sequence stamp.
+  void on_eq_post(std::uint64_t eq_key, std::uint64_t seq);
+  void on_eq_get(std::uint64_t eq_key, std::uint64_t seq);
+
+  // ------------------------------------------------- SRAM ledger probe ----
+  /// Seeds the ledger with the bytes already live when the checker was
+  /// installed (the boot-time reservations).
+  void sram_baseline(std::uint32_t node, std::uint64_t used);
+  /// Called after every reservation change on a node's SRAM with the
+  /// accounting's view (`used`) and the change (`delta`, signed bytes).
+  void on_sram(std::uint32_t node, std::uint64_t used, std::uint64_t capacity,
+               std::int64_t delta);
+
+  /// Records an externally detected violation (e.g. a firmware panic the
+  /// scenario did not inject).
+  void violation(std::string msg);
+
+  /// End-of-run audit: conservation balance and stranded initiators.
+  /// Idempotent; call after the engine quiesced.
+  void finish();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  // Exposed tallies (for tests cross-checking counters).
+  std::uint64_t accepted() const { return n_accepted_; }
+  std::uint64_t delivered() const { return n_delivered_; }
+  std::uint64_t failed() const { return n_failed_; }
+
+ private:
+  struct Track {
+    std::uint8_t delivered = 0;
+    std::uint8_t failed = 0;
+  };
+
+  std::map<Key, Track> targets_;
+  std::set<Key> initiators_;
+  std::set<std::uint32_t> dead_nodes_;
+  std::map<std::uint64_t, std::uint64_t> eq_posted_;  // eq_key -> last seq+1
+  std::map<std::uint64_t, std::uint64_t> eq_got_;     // eq_key -> last seq
+  std::map<std::uint32_t, std::int64_t> sram_ledger_;
+  std::vector<std::string> violations_;
+  std::uint64_t n_accepted_ = 0;
+  std::uint64_t n_delivered_ = 0;
+  std::uint64_t n_failed_ = 0;
+  bool finished_ = false;
+
+  void add_violation(const std::string& msg);
+};
+
+}  // namespace xt::fault

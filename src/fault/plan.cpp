@@ -1,0 +1,127 @@
+#include "fault/plan.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xt::fault {
+
+namespace {
+
+struct KindName {
+  std::uint32_t bit;
+  const char* name;
+};
+constexpr KindName kKindNames[] = {
+    {kLinkCorrupt, "corrupt"}, {kSilentCorrupt, "silent"},
+    {kDrop, "drop"},           {kReorder, "reorder"},
+    {kSramFail, "sram"},       {kIrqDelay, "irqdelay"},
+    {kIrqDrop, "irqdrop"},     {kFwStall, "stall"},
+    {kNodeDeath, "death"},
+};
+
+}  // namespace
+
+std::string FaultPlan::kinds_str(std::uint32_t kinds) {
+  if (kinds == 0) return "none";
+  if (kinds == kAllKinds) return "all";
+  std::string out;
+  for (const KindName& k : kKindNames) {
+    if ((kinds & k.bit) == 0) continue;
+    if (!out.empty()) out += '+';
+    out += k.name;
+  }
+  return out;
+}
+
+std::uint32_t FaultPlan::parse_kinds(std::string_view names) {
+  if (names.empty() || names == "none") return 0;
+  if (names == "all") return kAllKinds;
+  std::uint32_t kinds = 0;
+  std::size_t pos = 0;
+  while (pos <= names.size()) {
+    const std::size_t plus = names.find('+', pos);
+    const std::string_view tok = names.substr(
+        pos, plus == std::string_view::npos ? names.size() - pos : plus - pos);
+    bool found = false;
+    for (const KindName& k : kKindNames) {
+      if (tok == k.name) {
+        kinds |= k.bit;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return kAllKinds + 1;
+    if (plus == std::string_view::npos) break;
+    pos = plus + 1;
+  }
+  return kinds;
+}
+
+std::string FaultPlan::to_cli() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "kinds=%s,rate=%.4f,fseed=%llu",
+                kinds_str(kinds).c_str(), rate,
+                static_cast<unsigned long long>(seed));
+  std::string out = buf;
+  if ((kinds & kNodeDeath) != 0 && death_node >= 0) {
+    std::snprintf(buf, sizeof(buf), ",death=%d@%lluns+r%lluns", death_node,
+                  static_cast<unsigned long long>(death_at_ns),
+                  static_cast<unsigned long long>(revive_after_ns));
+    out += buf;
+  }
+  for (const ScriptedDrop& d : scripted_drops) {
+    std::snprintf(buf, sizeof(buf), ",sdrop=%u>%u@%u", d.src, d.dst, d.nth);
+    out += buf;
+  }
+  return out;
+}
+
+bool FaultPlan::parse(std::string_view spec, FaultPlan* out) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string_view item = spec.substr(
+        pos, comma == std::string_view::npos ? spec.size() - pos : comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) return false;
+    const std::string_view key = item.substr(0, eq);
+    const std::string val(item.substr(eq + 1));
+    if (key == "kinds") {
+      const std::uint32_t k = parse_kinds(val);
+      if (k > kAllKinds) return false;
+      out->kinds = k;
+    } else if (key == "rate") {
+      out->rate = std::atof(val.c_str());
+    } else if (key == "fseed") {
+      out->seed = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "death") {
+      // death=NODE@ATns+rREVIVEns
+      int node = -1;
+      unsigned long long at = 0, revive = 0;
+      if (std::sscanf(val.c_str(), "%d@%lluns+r%lluns", &node, &at, &revive) !=
+          3) {
+        return false;
+      }
+      out->death_node = node;
+      out->death_at_ns = at;
+      out->revive_after_ns = revive;
+    } else if (key == "sdrop") {
+      ScriptedDrop d;
+      if (std::sscanf(val.c_str(), "%u>%u@%u", &d.src, &d.dst, &d.nth) != 3) {
+        return false;
+      }
+      out->scripted_drops.push_back(d);
+    } else if (key == "stall_ns") {
+      out->stall_ns = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "ack_timeout_ns") {
+      out->ack_timeout_ns = std::strtoull(val.c_str(), nullptr, 10);
+    } else {
+      return false;
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace xt::fault

@@ -1,0 +1,101 @@
+#pragma once
+
+// FaultPlan: the declarative half of the fault-injection subsystem.
+//
+// A plan is pure data — a 64-bit seed, a bitmask of fault kinds, a
+// per-message rate and a handful of shape knobs — from which the Injector
+// derives every fault decision deterministically.  Two runs of the same
+// scenario under the same plan make byte-identical fault decisions, which
+// is what lets the scenario fuzzer print `--seed N --faults ...` reproducer
+// lines that replay exactly at any --jobs value.
+//
+// Plans round-trip through a compact CLI string (to_cli()/parse()), the
+// format behind the fuzzer's reproducer lines and every bench's --faults
+// flag.  Scripted drops (exact per-(src,dst) wire-message indices) are the
+// deterministic complement used by the go-back-n edge-case tests and the
+// property shrinker: unlike rate faults they can be removed one at a time
+// while a failure still reproduces.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xt::fault {
+
+/// Fault kinds, a bitmask.  Each bit corresponds to one injection point in
+/// the stack (see docs/FAULTS.md for the taxonomy).
+enum : std::uint32_t {
+  kLinkCorrupt = 1u << 0,    ///< CRC-16-visible corruption burst (link retry)
+  kSilentCorrupt = 1u << 1,  ///< CRC-16-evading flip (e2e CRC-32 must catch)
+  kDrop = 1u << 2,           ///< whole-message loss at router egress
+  kReorder = 1u << 3,        ///< extra per-message delay (reorders arrivals)
+  kSramFail = 1u << 4,       ///< transient firmware SRAM allocation failure
+  kIrqDelay = 1u << 5,       ///< host interrupt delivered late
+  kIrqDrop = 1u << 6,        ///< host interrupt lost (recovered by housekeeping)
+  kFwStall = 1u << 7,        ///< firmware PPC stalls for a configured duration
+  kNodeDeath = 1u << 8,      ///< rank mortality: node dies at T, may restart
+};
+constexpr std::uint32_t kAllKinds = (1u << 9) - 1;
+/// Kinds that are safe without go-back-n (they never wedge the firmware:
+/// loss and exhaustion surface as initiator timeouts, not panics).
+constexpr std::uint32_t kNoRetryKinds =
+    kLinkCorrupt | kSilentCorrupt | kDrop | kReorder | kIrqDelay | kIrqDrop |
+    kFwStall;
+
+/// Deterministic targeted loss: drop the `nth` wire message (0-based, in
+/// network-injection order) from `src` to `dst`.  Retransmits are new wire
+/// messages, so {n, n+k} expresses "drop the retransmit too" (double fault).
+struct ScriptedDrop {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t nth = 0;
+  friend bool operator==(const ScriptedDrop&, const ScriptedDrop&) = default;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;    ///< seeds every fault decision stream
+  std::uint32_t kinds = 0;   ///< bitmask of enabled fault kinds
+  double rate = 0.0;         ///< per-message probability of each rate fault
+
+  // Shape knobs (defaults chosen so a bare "kinds=...,rate=..." plan is
+  // already a sensible stress).
+  std::uint64_t reorder_max_ns = 2'000;     ///< max extra delay per message
+  std::uint64_t irq_delay_ns = 4'000;       ///< late-interrupt delay
+  std::uint64_t irq_recovery_ns = 100'000;  ///< lost-irq housekeeping poll
+  std::uint64_t stall_ns = 20'000;          ///< one firmware stall's duration
+  int stall_count = 2;                      ///< stalls scheduled per node set
+  std::uint64_t horizon_ns = 1'000'000;     ///< window for timed faults
+  /// Initiator liveness: an in-flight put/get that saw neither its ack nor
+  /// its reply within this bound completes with PTL_NI_FAIL_DROPPED instead
+  /// of hanging.  Armed only while an Injector is installed on the engine.
+  std::uint64_t ack_timeout_ns = 50'000'000;
+
+  // Rank mortality (kNodeDeath): node `death_node` dies at `death_at_ns`;
+  // with revive_after_ns > 0 its firmware restarts that much later.
+  int death_node = -1;
+  std::uint64_t death_at_ns = 200'000;
+  std::uint64_t revive_after_ns = 0;
+
+  /// Deterministic targeted drops (tests/shrinker); applied on top of the
+  /// rate faults.
+  std::vector<ScriptedDrop> scripted_drops;
+
+  bool enabled() const { return kinds != 0 || !scripted_drops.empty(); }
+
+  /// Compact one-line form, e.g.
+  ///   "kinds=drop+silent,rate=0.0100,fseed=42,death=3@200us+r0"
+  /// — exactly what parse() accepts and the fuzzer prints in reproducers.
+  std::string to_cli() const;
+
+  /// Parses a to_cli()-formatted spec into *out (fields not mentioned keep
+  /// their current values).  Returns false on a malformed spec.
+  static bool parse(std::string_view spec, FaultPlan* out);
+
+  /// "drop+silent+stall" <-> bitmask helpers ("none" / "" -> 0,
+  /// "all" -> kAllKinds).  parse_kinds returns kAllKinds+1 on unknown names.
+  static std::string kinds_str(std::uint32_t kinds);
+  static std::uint32_t parse_kinds(std::string_view names);
+};
+
+}  // namespace xt::fault

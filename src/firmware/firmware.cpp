@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/injector.hpp"
 #include "sim/log.hpp"
 #include "sim/trace.hpp"
 #include "sim/strf.hpp"
@@ -443,6 +444,45 @@ sim::CoTask<void> Firmware::fire_triggered_put(FwProcId proc,
   c_.triggered_fires->add();
 }
 
+void Firmware::inject_stall(sim::Time busy) { sim::spawn(stall_worker(busy)); }
+
+sim::CoTask<void> Firmware::stall_worker(sim::Time busy) {
+  // Holding the PPC resource stalls every handler behind the injected
+  // busy-loop, exactly as a runaway handler would.
+  co_await ppc_.use(busy);
+}
+
+void Firmware::fault_kill() {
+  if (panicked_) return;
+  panicked_ = true;
+  panic_time_ = eng_.now();
+  panic_reason_ = "fault injection: node killed";
+}
+
+void Firmware::fault_revive() {
+  if (!panicked_) return;
+  panicked_ = false;
+  panic_reason_.clear();
+  // SRAM/pending/stream state survived; re-kick the work loops that exit
+  // while panicked so queued work drains again.
+  bool mailbox_pending = false;
+  for (const auto& p : procs_) mailbox_pending |= !p.mailbox.empty();
+  if (mailbox_pending && !dispatch_running_) {
+    dispatch_running_ = true;
+    sim::spawn(dispatch_loop());
+  }
+  if (!tx_list_.empty() && !tx_worker_running_) {
+    tx_worker_running_ = true;
+    sim::spawn(tx_worker());
+  }
+  for (auto& [dst, stream] : tx_streams_) {
+    if (!stream.window.empty() && !stream.watchdog_running) {
+      stream.watchdog_running = true;
+      sim::spawn(gbn_watchdog(dst));
+    }
+  }
+}
+
 std::uint64_t Firmware::heartbeat() const {
   // One tick per 100 us of firmware uptime; frozen at panic time.
   const sim::Time upto = panicked_ ? panic_time_ : eng_.now();
@@ -526,7 +566,11 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
   }
   if (hdr.op == ptl::WireOp::kFwNack) {
     c_.nacks_received->add();
-    sim::spawn(gbn_rewind(msg->src, hdr.stream_seq));
+    // After a give-up the stream abandoned its window; a late NACK from
+    // the (revived) peer would ask for sequences we no longer retain.
+    if (!tx_streams_[msg->src].dead_dest) {
+      sim::spawn(gbn_rewind(msg->src, hdr.stream_seq));
+    }
     co_return;
   }
 
@@ -537,8 +581,19 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
   }
   auto& p = procs_[static_cast<std::size_t>(proc)];
 
-  // Source structure lookup/allocation (§4.3).
-  SourceSlot* src = sources_.lookup_or_alloc(msg->src);
+  // Source structure lookup/allocation (§4.3).  A *fresh* allocation can
+  // be denied by injected transient SRAM failure; an existing slot is a
+  // lookup and immune.
+  fault::Injector* inj = eng_.fault_injector();
+  SourceSlot* src = sources_.lookup(msg->src);
+  if (src == nullptr && inj != nullptr && inj->sram_alloc_fails(nic_.node())) {
+    c_.exhaustion_drops->add();
+    if (!cfg_.gobackn) {
+      panic("transient SRAM failure allocating source");
+    }
+    co_return;
+  }
+  if (src == nullptr) src = sources_.lookup_or_alloc(msg->src);
   if (src == nullptr) {
     c_.exhaustion_drops->add();
     if (!cfg_.gobackn) {
@@ -580,11 +635,17 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
     }
   }
 
-  // Allocate an RX pending from the target process' pool (§4.3).
-  if (p.rx_free.empty()) {
+  // Allocate an RX pending from the target process' pool (§4.3).  Injected
+  // transient SRAM failure makes this allocation fail as if exhausted.
+  const bool sram_denied =
+      inj != nullptr && inj->sram_alloc_fails(nic_.node());
+  if (p.rx_free.empty() || sram_denied) {
     c_.exhaustion_drops->add();
     if (!cfg_.gobackn) {
-      panic(sim::strf("out of RX pendings for firmware process %d", proc));
+      panic(sram_denied
+                ? "transient SRAM failure allocating RX pending"
+                : sim::strf("out of RX pendings for firmware process %d",
+                            proc));
       co_return;
     }
     if (!src->nack_outstanding) {
@@ -913,8 +974,34 @@ void Firmware::post_event(FwProcId proc, FwEvent ev, std::uint64_t prov) {
           return;
         }
         if (generic && irq_) {
-          c_.interrupts->add();
           prov_stamp(eng_, prov, Stage::kIrqRaise);
+          if (fault::Injector* inj = eng_.fault_injector()) {
+            const fault::Injector::IrqFate fate = inj->irq_fate(nic_.node());
+            if (fate.drop) {
+              // Interrupt lost on the HT crossing: the event sits in the
+              // queue until the host's slow housekeeping poll notices it
+              // (liveness is preserved, latency is not).
+              eng_.schedule_after(
+                  Time::ps(static_cast<std::int64_t>(fate.recovery_ps)),
+                  [this] {
+                    c_.interrupts->add();
+                    if (irq_) irq_();
+                  });
+              return;
+            }
+            if (fate.delay_ps != 0) {
+              // Delayed raise: events posted meanwhile coalesce into the
+              // one late interrupt.
+              eng_.schedule_after(
+                  Time::ps(static_cast<std::int64_t>(fate.delay_ps)),
+                  [this] {
+                    c_.interrupts->add();
+                    if (irq_) irq_();
+                  });
+              return;
+            }
+          }
+          c_.interrupts->add();
           irq_();
         } else if (!generic) {
           // Accelerated mode never interrupts: the event sits in the
@@ -1012,6 +1099,7 @@ void Firmware::gbn_crc_fail(net::NodeId src_node, std::uint32_t seq) {
 void Firmware::gbn_record(net::NodeId dst, const net::Message& msg,
                           std::uint32_t n_dma_cmds) {
   TxStream& stream = tx_streams_[dst];
+  if (stream.dead_dest) return;  // reliability waived after give-up
   if (!stream.watchdog_running) {
     stream.watchdog_running = true;
     sim::spawn(gbn_watchdog(dst));
@@ -1021,6 +1109,7 @@ void Firmware::gbn_record(net::NodeId dst, const net::Message& msg,
   std::copy(msg.header.begin(), msg.header.end(), sent.packet.begin());
   sent.payload = msg.payload;
   sent.n_dma_cmds = n_dma_cmds;
+  sent.prov = msg.prov_id;
   stream.window.push_back(std::move(sent));
   while (stream.window.size() > cfg_.gobackn_window) {
     stream.window.pop_front();
@@ -1060,10 +1149,23 @@ sim::CoTask<void> Firmware::gbn_watchdog(net::NodeId dst) {
       if (!stream.rewinding) {
         stream.backoff =
             std::min(stream.backoff * 2, cfg_.gobackn_backoff_max);
+        if (++stream.no_progress >= cfg_.gobackn_max_rewinds) {
+          // The destination has been unreachable through a full backoff
+          // ladder: give up so the simulation terminates.  The abandoned
+          // messages surface at their initiators as Portals ack timeouts.
+          stream.dead_dest = true;
+          stream.window.clear();
+          stream.window_base = stream.next_seq;
+          if (fault::Injector* inj = eng_.fault_injector()) {
+            inj->count_gbn_giveup();
+          }
+          break;
+        }
         sim::spawn(gbn_rewind(dst, stream.window_base));
       }
     } else {
       stream.backoff = cfg_.gobackn_backoff;  // progress: reset
+      stream.no_progress = 0;
     }
     last_base = stream.window_base;
   }
@@ -1073,13 +1175,20 @@ sim::CoTask<void> Firmware::gbn_watchdog(net::NodeId dst) {
 sim::CoTask<void> Firmware::gbn_rewind(net::NodeId dst,
                                        std::uint32_t from_seq) {
   TxStream& stream = tx_streams_[dst];
-  if (stream.rewinding) co_return;
+  if (stream.rewinding || stream.dead_dest) co_return;
   c_.rewinds->add();
   stream.rewinding = true;
   // Everything before from_seq is implicitly acknowledged.
   while (stream.window_base < from_seq && !stream.window.empty()) {
     stream.window.pop_front();
     ++stream.window_base;
+  }
+  if (stream.window_base > from_seq) {
+    // Stale NACK: injected reordering can deliver a NACK after a later
+    // cumulative ack already advanced the window past it.  Everything it
+    // asks for is acknowledged — nothing to retransmit.
+    stream.rewinding = false;
+    co_return;
   }
   if (stream.window_base != from_seq) {
     panic(sim::strf("go-back-n window lost seq %u (base %u)", from_seq,
@@ -1099,9 +1208,11 @@ sim::CoTask<void> Firmware::gbn_rewind(net::NodeId dst,
     // fully-awaited transmit.
     TxStream::Sent sent = stream.window[i];
     c_.retransmits->add();
+    prov_stamp(eng_, sent.prov, Stage::kRetransmit);
     auto msg = std::make_shared<net::Message>();
     msg->src = nic_.node();
     msg->dst = dst;
+    msg->prov_id = sent.prov;
     msg->header.assign(sent.packet.begin(), sent.packet.end());
     const std::vector<std::byte>& payload = sent.payload;
     co_await nic_.transmit(

@@ -169,6 +169,17 @@ class Firmware final : public ss::RxClient {
   /// detects a dead node.
   std::uint64_t heartbeat() const;
 
+  // ------------------------------------------------- fault injection ----
+  /// Occupies the PowerPC for `busy` (a firmware stall: handlers queue up
+  /// behind it exactly as behind a long-running handler).
+  void inject_stall(sim::Time busy);
+  /// Rank mortality: the node stops processing (panic machinery, but with
+  /// a distinguishable reason and no error log — the death is scripted).
+  void fault_kill();
+  /// Restart after fault_kill: SRAM state survives (the node was stalled,
+  /// not rebooted); stalled work loops are re-kicked.
+  void fault_revive();
+
   // -------------------------------------------------- ss::RxClient ----
   void on_rx_header(const net::MessagePtr& msg) override;
   void on_rx_complete(const net::MessagePtr& msg, bool crc_ok) override;
@@ -258,11 +269,18 @@ class Firmware final : public ss::RxClient {
       std::array<std::byte, ptl::kHeaderPacketBytes> packet;
       std::vector<std::byte> payload;
       std::uint32_t n_dma_cmds = 1;
+      std::uint64_t prov = 0;  // provenance id of the original transmit
     };
     std::deque<Sent> window;  // window[i] has seq == window_base + i
     bool rewinding = false;
     bool watchdog_running = false;
     sim::Time backoff{};  // current (exponential) retransmit backoff
+    /// Consecutive no-progress watchdog rewinds (reset on any ack).
+    std::size_t no_progress = 0;
+    /// The watchdog gave up on this destination (gobackn_max_rewinds
+    /// exceeded — the peer is dead): stop recording, ignore its NACKs;
+    /// losses surface at initiators via the Portals ack timeout.
+    bool dead_dest = false;
   };
 
   LowerPending& lower(FwProcId proc, PendingId id) {
@@ -276,6 +294,7 @@ class Firmware final : public ss::RxClient {
   sim::CoTask<void> rx_header_handler(net::MessagePtr msg);
   sim::CoTask<void> rx_complete_handler(net::MessagePtr msg, bool crc_ok);
   sim::CoTask<void> deposit_worker(net::NodeId source_node);
+  sim::CoTask<void> stall_worker(sim::Time busy);
 
   /// Bumps a counter in firmware context: notifies CT waiters and kicks
   /// the trigger scan when armed entries may have become due.

@@ -80,6 +80,7 @@ std::vector<SeriesResult> measure_series(
       r.name = np::transport_name(t);
       r.pattern = pattern;
       r.samples = np::run_sweep(inst->machine(), *mod, pattern, o);
+      r.failure = inst->machine().first_panic();
       if (tel.sampling) r.metrics_json = inst->metrics_json();
       if (tel.trace && inst->trace() != nullptr) {
         r.trace_records = inst->trace()->records();

@@ -40,6 +40,9 @@ struct SeriesResult {
   std::string metrics_json;
   /// Raw trace records of this series' scenario.
   std::vector<sim::Trace::Record> trace_records;
+  /// Empty on a clean run; otherwise the per-run failure reason (e.g. a
+  /// node firmware panic), so callers can report instead of asserting.
+  std::string failure;
 };
 
 /// Measures the given transports under one pattern, fanning the points out

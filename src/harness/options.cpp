@@ -24,7 +24,12 @@ namespace {
       "  --pattern NAME  workload benches: only this traffic pattern\n"
       "  --offered-load X  workload benches: single offered load (msgs/s)\n"
       "  --outstanding N workload benches: closed-loop requests in flight\n"
-      "  --ranks N       workload benches: participating ranks\n",
+      "  --ranks N       workload benches: participating ranks\n"
+      "  --smoke         minimal ladder (golden-output regression runs)\n"
+      "  --faults SPEC   fault plan, e.g. kinds=drop+silent,rate=0.01\n"
+      "  --fault-seed N  fault plan seed\n"
+      "  --fault-rate X  per-message fault probability\n"
+      "  --fault-kinds K fault kinds: drop+silent+corrupt+... or 'all'\n",
       prog);
   std::exit(rc);
 }
@@ -76,6 +81,31 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       o.outstanding = std::atoi(argv[++i]);
     } else if (std::strcmp(arg, "--ranks") == 0 && i + 1 < argc) {
       o.ranks = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      o.smoke = true;
+      o.quick = true;
+      o.np.base_iters = 8;
+      o.np.min_iters = 2;
+    } else if (std::strcmp(arg, "--faults") == 0 && i + 1 < argc) {
+      if (!fault::FaultPlan::parse(argv[++i], &o.faults)) {
+        std::fprintf(stderr, "%s: bad --faults spec '%s'\n", argv[0], argv[i]);
+        usage(argv[0], 2);
+      }
+      o.faults_set = true;
+    } else if (std::strcmp(arg, "--fault-seed") == 0 && i + 1 < argc) {
+      o.faults.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      o.faults_set = true;
+    } else if (std::strcmp(arg, "--fault-rate") == 0 && i + 1 < argc) {
+      o.faults.rate = std::atof(argv[++i]);
+      o.faults_set = true;
+    } else if (std::strcmp(arg, "--fault-kinds") == 0 && i + 1 < argc) {
+      const std::uint32_t kinds = fault::FaultPlan::parse_kinds(argv[++i]);
+      if (kinds > fault::kAllKinds) {
+        std::fprintf(stderr, "%s: bad --fault-kinds '%s'\n", argv[0], argv[i]);
+        usage(argv[0], 2);
+      }
+      o.faults.kinds = kinds;
+      o.faults_set = true;
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
       usage(argv[0], 0);

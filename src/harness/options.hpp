@@ -15,6 +15,12 @@
 //                     instead of the built-in ladder
 //   --outstanding N workload benches: closed-loop requests in flight
 //   --ranks N       workload benches: ranks participating
+//   --smoke         minimal ladder for golden-output regression runs
+//   --faults SPEC   full fault plan (fault::FaultPlan::parse format) —
+//                   the spelling fuzzer reproducer lines use
+//   --fault-seed N  shorthand: seed of the fault plan
+//   --fault-rate X  shorthand: per-message fault probability
+//   --fault-kinds K shorthand: "drop+silent+stall..." (see FaultPlan)
 //   --help
 //
 // --metrics and --trace also accept the --flag=FILE spelling.
@@ -25,6 +31,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/plan.hpp"
 #include "netpipe/netpipe.hpp"
 
 namespace xt::harness {
@@ -53,6 +60,14 @@ struct BenchOptions {
   double offered_load = 0.0;
   int outstanding = 0;
   int ranks = 0;
+  /// Golden-output mode: tiny fixed ladder, deterministic, fast.  Benches
+  /// that support it print the same schema with fewer points.
+  bool smoke = false;
+  /// Fault plan assembled from --faults / --fault-seed / --fault-rate /
+  /// --fault-kinds; faults_set says whether any of those flags appeared
+  /// (an all-defaults plan is also how reproducers disable faults).
+  fault::FaultPlan faults{};
+  bool faults_set = false;
 
   /// Parses argv; on --help or an unknown flag prints usage and exits.
   static BenchOptions parse(int argc, char** argv,

@@ -1,5 +1,9 @@
 #include "harness/scenario.hpp"
 
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "sim/rng.hpp"
+
 namespace xt::harness {
 
 net::Shape shape_for_ranks(int n) {
@@ -55,6 +59,28 @@ Instance::Instance(const Scenario& sc)
     prov_ = std::make_unique<telemetry::ProvenanceLog>();
     engine().set_provenance(prov_.get());
   }
+  if (sc.faults.enabled) {
+    injector_ = std::make_unique<fault::Injector>(engine(), sc.faults.plan);
+    engine().set_fault_injector(injector_.get());
+    if (sc.faults.invariants) {
+      checker_ = std::make_unique<fault::InvariantChecker>();
+      engine().set_invariants(checker_.get());
+      for (std::size_t n = 0; n < machine_.node_count(); ++n) {
+        ss::Sram& sram = machine_.node(static_cast<net::NodeId>(n)).nic().sram();
+        // Baseline first: the boot-time reservations are already live, and
+        // the ledger must balance against them, not against zero.
+        const auto nid = static_cast<std::uint32_t>(n);
+        checker_->sram_baseline(nid, sram.used());
+        fault::InvariantChecker* chk = checker_.get();
+        const std::uint64_t cap = sram.capacity();
+        sram.set_observer([chk, nid, cap](std::size_t used,
+                                          std::int64_t delta) {
+          chk->on_sram(nid, used, cap, delta);
+        });
+      }
+    }
+    schedule_timed_faults();
+  }
   procs_.reserve(sc.procs.size());
   for (const Scenario::ProcSpec& p : sc.procs) {
     host::Node& node = machine_.node(p.node);
@@ -68,6 +94,66 @@ Instance::Instance(const Scenario& sc)
       case host::ProcMode::kAccel:
         procs_.push_back(&node.spawn_accel_process(p.pid, p.mem_bytes));
         break;
+    }
+  }
+}
+
+Instance::~Instance() {
+  // Members destruct in reverse declaration order, so checker_/injector_
+  // would die before machine_ — but every node's SRAM observer still
+  // points at the checker and fires as boot regions release during
+  // machine teardown.  Detach the fault layer first.
+  if (checker_) {
+    for (std::size_t n = 0; n < machine_.node_count(); ++n) {
+      machine_.node(static_cast<net::NodeId>(n)).nic().sram().set_observer(
+          nullptr);
+    }
+  }
+  engine().set_invariants(nullptr);
+  engine().set_fault_injector(nullptr);
+}
+
+/// Timed (non-rate) faults are scheduled up front from their own RNG
+/// stream: `stall_count` firmware stalls at seed-derived instants within
+/// the plan's horizon, and — when the plan names a victim — rank mortality
+/// with an optional restart.  Everything is derived from plan.seed, so a
+/// replay schedules the identical timeline.
+void Instance::schedule_timed_faults() {
+  const fault::FaultPlan& plan = injector_->plan();
+  sim::Engine& eng = engine();
+  if ((plan.kinds & fault::kFwStall) != 0 && plan.stall_count > 0 &&
+      plan.horizon_ns > 0) {
+    sim::Rng rng(plan.seed ^ 0xfa175'7a11ull);
+    for (int i = 0; i < plan.stall_count; ++i) {
+      const auto node =
+          static_cast<net::NodeId>(rng.below(machine_.node_count()));
+      const auto at =
+          sim::Time::ns(static_cast<std::int64_t>(rng.below(plan.horizon_ns)));
+      const auto busy =
+          sim::Time::ns(static_cast<std::int64_t>(plan.stall_ns));
+      eng.schedule_after(at, [this, node, busy] {
+        machine_.node(node).firmware().inject_stall(busy);
+        injector_->count_stall();
+      });
+    }
+  }
+  if ((plan.kinds & fault::kNodeDeath) != 0 && plan.death_node >= 0) {
+    const auto victim = static_cast<net::NodeId>(
+        static_cast<std::size_t>(plan.death_node) % machine_.node_count());
+    eng.schedule_after(
+        sim::Time::ns(static_cast<std::int64_t>(plan.death_at_ns)),
+        [this, victim] {
+          machine_.node(victim).firmware().fault_kill();
+          injector_->count_kill();
+          if (checker_) checker_->node_died(victim);
+        });
+    if (plan.revive_after_ns > 0) {
+      eng.schedule_after(sim::Time::ns(static_cast<std::int64_t>(
+                             plan.death_at_ns + plan.revive_after_ns)),
+                         [this, victim] {
+                           machine_.node(victim).firmware().fault_revive();
+                           injector_->count_revive();
+                         });
     }
   }
 }

@@ -17,9 +17,15 @@
 #include <memory>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "host/node.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/provenance.hpp"
+
+namespace xt::fault {
+class Injector;
+class InvariantChecker;
+}  // namespace xt::fault
 
 namespace xt::harness {
 
@@ -47,6 +53,15 @@ struct Scenario {
     bool trace = false;       ///< Chrome trace-event collection
   };
 
+  /// Fault injection for the built Instance.  Off by default; with_faults()
+  /// turns it on, installing an Injector (and, unless asked not to, an
+  /// InvariantChecker) on the engine before any process spawns.
+  struct FaultSpec {
+    bool enabled = false;
+    bool invariants = true;  ///< arm the stack-wide InvariantChecker too
+    fault::FaultPlan plan{};
+  };
+
   net::Shape shape = net::Shape::xt3(2, 1, 1);
   ss::Config config{};
   /// Per-node OS choice; null means all-Catamount (the Red Storm compute
@@ -54,6 +69,7 @@ struct Scenario {
   std::function<host::OsType(net::NodeId)> os_of;
   std::vector<ProcSpec> procs;
   TelemetrySpec telemetry{};
+  FaultSpec faults{};
 
   // ------------------------------------------------- fluent builders ----
 
@@ -77,6 +93,18 @@ struct Scenario {
   }
   Scenario& with_telemetry(TelemetrySpec t) {
     telemetry = t;
+    return *this;
+  }
+  /// Arms the fault layer: the Instance installs an Injector driven by
+  /// `plan` and (when `invariants`) an InvariantChecker on the engine, wires
+  /// per-node SRAM ledger observers, and schedules the plan's timed faults
+  /// (firmware stalls, rank mortality).  Note that merely installing the
+  /// injector changes timing semantics slightly — initiator ops arm ack
+  /// timeouts — so fault-free comparisons should build without this call.
+  Scenario& with_faults(const fault::FaultPlan& plan, bool invariants = true) {
+    faults.enabled = true;
+    faults.invariants = invariants;
+    faults.plan = plan;
     return *this;
   }
   Scenario& add_proc(net::NodeId node, ptl::Pid pid = 10,
@@ -114,6 +142,7 @@ struct Scenario {
 class Instance {
  public:
   explicit Instance(const Scenario& sc);
+  ~Instance();
   Instance(const Instance&) = delete;
   Instance& operator=(const Instance&) = delete;
 
@@ -128,14 +157,21 @@ class Instance {
   /// Telemetry sinks the Scenario asked for (null when off).
   sim::Trace* trace() { return trace_.get(); }
   telemetry::ProvenanceLog* provenance() { return prov_.get(); }
+  /// Fault layer the Scenario asked for (null when off).
+  fault::Injector* injector() { return injector_.get(); }
+  fault::InvariantChecker* invariants() { return checker_.get(); }
   /// Deterministic JSON snapshot of the engine's metrics registry.
   std::string metrics_json();
 
  private:
+  void schedule_timed_faults();
+
   host::Machine machine_;
   std::vector<host::Process*> procs_;
   std::unique_ptr<sim::Trace> trace_;
   std::unique_ptr<telemetry::ProvenanceLog> prov_;
+  std::unique_ptr<fault::Injector> injector_;
+  std::unique_ptr<fault::InvariantChecker> checker_;
 };
 
 }  // namespace xt::harness

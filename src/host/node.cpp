@@ -81,4 +81,15 @@ Machine::Machine(net::Shape shape, ss::Config cfg,
   }
 }
 
+std::string Machine::first_panic() const {
+  for (const auto& n : nodes_) {
+    const fw::Firmware& fw = n->firmware();
+    if (fw.panicked()) {
+      return sim::strf("node %u panicked: %s", n->id(),
+                       fw.panic_reason().c_str());
+    }
+  }
+  return {};
+}
+
 }  // namespace xt::host

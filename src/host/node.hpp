@@ -125,6 +125,12 @@ class Machine {
   /// Runs the simulation to quiescence; returns events executed.
   std::uint64_t run() { return eng_.run(); }
 
+  /// First panicked node's "node N panicked: reason", or "" when every
+  /// firmware is healthy — the per-run failure reason sweeps report
+  /// instead of asserting.  Injected rank mortality counts too; callers
+  /// that excuse it filter on the firmware's panic reason.
+  std::string first_panic() const;
+
  private:
   ss::Config cfg_;
   sim::Engine eng_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "fault/injector.hpp"
+
 namespace xt::net {
 
 sim::CoTask<bool> Link::carry(std::size_t bytes) {
@@ -17,6 +19,15 @@ sim::CoTask<bool> Link::carry(std::size_t bytes) {
     const double chunk_fail_prob =
         1.0 - std::pow(1.0 - cfg_.pkt_corrupt_prob, n);
     while (rng_.chance(chunk_fail_prob)) {
+      ++retries_;
+      co_await sim::delay(res_.engine(), cfg_.retry_penalty + ser);
+    }
+  }
+  // Injected corruption burst: a run of CRC-16 failures on this chunk,
+  // each costing a retry, all caught by the link-level check.
+  if (fault::Injector* inj = res_.engine().fault_injector()) {
+    const std::uint32_t burst = inj->corrupt_burst_retries();
+    for (std::uint32_t i = 0; i < burst; ++i) {
       ++retries_;
       co_await sim::delay(res_.engine(), cfg_.retry_penalty + ser);
     }

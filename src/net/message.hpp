@@ -39,6 +39,12 @@ struct Message {
   /// Set when fault injection corrupted the message past the link-level
   /// retry protection (so the e2e CRC check must catch it).
   bool corrupted = false;
+  /// Router-egress loss (fault injection): the message traverses its path
+  /// (bandwidth is consumed) but is never delivered to the endpoint.
+  bool net_dropped = false;
+  /// Extra delivery delay (fault injection): shifts the whole message so
+  /// later traffic can overtake it on the wire.
+  sim::Time fault_delay{};
 
   // Timestamps filled in by the network (for tests and traces).
   sim::Time injected_at{};

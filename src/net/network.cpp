@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "fault/injector.hpp"
 #include "net/crc.hpp"
 #include "sim/strf.hpp"
 
@@ -42,10 +43,24 @@ void Network::begin(const MessagePtr& msg) {
   c = crc32_update(c, msg->payload);
   msg->e2e_crc = crc32_finish(c);
   msg->injected_at = eng_.now();
+  // Per-message fault decisions are made once, at injection: router-egress
+  // loss, reordering delay, and CRC-16-evading corruption all act on whole
+  // wire messages.  (Per-chunk corruption bursts live in Link::carry.)
+  if (fault::Injector* inj = eng_.fault_injector()) {
+    if (inj->drop_message(msg->src, msg->dst)) msg->net_dropped = true;
+    msg->fault_delay = sim::Time::ps(
+        static_cast<std::int64_t>(inj->reorder_delay_ps()));
+    if (inj->silently_corrupt()) msg->corrupted = true;
+  }
 }
 
 sim::CoTask<void> Network::walk(MessagePtr msg, std::size_t bytes,
                                 bool is_header, bool is_last) {
+  if (!msg->fault_delay.is_zero()) {
+    // Injected reordering: every chunk of the message is held back by the
+    // same amount, so the message arrives intact but late.
+    co_await sim::delay(eng_, msg->fault_delay);
+  }
   NodeId cur = msg->src;
   if (cur == msg->dst) {
     // Loopback: no links; charge one hop of latency.
@@ -59,6 +74,7 @@ sim::CoTask<void> Network::walk(MessagePtr msg, std::size_t bytes,
     if (slipped) msg->corrupted = true;
     cur = neighbor(shape_, cur, p);
   }
+  if (msg->net_dropped) co_return;  // router-egress loss: never delivered
   Endpoint* ep = endpoints_[msg->dst];
   assert(ep != nullptr && "destination node has no attached NIC");
   if (is_header) {

@@ -22,9 +22,11 @@ class EventQueue {
   EventQueue(sim::Engine& eng, std::size_t count)
       : capacity_(count), waiters_(eng) {}
 
-  /// Library side: append an event (stamps its sequence number).
-  void post(Event ev) {
-    ev.sequence = next_seq_++;
+  /// Library side: append an event (stamps its sequence number, which is
+  /// returned so callers can probe ordering invariants).
+  std::uint64_t post(Event ev) {
+    const std::uint64_t seq = next_seq_++;
+    ev.sequence = seq;
     if (ring_.size() >= capacity_) {
       dropped_ = true;
       ++drop_count_;
@@ -32,6 +34,7 @@ class EventQueue {
       ring_.push_back(ev);
     }
     waiters_.notify_all();
+    return seq;
   }
 
   /// Application side (PtlEQGet): PTL_OK, PTL_EQ_EMPTY, or PTL_EQ_DROPPED

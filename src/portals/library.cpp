@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
 #include "sim/strf.hpp"
 
 namespace xt::ptl {
@@ -165,7 +167,19 @@ int Library::eq_free(EqHandle eq) {
 int Library::eq_get(EqHandle eq, Event* out) {
   EventQueue* q = eq_object(eq);
   if (q == nullptr) return PTL_EQ_INVALID;
-  return q->get(out);
+  const int rc = q->get(out);
+  if (rc != PTL_EQ_EMPTY) {
+    if (fault::InvariantChecker* chk = eng_.invariants()) {
+      chk->on_eq_get(eq_probe_key(eq), out->sequence);
+    }
+  }
+  return rc;
+}
+
+std::uint64_t Library::eq_probe_key(EqHandle eq) const {
+  return (((static_cast<std::uint64_t>(cfg_.id.nid) << 16) | cfg_.id.pid)
+          << 10) |
+         eq.idx;
 }
 
 EventQueue* Library::eq_object(EqHandle eq) {
@@ -623,8 +637,11 @@ void Library::post_event(const MdRec& md, Event ev) {
 
 void Library::post_event_to(EqHandle eq, Event ev) {
   if (EventQueue* q = eq_object(eq)) {
-    q->post(ev);
+    const std::uint64_t seq = q->post(ev);
     if (eng_.metrics().sampling()) h_eq_depth_->record(q->size());
+    if (fault::InvariantChecker* chk = eng_.invariants()) {
+      chk->on_eq_post(eq_probe_key(eq), seq);
+    }
   }
 }
 
@@ -718,6 +735,26 @@ int Library::start_outgoing(OpRec::Kind kind, Nal::TxKind txkind,
   }
   ops_.emplace(token, op);
   ++msgs_sent_;
+  if (fault::InvariantChecker* chk = eng_.invariants()) {
+    chk->initiator_open(cfg_.id.nid, cfg_.id.pid, token);
+  }
+  // Under fault injection a put's ack or a get's reply can be lost for
+  // good (peer death after go-back-n gives up).  Arm a timeout that
+  // surfaces the loss as a PTL_NI_FAIL_DROPPED event instead of leaving
+  // the initiator hanging.  Only armed when an injector is installed, so
+  // the spec semantics (an ACK that never comes simply never fires) are
+  // untouched in fault-free runs.
+  if (fault::Injector* inj = eng_.fault_injector()) {
+    const bool awaits_wire = kind == OpRec::Kind::kGetOut ||
+                             (kind == OpRec::Kind::kPutOut &&
+                              ack == AckReq::kAck);
+    if (awaits_wire) {
+      eng_.schedule_after(
+          sim::Time::ns(
+              static_cast<std::int64_t>(inj->plan().ack_timeout_ns)),
+          [this, token] { ack_timeout(token); });
+    }
+  }
 
   std::vector<IoVec> payload;
   if (kind == OpRec::Kind::kPutOut) {
@@ -848,6 +885,9 @@ Library::RxDecision Library::on_put_header(const WireHeader& hdr) {
 
   post_event(md, make_event(op, EventType::kPutStart));
   ops_.emplace(token, op);
+  if (fault::InvariantChecker* chk = eng_.invariants()) {
+    chk->target_accepted(cfg_.id.nid, cfg_.id.pid, token);
+  }
 
   d.deliver = true;
   d.mlength = mlength;
@@ -875,6 +915,9 @@ Library::RxDecision Library::on_reply_header(const WireHeader& hdr) {
   op.kind = OpRec::Kind::kReplyIn;
   op.mlength = std::min<std::uint64_t>(hdr.length, op.rlength);
   post_event(*md, make_event(op, EventType::kReplyStart));
+  if (fault::InvariantChecker* chk = eng_.invariants()) {
+    chk->target_accepted(cfg_.id.nid, cfg_.id.pid, it->first);
+  }
   d.deliver = true;
   d.mlength = static_cast<std::uint32_t>(op.mlength);
   d.segments = md_slice(md->desc, op.offset,
@@ -898,6 +941,13 @@ std::optional<WireHeader> Library::deposited(std::uint64_t token) {
     }
   }
   release_op_md(op.md);
+  if (fault::InvariantChecker* chk = eng_.invariants()) {
+    chk->target_delivered(cfg_.id.nid, cfg_.id.pid, token);
+    // A deposited reply also resolves the original get.
+    if (op.kind == OpRec::Kind::kReplyIn) {
+      chk->initiator_done(cfg_.id.nid, cfg_.id.pid, token);
+    }
+  }
   return ack;
 }
 
@@ -915,6 +965,12 @@ void Library::rx_dropped(std::uint64_t token) {
     post_event(*md, ev);
   }
   release_op_md(op.md);
+  if (fault::InvariantChecker* chk = eng_.invariants()) {
+    chk->target_failed(cfg_.id.nid, cfg_.id.pid, token);
+    if (op.kind == OpRec::Kind::kReplyIn) {
+      chk->initiator_done(cfg_.id.nid, cfg_.id.pid, token);
+    }
+  }
 }
 
 Library::GetDecision Library::on_get_header(const WireHeader& hdr) {
@@ -954,6 +1010,9 @@ Library::GetDecision Library::on_get_header(const WireHeader& hdr) {
 
   post_event(md, make_event(op, EventType::kGetStart));
   ops_.emplace(token, op);
+  if (fault::InvariantChecker* chk = eng_.invariants()) {
+    chk->target_accepted(cfg_.id.nid, cfg_.id.pid, token);
+  }
 
   d.deliver = true;
   d.mlength = mlength;
@@ -983,6 +1042,9 @@ void Library::reply_sent(std::uint64_t token) {
     post_event(*md, make_event(op, EventType::kGetEnd));
   }
   release_op_md(op.md);
+  if (fault::InvariantChecker* chk = eng_.invariants()) {
+    chk->target_delivered(cfg_.id.nid, cfg_.id.pid, token);
+  }
 }
 
 void Library::on_ack(const WireHeader& hdr) {
@@ -999,6 +1061,9 @@ void Library::on_ack(const WireHeader& hdr) {
   if (op.tx_done) {
     release_op_md(op.md);
     ops_.erase(it);
+    if (fault::InvariantChecker* chk = eng_.invariants()) {
+      chk->initiator_done(cfg_.id.nid, cfg_.id.pid, token_of(hdr));
+    }
   }
 }
 
@@ -1019,9 +1084,40 @@ void Library::send_complete(std::uint64_t token) {
     if (!wants_ack || op.ack_done) {
       release_op_md(op.md);
       ops_.erase(it);
+      if (fault::InvariantChecker* chk = eng_.invariants()) {
+        chk->initiator_done(cfg_.id.nid, cfg_.id.pid, token);
+      }
     }
   }
   // kGetOut: the op stays open until the reply is deposited.
+}
+
+void Library::ack_timeout(std::uint64_t token) {
+  auto it = ops_.find(token);
+  if (it == ops_.end()) return;  // resolved before the deadline
+  const OpRec op = it->second;
+  // Only initiator-side waits time out; kReplyIn covers a get whose reply
+  // arrived but is still depositing — by the deadline that counts as lost.
+  if (op.kind != OpRec::Kind::kPutOut && op.kind != OpRec::Kind::kGetOut &&
+      op.kind != OpRec::Kind::kReplyIn) {
+    return;
+  }
+  ops_.erase(it);
+  if (MdRec* md = md_deref(op.md)) {
+    Event ev = make_event(op, op.kind == OpRec::Kind::kPutOut
+                                  ? (op.tx_done ? EventType::kAck
+                                                : EventType::kSendEnd)
+                                  : EventType::kReplyEnd);
+    ev.ni_fail = PTL_NI_FAIL_DROPPED;
+    post_event(*md, ev);
+  }
+  release_op_md(op.md);
+  if (fault::Injector* inj = eng_.fault_injector()) {
+    inj->count_ack_timeout();
+  }
+  if (fault::InvariantChecker* chk = eng_.invariants()) {
+    chk->initiator_done(cfg_.id.nid, cfg_.id.pid, token);
+  }
 }
 
 std::uint64_t Library::status(SrIndex sr) const {

@@ -258,6 +258,11 @@ class Library {
                   std::uint32_t mlength, bool manage_remote);
   void post_event(const MdRec& md, Event ev);
   void post_event_to(EqHandle eq, Event ev);
+  /// InvariantChecker key for one of this NI's event queues.
+  std::uint64_t eq_probe_key(EqHandle eq) const;
+  /// Fault-injection ack/reply deadline for op `token` expired: if the op
+  /// is still open, fail it with a PTL_NI_FAIL_DROPPED event.
+  void ack_timeout(std::uint64_t token);
   /// Auto-unlink an MD (and its ME if so configured), posting kUnlink.
   void auto_unlink(MdHandle mdh);
   void unlink_me_internal(std::uint32_t idx);

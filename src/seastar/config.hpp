@@ -169,6 +169,11 @@ struct Config {
   /// Backoff doubles on every no-progress rewind up to this cap, and
   /// resets when the window advances.
   Time gobackn_backoff_max = Time::us(800);
+  /// Consecutive no-progress rewinds at the backoff ceiling before the
+  /// sender declares the destination dead, drops its window, and surfaces
+  /// the loss to initiators (ack timeout).  Keeps the watchdog from
+  /// retransmitting forever into a node that fault injection killed.
+  std::size_t gobackn_max_rewinds = 24;
 };
 
 }  // namespace xt::ss

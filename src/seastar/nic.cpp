@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/invariants.hpp"
 #include "net/crc.hpp"
 #include "sim/strf.hpp"
 #include "telemetry/hooks.hpp"
@@ -119,6 +120,10 @@ void Nic::on_complete(const net::MessagePtr& msg) {
   c = net::crc32_update(c, msg->payload);
   const bool ok = net::crc32_finish(c) == msg->e2e_crc && !msg->corrupted;
   if (!ok) ++crc_drops_;
+  if (fault::InvariantChecker* chk = eng_.invariants()) {
+    // "No corrupt delivery": a corrupted message must never pass the CRC.
+    chk->on_rx_verdict(ok, msg->corrupted);
+  }
   // Header-only messages complete at header time; stamping the same
   // instant twice would only pad the waterfall.
   if (!msg->payload.empty()) {

@@ -15,6 +15,8 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -76,7 +78,15 @@ class Sram {
     used_ += bytes;
     peak_ = std::max(peak_, used_);
     entries_.push_back(Entry{std::move(name), bytes, /*live=*/true});
+    if (observer_) observer_(used_, static_cast<std::int64_t>(bytes));
     return Region{this, entries_.size() - 1};
+  }
+
+  /// Ledger observer: called after every reservation change with the live
+  /// byte count and the signed delta.  Installed by the fault harness so
+  /// the InvariantChecker can audit allocation/free balance.
+  void set_observer(std::function<void(std::size_t, std::int64_t)> fn) {
+    observer_ = std::move(fn);
   }
 
   std::size_t capacity() const { return capacity_; }
@@ -104,12 +114,16 @@ class Sram {
     assert(idx < entries_.size() && entries_[idx].live);
     entries_[idx].live = false;
     used_ -= entries_[idx].bytes;
+    if (observer_) {
+      observer_(used_, -static_cast<std::int64_t>(entries_[idx].bytes));
+    }
   }
 
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::size_t peak_ = 0;
   std::vector<Entry> entries_;
+  std::function<void(std::size_t, std::int64_t)> observer_;
 };
 
 }  // namespace xt::ss

@@ -33,6 +33,11 @@ class MetricsRegistry;
 class ProvenanceLog;
 }  // namespace xt::telemetry
 
+namespace xt::fault {
+class Injector;
+class InvariantChecker;
+}  // namespace xt::fault
+
 namespace xt::sim {
 
 class Trace;
@@ -119,6 +124,17 @@ class Engine {
   void set_provenance(telemetry::ProvenanceLog* p) { provenance_ = p; }
   bool provenance_enabled() const { return provenance_ != nullptr; }
 
+  /// Fault injector for this simulation; null (the default) means no
+  /// faults.  Layers hosting an injection point consult it through this
+  /// pointer, so the zero-fault fast path costs a null check (the same
+  /// contract as the trace and provenance sinks).
+  fault::Injector* fault_injector() const { return fault_injector_; }
+  void set_fault_injector(fault::Injector* i) { fault_injector_ = i; }
+
+  /// Stack-wide invariant checker; null (the default) disables checking.
+  fault::InvariantChecker* invariants() const { return invariants_; }
+  void set_invariants(fault::InvariantChecker* c) { invariants_ = c; }
+
  private:
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
@@ -166,6 +182,8 @@ class Engine {
   LogLevel log_threshold_;
   std::unique_ptr<telemetry::MetricsRegistry> metrics_;
   telemetry::ProvenanceLog* provenance_ = nullptr;
+  fault::Injector* fault_injector_ = nullptr;
+  fault::InvariantChecker* invariants_ = nullptr;
 };
 
 }  // namespace xt::sim

@@ -16,6 +16,7 @@ const char* stage_name(Stage s) {
     case Stage::kFwTxCmd: return "fw_tx_cmd";
     case Stage::kTxDma: return "tx_dma";
     case Stage::kWireHeader: return "wire_header";
+    case Stage::kRetransmit: return "retransmit";
     case Stage::kRxNicHeader: return "rx_nic_header";
     case Stage::kRxNicComplete: return "rx_nic_complete";
     case Stage::kFwRxHeader: return "fw_rx_header";

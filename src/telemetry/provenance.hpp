@@ -43,6 +43,8 @@ enum class Stage : std::uint8_t {
   kFwTxCmd,           // firmware picked the Tx command off the mailbox
   kTxDma,             // Tx DMA program started
   kWireHeader,        // header handed to the link (HT read done)
+  kRetransmit,        // go-back-n resent the message (fault recovery);
+                      // the interval charged here is the recovery latency
   kRxNicHeader,       // header arrived at the destination NIC
   kRxNicComplete,     // last payload flit arrived at the destination NIC
   kFwRxHeader,        // destination firmware parsed the header

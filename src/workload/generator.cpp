@@ -7,6 +7,7 @@
 
 #include "portals/api.hpp"
 #include "sim/condition.hpp"
+#include "sim/strf.hpp"
 #include "sim/task.hpp"
 #include "telemetry/hooks.hpp"
 #include "telemetry/metrics.hpp"
@@ -415,6 +416,24 @@ WorkloadResult run_workload(harness::Instance& inst,
     if (!s.done(ctx) || !s.pending.empty()) res.complete = false;
     res.latency_ps.insert(res.latency_ps.end(), s.lat_ps.begin(),
                           s.lat_ps.end());
+  }
+  if (!res.complete) {
+    // Classify the shortfall: a panicked node is a hard failure, a sender
+    // still holding in-flight slots at quiescence is a stranded initiator,
+    // anything else is plain missing deliveries (loss with no recovery).
+    res.failure = inst.machine().first_panic();
+    for (int r = 0; res.failure.empty() && r < spec.ranks; ++r) {
+      const RankState& s = st[static_cast<std::size_t>(r)];
+      if (s.inflight > 0 || !s.pending.empty()) {
+        res.failure = sim::strf(
+            "stranded initiator: rank %d quiesced with %d in flight, %zu "
+            "request(s) unresolved",
+            r, s.inflight, s.pending.size());
+      }
+    }
+    if (res.failure.empty()) {
+      res.failure = "incomplete: expected events still missing at quiescence";
+    }
   }
 
   telemetry::MetricsRegistry& reg = ctx.eng->metrics();

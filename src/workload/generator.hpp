@@ -32,6 +32,7 @@
 // counts messages not yet *delivered*, not merely not yet transmitted.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "harness/scenario.hpp"
@@ -81,6 +82,12 @@ struct WorkloadResult {
   /// with expected events still missing — e.g. messages lost with no
   /// recovery protocol enabled.
   bool complete = false;
+  /// Empty when complete; otherwise a classification of why the run fell
+  /// short — "node N panicked: ...", "stranded initiator: rank R ..." or
+  /// "incomplete: ..." — so sweeps can report the reason per point instead
+  /// of asserting.  Never printed by the stock benches (their stdout stays
+  /// byte-identical); consumers opt in.
+  std::string failure;
   sim::Time span{};  ///< traffic-phase duration (setup excluded)
   /// Open loop: the last scheduled arrival offset — the injection horizon
   /// the finite sample actually offered.  sent / sched_span is the

@@ -35,7 +35,11 @@ LoadCurve run_load_sweep(const LoadSweepSpec& spec) {
   LoadCurve curve;
   curve.points = harness::SweepRunner(spec.jobs).run(std::move(tasks));
   for (std::size_t i = 0; i < curve.points.size(); ++i) {
-    const LoadPoint& p = curve.points[i];
+    LoadPoint& p = curve.points[i];
+    // A run that fell short for a *reported* reason (stranded initiator,
+    // node panic) is a failure, not the saturation knee — leave it to the
+    // caller via p.result.failure and keep scanning.
+    if (!p.result.failure.empty()) continue;
     // Compare against the offered rate the finite schedule realized, not
     // the nominal ladder rung — a short exponential sample's horizon sits
     // above n/rate, deflating the nominal delivered/offered ratio even
@@ -46,6 +50,12 @@ LoadCurve run_load_sweep(const LoadSweepSpec& spec) {
       curve.saturation_index = static_cast<int>(i);
       curve.saturation_msgs_per_sec = p.result.delivered_per_sec();
       break;
+    }
+  }
+  if (curve.saturation_index >= 0) {
+    for (std::size_t i = static_cast<std::size_t>(curve.saturation_index);
+         i < curve.points.size(); ++i) {
+      curve.points[i].saturated = true;
     }
   }
   return curve;

@@ -23,6 +23,11 @@ namespace xt::workload {
 struct LoadPoint {
   double offered_msgs_per_sec = 0.0;
   WorkloadResult result;
+  /// True for the knee point and every rung above it: under-delivery here
+  /// is *saturation by design* (the open-loop cap throttling injection),
+  /// not a stack failure.  A point with result.failure non-empty fell
+  /// short for a reported reason (stranded initiator, panic) instead.
+  bool saturated = false;
 };
 
 struct LoadCurve {

@@ -1,0 +1,27 @@
+# Byte-for-byte golden-output check: runs ${BIN} ${ARGS} and fails unless
+# its stdout is identical to ${GOLDEN}.  The benches promise deterministic
+# stdout for a fixed seed at any --jobs, so any diff is a behavior change —
+# regenerate the golden (see tests/golden/README.md) only when the change
+# is intentional.
+foreach(var BIN GOLDEN)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+separate_arguments(arglist UNIX_COMMAND "${ARGS}")
+
+execute_process(COMMAND ${BIN} ${arglist}
+  OUTPUT_VARIABLE got RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} ${ARGS} exited ${rc}:\n${got}")
+endif()
+
+file(READ ${GOLDEN} want)
+if(NOT got STREQUAL want)
+  string(LENGTH "${got}" got_len)
+  string(LENGTH "${want}" want_len)
+  message(FATAL_ERROR
+    "output of ${BIN} ${ARGS} differs from ${GOLDEN} "
+    "(${got_len} vs ${want_len} bytes).\n"
+    "--- got ---\n${got}\n--- want ---\n${want}")
+endif()

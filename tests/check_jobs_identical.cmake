@@ -1,0 +1,24 @@
+# Runs the scenario fuzzer serially and with a worker pool and fails unless
+# both produce byte-identical stdout — the determinism contract reproducer
+# lines depend on.  Invoked by ctest (see tests/CMakeLists.txt).
+foreach(var FUZZ SEEDS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${FUZZ} --seeds ${SEEDS} --jobs 1
+  OUTPUT_VARIABLE serial RESULT_VARIABLE rc1)
+execute_process(COMMAND ${FUZZ} --seeds ${SEEDS} --jobs 4
+  OUTPUT_VARIABLE parallel RESULT_VARIABLE rc2)
+
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR
+    "fuzz_scenarios failed (serial rc=${rc1}, parallel rc=${rc2}):\n"
+    "${serial}\n---\n${parallel}")
+endif()
+if(NOT serial STREQUAL parallel)
+  message(FATAL_ERROR
+    "fuzz output differs between --jobs 1 and --jobs 4:\n"
+    "${serial}\n---\n${parallel}")
+endif()

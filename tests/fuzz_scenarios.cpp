@@ -1,0 +1,277 @@
+// Scenario fuzzer: random (pattern x transport config x FaultPlan) tuples,
+// invariants armed, replayable from a one-line reproducer.
+//
+// Every tuple is a pure function of its 64-bit seed, and every run of a
+// tuple is deterministic (single-threaded event loop, all randomness from
+// forked sim::Rng streams), so:
+//   * `fuzz_scenarios --seeds N` explores N tuples, fanned out over --jobs
+//     workers with input-ordered results — stdout is byte-identical for any
+//     --jobs value;
+//   * a failure prints `--seed S --faults "<plan>"`, and replaying exactly
+//     that line reproduces the failing run bit-for-bit.
+//
+// A seed FAILS when the InvariantChecker collected violations, when a
+// firmware panicked for a reason fault injection cannot explain, or when
+// the run threw.  Incomplete delivery is NOT a failure by itself: plans
+// without go-back-n lose messages by design; the invariants assert those
+// losses are *accounted* (explicit failure events, no stranded initiators,
+// conservation balance), which is the property under test.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+#include "sim/rng.hpp"
+#include "sim/strf.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using xt::fault::FaultPlan;
+
+struct Tuple {
+  xt::workload::WorkloadSpec spec;
+  xt::host::ProcMode mode = xt::host::ProcMode::kUser;
+  xt::ss::Config cfg{};
+  FaultPlan plan{};
+  std::uint64_t scenario_seed = 1;
+};
+
+/// Derives the whole tuple from one seed.  Changing this function changes
+/// what every seed means, so reproducer lines are only stable within one
+/// build — which is all a fuzzer needs.
+Tuple derive(std::uint64_t seed) {
+  xt::sim::Rng rng(seed ^ 0x5eedf0cc1aull);
+  Tuple t;
+
+  t.cfg.gobackn = rng.chance(0.5);
+  t.mode = rng.chance(0.3) ? xt::host::ProcMode::kAccel
+                           : xt::host::ProcMode::kUser;
+
+  using PK = xt::workload::PatternKind;
+  static constexpr PK kPats[] = {PK::kUniform, PK::kHalo3d, PK::kPermutation,
+                                 PK::kIncast, PK::kRpc};
+  t.spec.pattern = kPats[rng.below(5)];
+  t.spec.ranks = rng.chance(0.5) ? 4 : 8;
+  t.spec.bytes = 64u << rng.below(6);  // 64 B .. 2 KB
+  t.spec.msgs_per_sender = 10 + static_cast<int>(rng.below(30));
+  t.spec.loop = rng.chance(0.5) ? xt::workload::Loop::kOpen
+                                : xt::workload::Loop::kClosed;
+  t.spec.offered_msgs_per_sec = 2e5 + rng.uniform01() * 8e5;
+  t.spec.outstanding = 2 + static_cast<int>(rng.below(5));
+  // Without retransmission, lost deliveries must still terminate the run:
+  // pace on send-end and let receivers count dropped attempts.
+  t.spec.count_drops = !t.cfg.gobackn;
+  t.spec.seed = rng.u64();
+  t.scenario_seed = rng.u64();
+
+  const std::uint32_t allowed =
+      t.cfg.gobackn ? xt::fault::kAllKinds : xt::fault::kNoRetryKinds;
+  std::uint32_t kinds = 0;
+  for (std::uint32_t bit = 1; bit <= xt::fault::kNodeDeath; bit <<= 1) {
+    if ((allowed & bit) != 0 && rng.chance(0.25)) kinds |= bit;
+  }
+  if (kinds == 0) kinds = xt::fault::kDrop;  // at least one rate fault
+  t.plan.kinds = kinds;
+  t.plan.seed = rng.u64();
+  t.plan.rate = 0.002 + rng.uniform01() * 0.03;
+  t.plan.horizon_ns = 500'000;
+  // Keep the quiesce horizon short: every armed timeout extends the run.
+  t.plan.ack_timeout_ns = 20'000'000;
+  if ((kinds & xt::fault::kNodeDeath) != 0) {
+    t.plan.death_node = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(t.spec.ranks)));
+    t.plan.death_at_ns = 50'000 + rng.below(150'000);
+    t.plan.revive_after_ns = rng.chance(0.5) ? 100'000 : 0;
+  }
+  return t;
+}
+
+struct SeedResult {
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string line;    ///< one printable summary line
+  std::string detail;  ///< violations / reproducer on failure
+};
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+SeedResult run_one(std::uint64_t seed, const FaultPlan* plan_override) {
+  Tuple t = derive(seed);
+  if (plan_override != nullptr) t.plan = *plan_override;
+
+  SeedResult r;
+  r.seed = seed;
+  const std::string repro = xt::sim::strf(
+      "  reproduce: fuzz_scenarios --seed %llu --faults \"%s\"",
+      static_cast<unsigned long long>(seed), t.plan.to_cli().c_str());
+  try {
+    xt::harness::Scenario sc = xt::workload::workload_scenario(
+        t.spec, t.mode, t.cfg, t.scenario_seed);
+    sc.with_faults(t.plan);
+    auto inst = sc.build();
+    const xt::workload::WorkloadResult res =
+        xt::workload::run_workload(*inst, t.spec);
+
+    xt::fault::InvariantChecker* chk = inst->invariants();
+    // A panicked firmware is a dead node as far as conservation goes: its
+    // in-flight messages can never settle.  Whether the panic itself was
+    // acceptable is judged separately below.
+    for (std::size_t n = 0; n < inst->machine().node_count(); ++n) {
+      if (inst->machine().node(static_cast<xt::net::NodeId>(n))
+              .firmware()
+              .panicked()) {
+        chk->node_died(static_cast<std::uint32_t>(n));
+      }
+    }
+    chk->finish();
+
+    std::vector<std::string> problems = chk->violations();
+    const std::string panic = inst->machine().first_panic();
+    // Acceptable deaths: the plan's injected kill, and — without go-back-n
+    // only — resource exhaustion, which panics by design (incast overload
+    // has nowhere to push back without a retry protocol).
+    const bool panic_excused =
+        panic.empty() ||
+        panic.find("fault injection: node killed") != std::string::npos ||
+        (!t.cfg.gobackn &&
+         (panic.find("exhausted") != std::string::npos ||
+          panic.find("out of RX pendings") != std::string::npos));
+    if (!panic_excused) problems.push_back("unexpected panic: " + panic);
+
+    const xt::fault::Injector::Totals tot = inst->injector()->totals();
+    const std::uint64_t injected = tot.drops + tot.scripted_drops +
+                                   tot.reorders + tot.silent_corrupts +
+                                   tot.corrupt_bursts + tot.sram_denials +
+                                   tot.irq_dropped + tot.irq_delayed +
+                                   tot.stalls + tot.kills + tot.revives;
+
+    std::uint64_t digest = 0xcbf29ce484222325ull;
+    digest = fnv(digest, res.sent);
+    digest = fnv(digest, res.delivered);
+    digest = fnv(digest, res.dropped);
+    digest = fnv(digest, chk->accepted());
+    digest = fnv(digest, chk->delivered());
+    digest = fnv(digest, chk->failed());
+    digest = fnv(digest, injected);
+    digest = fnv(digest, tot.ack_timeouts);
+    digest = fnv(digest,
+                 static_cast<std::uint64_t>(inst->engine().now().to_ps()));
+
+    r.ok = problems.empty();
+    r.line = xt::sim::strf(
+        "seed %4llu %s %-11s ranks=%d %s%s sent=%llu delivered=%llu "
+        "faults=%llu timeouts=%llu digest=%016llx",
+        static_cast<unsigned long long>(seed), r.ok ? "ok  " : "FAIL",
+        xt::workload::pattern_name(t.spec.pattern), t.spec.ranks,
+        t.cfg.gobackn ? "gbn" : "raw",
+        t.mode == xt::host::ProcMode::kAccel ? "+accel" : "",
+        static_cast<unsigned long long>(res.sent),
+        static_cast<unsigned long long>(res.delivered),
+        static_cast<unsigned long long>(injected),
+        static_cast<unsigned long long>(tot.ack_timeouts),
+        static_cast<unsigned long long>(digest));
+    if (!r.ok) {
+      for (const std::string& v : problems) r.detail += "  ! " + v + "\n";
+      r.detail += repro + "\n";
+    }
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.line = xt::sim::strf("seed %4llu FAIL (exception)",
+                           static_cast<unsigned long long>(seed));
+    r.detail = std::string("  ! threw: ") + e.what() + "\n" + repro + "\n";
+  }
+  return r;
+}
+
+[[noreturn]] void usage(int rc) {
+  std::fprintf(stderr,
+               "usage: fuzz_scenarios [--seeds N] [--seed S] [--base B]\n"
+               "                      [--faults SPEC] [--jobs N]\n"
+               "  --seeds N     fuzz seeds B..B+N-1 (default 20)\n"
+               "  --seed S      run exactly one seed (replay mode)\n"
+               "  --base B      first seed of the range (default 1)\n"
+               "  --faults SPEC override the derived fault plan (replay)\n"
+               "  --jobs N      worker threads; output identical for any N\n");
+  std::exit(rc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 20, jobs = 0;
+  std::uint64_t base = 1;
+  bool single = false;
+  std::uint64_t single_seed = 0;
+  FaultPlan override_plan;
+  bool have_override = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--seed") == 0 && i + 1 < argc) {
+      single = true;
+      single_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(a, "--base") == 0 && i + 1 < argc) {
+      base = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(a, "--faults") == 0 && i + 1 < argc) {
+      if (!FaultPlan::parse(argv[++i], &override_plan)) {
+        std::fprintf(stderr, "bad --faults spec '%s'\n", argv[i]);
+        return 2;
+      }
+      have_override = true;
+    } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(a, "--help") == 0) {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a);
+      usage(2);
+    }
+  }
+
+  std::vector<std::uint64_t> todo;
+  if (single) {
+    todo.push_back(single_seed);
+  } else {
+    for (int i = 0; i < seeds; ++i) {
+      todo.push_back(base + static_cast<std::uint64_t>(i));
+    }
+  }
+
+  const FaultPlan* ovr = have_override ? &override_plan : nullptr;
+  std::vector<std::function<SeedResult()>> tasks;
+  tasks.reserve(todo.size());
+  for (const std::uint64_t s : todo) {
+    tasks.push_back([s, ovr] { return run_one(s, ovr); });
+  }
+  const std::vector<SeedResult> results =
+      xt::harness::SweepRunner(jobs).run(std::move(tasks));
+
+  int failures = 0;
+  for (const SeedResult& r : results) {
+    std::printf("%s\n", r.line.c_str());
+    if (!r.ok) {
+      ++failures;
+      std::fputs(r.detail.c_str(), stdout);
+    }
+  }
+  std::printf("fuzz: %zu seed(s), %d failure(s)\n", results.size(), failures);
+  return failures == 0 ? 0 : 1;
+}

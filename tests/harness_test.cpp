@@ -33,13 +33,18 @@ TEST(Scenario, PairBuildsTwoNeighborProcesses) {
 TEST(Scenario, BuilderAppliesConfigOsAndMode) {
   ss::Config cfg;
   cfg.inline_payload_max = 7;
-  auto inst = harness::Scenario::pair(host::ProcMode::kAccel)
+  auto inst = harness::Scenario::pair(host::ProcMode::kUser)
                   .with_config(cfg)
                   .with_os(host::OsType::kLinux)
                   .with_seed(42)
                   .build();
-  EXPECT_EQ(inst->proc(0).mode(), host::ProcMode::kAccel);
+  EXPECT_EQ(inst->proc(0).mode(), host::ProcMode::kUser);
   EXPECT_EQ(inst->machine().node(0).os(), host::OsType::kLinux);
+  // Accelerated mode asserts Catamount (physically contiguous memory,
+  // §3.3), so request it on the default OS.
+  auto accel = harness::Scenario::pair(host::ProcMode::kAccel).build();
+  EXPECT_EQ(accel->proc(0).mode(), host::ProcMode::kAccel);
+  EXPECT_EQ(accel->machine().node(0).os(), host::OsType::kCatamount);
 }
 
 TEST(Scenario, IncastSpansAllNodes) {

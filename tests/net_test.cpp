@@ -5,12 +5,17 @@
 #include <cstring>
 #include <numeric>
 
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
+#include "harness/scenario.hpp"
 #include "net/coord.hpp"
 #include "net/crc.hpp"
 #include "net/link.hpp"
 #include "net/network.hpp"
 #include "net/routing.hpp"
 #include "sim/rng.hpp"
+#include "workload/generator.hpp"
 
 namespace xt::net {
 namespace {
@@ -408,6 +413,99 @@ TEST(NetworkProperty, AllPairsRouteOnRedStormShape) {
     }
   }
 }
+
+// ------------------------------------- go-back-n edge cases under loss ----
+//
+// Table-driven full-stack scenarios: a 2-node incast (rank 1 streams to
+// rank 0) with go-back-n on and *scripted* drops — exact wire-message
+// indices in (src, dst) injection order, so each case deterministically
+// provokes one recovery path.  Retransmits are themselves wire messages
+// and count against later indices, which is how a case expresses "drop the
+// retransmit too".  Every case must end lossless with the expected number
+// of rewinds.
+
+namespace gbn_edge {
+
+struct GbnCase {
+  const char* name;
+  std::vector<fault::ScriptedDrop> drops;
+  std::uint64_t min_rewinds;  ///< recovery attempts the case must provoke
+};
+
+std::vector<fault::ScriptedDrop> drop_range(std::uint32_t lo,
+                                            std::uint32_t hi) {
+  std::vector<fault::ScriptedDrop> v;
+  for (std::uint32_t n = lo; n < hi; ++n) v.push_back({1, 0, n});
+  return v;
+}
+
+class GbnEdge : public ::testing::TestWithParam<GbnCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GbnEdge,
+    ::testing::Values(
+        // One lost first transmission: NACK/watchdog rewinds once.
+        GbnCase{"single_loss", {{1, 0, 2}}, 1},
+        // A second loss lands while the first rewind is in flight: the
+        // in-progress rewind absorbs it (or the watchdog catches it) —
+        // retransmit-during-retransmit must not wedge the stream.
+        GbnCase{"loss_during_rewind", {{1, 0, 1}, {1, 0, 4}}, 1},
+        // Drop the first transmissions AND the entire first retransmit
+        // burst (wire messages 12..19 are the rewind of seq 2..9): the
+        // double fault forces a second full rewind.
+        GbnCase{"dropped_retransmit_double_fault", drop_range(2, 20), 2},
+        // A long outage: three consecutive rewind bursts are lost, so the
+        // watchdog's exponential backoff must escalate toward its ceiling
+        // and the stream still recovers once the outage lifts.
+        GbnCase{"long_outage_backoff_escalation", drop_range(2, 34), 3}),
+    [](const ::testing::TestParamInfo<GbnCase>& pinfo) {
+      return pinfo.param.name;
+    });
+
+TEST_P(GbnEdge, RecoversLosslessly) {
+  const GbnCase& tc = GetParam();
+
+  workload::WorkloadSpec spec;
+  spec.pattern = workload::PatternKind::kIncast;  // rank 1 -> rank 0 only
+  spec.ranks = 2;
+  spec.bytes = 1024;
+  spec.msgs_per_sender = 12;
+  spec.loop = workload::Loop::kClosed;
+  spec.outstanding = 12;  // all first transmissions go out as 0..11
+  spec.seed = 7;
+
+  ss::Config cfg;
+  cfg.gobackn = true;
+
+  fault::FaultPlan plan;  // no rate faults: only the scripted drops
+  plan.scripted_drops = tc.drops;
+
+  harness::Scenario sc =
+      workload::workload_scenario(spec, host::ProcMode::kUser, cfg, 3);
+  sc.with_faults(plan);
+  auto inst = sc.build();
+  const workload::WorkloadResult res = workload::run_workload(*inst, spec);
+
+  // Lossless recovery, and the invariant checker saw nothing wrong.
+  EXPECT_TRUE(res.complete) << res.failure;
+  EXPECT_EQ(res.delivered, res.sent);
+  inst->invariants()->finish();
+  EXPECT_TRUE(inst->invariants()->ok())
+      << inst->invariants()->violations().front();
+
+  // Every scripted drop actually hit its wire message.
+  EXPECT_EQ(inst->injector()->totals().scripted_drops, tc.drops.size());
+
+  // The sender's firmware went through the expected recovery motions.
+  const auto c = inst->machine().node(1).firmware().counters();
+  EXPECT_GE(c.rewinds, tc.min_rewinds) << "retransmits=" << c.retransmits;
+  EXPECT_GE(c.retransmits, static_cast<std::uint64_t>(1));
+  for (NodeId n = 0; n < 2; ++n) {
+    EXPECT_FALSE(inst->machine().node(n).firmware().panicked());
+  }
+}
+
+}  // namespace gbn_edge
 
 }  // namespace
 }  // namespace xt::net

@@ -1,17 +1,33 @@
 // Property-based tests: randomized traffic and parameter sweeps over the
 // full stack, checking the invariants the design promises rather than
 // specific scenarios.
+//
+// The second half is the fault-layer property suite: each property derives
+// 32 seeded (workload x transport x FaultPlan) cases, runs them with the
+// InvariantChecker armed, and on failure shrinks the plan's scripted-drop
+// list one event at a time while the failure still reproduces, so the
+// assertion message carries a minimal `--faults` reproducer.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
+#include "harness/scenario.hpp"
 #include "host/node.hpp"
 #include "mpi/mpi.hpp"
 #include "portals/api.hpp"
 #include "sim/rng.hpp"
+#include "sim/strf.hpp"
+#include "telemetry/metrics.hpp"
+#include "workload/generator.hpp"
 
 namespace xt {
 namespace {
@@ -454,6 +470,505 @@ TEST_P(FaultSweep, LinkCrcRetriesKeepDeliveryLossless) {
   EXPECT_EQ(delivered, kMsgs);
   EXPECT_EQ(m.node(1).nic().crc_drops(), 0u);  // nothing slipped through
 }
+
+// ------------------------------------------- fault-layer property suite ----
+
+namespace faultprop {
+
+constexpr std::uint64_t kSeedsPerProperty = 32;
+
+/// One concrete case: a workload, a transport configuration and a fault
+/// plan, all pure functions of the property seed.
+struct Case {
+  workload::WorkloadSpec spec;
+  host::ProcMode mode = host::ProcMode::kUser;
+  ss::Config cfg{};
+  fault::FaultPlan plan{};
+  std::uint64_t scenario_seed = 1;
+};
+
+struct Outcome {
+  workload::WorkloadResult res;
+  fault::Injector::Totals tot{};
+  std::vector<std::string> violations;
+  std::uint64_t accepted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t failed = 0;
+  std::string panic;
+  std::int64_t end_ps = 0;
+  std::map<std::string, std::uint64_t> counters;  ///< fault.* registry view
+};
+
+constexpr const char* kFaultCounters[] = {
+    "fault.drops",        "fault.scripted_drops", "fault.reorders",
+    "fault.silent_corrupts", "fault.corrupt_bursts", "fault.sram_denials",
+    "fault.irq_dropped",  "fault.irq_delayed",    "fault.fw_stalls",
+    "fault.node_kills",   "fault.node_revives",   "fault.ack_timeouts"};
+
+Outcome run_case(const Case& c) {
+  harness::Scenario sc =
+      workload::workload_scenario(c.spec, c.mode, c.cfg, c.scenario_seed);
+  sc.with_faults(c.plan);
+  auto inst = sc.build();
+  Outcome o;
+  o.res = workload::run_workload(*inst, c.spec);
+  fault::InvariantChecker* chk = inst->invariants();
+  // A panicked firmware is a dead node for conservation purposes: its
+  // in-flight messages can never settle.  Whether the panic itself is a
+  // failure is each property's call (via Outcome::panic).
+  for (std::size_t n = 0; n < inst->machine().node_count(); ++n) {
+    if (inst->machine()
+            .node(static_cast<net::NodeId>(n))
+            .firmware()
+            .panicked()) {
+      chk->node_died(static_cast<std::uint32_t>(n));
+    }
+  }
+  chk->finish();
+  o.violations = chk->violations();
+  o.accepted = chk->accepted();
+  o.delivered = chk->delivered();
+  o.failed = chk->failed();
+  o.panic = inst->machine().first_panic();
+  o.tot = inst->injector()->totals();
+  o.end_ps = inst->engine().now().to_ps();
+  for (const char* name : kFaultCounters) {
+    o.counters[name] = inst->engine().metrics().counter(name).value;
+  }
+  return o;
+}
+
+/// A check returns "" when the property holds, else a description of what
+/// broke (which doubles as the shrinker's failure oracle).
+using Check = std::function<std::string(const Case&, const Outcome&)>;
+
+/// Greedy event-level shrinking: repeatedly drop one scripted-drop entry
+/// as long as the check still fails.  Rate faults are seed-derived and not
+/// individually removable, so the scripted list is the shrinkable part.
+fault::FaultPlan shrink_plan(const Case& base, const Check& check) {
+  fault::FaultPlan plan = base.plan;
+  bool shrunk = true;
+  while (shrunk && !plan.scripted_drops.empty()) {
+    shrunk = false;
+    for (std::size_t k = 0; k < plan.scripted_drops.size(); ++k) {
+      fault::FaultPlan cand = plan;
+      cand.scripted_drops.erase(cand.scripted_drops.begin() +
+                                static_cast<std::ptrdiff_t>(k));
+      Case cc = base;
+      cc.plan = cand;
+      if (!check(cc, run_case(cc)).empty()) {
+        plan = std::move(cand);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+void run_property(const char* name,
+                  const std::function<Case(std::uint64_t)>& make,
+                  const Check& check) {
+  for (std::uint64_t seed = 1; seed <= kSeedsPerProperty; ++seed) {
+    Case c = make(seed);
+    const std::string why = check(c, run_case(c));
+    if (why.empty()) continue;
+    const fault::FaultPlan minimal = shrink_plan(c, check);
+    FAIL() << name << " failed at seed " << seed << ": " << why
+           << "\n  minimal reproducer: --faults \"" << minimal.to_cli()
+           << "\" (scenario_seed=" << c.scenario_seed
+           << " spec.seed=" << c.spec.seed << ")";
+    return;  // first failing seed is enough; the reproducer pins it
+  }
+}
+
+/// Small, fast default case; properties override what they stress.
+Case small_case(std::uint64_t seed) {
+  Case c;
+  c.spec.pattern = workload::PatternKind::kUniform;
+  c.spec.ranks = 4;
+  c.spec.bytes = 512;
+  c.spec.msgs_per_sender = 12;
+  c.spec.loop = workload::Loop::kClosed;
+  c.spec.outstanding = 4;
+  c.spec.seed = seed * 977 + 11;
+  c.scenario_seed = seed * 131 + 7;
+  c.plan.seed = seed;
+  c.plan.rate = 0.02;
+  c.plan.ack_timeout_ns = 10'000'000;
+  return c;
+}
+
+std::string violations_or_panic(const Outcome& o) {
+  if (!o.violations.empty()) {
+    return "invariant violated: " + o.violations.front();
+  }
+  if (!o.panic.empty()) return "unexpected panic: " + o.panic;
+  return {};
+}
+
+/// Full delivery: the recovery protocol hid every injected fault.
+std::string lossless(const Case&, const Outcome& o) {
+  if (std::string s = violations_or_panic(o); !s.empty()) return s;
+  if (!o.res.complete) return "run incomplete: " + o.res.failure;
+  if (o.res.delivered != o.res.sent) {
+    return sim::strf("delivered %llu of %llu sent",
+                     static_cast<unsigned long long>(o.res.delivered),
+                     static_cast<unsigned long long>(o.res.sent));
+  }
+  return {};
+}
+
+// Property: with go-back-n on, whole-message drops are invisible to the
+// application — every accepted message is delivered exactly once.
+TEST(FaultProperty, GobacknDeliversAllUnderDrops) {
+  run_property(
+      "GobacknDeliversAllUnderDrops",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.cfg.gobackn = true;
+        c.mode = (seed % 2 == 0) ? host::ProcMode::kAccel
+                                 : host::ProcMode::kUser;
+        c.plan.kinds = fault::kDrop;
+        c.plan.rate = 0.03;
+        return c;
+      },
+      lossless);
+}
+
+// Property: corruption — both CRC-16-visible bursts and CRC-16-evading
+// silent flips — never costs a message under go-back-n; the link retry and
+// the e2e CRC-32 + retransmit paths recover everything.
+TEST(FaultProperty, GobacknDeliversAllUnderCorruption) {
+  run_property(
+      "GobacknDeliversAllUnderCorruption",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.cfg.gobackn = true;
+        c.mode = (seed % 2 == 0) ? host::ProcMode::kAccel
+                                 : host::ProcMode::kUser;
+        c.plan.kinds = fault::kLinkCorrupt | fault::kSilentCorrupt;
+        c.plan.rate = 0.03;
+        return c;
+      },
+      lossless);
+}
+
+// Property: transient SRAM allocation failures are NACKed and retried, not
+// lost — and the SRAM ledger invariant stays balanced throughout.
+TEST(FaultProperty, GobacknSurvivesSramDenials) {
+  run_property(
+      "GobacknSurvivesSramDenials",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.cfg.gobackn = true;
+        c.mode = (seed % 2 == 0) ? host::ProcMode::kAccel
+                                 : host::ProcMode::kUser;
+        c.plan.kinds = fault::kSramFail;
+        c.plan.rate = 0.05;
+        return c;
+      },
+      lossless);
+}
+
+// Property: reordering alone never loses a message, even without any retry
+// protocol (delivery order is not a Portals guarantee, delivery is).
+TEST(FaultProperty, ReorderNeverLosesMessages) {
+  run_property(
+      "ReorderNeverLosesMessages",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.mode = (seed % 2 == 0) ? host::ProcMode::kAccel
+                                 : host::ProcMode::kUser;
+        c.plan.kinds = fault::kReorder;
+        c.plan.rate = 0.05;
+        return c;
+      },
+      lossless);
+}
+
+// Property: a silently corrupted message (CRC-16-evading) is never
+// delivered as data — the e2e CRC-32 fails it explicitly, and the failure
+// count matches the injection count exactly.
+TEST(FaultProperty, SilentCorruptionNeverDeliveredRaw) {
+  run_property(
+      "SilentCorruptionNeverDeliveredRaw",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.spec.count_drops = true;  // no retry: pace on send-end
+        c.plan.kinds = fault::kSilentCorrupt;
+        c.plan.rate = 0.04;
+        return c;
+      },
+      [](const Case&, const Outcome& o) -> std::string {
+        if (std::string s = violations_or_panic(o); !s.empty()) return s;
+        if (o.failed != o.tot.silent_corrupts ||
+            o.res.dropped != o.tot.silent_corrupts ||
+            o.res.delivered != o.res.sent - o.tot.silent_corrupts) {
+          return sim::strf(
+              "corruption accounting off: %llu injected, %llu failed, "
+              "%llu dropped, %llu/%llu delivered",
+              static_cast<unsigned long long>(o.tot.silent_corrupts),
+              static_cast<unsigned long long>(o.failed),
+              static_cast<unsigned long long>(o.res.dropped),
+              static_cast<unsigned long long>(o.res.delivered),
+              static_cast<unsigned long long>(o.res.sent));
+        }
+        return {};
+      });
+}
+
+// Property: without retransmission, every router-egress drop is accounted:
+// delivered == sent - drops, and the loss shows up as an explicit
+// incomplete-run reason rather than a hang or an invariant violation.
+TEST(FaultProperty, DropsAccountedExactlyRaw) {
+  run_property(
+      "DropsAccountedExactlyRaw",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.spec.count_drops = true;
+        c.plan.kinds = fault::kDrop;
+        c.plan.rate = 0.04;
+        return c;
+      },
+      [](const Case&, const Outcome& o) -> std::string {
+        if (std::string s = violations_or_panic(o); !s.empty()) return s;
+        const std::uint64_t lost = o.tot.drops + o.tot.scripted_drops;
+        if (o.res.delivered != o.res.sent - lost) {
+          return sim::strf("delivered %llu, want %llu - %llu",
+                           static_cast<unsigned long long>(o.res.delivered),
+                           static_cast<unsigned long long>(o.res.sent),
+                           static_cast<unsigned long long>(lost));
+        }
+        if (lost > 0 && o.res.complete) {
+          return "run claims completion despite unrecovered losses";
+        }
+        if (lost > 0 && o.res.failure.empty()) {
+          return "incomplete run reported no failure reason";
+        }
+        return {};
+      });
+}
+
+// Property: late and lost host interrupts delay delivery (housekeeping
+// picks up lost ones) but never lose a message.  Generic mode only — the
+// accelerated path has no host interrupts to fault.
+TEST(FaultProperty, IrqFaultsNeverLoseMessages) {
+  run_property(
+      "IrqFaultsNeverLoseMessages",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.plan.kinds = fault::kIrqDelay | fault::kIrqDrop;
+        c.plan.rate = 0.10;
+        return c;
+      },
+      lossless);
+}
+
+// Property: every scheduled firmware stall fires exactly once, slows the
+// run but breaks nothing, and the fault.fw_stalls counter agrees.
+TEST(FaultProperty, FirmwareStallsFireExactly) {
+  run_property(
+      "FirmwareStallsFireExactly",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.plan.kinds = fault::kFwStall;
+        c.plan.stall_count = 3;
+        c.plan.stall_ns = 5'000;
+        c.plan.horizon_ns = 200'000;
+        return c;
+      },
+      [](const Case& c, const Outcome& o) -> std::string {
+        if (std::string s = lossless(c, o); !s.empty()) return s;
+        if (o.tot.stalls != 3 || o.counters.at("fault.fw_stalls") != 3) {
+          return sim::strf(
+              "expected 3 stalls, injector saw %llu, counter %llu",
+              static_cast<unsigned long long>(o.tot.stalls),
+              static_cast<unsigned long long>(
+                  o.counters.at("fault.fw_stalls")));
+        }
+        return {};
+      });
+}
+
+// Property: killing a node mid-run strands no initiator — every in-flight
+// op on a surviving node resolves (ack, go-back-n give-up, or the ack
+// timeout surfacing PTL_NI_FAIL_DROPPED), and conservation holds for the
+// survivors.  The only permitted panic is the injected kill itself.
+TEST(FaultProperty, NodeDeathNeverStrandsInitiators) {
+  run_property(
+      "NodeDeathNeverStrandsInitiators",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.cfg.gobackn = true;
+        c.plan.kinds = fault::kNodeDeath;
+        c.plan.rate = 0.0;
+        c.plan.death_node = static_cast<int>(seed % 4);
+        c.plan.death_at_ns = 40'000 + seed * 3'000;
+        c.plan.revive_after_ns = (seed % 3 == 0) ? 150'000 : 0;
+        c.plan.ack_timeout_ns = 5'000'000;
+        return c;
+      },
+      [](const Case& c, const Outcome& o) -> std::string {
+        if (!o.violations.empty()) {
+          return "invariant violated: " + o.violations.front();
+        }
+        // A revived node clears its panic, so judge mortality by the
+        // injector's books, and only accept the injected kill as a panic.
+        if (!o.panic.empty() &&
+            o.panic.find("fault injection: node killed") ==
+                std::string::npos) {
+          return "unexpected panic: " + o.panic;
+        }
+        const std::uint64_t want_revives =
+            c.plan.revive_after_ns > 0 ? 1u : 0u;
+        if (o.tot.kills != 1 || o.tot.revives != want_revives) {
+          return sim::strf("mortality off: %llu kill(s), %llu revive(s)",
+                           static_cast<unsigned long long>(o.tot.kills),
+                           static_cast<unsigned long long>(o.tot.revives));
+        }
+        return {};
+      });
+}
+
+// Property: the whole faulted run is a pure function of (scenario, plan) —
+// rerunning the same case is bit-identical in time, traffic and injected
+// fault totals.  This is what makes reproducer lines trustworthy.
+TEST(FaultProperty, SameSeedSamePlanBitIdentical) {
+  run_property(
+      "SameSeedSamePlanBitIdentical",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.cfg.gobackn = true;
+        c.plan.kinds = fault::kDrop | fault::kSilentCorrupt | fault::kReorder;
+        c.plan.rate = 0.03;
+        return c;
+      },
+      [](const Case& c, const Outcome& a) -> std::string {
+        const Outcome b = run_case(c);
+        if (a.end_ps != b.end_ps || a.res.sent != b.res.sent ||
+            a.res.delivered != b.res.delivered ||
+            a.res.dropped != b.res.dropped || a.counters != b.counters) {
+          return sim::strf(
+              "replay diverged: end %lld vs %lld ps, delivered %llu vs %llu",
+              static_cast<long long>(a.end_ps),
+              static_cast<long long>(b.end_ps),
+              static_cast<unsigned long long>(a.res.delivered),
+              static_cast<unsigned long long>(b.res.delivered));
+        }
+        return {};
+      });
+}
+
+// Property: the fault.* registry counters account for exactly the events
+// the injector reports — telemetry and injection never drift apart.
+TEST(FaultProperty, CountersMatchInjectorTotals) {
+  run_property(
+      "CountersMatchInjectorTotals",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.cfg.gobackn = true;
+        c.plan.kinds = fault::kDrop | fault::kReorder | fault::kSilentCorrupt |
+                       fault::kLinkCorrupt;
+        c.plan.rate = 0.03;
+        return c;
+      },
+      [](const Case& c, const Outcome& o) -> std::string {
+        if (std::string s = lossless(c, o); !s.empty()) return s;
+        const std::pair<const char*, std::uint64_t> want[] = {
+            {"fault.drops", o.tot.drops},
+            {"fault.scripted_drops", o.tot.scripted_drops},
+            {"fault.reorders", o.tot.reorders},
+            {"fault.silent_corrupts", o.tot.silent_corrupts},
+            {"fault.corrupt_bursts", o.tot.corrupt_bursts},
+            {"fault.sram_denials", o.tot.sram_denials},
+            {"fault.irq_dropped", o.tot.irq_dropped},
+            {"fault.irq_delayed", o.tot.irq_delayed},
+            {"fault.fw_stalls", o.tot.stalls},
+            {"fault.node_kills", o.tot.kills},
+            {"fault.node_revives", o.tot.revives},
+            {"fault.ack_timeouts", o.tot.ack_timeouts}};
+        for (const auto& [name, v] : want) {
+          if (o.counters.at(name) != v) {
+            return sim::strf("counter %s = %llu but injector says %llu", name,
+                             static_cast<unsigned long long>(
+                                 o.counters.at(name)),
+                             static_cast<unsigned long long>(v));
+          }
+        }
+        return {};
+      });
+}
+
+// Property: scripted drops hit exactly the wire messages they name — the
+// deterministic complement of the rate faults, and the contract the
+// go-back-n edge-case tests and the shrinker both lean on.
+TEST(FaultProperty, ScriptedDropsHitExactly) {
+  run_property(
+      "ScriptedDropsHitExactly",
+      [](std::uint64_t seed) {
+        Case c = small_case(seed);
+        c.spec.pattern = workload::PatternKind::kIncast;
+        c.spec.count_drops = true;
+        c.plan.kinds = 0;
+        c.plan.rate = 0.0;
+        const auto msgs = static_cast<std::uint32_t>(c.spec.msgs_per_sender);
+        c.plan.scripted_drops = {
+            {1, 0, static_cast<std::uint32_t>(seed) % msgs},
+            {2, 0, static_cast<std::uint32_t>(seed * 7) % msgs}};
+        return c;
+      },
+      [](const Case& c, const Outcome& o) -> std::string {
+        if (std::string s = violations_or_panic(o); !s.empty()) return s;
+        const auto planned =
+            static_cast<std::uint64_t>(c.plan.scripted_drops.size());
+        if (o.tot.scripted_drops != planned ||
+            o.res.delivered != o.res.sent - planned) {
+          return sim::strf(
+              "scripted %llu, hit %llu, delivered %llu of %llu",
+              static_cast<unsigned long long>(planned),
+              static_cast<unsigned long long>(o.tot.scripted_drops),
+              static_cast<unsigned long long>(o.res.delivered),
+              static_cast<unsigned long long>(o.res.sent));
+        }
+        return {};
+      });
+}
+
+// Meta-property: the shrinker minimizes.  Start from four scripted drops,
+// each individually sufficient to fail a "no loss" oracle, and check the
+// greedy pass shrinks the plan to exactly one event that still fails.
+TEST(FaultProperty, ShrinkerMinimizesScriptedPlan) {
+  Case base = small_case(1);
+  base.spec.pattern = workload::PatternKind::kIncast;
+  base.spec.count_drops = true;
+  base.plan.kinds = 0;
+  base.plan.rate = 0.0;
+  base.plan.scripted_drops = {{1, 0, 0}, {1, 0, 3}, {2, 0, 1}, {3, 0, 2}};
+
+  const faultprop::Check any_loss = [](const Case&,
+                                       const Outcome& o) -> std::string {
+    if (std::string s = violations_or_panic(o); !s.empty()) return s;
+    return o.res.delivered < o.res.sent ? "lost at least one message"
+                                        : std::string{};
+  };
+  ASSERT_FALSE(any_loss(base, run_case(base)).empty())
+      << "oracle must fail on the unshrunk plan";
+
+  const fault::FaultPlan minimal = shrink_plan(base, any_loss);
+  EXPECT_EQ(minimal.scripted_drops.size(), 1u)
+      << "shrinker left a non-minimal plan: " << minimal.to_cli();
+
+  // The survivor still fails, and removing it passes — true minimality.
+  Case one = base;
+  one.plan = minimal;
+  EXPECT_FALSE(any_loss(one, run_case(one)).empty());
+  Case none = base;
+  none.plan.scripted_drops.clear();
+  EXPECT_TRUE(any_loss(none, run_case(none)).empty());
+}
+
+}  // namespace faultprop
 
 }  // namespace
 }  // namespace xt
