@@ -161,7 +161,7 @@ int main(int argc, char** argv) {
               " end-to-end latency exactly, by construction — verified)\n");
 
   int rc = 0;
-  std::string json = "{\n  \"bench\": \"breakdown\",\n  \"points\": [\n";
+  std::string json = "{\n  \"bench\": \"breakdown\",\n  \"transport\": \"sim\",\n  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const PointSpec& p = points[i];
     const PointResult& r = results[i];

@@ -296,7 +296,7 @@ int main(int argc, char** argv) {
   std::printf("every offload point completed with 0 host interrupts\n");
 
   if (!o.json_path.empty()) {
-    std::string j = "{\n  \"bench\": \"coll_scaling\",\n";
+    std::string j = "{\n  \"bench\": \"coll_scaling\",\n  \"transport\": \"sim\",\n";
     j += sim::strf("  \"jobs\": %d,\n", o.jobs);
     j += sim::strf("  \"allreduce_count\": %u,\n", kAllreduceCount);
     j += sim::strf("  \"sram_footprint_bytes\": %zu,\n", any.sram_footprint);

@@ -99,6 +99,16 @@ Point run_point(const TransportConfig& tc, double rate,
 
 int main(int argc, char** argv) {
   const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
+  if (o.transport != "sim") {
+    std::fprintf(stderr,
+                 "fault_sweep: --transport udp is not supported — the fault "
+                 "injector scripts in-fabric events (router-egress drops, "
+                 "CRC-evading corruption) that only exist in the simulated "
+                 "SeaStar model; use --transport sim, or udp drop injection "
+                 "via the live benches (fig4/fig5/load_sweep --transport "
+                 "udp)\n");
+    return 2;
+  }
 
   const int ranks = o.ranks > 0 ? o.ranks : 8;
   const int msgs = o.quick ? 30 : 80;
@@ -215,7 +225,8 @@ int main(int argc, char** argv) {
   const std::string json = sim::strf(
       "{\n  \"bench\": \"fault_sweep\",\n  \"counters_ok\": %s,\n"
       "  \"curves\": [\n%s\n  ],\n  \"gbn_lossless\": %s,\n"
-      "  \"kinds\": \"%s\",\n  \"quick\": %s,\n  \"seed\": %llu\n}\n",
+      "  \"kinds\": \"%s\",\n  \"quick\": %s,\n  \"seed\": %llu,\n"
+      "  \"transport\": \"sim\"\n}\n",
       accounting_ok ? "true" : "false", curves_json.c_str(),
       gbn_lossless ? "true" : "false",
       fault::FaultPlan::kinds_str(plan.kinds).c_str(),

@@ -21,6 +21,7 @@
 #include "harness/options.hpp"
 #include "harness/sweep.hpp"
 #include "sim/strf.hpp"
+#include "workload/live.hpp"
 #include "workload/load_runner.hpp"
 
 namespace {
@@ -48,10 +49,99 @@ std::string point_json(const workload::LoadPoint& p) {
       us(r.percentile_ps(99)), static_cast<unsigned long long>(r.sent));
 }
 
+/// --transport udp: the same open-loop patterns as genuine multi-process
+/// traffic — each rank a real thread, offered-load pacing and latency both
+/// wall-clock.  One configuration (the live stack always runs go-back-n;
+/// there is no accel/generic split in a real process), serial points (they
+/// own the machine's cores while running).
+int run_live(const harness::BenchOptions& o) {
+  const int ranks = o.ranks > 0 ? o.ranks : 4;
+  const int msgs = o.quick ? 40 : 200;
+
+  std::vector<double> ladder;
+  if (o.offered_load > 0.0) {
+    ladder = {o.offered_load};
+  } else if (o.quick) {
+    ladder = {5e4, 2e5};
+  } else {
+    ladder = {5e4, 1e5, 2e5, 4e5};
+  }
+
+  std::vector<workload::PatternKind> patterns = {
+      workload::PatternKind::kUniform, workload::PatternKind::kHalo3d,
+      workload::PatternKind::kPermutation, workload::PatternKind::kIncast};
+  if (!o.pattern.empty()) {
+    const auto k = workload::pattern_from_name(o.pattern);
+    if (!k || *k == workload::PatternKind::kRpc) {
+      std::fprintf(stderr, "unsupported live pattern '%s'\n",
+                   o.pattern.c_str());
+      return 2;
+    }
+    patterns = {*k};
+  }
+
+  std::printf("=== Load sweep [udp loopback, wall-clock]: offered vs "
+              "delivered throughput (%d ranks, %d msgs/sender, 2 KB) ===\n\n",
+              ranks, msgs);
+
+  std::string curves_json;
+  int rc = 0;
+  for (workload::PatternKind pk : patterns) {
+    std::printf("-- udp-live / %s\n", workload::pattern_name(pk));
+    std::printf("   %12s %14s %10s %10s %10s\n", "offered/s", "delivered/s",
+                "p50 us", "p90 us", "p99 us");
+    std::string pts;
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+      workload::WorkloadSpec ws;
+      ws.pattern = pk;
+      ws.ranks = ranks;
+      ws.bytes = 2048;
+      ws.msgs_per_sender = msgs;
+      ws.offered_msgs_per_sec = ladder[i];
+      ws.seed = o.seed;
+      host::LiveOptions lopts;
+      lopts.udp.drop_seed = o.seed + i;
+      const workload::LiveWorkloadResult lr =
+          workload::run_live_workload(lopts, ws);
+      const workload::WorkloadResult& r = lr.result;
+      if (!lr.ok()) {
+        std::printf("   %12.0f  FAILED: %s\n", ladder[i],
+                    r.failure.c_str());
+        rc = 1;
+        continue;
+      }
+      std::printf("   %12.0f %14.1f %10.3f %10.3f %10.3f\n", ladder[i],
+                  r.delivered_per_sec(), us(r.percentile_ps(50)),
+                  us(r.percentile_ps(90)), us(r.percentile_ps(99)));
+      workload::LoadPoint p;
+      p.offered_msgs_per_sec = ladder[i];
+      p.result = r;
+      pts += (pts.empty() ? "" : ", ") + point_json(p);
+    }
+    std::printf("\n");
+    if (!curves_json.empty()) curves_json += ",\n";
+    curves_json += sim::strf(
+        "    {\"config\": \"udp-live\", \"gobackn\": true, "
+        "\"pattern\": \"%s\", \"points\": [%s], \"ranks\": %d}",
+        workload::pattern_name(pk), pts.c_str(), ranks);
+  }
+
+  const std::string json = sim::strf(
+      "{\n  \"bench\": \"load_sweep\",\n  \"curves\": [\n%s\n  ],\n"
+      "  \"quick\": %s,\n  \"seed\": %llu,\n  \"transport\": \"udp\"\n}\n",
+      curves_json.c_str(), o.quick ? "true" : "false",
+      static_cast<unsigned long long>(o.seed));
+  if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {
+    return 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
+  if (o.transport == "udp") return run_live(o);
 
   const int ranks = o.ranks > 0 ? o.ranks : (o.quick ? 8 : 16);
   const int msgs = o.quick ? 40 : 120;
@@ -236,7 +326,7 @@ int main(int argc, char** argv) {
       "{\n  \"anchor\": {\"divergence_pct\": %.2f, \"fig4_usec\": %.3f, "
       "\"rpc_usec\": %.3f},\n  \"bench\": \"load_sweep\",\n"
       "  \"closed_loop\": [\n%s\n  ],\n  \"curves\": [\n%s\n  ],\n"
-      "  \"quick\": %s,\n  \"seed\": %llu\n}\n",
+      "  \"quick\": %s,\n  \"seed\": %llu,\n  \"transport\": \"sim\"\n}\n",
       div_pct, fig4_usec, rpc_usec, closed_json.c_str(), curves_json.c_str(),
       o.quick ? "true" : "false", static_cast<unsigned long long>(o.seed));
   if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {

@@ -7,7 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <functional>
+#include <new>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,6 +22,32 @@
 #include "portals/library.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+
+// ------------------------------------------- allocation accounting ----
+// Replaceable global new/delete that count heap allocations, so hot-path
+// benchmarks can report allocs/op and hard-assert that the segment-list
+// path stays allocation-free (the IoVecList small-vector contract).  Must
+// live at global scope with external linkage to actually replace.
+
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+// Opaque to the optimizer: stops -Wmismatched-new-delete from pairing the
+// malloc in the replaced new with frees it inlines elsewhere.
+[[gnu::noinline]] static void* counted_malloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+[[gnu::noinline]] static void counted_free(void* p) { std::free(p); }
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
 
 namespace {
 
@@ -243,7 +272,7 @@ void BM_MatchWalk(benchmark::State& state) {
   sim::Engine eng;
   class NullNal final : public ptl::Nal {
     int send(TxKind, std::uint32_t, const ptl::WireHeader&,
-             std::vector<ptl::IoVec>, std::uint64_t) override {
+             ptl::IoVecList, std::uint64_t) override {
       return ptl::PTL_OK;
     }
     std::uint32_t nid() const override { return 0; }
@@ -293,6 +322,94 @@ void BM_MatchWalk(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MatchWalk)->Arg(1)->Arg(64)->Arg(4096);
+
+// ------------------------------------------------------ segment lists ----
+
+/// The transmit segment-list builder.  Contiguous MDs and IOVEC MDs of up
+/// to IoVecList::kInlineCapacity segments must build entirely inline —
+/// the benchmark FAILS if a single heap allocation happens.
+void BM_MdSliceSmall(benchmark::State& state) {
+  ptl::MdDesc contig;
+  contig.start = 4096;
+  contig.length = 1u << 20;
+  ptl::MdDesc iov;
+  iov.options = ptl::PTL_MD_IOVEC;
+  iov.iovecs = {{0, 8192}, {16384, 8192}, {32768, 8192}};
+  iov.length = 3 * 8192;
+
+  const std::uint64_t before = g_heap_allocs.load();
+  for (auto _ : state) {
+    auto a = ptl::Library::md_slice(contig, 64, 4096);
+    benchmark::DoNotOptimize(a);
+    auto b = ptl::Library::md_slice(iov, 100, 20000);
+    benchmark::DoNotOptimize(b);
+  }
+  const std::uint64_t allocs = g_heap_allocs.load() - before;
+  state.counters["allocs"] = static_cast<double>(allocs);
+  if (allocs != 0) {
+    state.SkipWithError("md_slice allocated for a small segment list");
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MdSliceSmall);
+
+/// Allocations per small put at the library->NAL seam.  The segment list
+/// itself must contribute ZERO (verified by delta against an identical put
+/// whose only difference is a 6-segment IOVEC source, which costs exactly
+/// one spill allocation); the remaining per-op allocations are op-record
+/// bookkeeping, not the payload path.
+void BM_SmallPutAllocs(benchmark::State& state) {
+  sim::Engine eng;
+  class TokenNal final : public ptl::Nal {
+   public:
+    std::uint64_t last_token = 0;
+
+   private:
+    int send(TxKind, std::uint32_t, const ptl::WireHeader&,
+             ptl::IoVecList payload, std::uint64_t token) override {
+      benchmark::DoNotOptimize(payload);
+      last_token = token;
+      return ptl::PTL_OK;
+    }
+    std::uint32_t nid() const override { return 0; }
+    int distance(std::uint32_t) const override { return 1; }
+  } nal;
+  class NullMem final : public ptl::Memory {
+    bool valid(std::uint64_t, std::size_t) const override { return true; }
+    void read(std::uint64_t, std::span<std::byte>) const override {}
+    void write(std::uint64_t, std::span<const std::byte>) override {}
+  } mem;
+  ptl::Library::Config cfg;
+  cfg.id = ptl::ProcessId{0, 1};
+  ptl::Library lib(eng, cfg, nal, mem);
+
+  const bool spill = state.range(0) != 0;
+  ptl::MdDesc d;
+  if (spill) {
+    d.options = ptl::PTL_MD_IOVEC;
+    for (std::uint64_t i = 0; i < 6; ++i) d.iovecs.push_back({i * 4096, 8});
+  } else {
+    d.start = 0;
+    d.length = 8;
+  }
+  ptl::MdHandle md;
+  lib.md_bind(d, ptl::Unlink::kRetain, &md);
+
+  // Warm up container capacity (op maps) so the loop measures steady state.
+  lib.put(md, ptl::AckReq::kNone, ptl::ProcessId{1, 1}, 0, 0, 7, 0, 0);
+  lib.send_complete(nal.last_token);
+
+  const std::uint64_t before = g_heap_allocs.load();
+  for (auto _ : state) {
+    lib.put(md, ptl::AckReq::kNone, ptl::ProcessId{1, 1}, 0, 0, 7, 0, 0);
+    lib.send_complete(nal.last_token);  // retire the op record
+  }
+  const std::uint64_t allocs = g_heap_allocs.load() - before;
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SmallPutAllocs)->Arg(0)->Arg(1);
 
 // ---------------------------------------------------------- full stack ----
 

@@ -1,0 +1,326 @@
+// Cross-validation: the simulated SeaStar backend vs. the live UDP
+// loopback backend, same stack, same workloads (BENCH_xval.json).
+//
+// The transport seam promises that everything above the NAL — Portals
+// semantics, firmware, mini-MPI — is backend-agnostic.  This bench runs
+// the same NetPIPE put ping-pong ladder and the same 4-rank mini-MPI
+// allreduce through both backends and emits the two curves side by side:
+// DES-model microseconds vs. real wall-clock microseconds (per-rung
+// iteration counts are shared via np::iters_for, so the workloads are
+// identical).  The curves are NOT expected to coincide — the sim models a
+// 2004 SeaStar/HyperTransport fabric, the live path is kernel loopback
+// sockets — but both must complete, verify every payload byte, and show
+// the same qualitative shape (latency flat then linear in size).
+//
+// An acceptance soak rides along: >=100k NIC messages of live ping-pong
+// under injected socket drops, requiring zero lost or corrupted messages
+// — go-back-n must recover every injected loss (retransmits > 0 proves
+// the recovery path actually ran).
+//
+//   --quick     small ladder + short soak (CI smoke; skips the 100k gate)
+//   --max N     ladder top (default 1 MB)
+//   --json F    dump the curves + soak verdict as JSON (BENCH_xval.json)
+//   --seed N    drop-injection / sim-fabric seed
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/netpipe_bench.hpp"
+#include "harness/options.hpp"
+#include "harness/scenario.hpp"
+#include "host/live_cluster.hpp"
+#include "host/node.hpp"
+#include "mpi/mpi.hpp"
+#include "netpipe/live.hpp"
+#include "netpipe/netpipe.hpp"
+#include "sim/strf.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace xt;
+
+constexpr ptl::Pid kPid = 11;
+constexpr int kAllreduceRanks = 4;
+constexpr std::uint32_t kAllreduceCount = 64;  // doubles per rank
+
+struct AllreduceResult {
+  double usec_per_round = 0.0;
+  bool ok = false;
+};
+
+/// `rounds` verified allreduce_sum rounds over the simulated fabric;
+/// returns DES time per round (first round is warmup, not timed).
+AllreduceResult sim_allreduce(int n, int rounds, std::uint64_t seed) {
+  ss::Config cfg;
+  cfg.net.seed = seed;
+  host::Machine m(harness::shape_for_ranks(n), cfg);
+
+  std::vector<ptl::ProcessId> ids;
+  for (int r = 0; r < n; ++r) {
+    ids.push_back(ptl::ProcessId{static_cast<net::NodeId>(r), kPid});
+  }
+  std::vector<host::Process*> procs;
+  std::vector<std::unique_ptr<mpi::Comm>> comms;
+  for (int r = 0; r < n; ++r) {
+    host::Process& p = m.node(static_cast<net::NodeId>(r)).spawn_process(kPid);
+    procs.push_back(&p);
+    comms.push_back(std::make_unique<mpi::Comm>(p, ids, r));
+    sim::spawn([](mpi::Comm& c) -> sim::CoTask<void> {
+      if (co_await c.init() != ptl::PTL_OK) {
+        throw std::runtime_error("mpi init failed");
+      }
+    }(*comms.back()));
+  }
+  m.run();
+
+  AllreduceResult res;
+  res.ok = true;
+  // Same integer-valued fill and closed-form check as the live app
+  // (netpipe/live.cpp), so both backends verify identical arithmetic.
+  std::vector<std::uint64_t> bufs;
+  for (int r = 0; r < n; ++r) {
+    bufs.push_back(
+        procs[static_cast<std::size_t>(r)]->alloc(kAllreduceCount * 8));
+  }
+  double measured_us = 0.0;
+  int measured = 0;
+  for (int round = 0; round < rounds + 1; ++round) {
+    for (int r = 0; r < n; ++r) {
+      std::vector<double> v(kAllreduceCount);
+      for (std::uint32_t i = 0; i < kAllreduceCount; ++i) {
+        v[i] = static_cast<double>(r + 1) + static_cast<double>(i) +
+               static_cast<double>(round);
+      }
+      procs[static_cast<std::size_t>(r)]->write_bytes(
+          bufs[static_cast<std::size_t>(r)], std::as_bytes(std::span(v)));
+    }
+    const sim::Time t0 = m.engine().now();
+    for (int r = 0; r < n; ++r) {
+      sim::spawn([](mpi::Comm& c, std::uint64_t b) -> sim::CoTask<void> {
+        if (co_await c.allreduce_sum(b, kAllreduceCount) != ptl::PTL_OK) {
+          throw std::runtime_error("allreduce failed");
+        }
+      }(*comms[static_cast<std::size_t>(r)],
+        bufs[static_cast<std::size_t>(r)]));
+    }
+    m.run();
+    if (round > 0) {
+      measured_us += (m.engine().now() - t0).to_us();
+      ++measured;
+    }
+    for (int r = 0; r < n; ++r) {
+      std::vector<double> v(kAllreduceCount);
+      procs[static_cast<std::size_t>(r)]->read_bytes(
+          bufs[static_cast<std::size_t>(r)],
+          std::as_writable_bytes(std::span(v)));
+      for (std::uint32_t i = 0; i < kAllreduceCount; ++i) {
+        const double expect =
+            static_cast<double>(n) * static_cast<double>(n + 1) / 2.0 +
+            static_cast<double>(n) *
+                (static_cast<double>(i) + static_cast<double>(round));
+        if (v[i] != expect) res.ok = false;
+      }
+    }
+  }
+  res.usec_per_round = measured > 0 ? measured_us / measured : 0.0;
+  return res;
+}
+
+/// Same rounds over live UDP: every rank a real thread, rank 0's
+/// wall-clock time per round (engine time tracks the wall in live mode).
+AllreduceResult live_allreduce(int n, int rounds, std::uint64_t seed) {
+  host::LiveOptions opts;
+  opts.ranks = n;
+  opts.udp.drop_seed = seed;
+  std::vector<std::uint8_t> ok(static_cast<std::size_t>(n), 1);
+  double usec = 0.0;
+
+  host::LiveApp app = [&](host::LiveRank& lr) -> sim::CoTask<void> {
+    std::vector<ptl::ProcessId> ids;
+    for (int r = 0; r < n; ++r) ids.push_back(lr.peer(r));
+    mpi::Comm comm(lr.process(), ids, lr.rank());
+    (void)co_await comm.init();
+    co_await lr.barrier();
+
+    const std::uint64_t buf = lr.process().alloc(kAllreduceCount * 8);
+    std::vector<double> v(kAllreduceCount);
+    sim::Time t0{};
+    for (int round = 0; round < rounds + 1; ++round) {
+      if (round == 1) {  // round 0 is warmup
+        co_await lr.barrier();
+        t0 = lr.engine().now();
+      }
+      for (std::uint32_t i = 0; i < kAllreduceCount; ++i) {
+        v[i] = static_cast<double>(lr.rank() + 1) + static_cast<double>(i) +
+               static_cast<double>(round);
+      }
+      lr.process().write_bytes(buf, std::as_bytes(std::span(v)));
+      (void)co_await comm.allreduce_sum(buf, kAllreduceCount);
+      lr.process().read_bytes(buf, std::as_writable_bytes(std::span(v)));
+      for (std::uint32_t i = 0; i < kAllreduceCount; ++i) {
+        const double expect =
+            static_cast<double>(n) * static_cast<double>(n + 1) / 2.0 +
+            static_cast<double>(n) *
+                (static_cast<double>(i) + static_cast<double>(round));
+        if (v[i] != expect) ok[static_cast<std::size_t>(lr.rank())] = 0;
+      }
+    }
+    if (lr.rank() == 0) {
+      usec = (lr.engine().now() - t0).to_us() / rounds;
+    }
+    co_await lr.barrier();
+  };
+
+  auto ranks = host::run_live_cluster(opts, app);
+  AllreduceResult res;
+  res.usec_per_round = usec;
+  res.ok = true;
+  for (const auto& r : ranks) res.ok = res.ok && r.ok();
+  for (const auto o : ok) res.ok = res.ok && o != 0;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::BenchOptions o =
+      harness::BenchOptions::parse(argc, argv, /*max_bytes_default=*/1u << 20);
+
+  np::Options nopts = o.np;
+  if (o.quick && nopts.max_bytes > (64u << 10)) nopts.max_bytes = 64u << 10;
+
+  std::printf("=== Cross-validation: simulated SeaStar vs. live UDP "
+              "loopback ===\n");
+  std::printf("(same stack above the NAL; sim = DES model time, udp = "
+              "wall clock on real\nrank threads; iteration counts per rung "
+              "are identical)\n\n");
+
+  // ---- ping-pong ladder, both backends -------------------------------
+  ss::Config cfg;
+  cfg.net.seed = o.seed;
+  const std::vector<np::Sample> sim_pp =
+      harness::measure(np::Transport::kPut, np::Pattern::kPingPong, nopts,
+                       cfg);
+
+  host::LiveOptions lopts;
+  lopts.ranks = 2;
+  lopts.udp.drop_seed = o.seed;
+  const np::LiveRunResult live_pp = np::run_live_pingpong_sweep(lopts, nopts);
+
+  bool ok = live_pp.ok();
+  if (sim_pp.size() != live_pp.samples.size()) {
+    std::fprintf(stderr, "error: ladder mismatch (sim %zu vs live %zu)\n",
+                 sim_pp.size(), live_pp.samples.size());
+    return 1;
+  }
+  std::printf("-- put ping-pong (one-way usec per transfer)\n");
+  std::printf("   %9s %6s %12s %12s %10s\n", "bytes", "iters", "sim us",
+              "udp-live us", "wall/sim");
+  std::string pp_json;
+  for (std::size_t i = 0; i < sim_pp.size(); ++i) {
+    const np::Sample& s = sim_pp[i];
+    const np::Sample& l = live_pp.samples[i];
+    if (s.bytes != l.bytes) {
+      std::fprintf(stderr, "error: rung mismatch at %zu\n", i);
+      return 1;
+    }
+    const double ratio =
+        s.usec_per_transfer > 0 ? l.usec_per_transfer / s.usec_per_transfer
+                                : 0.0;
+    std::printf("   %9zu %6d %12.3f %12.3f %9.2fx\n", s.bytes,
+                np::iters_for(s.bytes, nopts), s.usec_per_transfer,
+                l.usec_per_transfer, ratio);
+    pp_json += sim::strf(
+        "%s\n      {\"bytes\": %zu, \"iters\": %d, \"sim_usec\": %.3f, "
+        "\"live_usec\": %.3f, \"wall_over_sim\": %.3f}",
+        i == 0 ? "" : ",", s.bytes, np::iters_for(s.bytes, nopts),
+        s.usec_per_transfer, l.usec_per_transfer, ratio);
+  }
+  std::printf("   live run clean: %s (crc drops %llu, retransmits %llu, "
+              "injected drops %llu)\n\n",
+              live_pp.ok() ? "yes" : "NO",
+              static_cast<unsigned long long>(live_pp.crc_drops),
+              static_cast<unsigned long long>(live_pp.fw_retransmits),
+              static_cast<unsigned long long>(live_pp.transport_drops));
+
+  // ---- 4-rank allreduce, both backends -------------------------------
+  const int rounds = o.quick ? 8 : 32;
+  const AllreduceResult ar_sim =
+      sim_allreduce(kAllreduceRanks, rounds, o.seed);
+  const AllreduceResult ar_live =
+      live_allreduce(kAllreduceRanks, rounds, o.seed);
+  ok = ok && ar_sim.ok && ar_live.ok;
+  std::printf("-- allreduce_sum, %d ranks, %u doubles, %d rounds\n",
+              kAllreduceRanks, kAllreduceCount, rounds);
+  std::printf("   sim: %9.3f us/round   udp-live: %9.3f us/round   "
+              "(%0.2fx)\n",
+              ar_sim.usec_per_round, ar_live.usec_per_round,
+              ar_sim.usec_per_round > 0
+                  ? ar_live.usec_per_round / ar_sim.usec_per_round
+                  : 0.0);
+  std::printf("   results verified on every rank, both backends: %s\n\n",
+              ar_sim.ok && ar_live.ok ? "yes" : "NO");
+
+  // ---- acceptance soak: >=100k live messages under injected drops ----
+  const std::size_t soak_bytes = 512;
+  const int soak_iters = o.quick ? 2000 : 30000;
+  const double soak_drop = 0.01;
+  host::LiveOptions sopts;
+  sopts.ranks = 2;
+  sopts.udp.drop_rate = soak_drop;
+  sopts.udp.drop_seed = o.seed;
+  const np::LiveRunResult soak =
+      np::run_live_pingpong(sopts, soak_bytes, soak_iters);
+
+  const bool lossless = soak.ok();
+  const bool recovered = soak.fw_retransmits > 0 && soak.transport_drops > 0;
+  const bool enough = o.quick || soak.total_msgs_sent >= 100000;
+  ok = ok && lossless && recovered && enough;
+  std::printf("-- soak: %d x %zu B live round trips at %.0f%% injected "
+              "datagram loss\n",
+              soak_iters, soak_bytes, soak_drop * 100);
+  std::printf("   nic messages %llu%s, datagrams dropped %llu, "
+              "retransmits %llu,\n   crc drops %llu, data verified: %s, "
+              "lossless: %s\n\n",
+              static_cast<unsigned long long>(soak.total_msgs_sent),
+              enough ? "" : " [below 100k gate]",
+              static_cast<unsigned long long>(soak.transport_drops),
+              static_cast<unsigned long long>(soak.fw_retransmits),
+              static_cast<unsigned long long>(soak.crc_drops),
+              soak.data_ok ? "yes" : "NO", lossless ? "yes" : "NO");
+
+  std::printf("cross-validation %s\n", ok ? "PASSED" : "FAILED");
+
+  if (!o.json_path.empty()) {
+    const std::string json = sim::strf(
+        "{\n  \"bench\": \"xval\",\n  \"transport\": \"sim+udp\",\n"
+        "  \"seed\": %llu,\n  \"quick\": %s,\n  \"ok\": %s,\n"
+        "  \"pingpong\": {\n    \"pattern\": \"put ping-pong\",\n"
+        "    \"max_bytes\": %zu,\n    \"points\": [%s\n    ]\n  },\n"
+        "  \"allreduce\": {\"ranks\": %d, \"count\": %u, \"rounds\": %d, "
+        "\"sim_usec_per_round\": %.3f, \"live_usec_per_round\": %.3f, "
+        "\"verified\": %s},\n"
+        "  \"soak\": {\"bytes\": %zu, \"iters\": %d, \"drop_rate\": %.3f, "
+        "\"nic_msgs\": %llu, \"datagrams_dropped\": %llu, "
+        "\"retransmits\": %llu, \"crc_drops\": %llu, \"lossless\": %s}\n"
+        "}\n",
+        static_cast<unsigned long long>(o.seed), o.quick ? "true" : "false",
+        ok ? "true" : "false", nopts.max_bytes, pp_json.c_str(),
+        kAllreduceRanks, kAllreduceCount, rounds, ar_sim.usec_per_round,
+        ar_live.usec_per_round, ar_sim.ok && ar_live.ok ? "true" : "false",
+        soak_bytes, soak_iters, soak_drop,
+        static_cast<unsigned long long>(soak.total_msgs_sent),
+        static_cast<unsigned long long>(soak.transport_drops),
+        static_cast<unsigned long long>(soak.fw_retransmits),
+        static_cast<unsigned long long>(soak.crc_drops),
+        lossless ? "true" : "false");
+    if (!harness::write_text_file(o.json_path, json)) return 1;
+  }
+  return ok ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "harness/sweep.hpp"
+#include "netpipe/live.hpp"
 #include "sim/strf.hpp"
 
 namespace xt::harness {
@@ -94,7 +95,9 @@ std::vector<SeriesResult> measure_series(
 std::string metrics_json(const std::string& bench,
                          const std::vector<SeriesResult>& series) {
   std::string out =
-      sim::strf("{\n  \"bench\": \"%s\",\n  \"series\": [\n", bench.c_str());
+      sim::strf("{\n  \"bench\": \"%s\",\n  \"transport\": \"sim\",\n"
+                "  \"series\": [\n",
+                bench.c_str());
   for (std::size_t s = 0; s < series.size(); ++s) {
     const SeriesResult& r = series[s];
     out += sim::strf("    {\"name\": \"%s\", \"metrics\": %s}%s\n",
@@ -131,11 +134,13 @@ std::string merged_trace_json(const std::vector<SeriesResult>& series) {
 }
 
 std::string series_json(const std::string& figure, int jobs,
-                        const std::vector<SeriesResult>& series) {
+                        const std::vector<SeriesResult>& series,
+                        const std::string& transport) {
   std::string out =
       sim::strf("{\n  \"figure\": \"%s\",\n  \"jobs\": %d,\n"
+                "  \"transport\": \"%s\",\n"
                 "  \"series\": [\n",
-                figure.c_str(), jobs);
+                figure.c_str(), jobs, transport.c_str());
   for (std::size_t s = 0; s < series.size(); ++s) {
     const SeriesResult& r = series[s];
     out += sim::strf("    {\"name\": \"%s\", \"pattern\": \"%s\", "
@@ -156,18 +161,72 @@ std::string series_json(const std::string& figure, int jobs,
 }
 
 bool write_series_json(const std::string& path, const std::string& figure,
-                       int jobs, const std::vector<SeriesResult>& series) {
+                       int jobs, const std::vector<SeriesResult>& series,
+                       const std::string& transport) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string json = series_json(figure, jobs, series);
+  const std::string json = series_json(figure, jobs, series, transport);
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   std::fclose(f);
   return ok;
 }
 
+namespace {
+
+/// --transport udp: the same NetPIPE ladder over the live loopback
+/// backend.  One series (the put path; gets/MPI layering is identical in
+/// live mode), two real rank threads, wall-clock timing.
+int run_figure_live(const FigureSpec& spec, const BenchOptions& o) {
+  if (spec.pattern != np::Pattern::kPingPong) {
+    std::fprintf(stderr,
+                 "%s only runs live as ping-pong; --transport udp is not "
+                 "supported for this figure\n",
+                 spec.figure);
+    return 2;
+  }
+  std::printf("=== %s: %s [udp loopback, wall-clock] ===\n", spec.figure,
+              spec.title);
+  std::printf("(series x sizes, NetPIPE-style ladder to %zu bytes)\n\n",
+              o.np.max_bytes);
+
+  host::LiveOptions lopts;
+  lopts.ranks = 2;
+  lopts.udp.drop_seed = o.seed;
+  const np::LiveRunResult live = np::run_live_pingpong_sweep(lopts, o.np);
+
+  SeriesResult r;
+  r.name = "put/udp-live";
+  r.pattern = spec.pattern;
+  r.samples = live.samples;
+  if (!live.ok()) {
+    r.failure = "live run failed";
+    for (const auto& rank : live.ranks) {
+      if (!rank.ok()) r.failure += ": " + rank.panic + rank.error;
+    }
+    if (!live.data_ok) r.failure += ": data verification failed";
+  }
+  std::fputs(np::format_table(r.name.c_str(), r.pattern, r.samples).c_str(),
+             stdout);
+  std::fputs("\n", stdout);
+  if (!r.failure.empty()) {
+    std::fprintf(stderr, "error: %s\n", r.failure.c_str());
+    return 1;
+  }
+  if (!o.json_path.empty() &&
+      !write_series_json(o.json_path, spec.figure, 1, {r}, "udp")) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 o.json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
 int run_figure(const FigureSpec& spec, int argc, char** argv) {
   const BenchOptions o =
       BenchOptions::parse(argc, argv, spec.max_bytes_default);
+  if (o.transport == "udp") return run_figure_live(spec, o);
   std::printf("=== %s: %s ===\n", spec.figure, spec.title);
   std::printf("(series x sizes, NetPIPE-style ladder to %zu bytes)\n\n",
               o.np.max_bytes);

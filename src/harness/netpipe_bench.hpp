@@ -64,11 +64,15 @@ std::string metrics_json(const std::string& bench,
 /// prefixed "series-name/track" so timelines stay distinguishable.
 std::string merged_trace_json(const std::vector<SeriesResult>& series);
 
-/// Renders/writes the JSON dump of a measured figure.
+/// Renders/writes the JSON dump of a measured figure.  The header records
+/// the active transport backend ("sim" unless the bench ran --transport
+/// udp) so downstream tooling can tell simulated curves from live ones.
 std::string series_json(const std::string& figure, int jobs,
-                        const std::vector<SeriesResult>& series);
+                        const std::vector<SeriesResult>& series,
+                        const std::string& transport = "sim");
 bool write_series_json(const std::string& path, const std::string& figure,
-                       int jobs, const std::vector<SeriesResult>& series);
+                       int jobs, const std::vector<SeriesResult>& series,
+                       const std::string& transport = "sim");
 
 /// Shared driver for the figure-reproduction benches (Figures 4-7).
 struct FigureSpec {
@@ -80,6 +84,9 @@ struct FigureSpec {
 
 /// Parses the common CLI and reproduces the figure's four series
 /// (put, get, mpich-1.2.6, mpich2).  Returns a process exit code.
+/// With --transport udp the same ladder runs once over the live UDP
+/// loopback backend instead (ping-pong figures only): two real rank
+/// threads, wall-clock timing, one "put/udp-live" series.
 int run_figure(const FigureSpec& spec, int argc, char** argv);
 
 }  // namespace xt::harness

@@ -25,6 +25,8 @@ namespace {
       "  --offered-load X  workload benches: single offered load (msgs/s)\n"
       "  --outstanding N workload benches: closed-loop requests in flight\n"
       "  --ranks N       workload benches: participating ranks\n"
+      "  --transport T   backend under the NAL: sim (default) or udp\n"
+      "                  (real rank threads over UDP loopback, wall-clock)\n"
       "  --smoke         minimal ladder (golden-output regression runs)\n"
       "  --faults SPEC   fault plan, e.g. kinds=drop+silent,rate=0.01\n"
       "  --fault-seed N  fault plan seed\n"
@@ -81,6 +83,12 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       o.outstanding = std::atoi(argv[++i]);
     } else if (std::strcmp(arg, "--ranks") == 0 && i + 1 < argc) {
       o.ranks = std::atoi(argv[++i]);
+    } else if (path_flag("--transport", argc, argv, i, &o.transport)) {
+      if (o.transport != "sim" && o.transport != "udp") {
+        std::fprintf(stderr, "%s: unknown transport '%s' (sim or udp)\n",
+                     argv[0], o.transport.c_str());
+        usage(argv[0], 2);
+      }
     } else if (std::strcmp(arg, "--smoke") == 0) {
       o.smoke = true;
       o.quick = true;

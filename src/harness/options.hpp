@@ -15,6 +15,10 @@
 //                     instead of the built-in ladder
 //   --outstanding N workload benches: closed-loop requests in flight
 //   --ranks N       workload benches: ranks participating
+//   --transport T   backend under the NAL: "sim" (default; the DES SeaStar
+//                   model) or "udp" (real rank threads over UDP loopback,
+//                   wall-clock timing).  Benches that cannot run live
+//                   (e.g. fault_sweep's in-fabric injector) refuse "udp".
 //   --smoke         minimal ladder for golden-output regression runs
 //   --faults SPEC   full fault plan (fault::FaultPlan::parse format) —
 //                   the spelling fuzzer reproducer lines use
@@ -60,6 +64,10 @@ struct BenchOptions {
   double offered_load = 0.0;
   int outstanding = 0;
   int ranks = 0;
+  /// Backend under the NAL: "sim" or "udp" (validated at parse time; the
+  /// harness keeps the name as a string, same dependency logic as
+  /// `pattern` — interpreting it is the transport/bench layer's job).
+  std::string transport = "sim";
   /// Golden-output mode: tiny fixed ladder, deterministic, fast.  Benches
   /// that support it print the same schema with fewer points.
   bool smoke = false;

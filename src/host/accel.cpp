@@ -41,7 +41,7 @@ AccelAgent::~AccelAgent() = default;
 sim::Engine& AccelAgent::engine() { return node_.engine(); }
 std::uint32_t AccelAgent::nid() const { return node_.id(); }
 int AccelAgent::distance(std::uint32_t nid) const {
-  return net::hop_count(node_.nic().network().shape(), node_.id(), nid);
+  return net::hop_count(node_.nic().transport().shape(), node_.id(), nid);
 }
 
 CoTask<int> AccelAgent::call(std::function<int(ptl::Library&)> fn,
@@ -52,7 +52,7 @@ CoTask<int> AccelAgent::call(std::function<int(ptl::Library&)> fn,
 }
 
 int AccelAgent::send(TxKind kind, std::uint32_t dst_nid,
-                     const WireHeader& hdr, std::vector<ptl::IoVec> payload,
+                     const WireHeader& hdr, ptl::IoVecList payload,
                      std::uint64_t token) {
   const fw::PendingId pd =
       node_.firmware().host_alloc_tx_pending(fwproc_);
@@ -71,7 +71,7 @@ int AccelAgent::send(TxKind kind, std::uint32_t dst_nid,
 
 CoTask<void> AccelAgent::tx_post_task(fw::PendingId pd,
                                       std::uint32_t dst_nid, WireHeader hdr,
-                                      std::vector<ptl::IoVec> payload,
+                                      ptl::IoVecList payload,
                                       std::uint64_t prov) {
   const ss::Config& cfg = node_.config();
   // User-level command construction — no trap, no kernel.
@@ -99,7 +99,7 @@ CoTask<void> AccelAgent::tx_post_task(fw::PendingId pd,
   if (cmd.payload_bytes > 0) {
     AddressSpace* as = &as_;
     auto segs =
-        std::make_shared<std::vector<ptl::IoVec>>(std::move(payload));
+        std::make_shared<ptl::IoVecList>(std::move(payload));
     cmd.reader = [as, segs](std::size_t off, std::span<std::byte> out) {
       gather_read(*as, *segs, off, out);
     };
@@ -135,7 +135,7 @@ std::optional<fw::AccelMatcher::Result> AccelAgent::fw_match(
       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(d.segments.size()));
   if (d.mlength > 0) {
     AddressSpace* as = &as_;
-    auto segs = std::make_shared<std::vector<ptl::IoVec>>(d.segments);
+    auto segs = std::make_shared<ptl::IoVecList>(d.segments);
     if (atomic) {
       r.deposit = [as, segs](std::span<const std::byte> bytes) {
         scatter_accumulate_f64(*as, *segs, bytes);
@@ -227,7 +227,7 @@ int AccelAgent::triggered_put(ptl::MdHandle md, std::uint64_t offset,
                               ptl::CtHandle trig_ct,
                               std::uint64_t threshold) {
   if (!trig_ct.valid()) return ptl::PTL_HANDLE_INVALID;
-  std::vector<ptl::IoVec> segs;
+  ptl::IoVecList segs;
   if (int rc = lib_->md_segments(md, offset, len, &segs);
       rc != ptl::PTL_OK) {
     return rc;
@@ -258,7 +258,7 @@ int AccelAgent::triggered_put(ptl::MdHandle md, std::uint64_t offset,
       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(segs.size()));
   if (len > 0) {
     AddressSpace* as = &as_;
-    auto sp = std::make_shared<std::vector<ptl::IoVec>>(std::move(segs));
+    auto sp = std::make_shared<ptl::IoVecList>(std::move(segs));
     op.reader = [as, sp](std::size_t off, std::span<std::byte> out) {
       gather_read(*as, *sp, off, out);
     };
@@ -314,7 +314,7 @@ std::optional<fw::AccelMatcher::ReplyProg> AccelAgent::fw_get(
   prog.reply_header = gd.reply_header;
   if (gd.mlength > 0) {
     AddressSpace* as = &as_;
-    auto segs = std::make_shared<std::vector<ptl::IoVec>>(gd.segments);
+    auto segs = std::make_shared<ptl::IoVecList>(gd.segments);
     prog.reader = [as, segs](std::size_t off, std::span<std::byte> out) {
       gather_read(*as, *segs, off, out);
     };

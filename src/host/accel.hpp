@@ -74,7 +74,7 @@ class AccelAgent final : public fw::AccelMatcher,
 
   // ---- ptl::Nal (user-level command posting).
   int send(TxKind kind, std::uint32_t dst_nid, const ptl::WireHeader& hdr,
-           std::vector<ptl::IoVec> payload, std::uint64_t token) override;
+           ptl::IoVecList payload, std::uint64_t token) override;
   std::uint32_t nid() const override;
   int distance(std::uint32_t nid) const override;
 
@@ -94,7 +94,7 @@ class AccelAgent final : public fw::AccelMatcher,
 
   sim::CoTask<void> tx_post_task(fw::PendingId pd, std::uint32_t dst_nid,
                                  ptl::WireHeader hdr,
-                                 std::vector<ptl::IoVec> payload,
+                                 ptl::IoVecList payload,
                                  std::uint64_t prov);
   /// Sends a Portals-level ack, parking it in deferred_acks_ when the tx
   /// pending pool is transiently exhausted (incast fan-in issues one ack

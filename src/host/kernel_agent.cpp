@@ -57,7 +57,7 @@ AddressSpace* KernelAgent::as_for(ptl::Pid pid) {
 
 int KernelAgent::ProcNal::send(TxKind kind, std::uint32_t dst_nid,
                                const ptl::WireHeader& hdr,
-                               std::vector<ptl::IoVec> payload,
+                               ptl::IoVecList payload,
                                std::uint64_t token) {
   return agent_.send_message(pid_, kind, dst_nid, hdr, std::move(payload),
                              token);
@@ -69,7 +69,7 @@ int KernelAgent::ProcNal::distance(std::uint32_t nid) const {
 
 int KernelAgent::send_message(ptl::Pid src_pid, ptl::Nal::TxKind kind,
                               std::uint32_t dst_nid, ptl::WireHeader hdr,
-                              std::vector<ptl::IoVec> payload,
+                              ptl::IoVecList payload,
                               std::uint64_t token) {
   // Allocate from the host-managed TX pending pool (§4.2/§4.3).
   const fw::PendingId pd = fw_.host_alloc_tx_pending(fw::kGenericProc);
@@ -94,7 +94,7 @@ sim::CoTask<void> KernelAgent::tx_post_task(fw::PendingId pd,
                                             ptl::Pid src_pid,
                                             std::uint32_t dst_nid,
                                             ptl::WireHeader hdr,
-                                            std::vector<ptl::IoVec> payload,
+                                            ptl::IoVecList payload,
                                             std::uint64_t prov) {
   AddressSpace* as = as_for(src_pid);
   assert(as != nullptr);
@@ -132,7 +132,7 @@ sim::CoTask<void> KernelAgent::tx_post_task(fw::PendingId pd,
   cmd.prov = prov;
   if (wire_payload > 0) {
     auto segs_ptr =
-        std::make_shared<std::vector<ptl::IoVec>>(std::move(payload));
+        std::make_shared<ptl::IoVecList>(std::move(payload));
     cmd.reader = [as, segs_ptr](std::size_t off, std::span<std::byte> out) {
       gather_read(*as, *segs_ptr, off, out);
     };
@@ -305,7 +305,7 @@ sim::CoTask<void> KernelAgent::handle_rx_header(fw::PendingId pending) {
         if (d.deliver && d.mlength > 0) {
           AddressSpace* tas = as;
           auto segs_ptr =
-              std::make_shared<std::vector<ptl::IoVec>>(d.segments);
+              std::make_shared<ptl::IoVecList>(d.segments);
           if (atomic) {
             cmd.deposit = [tas, segs_ptr](std::span<const std::byte> bytes) {
               scatter_accumulate_f64(*tas, *segs_ptr, bytes);

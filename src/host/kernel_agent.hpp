@@ -58,7 +58,7 @@ class KernelAgent {
    public:
     ProcNal(KernelAgent& agent, ptl::Pid pid) : agent_(agent), pid_(pid) {}
     int send(TxKind kind, std::uint32_t dst_nid, const ptl::WireHeader& hdr,
-             std::vector<ptl::IoVec> payload, std::uint64_t token) override;
+             ptl::IoVecList payload, std::uint64_t token) override;
     std::uint32_t nid() const override { return agent_.self_; }
     int distance(std::uint32_t nid) const override;
 
@@ -90,10 +90,10 @@ class KernelAgent {
   /// kernel task so callers do not block.
   int send_message(ptl::Pid src_pid, ptl::Nal::TxKind kind,
                    std::uint32_t dst_nid, ptl::WireHeader hdr,
-                   std::vector<ptl::IoVec> payload, std::uint64_t token);
+                   ptl::IoVecList payload, std::uint64_t token);
   sim::CoTask<void> tx_post_task(fw::PendingId pd, ptl::Pid src_pid,
                                  std::uint32_t dst_nid, ptl::WireHeader hdr,
-                                 std::vector<ptl::IoVec> payload,
+                                 ptl::IoVecList payload,
                                  std::uint64_t prov);
 
   sim::CoTask<void> irq_task();

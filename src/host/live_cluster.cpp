@@ -1,0 +1,164 @@
+#include "host/live_cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <thread>
+
+namespace xt::host {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t elapsed_ps(Clock::time_point epoch) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+             .count() *
+         1000;
+}
+
+/// How often the driver rebroadcasts its ctrl frame (barrier round + done
+/// flag) and re-wakes barrier waiters.  Loss of any single ctrl frame is
+/// healed within one tick.
+constexpr std::int64_t kCtrlTickPs = sim::Time::ms(5).to_ps();
+/// After local done && all peers done, keep serving the socket this long so
+/// peers whose last data/ack needs a retransmit can still reach us.
+constexpr std::int64_t kLingerPs = sim::Time::ms(25).to_ps();
+
+struct RankState {
+  bool app_done = false;
+  std::exception_ptr app_error;
+};
+
+sim::CoTask<void> run_app(const LiveApp& body, LiveRank& r, RankState& s) {
+  try {
+    co_await body(r);
+  } catch (...) {
+    s.app_error = std::current_exception();
+  }
+  s.app_done = true;
+}
+
+}  // namespace
+
+ss::Config live_udp_config() {
+  ss::Config cfg;
+  cfg.gobackn = true;
+  // Sim-fabric values are tuned for ~1 µs wire RTTs; a loaded loopback
+  // socket RTT is two to three orders of magnitude larger.  Retransmit
+  // timers below the real RTT would resend messages that are merely slow.
+  cfg.gobackn_timeout = sim::Time::ms(5);
+  cfg.gobackn_backoff = sim::Time::ms(1);
+  cfg.gobackn_backoff_max = sim::Time::ms(50);
+  cfg.gobackn_max_rewinds = 200;
+  return cfg;
+}
+
+sim::CoTask<void> LiveRank::barrier() {
+  tp_.barrier_enter();
+  while (!tp_.barrier_released()) {
+    co_await tp_.ctrl_wq().wait();
+  }
+}
+
+std::vector<LiveRankResult> run_live_cluster(const LiveOptions& opts,
+                                             const LiveApp& app) {
+  const int n = opts.ranks;
+  transport::UdpFabric fabric(n, opts.udp);
+  std::vector<LiveRankResult> results(static_cast<std::size_t>(n));
+  const net::Shape shape = net::Shape::xt3(n, 1, 1);
+
+  // Fixed before any thread launches: every rank measures wall time from
+  // the same instant, so eng.now() is cross-rank comparable.
+  const Clock::time_point epoch = Clock::now();
+
+  auto rank_main = [&](int rank) {
+    LiveRankResult& res = results[static_cast<std::size_t>(rank)];
+    res.rank = rank;
+    try {
+      sim::Engine eng;
+      transport::UdpTransport tp(eng, fabric,
+                                 static_cast<net::NodeId>(rank), shape,
+                                 opts.udp);
+      // Let poll() stamp each delivery at its real arrival instant instead
+      // of the (possibly stale) loop-top wall reading below.
+      tp.set_wall_clock([epoch] { return elapsed_ps(epoch); });
+      Node node(eng, opts.config, tp, static_cast<net::NodeId>(rank),
+                opts.os);
+      Process& proc = node.spawn_process(opts.pid);
+      LiveRank lr(rank, n, opts.pid, eng, tp, node, proc);
+
+      RankState st;
+      sim::spawn(run_app(app, lr, st));
+
+      const std::int64_t watchdog_ps =
+          static_cast<std::int64_t>(opts.watchdog_sec * 1e12);
+      std::int64_t next_ctrl_ps = 0;
+      std::int64_t done_since_ps = -1;
+
+      for (;;) {
+        const std::int64_t wall = elapsed_ps(epoch);
+        eng.run_until(sim::Time::ps(wall));
+        const int got = tp.poll();
+
+        if (wall >= next_ctrl_ps) {
+          next_ctrl_ps = wall + kCtrlTickPs;
+          if (st.app_done) tp.set_done();
+          tp.broadcast_ctrl();
+          // Barrier waiters re-check on every tick even if the releasing
+          // ctrl frame itself was lost.
+          tp.ctrl_wq().notify_all();
+        }
+
+        if (st.app_done && tp.peers_done()) {
+          if (done_since_ps < 0) done_since_ps = wall;
+          if (wall - done_since_ps > kLingerPs) break;
+        } else {
+          done_since_ps = -1;
+        }
+        if (wall > watchdog_ps) {
+          res.error = "watchdog: rank exceeded wall-clock budget";
+          break;
+        }
+
+        if (got == 0 && eng.next_event_time().to_ps() > elapsed_ps(epoch)) {
+          // Idle: park on the socket until the next engine timer, the next
+          // ctrl tick, or an arrival — whichever is first.
+          const std::int64_t until =
+              std::min(eng.next_event_time().to_ps(), next_ctrl_ps) -
+              elapsed_ps(epoch);
+          const int ms = static_cast<int>(
+              std::clamp<std::int64_t>(until / 1'000'000'000, 0, 2));
+          tp.wait_readable(ms);
+        }
+      }
+
+      if (st.app_error) std::rethrow_exception(st.app_error);
+
+      res.fw = node.firmware().counters();
+      if (node.firmware().panicked()) res.panic = node.firmware().panic_reason();
+      res.nic_msgs_sent = node.nic().msgs_sent();
+      res.nic_msgs_received = node.nic().msgs_received();
+      res.nic_crc_drops = node.nic().crc_drops();
+      res.datagrams_sent = tp.datagrams_sent();
+      res.datagrams_received = tp.datagrams_received();
+      res.drops_injected = tp.drops_injected();
+      res.send_failures = tp.send_failures();
+      res.wall_seconds = static_cast<double>(elapsed_ps(epoch)) / 1e12;
+    } catch (const std::exception& e) {
+      res.error = e.what();
+    } catch (...) {
+      res.error = "unknown exception";
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) threads.emplace_back(rank_main, r);
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+}  // namespace xt::host

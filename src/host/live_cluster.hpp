@@ -1,0 +1,109 @@
+#pragma once
+
+// Realtime multi-rank driver for the UDP loopback transport.
+//
+// Each rank is one real host thread owning a full stack instance — its own
+// sim::Engine, UdpTransport, Node (NIC + firmware + kernel agent) and one
+// Portals process.  The thread drives its engine in *wall-clock lockstep*:
+// a shared steady_clock epoch is fixed before any thread starts, and every
+// iteration runs `engine.run_until(elapsed-wall-time)`, so engine time IS
+// wall time.  Everything stamped with eng.now() — telemetry, provenance,
+// event latencies — therefore records wall-clock picoseconds on a timebase
+// shared by all ranks, which is what makes sim-vs-live curves directly
+// comparable (bench/xval).
+//
+// Between engine batches the thread drains its UDP socket (delivering
+// arrivals into the firmware at the current wall instant) and, when the
+// engine is idle, parks in ::poll() on the socket until the next timer or
+// an arrival.  Run termination and the app-level barrier ride the
+// transport's ctrl frames, rebroadcast every few milliseconds so control
+// losses self-heal.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "firmware/firmware.hpp"
+#include "host/node.hpp"
+#include "sim/task.hpp"
+#include "transport/udp_transport.hpp"
+
+namespace xt::host {
+
+/// Config preset for live UDP runs: the stock SeaStar timing model plus
+/// go-back-n with timeouts rescaled from sim-fabric microseconds to
+/// loopback-socket wall milliseconds (a loopback RTT under load is ~100 µs;
+/// sub-RTT timeouts would retransmit messages that were never lost).
+ss::Config live_udp_config();
+
+struct LiveOptions {
+  int ranks = 2;
+  transport::UdpConfig udp{};
+  ss::Config config = live_udp_config();
+  OsType os = OsType::kCatamount;
+  /// Portals pid every rank's process binds; rank r is ProcessId{r, pid}.
+  ptl::Pid pid = 1;
+  /// Per-rank wall-clock cap; exceeding it records an error and aborts the
+  /// rank (a hung live run should fail loudly, not wedge CI).
+  double watchdog_sec = 120.0;
+};
+
+struct LiveRankResult {
+  int rank = 0;
+  fw::Firmware::Counters fw{};
+  std::uint64_t nic_msgs_sent = 0;
+  std::uint64_t nic_msgs_received = 0;
+  std::uint64_t nic_crc_drops = 0;
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t drops_injected = 0;
+  std::uint64_t send_failures = 0;
+  std::string panic;   ///< firmware panic reason, "" when healthy
+  std::string error;   ///< driver-level failure (watchdog, exception)
+  double wall_seconds = 0.0;
+
+  bool ok() const { return panic.empty() && error.empty(); }
+};
+
+/// The per-rank context handed to the application coroutine.
+class LiveRank {
+ public:
+  LiveRank(int rank, int ranks, ptl::Pid pid, sim::Engine& eng,
+           transport::UdpTransport& tp, Node& node, Process& proc)
+      : rank_(rank), ranks_(ranks), pid_(pid), eng_(eng), tp_(tp),
+        node_(node), proc_(proc) {}
+
+  int rank() const { return rank_; }
+  int ranks() const { return ranks_; }
+  sim::Engine& engine() { return eng_; }
+  transport::UdpTransport& udp() { return tp_; }
+  Node& node() { return node_; }
+  Process& process() { return proc_; }
+  ptl::ProcessId peer(int r) const {
+    return ptl::ProcessId{static_cast<net::NodeId>(r), pid_};
+  }
+
+  /// Cluster-wide rendezvous over ctrl frames: enters the next barrier
+  /// round and suspends until every peer has reached it.  Lost ctrl frames
+  /// only delay release (the driver rebroadcasts periodically).
+  sim::CoTask<void> barrier();
+
+ private:
+  int rank_;
+  int ranks_;
+  ptl::Pid pid_;
+  sim::Engine& eng_;
+  transport::UdpTransport& tp_;
+  Node& node_;
+  Process& proc_;
+};
+
+/// The application body one rank runs (e.g. one side of a ping-pong).
+using LiveApp = std::function<sim::CoTask<void>(LiveRank&)>;
+
+/// Runs `app` on every rank as real threads over UDP loopback; returns one
+/// result per rank (in rank order) after all threads join.
+std::vector<LiveRankResult> run_live_cluster(const LiveOptions& opts,
+                                             const LiveApp& app);
+
+}  // namespace xt::host

@@ -50,7 +50,9 @@ class AddressSpace final : public ptl::Memory {
 
   // ptl::Memory
   bool valid(std::uint64_t addr, std::size_t len) const override {
-    return addr + len <= mem_.size();
+    // Guard the sum: a descriptor near UINT64_MAX must not wrap addr + len
+    // around past the arena size and validate.
+    return len <= mem_.size() && addr <= mem_.size() - len;
   }
   void read(std::uint64_t addr, std::span<std::byte> out) const override {
     std::copy_n(mem_.begin() + static_cast<std::ptrdiff_t>(addr), out.size(),
@@ -82,9 +84,10 @@ class AddressSpace final : public ptl::Memory {
 };
 
 /// Reads `out.size()` bytes starting at linear offset `offset` of a
-/// scatter/gather segment list.
+/// scatter/gather segment list (any contiguous IoVec sequence:
+/// ptl::IoVecList, std::vector, arrays).
 inline void gather_read(const AddressSpace& as,
-                        const std::vector<ptl::IoVec>& segs,
+                        std::span<const ptl::IoVec> segs,
                         std::size_t offset, std::span<std::byte> out) {
   std::size_t produced = 0;
   std::size_t pos = 0;
@@ -104,8 +107,7 @@ inline void gather_read(const AddressSpace& as,
 }
 
 /// Writes `in` across a scatter/gather segment list from its beginning.
-inline void scatter_write(AddressSpace& as,
-                          const std::vector<ptl::IoVec>& segs,
+inline void scatter_write(AddressSpace& as, std::span<const ptl::IoVec> segs,
                           std::span<const std::byte> in) {
   std::size_t consumed = 0;
   for (const ptl::IoVec& seg : segs) {
@@ -122,7 +124,7 @@ inline void scatter_write(AddressSpace& as,
 /// copy because a segment boundary may split a double; any tail shorter
 /// than 8 bytes is copied plainly.
 inline void scatter_accumulate_f64(AddressSpace& as,
-                                   const std::vector<ptl::IoVec>& segs,
+                                   std::span<const ptl::IoVec> segs,
                                    std::span<const std::byte> in) {
   std::vector<std::byte> cur(in.size());
   gather_read(as, segs, 0, cur);
@@ -143,7 +145,7 @@ inline void scatter_accumulate_f64(AddressSpace& as,
 /// Total DMA commands a scatter/gather transfer needs (per-segment page
 /// splitting on Linux; one per segment on Catamount).
 inline std::uint32_t dma_segments_of(const AddressSpace& as,
-                                     const std::vector<ptl::IoVec>& segs) {
+                                     std::span<const ptl::IoVec> segs) {
   if (segs.empty()) return 1;
   std::uint32_t n = 0;
   for (const ptl::IoVec& seg : segs) {

@@ -35,16 +35,16 @@ Process::~Process() = default;
 
 net::NodeId Process::nid() const { return node_.id(); }
 
-Node::Node(sim::Engine& eng, const ss::Config& cfg, net::Network& net,
+Node::Node(sim::Engine& eng, const ss::Config& cfg, transport::Transport& tp,
            net::NodeId id, OsType os)
     : eng_(eng),
       cfg_(cfg),
       id_(id),
       os_(os),
       cpu_(eng, sim::strf("node%u.cpu", id)),
-      nic_(eng, cfg, net, id),
+      nic_(eng, cfg, tp, id),
       fw_(eng, nic_, cfg),
-      agent_(eng, cfg, fw_, cpu_, id, net.shape()) {
+      agent_(eng, cfg, fw_, cpu_, id, tp.shape()) {
   // Firmware process 0 is the generic Portals implementation in the kernel.
   const fw::FwProcId generic =
       fw_.register_process(fw::Firmware::ProcessOptions{});
@@ -72,12 +72,12 @@ Process& Node::spawn_accel_process(ptl::Pid pid, std::size_t mem_bytes) {
 
 Machine::Machine(net::Shape shape, ss::Config cfg,
                  std::function<OsType(net::NodeId)> os_of)
-    : cfg_(cfg), net_(eng_, shape, cfg.net, cfg.net.seed) {
+    : cfg_(cfg), net_(eng_, shape, cfg.net, cfg.net.seed), tp_(net_) {
   nodes_.reserve(static_cast<std::size_t>(shape.count()));
   for (net::NodeId id = 0; id < static_cast<net::NodeId>(shape.count());
        ++id) {
     const OsType os = os_of ? os_of(id) : OsType::kCatamount;
-    nodes_.push_back(std::make_unique<Node>(eng_, cfg_, net_, id, os));
+    nodes_.push_back(std::make_unique<Node>(eng_, cfg_, tp_, id, os));
   }
 }
 

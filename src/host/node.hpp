@@ -13,6 +13,8 @@
 #include "host/memory.hpp"
 #include "portals/api.hpp"
 #include "seastar/nic.hpp"
+#include "transport/sim_transport.hpp"
+#include "transport/transport.hpp"
 
 namespace xt::host {
 
@@ -67,7 +69,7 @@ class Process {
 
 class Node {
  public:
-  Node(sim::Engine& eng, const ss::Config& cfg, net::Network& net,
+  Node(sim::Engine& eng, const ss::Config& cfg, transport::Transport& tp,
        net::NodeId id, OsType os);
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -120,6 +122,7 @@ class Machine {
   std::size_t node_count() const { return nodes_.size(); }
   sim::Engine& engine() { return eng_; }
   net::Network& network() { return net_; }
+  transport::Transport& transport() { return tp_; }
   const ss::Config& config() const { return cfg_; }
 
   /// Runs the simulation to quiescence; returns events executed.
@@ -135,6 +138,7 @@ class Machine {
   ss::Config cfg_;
   sim::Engine eng_;
   net::Network net_;
+  transport::SimTransport tp_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -1,0 +1,268 @@
+#include "netpipe/live.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "mpi/mpi.hpp"
+#include "sim/condition.hpp"
+
+namespace xt::np {
+
+using host::LiveOptions;
+using host::LiveRank;
+using host::Process;
+using ptl::AckReq;
+using ptl::Api;
+using ptl::EqHandle;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::MdHandle;
+using ptl::ProcessId;
+using ptl::PTL_OK;
+using ptl::Unlink;
+using sim::CoTask;
+using sim::Time;
+
+namespace {
+
+constexpr ptl::MatchBits kBits = 0x4C4E50;  // "LNP"
+constexpr std::uint32_t kPt = 3;
+
+/// One rank's NetPIPE state: the live analogue of PortalsModule::Side.
+struct LiveSide {
+  Process* proc = nullptr;
+  std::uint64_t lbuf = 0;
+  std::uint64_t rbuf = 0;
+  EqHandle eq;
+  MdHandle md;
+  std::array<std::uint64_t, 16> seen{};
+  std::array<std::uint64_t, 16> want{};
+};
+
+CoTask<void> side_setup(LiveSide& s, std::size_t max_bytes) {
+  Api& api = s.proc->api();
+  s.lbuf = s.proc->alloc(max_bytes);
+  s.rbuf = s.proc->alloc(max_bytes);
+  auto eq = co_await api.PtlEQAlloc(8192);
+  s.eq = eq.value;
+  auto me = co_await api.PtlMEAttach(kPt,
+                                     ProcessId{ptl::kNidAny, ptl::kPidAny},
+                                     kBits, 0, Unlink::kRetain,
+                                     InsPos::kAfter);
+  MdDesc rd;
+  rd.start = s.rbuf;
+  rd.length = static_cast<std::uint32_t>(max_bytes);
+  rd.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE |
+               ptl::PTL_MD_TRUNCATE;
+  rd.eq = s.eq;
+  (void)co_await api.PtlMDAttach(me.value, rd, Unlink::kRetain);
+  MdDesc ld;
+  ld.start = s.lbuf;
+  ld.length = static_cast<std::uint32_t>(max_bytes);
+  ld.eq = s.eq;
+  auto lmd = co_await api.PtlMDBind(ld, Unlink::kRetain);
+  s.md = lmd.value;
+}
+
+/// Cumulative-counter event wait (same idiom as PortalsModule::next).
+CoTask<void> next(LiveSide& s, EventType t, std::uint64_t n = 1) {
+  const auto i = static_cast<std::size_t>(t);
+  s.want[i] += n;
+  Api& api = s.proc->api();
+  while (s.seen[i] < s.want[i]) {
+    auto ev = co_await api.PtlEQWait(s.eq);
+    if (ev.rc != PTL_OK && ev.rc != ptl::PTL_EQ_DROPPED) co_return;
+    ++s.seen[static_cast<std::size_t>(ev.value.type)];
+  }
+}
+
+/// One side of `iters` put round trips (PortalsModule::put_pp_side, with
+/// the peer identified by ProcessId instead of a shared Module pointer).
+CoTask<void> pp_rounds(LiveSide& s, ProcessId peer, std::size_t bytes,
+                       int iters, bool first) {
+  Api& api = s.proc->api();
+  for (int i = 0; i < iters; ++i) {
+    if (first) {
+      (void)co_await api.PtlPutRegion(s.md, 0,
+                                      static_cast<std::uint32_t>(bytes),
+                                      AckReq::kNone, peer, kPt, 0, kBits, 0,
+                                      0);
+      co_await next(s, EventType::kPutEnd);
+    } else {
+      co_await next(s, EventType::kPutEnd);
+      (void)co_await api.PtlPutRegion(s.md, 0,
+                                      static_cast<std::uint32_t>(bytes),
+                                      AckReq::kNone, peer, kPt, 0, kBits, 0,
+                                      0);
+    }
+  }
+  co_await next(s, EventType::kSendEnd, static_cast<std::uint64_t>(iters));
+}
+
+std::byte pattern_byte(int rank, std::size_t i) {
+  return static_cast<std::byte>((static_cast<std::size_t>(rank) * 131 +
+                                 i * 7 + 13) &
+                                0xff);
+}
+
+void fill_pattern(Process& p, std::uint64_t buf, std::size_t bytes,
+                  int rank) {
+  std::vector<std::byte> v(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) v[i] = pattern_byte(rank, i);
+  p.write_bytes(buf, v);
+}
+
+bool check_pattern(Process& p, std::uint64_t buf, std::size_t bytes,
+                   int sender_rank) {
+  std::vector<std::byte> v(bytes);
+  p.read_bytes(buf, v);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    if (v[i] != pattern_byte(sender_rank, i)) return false;
+  }
+  return true;
+}
+
+LiveRunResult fold(std::vector<host::LiveRankResult> ranks,
+                   std::vector<Sample> samples, bool data_ok) {
+  LiveRunResult out;
+  out.samples = std::move(samples);
+  out.data_ok = data_ok;
+  for (const auto& r : ranks) {
+    out.total_msgs_sent += r.nic_msgs_sent;
+    out.fw_retransmits += r.fw.retransmits;
+    out.crc_drops += r.nic_crc_drops;
+    out.transport_drops += r.drops_injected + r.send_failures;
+    if (!r.ok()) out.ranks_ok = false;
+  }
+  out.ranks = std::move(ranks);
+  return out;
+}
+
+}  // namespace
+
+LiveRunResult run_live_pingpong_sweep(const LiveOptions& opts,
+                                      const Options& np_opts) {
+  if (opts.ranks != 2) {
+    throw std::invalid_argument("live ping-pong needs exactly 2 ranks");
+  }
+  const std::vector<std::size_t> ladder = size_ladder(np_opts);
+  std::vector<Sample> samples;
+  std::array<bool, 2> ok{true, true};
+
+  host::LiveApp app = [&](LiveRank& lr) -> CoTask<void> {
+    LiveSide s;
+    s.proc = &lr.process();
+    co_await side_setup(s, np_opts.max_bytes);
+    fill_pattern(*s.proc, s.lbuf, np_opts.max_bytes, lr.rank());
+    co_await lr.barrier();
+    for (const std::size_t bytes : ladder) {
+      const int it = iters_for(bytes, np_opts);
+      co_await lr.barrier();
+      const Time t0 = lr.engine().now();
+      co_await pp_rounds(s, lr.peer(1 - lr.rank()), bytes, it,
+                         lr.rank() == 0);
+      const Time t1 = lr.engine().now();
+      co_await lr.barrier();
+      if (!check_pattern(*s.proc, s.rbuf, bytes, 1 - lr.rank())) {
+        ok[static_cast<std::size_t>(lr.rank())] = false;
+      }
+      if (lr.rank() == 0) {
+        Sample smp;
+        smp.bytes = bytes;
+        smp.usec_per_transfer = (t1 - t0).to_us() / (2.0 * it);
+        smp.mbytes_per_sec =
+            static_cast<double>(bytes) / smp.usec_per_transfer;
+        samples.push_back(smp);
+      }
+    }
+  };
+
+  auto ranks = host::run_live_cluster(opts, app);
+  return fold(std::move(ranks), std::move(samples), ok[0] && ok[1]);
+}
+
+LiveRunResult run_live_pingpong(const LiveOptions& opts, std::size_t bytes,
+                                int iters) {
+  if (opts.ranks != 2) {
+    throw std::invalid_argument("live ping-pong needs exactly 2 ranks");
+  }
+  std::vector<Sample> samples;
+  std::array<bool, 2> ok{true, true};
+
+  host::LiveApp app = [&](LiveRank& lr) -> CoTask<void> {
+    LiveSide s;
+    s.proc = &lr.process();
+    co_await side_setup(s, bytes);
+    fill_pattern(*s.proc, s.lbuf, bytes, lr.rank());
+    co_await lr.barrier();
+    const Time t0 = lr.engine().now();
+    co_await pp_rounds(s, lr.peer(1 - lr.rank()), bytes, iters,
+                       lr.rank() == 0);
+    const Time t1 = lr.engine().now();
+    co_await lr.barrier();
+    if (!check_pattern(*s.proc, s.rbuf, bytes, 1 - lr.rank())) {
+      ok[static_cast<std::size_t>(lr.rank())] = false;
+    }
+    if (lr.rank() == 0) {
+      Sample smp;
+      smp.bytes = bytes;
+      smp.usec_per_transfer = (t1 - t0).to_us() / (2.0 * iters);
+      smp.mbytes_per_sec =
+          static_cast<double>(bytes) / smp.usec_per_transfer;
+      samples.push_back(smp);
+    }
+  };
+
+  auto ranks = host::run_live_cluster(opts, app);
+  return fold(std::move(ranks), std::move(samples), ok[0] && ok[1]);
+}
+
+LiveRunResult run_live_allreduce(const LiveOptions& opts, int rounds,
+                                 std::uint32_t count) {
+  const int n = opts.ranks;
+  std::vector<std::uint8_t> ok(static_cast<std::size_t>(n), 1);
+
+  host::LiveApp app = [&](LiveRank& lr) -> CoTask<void> {
+    std::vector<ProcessId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) ids.push_back(lr.peer(r));
+    mpi::Comm comm(lr.process(), ids, lr.rank(), mpi::Flavor::mpich1());
+    (void)co_await comm.init();
+    co_await lr.barrier();
+
+    const std::uint64_t buf = lr.process().alloc(count * 8);
+    std::vector<double> v(count);
+    for (int round = 0; round < rounds; ++round) {
+      // Integer-valued doubles: the sum is exact regardless of the
+      // reduction's association order, so verification can be ==.
+      for (std::uint32_t i = 0; i < count; ++i) {
+        v[i] = static_cast<double>(lr.rank() + 1) +
+               static_cast<double>(i) + static_cast<double>(round);
+      }
+      lr.process().write_bytes(buf, std::as_bytes(std::span(v)));
+      (void)co_await comm.allreduce_sum(buf, count);
+      lr.process().read_bytes(buf, std::as_writable_bytes(std::span(v)));
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const double expect =
+            static_cast<double>(n) * static_cast<double>(n + 1) / 2.0 +
+            static_cast<double>(n) *
+                (static_cast<double>(i) + static_cast<double>(round));
+        if (v[i] != expect) {
+          ok[static_cast<std::size_t>(lr.rank())] = 0;
+          break;
+        }
+      }
+    }
+    co_await lr.barrier();
+  };
+
+  auto ranks = host::run_live_cluster(opts, app);
+  bool all_ok = true;
+  for (const auto o : ok) all_ok = all_ok && o != 0;
+  return fold(std::move(ranks), {}, all_ok);
+}
+
+}  // namespace xt::np

@@ -1,0 +1,58 @@
+#pragma once
+
+// Live (UDP loopback) counterparts of the NetPIPE patterns and the mini-MPI
+// allreduce: the same Portals call sequences PortalsModule/MpiModule issue
+// in simulation, restructured as per-rank coroutines so each side runs on
+// its own host thread over host::run_live_cluster.  Timing is wall-clock
+// (engine time tracks the wall in live mode), so Samples from here are
+// directly comparable with simulated ones — that comparison is bench/xval.
+
+#include <cstdint>
+#include <vector>
+
+#include "host/live_cluster.hpp"
+#include "netpipe/netpipe.hpp"
+
+namespace xt::np {
+
+struct LiveRunResult {
+  /// Rank 0's wall-clock timings per rung (ping-pong sweep only).
+  std::vector<Sample> samples;
+  std::vector<host::LiveRankResult> ranks;
+
+  // Cluster-wide aggregates, folded from `ranks`.
+  std::uint64_t total_msgs_sent = 0;   ///< NIC messages, all ranks
+  std::uint64_t fw_retransmits = 0;    ///< go-back-n resends, all ranks
+  std::uint64_t crc_drops = 0;         ///< corrupted deliveries, all ranks
+  std::uint64_t transport_drops = 0;   ///< datagrams lost before the wire
+
+  /// Application-level payload verification across all ranks and rounds
+  /// (receive buffers matched the bytes the peer sent; allreduce results
+  /// matched the closed-form sum).
+  bool data_ok = true;
+  /// No rank panicked, erred, or timed out.
+  bool ranks_ok = true;
+
+  bool ok() const { return data_ok && ranks_ok && crc_drops == 0; }
+};
+
+/// NetPIPE put ping-pong over live UDP between two ranks, one rung per
+/// entry of the ladder `size_ladder(np_opts)`, `iters_for`-scaled
+/// iterations per rung; every rung's receive buffer is verified against
+/// the sender's fill pattern.  `opts.ranks` must be 2.
+LiveRunResult run_live_pingpong_sweep(const host::LiveOptions& opts,
+                                      const Options& np_opts);
+
+/// Fixed-size live ping-pong soak: `iters` round trips of `bytes`, data
+/// verified on both sides.  Used by the acceptance soak (>=100k messages)
+/// and the CI smoke.
+LiveRunResult run_live_pingpong(const host::LiveOptions& opts,
+                                std::size_t bytes, int iters);
+
+/// `rounds` mini-MPI allreduce_sum calls across `opts.ranks` live ranks
+/// (`count` doubles each), each round's result verified against the
+/// closed-form expected sum on every rank.
+LiveRunResult run_live_allreduce(const host::LiveOptions& opts, int rounds,
+                                 std::uint32_t count);
+
+}  // namespace xt::np

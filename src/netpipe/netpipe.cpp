@@ -397,8 +397,6 @@ std::vector<std::size_t> size_ladder(const Options& opts) {
   return out;
 }
 
-namespace {
-
 int iters_for(std::size_t bytes, const Options& opts) {
   // NetPIPE keeps each test's duration roughly constant; scale the
   // iteration count down as the message (and thus simulation cost) grows.
@@ -407,8 +405,6 @@ int iters_for(std::size_t bytes, const Options& opts) {
   const int iters = static_cast<int>(opts.base_iters * scale);
   return std::max(opts.min_iters, iters);
 }
-
-}  // namespace
 
 std::vector<Sample> run_sweep(Machine& m, Module& mod, Pattern pattern,
                               const Options& opts) {

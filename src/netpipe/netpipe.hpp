@@ -75,6 +75,11 @@ std::vector<Sample> run_sweep(host::Machine& m, Module& mod, Pattern pattern,
 /// each power of two with +/- perturbation, clamped to [min, max].
 std::vector<std::size_t> size_ladder(const Options& opts);
 
+/// Iterations measured at a given size (NetPIPE's constant-duration
+/// scaling); shared by the sim sweep and the live (wall-clock) sweep so
+/// their per-rung workloads are identical.
+int iters_for(std::size_t bytes, const Options& opts);
+
 /// Renders samples as the gnuplot-style table the paper's figures plot.
 std::string format_table(const char* series, Pattern pattern,
                          const std::vector<Sample>& samples);

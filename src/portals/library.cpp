@@ -370,9 +370,9 @@ int validate_md_desc(MdDesc& d, const Memory& mem) {
 }
 }  // namespace
 
-std::vector<IoVec> Library::md_slice(const MdDesc& desc, std::uint64_t offset,
-                                     std::uint32_t len) {
-  std::vector<IoVec> out;
+IoVecList Library::md_slice(const MdDesc& desc, std::uint64_t offset,
+                            std::uint32_t len) {
+  IoVecList out;
   if (len == 0) return out;
   if ((desc.options & PTL_MD_IOVEC) == 0) {
     out.push_back(IoVec{desc.start + offset, len});
@@ -756,7 +756,7 @@ int Library::start_outgoing(OpRec::Kind kind, Nal::TxKind txkind,
     }
   }
 
-  std::vector<IoVec> payload;
+  IoVecList payload;
   if (kind == OpRec::Kind::kPutOut) {
     payload = md_slice(md->desc, offset, len);
   }
@@ -804,7 +804,7 @@ int Library::put_atomic_region(MdHandle md, std::uint64_t offset,
 }
 
 int Library::md_segments(MdHandle mdh, std::uint64_t offset,
-                         std::uint32_t len, std::vector<IoVec>* out) {
+                         std::uint32_t len, IoVecList* out) {
   MdRec* md = md_deref(mdh);
   if (md == nullptr) return PTL_MD_INVALID;
   if (offset + len > md->desc.length) return PTL_MD_ILLEGAL;

@@ -116,14 +116,14 @@ class Library {
   /// Segments covering the byte range [offset, offset+len) of an MD's
   /// logical space (one entry for contiguous MDs; pieces of the iovec list
   /// for PTL_MD_IOVEC descriptors).
-  static std::vector<IoVec> md_slice(const MdDesc& desc, std::uint64_t offset,
-                                     std::uint32_t len);
+  static IoVecList md_slice(const MdDesc& desc, std::uint64_t offset,
+                            std::uint32_t len);
 
   /// Segments of [offset, offset+len) of a LIVE MD — the triggered-op
   /// engine builds fire-time DMA programs from this.  PTL_MD_INVALID /
   /// PTL_MD_ILLEGAL on a dead handle or out-of-range window.
   int md_segments(MdHandle md, std::uint64_t offset, std::uint32_t len,
-                  std::vector<IoVec>* out);
+                  IoVecList* out);
 
   // ------------------------------------------------------ wire side ----
 
@@ -133,7 +133,7 @@ class Library {
     std::uint32_t mlength = 0;  // bytes to deposit
     /// Destination memory: one segment for contiguous MDs, several for
     /// PTL_MD_IOVEC descriptors.  Segments cover exactly mlength bytes.
-    std::vector<IoVec> segments;
+    IoVecList segments;
     std::uint64_t token = 0;     // hand back in deposited()/dropped()
     std::size_t entries_walked = 0;  // match-list work (for cost models)
     /// Counting event of the matched MD (PTL_MD_EVENT_CT_PUT); kCtNone
@@ -159,7 +159,7 @@ class Library {
     bool deliver = false;
     std::uint32_t mlength = 0;
     /// Source memory for the reply (scatter/gather for IOVEC MDs).
-    std::vector<IoVec> segments;
+    IoVecList segments;
     std::uint64_t token = 0;     // echo via reply_sent()
     WireHeader reply_header;     // ready to transmit (op kReply)
     std::size_t entries_walked = 0;

@@ -14,7 +14,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "portals/types.hpp"
 #include "portals/wire.hpp"
@@ -42,10 +41,12 @@ class Nal {
   /// Queues one Portals message for transmission.  `dst_nid` is the target
   /// node (it travels in the routing header, not the Portals header).
   /// `payload` is the (possibly scatter/gather) source in the calling
-  /// process's memory — empty for get requests and acks.  `token` is
-  /// echoed in the library's completion callback for this transmit.
+  /// process's memory — empty for get requests and acks.  Taken by value
+  /// and moved down the stack; IoVecList keeps small lists inline, so a
+  /// typical send never allocates for its segment list.  `token` is echoed
+  /// in the library's completion callback for this transmit.
   virtual int send(TxKind kind, std::uint32_t dst_nid, const WireHeader& hdr,
-                   std::vector<IoVec> payload, std::uint64_t token) = 0;
+                   IoVecList payload, std::uint64_t token) = 0;
 
   /// This node's id (PtlGetId) and topology distance (PtlNIDist).
   virtual std::uint32_t nid() const = 0;

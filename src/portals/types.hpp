@@ -7,7 +7,10 @@
 // their PTL_* spellings so code written against the real portals3.h reads
 // the same.
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
 #include "portals/wire.hpp"
@@ -125,6 +128,109 @@ struct IoVec {
   std::uint64_t start = 0;
   std::uint32_t length = 0;
   friend bool operator==(const IoVec&, const IoVec&) = default;
+};
+
+/// Segment list for the transmit/deposit hot path.  Almost every Portals
+/// message describes one contiguous region (a handful for IOVEC MDs), so
+/// up to kInlineCapacity segments live inside the object and building or
+/// moving a typical list never touches the heap; longer lists spill to an
+/// allocation.  Contiguous storage: converts to std::span<const IoVec>.
+class IoVecList {
+ public:
+  static constexpr std::size_t kInlineCapacity = 4;
+  using value_type = IoVec;
+  using iterator = IoVec*;
+  using const_iterator = const IoVec*;
+
+  IoVecList() = default;
+  IoVecList(std::initializer_list<IoVec> init) {
+    reserve(init.size());
+    for (const IoVec& v : init) data_[size_++] = v;
+  }
+  IoVecList(const IoVecList& o) {
+    reserve(o.size_);
+    for (std::size_t i = 0; i < o.size_; ++i) data_[i] = o.data_[i];
+    size_ = o.size_;
+  }
+  IoVecList(IoVecList&& o) noexcept { steal(o); }
+  IoVecList& operator=(const IoVecList& o) {
+    if (this != &o) {
+      clear();
+      reserve(o.size_);
+      for (std::size_t i = 0; i < o.size_; ++i) data_[i] = o.data_[i];
+      size_ = o.size_;
+    }
+    return *this;
+  }
+  IoVecList& operator=(IoVecList&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+  ~IoVecList() { release(); }
+
+  void push_back(const IoVec& v) {
+    if (size_ == cap_) reserve(cap_ * 2);
+    data_[size_++] = v;
+  }
+  void reserve(std::size_t n) {
+    if (n <= cap_) return;
+    IoVec* heap = new IoVec[n];
+    for (std::size_t i = 0; i < size_; ++i) heap[i] = data_[i];
+    release();
+    data_ = heap;
+    cap_ = n;
+  }
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  IoVec* data() { return data_; }
+  const IoVec* data() const { return data_; }
+  IoVec& operator[](std::size_t i) { return data_[i]; }
+  const IoVec& operator[](std::size_t i) const { return data_[i]; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  friend bool operator==(const IoVecList& a, const IoVecList& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool inlined() const { return data_ == inline_; }
+  void release() {
+    if (!inlined()) delete[] data_;
+    data_ = inline_;
+    size_ = 0;
+    cap_ = kInlineCapacity;
+  }
+  /// Takes o's storage (pointer steal when spilled, element copy when
+  /// inline) and leaves o empty.
+  void steal(IoVecList& o) noexcept {
+    if (o.inlined()) {
+      for (std::size_t i = 0; i < o.size_; ++i) inline_[i] = o.inline_[i];
+      size_ = o.size_;
+    } else {
+      data_ = std::exchange(o.data_, o.inline_);
+      size_ = std::exchange(o.size_, 0);
+      cap_ = std::exchange(o.cap_, kInlineCapacity);
+      return;
+    }
+    o.size_ = 0;
+  }
+
+  IoVec inline_[kInlineCapacity];
+  IoVec* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = kInlineCapacity;
 };
 
 /// ptl_md_t: a memory descriptor visible to the API user.  `start` is a

@@ -13,16 +13,16 @@ namespace xt::ss {
 using telemetry::Stage;
 using telemetry::prov_stamp;
 
-Nic::Nic(sim::Engine& eng, const Config& cfg, net::Network& net,
+Nic::Nic(sim::Engine& eng, const Config& cfg, transport::Transport& tp,
          net::NodeId node)
     : eng_(eng),
       cfg_(cfg),
-      net_(net),
+      tp_(tp),
       node_(node),
       sram_(cfg.sram_bytes),
       tx_dma_(eng, sim::strf("nic%u.tx", node)),
       rx_dma_(eng, sim::strf("nic%u.rx", node)) {
-  net_.attach(node, *this);
+  tp_.attach(node, *this);
   auto& reg = eng_.metrics();
   const std::string pre = sim::strf("nic.n%u.", node_);
   m_tx_busy_ps_ = &reg.gauge(pre + "tx_busy_ps");
@@ -48,8 +48,8 @@ sim::CoTask<void> Nic::transmit(net::MessagePtr msg, PayloadReader reader,
     m_sram_used_->record(sram_.used());
   }
   prov_stamp(eng_, msg->prov_id, Stage::kWireHeader);
-  net_.begin(msg);
-  net_.inject_header(msg);
+  tp_.begin(msg);
+  tp_.inject_header(msg);
   // Stream the payload: read each chunk from host memory at the effective
   // HT rate, then hand it to the wire (which is faster, so it never back-
   // pressures the engine in the uncongested case).  The end-to-end CRC-32
@@ -57,7 +57,7 @@ sim::CoTask<void> Nic::transmit(net::MessagePtr msg, PayloadReader reader,
   // actually read from host memory, and the final value is sealed before
   // the last chunk is injected (the check happens at the far end after
   // that chunk lands).
-  const std::size_t chunk = net_.chunk_size();
+  const std::size_t chunk = tp_.chunk_size();
   std::uint32_t crc = net::crc32_init();
   crc = net::crc32_update(crc, msg->header);
   for (std::size_t off = 0; off < payload_bytes; off += chunk) {
@@ -67,7 +67,7 @@ sim::CoTask<void> Nic::transmit(net::MessagePtr msg, PayloadReader reader,
     if (reader) reader(off, slice);
     crc = net::crc32_update(crc, slice);
     if (off + len == payload_bytes) msg->e2e_crc = net::crc32_finish(crc);
-    net_.inject_payload(msg, off, len, off + len == payload_bytes);
+    tp_.inject_payload(msg, off, len, off + len == payload_bytes);
   }
   ++msgs_sent_;
   bytes_sent_ += payload_bytes;

@@ -18,13 +18,13 @@
 #include <span>
 
 #include "net/message.hpp"
-#include "net/network.hpp"
 #include "seastar/config.hpp"
 #include "seastar/sram.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
 #include "telemetry/metrics.hpp"
+#include "transport/transport.hpp"
 
 namespace xt::ss {
 
@@ -47,7 +47,7 @@ using PayloadReader =
 
 class Nic final : public net::Endpoint {
  public:
-  Nic(sim::Engine& eng, const Config& cfg, net::Network& net,
+  Nic(sim::Engine& eng, const Config& cfg, transport::Transport& tp,
       net::NodeId node);
 
   void set_rx_client(RxClient& c) { client_ = &c; }
@@ -78,7 +78,7 @@ class Nic final : public net::Endpoint {
   Sram& sram() { return sram_; }
   const Config& config() const { return cfg_; }
   sim::Engine& engine() const { return eng_; }
-  net::Network& network() { return net_; }
+  transport::Transport& transport() { return tp_; }
 
   // Counters.
   std::uint64_t msgs_sent() const { return msgs_sent_; }
@@ -92,7 +92,7 @@ class Nic final : public net::Endpoint {
  private:
   sim::Engine& eng_;
   const Config& cfg_;
-  net::Network& net_;
+  transport::Transport& tp_;
   net::NodeId node_;
   Sram sram_;
   sim::Resource tx_dma_;

@@ -96,6 +96,13 @@ class Engine {
   bool empty() const { return live_ == 0; }
   std::size_t pending() const { return live_; }
 
+  /// Earliest pending heap entry, or Time::max() when the queue is empty.
+  /// The entry may be a cancelled slot, so this is a conservative (never
+  /// late) bound — which is all a realtime driver needs to size its sleep.
+  Time next_event_time() const {
+    return heap_.empty() ? Time::max() : heap_.top().t;
+  }
+
   /// Total events executed since construction (for stats / budget guards).
   std::uint64_t executed() const { return executed_; }
 

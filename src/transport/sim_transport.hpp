@@ -1,0 +1,43 @@
+#pragma once
+
+// The DES SeaStar wire model re-homed as a Transport backend.
+//
+// Pure delegation to net::Network — every call forwards unchanged, so a
+// Machine built over SimTransport is event-for-event identical to one
+// that handed the Network to its NICs directly (the golden-output tests
+// hold this to byte-identical stdout).
+
+#include "net/network.hpp"
+#include "transport/transport.hpp"
+
+namespace xt::transport {
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(net::Network& net) : net_(net) {}
+
+  Kind kind() const override { return Kind::kSim; }
+  const net::Shape& shape() const override { return net_.shape(); }
+  std::size_t chunk_size() const override { return net_.chunk_size(); }
+  void attach(net::NodeId node, net::Endpoint& ep) override {
+    net_.attach(node, ep);
+  }
+  void begin(const net::MessagePtr& msg) override { net_.begin(msg); }
+  void inject_header(const net::MessagePtr& msg) override {
+    net_.inject_header(msg);
+  }
+  void inject_payload(const net::MessagePtr& msg, std::size_t offset,
+                      std::size_t len, bool last) override {
+    net_.inject_payload(msg, offset, len, last);
+  }
+  std::uint64_t total_retries() const override {
+    return net_.total_retries();
+  }
+
+  net::Network& network() { return net_; }
+
+ private:
+  net::Network& net_;
+};
+
+}  // namespace xt::transport

@@ -1,0 +1,19 @@
+#include "transport/transport.hpp"
+
+namespace xt::transport {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kSim: return "sim";
+    case Kind::kUdp: return "udp";
+  }
+  return "?";
+}
+
+std::optional<Kind> kind_from_name(std::string_view name) {
+  if (name == "sim") return Kind::kSim;
+  if (name == "udp") return Kind::kUdp;
+  return std::nullopt;
+}
+
+}  // namespace xt::transport

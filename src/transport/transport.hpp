@@ -1,0 +1,81 @@
+#pragma once
+
+// The pluggable packet layer beneath the NAL (ROADMAP item 2).
+//
+// The paper's central architectural claim (§3.1-3.2) is that one
+// platform-independent Portals library runs over many NALs.  This seam is
+// the packet-layer half of that claim, mirroring the swappable bxipkt
+// layer of the BullSequana portails4 stack: everything above it — the
+// firmware's go-back-n, the Portals library, mini-MPI, NetPIPE — is
+// transport-agnostic, and everything below it is one of two backends:
+//
+//   * sim  — the DES SeaStar wire model (net::Network): simulated links,
+//            simulated time, deterministic fault injection;
+//   * udp  — real UDP loopback sockets: each rank is a real host thread,
+//            engine time tracks the wall clock, and packet loss is real
+//            (plus optionally injected), recovered by the same go-back-n
+//            firmware that the sim backend exercises.
+//
+// The interface is exactly the Network-facing surface the SeaStar Tx DMA
+// engine uses: begin / inject_header / inject_payload feed a message onto
+// the wire as the DMA engine reads bytes out of host memory; delivery
+// comes back through the net::Endpoint the receiving NIC registered with
+// attach().  A backend must deliver between a (src, dst) pair in
+// injection order (the in-order guarantee the paper attributes to the
+// table-based routers) or rely on the firmware's go-back-n to restore it.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "net/coord.hpp"
+#include "net/message.hpp"
+
+namespace xt::transport {
+
+enum class Kind : std::uint8_t { kSim, kUdp };
+
+const char* kind_name(Kind k);
+std::optional<Kind> kind_from_name(std::string_view name);
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Kind kind() const = 0;
+
+  /// Machine topology as seen by this backend.  The sim backend routes on
+  /// it; the udp backend only uses it for node count and the PtlNIDist
+  /// distance metric (all loopback peers are one real hop away).
+  virtual const net::Shape& shape() const = 0;
+
+  /// Transfer granularity the sending DMA engine should stream at.
+  virtual std::size_t chunk_size() const = 0;
+
+  /// Registers the receive endpoint (the NIC) for a node.
+  virtual void attach(net::NodeId node, net::Endpoint& ep) = 0;
+
+  /// Starts a message: assigns its sequence number and injection
+  /// timestamp.  The caller then feeds the wire with inject_header /
+  /// inject_payload as it reads bytes out of host memory; msg->e2e_crc
+  /// must be sealed before the last inject_payload call (header-only
+  /// messages seal it in begin()).
+  virtual void begin(const net::MessagePtr& msg) = 0;
+
+  /// Injects the 64-byte header packet.
+  virtual void inject_header(const net::MessagePtr& msg) = 0;
+
+  /// Injects payload bytes [offset, offset+len).  `last` marks the final
+  /// chunk; its arrival triggers Endpoint::on_complete at the far side.
+  virtual void inject_payload(const net::MessagePtr& msg, std::size_t offset,
+                              std::size_t len, bool last) = 0;
+
+  /// Link-level retries (sim: CRC retry protocol) or datagrams the
+  /// backend itself dropped before transmission (udp: injected loss +
+  /// kernel buffer overruns) — the transport's own loss accounting,
+  /// distinct from the firmware's end-to-end counters.
+  virtual std::uint64_t total_retries() const = 0;
+};
+
+}  // namespace xt::transport

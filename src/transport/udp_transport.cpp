@@ -1,0 +1,347 @@
+#include "transport/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+#include "net/crc.hpp"
+#include <poll.h>
+#include <stdexcept>
+#include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace xt::transport {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31505458;  // "XTP1"
+
+enum : std::uint8_t { kFragHeader = 0, kFragPayload = 1, kCtrl = 2 };
+
+// On-wire datagram prefix.  Loopback-only, so native byte order is fine;
+// every field is fixed-width and the struct is trivially copyable.
+struct FragHeader {
+  std::uint32_t magic = kMagic;
+  std::uint8_t type = kFragHeader;
+  std::uint8_t flags = 0;  // ctrl: bit0 = done
+  std::uint16_t reserved = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t seq = 0;  // ctrl: barrier round
+  std::uint32_t e2e_crc = 0;
+  std::uint32_t header_len = 0;   // total header-packet bytes
+  std::uint32_t payload_len = 0;  // total message payload bytes
+  std::uint32_t frag_off = 0;
+  std::uint32_t frag_len = 0;
+};
+static_assert(sizeof(FragHeader) == 48);
+
+/// Reassembly partials that lost a fragment never complete (go-back-n
+/// retransmits under a fresh seq); reap them after this much wall time.
+constexpr std::int64_t kPartialTtlPs = sim::Time::sec(2).to_ps();
+constexpr std::int64_t kGcIntervalPs = sim::Time::ms(500).to_ps();
+
+void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------------
+// UdpFabric
+
+UdpFabric::UdpFabric(int ranks, const UdpConfig& cfg) {
+  fds_.reserve(static_cast<std::size_t>(ranks));
+  addrs_.resize(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) throw_errno("udp fabric: socket");
+    fds_.push_back(fd);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &cfg.sndbuf_bytes,
+                 sizeof(cfg.sndbuf_bytes));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &cfg.rcvbuf_bytes,
+                 sizeof(cfg.rcvbuf_bytes));
+    sockaddr_in a{};
+    a.sin_family = AF_INET;
+    a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    a.sin_port = 0;  // kernel-assigned
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&a), sizeof(a)) != 0) {
+      throw_errno("udp fabric: bind");
+    }
+    socklen_t alen = sizeof(a);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&a), &alen) != 0) {
+      throw_errno("udp fabric: getsockname");
+    }
+    addrs_[static_cast<std::size_t>(r)] = a;
+  }
+}
+
+UdpFabric::~UdpFabric() {
+  for (int fd : fds_) ::close(fd);
+}
+
+// ------------------------------------------------------------------------
+// UdpTransport
+
+UdpTransport::UdpTransport(sim::Engine& eng, UdpFabric& fabric,
+                           net::NodeId self, net::Shape shape, UdpConfig cfg)
+    : eng_(eng),
+      fabric_(fabric),
+      self_(self),
+      shape_(std::move(shape)),
+      cfg_(cfg),
+      drop_rng_(cfg.drop_seed * 0x9e3779b97f4a7c15ull + self + 1),
+      ctrl_wq_(eng),
+      peer_round_(static_cast<std::size_t>(fabric.ranks()), 0),
+      peer_done_(static_cast<std::size_t>(fabric.ranks()), 0) {
+  rxbuf_.resize(sizeof(FragHeader) + cfg_.frag_bytes + 4096);
+}
+
+void UdpTransport::attach(net::NodeId node, net::Endpoint& ep) {
+  assert(node == self_ && "UdpTransport serves exactly its own rank");
+  (void)node;
+  ep_ = &ep;
+}
+
+void UdpTransport::begin(const net::MessagePtr& msg) {
+  // Fold the sender's node id into the high bits: firmware rx maps are
+  // keyed by seq across all sources, so seqs must be globally unique.
+  msg->seq = (static_cast<std::uint64_t>(self_) + 1) << 40 | ++next_seq_;
+  msg->injected_at = eng_.now();
+  // Same contract as Network::begin: seal a CRC over the header and the
+  // (still-unread) payload buffer.  For header-only messages this is the
+  // final value — the sending DMA engine only re-seals when it streams
+  // payload bytes.
+  std::uint32_t c = net::crc32_init();
+  c = net::crc32_update(c, msg->header);
+  c = net::crc32_update(c, msg->payload);
+  msg->e2e_crc = net::crc32_finish(c);
+}
+
+void UdpTransport::inject_header(const net::MessagePtr& msg) {
+  // Header-only messages are complete here; the DMA engine never calls
+  // inject_payload for them.  Messages with payload transmit on the final
+  // inject_payload, once the payload buffer is filled and the CRC sealed.
+  if (msg->payload.empty()) transmit_message(msg);
+}
+
+void UdpTransport::inject_payload(const net::MessagePtr& msg,
+                                  std::size_t offset, std::size_t len,
+                                  bool last) {
+  // The sending DMA engine fills msg->payload in order and seals e2e_crc
+  // before the last chunk, so the message is only wire-ready now.
+  (void)offset;
+  (void)len;
+  if (last) transmit_message(msg);
+}
+
+void UdpTransport::transmit_message(const net::MessagePtr& msg) {
+  FragHeader fh;
+  fh.src = msg->src;
+  fh.dst = msg->dst;
+  fh.seq = msg->seq;
+  fh.e2e_crc = msg->e2e_crc;
+  fh.header_len = static_cast<std::uint32_t>(msg->header.size());
+  fh.payload_len = static_cast<std::uint32_t>(msg->payload.size());
+
+  std::vector<std::byte> buf(sizeof(FragHeader) + cfg_.frag_bytes);
+
+  // Fragment 0: the 64-byte header packet.
+  fh.type = kFragHeader;
+  fh.frag_off = 0;
+  fh.frag_len = fh.header_len;
+  std::memcpy(buf.data(), &fh, sizeof(fh));
+  std::memcpy(buf.data() + sizeof(fh), msg->header.data(),
+              msg->header.size());
+  send_datagram(msg->dst, buf.data(), sizeof(fh) + msg->header.size(),
+                /*droppable=*/true);
+
+  // Payload fragments.
+  fh.type = kFragPayload;
+  for (std::size_t off = 0; off < msg->payload.size();
+       off += cfg_.frag_bytes) {
+    const std::size_t n = std::min(cfg_.frag_bytes, msg->payload.size() - off);
+    fh.frag_off = static_cast<std::uint32_t>(off);
+    fh.frag_len = static_cast<std::uint32_t>(n);
+    std::memcpy(buf.data(), &fh, sizeof(fh));
+    std::memcpy(buf.data() + sizeof(fh), msg->payload.data() + off, n);
+    send_datagram(msg->dst, buf.data(), sizeof(fh) + n, /*droppable=*/true);
+  }
+}
+
+void UdpTransport::send_datagram(net::NodeId dst, const void* buf,
+                                 std::size_t len, bool droppable) {
+  if (droppable && cfg_.drop_rate > 0.0 && drop_rng_.chance(cfg_.drop_rate)) {
+    ++drops_injected_;
+    return;
+  }
+  const sockaddr_in& peer = fabric_.addr(static_cast<int>(dst));
+  const ssize_t rc =
+      ::sendto(fabric_.fd(static_cast<int>(self_)), buf, len, 0,
+               reinterpret_cast<const sockaddr*>(&peer), sizeof(peer));
+  if (rc < 0) {
+    // EAGAIN / ENOBUFS are genuine transmit losses; let go-back-n (data)
+    // or the periodic rebroadcast (ctrl) recover them.
+    if (droppable) ++send_failures_;
+    return;
+  }
+  ++datagrams_sent_;
+}
+
+int UdpTransport::poll() {
+  int consumed = 0;
+  const int fd = fabric_.fd(static_cast<int>(self_));
+  for (;;) {
+    const ssize_t rc = ::recv(fd, rxbuf_.data(), rxbuf_.size(), 0);
+    if (rc < 0) break;  // EAGAIN: drained
+    ++datagrams_received_;
+    ++consumed;
+    // Stamp this datagram's deliveries at its real arrival instant, not at
+    // whatever wall reading the driver loop last synced to — under load the
+    // engine batch before poll() can eat a millisecond of real time, and
+    // arrivals during a long drain would otherwise all share one stale
+    // timestamp (receive stamps earlier than the sender's send time).
+    sync_clock();
+    handle_datagram(rxbuf_.data(), static_cast<std::size_t>(rc));
+  }
+  if (!partials_.empty() &&
+      eng_.now().to_ps() - last_gc_ps_ > kGcIntervalPs) {
+    gc_partials();
+  }
+  return consumed;
+}
+
+void UdpTransport::handle_datagram(const std::byte* buf, std::size_t len) {
+  if (len < sizeof(FragHeader)) return;
+  FragHeader fh;
+  std::memcpy(&fh, buf, sizeof(fh));
+  if (fh.magic != kMagic) return;
+
+  if (fh.type == kCtrl) {
+    const auto src = static_cast<std::size_t>(fh.src);
+    if (src < peer_round_.size()) {
+      peer_round_[src] = std::max(peer_round_[src], fh.seq);
+      peer_done_[src] = static_cast<std::uint8_t>(peer_done_[src] |
+                                                  (fh.flags & 1u));
+    }
+    ctrl_wq_.notify_all();
+    return;
+  }
+
+  if (len < sizeof(FragHeader) + fh.frag_len) return;  // truncated
+
+  Partial& p = partials_[fh.seq];
+  if (!p.msg) {
+    p.msg = std::make_shared<net::Message>();
+    p.msg->src = fh.src;
+    p.msg->dst = fh.dst;
+    p.msg->seq = fh.seq;
+    p.msg->e2e_crc = fh.e2e_crc;
+    p.msg->payload.resize(fh.payload_len);
+    p.first_at = eng_.now();
+  }
+
+  if (fh.type == kFragHeader) {
+    if (!p.header_seen) {
+      p.header_seen = true;
+      p.msg->header.assign(buf + sizeof(fh), buf + sizeof(fh) + fh.frag_len);
+    }
+  } else if (fh.type == kFragPayload) {
+    if (fh.frag_off + static_cast<std::uint64_t>(fh.frag_len) >
+        p.msg->payload.size()) {
+      return;  // malformed
+    }
+    const std::size_t idx = fh.frag_off / cfg_.frag_bytes;
+    if (p.got_frag.size() <= idx) p.got_frag.resize(idx + 1, false);
+    if (!p.got_frag[idx]) {
+      p.got_frag[idx] = true;
+      std::memcpy(p.msg->payload.data() + fh.frag_off, buf + sizeof(fh),
+                  fh.frag_len);
+      p.bytes += fh.frag_len;
+    }
+  }
+
+  if (p.header_seen && p.bytes == p.msg->payload.size()) {
+    net::MessagePtr msg = std::move(p.msg);
+    partials_.erase(fh.seq);
+    deliver(msg);
+  }
+}
+
+void UdpTransport::deliver(const net::MessagePtr& msg) {
+  msg->header_at = eng_.now();
+  msg->completed_at = eng_.now();
+  if (!ep_) return;
+  // Back-to-back milestones: over UDP the whole message materializes at
+  // once, which the Rx path already supports (the sim fabric delivers
+  // inline messages the same way).
+  ep_->on_header(msg);
+  ep_->on_complete(msg);
+}
+
+void UdpTransport::sync_clock() {
+  if (!wall_clock_) return;
+  const std::int64_t wall = wall_clock_();
+  if (wall > eng_.now().to_ps()) eng_.run_until(sim::Time::ps(wall));
+}
+
+void UdpTransport::gc_partials() {
+  const std::int64_t now_ps = eng_.now().to_ps();
+  last_gc_ps_ = now_ps;
+  for (auto it = partials_.begin(); it != partials_.end();) {
+    if (now_ps - it->second.first_at.to_ps() > kPartialTtlPs) {
+      it = partials_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void UdpTransport::wait_readable(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fabric_.fd(static_cast<int>(self_));
+  pfd.events = POLLIN;
+  ::poll(&pfd, 1, timeout_ms);
+}
+
+// ------------------------------------------------------------------------
+// Control plane
+
+void UdpTransport::broadcast_ctrl() {
+  FragHeader fh;
+  fh.type = kCtrl;
+  fh.src = self_;
+  fh.seq = my_round_;
+  fh.flags = done_ ? 1 : 0;
+  for (int r = 0; r < fabric_.ranks(); ++r) {
+    if (static_cast<net::NodeId>(r) == self_) continue;
+    fh.dst = static_cast<std::uint32_t>(r);
+    send_datagram(static_cast<net::NodeId>(r), &fh, sizeof(fh),
+                  /*droppable=*/false);
+  }
+}
+
+void UdpTransport::barrier_enter() {
+  ++my_round_;
+  broadcast_ctrl();
+}
+
+bool UdpTransport::barrier_released() const {
+  for (std::size_t r = 0; r < peer_round_.size(); ++r) {
+    if (r == self_) continue;
+    if (peer_round_[r] < my_round_) return false;
+  }
+  return true;
+}
+
+bool UdpTransport::peers_done() const {
+  for (std::size_t r = 0; r < peer_done_.size(); ++r) {
+    if (r == self_) continue;
+    if (!peer_done_[r]) return false;
+  }
+  return true;
+}
+
+}  // namespace xt::transport

@@ -1,0 +1,196 @@
+#pragma once
+
+// Real UDP loopback backend: the same Portals/firmware stack serving live
+// multi-process traffic (ROADMAP item 2, the bxipkt_udp.c analogue).
+//
+// Each rank owns one datagram socket bound to 127.0.0.1 (the UdpFabric
+// opens all of them up front so every rank knows every peer's port before
+// any thread starts).  A net::Message becomes one or more datagrams: the
+// first fragment carries the 64-byte header packet and the message's
+// end-to-end CRC, later fragments carry payload slices.  Reassembly is
+// keyed on the message sequence number, which the sender makes globally
+// unique by folding its node id into the high bits — the firmware's
+// go-back-n bookkeeping (inflight maps keyed by seq) relies on that.
+//
+// Loss is real: the kernel drops datagrams when a socket buffer overruns,
+// and the backend can additionally drop outgoing datagrams with a seeded
+// RNG (drop_rate) to exercise recovery deterministically.  Either way the
+// firmware's go-back-n protocol — the same code the sim backend runs —
+// detects the gap via WireHeader::stream_seq and rewinds.  Run it with a
+// config from host::live_udp_config(): go-back-n on, watchdog timeouts
+// scaled from microsecond sim-fabric values to wall-clock socket RTTs.
+//
+// Threading: one UdpTransport belongs to one rank thread, the one driving
+// its sim::Engine in realtime (host::LiveCluster).  poll() is called
+// between engine batches on that thread, so delivery callbacks run in
+// engine context; only the socket itself is shared with peer threads (the
+// kernel serializes datagram sends/receives).
+//
+// A side control channel (broadcast_ctrl / poll) carries each rank's
+// barrier round and done flag for app-level rendezvous and run
+// termination; it is retransmitted periodically by the driver loop, so
+// control losses only cost latency.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <netinet/in.h>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "transport/transport.hpp"
+
+namespace xt::transport {
+
+struct UdpConfig {
+  /// Injected egress loss: each outgoing data datagram is dropped with
+  /// this probability (seeded, deterministic per rank).  Exercises the
+  /// same go-back-n recovery that real socket-buffer overruns need.
+  double drop_rate = 0.0;
+  std::uint64_t drop_seed = 1;
+  /// Payload bytes per datagram (the loopback MTU is ~64 KB; staying well
+  /// below leaves room for the fragment header).
+  std::size_t frag_bytes = 32 * 1024;
+  /// DMA streaming granularity reported to the sending NIC.  Larger than
+  /// the sim fabric's 2 KB: wall-clock runs gain nothing from fine-grained
+  /// virtual pipelining events.
+  std::size_t chunk_size = 32 * 1024;
+  int sndbuf_bytes = 4 << 20;
+  int rcvbuf_bytes = 4 << 20;
+};
+
+/// All ranks' sockets, opened and bound before any rank thread starts so
+/// the rank -> (fd, port) table is immutable while threads run.
+class UdpFabric {
+ public:
+  explicit UdpFabric(int ranks, const UdpConfig& cfg = {});
+  ~UdpFabric();
+  UdpFabric(const UdpFabric&) = delete;
+  UdpFabric& operator=(const UdpFabric&) = delete;
+
+  int ranks() const { return static_cast<int>(fds_.size()); }
+  int fd(int rank) const { return fds_[static_cast<std::size_t>(rank)]; }
+  const sockaddr_in& addr(int rank) const {
+    return addrs_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  std::vector<int> fds_;
+  std::vector<sockaddr_in> addrs_;
+};
+
+class UdpTransport final : public Transport {
+ public:
+  UdpTransport(sim::Engine& eng, UdpFabric& fabric, net::NodeId self,
+               net::Shape shape, UdpConfig cfg = {});
+
+  // ------------------------------------------------------- Transport ----
+  Kind kind() const override { return Kind::kUdp; }
+  const net::Shape& shape() const override { return shape_; }
+  std::size_t chunk_size() const override { return cfg_.chunk_size; }
+  void attach(net::NodeId node, net::Endpoint& ep) override;
+  void begin(const net::MessagePtr& msg) override;
+  void inject_header(const net::MessagePtr& msg) override;
+  void inject_payload(const net::MessagePtr& msg, std::size_t offset,
+                      std::size_t len, bool last) override;
+  /// Datagrams this backend dropped before the wire (injected loss plus
+  /// kernel send-buffer refusals) — each is a loss go-back-n must recover.
+  std::uint64_t total_retries() const override {
+    return drops_injected_ + send_failures_;
+  }
+
+  // ----------------------------------------- realtime driver surface ----
+  /// Drains the socket, delivering completed messages into the attached
+  /// endpoint and folding control datagrams into the peer table.  Returns
+  /// the number of datagrams consumed.  Must run on the engine thread.
+  int poll();
+  /// Blocks up to `timeout_ms` for the socket to become readable (0 = just
+  /// check).  The driver calls this when the engine is idle.
+  void wait_readable(int timeout_ms);
+  /// Realtime drivers install their wall-clock reader (picoseconds since
+  /// the shared epoch) here.  poll() then advances the engine to the
+  /// current wall instant before handling each datagram, so deliveries are
+  /// stamped at (or after) their real arrival time — without this, a long
+  /// event batch or drain leaves eng.now() stale and receive-side stamps
+  /// can precede the sender's send time.  Unset (single-threaded rigs):
+  /// the engine clock is never touched by poll().
+  void set_wall_clock(std::function<std::int64_t()> clock) {
+    wall_clock_ = std::move(clock);
+  }
+
+  // ------------------------------------- control plane (ctrl frames) ----
+  /// Sends this rank's (barrier round, done flag) to every peer.  The
+  /// driver re-broadcasts periodically, so a lost ctrl frame only delays.
+  void broadcast_ctrl();
+  void set_done() { done_ = true; }
+  bool done() const { return done_; }
+  /// Enters the next barrier round and broadcasts it.
+  void barrier_enter();
+  std::uint64_t barrier_round() const { return my_round_; }
+  /// True when every peer has reached (at least) this rank's round.
+  bool barrier_released() const;
+  /// True when every peer has signalled done.
+  bool peers_done() const;
+  /// Notified on every ctrl frame arrival (barrier waiters park here).
+  sim::WaitQueue& ctrl_wq() { return ctrl_wq_; }
+
+  // ------------------------------------------------------------ stats ----
+  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+  std::uint64_t datagrams_received() const { return datagrams_received_; }
+  std::uint64_t drops_injected() const { return drops_injected_; }
+  std::uint64_t send_failures() const { return send_failures_; }
+
+ private:
+  struct Partial {
+    net::MessagePtr msg;
+    std::size_t bytes = 0;          ///< payload bytes received so far
+    std::vector<bool> got_frag;     ///< per-fragment dedup bitmap
+    bool header_seen = false;
+    sim::Time first_at{};           ///< arrival of the first fragment (GC)
+  };
+
+  void send_datagram(net::NodeId dst, const void* buf, std::size_t len,
+                     bool droppable);
+  void transmit_message(const net::MessagePtr& msg);
+  void handle_datagram(const std::byte* buf, std::size_t len);
+  void deliver(const net::MessagePtr& msg);
+  /// Catches the engine clock up to the driver's wall clock (no-op when no
+  /// wall clock is installed).  Only legal outside engine event context —
+  /// poll() qualifies, it runs between engine batches.
+  void sync_clock();
+  /// Drops reassembly state whose retransmission superseded it (go-back-n
+  /// resends a message under a fresh seq, so partials with lost fragments
+  /// never complete on their own).
+  void gc_partials();
+
+  sim::Engine& eng_;
+  UdpFabric& fabric_;
+  net::NodeId self_;
+  net::Shape shape_;
+  UdpConfig cfg_;
+  net::Endpoint* ep_ = nullptr;
+  std::function<std::int64_t()> wall_clock_;
+  sim::Rng drop_rng_;
+  std::uint64_t next_seq_ = 0;
+
+  std::unordered_map<std::uint64_t, Partial> partials_;
+  std::vector<std::byte> rxbuf_;
+  std::int64_t last_gc_ps_ = 0;
+
+  // Control plane.
+  sim::WaitQueue ctrl_wq_;
+  std::uint64_t my_round_ = 0;
+  bool done_ = false;
+  std::vector<std::uint64_t> peer_round_;
+  std::vector<std::uint8_t> peer_done_;
+
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t datagrams_received_ = 0;
+  std::uint64_t drops_injected_ = 0;
+  std::uint64_t send_failures_ = 0;
+};
+
+}  // namespace xt::transport

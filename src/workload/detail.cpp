@@ -1,0 +1,269 @@
+#include "workload/detail.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "harness/scenario.hpp"
+#include "portals/api.hpp"
+#include "telemetry/hooks.hpp"
+#include "workload/pattern.hpp"
+
+namespace xt::workload::detail {
+
+namespace {
+using ptl::AckReq;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::ProcessId;
+using ptl::Unlink;
+using sim::CoTask;
+}  // namespace
+
+double interarrival_s(sim::Rng& rng, Arrival a, double rate) {
+  switch (a) {
+    case Arrival::kExponential:
+      return -std::log1p(-rng.uniform01()) / rate;
+    case Arrival::kUniform:
+      return 2.0 * rng.uniform01() / rate;
+    case Arrival::kFixed:
+      return 1.0 / rate;
+  }
+  return 1.0 / rate;
+}
+
+Plan build_plan(const WorkloadSpec& spec) {
+  const net::Shape shape = harness::shape_for_ranks(spec.ranks);
+  // Decorrelate the destination and arrival streams: both fork per-rank
+  // sub-streams in rank order, so they must not start from the same state.
+  sim::Rng seeder(spec.seed);
+  const std::uint64_t pattern_seed = seeder.u64();
+  const std::uint64_t arrival_seed = seeder.u64();
+
+  Pattern pat(spec.pattern, shape, spec.ranks, pattern_seed);
+  const bool dedicated =
+      spec.pattern == PatternKind::kRpc && spec.rpc_clients > 0;
+  const int servers = spec.ranks - spec.rpc_clients;
+  assert(!dedicated || servers >= 1);
+
+  Plan plan;
+  plan.send.resize(static_cast<std::size_t>(spec.ranks));
+  plan.expect_data.assign(static_cast<std::size_t>(spec.ranks), 0);
+
+  // Dedicated-server RPC draws its own per-client streams (the generic
+  // Pattern draws servers uniformly over *all* other ranks).
+  std::vector<sim::Rng> cli_rng;
+  if (dedicated) {
+    sim::Rng base(pattern_seed);
+    for (int r = 0; r < spec.rpc_clients; ++r) cli_rng.push_back(base.fork());
+  }
+
+  for (int r = 0; r < spec.ranks; ++r) {
+    const bool sender =
+        dedicated ? r < spec.rpc_clients : pat.is_sender(r);
+    if (!sender) continue;
+    RankPlan& rp = plan.send[static_cast<std::size_t>(r)];
+    rp.dest.reserve(static_cast<std::size_t>(spec.msgs_per_sender));
+    for (int i = 0; i < spec.msgs_per_sender; ++i) {
+      const int dst =
+          dedicated
+              ? spec.rpc_clients +
+                    static_cast<int>(cli_rng[static_cast<std::size_t>(r)]
+                                         .below(static_cast<std::uint64_t>(
+                                             servers)))
+              : pat.dest(r, static_cast<std::uint64_t>(i));
+      rp.dest.push_back(dst);
+      ++plan.expect_data[static_cast<std::size_t>(dst)];
+    }
+  }
+
+  if (spec.loop == Loop::kOpen) {
+    assert(spec.offered_msgs_per_sec > 0.0);
+    int senders = 0;
+    for (const RankPlan& rp : plan.send) senders += rp.dest.empty() ? 0 : 1;
+    const double rate = spec.offered_msgs_per_sec / std::max(senders, 1);
+    sim::Rng abase(arrival_seed);
+    for (int r = 0; r < spec.ranks; ++r) {
+      sim::Rng arng = abase.fork();  // rank order, senders or not
+      RankPlan& rp = plan.send[static_cast<std::size_t>(r)];
+      rp.arrival.reserve(rp.dest.size());
+      double t = 0.0;
+      for (std::size_t i = 0; i < rp.dest.size(); ++i) {
+        t += interarrival_s(arng, spec.arrival, rate);
+        rp.arrival.push_back(
+            sim::Time::ps(static_cast<std::int64_t>(std::llround(t * 1e12))));
+      }
+      if (!rp.arrival.empty() && rp.arrival.back() > plan.sched_span) {
+        plan.sched_span = rp.arrival.back();
+      }
+    }
+  }
+  return plan;
+}
+
+void init_rank_state(RankState& st, const Plan& plan, const Ctx& ctx, int r) {
+  const std::size_t u = static_cast<std::size_t>(r);
+  const std::uint64_t sends = plan.send[u].dest.size();
+  st.exp_data = static_cast<std::uint64_t>(plan.expect_data[u]);
+  st.exp_replies = ctx.rpc ? sends : 0;
+  st.exp_send_end = sends + (ctx.rpc ? st.exp_data : 0);
+  st.exp_acks = ctx.pace == Pace::kAck ? sends : 0;
+  // Generous: start+end pairs for every op, plus headroom for dropped
+  // delivery attempts under corruption/retransmission.
+  st.eq_depth = 4 * static_cast<std::size_t>(st.exp_send_end + st.exp_acks +
+                                             st.exp_data + st.exp_replies) +
+                256;
+}
+
+CoTask<void> setup_rank(RankState& st, Ctx& ctx) {
+  auto& api = st.proc->api();
+  auto eq = co_await api.PtlEQAlloc(st.eq_depth);
+  st.eq = eq.value;
+
+  const std::uint32_t bytes = std::max<std::uint32_t>(ctx.spec->bytes, 1);
+  auto me = co_await api.PtlMEAttach(0, ProcessId{ptl::kNidAny, ptl::kPidAny},
+                                     kDataBits, 0, Unlink::kRetain,
+                                     InsPos::kAfter);
+  MdDesc sink;
+  sink.start = st.proc->alloc(bytes);
+  sink.length = bytes;
+  sink.options =
+      ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE | ptl::PTL_MD_TRUNCATE;
+  sink.eq = st.eq;
+  (void)co_await api.PtlMDAttach(me.value, sink, Unlink::kRetain);
+
+  if (ctx.rpc) {
+    auto rme = co_await api.PtlMEAttach(
+        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, kReplyBits, 0,
+        Unlink::kRetain, InsPos::kAfter);
+    MdDesc rsink = sink;
+    rsink.start = st.proc->alloc(bytes);
+    (void)co_await api.PtlMDAttach(rme.value, rsink, Unlink::kRetain);
+  }
+
+  MdDesc src;
+  src.start = st.proc->alloc(bytes);
+  src.length = bytes;
+  src.eq = st.eq;
+  auto md = co_await api.PtlMDBind(src, Unlink::kRetain);
+  st.send_md = md.value;
+}
+
+namespace {
+
+void free_slot(RankState& st) {
+  if (st.inflight > 0) --st.inflight;
+  st.slots->notify_one();
+}
+
+/// Stamps kHostDeliver on the provenance record opened for `stamp` (if
+/// provenance is on): ack arrival for non-RPC sends, reply arrival for RPC.
+void prov_deliver(RankState& st, Ctx& ctx, std::uint64_t stamp) {
+  auto it = st.prov.find(stamp);
+  if (it == st.prov.end()) return;
+  telemetry::prov_stamp(*ctx.eng, it->second, telemetry::Stage::kHostDeliver);
+  st.prov.erase(it);
+}
+
+}  // namespace
+
+CoTask<void> pump_rank(RankState& st, Ctx& ctx) {
+  auto& api = st.proc->api();
+  while (!st.done(ctx)) {
+    auto ev = co_await api.PtlEQWait(st.eq);
+    if (ev.rc != ptl::PTL_OK && ev.rc != ptl::PTL_EQ_DROPPED) co_return;
+    const ptl::Event& e = ev.value;
+    switch (e.type) {
+      case EventType::kSendEnd:
+        ++st.send_end;
+        if (ctx.pace == Pace::kSendEnd) free_slot(st);
+        break;
+      case EventType::kAck:
+        ++st.acks;
+        if (ctx.pace == Pace::kAck) {
+          free_slot(st);
+          prov_deliver(st, ctx, e.hdr_data);
+        }
+        break;
+      case EventType::kPutEnd: {
+        if (e.ni_fail != ptl::PTL_NI_OK) {
+          // A delivery attempt dropped at this NIC (CRC fail, exhaustion).
+          ++st.data_drop;
+          break;
+        }
+        if (ctx.rpc && e.match_bits == kReplyBits) {
+          // Reply landed at the client: settle the tracked request.
+          ++st.replies;
+          st.lat_ps.push_back(
+              static_cast<std::uint64_t>(ctx.eng->now().to_ps()) - e.hdr_data);
+          auto it = st.pending.find(e.hdr_data);
+          if (it != st.pending.end() && --it->second == 0) {
+            st.pending.erase(it);
+          }
+          free_slot(st);
+          prov_deliver(st, ctx, e.hdr_data);
+        } else {
+          ++st.data_ok;
+          if (ctx.rpc) {
+            // Serve the request: reply to the initiator, echoing the
+            // request's timestamp so the client can compute RTT.
+            (void)co_await api.PtlPut(st.send_md, AckReq::kNone, e.initiator,
+                                      0, 0, kReplyBits, 0, e.hdr_data);
+          } else {
+            st.lat_ps.push_back(
+                static_cast<std::uint64_t>(ctx.eng->now().to_ps()) -
+                e.hdr_data);
+          }
+        }
+        break;
+      }
+      default:
+        break;  // start events, unlinks
+    }
+  }
+}
+
+CoTask<void> send_rank(int rank, RankState& st, const RankPlan& plan,
+                       Ctx& ctx) {
+  auto& api = st.proc->api();
+  sim::Engine& eng = *ctx.eng;
+  const bool open = ctx.spec->loop == Loop::kOpen;
+  const int cap = std::max(ctx.spec->outstanding, 1);
+  const AckReq ack =
+      ctx.pace == Pace::kAck ? AckReq::kAck : AckReq::kNone;
+  for (std::size_t i = 0; i < plan.dest.size(); ++i) {
+    const int dst = plan.dest[i];
+    std::uint64_t prov_id = 0;
+    sim::Time at{};
+    if (open) {
+      at = ctx.t0 + plan.arrival[i];
+      if (at > eng.now()) co_await sim::delay(eng, at - eng.now());
+      prov_id = telemetry::prov_begin_at(
+          eng, static_cast<std::uint32_t>(rank),
+          static_cast<std::uint32_t>(dst), ctx.spec->bytes,
+          telemetry::Stage::kAppArrival);
+    }
+    while (st.inflight >= cap) co_await st.slots->wait();
+    if (!open) {
+      prov_id = telemetry::prov_begin_at(
+          eng, static_cast<std::uint32_t>(rank),
+          static_cast<std::uint32_t>(dst), ctx.spec->bytes,
+          telemetry::Stage::kAppArrival);
+    }
+    // Latency reference: intended arrival (open) or issue time (closed).
+    const std::uint64_t stamp = static_cast<std::uint64_t>(
+        open ? at.to_ps() : eng.now().to_ps());
+    telemetry::prov_stamp(eng, prov_id, telemetry::Stage::kAppQueue);
+    if (prov_id != 0) st.prov.emplace(stamp, prov_id);
+    if (ctx.rpc) ++st.pending[stamp];
+    ++st.inflight;
+    ++ctx.sent;
+    (void)co_await api.PtlPut(
+        st.send_md, ack,
+        ProcessId{static_cast<net::NodeId>(dst), ctx.pid}, 0, 0, kDataBits,
+        0, stamp);
+  }
+}
+
+}  // namespace xt::workload::detail

@@ -1,0 +1,103 @@
+#pragma once
+
+// Workload-generator building blocks, shared between the simulated runner
+// (generator.cpp: one engine drives every rank) and the live runner
+// (live.cpp: each rank's thread drives its own engine over UDP loopback).
+//
+// Everything here is per-rank-clean by construction: build_plan() is a pure
+// function of the spec (sim::Rng streams forked in rank order), so every
+// live rank computes the identical machine-wide Plan locally and then only
+// acts on its own row; Ctx/RankState hold one rank's engine and Portals
+// state.  That purity is also what makes the simulated runner byte-
+// identical across --jobs values.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "host/node.hpp"
+#include "sim/condition.hpp"
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "workload/generator.hpp"
+
+namespace xt::workload::detail {
+
+// Match bits: one match list entry per role so the pump can tell data
+// deposits from RPC replies by ev.match_bits alone.
+inline constexpr ptl::MatchBits kDataBits = 1;
+inline constexpr ptl::MatchBits kReplyBits = 2;
+
+/// What event frees a sender's in-flight slot.
+enum class Pace : std::uint8_t {
+  kAck,      // non-RPC default: Portals ack (message delivered)
+  kSendEnd,  // count_drops runs: local transmit completion
+  kReply,    // RPC: the server's reply
+};
+
+struct RankPlan {
+  std::vector<int> dest;           // destination of the i-th message
+  std::vector<sim::Time> arrival;  // open loop: offset from traffic start
+};
+
+struct Plan {
+  std::vector<RankPlan> send;
+  std::vector<int> expect_data;  // data messages addressed to each rank
+  sim::Time sched_span{};        // last scheduled arrival (open loop)
+};
+
+struct Ctx {
+  const WorkloadSpec* spec = nullptr;
+  sim::Engine* eng = nullptr;
+  ptl::Pid pid = 0;  // every rank's process shares one pid
+  Pace pace = Pace::kAck;
+  bool rpc = false;
+  sim::Time t0{};
+  std::uint64_t sent = 0;
+};
+
+struct RankState {
+  host::Process* proc = nullptr;
+  std::unique_ptr<sim::WaitQueue> slots;
+  std::size_t eq_depth = 0;
+  ptl::EqHandle eq{};
+  ptl::MdHandle send_md{};
+  int inflight = 0;
+
+  std::uint64_t send_end = 0, acks = 0, data_ok = 0, data_drop = 0,
+                replies = 0;
+  std::uint64_t exp_send_end = 0, exp_acks = 0, exp_data = 0, exp_replies = 0;
+
+  std::vector<std::uint64_t> lat_ps;
+  /// Per-request completion tracking (RPC): hdr_data stamp -> requests
+  /// still awaiting a reply with that stamp.  Must drain to empty.
+  std::unordered_map<std::uint64_t, int> pending;
+  /// stamp -> provenance record id (only populated when provenance is on).
+  std::unordered_multimap<std::uint64_t, std::uint64_t> prov;
+
+  bool done(const Ctx& ctx) const {
+    const std::uint64_t data_done =
+        data_ok + (ctx.spec->count_drops ? data_drop : 0);
+    return send_end >= exp_send_end && acks >= exp_acks &&
+           data_done >= exp_data && replies >= exp_replies;
+  }
+};
+
+double interarrival_s(sim::Rng& rng, Arrival a, double rate);
+
+/// The full machine-wide schedule — a pure function of the spec.
+Plan build_plan(const WorkloadSpec& spec);
+
+/// Fills in `st` (derived expectation counts and EQ depth) for rank `r` of
+/// `plan` under `ctx`'s pacing; `st.proc` and `st.slots` must already be
+/// set.  Shared so sim and live runners can never disagree on termination.
+void init_rank_state(RankState& st, const Plan& plan, const Ctx& ctx, int r);
+
+sim::CoTask<void> setup_rank(RankState& st, Ctx& ctx);
+sim::CoTask<void> pump_rank(RankState& st, Ctx& ctx);
+sim::CoTask<void> send_rank(int rank, RankState& st, const RankPlan& plan,
+                            Ctx& ctx);
+
+}  // namespace xt::workload::detail

@@ -2,316 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <unordered_map>
 
-#include "portals/api.hpp"
-#include "sim/condition.hpp"
 #include "sim/strf.hpp"
-#include "sim/task.hpp"
-#include "telemetry/hooks.hpp"
 #include "telemetry/metrics.hpp"
+#include "workload/detail.hpp"
 
 namespace xt::workload {
-
-namespace {
-
-using ptl::AckReq;
-using ptl::EventType;
-using ptl::InsPos;
-using ptl::MdDesc;
-using ptl::ProcessId;
-using ptl::Unlink;
-using sim::CoTask;
-
-// Match bits: one match list entry per role so the pump can tell data
-// deposits from RPC replies by ev.match_bits alone.
-constexpr ptl::MatchBits kDataBits = 1;
-constexpr ptl::MatchBits kReplyBits = 2;
-
-/// What event frees a sender's in-flight slot.
-enum class Pace : std::uint8_t {
-  kAck,      // non-RPC default: Portals ack (message delivered)
-  kSendEnd,  // count_drops runs: local transmit completion
-  kReply,    // RPC: the server's reply
-};
-
-struct RankPlan {
-  std::vector<int> dest;           // destination of the i-th message
-  std::vector<sim::Time> arrival;  // open loop: offset from traffic start
-};
-
-struct Plan {
-  std::vector<RankPlan> send;
-  std::vector<int> expect_data;  // data messages addressed to each rank
-  sim::Time sched_span{};        // last scheduled arrival (open loop)
-};
-
-struct Ctx {
-  const WorkloadSpec* spec = nullptr;
-  sim::Engine* eng = nullptr;
-  ptl::Pid pid = 0;  // every rank's process shares one pid
-  Pace pace = Pace::kAck;
-  bool rpc = false;
-  sim::Time t0{};
-  std::uint64_t sent = 0;
-};
-
-struct RankState {
-  host::Process* proc = nullptr;
-  std::unique_ptr<sim::WaitQueue> slots;
-  std::size_t eq_depth = 0;
-  ptl::EqHandle eq{};
-  ptl::MdHandle send_md{};
-  int inflight = 0;
-
-  std::uint64_t send_end = 0, acks = 0, data_ok = 0, data_drop = 0,
-                replies = 0;
-  std::uint64_t exp_send_end = 0, exp_acks = 0, exp_data = 0, exp_replies = 0;
-
-  std::vector<std::uint64_t> lat_ps;
-  /// Per-request completion tracking (RPC): hdr_data stamp -> requests
-  /// still awaiting a reply with that stamp.  Must drain to empty.
-  std::unordered_map<std::uint64_t, int> pending;
-  /// stamp -> provenance record id (only populated when provenance is on).
-  std::unordered_multimap<std::uint64_t, std::uint64_t> prov;
-
-  bool done(const Ctx& ctx) const {
-    const std::uint64_t data_done =
-        data_ok + (ctx.spec->count_drops ? data_drop : 0);
-    return send_end >= exp_send_end && acks >= exp_acks &&
-           data_done >= exp_data && replies >= exp_replies;
-  }
-};
-
-double interarrival_s(sim::Rng& rng, Arrival a, double rate) {
-  switch (a) {
-    case Arrival::kExponential:
-      return -std::log1p(-rng.uniform01()) / rate;
-    case Arrival::kUniform:
-      return 2.0 * rng.uniform01() / rate;
-    case Arrival::kFixed:
-      return 1.0 / rate;
-  }
-  return 1.0 / rate;
-}
-
-Plan build_plan(const WorkloadSpec& spec) {
-  const net::Shape shape = harness::shape_for_ranks(spec.ranks);
-  // Decorrelate the destination and arrival streams: both fork per-rank
-  // sub-streams in rank order, so they must not start from the same state.
-  sim::Rng seeder(spec.seed);
-  const std::uint64_t pattern_seed = seeder.u64();
-  const std::uint64_t arrival_seed = seeder.u64();
-
-  Pattern pat(spec.pattern, shape, spec.ranks, pattern_seed);
-  const bool dedicated =
-      spec.pattern == PatternKind::kRpc && spec.rpc_clients > 0;
-  const int servers = spec.ranks - spec.rpc_clients;
-  assert(!dedicated || servers >= 1);
-
-  Plan plan;
-  plan.send.resize(static_cast<std::size_t>(spec.ranks));
-  plan.expect_data.assign(static_cast<std::size_t>(spec.ranks), 0);
-
-  // Dedicated-server RPC draws its own per-client streams (the generic
-  // Pattern draws servers uniformly over *all* other ranks).
-  std::vector<sim::Rng> cli_rng;
-  if (dedicated) {
-    sim::Rng base(pattern_seed);
-    for (int r = 0; r < spec.rpc_clients; ++r) cli_rng.push_back(base.fork());
-  }
-
-  for (int r = 0; r < spec.ranks; ++r) {
-    const bool sender =
-        dedicated ? r < spec.rpc_clients : pat.is_sender(r);
-    if (!sender) continue;
-    RankPlan& rp = plan.send[static_cast<std::size_t>(r)];
-    rp.dest.reserve(static_cast<std::size_t>(spec.msgs_per_sender));
-    for (int i = 0; i < spec.msgs_per_sender; ++i) {
-      const int dst =
-          dedicated
-              ? spec.rpc_clients +
-                    static_cast<int>(cli_rng[static_cast<std::size_t>(r)]
-                                         .below(static_cast<std::uint64_t>(
-                                             servers)))
-              : pat.dest(r, static_cast<std::uint64_t>(i));
-      rp.dest.push_back(dst);
-      ++plan.expect_data[static_cast<std::size_t>(dst)];
-    }
-  }
-
-  if (spec.loop == Loop::kOpen) {
-    assert(spec.offered_msgs_per_sec > 0.0);
-    int senders = 0;
-    for (const RankPlan& rp : plan.send) senders += rp.dest.empty() ? 0 : 1;
-    const double rate = spec.offered_msgs_per_sec / std::max(senders, 1);
-    sim::Rng abase(arrival_seed);
-    for (int r = 0; r < spec.ranks; ++r) {
-      sim::Rng arng = abase.fork();  // rank order, senders or not
-      RankPlan& rp = plan.send[static_cast<std::size_t>(r)];
-      rp.arrival.reserve(rp.dest.size());
-      double t = 0.0;
-      for (std::size_t i = 0; i < rp.dest.size(); ++i) {
-        t += interarrival_s(arng, spec.arrival, rate);
-        rp.arrival.push_back(
-            sim::Time::ps(static_cast<std::int64_t>(std::llround(t * 1e12))));
-      }
-      if (!rp.arrival.empty() && rp.arrival.back() > plan.sched_span) {
-        plan.sched_span = rp.arrival.back();
-      }
-    }
-  }
-  return plan;
-}
-
-CoTask<void> setup_rank(RankState& st, Ctx& ctx) {
-  auto& api = st.proc->api();
-  auto eq = co_await api.PtlEQAlloc(st.eq_depth);
-  st.eq = eq.value;
-
-  const std::uint32_t bytes = std::max<std::uint32_t>(ctx.spec->bytes, 1);
-  auto me = co_await api.PtlMEAttach(0, ProcessId{ptl::kNidAny, ptl::kPidAny},
-                                     kDataBits, 0, Unlink::kRetain,
-                                     InsPos::kAfter);
-  MdDesc sink;
-  sink.start = st.proc->alloc(bytes);
-  sink.length = bytes;
-  sink.options =
-      ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE | ptl::PTL_MD_TRUNCATE;
-  sink.eq = st.eq;
-  (void)co_await api.PtlMDAttach(me.value, sink, Unlink::kRetain);
-
-  if (ctx.rpc) {
-    auto rme = co_await api.PtlMEAttach(
-        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, kReplyBits, 0,
-        Unlink::kRetain, InsPos::kAfter);
-    MdDesc rsink = sink;
-    rsink.start = st.proc->alloc(bytes);
-    (void)co_await api.PtlMDAttach(rme.value, rsink, Unlink::kRetain);
-  }
-
-  MdDesc src;
-  src.start = st.proc->alloc(bytes);
-  src.length = bytes;
-  src.eq = st.eq;
-  auto md = co_await api.PtlMDBind(src, Unlink::kRetain);
-  st.send_md = md.value;
-}
-
-void free_slot(RankState& st) {
-  if (st.inflight > 0) --st.inflight;
-  st.slots->notify_one();
-}
-
-/// Stamps kHostDeliver on the provenance record opened for `stamp` (if
-/// provenance is on): ack arrival for non-RPC sends, reply arrival for RPC.
-void prov_deliver(RankState& st, Ctx& ctx, std::uint64_t stamp) {
-  auto it = st.prov.find(stamp);
-  if (it == st.prov.end()) return;
-  telemetry::prov_stamp(*ctx.eng, it->second, telemetry::Stage::kHostDeliver);
-  st.prov.erase(it);
-}
-
-CoTask<void> pump_rank(RankState& st, Ctx& ctx) {
-  auto& api = st.proc->api();
-  while (!st.done(ctx)) {
-    auto ev = co_await api.PtlEQWait(st.eq);
-    if (ev.rc != ptl::PTL_OK && ev.rc != ptl::PTL_EQ_DROPPED) co_return;
-    const ptl::Event& e = ev.value;
-    switch (e.type) {
-      case EventType::kSendEnd:
-        ++st.send_end;
-        if (ctx.pace == Pace::kSendEnd) free_slot(st);
-        break;
-      case EventType::kAck:
-        ++st.acks;
-        if (ctx.pace == Pace::kAck) {
-          free_slot(st);
-          prov_deliver(st, ctx, e.hdr_data);
-        }
-        break;
-      case EventType::kPutEnd: {
-        if (e.ni_fail != ptl::PTL_NI_OK) {
-          // A delivery attempt dropped at this NIC (CRC fail, exhaustion).
-          ++st.data_drop;
-          break;
-        }
-        if (ctx.rpc && e.match_bits == kReplyBits) {
-          // Reply landed at the client: settle the tracked request.
-          ++st.replies;
-          st.lat_ps.push_back(
-              static_cast<std::uint64_t>(ctx.eng->now().to_ps()) - e.hdr_data);
-          auto it = st.pending.find(e.hdr_data);
-          if (it != st.pending.end() && --it->second == 0) {
-            st.pending.erase(it);
-          }
-          free_slot(st);
-          prov_deliver(st, ctx, e.hdr_data);
-        } else {
-          ++st.data_ok;
-          if (ctx.rpc) {
-            // Serve the request: reply to the initiator, echoing the
-            // request's timestamp so the client can compute RTT.
-            (void)co_await api.PtlPut(st.send_md, AckReq::kNone, e.initiator,
-                                      0, 0, kReplyBits, 0, e.hdr_data);
-          } else {
-            st.lat_ps.push_back(
-                static_cast<std::uint64_t>(ctx.eng->now().to_ps()) -
-                e.hdr_data);
-          }
-        }
-        break;
-      }
-      default:
-        break;  // start events, unlinks
-    }
-  }
-}
-
-CoTask<void> send_rank(int rank, RankState& st, const RankPlan& plan,
-                       Ctx& ctx) {
-  auto& api = st.proc->api();
-  sim::Engine& eng = *ctx.eng;
-  const bool open = ctx.spec->loop == Loop::kOpen;
-  const int cap = std::max(ctx.spec->outstanding, 1);
-  const AckReq ack =
-      ctx.pace == Pace::kAck ? AckReq::kAck : AckReq::kNone;
-  for (std::size_t i = 0; i < plan.dest.size(); ++i) {
-    const int dst = plan.dest[i];
-    std::uint64_t prov_id = 0;
-    sim::Time at{};
-    if (open) {
-      at = ctx.t0 + plan.arrival[i];
-      if (at > eng.now()) co_await sim::delay(eng, at - eng.now());
-      prov_id = telemetry::prov_begin_at(
-          eng, static_cast<std::uint32_t>(rank),
-          static_cast<std::uint32_t>(dst), ctx.spec->bytes,
-          telemetry::Stage::kAppArrival);
-    }
-    while (st.inflight >= cap) co_await st.slots->wait();
-    if (!open) {
-      prov_id = telemetry::prov_begin_at(
-          eng, static_cast<std::uint32_t>(rank),
-          static_cast<std::uint32_t>(dst), ctx.spec->bytes,
-          telemetry::Stage::kAppArrival);
-    }
-    // Latency reference: intended arrival (open) or issue time (closed).
-    const std::uint64_t stamp = static_cast<std::uint64_t>(
-        open ? at.to_ps() : eng.now().to_ps());
-    telemetry::prov_stamp(eng, prov_id, telemetry::Stage::kAppQueue);
-    if (prov_id != 0) st.prov.emplace(stamp, prov_id);
-    if (ctx.rpc) ++st.pending[stamp];
-    ++st.inflight;
-    ++ctx.sent;
-    (void)co_await api.PtlPut(
-        st.send_md, ack,
-        ProcessId{static_cast<net::NodeId>(dst), ctx.pid}, 0, 0, kDataBits,
-        0, stamp);
-  }
-}
-
-}  // namespace
 
 const char* loop_name(Loop l) {
   return l == Loop::kOpen ? "open" : "closed";
@@ -361,45 +57,36 @@ harness::Scenario workload_scenario(const WorkloadSpec& spec,
 WorkloadResult run_workload(harness::Instance& inst,
                             const WorkloadSpec& spec) {
   assert(inst.proc_count() >= static_cast<std::size_t>(spec.ranks));
-  Plan plan = build_plan(spec);
+  detail::Plan plan = detail::build_plan(spec);
 
-  Ctx ctx;
+  detail::Ctx ctx;
   ctx.spec = &spec;
   ctx.eng = &inst.engine();
   ctx.pid = inst.proc(0).pid();
   ctx.rpc = spec.pattern == PatternKind::kRpc;
-  ctx.pace = ctx.rpc ? Pace::kReply
-                     : (spec.count_drops ? Pace::kSendEnd : Pace::kAck);
+  ctx.pace = ctx.rpc ? detail::Pace::kReply
+                     : (spec.count_drops ? detail::Pace::kSendEnd
+                                         : detail::Pace::kAck);
 
-  std::vector<RankState> st(static_cast<std::size_t>(spec.ranks));
+  std::vector<detail::RankState> st(static_cast<std::size_t>(spec.ranks));
   for (int r = 0; r < spec.ranks; ++r) {
-    RankState& s = st[static_cast<std::size_t>(r)];
-    const std::size_t u = static_cast<std::size_t>(r);
-    s.proc = &inst.proc(u);
+    detail::RankState& s = st[static_cast<std::size_t>(r)];
+    s.proc = &inst.proc(static_cast<std::size_t>(r));
     s.slots = std::make_unique<sim::WaitQueue>(*ctx.eng);
-    const std::uint64_t sends = plan.send[u].dest.size();
-    s.exp_data = static_cast<std::uint64_t>(plan.expect_data[u]);
-    s.exp_replies = ctx.rpc ? sends : 0;
-    s.exp_send_end = sends + (ctx.rpc ? s.exp_data : 0);
-    s.exp_acks = ctx.pace == Pace::kAck ? sends : 0;
-    // Generous: start+end pairs for every op, plus headroom for dropped
-    // delivery attempts under corruption/retransmission.
-    s.eq_depth = 4 * static_cast<std::size_t>(s.exp_send_end + s.exp_acks +
-                                              s.exp_data + s.exp_replies) +
-                 256;
+    detail::init_rank_state(s, plan, ctx, r);
   }
 
   for (int r = 0; r < spec.ranks; ++r) {
-    sim::spawn(setup_rank(st[static_cast<std::size_t>(r)], ctx));
+    sim::spawn(detail::setup_rank(st[static_cast<std::size_t>(r)], ctx));
   }
   inst.run();
 
   ctx.t0 = ctx.eng->now();
   for (int r = 0; r < spec.ranks; ++r) {
     const std::size_t u = static_cast<std::size_t>(r);
-    sim::spawn(pump_rank(st[u], ctx));
+    sim::spawn(detail::pump_rank(st[u], ctx));
     if (!plan.send[u].dest.empty()) {
-      sim::spawn(send_rank(r, st[u], plan.send[u], ctx));
+      sim::spawn(detail::send_rank(r, st[u], plan.send[u], ctx));
     }
   }
   inst.run();
@@ -409,7 +96,7 @@ WorkloadResult run_workload(harness::Instance& inst,
   res.span = ctx.eng->now() - ctx.t0;
   res.sched_span = plan.sched_span;
   res.complete = true;
-  for (RankState& s : st) {
+  for (detail::RankState& s : st) {
     res.delivered += s.data_ok;
     res.dropped += s.data_drop;
     res.replies += s.replies;
@@ -423,7 +110,7 @@ WorkloadResult run_workload(harness::Instance& inst,
     // anything else is plain missing deliveries (loss with no recovery).
     res.failure = inst.machine().first_panic();
     for (int r = 0; res.failure.empty() && r < spec.ranks; ++r) {
-      const RankState& s = st[static_cast<std::size_t>(r)];
+      const detail::RankState& s = st[static_cast<std::size_t>(r)];
       if (s.inflight > 0 || !s.pending.empty()) {
         res.failure = sim::strf(
             "stranded initiator: rank %d quiesced with %d in flight, %zu "

@@ -1,0 +1,149 @@
+#include "workload/live.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "sim/condition.hpp"
+#include "sim/strf.hpp"
+#include "workload/detail.hpp"
+
+namespace xt::workload {
+
+namespace {
+
+using sim::CoTask;
+
+/// What one rank's app reports back to the folding code.  Mirrors the
+/// per-rank slice of the simulated runner's result assembly.
+struct RankOutcome {
+  std::uint64_t sent = 0;
+  std::uint64_t data_ok = 0;
+  std::uint64_t data_drop = 0;
+  std::uint64_t replies = 0;
+  std::vector<std::uint64_t> lat_ps;
+  bool done = false;
+  int inflight_left = 0;
+  std::size_t pending_left = 0;
+  std::int64_t span_ps = 0;
+};
+
+/// Join latch for the pump/send pair: each wrapped task decrements and
+/// notifies; the app coroutine waits for zero.
+struct Join {
+  explicit Join(sim::Engine& eng) : wq(eng) {}
+  sim::WaitQueue wq;
+  int remaining = 0;
+};
+
+CoTask<void> joined(CoTask<void> task, Join& j) {
+  co_await std::move(task);
+  --j.remaining;
+  j.wq.notify_all();
+}
+
+/// One rank's live workload body: identical phases to run_workload — setup,
+/// rendezvous, traffic — with the cluster barrier standing in for the
+/// simulator's run-to-quiescence boundary between phases.
+CoTask<void> run_rank(host::LiveRank& lr, const detail::Plan& plan,
+                      detail::Ctx& ctx, RankOutcome& out) {
+  const std::size_t u = static_cast<std::size_t>(lr.rank());
+
+  detail::RankState st;
+  st.proc = &lr.process();
+  st.slots = std::make_unique<sim::WaitQueue>(lr.engine());
+  detail::init_rank_state(st, plan, ctx, lr.rank());
+
+  co_await detail::setup_rank(st, ctx);
+  co_await lr.barrier();
+  ctx.t0 = lr.engine().now();
+
+  Join j(lr.engine());
+  j.remaining = 1;
+  sim::spawn(joined(detail::pump_rank(st, ctx), j));
+  if (!plan.send[u].dest.empty()) {
+    ++j.remaining;
+    sim::spawn(joined(detail::send_rank(lr.rank(), st, plan.send[u], ctx), j));
+  }
+  while (j.remaining > 0) co_await j.wq.wait();
+
+  out.sent = ctx.sent;
+  out.data_ok = st.data_ok;
+  out.data_drop = st.data_drop;
+  out.replies = st.replies;
+  out.lat_ps = std::move(st.lat_ps);
+  out.done = st.done(ctx) && st.pending.empty();
+  out.inflight_left = st.inflight;
+  out.pending_left = st.pending.size();
+  out.span_ps = (lr.engine().now() - ctx.t0).to_ps();
+}
+
+}  // namespace
+
+LiveWorkloadResult run_live_workload(host::LiveOptions opts,
+                                     const WorkloadSpec& spec) {
+  opts.ranks = spec.ranks;
+
+  // Every rank computes the identical machine-wide plan locally —
+  // build_plan is pure in the spec — and only acts on its own row, so no
+  // schedule needs to cross the wire.
+  const detail::Plan plan = detail::build_plan(spec);
+
+  const bool rpc = spec.pattern == PatternKind::kRpc;
+  const detail::Pace pace =
+      rpc ? detail::Pace::kReply
+          : (spec.count_drops ? detail::Pace::kSendEnd : detail::Pace::kAck);
+
+  std::vector<RankOutcome> outs(static_cast<std::size_t>(spec.ranks));
+  std::vector<detail::Ctx> ctxs(static_cast<std::size_t>(spec.ranks));
+
+  host::LiveApp app = [&](host::LiveRank& lr) -> CoTask<void> {
+    const std::size_t u = static_cast<std::size_t>(lr.rank());
+    detail::Ctx& ctx = ctxs[u];
+    ctx.spec = &spec;
+    ctx.eng = &lr.engine();
+    ctx.pid = opts.pid;
+    ctx.pace = pace;
+    ctx.rpc = rpc;
+    return run_rank(lr, plan, ctx, outs[u]);
+  };
+
+  LiveWorkloadResult res;
+  res.ranks = host::run_live_cluster(opts, app);
+
+  res.result.sched_span = plan.sched_span;
+  res.result.complete = true;
+  for (const RankOutcome& o : outs) {
+    res.result.sent += o.sent;
+    res.result.delivered += o.data_ok;
+    res.result.dropped += o.data_drop;
+    res.result.replies += o.replies;
+    if (!o.done) res.result.complete = false;
+    if (o.span_ps > res.result.span.to_ps()) {
+      res.result.span = sim::Time::ps(o.span_ps);
+    }
+    res.result.latency_ps.insert(res.result.latency_ps.end(),
+                                 o.lat_ps.begin(), o.lat_ps.end());
+  }
+  for (std::size_t u = 0; u < outs.size(); ++u) {
+    if (res.result.failure.empty() && !res.ranks[u].ok()) {
+      res.result.complete = false;
+      res.result.failure = sim::strf(
+          "rank %zu failed: %s%s", u, res.ranks[u].panic.c_str(),
+          res.ranks[u].error.c_str());
+    }
+    if (res.result.failure.empty() &&
+        (outs[u].inflight_left > 0 || outs[u].pending_left > 0)) {
+      res.result.failure = sim::strf(
+          "stranded initiator: rank %zu finished with %d in flight, %zu "
+          "request(s) unresolved",
+          u, outs[u].inflight_left, outs[u].pending_left);
+    }
+  }
+  if (!res.result.complete && res.result.failure.empty()) {
+    res.result.failure =
+        "incomplete: expected events still missing at run end";
+  }
+  return res;
+}
+
+}  // namespace xt::workload

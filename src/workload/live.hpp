@@ -1,0 +1,42 @@
+#pragma once
+
+// Live (UDP loopback) execution of the synthetic workload generator.
+//
+// run_live_workload() runs the same WorkloadSpec the simulated runner
+// takes, but as genuine multi-process traffic: each rank is a real thread
+// with its own engine pinned to wall-clock, exchanging datagrams through a
+// host::UdpFabric.  The schedule is the byte-identical detail::build_plan()
+// the simulator uses — pure in the spec, so every rank computes the same
+// machine-wide plan locally and acts on its own row.  Latency samples are
+// wall-clock (engine time == wall time under the live driver), which is
+// what makes the sim-vs-live cross-validation in bench/xval meaningful.
+
+#include <vector>
+
+#include "host/live_cluster.hpp"
+#include "workload/generator.hpp"
+
+namespace xt::workload {
+
+struct LiveWorkloadResult {
+  /// Merged across ranks exactly like the simulated runner merges rank
+  /// states: counters summed, latency samples concatenated rank-major,
+  /// span = slowest rank's traffic-phase duration (wall-clock).
+  WorkloadResult result;
+  std::vector<host::LiveRankResult> ranks;
+
+  bool ok() const {
+    if (!result.complete) return false;
+    for (const auto& r : ranks) {
+      if (!r.ok()) return false;
+    }
+    return true;
+  }
+};
+
+/// Runs `spec` over UDP loopback.  opts.ranks is overridden by spec.ranks;
+/// everything else in opts (drop rate, config, watchdog) applies as-is.
+LiveWorkloadResult run_live_workload(host::LiveOptions opts,
+                                     const WorkloadSpec& spec);
+
+}  // namespace xt::workload

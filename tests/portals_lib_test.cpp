@@ -7,6 +7,7 @@
 #include <cstring>
 #include <vector>
 
+#include "host/memory.hpp"
 #include "portals/library.hpp"
 #include "sim/engine.hpp"
 
@@ -17,7 +18,9 @@ class FakeMemory final : public Memory {
  public:
   explicit FakeMemory(std::size_t size) : mem_(size) {}
   bool valid(std::uint64_t addr, std::size_t len) const override {
-    return addr + len <= mem_.size();
+    // Same overflow-safe form as host::AddressSpace: addr + len must not
+    // wrap around and sneak past the bound.
+    return len <= mem_.size() && addr <= mem_.size() - len;
   }
   void read(std::uint64_t addr, std::span<std::byte> out) const override {
     std::memcpy(out.data(), mem_.data() + addr, out.size());
@@ -34,7 +37,7 @@ class FakeNal final : public Nal {
     TxKind kind;
     std::uint32_t dst_nid;
     WireHeader hdr;
-    std::vector<IoVec> payload;
+    IoVecList payload;
     std::uint64_t token;
     std::uint64_t addr() const { return payload.empty() ? 0 : payload[0].start; }
     std::uint32_t len() const {
@@ -44,7 +47,7 @@ class FakeNal final : public Nal {
     }
   };
   int send(TxKind kind, std::uint32_t dst_nid, const WireHeader& hdr,
-           std::vector<IoVec> payload, std::uint64_t token) override {
+           IoVecList payload, std::uint64_t token) override {
     sent.push_back(Sent{kind, dst_nid, hdr, std::move(payload), token});
     return PTL_OK;
   }
@@ -120,6 +123,68 @@ WireHeader put_hdr(std::uint32_t len, MatchBits mb, Nid src_nid = 1,
   h.remote_offset = roffset;
   h.md_id = 99;  // initiator token (opaque here)
   return h;
+}
+
+// ---------------------------------------------------- address validation ----
+// The ptl::Memory seam ("all Linux NALs ... use the same address validation
+// routines"): the host AddressSpace and the library's MD validation built
+// on it must agree on the awkward edges — zero-length spans, regions
+// abutting the end of the mapping, and addr+len wrapping past 2^64.
+
+TEST(AddressValidation, ZeroLengthSpans) {
+  host::AddressSpace as(host::OsType::kCatamount, 4096, 4096);
+  EXPECT_TRUE(as.valid(0, 0));
+  EXPECT_TRUE(as.valid(4095, 0));
+  // Zero bytes at one-past-the-end addresses nothing: still valid, like an
+  // end iterator.
+  EXPECT_TRUE(as.valid(4096, 0));
+  EXPECT_FALSE(as.valid(4097, 0));
+}
+
+TEST(AddressValidation, RegionsAbuttingTheMappingEnd) {
+  host::AddressSpace as(host::OsType::kCatamount, 4096, 4096);
+  EXPECT_TRUE(as.valid(0, 4096));     // the whole arena
+  EXPECT_FALSE(as.valid(0, 4097));
+  EXPECT_TRUE(as.valid(4032, 64));    // ends exactly at the boundary
+  EXPECT_FALSE(as.valid(4033, 64));   // one byte past
+  EXPECT_FALSE(as.valid(4096, 1));
+}
+
+TEST(AddressValidation, RejectsUnsignedOverflow) {
+  host::AddressSpace as(host::OsType::kCatamount, 4096, 4096);
+  // addr + len wraps past zero; the naive `addr + len <= size` check would
+  // accept every one of these.
+  EXPECT_FALSE(as.valid(~0ull, 1));
+  EXPECT_FALSE(as.valid(~0ull - 7, 64));
+  EXPECT_FALSE(as.valid(1, ~std::size_t{0}));
+  EXPECT_FALSE(as.valid(~0ull, ~std::size_t{0}));
+}
+
+TEST(AddressValidation, LibraryRejectsOverflowingMd) {
+  Proc p;  // FakeMemory arena is 64 KB
+  MdDesc d;
+  d.start = ~0ull - 7;
+  d.length = 64;
+  MdHandle h;
+  EXPECT_EQ(p.lib.md_bind(d, Unlink::kRetain, &h), PTL_SEGV);
+
+  MdDesc iov;
+  iov.options = PTL_MD_IOVEC;
+  iov.iovecs = {{~0ull - 7, 64}};
+  EXPECT_EQ(p.lib.md_bind(iov, Unlink::kRetain, &h), PTL_SEGV);
+}
+
+TEST(AddressValidation, LibraryAcceptsMdAbuttingArenaEnd) {
+  Proc p;  // FakeMemory arena is 64 KB
+  MdDesc d;
+  d.start = (1u << 16) - 64;
+  d.length = 64;
+  MdHandle h;
+  EXPECT_EQ(p.lib.md_bind(d, Unlink::kRetain, &h), PTL_OK);
+
+  MdDesc past = d;
+  past.start += 1;
+  EXPECT_EQ(p.lib.md_bind(past, Unlink::kRetain, &h), PTL_SEGV);
 }
 
 // ----------------------------------------------------------- EQ basics ----

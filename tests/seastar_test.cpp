@@ -7,6 +7,7 @@
 
 #include "net/crc.hpp"
 #include "seastar/nic.hpp"
+#include "transport/sim_transport.hpp"
 
 namespace xt::ss {
 namespace {
@@ -30,8 +31,9 @@ struct Rig {
   sim::Engine eng;
   Config cfg;
   net::Network net{eng, net::Shape::xt3(2, 1, 1), cfg.net};
-  Nic nic0{eng, cfg, net, 0};
-  Nic nic1{eng, cfg, net, 1};
+  transport::SimTransport tp{net};
+  Nic nic0{eng, cfg, tp, 0};
+  Nic nic1{eng, cfg, tp, 1};
   NullClient c0, c1;
   Rig() {
     nic0.set_rx_client(c0);
