@@ -202,14 +202,14 @@ int main(int argc, char** argv) {
           "%s{\"rate\": %.3f, \"sent\": %llu, \"delivered\": %llu, "
           "\"delivered_per_sec\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
           "\"recovery_p99_us\": %.3f, \"faults\": %llu, "
-          "\"ack_timeouts\": %llu, \"complete\": %s}",
+          "\"ack_timeouts\": %llu, \"complete\": %s, \"failure\": \"%s\"}",
           i == 0 ? "" : ", ", p.rate,
           static_cast<unsigned long long>(r.sent),
           static_cast<unsigned long long>(r.delivered),
           r.delivered_per_sec(), us(r.percentile_ps(50)), us(p99), recov_us,
           static_cast<unsigned long long>(p.injected),
           static_cast<unsigned long long>(p.tot.ack_timeouts),
-          r.complete ? "true" : "false");
+          r.complete ? "true" : "false", r.failure.c_str());
     }
     std::printf("\n");
     if (!curves_json.empty()) curves_json += ",\n";
@@ -225,10 +225,11 @@ int main(int argc, char** argv) {
   const std::string json = sim::strf(
       "{\n  \"bench\": \"fault_sweep\",\n  \"counters_ok\": %s,\n"
       "  \"curves\": [\n%s\n  ],\n  \"gbn_lossless\": %s,\n"
+      "  \"git\": \"%s\",\n"
       "  \"kinds\": \"%s\",\n  \"quick\": %s,\n  \"seed\": %llu,\n"
       "  \"transport\": \"sim\"\n}\n",
       accounting_ok ? "true" : "false", curves_json.c_str(),
-      gbn_lossless ? "true" : "false",
+      gbn_lossless ? "true" : "false", harness::git_describe(),
       fault::FaultPlan::kinds_str(plan.kinds).c_str(),
       o.quick ? "true" : "false", static_cast<unsigned long long>(o.seed));
   if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {

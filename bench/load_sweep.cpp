@@ -39,12 +39,14 @@ double us(std::uint64_t ps) { return static_cast<double>(ps) * 1e-6; }
 std::string point_json(const workload::LoadPoint& p) {
   const workload::WorkloadResult& r = p.result;
   return sim::strf(
-      "{\"delivered\": %llu, \"delivered_per_sec\": %.1f, "
+      "{\"complete\": %s, \"delivered\": %llu, \"delivered_per_sec\": %.1f, "
+      "\"failure\": \"%s\", "
       "\"offered_eff_per_sec\": %.1f, \"offered_per_sec\": %.1f, "
       "\"p50_us\": %.3f, \"p90_us\": %.3f, \"p99_us\": %.3f, "
       "\"sent\": %llu}",
+      r.complete ? "true" : "false",
       static_cast<unsigned long long>(r.delivered), r.delivered_per_sec(),
-      r.offered_effective_per_sec(), p.offered_msgs_per_sec,
+      r.failure.c_str(), r.offered_effective_per_sec(), p.offered_msgs_per_sec,
       us(r.percentile_ps(50)), us(r.percentile_ps(90)),
       us(r.percentile_ps(99)), static_cast<unsigned long long>(r.sent));
 }
@@ -128,8 +130,10 @@ int run_live(const harness::BenchOptions& o) {
 
   const std::string json = sim::strf(
       "{\n  \"bench\": \"load_sweep\",\n  \"curves\": [\n%s\n  ],\n"
+      "  \"git\": \"%s\",\n"
       "  \"quick\": %s,\n  \"seed\": %llu,\n  \"transport\": \"udp\"\n}\n",
-      curves_json.c_str(), o.quick ? "true" : "false",
+      curves_json.c_str(), harness::git_describe(),
+      o.quick ? "true" : "false",
       static_cast<unsigned long long>(o.seed));
   if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {
     return 1;
@@ -326,9 +330,11 @@ int main(int argc, char** argv) {
       "{\n  \"anchor\": {\"divergence_pct\": %.2f, \"fig4_usec\": %.3f, "
       "\"rpc_usec\": %.3f},\n  \"bench\": \"load_sweep\",\n"
       "  \"closed_loop\": [\n%s\n  ],\n  \"curves\": [\n%s\n  ],\n"
+      "  \"git\": \"%s\",\n"
       "  \"quick\": %s,\n  \"seed\": %llu,\n  \"transport\": \"sim\"\n}\n",
       div_pct, fig4_usec, rpc_usec, closed_json.c_str(), curves_json.c_str(),
-      o.quick ? "true" : "false", static_cast<unsigned long long>(o.seed));
+      harness::git_describe(), o.quick ? "true" : "false",
+      static_cast<unsigned long long>(o.seed));
   if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {
     return 1;
   }

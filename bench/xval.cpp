@@ -299,7 +299,8 @@ int main(int argc, char** argv) {
 
   if (!o.json_path.empty()) {
     const std::string json = sim::strf(
-        "{\n  \"bench\": \"xval\",\n  \"transport\": \"sim+udp\",\n"
+        "{\n  \"bench\": \"xval\",\n  \"git\": \"%s\",\n"
+        "  \"transport\": \"sim+udp\",\n"
         "  \"seed\": %llu,\n  \"quick\": %s,\n  \"ok\": %s,\n"
         "  \"pingpong\": {\n    \"pattern\": \"put ping-pong\",\n"
         "    \"max_bytes\": %zu,\n    \"points\": [%s\n    ]\n  },\n"
@@ -310,6 +311,7 @@ int main(int argc, char** argv) {
         "\"nic_msgs\": %llu, \"datagrams_dropped\": %llu, "
         "\"retransmits\": %llu, \"crc_drops\": %llu, \"lossless\": %s}\n"
         "}\n",
+        harness::git_describe(),
         static_cast<unsigned long long>(o.seed), o.quick ? "true" : "false",
         ok ? "true" : "false", nopts.max_bytes, pp_json.c_str(),
         kAllreduceRanks, kAllreduceCount, rounds, ar_sim.usec_per_round,

@@ -1,0 +1,32 @@
+#include "cluster/job.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace xt::cluster {
+
+std::vector<JobSpec> poisson_trace(const TraceSpec& trace) {
+  assert(!trace.mix.empty());
+  assert(trace.arrival_rate_per_sec > 0.0);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(trace.jobs));
+  sim::Rng seeder(trace.seed);
+  sim::Rng arrivals(seeder.u64());
+  double t = 0.0;
+  for (int i = 0; i < trace.jobs; ++i) {
+    const JobTemplate& tpl = trace.mix[static_cast<std::size_t>(i) %
+                                       trace.mix.size()];
+    JobSpec job;
+    job.id = i;
+    t += -std::log1p(-arrivals.uniform01()) / trace.arrival_rate_per_sec;
+    job.arrival =
+        sim::Time::ps(static_cast<std::int64_t>(std::llround(t * 1e12)));
+    job.work = tpl.work;
+    job.work.seed = seeder.u64();  // forked in job order
+    job.placement = tpl.placement;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace xt::cluster

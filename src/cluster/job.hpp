@@ -1,0 +1,101 @@
+#pragma once
+
+// Job descriptions for the multi-tenant scheduler.
+//
+// A job is one workload::WorkloadSpec (pattern, ranks, load, seed) plus a
+// placement policy and an arrival time.  The cluster runs a *trace* of
+// jobs — either hand-built (bench interference matrices pin two jobs at
+// t=0) or drawn from a Poisson process over a job mix (the SLO-vs-
+// utilization sweeps).  Traces are pure functions of their spec, so a
+// cluster run is reproducible from (ClusterSpec) alone and byte-identical
+// across --jobs values.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "net/network.hpp"
+#include "seastar/config.hpp"
+#include "sim/time.hpp"
+#include "workload/generator.hpp"
+
+namespace xt::cluster {
+
+/// One job the scheduler will run.
+struct JobSpec {
+  int id = 0;
+  /// Absolute arrival time (engine time; traffic of earlier jobs may
+  /// already be in flight).
+  sim::Time arrival{};
+  workload::WorkloadSpec work{};
+  Placement placement = Placement::kContiguous;
+};
+
+/// What happened to one job.
+struct JobResult {
+  int id = 0;
+  /// False when the job could never be placed (more ranks than the machine
+  /// has nodes); such a job is dropped, not queued forever.
+  bool placed = false;
+  sim::Time arrival{};
+  sim::Time start{};  ///< dispatch time; start - arrival is the queue wait
+  sim::Time end{};    ///< all of the job's expected events observed
+  std::vector<net::NodeId> nodes;  ///< rank i ran on nodes[i]
+  workload::WorkloadResult work{};
+
+  sim::Time queue_wait() const { return start - arrival; }
+};
+
+/// The whole multi-tenant run.
+struct ClusterSpec {
+  /// Minimum machine size; the actual machine is the near-cubic
+  /// power-of-two torus holding at least this many nodes
+  /// (harness::shape_for_ranks), every node carrying one process.
+  int nodes = 64;
+  std::vector<JobSpec> jobs;  ///< any order; dispatched FIFO by arrival
+  /// Stack configuration for every node.  config.net.routing and
+  /// config.net.link.vcs are overwritten from the two fields below.
+  ss::Config config{};
+  net::Routing routing = net::Routing::kDimOrder;
+  /// Virtual channels per link; >1 turns on round-robin service-class
+  /// arbitration, with each job mapped to class (id % vcs).
+  int vcs = 1;
+  /// Seed for the cluster's own streams (random placement); job traffic
+  /// seeds live in each JobSpec's work.seed.
+  std::uint64_t seed = 1;
+  /// Record per-job latency histograms (job.jN.latency_ps) too.
+  bool sampling = false;
+};
+
+struct ClusterResult {
+  std::vector<JobResult> jobs;  ///< in JobSpec order
+  int machine_nodes = 0;        ///< actual torus size after rounding
+  sim::Time makespan{};         ///< last job end
+  /// Node-seconds occupied by placed jobs over machine capacity through
+  /// the makespan — the utilization axis of the SLO curves.
+  double utilization = 0.0;
+  std::uint64_t adaptive_deflections = 0;
+};
+
+/// One entry of a job mix for trace generation.
+struct JobTemplate {
+  workload::WorkloadSpec work{};
+  Placement placement = Placement::kContiguous;
+};
+
+/// Poisson arrival trace over a job mix.
+struct TraceSpec {
+  int jobs = 8;
+  /// Mean arrival rate (jobs per second of simulated time).
+  double arrival_rate_per_sec = 1000.0;
+  /// Cycled deterministically: job i uses mix[i % mix.size()].
+  std::vector<JobTemplate> mix;
+  std::uint64_t seed = 1;
+};
+
+/// Expands a TraceSpec into concrete JobSpecs: exponential interarrivals
+/// from the trace seed, each job's work.seed forked in job order (so jobs
+/// sharing a template still draw independent traffic).  Pure function.
+std::vector<JobSpec> poisson_trace(const TraceSpec& trace);
+
+}  // namespace xt::cluster

@@ -1,0 +1,98 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xt::cluster {
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::kContiguous: return "contiguous";
+    case Placement::kScattered: return "scattered";
+    case Placement::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::optional<Placement> placement_from_name(std::string_view name) {
+  if (name == "contiguous" || name == "block") return Placement::kContiguous;
+  if (name == "scattered" || name == "stride") return Placement::kScattered;
+  if (name == "random") return Placement::kRandom;
+  return std::nullopt;
+}
+
+NodeAllocator::NodeAllocator(int nodes, std::uint64_t seed)
+    : free_(static_cast<std::size_t>(nodes), true),
+      nfree_(nodes),
+      rng_(seed) {}
+
+std::vector<net::NodeId> NodeAllocator::free_ids() const {
+  std::vector<net::NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(nfree_));
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i]) ids.push_back(static_cast<net::NodeId>(i));
+  }
+  return ids;
+}
+
+std::vector<net::NodeId> NodeAllocator::allocate(int n, Placement policy) {
+  if (n <= 0 || n > nfree_) return {};
+  const std::size_t un = static_cast<std::size_t>(n);
+  std::vector<net::NodeId> picked;
+  picked.reserve(un);
+  switch (policy) {
+    case Placement::kContiguous: {
+      // Lowest run of n consecutive free ids, if fragmentation left one.
+      std::size_t run = 0;
+      for (std::size_t i = 0; i < free_.size() && picked.empty(); ++i) {
+        run = free_[i] ? run + 1 : 0;
+        if (run == un) {
+          for (std::size_t j = i + 1 - un; j <= i; ++j) {
+            picked.push_back(static_cast<net::NodeId>(j));
+          }
+        }
+      }
+      if (picked.empty()) {
+        // Best-effort compaction: the n lowest free ids.
+        const std::vector<net::NodeId> ids = free_ids();
+        picked.assign(ids.begin(), ids.begin() + static_cast<long>(un));
+      }
+      break;
+    }
+    case Placement::kScattered: {
+      const std::vector<net::NodeId> ids = free_ids();
+      const std::size_t stride = std::max<std::size_t>(ids.size() / un, 1);
+      for (std::size_t i = 0; i < un; ++i) picked.push_back(ids[i * stride]);
+      break;
+    }
+    case Placement::kRandom: {
+      // Partial Fisher-Yates over the free list; draw order is rank order.
+      std::vector<net::NodeId> ids = free_ids();
+      for (std::size_t i = 0; i < un; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(
+                    rng_.below(static_cast<std::uint64_t>(ids.size() - i)));
+        std::swap(ids[i], ids[j]);
+        picked.push_back(ids[i]);
+      }
+      break;
+    }
+  }
+  assert(picked.size() == un);
+  for (net::NodeId id : picked) {
+    assert(free_[id]);
+    free_[id] = false;
+  }
+  nfree_ -= n;
+  return picked;
+}
+
+void NodeAllocator::release(const std::vector<net::NodeId>& nodes) {
+  for (net::NodeId id : nodes) {
+    assert(!free_[id]);
+    free_[id] = true;
+  }
+  nfree_ += static_cast<int>(nodes.size());
+}
+
+}  // namespace xt::cluster

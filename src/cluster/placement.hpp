@@ -1,0 +1,60 @@
+#pragma once
+
+// Node placement for multi-tenant runs.
+//
+// The scheduler asks the allocator for `n` free nodes under a policy; the
+// returned vector IS the job's rank→node map (rank i runs on nodes[i]), so
+// policy choice shapes both which links jobs share and how far a job's own
+// neighbors sit apart:
+//   kContiguous  lowest-id run of n consecutive free nodes (the z-major
+//                curve keeps consecutive ids physically adjacent), falling
+//                back to the n lowest free ids when fragmentation has
+//                destroyed every run — the compact, interference-minimizing
+//                allocation of a space-shared torus (ROADMAP: the Cplant /
+//                Red Storm allocator discipline);
+//   kScattered   every k-th free node, k = free/n — maximal spread, the
+//                worst case for path sharing between jobs and the classic
+//                way allocation fragmentation degrades tails;
+//   kRandom      a uniform draw (in draw order) from the free set.
+//
+// All three are pure functions of (free set, policy, rng state), so a
+// cluster run is reproducible from its spec alone.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/coord.hpp"
+#include "sim/rng.hpp"
+
+namespace xt::cluster {
+
+enum class Placement : std::uint8_t { kContiguous, kScattered, kRandom };
+
+const char* placement_name(Placement p);
+/// Parses "contiguous"/"block", "scattered"/"stride", or "random".
+std::optional<Placement> placement_from_name(std::string_view name);
+
+/// Free-list over the machine's nodes.  Not thread-safe (one per engine).
+class NodeAllocator {
+ public:
+  NodeAllocator(int nodes, std::uint64_t seed);
+
+  /// Picks `n` free nodes under `policy`; empty when fewer than n are
+  /// free.  The order of the returned ids is the job's rank order.
+  std::vector<net::NodeId> allocate(int n, Placement policy);
+  void release(const std::vector<net::NodeId>& nodes);
+
+  int free_count() const { return nfree_; }
+  int total() const { return static_cast<int>(free_.size()); }
+
+ private:
+  std::vector<net::NodeId> free_ids() const;
+
+  std::vector<bool> free_;
+  int nfree_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace xt::cluster

@@ -1,0 +1,224 @@
+#include "cluster/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <numeric>
+
+#include "harness/scenario.hpp"
+#include "sim/condition.hpp"
+#include "sim/strf.hpp"
+#include "telemetry/metrics.hpp"
+#include "workload/detail.hpp"
+
+namespace xt::cluster {
+
+namespace {
+
+namespace wd = workload::detail;
+
+wd::Pace pace_for(const workload::WorkloadSpec& spec) {
+  if (spec.pattern == workload::PatternKind::kRpc) return wd::Pace::kReply;
+  return spec.count_drops ? wd::Pace::kSendEnd : wd::Pace::kAck;
+}
+
+/// Runs `t` and decrements the join counter, waking the joiner at zero.
+sim::CoTask<void> with_join(sim::CoTask<void> t, int& remaining,
+                            sim::WaitQueue& done) {
+  co_await std::move(t);
+  if (--remaining == 0) done.notify_all();
+}
+
+struct Runner {
+  const ClusterSpec& spec;
+  harness::Instance& inst;
+  NodeAllocator alloc;
+  sim::WaitQueue cv;  ///< woken on arrivals and job departures
+  std::deque<std::size_t> fifo;  ///< arrived jobs (index into spec.jobs)
+  std::vector<JobResult> results;
+  int done_jobs = 0;
+
+  Runner(const ClusterSpec& s, harness::Instance& i, int machine_nodes)
+      : spec(s),
+        inst(i),
+        alloc(machine_nodes, sim::Rng(s.seed).u64()),
+        cv(i.engine()),
+        results(s.jobs.size()) {}
+
+  sim::CoTask<void> dispatcher();
+  sim::CoTask<void> run_job(std::size_t idx);
+};
+
+sim::CoTask<void> Runner::dispatcher() {
+  const int total = static_cast<int>(spec.jobs.size());
+  while (done_jobs < total) {
+    if (fifo.empty()) {
+      co_await cv.wait();
+      continue;
+    }
+    const std::size_t idx = fifo.front();
+    const JobSpec& job = spec.jobs[idx];
+    if (job.work.ranks > alloc.total()) {
+      // Can never fit: drop rather than block the queue forever.
+      fifo.pop_front();
+      ++done_jobs;
+      continue;
+    }
+    std::vector<net::NodeId> nodes =
+        alloc.allocate(job.work.ranks, job.placement);
+    if (nodes.empty()) {
+      // Strict FIFO: the head waits for departures; no backfill.
+      co_await cv.wait();
+      continue;
+    }
+    fifo.pop_front();
+    results[idx].placed = true;
+    results[idx].nodes = std::move(nodes);
+    sim::spawn(run_job(idx));
+  }
+}
+
+sim::CoTask<void> Runner::run_job(std::size_t idx) {
+  const JobSpec& job = spec.jobs[idx];
+  JobResult& res = results[idx];
+  sim::Engine& eng = inst.engine();
+  res.start = eng.now();
+
+  if (spec.vcs > 1) {
+    net::Network& net = inst.machine().network();
+    for (net::NodeId nid : res.nodes) {
+      net.set_service_class(
+          nid, static_cast<std::uint8_t>(job.id % spec.vcs));
+    }
+  }
+
+  const wd::Plan plan = wd::build_plan(job.work);
+  wd::Ctx ctx;
+  ctx.spec = &job.work;
+  ctx.eng = &eng;
+  ctx.pid = inst.proc(0).pid();
+  ctx.rpc = job.work.pattern == workload::PatternKind::kRpc;
+  ctx.pace = pace_for(job.work);
+  ctx.node_of = &res.nodes;
+  ctx.data_bits = (static_cast<ptl::MatchBits>(job.id) << 8) | 1u;
+  ctx.reply_bits = (static_cast<ptl::MatchBits>(job.id) << 8) | 2u;
+
+  const int ranks = job.work.ranks;
+  std::vector<wd::RankState> st(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    wd::RankState& s = st[static_cast<std::size_t>(r)];
+    s.proc = &inst.proc(res.nodes[static_cast<std::size_t>(r)]);
+    s.slots = std::make_unique<sim::WaitQueue>(eng);
+    wd::init_rank_state(s, plan, ctx, r);
+  }
+
+  sim::WaitQueue join(eng);
+  int remaining = ranks;
+  for (int r = 0; r < ranks; ++r) {
+    sim::spawn(with_join(wd::setup_rank(st[static_cast<std::size_t>(r)], ctx),
+                         remaining, join));
+  }
+  while (remaining > 0) co_await join.wait();
+
+  ctx.t0 = eng.now();
+  remaining = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const std::size_t u = static_cast<std::size_t>(r);
+    ++remaining;
+    sim::spawn(with_join(wd::pump_rank(st[u], ctx), remaining, join));
+    if (!plan.send[u].dest.empty()) {
+      ++remaining;
+      sim::spawn(
+          with_join(wd::send_rank(r, st[u], plan.send[u], ctx), remaining,
+                    join));
+    }
+  }
+  while (remaining > 0) co_await join.wait();
+
+  res.work = wd::gather_result(st, ctx, plan, inst.machine().first_panic());
+  res.end = eng.now();
+
+  telemetry::MetricsRegistry& reg = eng.metrics();
+  const std::string ns = sim::strf("job.j%d.", job.id);
+  reg.counter(ns + "sent").add(res.work.sent);
+  reg.counter(ns + "delivered").add(res.work.delivered);
+  reg.counter(ns + "dropped").add(res.work.dropped);
+  reg.counter(ns + "replies").add(res.work.replies);
+  reg.counter(ns + "queue_wait_ps")
+      .add(static_cast<std::uint64_t>(res.queue_wait().to_ps()));
+  if (reg.sampling()) {
+    telemetry::Histogram& h = reg.histogram(ns + "latency_ps");
+    for (std::uint64_t v : res.work.latency_ps) h.record(v);
+  }
+
+  alloc.release(res.nodes);
+  ++done_jobs;
+  cv.notify_all();
+}
+
+}  // namespace
+
+ClusterResult run_cluster(const ClusterSpec& spec) {
+  const net::Shape shape = harness::shape_for_ranks(spec.nodes);
+  const int machine_nodes = shape.count();
+
+  harness::Scenario sc;
+  sc.with_shape(shape);
+  ss::Config cfg = spec.config;
+  cfg.net.routing = spec.routing;
+  cfg.net.link.vcs = spec.vcs;
+  sc.with_config(cfg).with_seed(spec.seed);
+  sc.telemetry.sampling = spec.sampling;
+  for (int n = 0; n < machine_nodes; ++n) {
+    sc.add_proc(static_cast<net::NodeId>(n), 10, 16u << 20);
+  }
+  std::unique_ptr<harness::Instance> inst = sc.build();
+  sim::Engine& eng = inst->engine();
+
+  Runner runner(spec, *inst, machine_nodes);
+  for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+    runner.results[i].id = spec.jobs[i].id;
+    runner.results[i].arrival = spec.jobs[i].arrival;
+  }
+
+  // Arrivals in (arrival, id) order so same-instant jobs enqueue FIFO by
+  // id (the engine runs same-time events in schedule order).
+  std::vector<std::size_t> order(spec.jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (spec.jobs[a].arrival != spec.jobs[b].arrival) {
+      return spec.jobs[a].arrival < spec.jobs[b].arrival;
+    }
+    return spec.jobs[a].id < spec.jobs[b].id;
+  });
+  for (std::size_t idx : order) {
+    eng.schedule_after(spec.jobs[idx].arrival, [&runner, idx] {
+      runner.fifo.push_back(idx);
+      runner.cv.notify_all();
+    });
+  }
+  sim::spawn(runner.dispatcher());
+  inst->run();
+  assert(runner.done_jobs == static_cast<int>(spec.jobs.size()));
+
+  ClusterResult out;
+  out.machine_nodes = machine_nodes;
+  out.jobs = std::move(runner.results);
+  double busy_node_ps = 0.0;
+  for (const JobResult& j : out.jobs) {
+    if (!j.placed) continue;
+    if (j.end > out.makespan) out.makespan = j.end;
+    busy_node_ps += static_cast<double>(j.nodes.size()) *
+                    static_cast<double>((j.end - j.start).to_ps());
+  }
+  if (!out.makespan.is_zero()) {
+    out.utilization = busy_node_ps / (static_cast<double>(machine_nodes) *
+                                      static_cast<double>(out.makespan.to_ps()));
+  }
+  out.adaptive_deflections =
+      inst->machine().network().adaptive_deflections();
+  return out;
+}
+
+}  // namespace xt::cluster

@@ -1,0 +1,37 @@
+#pragma once
+
+// The multi-tenant cluster runner: FIFO job scheduler over one machine.
+//
+// run_cluster() builds a single Instance covering the whole torus (one
+// process per node), schedules every job's arrival on the engine clock, and
+// runs a FIFO dispatcher coroutine: the head-of-queue job waits until the
+// allocator can place its ranks (strict FIFO — no backfill, so queue waits
+// are easy to reason about), then runs its workload on its own node set
+// while other jobs' traffic shares the wires.  Space sharing only: a node
+// runs at most one job at a time, as on the real machine's compute
+// partition.
+//
+// Isolation mechanics:
+//   * each job gets its own match-bit namespace ((id << 8) | 1 for data,
+//     | 2 for replies), so retained MEs from a departed job on a reused
+//     node can never match a new job's traffic;
+//   * each job's ranks are virtual — patterns are built over the job's own
+//     near-cubic topology and mapped to physical nodes through the
+//     placement (detail::Ctx::node_of);
+//   * with vcs > 1, job id → service class (id % vcs), so per-VC link
+//     arbitration bounds how much queueing one job can impose on another.
+//
+// Everything runs in one engine, single-threaded: results are
+// byte-identical for a given ClusterSpec regardless of --jobs.
+
+#include "cluster/job.hpp"
+
+namespace xt::cluster {
+
+/// Runs the whole trace to completion and gathers per-job results plus
+/// machine-level utilization.  Per-job telemetry lands in the engine's
+/// registry under "job.jN." (counters always; latency histograms when
+/// spec.sampling).
+ClusterResult run_cluster(const ClusterSpec& spec);
+
+}  // namespace xt::cluster

@@ -31,7 +31,12 @@ namespace {
       "  --faults SPEC   fault plan, e.g. kinds=drop+silent,rate=0.01\n"
       "  --fault-seed N  fault plan seed\n"
       "  --fault-rate X  per-message fault probability\n"
-      "  --fault-kinds K fault kinds: drop+silent+corrupt+... or 'all'\n",
+      "  --fault-kinds K fault kinds: drop+silent+corrupt+... or 'all'\n"
+      "  --jobs-spec S   multi-tenant benches: pattern:ranks pairs,\n"
+      "                  e.g. incast:8,halo3d:8,rpc:8\n"
+      "  --placement P   multi-tenant benches: contiguous|scattered|random\n"
+      "  --routing R     path selection: dimension (default) or adaptive\n"
+      "  --vcs N         virtual channels per link (1 = strict FIFO)\n",
       prog);
   std::exit(rc);
 }
@@ -114,6 +119,11 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       }
       o.faults.kinds = kinds;
       o.faults_set = true;
+    } else if (path_flag("--jobs-spec", argc, argv, i, &o.jobs_spec)) {
+    } else if (path_flag("--placement", argc, argv, i, &o.placement)) {
+    } else if (path_flag("--routing", argc, argv, i, &o.routing)) {
+    } else if (std::strcmp(arg, "--vcs") == 0 && i + 1 < argc) {
+      o.vcs = std::atoi(argv[++i]);
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
       usage(argv[0], 0);
@@ -123,6 +133,14 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
     }
   }
   return o;
+}
+
+const char* git_describe() {
+#ifdef XT_GIT_DESCRIBE
+  return XT_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {

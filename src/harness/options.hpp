@@ -76,11 +76,29 @@ struct BenchOptions {
   /// (an all-defaults plan is also how reproducers disable faults).
   fault::FaultPlan faults{};
   bool faults_set = false;
+  /// Multi-tenant benches: job mix, e.g. "incast:8,halo3d:8,rpc:8" —
+  /// pattern:ranks pairs, comma-separated.  The harness keeps it as a
+  /// string (same dependency logic as `pattern`); empty = bench default.
+  std::string jobs_spec;
+  /// Multi-tenant benches: placement policy name ("contiguous",
+  /// "scattered", "random"); empty = bench default.
+  std::string placement;
+  /// Network path selection ("dimension" or "adaptive"); empty = bench
+  /// default.
+  std::string routing;
+  /// Virtual channels per link (0 = bench default).
+  int vcs = 0;
 
   /// Parses argv; on --help or an unknown flag prints usage and exits.
   static BenchOptions parse(int argc, char** argv,
                             std::size_t max_bytes_default = 8u << 20);
 };
+
+/// The `git describe --always --dirty --tags` string of the tree this
+/// binary was built from ("unknown" outside a git checkout) — every bench
+/// embeds it in its JSON header so committed artifacts say what produced
+/// them.
+const char* git_describe();
 
 /// Writes `content` to `path`; warns on stderr and returns false on
 /// failure.  Used by benches honoring --json with bespoke schemas.

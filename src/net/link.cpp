@@ -6,9 +6,38 @@
 
 namespace xt::net {
 
-sim::CoTask<bool> Link::carry(std::size_t bytes) {
+void Link::vc_release() {
+  vc_busy_accum_ += res_.engine().now() - vc_held_since_;
+  // Round robin: scan VCs starting after the one last served.
+  const int n = cfg_.vcs;
+  for (int i = 1; i <= n; ++i) {
+    const int vc = (vc_last_ + i) % n;
+    auto& q = vc_q_[static_cast<std::size_t>(vc)];
+    if (q.empty()) continue;
+    const std::coroutine_handle<> h = q.front();
+    q.pop_front();
+    // Stay busy across the handoff; the new holder's interval starts when
+    // the scheduled resume runs (same timestamp, later event order).
+    vc_last_ = vc;
+    res_.engine().schedule_after(sim::Time{}, [this, h] {
+      vc_held_since_ = res_.engine().now();
+      h.resume();
+    });
+    return;
+  }
+  vc_busy_ = false;
+}
+
+sim::CoTask<bool> Link::carry(std::size_t bytes, int vc) {
   const sim::Time ser = serialize_time(bytes);
-  co_await res_.acquire();
+  const bool multi_vc = cfg_.vcs > 1;
+  if (multi_vc) {
+    if (vc < 0) vc = 0;
+    if (vc >= cfg_.vcs) vc = vc % cfg_.vcs;
+    co_await VcAcquire(*this, vc);
+  } else {
+    co_await res_.acquire();
+  }
   co_await sim::delay(res_.engine(), ser);
   // Link-level CRC-16 with retries: the whole chunk is resent while any of
   // its packets was corrupted.  (The real hardware retries at packet
@@ -32,7 +61,11 @@ sim::CoTask<bool> Link::carry(std::size_t bytes) {
       co_await sim::delay(res_.engine(), cfg_.retry_penalty + ser);
     }
   }
-  res_.release();
+  if (multi_vc) {
+    vc_release();
+  } else {
+    res_.release();
+  }
   co_await sim::delay(res_.engine(), cfg_.hop_latency);
   co_return cfg_.undetected_corrupt_prob > 0.0 &&
       rng_.chance(cfg_.undetected_corrupt_prob);

@@ -13,9 +13,19 @@
 // plus a turnaround penalty).  With probability `undetected_corrupt_prob`
 // per chunk a corruption slips past the link CRC — those must be caught by
 // the end-to-end CRC-32 at the destination NIC.
+//
+// Virtual channels: with `vcs > 1` the single FIFO becomes `vcs` queues
+// with round-robin arbitration between non-empty VCs — one job class
+// cannot monopolize a shared link by queueing depth alone (the APEnet-
+// style arbitration alternative for multi-tenant contention studies).
+// `vcs == 1` keeps the original strict-FIFO sim::Resource path, event for
+// event.
 
+#include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -37,17 +47,35 @@ struct LinkConfig {
   double undetected_corrupt_prob = 0.0;
   /// Extra turnaround time per retry (NACK + resend setup).
   sim::Time retry_penalty = sim::Time::ns(100);
+  /// Virtual channels per link.  1 = strict FIFO (the hardware's in-order
+  /// guarantee); >1 = round-robin arbitration between per-VC queues.
+  int vcs = 1;
 };
 
 class Link {
  public:
   Link(sim::Engine& eng, LinkConfig cfg, std::uint64_t seed, std::string name)
-      : cfg_(cfg), res_(eng, std::move(name)), rng_(seed) {}
+      : cfg_(cfg), res_(eng, std::move(name)), rng_(seed) {
+    if (cfg_.vcs > 1) vc_q_.resize(static_cast<std::size_t>(cfg_.vcs));
+  }
 
-  /// Carries `bytes` of payload across the link: serialize (packetized,
-  /// retrying corrupted packets), then incur the per-hop latency.
-  /// Returns true if an undetected corruption happened on this link.
-  sim::CoTask<bool> carry(std::size_t bytes);
+  /// Carries `bytes` of payload across the link on virtual channel `vc`:
+  /// serialize (packetized, retrying corrupted packets), then incur the
+  /// per-hop latency.  Returns true if an undetected corruption happened
+  /// on this link.  `vc` is clamped into [0, vcs) and ignored when the
+  /// link runs a single FIFO.
+  sim::CoTask<bool> carry(std::size_t bytes, int vc = 0);
+
+  /// Chunks currently holding or waiting for the link — the congestion
+  /// signal adaptive routing reads when choosing between productive ports.
+  std::size_t occupancy() const {
+    std::size_t n = res_.queued() + (res_.busy() ? 1 : 0);
+    if (cfg_.vcs > 1) {
+      n += vc_busy_ ? 1 : 0;
+      for (const auto& q : vc_q_) n += q.size();
+    }
+    return n;
+  }
 
   /// Serialization time for `bytes`, rounded up to whole packets.
   sim::Time serialize_time(std::size_t bytes) const {
@@ -62,14 +90,50 @@ class Link {
 
   const LinkConfig& config() const { return cfg_; }
   std::uint64_t retries() const { return retries_; }
-  sim::Time busy_time() const { return res_.busy_time(); }
+  sim::Time busy_time() const { return res_.busy_time() + vc_busy_accum_; }
   const std::string& name() const { return res_.name(); }
 
  private:
+  /// Round-robin VC arbitration (vcs > 1 only).  Mirrors sim::Resource's
+  /// grant discipline — resumption always goes through the engine — but
+  /// the wait queues are per VC and release() hands the link to the next
+  /// non-empty VC after the one last served.
+  class VcAcquire {
+   public:
+    VcAcquire(Link& l, int vc) : l_(l), vc_(vc) {}
+    bool await_ready() const noexcept {
+      if (l_.vc_busy_) return false;
+      l_.vc_grant(vc_);
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      l_.vc_q_[static_cast<std::size_t>(vc_)].push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Link& l_;
+    int vc_;
+  };
+  friend class VcAcquire;
+
+  void vc_grant(int vc) {
+    vc_busy_ = true;
+    vc_last_ = vc;
+    vc_held_since_ = res_.engine().now();
+  }
+  void vc_release();
+
   LinkConfig cfg_;
   sim::Resource res_;
   sim::Rng rng_;
   std::uint64_t retries_ = 0;
+  // vcs > 1 arbitration state.
+  std::vector<std::deque<std::coroutine_handle<>>> vc_q_;
+  bool vc_busy_ = false;
+  int vc_last_ = 0;
+  sim::Time vc_held_since_{};
+  sim::Time vc_busy_accum_{};
 };
 
 }  // namespace xt::net

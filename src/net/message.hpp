@@ -27,6 +27,16 @@ struct Message {
   std::uint64_t seq = 0;
   /// Provenance record id (telemetry::ProvenanceLog); 0 = untracked.
   std::uint64_t prov_id = 0;
+  /// Virtual channel the message rides (service-class arbitration at each
+  /// link; always 0 unless the network runs more than one VC).
+  std::uint8_t vc = 0;
+  /// Adaptive routing only: the per-message path chosen at injection (one
+  /// port per hop).  Empty = follow the dimension-order tables.  All chunks
+  /// of a message share the path, so a message arrives intact and in order
+  /// with itself; *different* messages of one (src, dst) pair may take
+  /// different paths and overtake each other — the in-order guarantee the
+  /// paper attributes to table-based routing (§2) is deliberately given up.
+  std::vector<Port> route;
 
   /// Contents of the header packet (at most Config::packet_size bytes).
   std::vector<std::byte> header;

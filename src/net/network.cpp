@@ -8,6 +8,20 @@
 
 namespace xt::net {
 
+const char* routing_name(Routing r) {
+  switch (r) {
+    case Routing::kDimOrder: return "dimension";
+    case Routing::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::optional<Routing> routing_from_name(std::string_view name) {
+  if (name == "dimension" || name == "dimorder") return Routing::kDimOrder;
+  if (name == "adaptive") return Routing::kAdaptive;
+  return std::nullopt;
+}
+
 Network::Network(sim::Engine& eng, Shape shape, NetConfig cfg,
                  std::uint64_t seed)
     : eng_(eng), shape_(shape), cfg_(cfg) {
@@ -15,6 +29,7 @@ Network::Network(sim::Engine& eng, Shape shape, NetConfig cfg,
   tables_.reserve(n);
   links_.resize(n * 6);
   endpoints_.assign(n, nullptr);
+  class_of_.assign(n, 0);
   sim::Rng seeder(seed);
   for (NodeId id = 0; id < n; ++id) {
     tables_.emplace_back(shape_, shape_.to_coord(id));
@@ -31,6 +46,11 @@ void Network::attach(NodeId node, Endpoint& ep) {
   endpoints_[node] = &ep;
 }
 
+void Network::set_service_class(NodeId node, std::uint8_t cls) {
+  assert(node < class_of_.size());
+  class_of_[node] = cls;
+}
+
 Link& Network::link_out(NodeId node, Port p) {
   assert(p != Port::kLocal);
   return *links_[node * 6 + static_cast<std::size_t>(p)];
@@ -43,6 +63,12 @@ void Network::begin(const MessagePtr& msg) {
   c = crc32_update(c, msg->payload);
   msg->e2e_crc = crc32_finish(c);
   msg->injected_at = eng_.now();
+  if (cfg_.link.vcs > 1) {
+    msg->vc = static_cast<std::uint8_t>(class_of_[msg->src] % cfg_.link.vcs);
+  }
+  if (cfg_.routing == Routing::kAdaptive && msg->src != msg->dst) {
+    msg->route = adaptive_route(msg->src, msg->dst);
+  }
   // Per-message fault decisions are made once, at injection: router-egress
   // loss, reordering delay, and CRC-16-evading corruption all act on whole
   // wire messages.  (Per-chunk corruption bursts live in Link::carry.)
@@ -66,11 +92,15 @@ sim::CoTask<void> Network::walk(MessagePtr msg, std::size_t bytes,
     // Loopback: no links; charge one hop of latency.
     co_await sim::delay(eng_, cfg_.link.hop_latency);
   }
+  std::size_t hop = 0;
   while (cur != msg->dst) {
-    const Port p = tables_[cur].next_port(msg->dst);
+    // Adaptive: every chunk follows the per-message path picked at
+    // injection; otherwise the fixed dimension-order tables.
+    const Port p = msg->route.empty() ? tables_[cur].next_port(msg->dst)
+                                      : msg->route[hop++];
     assert(p != Port::kLocal);
     Link& l = link_out(cur, p);
-    const bool slipped = co_await l.carry(bytes);
+    const bool slipped = co_await l.carry(bytes, msg->vc);
     if (slipped) msg->corrupted = true;
     cur = neighbor(shape_, cur, p);
   }
@@ -120,6 +150,32 @@ std::vector<Link*> Network::path_links(NodeId src, NodeId dst) {
     cur = neighbor(shape_, cur, p);
   }
   return out;
+}
+
+std::vector<Port> Network::adaptive_route(NodeId src, NodeId dst) {
+  std::vector<Port> route;
+  bool deflected = false;
+  NodeId cur = src;
+  const Coord dest = shape_.to_coord(dst);
+  while (cur != dst) {
+    const std::vector<Port> cands =
+        productive_ports(shape_, shape_.to_coord(cur), dest);
+    assert(!cands.empty());
+    Port best = cands.front();
+    std::size_t best_occ = link_out(cur, best).occupancy();
+    for (std::size_t i = 1; i < cands.size(); ++i) {
+      const std::size_t occ = link_out(cur, cands[i]).occupancy();
+      if (occ < best_occ) {
+        best = cands[i];
+        best_occ = occ;
+      }
+    }
+    if (best != tables_[cur].next_port(dst)) deflected = true;
+    route.push_back(best);
+    cur = neighbor(shape_, cur, best);
+  }
+  if (deflected) ++deflections_;
+  return route;
 }
 
 std::uint64_t Network::total_retries() const {

@@ -22,6 +22,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "net/coord.hpp"
@@ -33,8 +35,22 @@
 
 namespace xt::net {
 
+/// How each message's path is chosen.  kDimOrder is the hardware's
+/// table-based routing (one fixed path per (src, dst), in-order delivery).
+/// kAdaptive picks, per message at injection, the least-occupied productive
+/// port at every hop along a minimal path — congestion-aware, still
+/// minimal-length, but messages of one pair may overtake each other (the
+/// torus routing trade-off the APEnet+ work studies under contention).
+enum class Routing : std::uint8_t { kDimOrder, kAdaptive };
+
+const char* routing_name(Routing r);
+/// Parses "dimension"/"dimorder" or "adaptive"; nullopt otherwise.
+std::optional<Routing> routing_from_name(std::string_view name);
+
 struct NetConfig {
   LinkConfig link{};
+  /// Path selection policy (see Routing).
+  Routing routing = Routing::kDimOrder;
   /// Transfer granularity through the network (trade-off: fidelity of
   /// pipelining/interleaving vs. event count).  2 KiB keeps the wormhole
   /// pipeline fine enough that a mid-sized message's wire time overlaps
@@ -55,6 +71,12 @@ class Network {
 
   /// Registers the receive endpoint (the NIC) for a node.
   void attach(NodeId node, Endpoint& ep);
+
+  /// Service class of a node's injected traffic: messages from `node` ride
+  /// virtual channel `cls % link.vcs`.  The multi-tenant layer maps each
+  /// job to a class so per-VC arbitration isolates jobs at shared links;
+  /// a no-op (class 0) when the links run a single FIFO.
+  void set_service_class(NodeId node, std::uint8_t cls);
 
   /// Starts a message: assigns its sequence number, stamps the e2e CRC and
   /// injection time.  The caller (the sending NIC's Tx DMA model) then
@@ -84,9 +106,18 @@ class Network {
   /// Total link-CRC retries across the machine (fault-injection stats).
   std::uint64_t total_retries() const;
 
+  /// Messages whose adaptive path diverged from dimension order at one or
+  /// more hops (0 under kDimOrder).
+  std::uint64_t adaptive_deflections() const { return deflections_; }
+
  private:
   /// One directed link per (node, port) pair; kLocal has none.
   Link& link_out(NodeId node, Port p);
+  /// Minimal congestion-aware path for one message (kAdaptive): at every
+  /// hop pick the productive port whose link has the least occupancy,
+  /// ties broken in dimension order.  Pure function of the link state at
+  /// injection time, so runs stay deterministic.
+  std::vector<Port> adaptive_route(NodeId src, NodeId dst);
   sim::CoTask<void> walk(MessagePtr msg, std::size_t bytes, bool is_header,
                          bool is_last);
 
@@ -97,7 +128,9 @@ class Network {
   // links_[node * 6 + port]
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Endpoint*> endpoints_;
+  std::vector<std::uint8_t> class_of_;  // per-node service class
   std::uint64_t next_seq_ = 1;
+  std::uint64_t deflections_ = 0;
 };
 
 }  // namespace xt::net

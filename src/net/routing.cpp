@@ -29,6 +29,21 @@ int dim_step(int self, int dest, int size, bool wrap) {
   return fwd <= bwd ? 1 : -1;
 }
 
+/// Appends the minimal direction(s) for one dimension — both when the two
+/// ring directions tie (even-sized wrapped dimension at distance size/2).
+void dim_ports(int self, int dest, int size, bool wrap, Port plus, Port minus,
+               std::vector<Port>& out) {
+  if (self == dest) return;
+  if (!wrap) {
+    out.push_back(dest > self ? plus : minus);
+    return;
+  }
+  const int fwd = (dest - self + size) % size;
+  const int bwd = (self - dest + size) % size;
+  if (fwd <= bwd) out.push_back(plus);
+  if (bwd <= fwd) out.push_back(minus);
+}
+
 }  // namespace
 
 Port route_step(const Shape& shape, Coord self, Coord dest) {
@@ -43,6 +58,19 @@ Port route_step(const Shape& shape, Coord self, Coord dest) {
     return s > 0 ? Port::kZPlus : Port::kZMinus;
   }
   return Port::kLocal;
+}
+
+std::vector<Port> productive_ports(const Shape& shape, Coord self,
+                                   Coord dest) {
+  assert(shape.contains(self) && shape.contains(dest));
+  std::vector<Port> out;
+  dim_ports(self.x, dest.x, shape.nx, shape.wrap_x, Port::kXPlus,
+            Port::kXMinus, out);
+  dim_ports(self.y, dest.y, shape.ny, shape.wrap_y, Port::kYPlus,
+            Port::kYMinus, out);
+  dim_ports(self.z, dest.z, shape.nz, shape.wrap_z, Port::kZPlus,
+            Port::kZMinus, out);
+  return out;
 }
 
 RoutingTable::RoutingTable(const Shape& shape, Coord self) : self_(self) {

@@ -19,6 +19,15 @@ namespace xt::net {
 /// Pure function of the shape; used to build tables and directly by tests.
 Port route_step(const Shape& shape, Coord self, Coord dest);
 
+/// Every minimal productive port at `self` toward `dest`, in +x,-x,+y,-y,
+/// +z,-z order: for each unresolved dimension the shorter ring direction —
+/// or BOTH directions when they tie (even-sized wrapped dimension at
+/// distance size/2).  Empty iff self == dest.  route_step always returns
+/// the first entry of the first unresolved dimension, which is what makes
+/// adaptive routing with an empty network collapse to dimension order.
+std::vector<Port> productive_ports(const Shape& shape, Coord self,
+                                   Coord dest);
+
 /// Per-node routing table (dest node id → output port).
 class RoutingTable {
  public:

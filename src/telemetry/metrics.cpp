@@ -38,6 +38,34 @@ std::uint64_t Histogram::percentile(int p) const {
   return bucket_hi(kBuckets - 1);
 }
 
+std::uint64_t Histogram::percentile_x10(int p_tenths) const {
+  if (count == 0) return 0;
+  // rank = ceil(count * p / 1000), clamped to [1, count].
+  std::uint64_t rank =
+      (count * static_cast<std::uint64_t>(p_tenths) + 999) / 1000;
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(i)];
+    if (cum + n < rank) {
+      cum += n;
+      continue;
+    }
+    // Bucket 0 holds exactly the value 0; nothing to interpolate.
+    if (i == 0) return 0;
+    const std::uint64_t lo = bucket_lo(i);
+    const std::uint64_t span = bucket_hi(i) - lo;
+    const std::uint64_t j = rank - cum;  // 1 <= j <= n
+    // span * (j / n) <= span, so the double product cannot overflow and
+    // converts back to uint64 exactly enough for picosecond tails.
+    return lo + static_cast<std::uint64_t>(
+                    static_cast<double>(span) *
+                    (static_cast<double>(j) / static_cast<double>(n)));
+  }
+  return bucket_hi(kBuckets - 1);
+}
+
 namespace {
 
 template <typename Map, typename Emit>
@@ -101,12 +129,13 @@ std::string MetricsRegistry::to_json() const {
       out, "histograms", histograms_,
       [](std::string& o, const Histogram& h) {
         o += strf("{\"count\":%llu,\"sum\":%llu,\"p50\":%llu,\"p90\":%llu,"
-                  "\"p99\":%llu,\"buckets\":[",
+                  "\"p99\":%llu,\"p999\":%llu,\"buckets\":[",
                   static_cast<unsigned long long>(h.count),
                   static_cast<unsigned long long>(h.sum),
                   static_cast<unsigned long long>(h.percentile(50)),
                   static_cast<unsigned long long>(h.percentile(90)),
-                  static_cast<unsigned long long>(h.percentile(99)));
+                  static_cast<unsigned long long>(h.percentile(99)),
+                  static_cast<unsigned long long>(h.percentile_x10(999)));
         bool first = true;
         for (int i = 0; i < Histogram::kBuckets; ++i) {
           const std::uint64_t n = h.buckets[static_cast<std::size_t>(i)];

@@ -69,6 +69,15 @@ struct Histogram {
   /// Upper bound of the bucket containing the p-th percentile sample
   /// (rank = ceil(count * p / 100), integer math only).  0 when empty.
   std::uint64_t percentile(int p) const;
+
+  /// Percentile in tenths of a percent (p999 = 99.9%), linearly
+  /// interpolated within the log2 bucket: the bucket's samples are assumed
+  /// uniform over [lo, hi], so the j-th of its n samples sits at
+  /// lo + (hi - lo) * j / n.  Needed for SLO tails — p999 would otherwise
+  /// collapse onto bucket_hi, a 2x overestimate in the worst case.  The
+  /// interpolation uses one double ratio (j/n <= 1), which is IEEE-exact
+  /// enough to stay reproducible across runs.
+  std::uint64_t percentile_x10(int p_tenths) const;
 };
 
 class MetricsRegistry {

@@ -6,6 +6,7 @@
 
 #include "harness/scenario.hpp"
 #include "portals/api.hpp"
+#include "sim/strf.hpp"
 #include "telemetry/hooks.hpp"
 #include "workload/pattern.hpp"
 
@@ -123,7 +124,7 @@ CoTask<void> setup_rank(RankState& st, Ctx& ctx) {
 
   const std::uint32_t bytes = std::max<std::uint32_t>(ctx.spec->bytes, 1);
   auto me = co_await api.PtlMEAttach(0, ProcessId{ptl::kNidAny, ptl::kPidAny},
-                                     kDataBits, 0, Unlink::kRetain,
+                                     ctx.data_bits, 0, Unlink::kRetain,
                                      InsPos::kAfter);
   MdDesc sink;
   sink.start = st.proc->alloc(bytes);
@@ -135,7 +136,7 @@ CoTask<void> setup_rank(RankState& st, Ctx& ctx) {
 
   if (ctx.rpc) {
     auto rme = co_await api.PtlMEAttach(
-        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, kReplyBits, 0,
+        0, ProcessId{ptl::kNidAny, ptl::kPidAny}, ctx.reply_bits, 0,
         Unlink::kRetain, InsPos::kAfter);
     MdDesc rsink = sink;
     rsink.start = st.proc->alloc(bytes);
@@ -192,7 +193,7 @@ CoTask<void> pump_rank(RankState& st, Ctx& ctx) {
           ++st.data_drop;
           break;
         }
-        if (ctx.rpc && e.match_bits == kReplyBits) {
+        if (ctx.rpc && e.match_bits == ctx.reply_bits) {
           // Reply landed at the client: settle the tracked request.
           ++st.replies;
           st.lat_ps.push_back(
@@ -209,7 +210,7 @@ CoTask<void> pump_rank(RankState& st, Ctx& ctx) {
             // Serve the request: reply to the initiator, echoing the
             // request's timestamp so the client can compute RTT.
             (void)co_await api.PtlPut(st.send_md, AckReq::kNone, e.initiator,
-                                      0, 0, kReplyBits, 0, e.hdr_data);
+                                      0, 0, ctx.reply_bits, 0, e.hdr_data);
           } else {
             st.lat_ps.push_back(
                 static_cast<std::uint64_t>(ctx.eng->now().to_ps()) -
@@ -260,10 +261,46 @@ CoTask<void> send_rank(int rank, RankState& st, const RankPlan& plan,
     ++st.inflight;
     ++ctx.sent;
     (void)co_await api.PtlPut(
-        st.send_md, ack,
-        ProcessId{static_cast<net::NodeId>(dst), ctx.pid}, 0, 0, kDataBits,
-        0, stamp);
+        st.send_md, ack, ProcessId{ctx.node_of_rank(dst), ctx.pid}, 0, 0,
+        ctx.data_bits, 0, stamp);
   }
+}
+
+WorkloadResult gather_result(const std::vector<RankState>& st, const Ctx& ctx,
+                             const Plan& plan,
+                             const std::string& first_panic) {
+  WorkloadResult res;
+  res.sent = ctx.sent;
+  res.span = ctx.eng->now() - ctx.t0;
+  res.sched_span = plan.sched_span;
+  res.complete = true;
+  for (const RankState& s : st) {
+    res.delivered += s.data_ok;
+    res.dropped += s.data_drop;
+    res.replies += s.replies;
+    if (!s.done(ctx) || !s.pending.empty()) res.complete = false;
+    res.latency_ps.insert(res.latency_ps.end(), s.lat_ps.begin(),
+                          s.lat_ps.end());
+  }
+  if (!res.complete) {
+    // Classify the shortfall: a panicked node is a hard failure, a sender
+    // still holding in-flight slots at quiescence is a stranded initiator,
+    // anything else is plain missing deliveries (loss with no recovery).
+    res.failure = first_panic;
+    for (std::size_t r = 0; res.failure.empty() && r < st.size(); ++r) {
+      const RankState& s = st[r];
+      if (s.inflight > 0 || !s.pending.empty()) {
+        res.failure = sim::strf(
+            "stranded initiator: rank %zu quiesced with %d in flight, %zu "
+            "request(s) unresolved",
+            r, s.inflight, s.pending.size());
+      }
+    }
+    if (res.failure.empty()) {
+      res.failure = "incomplete: expected events still missing at quiescence";
+    }
+  }
+  return res;
 }
 
 }  // namespace xt::workload::detail

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "host/node.hpp"
+#include "net/coord.hpp"
 #include "sim/condition.hpp"
 #include "sim/rng.hpp"
 #include "sim/task.hpp"
@@ -56,6 +57,22 @@ struct Ctx {
   bool rpc = false;
   sim::Time t0{};
   std::uint64_t sent = 0;
+  /// Rank → physical node id.  Null = identity (rank i runs on node i),
+  /// which is the single-tenant runners' layout; the multi-tenant cluster
+  /// points this at the job's placement so patterns stay expressed in
+  /// virtual ranks while traffic targets the job's actual nodes.
+  const std::vector<net::NodeId>* node_of = nullptr;
+  /// Match bits for the data / reply match list entries.  The defaults are
+  /// the single-tenant namespace; each cluster job gets its own pair, so
+  /// retained MEs from a departed job can never match a new job's traffic
+  /// on a reused node.
+  ptl::MatchBits data_bits = kDataBits;
+  ptl::MatchBits reply_bits = kReplyBits;
+
+  net::NodeId node_of_rank(int r) const {
+    return node_of ? (*node_of)[static_cast<std::size_t>(r)]
+                   : static_cast<net::NodeId>(r);
+  }
 };
 
 struct RankState {
@@ -99,5 +116,14 @@ sim::CoTask<void> setup_rank(RankState& st, Ctx& ctx);
 sim::CoTask<void> pump_rank(RankState& st, Ctx& ctx);
 sim::CoTask<void> send_rank(int rank, RankState& st, const RankPlan& plan,
                             Ctx& ctx);
+
+/// Collects counts, completeness and latency samples from quiesced rank
+/// states, classifying any shortfall the way run_workload reports it
+/// ("node N panicked", "stranded initiator", "incomplete").  span is
+/// eng->now() - ctx.t0 at call time; `first_panic` is the machine's
+/// first_panic() string.  Shared by the single-tenant runner and the
+/// multi-tenant cluster so a job's failure reads identically either way.
+WorkloadResult gather_result(const std::vector<RankState>& st, const Ctx& ctx,
+                             const Plan& plan, const std::string& first_panic);
 
 }  // namespace xt::workload::detail

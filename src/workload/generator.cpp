@@ -35,11 +35,15 @@ double WorkloadResult::offered_effective_per_sec() const {
 }
 
 std::uint64_t WorkloadResult::percentile_ps(int p) const {
+  return percentile_tenths_ps(p * 10);
+}
+
+std::uint64_t WorkloadResult::percentile_tenths_ps(int p_tenths) const {
   if (latency_ps.empty()) return 0;
   std::vector<std::uint64_t> v = latency_ps;
   std::sort(v.begin(), v.end());
   const std::uint64_t n = v.size();
-  std::uint64_t rank = (n * static_cast<std::uint64_t>(p) + 99) / 100;
+  std::uint64_t rank = (n * static_cast<std::uint64_t>(p_tenths) + 999) / 1000;
   if (rank == 0) rank = 1;
   if (rank > n) rank = n;
   return v[static_cast<std::size_t>(rank - 1)];
@@ -91,37 +95,8 @@ WorkloadResult run_workload(harness::Instance& inst,
   }
   inst.run();
 
-  WorkloadResult res;
-  res.sent = ctx.sent;
-  res.span = ctx.eng->now() - ctx.t0;
-  res.sched_span = plan.sched_span;
-  res.complete = true;
-  for (detail::RankState& s : st) {
-    res.delivered += s.data_ok;
-    res.dropped += s.data_drop;
-    res.replies += s.replies;
-    if (!s.done(ctx) || !s.pending.empty()) res.complete = false;
-    res.latency_ps.insert(res.latency_ps.end(), s.lat_ps.begin(),
-                          s.lat_ps.end());
-  }
-  if (!res.complete) {
-    // Classify the shortfall: a panicked node is a hard failure, a sender
-    // still holding in-flight slots at quiescence is a stranded initiator,
-    // anything else is plain missing deliveries (loss with no recovery).
-    res.failure = inst.machine().first_panic();
-    for (int r = 0; res.failure.empty() && r < spec.ranks; ++r) {
-      const detail::RankState& s = st[static_cast<std::size_t>(r)];
-      if (s.inflight > 0 || !s.pending.empty()) {
-        res.failure = sim::strf(
-            "stranded initiator: rank %d quiesced with %d in flight, %zu "
-            "request(s) unresolved",
-            r, s.inflight, s.pending.size());
-      }
-    }
-    if (res.failure.empty()) {
-      res.failure = "incomplete: expected events still missing at quiescence";
-    }
-  }
+  WorkloadResult res =
+      detail::gather_result(st, ctx, plan, inst.machine().first_panic());
 
   telemetry::MetricsRegistry& reg = ctx.eng->metrics();
   reg.counter("workload.sent").add(res.sent);

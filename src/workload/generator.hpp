@@ -105,6 +105,9 @@ struct WorkloadResult {
   double offered_effective_per_sec() const;
   /// Exact p-th percentile (nearest-rank) of latency_ps; 0 when empty.
   std::uint64_t percentile_ps(int p) const;
+  /// Same, in tenths of a percent (p999 = 999) — the exact tail the
+  /// telemetry histogram's interpolated p999 approximates.
+  std::uint64_t percentile_tenths_ps(int p_tenths) const;
 };
 
 /// Builds the scenario shape every workload runs on: one process per node,

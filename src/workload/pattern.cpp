@@ -67,7 +67,15 @@ Pattern::Pattern(PatternKind kind, const net::Shape& shape, int ranks,
   for (int r = 0; r < ranks; ++r) rank_rng_.push_back(base.fork());
   if (kind == PatternKind::kHalo3d) {
     nbrs_.reserve(static_cast<std::size_t>(ranks));
-    for (int r = 0; r < ranks; ++r) nbrs_.push_back(halo_neighbors(shape, r));
+    for (int r = 0; r < ranks; ++r) {
+      std::vector<int> nb = halo_neighbors(shape, r);
+      // The virtual torus rounds the rank count up to a power of two, so
+      // a non-power-of-two job has unpopulated slots; a neighbour there
+      // is no rank at all.  Keep only neighbours the job actually has —
+      // a rank whose neighbours all fall outside simply doesn't send.
+      std::erase_if(nb, [ranks](int id) { return id >= ranks; });
+      nbrs_.push_back(std::move(nb));
+    }
   }
   if (kind == PatternKind::kPermutation) {
     perm_.resize(static_cast<std::size_t>(ranks));

@@ -1,0 +1,272 @@
+// Unit tests for the multi-tenant cluster layer (src/cluster): placement
+// policies, Poisson trace generation, and the FIFO scheduler's isolation,
+// queueing, and determinism guarantees.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/placement.hpp"
+#include "cluster/scheduler.hpp"
+
+namespace xt::cluster {
+namespace {
+
+// ----------------------------------------------------------- Placement ----
+
+TEST(Placement, NamesRoundTrip) {
+  for (Placement p : {Placement::kContiguous, Placement::kScattered,
+                      Placement::kRandom}) {
+    const auto back = placement_from_name(placement_name(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_EQ(placement_from_name("block"), Placement::kContiguous);
+  EXPECT_EQ(placement_from_name("stride"), Placement::kScattered);
+  EXPECT_FALSE(placement_from_name("nope").has_value());
+}
+
+TEST(Placement, ContiguousIsLowestConsecutiveRun) {
+  NodeAllocator a(16, 1);
+  const auto nodes = a.allocate(4, Placement::kContiguous);
+  ASSERT_EQ(nodes.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(nodes[static_cast<std::size_t>(i)],
+              static_cast<net::NodeId>(i));
+  }
+}
+
+TEST(Placement, ContiguousFallsBackWhenFragmented) {
+  NodeAllocator a(8, 1);
+  auto first = a.allocate(3, Placement::kContiguous);  // takes 0,1,2
+  ASSERT_EQ(first.size(), 3u);
+  auto second = a.allocate(4, Placement::kContiguous);  // run 3..6
+  ASSERT_EQ(second.size(), 4u);
+  EXPECT_EQ(second.front(), 3u);
+  // Free = {7} plus the released 0,1,2: no run of 4 remains, so the
+  // allocator falls back to the n lowest free ids.
+  a.release(first);
+  auto third = a.allocate(4, Placement::kContiguous);
+  ASSERT_EQ(third.size(), 4u);
+  EXPECT_EQ(third, (std::vector<net::NodeId>{0, 1, 2, 7}));
+}
+
+TEST(Placement, ScatteredStridesTheFreeSet) {
+  NodeAllocator a(16, 1);
+  const auto nodes = a.allocate(4, Placement::kScattered);
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes, (std::vector<net::NodeId>{0, 4, 8, 12}));
+}
+
+TEST(Placement, RandomIsValidDisjointAndSeedDeterministic) {
+  NodeAllocator a(32, 7);
+  NodeAllocator b(32, 7);
+  const auto na = a.allocate(8, Placement::kRandom);
+  const auto nb = b.allocate(8, Placement::kRandom);
+  EXPECT_EQ(na, nb);  // same seed, same draw
+  std::set<net::NodeId> seen(na.begin(), na.end());
+  EXPECT_EQ(seen.size(), na.size());  // no duplicates
+  for (net::NodeId n : na) EXPECT_LT(n, 32u);
+  // A second allocation from the same allocator is disjoint.
+  const auto nc = a.allocate(8, Placement::kRandom);
+  ASSERT_EQ(nc.size(), 8u);
+  for (net::NodeId n : nc) EXPECT_EQ(seen.count(n), 0u);
+}
+
+TEST(Placement, AllocateFailsWhenShortAndReleaseRestores) {
+  NodeAllocator a(8, 1);
+  const auto first = a.allocate(6, Placement::kContiguous);
+  ASSERT_EQ(first.size(), 6u);
+  EXPECT_EQ(a.free_count(), 2);
+  EXPECT_TRUE(a.allocate(3, Placement::kRandom).empty());
+  EXPECT_EQ(a.free_count(), 2);  // failed allocation takes nothing
+  a.release(first);
+  EXPECT_EQ(a.free_count(), 8);
+  EXPECT_EQ(a.allocate(8, Placement::kScattered).size(), 8u);
+}
+
+// -------------------------------------------------------- poisson_trace ----
+
+TraceSpec small_trace() {
+  TraceSpec ts;
+  ts.jobs = 6;
+  ts.arrival_rate_per_sec = 1000.0;
+  JobTemplate tpl;
+  tpl.work.pattern = workload::PatternKind::kUniform;
+  tpl.work.ranks = 4;
+  tpl.work.msgs_per_sender = 4;
+  ts.mix.push_back(tpl);
+  tpl.work.pattern = workload::PatternKind::kIncast;
+  ts.mix.push_back(tpl);
+  ts.seed = 42;
+  return ts;
+}
+
+TEST(PoissonTrace, DeterministicAndSortedArrivals) {
+  const auto a = poisson_trace(small_trace());
+  const auto b = poisson_trace(small_trace());
+  ASSERT_EQ(a.size(), 6u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].work.seed, b[i].work.seed);
+    EXPECT_EQ(a[i].id, static_cast<int>(i));
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+    }
+  }
+}
+
+TEST(PoissonTrace, CyclesMixAndForksSeeds) {
+  const auto jobs = poisson_trace(small_trace());
+  std::set<std::uint64_t> seeds;
+  for (const JobSpec& j : jobs) {
+    EXPECT_EQ(j.work.pattern, j.id % 2 == 0
+                                  ? workload::PatternKind::kUniform
+                                  : workload::PatternKind::kIncast);
+    seeds.insert(j.work.seed);
+  }
+  EXPECT_EQ(seeds.size(), jobs.size());  // every job's traffic independent
+}
+
+// ---------------------------------------------------------- run_cluster ----
+
+JobSpec light_job(int id, workload::PatternKind pk, int ranks,
+                  std::uint64_t seed, Placement pl = Placement::kContiguous) {
+  JobSpec j;
+  j.id = id;
+  j.work.pattern = pk;
+  j.work.ranks = ranks;
+  j.work.bytes = 1024;
+  j.work.msgs_per_sender = 5;
+  j.work.seed = seed;
+  j.placement = pl;
+  return j;
+}
+
+TEST(RunCluster, SingleJobCompletesWithExactCounts) {
+  ClusterSpec cs;
+  cs.nodes = 16;
+  cs.jobs = {light_job(0, workload::PatternKind::kUniform, 8, 5)};
+  const ClusterResult r = run_cluster(cs);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  const JobResult& j = r.jobs[0];
+  EXPECT_TRUE(j.placed);
+  EXPECT_TRUE(j.work.complete);
+  EXPECT_EQ(j.work.sent, 8u * 5u);
+  EXPECT_EQ(j.work.delivered, 8u * 5u);
+  EXPECT_EQ(j.nodes.size(), 8u);
+  EXPECT_GT(r.makespan.to_ps(), 0);
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_EQ(r.adaptive_deflections, 0u);
+}
+
+TEST(RunCluster, ConcurrentJobsAreIsolated) {
+  // Two jobs sharing the machine: every message of each lands in its own
+  // job, with exact per-job counts (match-bit namespaces keep traffic from
+  // crossing over even though the wires are shared).
+  ClusterSpec cs;
+  cs.nodes = 16;
+  cs.jobs = {light_job(0, workload::PatternKind::kUniform, 6, 5),
+             light_job(1, workload::PatternKind::kIncast, 6, 9)};
+  const ClusterResult r = run_cluster(cs);
+  ASSERT_EQ(r.jobs.size(), 2u);
+  EXPECT_EQ(r.jobs[0].work.delivered, 6u * 5u);
+  EXPECT_EQ(r.jobs[1].work.delivered, 5u * 5u);  // incast: ranks-1 senders
+  EXPECT_TRUE(r.jobs[0].work.complete);
+  EXPECT_TRUE(r.jobs[1].work.complete);
+  // Space sharing: node sets are disjoint.
+  std::set<net::NodeId> a(r.jobs[0].nodes.begin(), r.jobs[0].nodes.end());
+  for (net::NodeId n : r.jobs[1].nodes) EXPECT_EQ(a.count(n), 0u);
+}
+
+TEST(RunCluster, FifoQueuesWhenMachineIsFull) {
+  // Both jobs want more than half the machine; the second must wait for
+  // the first to depart even though it arrived immediately after.
+  ClusterSpec cs;
+  cs.nodes = 8;
+  cs.jobs = {light_job(0, workload::PatternKind::kUniform, 6, 5),
+             light_job(1, workload::PatternKind::kUniform, 6, 9)};
+  cs.jobs[1].arrival = sim::Time::ns(1);
+  const ClusterResult r = run_cluster(cs);
+  EXPECT_TRUE(r.jobs[0].placed);
+  EXPECT_TRUE(r.jobs[1].placed);
+  EXPECT_GE(r.jobs[1].start, r.jobs[0].end);
+  EXPECT_GT(r.jobs[1].queue_wait().to_ps(), 0);
+}
+
+TEST(RunCluster, UnplaceableJobIsDroppedNotQueuedForever) {
+  ClusterSpec cs;
+  cs.nodes = 8;
+  cs.jobs = {light_job(0, workload::PatternKind::kUniform, 64, 5),
+             light_job(1, workload::PatternKind::kUniform, 4, 9)};
+  const ClusterResult r = run_cluster(cs);
+  EXPECT_FALSE(r.jobs[0].placed);
+  EXPECT_TRUE(r.jobs[1].placed);
+  EXPECT_TRUE(r.jobs[1].work.complete);
+}
+
+TEST(RunCluster, RerunIsByteDeterministic) {
+  ClusterSpec cs;
+  cs.nodes = 16;
+  cs.seed = 3;
+  cs.jobs = {light_job(0, workload::PatternKind::kRpc, 6, 5,
+                       Placement::kRandom),
+             light_job(1, workload::PatternKind::kHalo3d, 8, 9,
+                       Placement::kRandom)};
+  cs.jobs[0].work.rpc_clients = 3;
+  const ClusterResult a = run_cluster(cs);
+  const ClusterResult b = run_cluster(cs);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].nodes, b.jobs[i].nodes);
+    EXPECT_EQ(a.jobs[i].start, b.jobs[i].start);
+    EXPECT_EQ(a.jobs[i].end, b.jobs[i].end);
+    EXPECT_EQ(a.jobs[i].work.latency_ps, b.jobs[i].work.latency_ps);
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.utilization, b.utilization);
+}
+
+TEST(RunCluster, AdaptiveRoutingDeliversEverythingAndCounts) {
+  ClusterSpec cs;
+  cs.nodes = 16;
+  cs.routing = net::Routing::kAdaptive;
+  cs.jobs = {light_job(0, workload::PatternKind::kUniform, 8, 5,
+                       Placement::kScattered),
+             light_job(1, workload::PatternKind::kUniform, 8, 9,
+                       Placement::kScattered)};
+  const ClusterResult r = run_cluster(cs);
+  EXPECT_TRUE(r.jobs[0].work.complete);
+  EXPECT_TRUE(r.jobs[1].work.complete);
+  EXPECT_EQ(r.jobs[0].work.delivered, 8u * 5u);
+  EXPECT_EQ(r.jobs[1].work.delivered, 8u * 5u);
+}
+
+TEST(RunCluster, TwoVcArbitrationDeliversEverything) {
+  ClusterSpec cs;
+  cs.nodes = 16;
+  cs.vcs = 2;
+  cs.jobs = {light_job(0, workload::PatternKind::kUniform, 6, 5),
+             light_job(1, workload::PatternKind::kIncast, 6, 9)};
+  const ClusterResult r = run_cluster(cs);
+  EXPECT_TRUE(r.jobs[0].work.complete);
+  EXPECT_TRUE(r.jobs[1].work.complete);
+}
+
+TEST(RunCluster, MatchesStandaloneWorkloadShapeOfTraffic) {
+  // A single contiguous job on a machine exactly its size behaves like the
+  // standalone workload runner: identity rank->node map, same counts.
+  ClusterSpec cs;
+  cs.nodes = 8;
+  cs.jobs = {light_job(0, workload::PatternKind::kUniform, 8, 5)};
+  const ClusterResult r = run_cluster(cs);
+  ASSERT_TRUE(r.jobs[0].placed);
+  for (std::size_t i = 0; i < r.jobs[0].nodes.size(); ++i) {
+    EXPECT_EQ(r.jobs[0].nodes[i], static_cast<net::NodeId>(i));
+  }
+  EXPECT_TRUE(r.jobs[0].work.complete);
+}
+
+}  // namespace
+}  // namespace xt::cluster

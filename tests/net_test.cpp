@@ -507,5 +507,185 @@ TEST_P(GbnEdge, RecoversLosslessly) {
 
 }  // namespace gbn_edge
 
+// ---------------------------------------------- productive_ports (mt) ----
+
+TEST(Routing, ProductivePortsFirstEntryMatchesRouteStep) {
+  for (const Shape& s : {Shape::xt3(4, 4, 4), Shape::xt3(8, 2, 1),
+                         Shape::red_storm(5, 4, 3)}) {
+    for (NodeId a = 0; a < static_cast<NodeId>(s.count()); ++a) {
+      for (NodeId b = 0; b < static_cast<NodeId>(s.count()); ++b) {
+        const auto ports =
+            productive_ports(s, s.to_coord(a), s.to_coord(b));
+        if (a == b) {
+          EXPECT_TRUE(ports.empty());
+        } else {
+          ASSERT_FALSE(ports.empty());
+          EXPECT_EQ(ports.front(),
+                    route_step(s, s.to_coord(a), s.to_coord(b)));
+        }
+      }
+    }
+  }
+}
+
+TEST(Routing, ProductivePortsEvenRingTieOffersBothDirections) {
+  // 0 -> 4 on an 8-ring: four hops either way, so both X directions are
+  // minimal; dimension-order commits to +, adaptive may pick either.
+  const Shape s = Shape::xt3(8, 1, 1);
+  const auto ports = productive_ports(s, Coord{0, 0, 0}, Coord{4, 0, 0});
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0], Port::kXPlus);
+  EXPECT_EQ(ports[1], Port::kXMinus);
+}
+
+TEST(Routing, ProductivePortsOffTieIsSingleDirection) {
+  const Shape s = Shape::xt3(8, 1, 1);
+  EXPECT_EQ(productive_ports(s, Coord{0, 0, 0}, Coord{3, 0, 0}),
+            (std::vector<Port>{Port::kXPlus}));
+  EXPECT_EQ(productive_ports(s, Coord{0, 0, 0}, Coord{7, 0, 0}),
+            (std::vector<Port>{Port::kXMinus}));
+}
+
+TEST(Routing, ProductivePortsMeshNeverWraps) {
+  // Red Storm X is a mesh: 0 -> 7 has no backward shortcut even though a
+  // torus would tie or win going -x.
+  const Shape s = Shape::red_storm(8, 1, 1);
+  EXPECT_EQ(productive_ports(s, Coord{0, 0, 0}, Coord{7, 0, 0}),
+            (std::vector<Port>{Port::kXPlus}));
+}
+
+TEST(Routing, ProductivePortsSingleNodeDimsContributeNothing) {
+  // ny = nz = 1: only X can ever be productive.
+  const Shape s = Shape::xt3(4, 1, 1);
+  for (int x = 1; x < 4; ++x) {
+    for (Port p : productive_ports(s, Coord{0, 0, 0}, Coord{x, 0, 0})) {
+      EXPECT_TRUE(p == Port::kXPlus || p == Port::kXMinus);
+    }
+  }
+}
+
+TEST(Routing, ProductivePortsSpanAllUnresolvedDims) {
+  // From a corner to the opposite corner of a 4x4x4 torus (distance 2 in
+  // each dimension, no ties): exactly one productive port per dimension.
+  const Shape s = Shape::xt3(4, 4, 4);
+  const auto ports = productive_ports(s, Coord{0, 0, 0}, Coord{2, 2, 2});
+  ASSERT_EQ(ports.size(), 6u);  // distance 2 each way = tie in every dim
+  // 4-ring, 0 -> 2: two hops either direction, both offered per dim.
+  EXPECT_EQ(ports,
+            (std::vector<Port>{Port::kXPlus, Port::kXMinus, Port::kYPlus,
+                               Port::kYMinus, Port::kZPlus, Port::kZMinus}));
+  const auto one = productive_ports(s, Coord{0, 0, 0}, Coord{1, 3, 0});
+  EXPECT_EQ(one, (std::vector<Port>{Port::kXPlus, Port::kYMinus}));
+}
+
+// ----------------------------------------------- adaptive routing (mt) ----
+
+TEST(Network, AdaptiveOnIdleNetworkMatchesDimOrderExactly) {
+  // With every link idle, the occupancy tie-break always picks the
+  // dimension-order port: no deflections, same delivery time.
+  NetConfig cfg;
+  cfg.routing = Routing::kAdaptive;
+  sim::Engine e1, e2;
+  Network adaptive(e1, Shape::xt3(4, 4, 4), cfg);
+  Network dimorder(e2, Shape::xt3(4, 4, 4));
+  Probe pa, pd;
+  adaptive.attach(42, pa);
+  dimorder.attach(42, pd);
+  for (Network* n : {&adaptive, &dimorder}) {
+    auto m = std::make_shared<Message>();
+    m->src = 0;
+    m->dst = 42;
+    m->header.resize(64);
+    m->payload.resize(4096, std::byte{0x5A});
+    n->send(m);
+  }
+  e1.run();
+  e2.run();
+  ASSERT_EQ(pa.completes.size(), 1u);
+  ASSERT_EQ(pd.completes.size(), 1u);
+  EXPECT_EQ(pa.completes[0]->completed_at, pd.completes[0]->completed_at);
+  EXPECT_EQ(adaptive.adaptive_deflections(), 0u);
+}
+
+TEST(Network, AdaptiveDeflectsAroundBusyLink) {
+  // Saturate the dimension-order first hop (0 -> +x on a ring with a tie),
+  // then inject a tied message: adaptive should take the idle -x route and
+  // count one deflection.
+  NetConfig cfg;
+  cfg.routing = Routing::kAdaptive;
+  sim::Engine eng;
+  Network net(eng, Shape::xt3(8, 1, 1), cfg);
+  Probe mid, far;
+  net.attach(1, mid);
+  net.attach(4, far);
+  auto hog = std::make_shared<Message>();
+  hog->src = 0;
+  hog->dst = 1;  // one hop +x, occupies link 0:+x
+  hog->header.resize(64);
+  hog->payload.resize(1 << 20, std::byte{0x11});
+  net.send(hog);
+  eng.schedule_after(Time::us(1), [&net] {
+    auto tied = std::make_shared<Message>();
+    tied->src = 0;
+    tied->dst = 4;  // 4 hops either way around the 8-ring
+    tied->header.resize(64);
+    net.send(tied);
+  });
+  eng.run();
+  ASSERT_EQ(far.completes.size(), 1u);
+  EXPECT_EQ(net.adaptive_deflections(), 1u);
+  // The deflected header never waited for the 1 MiB hog: 4 idle hops.
+  EXPECT_EQ(far.completes[0]->completed_at,
+            Time::us(1) + Time::ps(4 * (25600 + 40000)));
+}
+
+// ------------------------------------------------- vc arbitration (mt) ----
+
+TEST(Network, TwoVcRoundRobinBoundsCrossClassQueueing) {
+  // Class 1 sends one small message behind class 0's deep backlog on the
+  // same link.  With one VC it waits out the whole backlog; with two VCs
+  // round-robin lets it through after ~one chunk.
+  auto run_once = [](int vcs) {
+    NetConfig cfg;
+    cfg.link.vcs = vcs;
+    sim::Engine eng;
+    Network net(eng, Shape::xt3(2, 1, 1), cfg);
+    net.set_service_class(0, 0);
+    Probe p;
+    net.attach(1, p);
+    for (int i = 0; i < 8; ++i) {
+      auto m = std::make_shared<Message>();
+      m->src = 0;
+      m->dst = 1;
+      m->header.resize(64);
+      m->payload.resize(64 * 1024, std::byte{0x22});
+      net.send(m);
+    }
+    Time small_done{};
+    eng.schedule_after(Time::ns(100), [&net] {
+      net.set_service_class(0, 1);
+      auto m = std::make_shared<Message>();
+      m->src = 0;
+      m->dst = 1;
+      m->header.resize(64);
+      net.send(m);
+    });
+    eng.run();
+    Time latest{};
+    for (const auto& m : p.completes) {
+      if (m->payload.empty()) small_done = m->completed_at;
+      latest = std::max(latest, m->completed_at);
+    }
+    EXPECT_EQ(p.completes.size(), 9u);
+    return small_done;
+  };
+  const Time with_one_vc = run_once(1);
+  const Time with_two_vc = run_once(2);
+  // Two VCs: the small header interleaves with the backlog instead of
+  // queueing behind all of it.
+  EXPECT_LT(with_two_vc, with_one_vc);
+}
+
+
 }  // namespace
 }  // namespace xt::net

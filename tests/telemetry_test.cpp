@@ -91,6 +91,68 @@ TEST(HistogramTest, RecordAndPercentiles) {
   EXPECT_EQ(m.percentile(99), 1023u);
 }
 
+TEST(HistogramTest, PercentileX10EdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.percentile_x10(999), 0u);  // empty
+
+  h.record(0);
+  EXPECT_EQ(h.percentile_x10(500), 0u);  // bucket 0 is exact, no interp
+  EXPECT_EQ(h.percentile_x10(999), 0u);
+
+  Histogram one;
+  one.record(100);  // bucket [64,127]
+  // A single sample: every percentile is that sample's bucket, and the
+  // interpolation (j = n = 1) lands on bucket_hi.
+  EXPECT_EQ(one.percentile_x10(1), 127u);
+  EXPECT_EQ(one.percentile_x10(999), 127u);
+  EXPECT_EQ(one.percentile_x10(1000), 127u);  // rank clamps to count
+}
+
+TEST(HistogramTest, PercentileX10InterpolatesWithinBucket) {
+  // 1000 samples all in bucket [512, 1023]: p50 sits mid-bucket instead of
+  // collapsing onto 1023 the way percentile(50) does.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(700);
+  EXPECT_EQ(h.percentile(50), 1023u);
+  const std::uint64_t p500 = h.percentile_x10(500);
+  EXPECT_GE(p500, 512u + 255u);  // ~ lo + span/2
+  EXPECT_LE(p500, 512u + 256u);
+  // Monotone in p, and p999 < bucket_hi (the 999th of 1000 samples).
+  EXPECT_LE(h.percentile_x10(500), h.percentile_x10(990));
+  EXPECT_LE(h.percentile_x10(990), h.percentile_x10(999));
+  EXPECT_LT(h.percentile_x10(999), 1023u);
+  EXPECT_EQ(h.percentile_x10(1000), 1023u);
+}
+
+TEST(HistogramTest, PercentileX10AgreesWithPercentileRanking) {
+  // percentile(p) rounds up to bucket_hi; percentile_x10(10 * p) must pick
+  // the same bucket (interpolated value within [lo, hi]).
+  Histogram h;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 500; ++i) h.record(v = (v * 48271) % 99991);
+  for (int p : {1, 10, 50, 90, 99}) {
+    const std::uint64_t coarse = h.percentile(p);
+    const std::uint64_t fine = h.percentile_x10(p * 10);
+    EXPECT_EQ(Histogram::bucket_index(fine),
+              Histogram::bucket_index(coarse));
+    EXPECT_LE(fine, coarse);
+  }
+}
+
+TEST(HistogramTest, P999SeparatesFromP99OnHeavyTail) {
+  // 989 fast samples, 9 at 10x, 2 at 100x: p99 lands in the 10x bucket,
+  // p999 in the 100x bucket — the reason the SLO tooling tracks tenths.
+  Histogram h;
+  for (int i = 0; i < 989; ++i) h.record(1000);
+  for (int i = 0; i < 9; ++i) h.record(10000);
+  h.record(100000);
+  h.record(100000);
+  EXPECT_EQ(Histogram::bucket_index(h.percentile_x10(990)),
+            Histogram::bucket_index(10000));
+  EXPECT_EQ(Histogram::bucket_index(h.percentile_x10(999)),
+            Histogram::bucket_index(100000));
+}
+
 TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
   MetricsRegistry reg;
   telemetry::Counter& a = reg.counter("x.count");

@@ -130,6 +130,24 @@ TEST(WorkloadPattern, HaloRoundRobinsOverNeighbors) {
   }
 }
 
+TEST(WorkloadPattern, HaloClipsNeighborsBeyondRankCount) {
+  // 24 ranks round up to a 4x4x2 virtual torus with 32 slots; the 8 empty
+  // slots are not ranks, so no destination may point at them.  Regression
+  // for an out-of-bounds halo3d crash on non-power-of-two jobs.
+  const int ranks = 24;
+  const net::Shape shape = harness::shape_for_ranks(ranks);
+  ASSERT_GT(shape.count(), ranks);
+  Pattern p(PatternKind::kHalo3d, shape, ranks, 7);
+  for (int r = 0; r < ranks; ++r) {
+    if (!p.is_sender(r)) continue;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const int d = p.dest(r, i);
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, ranks) << "rank " << r << " msg " << i;
+    }
+  }
+}
+
 TEST(WorkloadPattern, PermutationIsDerangement) {
   const net::Shape shape = harness::shape_for_ranks(16);
   Pattern p(PatternKind::kPermutation, shape, 16, 9);
