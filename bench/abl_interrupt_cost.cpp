@@ -86,9 +86,11 @@ int main(int argc, char** argv) {
   if (!o.json_path.empty()) {
     std::vector<harness::SeriesResult> series;
     for (std::size_t i = 0; i < irq_ns.size(); ++i) {
-      series.push_back(harness::SeriesResult{
-          sim::strf("irq=%dns", irq_ns[i]), np::Pattern::kPingPong,
-          rows[i].bw, {}, {}, {}});
+      harness::SeriesResult sr;
+      sr.name = sim::strf("irq=%dns", irq_ns[i]);
+      sr.pattern = np::Pattern::kPingPong;
+      sr.samples = rows[i].bw;
+      series.push_back(std::move(sr));
     }
     if (!harness::write_series_json(o.json_path,
                                     "Ablation: interrupt overhead", o.jobs,

@@ -66,9 +66,13 @@ int main(int argc, char** argv) {
               "count\n");
 
   if (!o.json_path.empty()) {
-    const std::vector<harness::SeriesResult> series = {
-        {"catamount", np::Pattern::kPingPong, cat, {}, {}, {}},
-        {"linux", np::Pattern::kPingPong, lin, {}, {}, {}}};
+    std::vector<harness::SeriesResult> series(2);
+    series[0].name = "catamount";
+    series[0].pattern = np::Pattern::kPingPong;
+    series[0].samples = cat;
+    series[1].name = "linux";
+    series[1].pattern = np::Pattern::kPingPong;
+    series[1].samples = lin;
     if (!harness::write_series_json(o.json_path,
                                     "Ablation: Catamount vs Linux", o.jobs,
                                     series)) {

@@ -58,9 +58,11 @@ int main(int argc, char** argv) {
       std::printf(" %8.2f", us);
     }
     std::printf("\n");
-    series.push_back(harness::SeriesResult{
-        sim::strf("inline<=%zu", thresholds[t]), np::Pattern::kPingPong,
-        samples, {}, {}, {}});
+    harness::SeriesResult sr;
+    sr.name = sim::strf("inline<=%zu", thresholds[t]);
+    sr.pattern = np::Pattern::kPingPong;
+    sr.samples = samples;
+    series.push_back(std::move(sr));
   }
   std::printf("\n  expected: with threshold T, sizes <= T stay on the "
               "one-interrupt fast path;\n  the ~3 us step moves to T+1 "

@@ -1,0 +1,206 @@
+// Simulator self-profile: host-side dispatch throughput by category.
+//
+// Unlike every fig*/abl* bench, this one measures the simulator ITSELF:
+// how many events per HOST second the engine dispatches, and which layer
+// of the simulated stack the host time goes to (telemetry::Profiler).  It
+// replays a fixed set of load_sweep --smoke-class scenarios serially with
+// the profiler attached and prints the per-category breakdown.
+//
+//   --json FILE   write the machine-readable profile (BENCH_engine.json,
+//                 committed at the repo root as the regression anchor)
+//   --check FILE  re-measure and compare against a committed baseline:
+//                 exit 1 when aggregate events/sec regressed more than
+//                 kMaxRegression; event-count drift (a simulation-behavior
+//                 change, not a perf change) is reported but only fails
+//                 the run when --check-strict is also given.
+//
+// Event *counts* are deterministic; events/sec and wall columns are host
+// time and only comparable between profiled runs on similar hardware
+// (the 25% tolerance absorbs runner-to-runner noise).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/options.hpp"
+#include "sim/strf.hpp"
+#include "telemetry/profiler.hpp"
+#include "workload/load_runner.hpp"
+
+namespace {
+
+using namespace xt;
+
+/// Largest tolerated events/sec drop vs the committed baseline.
+constexpr double kMaxRegression = 0.25;
+
+struct Scn {
+  const char* name;
+  workload::PatternKind pattern;
+  host::ProcMode mode;
+};
+
+struct ScnResult {
+  std::string name;
+  telemetry::Profiler profile;
+};
+
+/// Reads a whole file; empty string on failure.
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string s;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) s.append(buf, n);
+  std::fclose(f);
+  return s;
+}
+
+/// First number following `"key": ` in a JSON text; 0.0 when absent.
+/// (Keys are emitted in sorted order, so the top-level "events_per_sec"
+/// precedes every per-scenario one.)
+double json_number(const std::string& text, const char* key) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the flags BenchOptions does not know before delegating.
+  std::string check_path;
+  bool check_strict = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--check=", 8) == 0) {
+      check_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--check-strict") == 0) {
+      check_strict = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const harness::BenchOptions o = harness::BenchOptions::parse(
+      static_cast<int>(rest.size()), rest.data());
+  if (o.transport != "sim") {
+    std::fprintf(stderr, "engine_profile runs on the sim transport only\n");
+    return 2;
+  }
+
+  // load_sweep --smoke-class points: 8 ranks, 2 KB, open loop at a rate
+  // near the generic stack's knee, both proc modes.  Serial on purpose —
+  // events/sec is a host measurement and sweep threads would contend.
+  const int ranks = 8;
+  const int msgs = o.quick ? 40 : 120;
+  const double offered = 4e5;
+  const std::vector<Scn> scns = {
+      {"uniform/generic", workload::PatternKind::kUniform,
+       host::ProcMode::kUser},
+      {"incast/generic", workload::PatternKind::kIncast,
+       host::ProcMode::kUser},
+      {"rpc/generic", workload::PatternKind::kRpc, host::ProcMode::kUser},
+      {"uniform/accel", workload::PatternKind::kUniform,
+       host::ProcMode::kAccel},
+      {"halo3d/accel", workload::PatternKind::kHalo3d,
+       host::ProcMode::kAccel},
+  };
+
+  std::printf("=== Engine self-profile: dispatches per host second "
+              "(%d ranks, %d msgs/sender, serial) ===\n\n",
+              ranks, msgs);
+  std::printf("   %-18s %12s %10s %14s\n", "scenario", "events", "wall ms",
+              "events/s");
+
+  telemetry::Profiler total;
+  std::vector<ScnResult> results;
+  bool all_ok = true;
+  for (std::size_t i = 0; i < scns.size(); ++i) {
+    workload::WorkloadSpec ws;
+    ws.pattern = scns[i].pattern;
+    ws.ranks = ranks;
+    ws.bytes = 2048;
+    ws.msgs_per_sender = msgs;
+    ws.loop = workload::Loop::kOpen;
+    ws.offered_msgs_per_sec = offered;
+    ws.seed = o.seed;
+    if (ws.pattern == workload::PatternKind::kRpc) {
+      ws.rpc_clients = ranks / 2;
+    }
+    harness::Scenario::TelemetrySpec tel;
+    tel.profile = true;
+    workload::PointTelemetry pt;
+    const workload::WorkloadResult r = workload::run_load_point(
+        ws, scns[i].mode, ss::Config{}, o.seed + i, tel, &pt);
+    all_ok = all_ok && r.failure.empty();
+    std::printf("   %-18s %12llu %10.2f %14.0f%s\n", scns[i].name,
+                static_cast<unsigned long long>(pt.profile.total_events()),
+                static_cast<double>(pt.profile.total_wall_ns()) * 1e-6,
+                pt.profile.events_per_sec(),
+                r.failure.empty() ? "" : "   [failed]");
+    results.push_back({scns[i].name, pt.profile});
+    total.merge(pt.profile);
+  }
+  std::printf("\n");
+  std::fputs(total.report().c_str(), stdout);
+
+  std::string scn_json;
+  for (const ScnResult& s : results) {
+    if (!scn_json.empty()) scn_json += ",\n";
+    scn_json += sim::strf(
+        "    {\"events\": %llu, \"events_per_sec\": %.0f, \"name\": \"%s\"}",
+        static_cast<unsigned long long>(s.profile.total_events()),
+        s.profile.events_per_sec(), s.name.c_str());
+  }
+  const std::string json = sim::strf(
+      "{\n  \"bench\": \"engine_profile\",\n"
+      "  \"events_per_sec\": %.0f,\n  \"git\": \"%s\",\n"
+      "  \"msgs\": %d,\n  \"profile\": %s,\n  \"quick\": %s,\n"
+      "  \"ranks\": %d,\n  \"scenarios\": [\n%s\n  ],\n"
+      "  \"seed\": %llu,\n  \"total_events\": %llu\n}\n",
+      total.events_per_sec(), harness::git_describe(), msgs,
+      total.to_json().c_str(), o.quick ? "true" : "false", ranks,
+      scn_json.c_str(), static_cast<unsigned long long>(o.seed),
+      static_cast<unsigned long long>(total.total_events()));
+  if (!o.json_path.empty() && !harness::write_text_file(o.json_path, json)) {
+    return 1;
+  }
+
+  if (!check_path.empty()) {
+    const std::string base = slurp(check_path);
+    if (base.empty()) {
+      std::fprintf(stderr, "cannot read baseline '%s'\n", check_path.c_str());
+      return 2;
+    }
+    const double base_rate = json_number(base, "events_per_sec");
+    const double base_events = json_number(base, "total_events");
+    const double cur_rate = total.events_per_sec();
+    const double cur_events = static_cast<double>(total.total_events());
+    std::printf("\n-- check vs %s\n", check_path.c_str());
+    std::printf("   events/s: baseline %.0f, current %.0f (%+.1f%%)\n",
+                base_rate, cur_rate,
+                base_rate > 0.0 ? (cur_rate - base_rate) / base_rate * 100.0
+                                : 0.0);
+    if (base_events != cur_events) {
+      std::printf("   NOTE: total_events changed (%.0f -> %.0f) — the "
+                  "simulation itself changed; refresh the baseline with "
+                  "--json\n",
+                  base_events, cur_events);
+      if (check_strict) return 1;
+    }
+    if (base_rate > 0.0 && cur_rate < (1.0 - kMaxRegression) * base_rate) {
+      std::printf("   FAIL: events/sec regressed more than %.0f%%\n",
+                  kMaxRegression * 100.0);
+      return 1;
+    }
+    std::printf("   ok (tolerance %.0f%%)\n", kMaxRegression * 100.0);
+  }
+  return all_ok ? 0 : 1;
+}

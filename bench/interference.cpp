@@ -37,6 +37,8 @@
 #include "harness/options.hpp"
 #include "harness/sweep.hpp"
 #include "sim/strf.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/trace_export.hpp"
 #include "workload/pattern.hpp"
 
 namespace {
@@ -121,6 +123,7 @@ struct BenchParams {
   net::Routing routing = net::Routing::kDimOrder;
   int vcs = 1;
   std::uint64_t seed = 1;
+  bool profile = false;  ///< self-profile every cluster engine
 };
 
 cluster::ClusterSpec make_cluster(const BenchParams& bp,
@@ -131,6 +134,7 @@ cluster::ClusterSpec make_cluster(const BenchParams& bp,
   cs.routing = bp.routing;
   cs.vcs = bp.vcs;
   cs.seed = bp.seed;
+  cs.profile = bp.profile;
   return cs;
 }
 
@@ -171,6 +175,7 @@ int main(int argc, char** argv) {
 
   BenchParams bp;
   bp.seed = o.seed;
+  bp.profile = o.profile;
   if (o.smoke || o.quick) {
     bp.nodes = 16;
     bp.msgs = 20;
@@ -484,6 +489,37 @@ int main(int argc, char** argv) {
   std::printf("\n");
   std::printf("-- every job placed and complete: %s\n",
               all_ok ? "yes" : "NO");
+
+  if (o.profile) {
+    telemetry::Profiler prof;
+    for (const cluster::ClusterResult& cr : base) prof.merge(cr.profile);
+    for (const cluster::ClusterResult& cr : pairs) prof.merge(cr.profile);
+    for (const cluster::ClusterResult& cr : routed) prof.merge(cr.profile);
+    for (const cluster::ClusterResult& cr : slo) prof.merge(cr.profile);
+    std::printf("\n");
+    std::fputs(prof.report().c_str(), stdout);
+  }
+
+  // One canonical traced run for --trace-json: the contended routing pair
+  // under the default mechanism, run serially here so the timeline is
+  // identical for any --jobs value.
+  if (!o.trace_json_path.empty()) {
+    BenchParams p = bp;
+    p.routing = net::Routing::kDimOrder;
+    p.vcs = 1;
+    p.seed = o.seed;
+    cluster::ClusterSpec cs = make_cluster(
+        p, {make_job(0, sim::Time{}, rvictim, p, o.seed + 100),
+            make_hog(1, workload::PatternKind::kUniform, p, o.seed + 300)});
+    cs.trace = true;
+    const cluster::ClusterResult tr = cluster::run_cluster(cs);
+    const std::vector<telemetry::TraceSeries> series = {
+        {"rpc+uniform-hog/dimension", &tr.trace_records, &tr.provenance}};
+    if (!harness::write_text_file(o.trace_json_path,
+                                  telemetry::export_chrome_trace(series))) {
+      return 1;
+    }
+  }
 
   std::string mix_json;
   for (const MixEntry& me : mix) {

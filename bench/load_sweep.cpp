@@ -185,6 +185,7 @@ int main(int argc, char** argv) {
               ranks, msgs);
 
   std::string curves_json;
+  telemetry::Profiler prof;
   std::uint64_t seed = o.seed;
   for (const TransportConfig& tc : configs) {
     for (workload::PatternKind pk : patterns) {
@@ -199,9 +200,13 @@ int main(int argc, char** argv) {
       ls.offered = ladder;
       ls.jobs = o.jobs;
       ls.seed = seed;
+      ls.telemetry.profile = o.profile;
       seed += ladder.size();
 
       const workload::LoadCurve curve = workload::run_load_sweep(ls);
+      for (const workload::LoadPoint& p : curve.points) {
+        prof.merge(p.profile);
+      }
 
       std::printf("-- %s / %s\n", tc.name, workload::pattern_name(pk));
       std::printf("   %12s %14s %10s %10s %10s\n", "offered/s", "delivered/s",
@@ -325,6 +330,40 @@ int main(int argc, char** argv) {
   std::printf("-- anchor: 8 B 1-outstanding rpc one-way %.3f us vs fig4 "
               "ping-pong %.3f us (%+.2f%%)\n",
               rpc_usec, fig4_usec, div_pct);
+
+  if (o.profile) {
+    std::printf("\n");
+    std::fputs(prof.report().c_str(), stdout);
+  }
+
+  // --trace-json: one canonical traced replay of the first (config,
+  // pattern) point at the ladder's lowest rung — a single serial run, so
+  // the timeline is byte-identical for any --jobs value.
+  if (!o.trace_json_path.empty()) {
+    workload::WorkloadSpec ws;
+    ws.pattern = patterns.empty() ? workload::PatternKind::kUniform
+                                  : patterns.front();
+    ws.ranks = ranks;
+    ws.bytes = 2048;
+    ws.msgs_per_sender = msgs;
+    ws.loop = workload::Loop::kOpen;
+    ws.offered_msgs_per_sec = ladder.front();
+    ws.seed = o.seed;
+    harness::Scenario::TelemetrySpec tel;
+    tel.trace = true;
+    tel.provenance = true;
+    workload::PointTelemetry pt;
+    (void)workload::run_load_point(ws, host::ProcMode::kUser, ss::Config{},
+                                   o.seed, tel, &pt);
+    const std::string label =
+        std::string("generic/") + workload::pattern_name(ws.pattern);
+    const std::vector<telemetry::TraceSeries> ts = {
+        {label, &pt.trace_records, &pt.provenance}};
+    if (!harness::write_text_file(o.trace_json_path,
+                                  telemetry::export_chrome_trace(ts))) {
+      return 1;
+    }
+  }
 
   const std::string json = sim::strf(
       "{\n  \"anchor\": {\"divergence_pct\": %.2f, \"fig4_usec\": %.3f, "

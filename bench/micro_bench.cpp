@@ -22,6 +22,7 @@
 #include "portals/library.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "telemetry/profiler.hpp"
 
 // ------------------------------------------- allocation accounting ----
 // Replaceable global new/delete that count heap allocations, so hot-path
@@ -142,6 +143,27 @@ void BM_BaselineEngineScheduleRun(benchmark::State& state) {
   schedule_run<BaselineEngine>(state);
 }
 BENCHMARK(BM_BaselineEngineScheduleRun)->Arg(1000)->Arg(100000);
+
+/// The same workload with the self-profiler attached: the delta against
+/// BM_EngineScheduleRun is the profiling tax (two monotonic clock reads
+/// plus one table update per dispatch) — the number the profiler.hpp cost
+/// contract quotes.
+void BM_EngineScheduleRunProfiled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  telemetry::Profiler prof;
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.set_profiler(&prof);
+    for (int i = 0; i < n; ++i) {
+      eng.schedule_at(sim::Time::ns(i), [] {});
+    }
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["profiled_events"] =
+      static_cast<double>(prof.total_events());
+}
+BENCHMARK(BM_EngineScheduleRunProfiled)->Arg(1000)->Arg(100000);
 
 /// Schedule/cancel churn: the pattern of protocol timeouts — almost every
 /// timer is cancelled before it fires (acks arrive first).  This is where

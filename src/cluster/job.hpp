@@ -17,6 +17,9 @@
 #include "net/network.hpp"
 #include "seastar/config.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/provenance.hpp"
 #include "workload/generator.hpp"
 
 namespace xt::cluster {
@@ -65,6 +68,11 @@ struct ClusterSpec {
   std::uint64_t seed = 1;
   /// Record per-job latency histograms (job.jN.latency_ps) too.
   bool sampling = false;
+  /// Collect the machine's Chrome-trace records and per-message
+  /// provenance waterfalls (ClusterResult::trace_records / provenance).
+  bool trace = false;
+  /// Self-profile the engine (ClusterResult::profile).
+  bool profile = false;
 };
 
 struct ClusterResult {
@@ -75,6 +83,12 @@ struct ClusterResult {
   /// the makespan — the utilization axis of the SLO curves.
   double utilization = 0.0;
   std::uint64_t adaptive_deflections = 0;
+  /// Populated when spec.trace: the whole machine's timeline + message
+  /// waterfalls (feed telemetry::export_chrome_trace).
+  std::vector<sim::Trace::Record> trace_records;
+  telemetry::ProvenanceLog provenance;
+  /// Populated when spec.profile.
+  telemetry::Profiler profile;
 };
 
 /// One entry of a job mix for trace generation.

@@ -170,6 +170,9 @@ ClusterResult run_cluster(const ClusterSpec& spec) {
   cfg.net.link.vcs = spec.vcs;
   sc.with_config(cfg).with_seed(spec.seed);
   sc.telemetry.sampling = spec.sampling;
+  sc.telemetry.trace = spec.trace;
+  sc.telemetry.provenance = spec.trace;
+  sc.telemetry.profile = spec.profile;
   for (int n = 0; n < machine_nodes; ++n) {
     sc.add_proc(static_cast<net::NodeId>(n), 10, 16u << 20);
   }
@@ -192,6 +195,7 @@ ClusterResult run_cluster(const ClusterSpec& spec) {
     }
     return spec.jobs[a].id < spec.jobs[b].id;
   });
+  eng.tag_category(telemetry::Cat::kCluster);
   for (std::size_t idx : order) {
     eng.schedule_after(spec.jobs[idx].arrival, [&runner, idx] {
       runner.fifo.push_back(idx);
@@ -218,6 +222,17 @@ ClusterResult run_cluster(const ClusterSpec& spec) {
   }
   out.adaptive_deflections =
       inst->machine().network().adaptive_deflections();
+  if (spec.trace) {
+    if (inst->trace() != nullptr) {
+      out.trace_records = inst->trace()->records();
+    }
+    if (inst->provenance() != nullptr) {
+      out.provenance = std::move(*inst->provenance());
+    }
+  }
+  if (spec.profile && inst->profiler() != nullptr) {
+    out.profile = *inst->profiler();
+  }
   return out;
 }
 

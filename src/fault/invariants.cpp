@@ -1,6 +1,9 @@
 #include "fault/invariants.hpp"
 
+#include <cstdio>
+
 #include "sim/strf.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace xt::fault {
 
@@ -13,6 +16,13 @@ std::uint32_t nid_of(const InvariantChecker::Key& k) {
 }  // namespace
 
 void InvariantChecker::add_violation(const std::string& msg) {
+  // The first violation dumps the flight recorder: later violations are
+  // usually knock-on effects, so the interesting last-moments window is
+  // the one around the first.
+  if (violations_.empty() && flight_ != nullptr) {
+    std::fprintf(stderr, "invariant violation: %s\n%s", msg.c_str(),
+                 flight_->dump().c_str());
+  }
   // Cap the list so a systematically broken run does not balloon memory.
   if (violations_.size() < 256) violations_.push_back(msg);
 }

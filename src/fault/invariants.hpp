@@ -27,6 +27,10 @@
 #include <string>
 #include <vector>
 
+namespace xt::telemetry {
+class FlightRecorder;
+}  // namespace xt::telemetry
+
 namespace xt::fault {
 
 class InvariantChecker {
@@ -84,6 +88,14 @@ class InvariantChecker {
   /// Idempotent; call after the engine quiesced.
   void finish();
 
+  /// Optional black box: when set (the harness points it at the engine's
+  /// flight recorder), the FIRST violation dumps the last-dispatches ring
+  /// to stderr — the post-mortem starts from the simulator's final
+  /// moments even when the caller only asserts ok() later.
+  void set_flight_recorder(const telemetry::FlightRecorder* fr) {
+    flight_ = fr;
+  }
+
   bool ok() const { return violations_.empty(); }
   const std::vector<std::string>& violations() const { return violations_; }
 
@@ -104,6 +116,7 @@ class InvariantChecker {
   std::map<std::uint64_t, std::uint64_t> eq_posted_;  // eq_key -> last seq+1
   std::map<std::uint64_t, std::uint64_t> eq_got_;     // eq_key -> last seq
   std::map<std::uint32_t, std::int64_t> sram_ledger_;
+  const telemetry::FlightRecorder* flight_ = nullptr;
   std::vector<std::string> violations_;
   std::uint64_t n_accepted_ = 0;
   std::uint64_t n_delivered_ = 0;

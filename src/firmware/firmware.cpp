@@ -8,6 +8,7 @@
 #include "sim/log.hpp"
 #include "sim/trace.hpp"
 #include "sim/strf.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/hooks.hpp"
 
 namespace xt::fw {
@@ -184,6 +185,8 @@ void Firmware::post_command(FwProcId proc, Command cmd) {
 }
 
 sim::CoTask<void> Firmware::dispatch_loop() {
+  eng_.tag_category(telemetry::Cat::kFirmware,
+                    static_cast<int>(nic_.node()));
   // The idle loop notices new mailbox work at poll granularity.
   co_await sim::delay(eng_, cfg_.fw_poll);
   for (;;) {
@@ -490,6 +493,8 @@ std::uint64_t Firmware::heartbeat() const {
 }
 
 sim::CoTask<void> Firmware::tx_worker() {
+  eng_.tag_category(telemetry::Cat::kFirmware,
+                    static_cast<int>(nic_.node()));
   while (!tx_list_.empty() && !panicked_) {
     const PendingId id = tx_list_.front();
     const FwProcId proc = tx_list_procs_.front();
@@ -543,6 +548,8 @@ void Firmware::on_rx_complete(const net::MessagePtr& msg, bool crc_ok) {
 }
 
 sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
+  eng_.tag_category(telemetry::Cat::kFirmware,
+                    static_cast<int>(nic_.node()));
   if (eng_.trace_enabled()) {
     sim::trace_begin(eng_, sim::strf("n%u.fw", nic_.node()), "rx_header");
   }
@@ -793,6 +800,8 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
 
 sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
                                                 bool crc_ok) {
+  eng_.tag_category(telemetry::Cat::kFirmware,
+                    static_cast<int>(nic_.node()));
   co_await ppc_.use(cfg_.fw_rx_complete);
   if (panicked_) co_return;
   if (cfg_.gobackn) {
@@ -918,6 +927,8 @@ void Firmware::maybe_start_deposit(SourceSlot& src) {
 }
 
 sim::CoTask<void> Firmware::deposit_worker(net::NodeId source_node) {
+  eng_.tag_category(telemetry::Cat::kFirmware,
+                    static_cast<int>(nic_.node()));
   SourceSlot* src = sources_.lookup(source_node);
   assert(src != nullptr);
   while (!src->rx_list.empty()) {
@@ -1054,6 +1065,16 @@ void Firmware::panic(std::string reason) {
   panic_reason_ = std::move(reason);
   sim::log_msg(eng_, sim::LogLevel::kError, sim::strf("fw.n%u", nic_.node()),
                "PANIC: " + panic_reason_);
+  // Black box: with error logging on, a panic also dumps the engine's
+  // last-dispatches ring — what the whole machine was doing in the run-up,
+  // not just this node.  Guarded so excused panics (injected overloads in
+  // raw-mode fuzzing) stay silent in normal runs.
+  if (eng_.log_enabled(sim::LogLevel::kError)) {
+    sim::log_msg(eng_, sim::LogLevel::kError,
+                 sim::strf("fw.n%u", nic_.node()),
+                 "flight recorder at panic:\n" +
+                     eng_.flight_recorder().dump());
+  }
 }
 
 void Firmware::gbn_verified(net::NodeId src_node, std::uint32_t seq) {

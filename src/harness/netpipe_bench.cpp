@@ -86,6 +86,12 @@ std::vector<SeriesResult> measure_series(
       if (tel.trace && inst->trace() != nullptr) {
         r.trace_records = inst->trace()->records();
       }
+      if (tel.provenance && inst->provenance() != nullptr) {
+        r.provenance = std::move(*inst->provenance());
+      }
+      if (tel.profile && inst->profiler() != nullptr) {
+        r.profile = *inst->profiler();
+      }
       return r;
     });
   }
@@ -131,6 +137,22 @@ std::string merged_trace_json(const std::vector<SeriesResult>& series) {
     }
   }
   return merged.to_chrome_json();
+}
+
+std::string export_trace_json(const std::vector<SeriesResult>& series) {
+  std::vector<telemetry::TraceSeries> ts;
+  ts.reserve(series.size());
+  for (const SeriesResult& r : series) {
+    ts.push_back(telemetry::TraceSeries{r.name, &r.trace_records,
+                                        &r.provenance});
+  }
+  return telemetry::export_chrome_trace(ts);
+}
+
+telemetry::Profiler merged_profile(const std::vector<SeriesResult>& series) {
+  telemetry::Profiler merged;
+  for (const SeriesResult& r : series) merged.merge(r.profile);
+  return merged;
 }
 
 std::string series_json(const std::string& figure, int jobs,
@@ -238,7 +260,9 @@ int run_figure(const FigureSpec& spec, int argc, char** argv) {
   cfg.net.seed = o.seed;
   Scenario::TelemetrySpec tel;
   tel.sampling = !o.metrics_path.empty();
-  tel.trace = !o.trace_path.empty();
+  tel.trace = !o.trace_path.empty() || !o.trace_json_path.empty();
+  tel.provenance = !o.trace_json_path.empty();
+  tel.profile = o.profile;
   const auto series =
       measure_series(transports, spec.pattern, o.np, cfg, o.jobs, tel);
 
@@ -246,6 +270,10 @@ int run_figure(const FigureSpec& spec, int argc, char** argv) {
     std::fputs(
         np::format_table(r.name.c_str(), r.pattern, r.samples).c_str(),
         stdout);
+    std::fputs("\n", stdout);
+  }
+  if (o.profile) {
+    std::fputs(merged_profile(series).report().c_str(), stdout);
     std::fputs("\n", stdout);
   }
   int rc = 0;
@@ -261,6 +289,10 @@ int run_figure(const FigureSpec& spec, int argc, char** argv) {
   }
   if (!o.trace_path.empty() &&
       !write_text_file(o.trace_path, merged_trace_json(series))) {
+    rc = 1;
+  }
+  if (!o.trace_json_path.empty() &&
+      !write_text_file(o.trace_json_path, export_trace_json(series))) {
     rc = 1;
   }
   return rc;

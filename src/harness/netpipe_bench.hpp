@@ -15,6 +15,8 @@
 #include "harness/options.hpp"
 #include "harness/scenario.hpp"
 #include "netpipe/netpipe.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace xt::harness {
 
@@ -40,6 +42,12 @@ struct SeriesResult {
   std::string metrics_json;
   /// Raw trace records of this series' scenario.
   std::vector<sim::Trace::Record> trace_records;
+  /// Per-message provenance waterfalls (empty unless tel.provenance) —
+  /// the message-lifeline source for --trace-json.
+  telemetry::ProvenanceLog provenance;
+  /// Simulator self-profile of this series' engine (all-zero unless
+  /// tel.profile).
+  telemetry::Profiler profile;
   /// Empty on a clean run; otherwise the per-run failure reason (e.g. a
   /// node firmware panic), so callers can report instead of asserting.
   std::string failure;
@@ -63,6 +71,15 @@ std::string metrics_json(const std::string& bench,
 /// Merges every series' trace records into one Chrome trace; tracks are
 /// prefixed "series-name/track" so timelines stay distinguishable.
 std::string merged_trace_json(const std::vector<SeriesResult>& series);
+
+/// Renders the --trace-json timeline (telemetry::export_chrome_trace) of
+/// a measured figure: per-node×layer tracks plus one async lifeline per
+/// provenance-stamped message.  Byte-identical for any --jobs value.
+std::string export_trace_json(const std::vector<SeriesResult>& series);
+
+/// Sums every series' self-profile (commutative, so input order — and
+/// therefore --jobs — cannot change the counts).
+telemetry::Profiler merged_profile(const std::vector<SeriesResult>& series);
 
 /// Renders/writes the JSON dump of a measured figure.  The header records
 /// the active transport backend ("sim" unless the bench ran --transport

@@ -19,7 +19,12 @@ namespace {
       "                  output is identical for every N)\n"
       "  --json FILE     also dump the measured series as JSON\n"
       "  --metrics FILE  dump the metrics-registry snapshots as JSON\n"
+      "  --metrics-out FILE  alias for --metrics (path checked writable)\n"
       "  --trace FILE    dump a merged Chrome trace (chrome://tracing)\n"
+      "  --trace-json FILE   dump a Trace Event Format timeline (per-node\n"
+      "                  tracks, async message lifelines, link counters)\n"
+      "  --profile       print the simulator self-profile (events/sec by\n"
+      "                  handler category) after the results\n"
       "  --seed N        base RNG seed for the scenarios\n"
       "  --pattern NAME  workload benches: only this traffic pattern\n"
       "  --offered-load X  workload benches: single offered load (msgs/s)\n"
@@ -59,6 +64,20 @@ bool path_flag(const char* flag, int argc, char** argv, int& i,
   return false;
 }
 
+/// Fails fast (exit 2) when an output path cannot be opened for writing,
+/// so a long sweep never discovers a typoed directory at dump time.
+/// Opens in append mode: probing must not truncate an existing artifact.
+void require_writable(const char* prog, const char* flag,
+                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot open %s path '%s' for writing\n", prog,
+                 flag, path.c_str());
+    std::exit(2);
+  }
+  std::fclose(f);
+}
+
 }  // namespace
 
 BenchOptions BenchOptions::parse(int argc, char** argv,
@@ -77,8 +96,15 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       o.jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
       o.json_path = argv[++i];
+    } else if (path_flag("--metrics-out", argc, argv, i, &o.metrics_path)) {
+      require_writable(argv[0], "--metrics-out", o.metrics_path);
     } else if (path_flag("--metrics", argc, argv, i, &o.metrics_path)) {
+    } else if (path_flag("--trace-json", argc, argv, i,
+                         &o.trace_json_path)) {
+      require_writable(argv[0], "--trace-json", o.trace_json_path);
     } else if (path_flag("--trace", argc, argv, i, &o.trace_path)) {
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      o.profile = true;
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
       o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (path_flag("--pattern", argc, argv, i, &o.pattern)) {

@@ -8,7 +8,13 @@
 //   --jobs N        worker threads for the sweep (default: all cores)
 //   --json FILE     also dump the measured series as JSON
 //   --metrics FILE  dump every scenario's metrics registry as JSON
+//   --metrics-out FILE  alias for --metrics (validated writable)
 //   --trace FILE    dump a merged Chrome trace of every scenario
+//   --trace-json FILE   dump a Trace Event Format timeline (per-node×layer
+//                   tracks, async message lifelines, link counters);
+//                   loadable in chrome://tracing / ui.perfetto.dev
+//   --profile       self-profile the simulator: events/sec by handler
+//                   category, printed after the results
 //   --seed N        base RNG seed for the scenarios
 //   --pattern NAME  workload benches: run only this traffic pattern
 //   --offered-load X  workload benches: single offered load (msgs/s)
@@ -48,11 +54,20 @@ struct BenchOptions {
   std::string json_path;
   /// Non-empty: write the merged metrics-registry snapshot (JSON, one
   /// object per measured series) to this file.  Byte-identical for any
-  /// --jobs value.
+  /// --jobs value.  --metrics-out is an alias; both spellings validate
+  /// the path is writable at parse time.
   std::string metrics_path;
   /// Non-empty: write a merged Chrome trace of every scenario to this
   /// file (tracks are prefixed with the series name).
   std::string trace_path;
+  /// Non-empty: write a Trace Event Format timeline (telemetry/
+  /// trace_export.hpp: per-node×layer tracks, message lifelines as async
+  /// spans, link counters) to this file.  Byte-identical for any --jobs
+  /// value; the path is validated writable at parse time.
+  std::string trace_json_path;
+  /// Install a telemetry::Profiler on every scenario engine and print the
+  /// merged per-category self-profile after the results table.
+  bool profile = false;
   bool quick = false;
   /// Base RNG seed; sweep point i derives its own stream from seed + i.
   std::uint64_t seed = 1;

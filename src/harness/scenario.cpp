@@ -59,11 +59,16 @@ Instance::Instance(const Scenario& sc)
     prov_ = std::make_unique<telemetry::ProvenanceLog>();
     engine().set_provenance(prov_.get());
   }
+  if (sc.telemetry.profile) {
+    profiler_ = std::make_unique<telemetry::Profiler>();
+    engine().set_profiler(profiler_.get());
+  }
   if (sc.faults.enabled) {
     injector_ = std::make_unique<fault::Injector>(engine(), sc.faults.plan);
     engine().set_fault_injector(injector_.get());
     if (sc.faults.invariants) {
       checker_ = std::make_unique<fault::InvariantChecker>();
+      checker_->set_flight_recorder(&engine().flight_recorder());
       engine().set_invariants(checker_.get());
       for (std::size_t n = 0; n < machine_.node_count(); ++n) {
         ss::Sram& sram = machine_.node(static_cast<net::NodeId>(n)).nic().sram();
@@ -111,6 +116,7 @@ Instance::~Instance() {
   }
   engine().set_invariants(nullptr);
   engine().set_fault_injector(nullptr);
+  engine().set_profiler(nullptr);
 }
 
 /// Timed (non-rate) faults are scheduled up front from their own RNG

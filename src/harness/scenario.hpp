@@ -51,6 +51,8 @@ struct Scenario {
     bool sampling = false;    ///< registry distribution samples (histograms)
     bool provenance = false;  ///< per-message stage stamps (waterfalls)
     bool trace = false;       ///< Chrome trace-event collection
+    bool profile = false;     ///< simulator self-profile (host wall clock
+                              ///< per handler category)
   };
 
   /// Fault injection for the built Instance.  Off by default; with_faults()
@@ -157,6 +159,7 @@ class Instance {
   /// Telemetry sinks the Scenario asked for (null when off).
   sim::Trace* trace() { return trace_.get(); }
   telemetry::ProvenanceLog* provenance() { return prov_.get(); }
+  telemetry::Profiler* profiler() { return profiler_.get(); }
   /// Fault layer the Scenario asked for (null when off).
   fault::Injector* injector() { return injector_.get(); }
   fault::InvariantChecker* invariants() { return checker_.get(); }
@@ -170,6 +173,7 @@ class Instance {
   std::vector<host::Process*> procs_;
   std::unique_ptr<sim::Trace> trace_;
   std::unique_ptr<telemetry::ProvenanceLog> prov_;
+  std::unique_ptr<telemetry::Profiler> profiler_;
   std::unique_ptr<fault::Injector> injector_;
   std::unique_ptr<fault::InvariantChecker> checker_;
 };

@@ -73,6 +73,8 @@ CoTask<void> AccelAgent::tx_post_task(fw::PendingId pd,
                                       std::uint32_t dst_nid, WireHeader hdr,
                                       ptl::IoVecList payload,
                                       std::uint64_t prov) {
+  node_.engine().tag_category(telemetry::Cat::kAgent,
+                              static_cast<int>(node_.id()));
   const ss::Config& cfg = node_.config();
   // User-level command construction — no trap, no kernel.
   co_await node_.cpu().run(cfg.host_cmd_build);
@@ -406,6 +408,8 @@ CoTask<void> AccelAgent::handle(fw::FwEvent ev) {
 }
 
 CoTask<void> AccelAgent::pump() {
+  node_.engine().tag_category(telemetry::Cat::kAgent,
+                              static_cast<int>(node_.id()));
   fw::FwEventQueue& q = node_.firmware().event_queue(fwproc_);
   for (;;) {
     co_await drain();

@@ -96,6 +96,7 @@ sim::CoTask<void> KernelAgent::tx_post_task(fw::PendingId pd,
                                             ptl::WireHeader hdr,
                                             ptl::IoVecList payload,
                                             std::uint64_t prov) {
+  eng_.tag_category(telemetry::Cat::kAgent, static_cast<int>(self_));
   AddressSpace* as = as_for(src_pid);
   assert(as != nullptr);
   std::uint32_t payload_len = 0;
@@ -147,6 +148,7 @@ void KernelAgent::on_interrupt() {
 }
 
 sim::CoTask<void> KernelAgent::irq_task() {
+  eng_.tag_category(telemetry::Cat::kAgent, static_cast<int>(self_));
   c_irq_->add();
   if (eng_.trace_enabled()) {
     sim::trace_begin(eng_, sim::strf("n%u.cpu", self_), "interrupt");

@@ -3,8 +3,17 @@
 #include <cmath>
 
 #include "fault/injector.hpp"
+#include "sim/strf.hpp"
+#include "sim/trace.hpp"
 
 namespace xt::net {
+
+void Link::trace_occupancy() {
+  sim::Engine& eng = res_.engine();
+  if (!eng.trace_enabled()) return;
+  sim::trace_counter(eng, sim::strf("link.%s", name().c_str()), "occupancy",
+                     static_cast<std::int64_t>(occupancy()));
+}
 
 void Link::vc_release() {
   vc_busy_accum_ += res_.engine().now() - vc_held_since_;
@@ -19,6 +28,11 @@ void Link::vc_release() {
     // Stay busy across the handoff; the new holder's interval starts when
     // the scheduled resume runs (same timestamp, later event order).
     vc_last_ = vc;
+    if (res_.engine().trace_enabled()) {
+      sim::trace_counter(res_.engine(),
+                         sim::strf("link.%s", name().c_str()), "vc_grant",
+                         vc);
+    }
     res_.engine().schedule_after(sim::Time{}, [this, h] {
       vc_held_since_ = res_.engine().now();
       h.resume();
@@ -29,8 +43,11 @@ void Link::vc_release() {
 }
 
 sim::CoTask<bool> Link::carry(std::size_t bytes, int vc) {
+  // Wire time is network work regardless of which layer issued the send.
+  res_.engine().tag_category(telemetry::Cat::kNet);
   const sim::Time ser = serialize_time(bytes);
   const bool multi_vc = cfg_.vcs > 1;
+  trace_occupancy();
   if (multi_vc) {
     if (vc < 0) vc = 0;
     if (vc >= cfg_.vcs) vc = vc % cfg_.vcs;
@@ -66,6 +83,7 @@ sim::CoTask<bool> Link::carry(std::size_t bytes, int vc) {
   } else {
     res_.release();
   }
+  trace_occupancy();
   co_await sim::delay(res_.engine(), cfg_.hop_latency);
   co_return cfg_.undetected_corrupt_prob > 0.0 &&
       rng_.chance(cfg_.undetected_corrupt_prob);

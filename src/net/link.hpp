@@ -123,6 +123,9 @@ class Link {
     vc_held_since_ = res_.engine().now();
   }
   void vc_release();
+  /// Samples the occupancy counter onto this link's trace track (no-op
+  /// untraced).
+  void trace_occupancy();
 
   LinkConfig cfg_;
   sim::Resource res_;

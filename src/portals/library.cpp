@@ -749,10 +749,15 @@ int Library::start_outgoing(OpRec::Kind kind, Nal::TxKind txkind,
                              (kind == OpRec::Kind::kPutOut &&
                               ack == AckReq::kAck);
     if (awaits_wire) {
+      // The timeout is portals-library deferred work no matter which layer
+      // the post came through; retag for the one schedule, then restore.
+      const telemetry::Cat prev =
+          eng_.tag_category(telemetry::Cat::kPortals);
       eng_.schedule_after(
           sim::Time::ns(
               static_cast<std::int64_t>(inj->plan().ack_timeout_ns)),
           [this, token] { ack_timeout(token); });
+      eng_.tag_category(prev);
     }
   }
 

@@ -34,6 +34,7 @@ Nic::Nic(sim::Engine& eng, const Config& cfg, transport::Transport& tp,
 sim::CoTask<void> Nic::transmit(net::MessagePtr msg, PayloadReader reader,
                                 std::size_t payload_bytes,
                                 std::size_t n_dma_cmds) {
+  eng_.tag_category(telemetry::Cat::kNic, static_cast<int>(node_));
   co_await tx_dma_.acquire();
   // Fetch the 64-byte header out of the upper pending in host memory.  This
   // is the one HT read round-trip the transmit path cannot avoid.
@@ -76,6 +77,7 @@ sim::CoTask<void> Nic::transmit(net::MessagePtr msg, PayloadReader reader,
 }
 
 sim::CoTask<void> Nic::deposit(std::size_t bytes, std::size_t n_dma_cmds) {
+  eng_.tag_category(telemetry::Cat::kNic, static_cast<int>(node_));
   const sim::Time service = sim::Time::for_bytes(bytes, cfg_.ht_rx_rate);
   // Ideally the deposit streamed concurrently with the wire arrival that
   // just finished — its service would have STARTED `service` ago.  It can

@@ -3,13 +3,15 @@
 #include <cassert>
 #include <utility>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace xt::sim {
 
 Engine::Engine()
     : log_threshold_(default_log_threshold()),
-      metrics_(std::make_unique<telemetry::MetricsRegistry>()) {}
+      metrics_(std::make_unique<telemetry::MetricsRegistry>()),
+      flight_(std::make_unique<telemetry::FlightRecorder>()) {}
 
 Engine::~Engine() = default;
 
@@ -39,6 +41,8 @@ Engine::EventId Engine::schedule_at(Time t, Callback cb) {
   Rec& r = slab_[slot];
   r.cb = std::move(cb);
   r.armed = true;
+  r.cat = cur_cat_;
+  r.node = cur_node_;
   heap_.push(HeapEnt{t, next_seq_++, slot});
   ++live_;
   return (static_cast<EventId>(r.gen) << 32) | slot;
@@ -64,11 +68,24 @@ bool Engine::step() {
       continue;
     }
     Callback cb = std::move(r.cb);
+    const telemetry::Cat cat = r.cat;
+    const std::int16_t node = r.node;
     release_slot(ev.slot);
     now_ = ev.t;
     --live_;
     ++executed_;
-    cb();  // may grow the slab; no record references live past here
+    // The black box sees every dispatch; the tag context resets to the
+    // event's own so nested schedules inherit it (engine.hpp).
+    flight_->record(ev.t.to_ps(), ev.seq, cat, node);
+    cur_cat_ = cat;
+    cur_node_ = node;
+    if (profiler_ == nullptr) {
+      cb();  // may grow the slab; no record references live past here
+    } else {
+      const std::uint64_t t0 = telemetry::Profiler::now_ns();
+      cb();
+      profiler_->account(cat, telemetry::Profiler::now_ns() - t0);
+    }
     return true;
   }
   return false;

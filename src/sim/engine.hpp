@@ -27,8 +27,10 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "telemetry/profiler.hpp"  // telemetry::Cat (event category tags)
 
 namespace xt::telemetry {
+class FlightRecorder;
 class MetricsRegistry;
 class ProvenanceLog;
 }  // namespace xt::telemetry
@@ -142,6 +144,36 @@ class Engine {
   fault::InvariantChecker* invariants() const { return invariants_; }
   void set_invariants(fault::InvariantChecker* c) { invariants_ = c; }
 
+  /// Self-profiler: wall-clock accounting of the dispatch loop by handler
+  /// category; null (the default) means the loop pays one branch.
+  telemetry::Profiler* profiler() const { return profiler_; }
+  void set_profiler(telemetry::Profiler* p) { profiler_ = p; }
+
+  /// Crash flight recorder: the last N dispatched events, always on
+  /// (telemetry/flight_recorder.hpp explains why it has no off switch).
+  telemetry::FlightRecorder& flight_recorder() { return *flight_; }
+  const telemetry::FlightRecorder& flight_recorder() const {
+    return *flight_;
+  }
+
+  // ------------------------------------------------ category tagging ----
+  // Each scheduled event carries the engine's current (category, node)
+  // tag; step() re-establishes the dispatched event's own tag before its
+  // callback runs, so nested schedules inherit their parent's category
+  // unless a layer entry point retags.  Tags feed the self-profiler and
+  // the flight recorder; they never affect simulation semantics.
+
+  /// Sets the scheduling category (and, when `node >= 0`, the claiming
+  /// node).  Returns the previous category so narrow call sites can
+  /// restore it.
+  telemetry::Cat tag_category(telemetry::Cat c, int node = -1) {
+    const telemetry::Cat prev = cur_cat_;
+    cur_cat_ = c;
+    if (node >= 0) cur_node_ = static_cast<std::int16_t>(node);
+    return prev;
+  }
+  telemetry::Cat current_category() const { return cur_cat_; }
+
  private:
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
 
@@ -153,6 +185,8 @@ class Engine {
     std::uint32_t gen = 0;
     std::uint32_t next_free = kNilSlot;
     bool armed = false;
+    telemetry::Cat cat = telemetry::Cat::kOther;  // schedule-time tag
+    std::int16_t node = -1;
   };
   struct HeapEnt {
     Time t;
@@ -191,6 +225,10 @@ class Engine {
   telemetry::ProvenanceLog* provenance_ = nullptr;
   fault::Injector* fault_injector_ = nullptr;
   fault::InvariantChecker* invariants_ = nullptr;
+  telemetry::Profiler* profiler_ = nullptr;
+  std::unique_ptr<telemetry::FlightRecorder> flight_;
+  telemetry::Cat cur_cat_ = telemetry::Cat::kOther;
+  std::int16_t cur_node_ = -1;
 };
 
 }  // namespace xt::sim

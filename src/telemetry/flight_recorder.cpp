@@ -1,0 +1,48 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <cstdio>
+
+#include "sim/strf.hpp"
+
+namespace xt::telemetry {
+
+std::vector<FlightEntry> FlightRecorder::snapshot() const {
+  const std::size_t n = size();
+  std::vector<FlightEntry> out;
+  out.reserve(n);
+  // Oldest entry: head_ when wrapped (head_ points at the next victim),
+  // index 0 before the first wrap.
+  const std::size_t start = recorded_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump() const {
+  const std::vector<FlightEntry> entries = snapshot();
+  std::string out = sim::strf(
+      "flight recorder: last %zu of %llu dispatched events "
+      "(oldest first)\n",
+      entries.size(), static_cast<unsigned long long>(recorded_));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const FlightEntry& e = entries[i];
+    out += sim::strf("[%3zu] t=%lldps seq=%llu cat=%s node=%d\n", i,
+                     static_cast<long long>(e.t_ps),
+                     static_cast<unsigned long long>(e.seq),
+                     cat_name(e.cat), static_cast<int>(e.node));
+  }
+  return out;
+}
+
+bool FlightRecorder::dump_to(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = dump();
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace xt::telemetry

@@ -1,0 +1,104 @@
+#include "telemetry/profiler.hpp"
+
+#include <ctime>
+
+#include "sim/strf.hpp"
+
+namespace xt::telemetry {
+
+const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::kOther:
+      return "other";
+    case Cat::kNic:
+      return "nic";
+    case Cat::kFirmware:
+      return "firmware";
+    case Cat::kAgent:
+      return "agent";
+    case Cat::kPortals:
+      return "portals";
+    case Cat::kNet:
+      return "net";
+    case Cat::kCluster:
+      return "cluster";
+  }
+  return "?";
+}
+
+std::uint64_t Profiler::now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t Profiler::total_events() const {
+  std::uint64_t n = 0;
+  for (const Slot& s : slots_) n += s.events;
+  return n;
+}
+
+std::uint64_t Profiler::total_wall_ns() const {
+  std::uint64_t n = 0;
+  for (const Slot& s : slots_) n += s.wall_ns;
+  return n;
+}
+
+double Profiler::events_per_sec() const {
+  const std::uint64_t ns = total_wall_ns();
+  if (ns == 0) return 0.0;
+  return static_cast<double>(total_events()) * 1e9 /
+         static_cast<double>(ns);
+}
+
+std::string Profiler::report() const {
+  const double tot_ns = static_cast<double>(total_wall_ns());
+  std::string out = sim::strf("  %-10s %12s %10s %14s %7s\n", "category",
+                              "events", "wall ms", "events/sec", "share");
+  for (int i = 0; i < kCatCount; ++i) {
+    const Slot& s = slots_[static_cast<std::size_t>(i)];
+    const double evps =
+        s.wall_ns == 0 ? 0.0
+                       : static_cast<double>(s.events) * 1e9 /
+                             static_cast<double>(s.wall_ns);
+    const double share =
+        tot_ns == 0.0 ? 0.0
+                      : 100.0 * static_cast<double>(s.wall_ns) / tot_ns;
+    out += sim::strf("  %-10s %12llu %10.2f %14.0f %6.1f%%\n",
+                     cat_name(static_cast<Cat>(i)),
+                     static_cast<unsigned long long>(s.events),
+                     static_cast<double>(s.wall_ns) * 1e-6, evps, share);
+  }
+  out += sim::strf("  %-10s %12llu %10.2f %14.0f\n", "total",
+                   static_cast<unsigned long long>(total_events()),
+                   static_cast<double>(total_wall_ns()) * 1e-6,
+                   events_per_sec());
+  return out;
+}
+
+std::string Profiler::to_json() const {
+  std::string cats;
+  for (int i = 0; i < kCatCount; ++i) {
+    const Slot& s = slots_[static_cast<std::size_t>(i)];
+    const double evps =
+        s.wall_ns == 0 ? 0.0
+                       : static_cast<double>(s.events) * 1e9 /
+                             static_cast<double>(s.wall_ns);
+    if (!cats.empty()) cats += ", ";
+    cats += sim::strf(
+        "\"%s\": {\"events\": %llu, \"events_per_sec\": %.0f, "
+        "\"wall_ns\": %llu}",
+        cat_name(static_cast<Cat>(i)),
+        static_cast<unsigned long long>(s.events), evps,
+        static_cast<unsigned long long>(s.wall_ns));
+  }
+  return sim::strf(
+      "{\"categories\": {%s}, \"events_per_sec\": %.0f, "
+      "\"total_events\": %llu, \"total_wall_ns\": %llu}",
+      cats.c_str(), events_per_sec(),
+      static_cast<unsigned long long>(total_events()),
+      static_cast<unsigned long long>(total_wall_ns()));
+}
+
+}  // namespace xt::telemetry

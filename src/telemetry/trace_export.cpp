@@ -1,0 +1,273 @@
+#include "telemetry/trace_export.hpp"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "sim/strf.hpp"
+#include "telemetry/provenance.hpp"
+
+namespace xt::telemetry {
+namespace {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Microseconds from integer picoseconds, fixed-point so the rendering is
+/// exact and deterministic ("12.345678", never scientific notation).
+std::string ts_us(std::int64_t ps) {
+  const long long whole = ps / 1'000'000;
+  const long long frac = ps % 1'000'000;
+  return sim::strf("%lld.%06lld", whole, frac);
+}
+
+struct TrackKey {
+  int pid;
+  int tid;
+};
+
+/// Maps a series' track strings onto (pid, tid).  "n<N>.<layer>" tracks
+/// become per-node processes with a fixed tid for the well-known layers;
+/// everything else (links, routers) shares the series' net process.
+class TrackMapper {
+ public:
+  explicit TrackMapper(int pid_base) : base_(pid_base) {}
+
+  TrackKey key(const std::string& track) {
+    const auto it = cache_.find(track);
+    if (it != cache_.end()) return it->second;
+    const TrackKey k = classify(track);
+    cache_.emplace(track, k);
+    return k;
+  }
+
+  /// (pid, name) pairs for process_name metadata, insertion order.
+  const std::vector<std::pair<int, std::string>>& processes() const {
+    return procs_;
+  }
+  /// (pid, tid, name) triples for thread_name metadata, insertion order.
+  const std::vector<std::tuple<int, int, std::string>>& threads() const {
+    return threads_;
+  }
+
+  void name_process(int pid, std::string name) {
+    procs_.emplace_back(pid, std::move(name));
+  }
+
+ private:
+  static int well_known_layer(std::string_view layer) {
+    if (layer == "cpu") return 0;
+    if (layer == "fw") return 1;
+    if (layer == "txdma") return 2;
+    if (layer == "rxdma") return 3;
+    return -1;
+  }
+
+  TrackKey classify(const std::string& track) {
+    // "n<digits>.<layer>" → per-node process.
+    if (track.size() > 1 && track[0] == 'n' &&
+        track[1] >= '0' && track[1] <= '9') {
+      std::size_t i = 1;
+      int node = 0;
+      while (i < track.size() && track[i] >= '0' && track[i] <= '9') {
+        node = node * 10 + (track[i] - '0');
+        ++i;
+      }
+      if (i < track.size() && track[i] == '.') {
+        const std::string_view layer =
+            std::string_view(track).substr(i + 1);
+        const int pid = base_ + 1 + node;
+        int tid = well_known_layer(layer);
+        if (tid < 0) tid = alloc_tid(pid);
+        remember(pid, sim::strf("node%d", node), tid, std::string(layer));
+        return {pid, tid};
+      }
+    }
+    // Anything else: links, routers, ad-hoc tracks.
+    const int pid = base_ + 900;
+    const int tid = alloc_tid(pid);
+    remember(pid, "net", tid, track);
+    return {pid, tid};
+  }
+
+  int alloc_tid(int pid) {
+    // Dynamic tids start at 8, clear of the well-known layer slots.
+    int& next = next_tid_[pid];
+    if (next < 8) next = 8;
+    return next++;
+  }
+
+  void remember(int pid, std::string pname, int tid, std::string tname) {
+    if (!seen_pids_.count(pid)) {
+      seen_pids_.insert(pid);
+      procs_.emplace_back(pid, std::move(pname));
+    }
+    threads_.emplace_back(pid, tid, std::move(tname));
+  }
+
+  int base_;
+  std::map<std::string, TrackKey> cache_;
+  std::map<int, int> next_tid_;
+  std::set<int> seen_pids_;
+  std::vector<std::pair<int, std::string>> procs_;
+  std::vector<std::tuple<int, int, std::string>> threads_;
+};
+
+void append_event(std::string& out, bool& first, const std::string& body) {
+  if (!first) out += ",\n";
+  first = false;
+  out += body;
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const std::vector<TraceSeries>& series) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const TraceSeries& s = series[si];
+    const int base = static_cast<int>(si) * 1000;
+    TrackMapper mapper(base);
+    const std::string label = escape(s.label);
+
+    // Pass 1: classify every track so metadata precedes the events that
+    // reference it (viewers tolerate either order; files read better).
+    if (s.records != nullptr) {
+      for (const sim::Trace::Record& r : *s.records) {
+        mapper.key(r.track);
+      }
+    }
+
+    const bool have_msgs =
+        s.provenance != nullptr && s.provenance->size() > 0;
+    if (have_msgs) mapper.name_process(base, "messages");
+
+    for (const auto& [pid, pname] : mapper.processes()) {
+      append_event(
+          out, first,
+          sim::strf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"tid\":0,\"ts\":0.0,\"args\":{\"name\":\"%s/%s\"}}",
+                    pid, label.c_str(), escape(pname).c_str()));
+    }
+    for (const auto& [pid, tid, tname] : mapper.threads()) {
+      append_event(
+          out, first,
+          sim::strf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"tid\":%d,\"ts\":0.0,\"args\":{\"name\":\"%s\"}}",
+                    pid, tid, escape(tname).c_str()));
+    }
+
+    // Trace records, input order (== engine-time order per series).
+    if (s.records != nullptr) {
+      for (const sim::Trace::Record& r : *s.records) {
+        const TrackKey k = mapper.key(r.track);
+        const std::string ts = ts_us(r.t.to_ps());
+        switch (r.phase) {
+          case sim::Trace::Phase::kBegin:
+          case sim::Trace::Phase::kEnd:
+            append_event(
+                out, first,
+                sim::strf("{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":%d,"
+                          "\"tid\":%d,\"ts\":%s}",
+                          escape(r.name).c_str(),
+                          static_cast<char>(r.phase), k.pid, k.tid,
+                          ts.c_str()));
+            break;
+          case sim::Trace::Phase::kInstant:
+            append_event(
+                out, first,
+                sim::strf("{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                          "\"pid\":%d,\"tid\":%d,\"ts\":%s,"
+                          "\"args\":{\"arg\":%lld}}",
+                          escape(r.name).c_str(), k.pid, k.tid, ts.c_str(),
+                          static_cast<long long>(r.arg)));
+            break;
+          case sim::Trace::Phase::kCounter:
+            append_event(
+                out, first,
+                sim::strf("{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,"
+                          "\"tid\":%d,\"ts\":%s,"
+                          "\"args\":{\"value\":%lld}}",
+                          escape(r.name).c_str(), k.pid, k.tid, ts.c_str(),
+                          static_cast<long long>(r.arg)));
+            break;
+        }
+      }
+    }
+
+    // Message lifelines: one nestable async span per provenance record,
+    // id scoped by series so concurrent series never collide.
+    if (have_msgs) {
+      for (const MsgRecord& m : s.provenance->messages()) {
+        if (m.stamps.empty()) continue;
+        const std::string id = sim::strf("s%zu.m%llu", si,
+                                         static_cast<unsigned long long>(
+                                             m.id));
+        const std::string name =
+            sim::strf("msg n%u\\u2192n%u %uB", m.src, m.dst, m.bytes);
+        append_event(
+            out, first,
+            sim::strf("{\"name\":\"%s\",\"cat\":\"msg\",\"ph\":\"b\","
+                      "\"id\":\"%s\",\"pid\":%d,\"tid\":0,\"ts\":%s,"
+                      "\"args\":{\"bytes\":%u}}",
+                      name.c_str(), id.c_str(), base,
+                      ts_us(m.stamps.front().second.to_ps()).c_str(),
+                      m.bytes));
+        for (std::size_t j = 1; j + 1 < m.stamps.size(); ++j) {
+          append_event(
+              out, first,
+              sim::strf("{\"name\":\"%s\",\"cat\":\"msg\",\"ph\":\"n\","
+                        "\"id\":\"%s\",\"pid\":%d,\"tid\":0,\"ts\":%s}",
+                        stage_name(m.stamps[j].first), id.c_str(), base,
+                        ts_us(m.stamps[j].second.to_ps()).c_str()));
+        }
+        if (m.stamps.size() > 1) {
+          append_event(
+              out, first,
+              sim::strf("{\"name\":\"%s\",\"cat\":\"msg\",\"ph\":\"e\","
+                        "\"id\":\"%s\",\"pid\":%d,\"tid\":0,\"ts\":%s}",
+                        name.c_str(), id.c_str(), base,
+                        ts_us(m.stamps.back().second.to_ps()).c_str()));
+        }
+      }
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TraceSeries>& series) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = export_chrome_trace(series);
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace xt::telemetry

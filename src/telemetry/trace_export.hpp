@@ -1,0 +1,55 @@
+#pragma once
+
+// Chrome-trace timeline export.
+//
+// Serializes one or more simulation runs ("series") into the Trace Event
+// Format that chrome://tracing and https://ui.perfetto.dev load: numeric
+// pid/tid tracks named through 'M' metadata events, B/E/i/C records from
+// the per-engine sim::Trace, and — when a ProvenanceLog is present — one
+// nestable async span ('b'…'n'…'e') per message, so a message's lifeline
+// telescopes to exactly the end-to-end latency the breakdown bench
+// reports for it.
+//
+// Track model (per series `i`, pid base = i * 1000):
+//   pid base+0          "<label>/messages"  — async message lifelines
+//   pid base+1+node     "<label>/node<N>"   — tracks named "n<N>.<layer>";
+//                       tid is the layer (cpu=0, fw=1, txdma=2, rxdma=3,
+//                       others in first-appearance order from 8)
+//   pid base+900        "<label>/net"       — link/router tracks (counter
+//                       samples for occupancy and VC arbitration); tid in
+//                       first-appearance order
+//
+// Determinism: output is a pure function of the inputs in input order —
+// no host time, no pointers, no hashing — so two runs of the same
+// deterministic simulation serialize byte-identically regardless of how
+// many worker threads produced the series.  Timestamps are microseconds
+// rendered in fixed-point from integer picoseconds (exact, locale-free).
+// Within one series each sim::Trace is appended in engine-time order, so
+// every (pid, tid) track is sorted by ts by construction.
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace xt::telemetry {
+
+class ProvenanceLog;
+
+/// One simulation run's worth of timeline input.  Both sources are
+/// optional; a series with neither contributes only its metadata.
+struct TraceSeries {
+  std::string label;
+  const std::vector<sim::Trace::Record>* records = nullptr;
+  const ProvenanceLog* provenance = nullptr;
+};
+
+/// Serializes `series` as a Trace Event Format JSON object
+/// ({"traceEvents":[...]}).  Every event carries pid, tid, ts and ph.
+std::string export_chrome_trace(const std::vector<TraceSeries>& series);
+
+/// Writes export_chrome_trace() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<TraceSeries>& series);
+
+}  // namespace xt::telemetry

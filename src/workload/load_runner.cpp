@@ -14,6 +14,27 @@ WorkloadResult run_load_point(const WorkloadSpec& spec, host::ProcMode mode,
   return run_workload(*inst, spec);
 }
 
+WorkloadResult run_load_point(const WorkloadSpec& spec, host::ProcMode mode,
+                              const ss::Config& cfg,
+                              std::uint64_t scenario_seed,
+                              const harness::Scenario::TelemetrySpec& tel,
+                              PointTelemetry* out) {
+  harness::Scenario sc = workload_scenario(spec, mode, cfg, scenario_seed);
+  sc.with_telemetry(tel);
+  auto inst = sc.build();
+  WorkloadResult r = run_workload(*inst, spec);
+  if (out != nullptr) {
+    if (inst->profiler() != nullptr) out->profile = *inst->profiler();
+    if (inst->trace() != nullptr) {
+      out->trace_records = inst->trace()->records();
+    }
+    if (inst->provenance() != nullptr) {
+      out->provenance = std::move(*inst->provenance());
+    }
+  }
+  return r;
+}
+
 LoadCurve run_load_sweep(const LoadSweepSpec& spec) {
   std::vector<std::function<LoadPoint()>> tasks;
   tasks.reserve(spec.offered.size());
@@ -24,10 +45,13 @@ LoadCurve run_load_sweep(const LoadSweepSpec& spec) {
     const std::uint64_t seed = spec.seed + i;
     const host::ProcMode mode = spec.mode;
     const ss::Config cfg = spec.cfg;
-    tasks.push_back([ws, mode, cfg, seed] {
+    const harness::Scenario::TelemetrySpec tel = spec.telemetry;
+    tasks.push_back([ws, mode, cfg, seed, tel] {
       LoadPoint p;
       p.offered_msgs_per_sec = ws.offered_msgs_per_sec;
-      p.result = run_load_point(ws, mode, cfg, seed);
+      PointTelemetry pt;
+      p.result = run_load_point(ws, mode, cfg, seed, tel, &pt);
+      p.profile = pt.profile;
       return p;
     });
   }

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "harness/scenario.hpp"
+#include "telemetry/profiler.hpp"
 #include "workload/generator.hpp"
 
 namespace xt::workload {
@@ -28,6 +30,18 @@ struct LoadPoint {
   /// not a stack failure.  A point with result.failure non-empty fell
   /// short for a reported reason (stranded initiator, panic) instead.
   bool saturated = false;
+  /// Simulator self-profile of this point's engine (all-zero unless the
+  /// sweep's telemetry.profile bit was set).
+  telemetry::Profiler profile;
+};
+
+/// Optional per-point telemetry captured by run_load_point when the
+/// caller passes a TelemetrySpec (moved out of the Instance before it is
+/// torn down).
+struct PointTelemetry {
+  telemetry::Profiler profile;
+  std::vector<sim::Trace::Record> trace_records;
+  telemetry::ProvenanceLog provenance;
 };
 
 struct LoadCurve {
@@ -51,6 +65,10 @@ struct LoadSweepSpec {
   /// Scenario seed base; rung i runs with scenario seed `seed + i` so
   /// fault-injection streams are independent across points.
   std::uint64_t seed = 1;
+  /// Telemetry each point collects; profile results land on
+  /// LoadPoint::profile (collected inside the worker, so curves stay
+  /// input-order deterministic for any `jobs`).
+  harness::Scenario::TelemetrySpec telemetry{};
 };
 
 /// One self-contained measurement: builds the scenario, runs the workload,
@@ -58,6 +76,14 @@ struct LoadSweepSpec {
 WorkloadResult run_load_point(const WorkloadSpec& spec, host::ProcMode mode,
                               const ss::Config& cfg,
                               std::uint64_t scenario_seed);
+
+/// Same, with telemetry: the scenario is built with `tel` and whatever it
+/// collected is moved into `out` (when non-null) before teardown.
+WorkloadResult run_load_point(const WorkloadSpec& spec, host::ProcMode mode,
+                              const ss::Config& cfg,
+                              std::uint64_t scenario_seed,
+                              const harness::Scenario::TelemetrySpec& tel,
+                              PointTelemetry* out);
 
 LoadCurve run_load_sweep(const LoadSweepSpec& spec);
 

@@ -8,7 +8,10 @@
 //     workers with input-ordered results — stdout is byte-identical for any
 //     --jobs value;
 //   * a failure prints `--seed S --faults "<plan>"`, and replaying exactly
-//     that line reproduces the failing run bit-for-bit.
+//     that line reproduces the failing run bit-for-bit;
+//   * a failure also dumps the engine's flight recorder (the last 256
+//     dispatched events) to fuzz_flight_<seed>.txt next to the reproducer
+//     line, so the post-mortem starts from the simulator's last moments.
 //
 // A seed FAILS when the InvariantChecker collected violations, when a
 // firmware panicked for a reason fault injection cannot explain, or when
@@ -22,6 +25,7 @@
 #include <cstring>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +36,7 @@
 #include "harness/sweep.hpp"
 #include "sim/rng.hpp"
 #include "sim/strf.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "workload/generator.hpp"
 
 namespace {
@@ -120,11 +125,21 @@ SeedResult run_one(std::uint64_t seed, const FaultPlan* plan_override) {
   const std::string repro = xt::sim::strf(
       "  reproduce: fuzz_scenarios --seed %llu --faults \"%s\"",
       static_cast<unsigned long long>(seed), t.plan.to_cli().c_str());
+  // Black box for the post-mortem: on any failure, dump the engine's
+  // last-dispatches ring next to the reproducer line.
+  std::unique_ptr<xt::harness::Instance> inst;
+  const auto flight_dump = [&inst, seed]() -> std::string {
+    if (inst == nullptr) return {};
+    const std::string path = xt::sim::strf(
+        "fuzz_flight_%llu.txt", static_cast<unsigned long long>(seed));
+    if (!inst->engine().flight_recorder().dump_to(path)) return {};
+    return "  flight recorder: " + path + "\n";
+  };
   try {
     xt::harness::Scenario sc = xt::workload::workload_scenario(
         t.spec, t.mode, t.cfg, t.scenario_seed);
     sc.with_faults(t.plan);
-    auto inst = sc.build();
+    inst = sc.build();
     const xt::workload::WorkloadResult res =
         xt::workload::run_workload(*inst, t.spec);
 
@@ -189,12 +204,14 @@ SeedResult run_one(std::uint64_t seed, const FaultPlan* plan_override) {
     if (!r.ok) {
       for (const std::string& v : problems) r.detail += "  ! " + v + "\n";
       r.detail += repro + "\n";
+      r.detail += flight_dump();
     }
   } catch (const std::exception& e) {
     r.ok = false;
     r.line = xt::sim::strf("seed %4llu FAIL (exception)",
                            static_cast<unsigned long long>(seed));
     r.detail = std::string("  ! threw: ") + e.what() + "\n" + repro + "\n";
+    r.detail += flight_dump();
   }
   return r;
 }

@@ -1,0 +1,323 @@
+// Observability instruments: self-profiler, flight recorder, Chrome-trace
+// export, and the BenchOptions flags that expose them.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/netpipe_bench.hpp"
+#include "harness/options.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/provenance.hpp"
+#include "telemetry/trace_export.hpp"
+
+namespace {
+
+using namespace xt;
+
+// ---------------------------------------------------------- profiler ----
+
+TEST(Profiler, CategoryCountsSumToExecuted) {
+  sim::Engine eng;
+  telemetry::Profiler prof;
+  eng.set_profiler(&prof);
+  eng.tag_category(telemetry::Cat::kNic, 2);
+  for (int i = 0; i < 8; ++i) {
+    eng.schedule_at(sim::Time::ns(i), [] {});
+  }
+  eng.tag_category(telemetry::Cat::kNet);
+  eng.schedule_at(sim::Time::ns(100), [] {});
+  const std::uint64_t ran = eng.run();
+  EXPECT_EQ(ran, eng.executed());
+  EXPECT_EQ(prof.total_events(), eng.executed());
+  EXPECT_EQ(prof.slot(telemetry::Cat::kNic).events, 8u);
+  EXPECT_EQ(prof.slot(telemetry::Cat::kNet).events, 1u);
+}
+
+TEST(Profiler, NestedSchedulesInheritTheParentCategory) {
+  sim::Engine eng;
+  telemetry::Profiler prof;
+  eng.set_profiler(&prof);
+  eng.tag_category(telemetry::Cat::kFirmware, 1);
+  eng.schedule_at(sim::Time::ns(1), [&eng] {
+    // Scheduled while a kFirmware-tagged event runs: inherits the tag.
+    eng.schedule_after(sim::Time::ns(1), [] {});
+  });
+  // Retagging after scheduling must not affect already-stamped events.
+  eng.tag_category(telemetry::Cat::kOther);
+  eng.run();
+  EXPECT_EQ(prof.slot(telemetry::Cat::kFirmware).events, 2u);
+  EXPECT_EQ(prof.slot(telemetry::Cat::kOther).events, 0u);
+}
+
+TEST(Profiler, MergeAddsCounts) {
+  telemetry::Profiler a, b;
+  a.account(telemetry::Cat::kNic, 10);
+  b.account(telemetry::Cat::kNic, 5);
+  b.account(telemetry::Cat::kCluster, 7);
+  a.merge(b);
+  EXPECT_EQ(a.slot(telemetry::Cat::kNic).events, 2u);
+  EXPECT_EQ(a.slot(telemetry::Cat::kNic).wall_ns, 15u);
+  EXPECT_EQ(a.slot(telemetry::Cat::kCluster).events, 1u);
+  EXPECT_EQ(a.total_events(), 3u);
+  EXPECT_EQ(a.total_wall_ns(), 22u);
+}
+
+TEST(Profiler, ReportAndJsonIncludeEveryCategory) {
+  telemetry::Profiler p;
+  p.account(telemetry::Cat::kPortals, 1000);
+  const std::string rep = p.report();
+  const std::string json = p.to_json();
+  for (int i = 0; i < telemetry::kCatCount; ++i) {
+    const char* name = telemetry::cat_name(static_cast<telemetry::Cat>(i));
+    EXPECT_NE(rep.find(name), std::string::npos) << name;
+    EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
+        << name;
+  }
+  EXPECT_NE(json.find("\"total_events\": 1"), std::string::npos);
+}
+
+// ---------------------------------------------------- flight recorder ----
+
+TEST(FlightRecorder, RingKeepsTheLastCapacityEntries) {
+  telemetry::FlightRecorder fr(4);
+  for (int i = 0; i < 10; ++i) {
+    fr.record(i * 100, static_cast<std::uint64_t>(i), telemetry::Cat::kNet,
+              1);
+  }
+  EXPECT_EQ(fr.capacity(), 4u);
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_EQ(fr.recorded(), 10u);
+  const std::vector<telemetry::FlightEntry> snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().seq, 6u);  // oldest survivor
+  EXPECT_EQ(snap.back().seq, 9u);
+  EXPECT_EQ(snap.back().t_ps, 900);
+}
+
+TEST(FlightRecorder, PartialRingSnapshotsInOrder) {
+  telemetry::FlightRecorder fr(8);
+  fr.record(1, 10, telemetry::Cat::kNic, 0);
+  fr.record(2, 11, telemetry::Cat::kFirmware, 3);
+  const std::vector<telemetry::FlightEntry> snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].seq, 10u);
+  EXPECT_EQ(snap[1].seq, 11u);
+  EXPECT_EQ(snap[1].cat, telemetry::Cat::kFirmware);
+  EXPECT_EQ(snap[1].node, 3);
+}
+
+TEST(FlightRecorder, EngineRecordsEveryDispatch) {
+  sim::Engine eng;
+  eng.tag_category(telemetry::Cat::kAgent, 5);
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule_at(sim::Time::ns(i), [] {});
+  }
+  eng.run();
+  // Always on: no opt-in needed, every dispatch is witnessed.
+  EXPECT_EQ(eng.flight_recorder().recorded(), eng.executed());
+  const std::string dump = eng.flight_recorder().dump();
+  EXPECT_NE(dump.find("flight recorder: last 5 of 5"), std::string::npos);
+  EXPECT_NE(dump.find("cat=agent"), std::string::npos);
+  EXPECT_NE(dump.find("node=5"), std::string::npos);
+}
+
+// ------------------------------------------------------- trace export ----
+
+/// One parsed trace event: phase plus the numeric fields the schema
+/// requires.
+struct Ev {
+  char ph = 0;
+  long long pid = -1;
+  long long tid = -1;
+  double ts = -1.0;
+  bool has_ts = false;
+};
+
+std::vector<Ev> parse_events(const std::string& json) {
+  std::vector<Ev> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t nl = json.find('\n', pos);
+    if (nl == std::string::npos) break;
+    const std::string line = json.substr(pos, nl - pos);
+    pos = nl + 1;
+    const std::size_t ph = line.find("\"ph\":\"");
+    if (ph == std::string::npos) continue;
+    Ev e;
+    e.ph = line[ph + 6];
+    const auto num = [&line](const char* key, double* v) {
+      const std::size_t p = line.find(key);
+      if (p == std::string::npos) return false;
+      *v = std::strtod(line.c_str() + p + std::strlen(key), nullptr);
+      return true;
+    };
+    double d = 0.0;
+    if (num("\"pid\":", &d)) e.pid = static_cast<long long>(d);
+    if (num("\"tid\":", &d)) e.tid = static_cast<long long>(d);
+    e.has_ts = num("\"ts\":", &e.ts);
+    out.push_back(e);
+  }
+  return out;
+}
+
+TEST(TraceExport, EmitsSpansCountersAndAsyncLifelines) {
+  std::vector<sim::Trace::Record> recs;
+  recs.push_back({sim::Time::ns(1), sim::Trace::Phase::kBegin, "n0.fw",
+                  "rx_header", 0});
+  recs.push_back({sim::Time::ns(2), sim::Trace::Phase::kEnd, "n0.fw",
+                  "rx_header", 0});
+  recs.push_back({sim::Time::ns(2), sim::Trace::Phase::kCounter,
+                  "link.n0.x+", "occupancy", 1});
+  telemetry::ProvenanceLog prov;
+  const std::uint64_t id = prov.begin_message(0, 1, 64, sim::Time::ns(1));
+  prov.stamp(id, telemetry::Stage::kWireHeader, sim::Time::ns(3));
+  prov.stamp(id, telemetry::Stage::kHostDeliver, sim::Time::ns(9));
+
+  const std::string json =
+      telemetry::export_chrome_trace({{"s", &recs, &prov}});
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  // Duration span, counter sample, and the message's async lifeline.
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"s0.m1\""), std::string::npos);
+  // Async span telescopes first stamp -> last stamp (1 ns -> 9 ns,
+  // rendered as fixed-point microseconds).
+  EXPECT_NE(json.find("\"ts\":0.001000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0.009000"), std::string::npos);
+  // Track metadata names the node process and the firmware thread.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(TraceExport, SchemaFromARealRunHoldsPerTrackOrdering) {
+  np::Options o;
+  o.min_bytes = 8;
+  o.max_bytes = 64;
+  o.perturbation = 0;
+  o.base_iters = 2;
+  o.min_iters = 1;
+  harness::Scenario::TelemetrySpec tel;
+  tel.trace = true;
+  tel.provenance = true;
+  const std::vector<harness::SeriesResult> series = harness::measure_series(
+      {np::Transport::kPut}, np::Pattern::kPingPong, o, ss::Config{}, 1,
+      tel);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_FALSE(series[0].trace_records.empty());
+  EXPECT_GT(series[0].provenance.size(), 0u);
+
+  const std::string json = harness::export_trace_json(series);
+  const std::vector<Ev> evs = parse_events(json);
+  ASSERT_FALSE(evs.empty());
+  std::map<std::pair<long long, long long>, double> last_ts;
+  int spans = 0, asyncs = 0;
+  for (const Ev& e : evs) {
+    // Schema: every event names pid and tid; everything but metadata
+    // carries a timestamp.
+    EXPECT_GE(e.pid, 0) << e.ph;
+    EXPECT_GE(e.tid, 0) << e.ph;
+    if (e.ph != 'M') {
+      EXPECT_TRUE(e.has_ts) << e.ph;
+    }
+    if (e.ph == 'b') ++asyncs;
+    if (e.ph == 'B' || e.ph == 'E' || e.ph == 'C' || e.ph == 'i') {
+      ++spans;
+      // Sim-time ordering survives export: per (pid, tid) track the
+      // timestamps are non-decreasing.
+      double& prev = last_ts[{e.pid, e.tid}];
+      EXPECT_GE(e.ts, prev);
+      prev = e.ts;
+    }
+  }
+  EXPECT_GT(spans, 0);
+  EXPECT_GT(asyncs, 0);
+}
+
+TEST(TraceExport, ByteIdenticalAcrossJobs) {
+  np::Options o;
+  o.min_bytes = 8;
+  o.max_bytes = 128;
+  o.perturbation = 0;
+  o.base_iters = 2;
+  o.min_iters = 1;
+  harness::Scenario::TelemetrySpec tel;
+  tel.trace = true;
+  tel.provenance = true;
+  const std::vector<np::Transport> tx = {np::Transport::kPut,
+                                         np::Transport::kGet};
+  const std::string serial = harness::export_trace_json(
+      harness::measure_series(tx, np::Pattern::kPingPong, o, ss::Config{}, 1,
+                              tel));
+  const std::string parallel = harness::export_trace_json(
+      harness::measure_series(tx, np::Pattern::kPingPong, o, ss::Config{}, 4,
+                              tel));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(TraceExport, AsyncSpansTelescopeToProvenanceE2e) {
+  std::vector<sim::Trace::Record> recs;
+  telemetry::ProvenanceLog prov;
+  const std::uint64_t id =
+      prov.begin_message(2, 3, 2048, sim::Time::us(10));
+  prov.stamp(id, telemetry::Stage::kTxDma, sim::Time::us(11));
+  prov.stamp(id, telemetry::Stage::kRxNicComplete, sim::Time::us(14));
+  prov.stamp(id, telemetry::Stage::kHostDeliver, sim::Time::us(17));
+  const std::string json =
+      telemetry::export_chrome_trace({{"x", &recs, &prov}});
+  // b at 10 us, e at 17 us: the async span's duration IS the message's
+  // end-to-end latency (last stamp - first stamp).
+  const std::size_t b = json.find("\"ph\":\"b\"");
+  const std::size_t e = json.find("\"ph\":\"e\"");
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(e, std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10.000000", b), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":17.000000", e), std::string::npos);
+  // The two middle stamps surface as nested instants inside the span.
+  EXPECT_NE(json.find("tx_dma"), std::string::npos);
+  EXPECT_NE(json.find("rx_nic_complete"), std::string::npos);
+}
+
+// ------------------------------------------------------ BenchOptions ----
+
+TEST(BenchOptions, ObservabilityFlagsParse) {
+  const std::string mpath = testing::TempDir() + "obs_metrics.json";
+  const std::string tpath = testing::TempDir() + "obs_trace.json";
+  const std::string targ = "--trace-json=" + tpath;
+  const char* argv[] = {"bench",          "--profile", "--metrics-out",
+                        mpath.c_str(),    targ.c_str()};
+  const harness::BenchOptions o = harness::BenchOptions::parse(
+      5, const_cast<char**>(argv));
+  EXPECT_TRUE(o.profile);
+  EXPECT_EQ(o.metrics_path, mpath);
+  EXPECT_EQ(o.trace_json_path, tpath);
+}
+
+TEST(BenchOptionsDeath, RejectsUnwritableMetricsOutPath) {
+  const char* argv[] = {"bench", "--metrics-out",
+                        "/nonexistent-dir/metrics.json"};
+  EXPECT_EXIT(harness::BenchOptions::parse(3, const_cast<char**>(argv)),
+              testing::ExitedWithCode(2),
+              "cannot open --metrics-out path");
+}
+
+TEST(BenchOptionsDeath, RejectsUnwritableTraceJsonPath) {
+  const char* argv[] = {"bench", "--trace-json",
+                        "/nonexistent-dir/trace.json"};
+  EXPECT_EXIT(harness::BenchOptions::parse(3, const_cast<char**>(argv)),
+              testing::ExitedWithCode(2),
+              "cannot open --trace-json path");
+}
+
+}  // namespace
