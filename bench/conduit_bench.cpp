@@ -1,0 +1,192 @@
+// App-level one-sided workloads over the conduit (src/conduit).
+//
+// Two scenarios, both pure put/get against remote segments:
+//
+//   stencil  3D halo exchange on the torus — a rank ladder reports
+//            iterations/s and the boundary-exchange latency (one sample
+//            per rank per iteration: puts issued, local completion,
+//            deposit count reached).
+//   kv       parameter-server traffic — closed-loop clients against
+//            passive value tables, an outstanding-window ladder reports
+//            ops/s and per-op RTT percentiles (puts ride the Portals ack,
+//            gets the reply).
+//
+// Each point runs in its own Instance, so points fan out across --jobs
+// workers with byte-identical output for any --jobs value.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/options.hpp"
+#include "harness/sweep.hpp"
+#include "sim/strf.hpp"
+#include "workload/generator.hpp"
+#include "workload/oneside.hpp"
+
+namespace {
+
+using namespace xt;
+
+struct ModeConfig {
+  const char* name;
+  host::ProcMode mode;
+};
+
+double us(std::uint64_t ps) { return static_cast<double>(ps) * 1e-6; }
+
+double per_sec(std::uint64_t n, sim::Time span) {
+  const double s = static_cast<double>(span.to_ps()) * 1e-12;
+  return s <= 0.0 ? 0.0 : static_cast<double>(n) / s;
+}
+
+workload::WorkloadResult run_point(const workload::WorkloadSpec& spec,
+                                   host::ProcMode mode) {
+  const harness::Scenario sc =
+      workload::workload_scenario(spec, mode, {}, spec.seed);
+  const auto inst = sc.build();
+  return workload::run_workload(*inst, spec);
+}
+
+std::string point_json(const char* cfg, const workload::WorkloadSpec& spec,
+                       const workload::WorkloadResult& r, double rate,
+                       const char* rate_key) {
+  return sim::strf(
+      "{\"complete\": %s, \"config\": \"%s\", \"delivered\": %llu, "
+      "\"failure\": \"%s\", \"outstanding\": %d, "
+      "\"p50_us\": %.3f, \"p99_us\": %.3f, \"ranks\": %d, "
+      "\"%s\": %.1f}",
+      r.complete ? "true" : "false", cfg,
+      static_cast<unsigned long long>(r.delivered), r.failure.c_str(),
+      spec.outstanding, us(r.percentile_ps(50)), us(r.percentile_ps(99)),
+      spec.ranks, rate_key, rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::BenchOptions o = harness::BenchOptions::parse(argc, argv);
+  const harness::SweepRunner runner(o.jobs);
+  int rc = 0;
+
+  const std::vector<ModeConfig> modes = {
+      {"generic", host::ProcMode::kUser},
+      {"accel", host::ProcMode::kAccel},
+  };
+
+  // ---------------------------------------------------------- stencil --
+  const int iters = o.quick ? 20 : 100;
+  std::vector<int> rank_ladder = o.quick ? std::vector<int>{4, 8}
+                                         : std::vector<int>{4, 8, 16};
+  if (o.ranks > 0) rank_ladder = {o.ranks};
+
+  std::printf("=== Conduit stencil: 3D halo exchange, %d iterations, "
+              "4 KB faces ===\n\n", iters);
+  std::printf("   %-8s %6s %14s %12s %12s\n", "config", "ranks", "iters/s",
+              "exch p50 us", "exch p99 us");
+
+  std::string stencil_json;
+  for (const ModeConfig& mc : modes) {
+    std::vector<workload::WorkloadSpec> specs;
+    for (int ranks : rank_ladder) {
+      workload::WorkloadSpec ws;
+      ws.pattern = workload::PatternKind::kStencil;
+      ws.ranks = ranks;
+      ws.bytes = 4096;
+      ws.msgs_per_sender = iters;
+      ws.seed = o.seed;
+      specs.push_back(ws);
+    }
+    std::vector<std::function<workload::WorkloadResult()>> tasks;
+    for (const workload::WorkloadSpec& ws : specs) {
+      tasks.emplace_back([ws, &mc] { return run_point(ws, mc.mode); });
+    }
+    const std::vector<workload::WorkloadResult> results =
+        runner.run(std::move(tasks));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const workload::WorkloadResult& r = results[i];
+      if (!r.complete) {
+        std::printf("   %-8s %6d  FAILED: %s\n", mc.name, specs[i].ranks,
+                    r.failure.c_str());
+        rc = 1;
+      } else {
+        std::printf("   %-8s %6d %14.1f %12.3f %12.3f\n", mc.name,
+                    specs[i].ranks,
+                    per_sec(static_cast<std::uint64_t>(iters), r.span),
+                    us(r.percentile_ps(50)), us(r.percentile_ps(99)));
+      }
+      if (!stencil_json.empty()) stencil_json += ",\n";
+      stencil_json += "    " +
+                      point_json(mc.name, specs[i], r,
+                                 per_sec(static_cast<std::uint64_t>(iters),
+                                         r.span),
+                                 "iters_per_sec");
+    }
+  }
+  std::printf("\n");
+
+  // --------------------------------------------------------------- kv --
+  const int kv_ranks = 8;
+  const int kv_ops = o.quick ? 100 : 400;
+  std::vector<int> windows = o.quick ? std::vector<int>{1, 4}
+                                     : std::vector<int>{1, 2, 4, 8};
+  if (o.outstanding > 0) windows = {o.outstanding};
+
+  std::printf("=== Conduit KV: %d clients -> %d servers, %d ops/client, "
+              "64 B values ===\n\n",
+              kv_ranks - 2, 2, kv_ops);
+  std::printf("   %-8s %11s %14s %12s %12s\n", "config", "outstanding",
+              "ops/s", "rtt p50 us", "rtt p99 us");
+
+  std::string kv_json;
+  for (const ModeConfig& mc : modes) {
+    std::vector<workload::WorkloadSpec> specs;
+    for (int w : windows) {
+      workload::WorkloadSpec ws;
+      ws.pattern = workload::PatternKind::kKv;
+      ws.ranks = kv_ranks;
+      ws.bytes = 64;
+      ws.msgs_per_sender = kv_ops;
+      ws.outstanding = w;
+      ws.seed = o.seed;
+      specs.push_back(ws);
+    }
+    std::vector<std::function<workload::WorkloadResult()>> tasks;
+    for (const workload::WorkloadSpec& ws : specs) {
+      tasks.emplace_back([ws, &mc] { return run_point(ws, mc.mode); });
+    }
+    const std::vector<workload::WorkloadResult> results =
+        runner.run(std::move(tasks));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const workload::WorkloadResult& r = results[i];
+      if (!r.complete) {
+        std::printf("   %-8s %11d  FAILED: %s\n", mc.name,
+                    specs[i].outstanding, r.failure.c_str());
+        rc = 1;
+      } else {
+        std::printf("   %-8s %11d %14.1f %12.3f %12.3f\n", mc.name,
+                    specs[i].outstanding, per_sec(r.delivered, r.span),
+                    us(r.percentile_ps(50)), us(r.percentile_ps(99)));
+      }
+      if (!kv_json.empty()) kv_json += ",\n";
+      kv_json += "    " + point_json(mc.name, specs[i], r,
+                                     per_sec(r.delivered, r.span),
+                                     "ops_per_sec");
+    }
+  }
+  std::printf("\n%s\n", rc == 0 ? "CONDUIT BENCH PASSED"
+                                : "CONDUIT BENCH FAILED");
+
+  if (!o.json_path.empty()) {
+    const std::string json = sim::strf(
+        "{\n  \"bench\": \"conduit\",\n  \"git\": \"%s\",\n"
+        "  \"kv\": [\n%s\n  ],\n  \"quick\": %s,\n  \"seed\": %llu,\n"
+        "  \"stencil\": [\n%s\n  ]\n}\n",
+        harness::git_describe(), kv_json.c_str(),
+        o.quick ? "true" : "false",
+        static_cast<unsigned long long>(o.seed), stencil_json.c_str());
+    if (!harness::write_text_file(o.json_path, json)) return 1;
+  }
+  return rc;
+}

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "conduit/selftest.hpp"
 #include "harness/netpipe_bench.hpp"
 #include "harness/options.hpp"
 #include "harness/scenario.hpp"
@@ -267,6 +268,47 @@ int main(int argc, char** argv) {
   std::printf("   results verified on every rank, both backends: %s\n\n",
               ar_sim.ok && ar_live.ok ? "yes" : "NO");
 
+  // ---- conduit AM/put/get, both backends -----------------------------
+  // Same one-sided script (put fan-out, get round trips, an AM ring) on
+  // the simulated fabric and on live UDP; per-rank checksums over every
+  // verified byte must match each other AND the locally computed
+  // expectation.
+  const int cd_ranks = 4;
+  const std::vector<std::uint64_t> cd_exp =
+      conduit::xval_expect(cd_ranks, o.seed);
+  const conduit::XvalResult cd_sim = conduit::xval_sim(cd_ranks, o.seed);
+  const conduit::XvalResult cd_live = conduit::xval_live(cd_ranks, o.seed);
+  bool cd_same = cd_sim.ok && cd_live.ok;
+  for (int r = 0; r < cd_ranks; ++r) {
+    const std::size_t u = static_cast<std::size_t>(r);
+    if (cd_sim.sum[u] != cd_exp[u] || cd_live.sum[u] != cd_exp[u]) {
+      cd_same = false;
+    }
+  }
+  ok = ok && cd_same;
+  std::printf("-- conduit one-sided script, %d ranks (AM ring + put/get "
+              "round trips)\n", cd_ranks);
+  std::printf("   %4s %18s %18s %18s\n", "rank", "expected", "sim",
+              "udp-live");
+  std::string cd_json;
+  for (int r = 0; r < cd_ranks; ++r) {
+    const std::size_t u = static_cast<std::size_t>(r);
+    std::printf("   %4d   %016llx   %016llx   %016llx\n", r,
+                static_cast<unsigned long long>(cd_exp[u]),
+                static_cast<unsigned long long>(cd_sim.sum[u]),
+                static_cast<unsigned long long>(cd_live.sum[u]));
+    cd_json += sim::strf("%s\"%016llx\"", r == 0 ? "" : ", ",
+                         static_cast<unsigned long long>(cd_sim.sum[u]));
+  }
+  if (!cd_sim.failure.empty()) {
+    std::printf("   sim: %s\n", cd_sim.failure.c_str());
+  }
+  if (!cd_live.failure.empty()) {
+    std::printf("   live: %s\n", cd_live.failure.c_str());
+  }
+  std::printf("   checksums byte-identical across backends: %s\n\n",
+              cd_same ? "yes" : "NO");
+
   // ---- acceptance soak: >=100k live messages under injected drops ----
   const std::size_t soak_bytes = 512;
   const int soak_iters = o.quick ? 2000 : 30000;
@@ -307,6 +349,8 @@ int main(int argc, char** argv) {
         "  \"allreduce\": {\"ranks\": %d, \"count\": %u, \"rounds\": %d, "
         "\"sim_usec_per_round\": %.3f, \"live_usec_per_round\": %.3f, "
         "\"verified\": %s},\n"
+        "  \"conduit\": {\"ranks\": %d, \"checksums\": [%s], "
+        "\"identical\": %s},\n"
         "  \"soak\": {\"bytes\": %zu, \"iters\": %d, \"drop_rate\": %.3f, "
         "\"nic_msgs\": %llu, \"datagrams_dropped\": %llu, "
         "\"retransmits\": %llu, \"crc_drops\": %llu, \"lossless\": %s}\n"
@@ -316,6 +360,7 @@ int main(int argc, char** argv) {
         ok ? "true" : "false", nopts.max_bytes, pp_json.c_str(),
         kAllreduceRanks, kAllreduceCount, rounds, ar_sim.usec_per_round,
         ar_live.usec_per_round, ar_sim.ok && ar_live.ok ? "true" : "false",
+        cd_ranks, cd_json.c_str(), cd_same ? "true" : "false",
         soak_bytes, soak_iters, soak_drop,
         static_cast<unsigned long long>(soak.total_msgs_sent),
         static_cast<unsigned long long>(soak.transport_drops),

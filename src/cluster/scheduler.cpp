@@ -11,6 +11,7 @@
 #include "sim/strf.hpp"
 #include "telemetry/metrics.hpp"
 #include "workload/detail.hpp"
+#include "workload/oneside.hpp"
 
 namespace xt::cluster {
 
@@ -48,6 +49,7 @@ struct Runner {
 
   sim::CoTask<void> dispatcher();
   sim::CoTask<void> run_job(std::size_t idx);
+  sim::CoTask<void> finish_job(std::size_t idx);
 };
 
 sim::CoTask<void> Runner::dispatcher() {
@@ -91,6 +93,17 @@ sim::CoTask<void> Runner::run_job(std::size_t idx) {
       net.set_service_class(
           nid, static_cast<std::uint8_t>(job.id % spec.vcs));
     }
+  }
+
+  if (workload::oneside::is_oneside(job.work.pattern)) {
+    // Conduit-backed app tenant: the oneside driver owns rank bodies and
+    // result folding; the job id namespaces its match bits so co-resident
+    // tenants never cross-match.
+    co_await workload::oneside::run_tenant(
+        inst, job.work, static_cast<std::uint16_t>(job.id & 0xFFFF),
+        &res.nodes, &res.work);
+    co_await finish_job(idx);
+    co_return;
   }
 
   const wd::Plan plan = wd::build_plan(job.work);
@@ -137,6 +150,15 @@ sim::CoTask<void> Runner::run_job(std::size_t idx) {
   while (remaining > 0) co_await join.wait();
 
   res.work = wd::gather_result(st, ctx, plan, inst.machine().first_panic());
+  co_await finish_job(idx);
+}
+
+/// Shared job epilogue: stamp the end time, record job.jN.* metrics,
+/// release the allocation and wake the dispatcher.
+sim::CoTask<void> Runner::finish_job(std::size_t idx) {
+  const JobSpec& job = spec.jobs[idx];
+  JobResult& res = results[idx];
+  sim::Engine& eng = inst.engine();
   res.end = eng.now();
 
   telemetry::MetricsRegistry& reg = eng.metrics();
@@ -155,6 +177,7 @@ sim::CoTask<void> Runner::run_job(std::size_t idx) {
   alloc.release(res.nodes);
   ++done_jobs;
   cv.notify_all();
+  co_return;
 }
 
 }  // namespace

@@ -1,0 +1,494 @@
+#include "conduit/conduit.hpp"
+
+#include <cassert>
+
+#include "sim/strf.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xt::conduit {
+
+using ptl::AckReq;
+using ptl::Event;
+using ptl::EventType;
+using ptl::InsPos;
+using ptl::MdDesc;
+using ptl::ProcessId;
+using ptl::PTL_OK;
+using ptl::Unlink;
+using sim::CoTask;
+using sim::Time;
+
+namespace {
+
+/// Match-bits layout: [63:48] context | [47:32] namespace | [31:16] src
+/// rank | [15:0] kind (1 request, 2 reply, 0xFF segment).
+constexpr std::uint64_t kCtx = 0x434Eull << 48;  // "CN"
+constexpr std::uint64_t kKindRequest = 1;
+constexpr std::uint64_t kKindReply = 2;
+constexpr std::uint64_t kKindSegment = 0xFF;
+
+/// AM hdr_data layout: [63:32] token | [31:24] handler | [23:0] immediate.
+constexpr std::uint32_t kImmMask = 0xFFFFFFu;
+/// Reply immediate for a request naming an empty handler slot.
+constexpr std::uint32_t kImmBadHandler = 0xFFFFFFu;
+
+/// user_ptr spaces: ops below kSlotBase, AM slots at kSlotBase + index,
+/// the segment MD at kSegUp.
+constexpr std::uint64_t kSlotBase = 1ull << 48;
+constexpr std::uint64_t kSegUp = 2ull << 48;
+
+/// Payloads at or below this count as "short" AMs in telemetry.
+constexpr std::size_t kShortMax = 64;
+
+}  // namespace
+
+Conduit::Conduit(host::Process& proc, std::vector<ptl::ProcessId> peers,
+                 int rank, Config cfg)
+    : proc_(proc),
+      api_(proc.api()),
+      peers_(std::move(peers)),
+      rank_(rank),
+      cfg_(cfg),
+      wake_(proc.node().engine()) {
+  assert(rank_ >= 0 && rank_ < static_cast<int>(peers_.size()));
+}
+
+Conduit::~Conduit() = default;
+
+std::uint64_t Conduit::am_bits(int src_rank, bool request) const {
+  return kCtx | (static_cast<std::uint64_t>(cfg_.ns) << 32) |
+         (static_cast<std::uint64_t>(src_rank & 0xFFFF) << 16) |
+         (request ? kKindRequest : kKindReply);
+}
+
+std::uint64_t Conduit::seg_bits() const {
+  return kCtx | (static_cast<std::uint64_t>(cfg_.ns) << 32) | kKindSegment;
+}
+
+CoTask<int> Conduit::init() {
+  auto eq = co_await api_.PtlEQAlloc(cfg_.eq_depth);
+  if (eq.rc != PTL_OK) co_return eq.rc;
+  eq_ = eq.value;
+  handlers_.resize(cfg_.handler_slots);
+  credit_.assign(peers_.size(), cfg_.credits);
+
+  const int rc = co_await setup_segment();
+  if (rc != PTL_OK) co_return rc;
+
+  // Pre-posted AM slots: `credits` request + `credits` reply buffers per
+  // peer, each good for exactly one message.
+  if (cfg_.credits > 0) {
+    for (int p = 0; p < size(); ++p) {
+      if (p == rank_) continue;
+      for (int c = 0; c < cfg_.credits; ++c) {
+        for (const bool request : {true, false}) {
+          Slot s;
+          s.buf = proc_.alloc(std::max<std::uint32_t>(cfg_.am_medium_max, 1));
+          s.peer = p;
+          s.request = request;
+          slots_.push_back(s);
+          const int src = co_await post_slot(slots_.size() - 1);
+          if (src != PTL_OK) co_return src;
+        }
+      }
+    }
+  }
+
+  auto& reg = proc_.node().engine().metrics();
+  const std::string prefix = sim::strf("conduit.n%u.", proc_.nid());
+  m_am_short_ = &reg.counter(prefix + "am_short");
+  m_am_medium_ = &reg.counter(prefix + "am_medium");
+  m_replies_ = &reg.counter(prefix + "replies");
+  m_puts_ = &reg.counter(prefix + "puts");
+  m_gets_ = &reg.counter(prefix + "gets");
+  m_stalled_ = &reg.counter(prefix + "credits_stalled");
+  inited_ = true;
+  co_return PTL_OK;
+}
+
+CoTask<int> Conduit::setup_segment() {
+  if (cfg_.segment_bytes == 0) co_return PTL_OK;
+  seg_base_ = proc_.alloc(cfg_.segment_bytes);
+
+  // Deposit counting: prefer a firmware counting event (zero host events
+  // per remote put); PtlCTAlloc failing is the generic-bridge signal to
+  // fall back to host-side kPutEnd counting.
+  if (cfg_.count_deposits) {
+    auto ct = co_await api_.PtlCTAlloc();
+    if (ct.rc == PTL_OK) seg_ct_ = ct.value;
+  }
+
+  auto me = co_await api_.PtlMEAttach(
+      kPtSeg, ProcessId{ptl::kNidAny, ptl::kPidAny}, seg_bits(), 0,
+      Unlink::kRetain, InsPos::kAfter);
+  if (me.rc != PTL_OK) co_return me.rc;
+  MdDesc d;
+  d.start = seg_base_;
+  d.length = cfg_.segment_bytes;
+  // MANAGE_REMOTE is what makes this a one-sided segment: the
+  // *initiator's* offset addresses the deposit.  Without it the library
+  // would stream deposits at its own advancing local offset and the
+  // segment would fill after segment_bytes of traffic.
+  d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_OP_GET |
+              ptl::PTL_MD_MANAGE_REMOTE;
+  d.threshold = ptl::PTL_MD_THRESH_INF;
+  d.user_ptr = kSegUp;
+  if (seg_ct_.valid()) {
+    d.options |= ptl::PTL_MD_EVENT_CT_PUT;
+    d.ct = seg_ct_;
+    d.eq = ptl::kEqNone;
+  } else if (cfg_.count_deposits) {
+    d.eq = eq_;
+  } else {
+    d.eq = ptl::kEqNone;  // fully passive target (KV server segments)
+  }
+  auto md = co_await api_.PtlMDAttach(me.value, d, Unlink::kRetain);
+  co_return md.rc;
+}
+
+CoTask<int> Conduit::post_slot(std::size_t idx) {
+  const Slot& s = slots_[idx];
+  auto me = co_await api_.PtlMEAttach(
+      kPtAm, peers_[static_cast<std::size_t>(s.peer)],
+      am_bits(s.peer, s.request), 0, Unlink::kUnlink, InsPos::kAfter);
+  if (me.rc != PTL_OK) co_return me.rc;
+  MdDesc d;
+  d.start = s.buf;
+  d.length = cfg_.am_medium_max;
+  d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_TRUNCATE;
+  d.threshold = 1;
+  d.eq = eq_;
+  d.user_ptr = kSlotBase + idx;
+  auto md = co_await api_.PtlMDAttach(me.value, d, Unlink::kUnlink);
+  co_return md.rc;
+}
+
+std::uint64_t Conduit::take_stage() {
+  if (!stage_pool_.empty()) {
+    const std::uint64_t s = stage_pool_.back();
+    stage_pool_.pop_back();
+    return s;
+  }
+  // The simulated address space is a bump allocator with no free, so AM
+  // staging buffers are pooled and recycled at SEND_END.
+  return proc_.alloc(std::max<std::uint32_t>(cfg_.am_medium_max, 1));
+}
+
+CoTask<void> Conduit::copy_out(std::uint64_t src, std::size_t n,
+                               std::vector<std::byte>& out) {
+  out.resize(n);
+  if (n > 0) {
+    co_await proc_.node().cpu().run(
+        Time::for_bytes(n, proc_.node().config().host_memcpy_rate));
+    proc_.read_bytes(src, out);
+  }
+}
+
+CoTask<int> Conduit::progress_once() {
+  auto r = co_await api_.PtlEQGet(eq_);
+  if (r.rc == ptl::PTL_EQ_EMPTY) {
+    if (eq_waiter_) {
+      // Someone else is parked on the event queue; park on the conduit
+      // wakeup queue instead and recheck our predicate when anything
+      // changes (every dispatch notifies).
+      co_await wake_.wait();
+      co_return 0;
+    }
+    ptl::EventQueue* q = api_.bridge().library().eq_object(eq_);
+    if (q == nullptr) co_return ptl::PTL_EQ_INVALID;
+    eq_waiter_ = true;
+    co_await q->waiters().wait();
+    eq_waiter_ = false;
+    wake_.notify_all();  // new events: let every blocked caller retry
+    co_return 0;
+  }
+  if (r.rc != PTL_OK && r.rc != ptl::PTL_EQ_DROPPED) co_return r.rc;
+  co_await dispatch(r.value);
+  wake_.notify_all();  // dispatch may have satisfied any waiter's predicate
+  if (eq_waiter_) {
+    // The designated EQ waiter parks on the *library's* waiter queue, which
+    // only event arrival notifies — but this dispatch may have satisfied
+    // its predicate too (returned its credit, resolved its token).  Kick it
+    // so it re-checks; a spurious wakeup just re-parks.
+    ptl::EventQueue* q = api_.bridge().library().eq_object(eq_);
+    if (q != nullptr) q->waiters().notify_all();
+  }
+  co_return 1;
+}
+
+CoTask<void> Conduit::dispatch(const Event& ev) {
+  // Segment deposits (host-counted mode).
+  if (ev.user_ptr == kSegUp) {
+    if (ev.type == EventType::kPutEnd && ev.ni_fail == ptl::PTL_NI_OK) {
+      ++seg_deposits_;
+    }
+    co_return;
+  }
+
+  // AM slot events.
+  if (ev.user_ptr >= kSlotBase) {
+    const std::size_t idx = static_cast<std::size_t>(ev.user_ptr - kSlotBase);
+    if (ev.type != EventType::kPutEnd) co_return;  // START / UNLINK
+    const Slot slot = slots_[idx];
+    if (slot.request) {
+      co_await handle_request(idx, ev);
+      co_return;
+    }
+    // Reply landed: copy it out, recycle the slot, return the credit and
+    // resolve the requester's token.
+    const std::uint64_t token = ev.hdr_data >> 32;
+    const auto imm = static_cast<std::uint32_t>(ev.hdr_data & kImmMask);
+    std::vector<std::byte> payload;
+    co_await copy_out(slot.buf + ev.offset,
+                      static_cast<std::size_t>(ev.mlength), payload);
+    (void)co_await post_slot(idx);
+    ++credit_[static_cast<std::size_t>(slot.peer)];
+    auto it = pending_.find(token);
+    if (it != pending_.end()) {
+      if (it->second.reply != nullptr) {
+        it->second.reply->imm = imm;
+        it->second.reply->payload = std::move(payload);
+      }
+      it->second.done = true;
+    }
+    co_return;
+  }
+
+  // One-sided / AM-send op events.
+  auto it = ops_.find(ev.user_ptr);
+  if (it == ops_.end()) co_return;
+  Op& op = it->second;
+  switch (ev.type) {
+    case EventType::kSendEnd:
+      if (op.kind == Op::Kind::kAmSend) {
+        stage_pool_.push_back(op.stage);
+        ops_.erase(it);
+      } else if (op.kind == Op::Kind::kPut) {
+        if (op.local != nullptr) --op.local->pending;
+        if (op.remote == nullptr) ops_.erase(it);  // no ack coming
+      }
+      break;
+    case EventType::kAck:
+      if (op.kind == Op::Kind::kPut) {
+        if (op.remote != nullptr) --op.remote->pending;
+        ops_.erase(it);
+      }
+      break;
+    case EventType::kReplyEnd:
+      if (op.kind == Op::Kind::kGet) {
+        if (op.local != nullptr) --op.local->pending;
+        ops_.erase(it);
+      }
+      break;
+    default:
+      break;  // START events: nothing to do
+  }
+}
+
+CoTask<void> Conduit::handle_request(std::size_t idx, const Event& ev) {
+  const Slot slot = slots_[idx];
+  AmArgs args;
+  args.src = slot.peer;
+  args.token = ev.hdr_data >> 32;
+  args.handler = static_cast<std::uint8_t>((ev.hdr_data >> 24) & 0xFF);
+  args.imm = static_cast<std::uint32_t>(ev.hdr_data & kImmMask);
+  co_await copy_out(slot.buf + ev.offset,
+                    static_cast<std::size_t>(ev.mlength), args.payload);
+  // Repost after the copy but before the handler or reply: the peer can
+  // only reuse this credit once the reply lands, so its window can never
+  // outrun the pre-posted slots.
+  (void)co_await post_slot(idx);
+  if (args.handler >= handlers_.size() || !handlers_[args.handler]) {
+    (void)co_await am_reply(args, {}, kImmBadHandler);
+    co_return;
+  }
+  co_await handlers_[args.handler](*this, args);
+  if (!args.replied) {
+    (void)co_await am_reply(args, {});  // implicit: always resolve the token
+  }
+}
+
+CoTask<int> Conduit::send_am(int dst, std::uint64_t hdr, bool request,
+                             std::span<const std::byte> payload) {
+  const std::uint64_t stage = take_stage();
+  if (!payload.empty()) {
+    co_await proc_.node().cpu().run(Time::for_bytes(
+        payload.size(), proc_.node().config().host_memcpy_rate));
+    proc_.write_bytes(stage, payload);
+  }
+  const std::uint64_t id = next_op_++;
+  Op op;
+  op.kind = Op::Kind::kAmSend;
+  op.stage = stage;
+  ops_.emplace(id, op);
+  MdDesc d;
+  d.start = stage;
+  d.length = static_cast<std::uint32_t>(payload.size());
+  d.threshold = 1;
+  d.eq = eq_;
+  d.user_ptr = id;
+  auto md = co_await api_.PtlMDBind(d, Unlink::kUnlink);
+  if (md.rc != PTL_OK) {
+    ops_.erase(id);
+    stage_pool_.push_back(stage);
+    co_return md.rc;
+  }
+  co_return co_await api_.PtlPut(md.value, AckReq::kNone,
+                                 peers_[static_cast<std::size_t>(dst)], kPtAm,
+                                 0, am_bits(rank_, request), 0, hdr);
+}
+
+int Conduit::set_handler(std::size_t slot, Handler h) {
+  if (slot >= handlers_.size()) return ptl::PTL_FAIL;
+  handlers_[slot] = std::move(h);
+  return PTL_OK;
+}
+
+CoTask<int> Conduit::am_request(int dst, std::uint8_t handler,
+                                std::span<const std::byte> payload,
+                                std::uint32_t imm, AmReply* reply) {
+  assert(inited_);
+  if (dst < 0 || dst >= size() || dst == rank_) co_return ptl::PTL_FAIL;
+  if (cfg_.credits <= 0) co_return ptl::PTL_FAIL;
+  if (payload.size() > cfg_.am_medium_max) co_return ptl::PTL_SEGV;
+
+  auto& credit = credit_[static_cast<std::size_t>(dst)];
+  if (credit <= 0) {
+    ++counters_.credits_stalled;
+    if (m_stalled_ != nullptr) m_stalled_->add();
+    while (credit <= 0) (void)co_await progress_once();
+  }
+  --credit;
+
+  if (payload.size() <= kShortMax) {
+    ++counters_.am_short;
+    if (m_am_short_ != nullptr) m_am_short_->add();
+  } else {
+    ++counters_.am_medium;
+    if (m_am_medium_ != nullptr) m_am_medium_->add();
+  }
+
+  const std::uint64_t token = next_token_++;
+  auto& pr = pending_[token];  // reference stays valid across rehash
+  pr.done = false;
+  pr.reply = reply;
+  const std::uint64_t hdr = (token << 32) |
+                            (static_cast<std::uint64_t>(handler) << 24) |
+                            (imm & kImmMask);
+  const int rc = co_await send_am(dst, hdr, /*request=*/true, payload);
+  if (rc != PTL_OK) {
+    pending_.erase(token);
+    ++credit;
+    co_return rc;
+  }
+  while (!pr.done) (void)co_await progress_once();
+  pending_.erase(token);
+  co_return PTL_OK;
+}
+
+CoTask<int> Conduit::am_reply(AmArgs& req, std::span<const std::byte> payload,
+                              std::uint32_t imm) {
+  if (req.replied) co_return ptl::PTL_FAIL;
+  if (payload.size() > cfg_.am_medium_max) co_return ptl::PTL_SEGV;
+  req.replied = true;
+  ++counters_.replies;
+  if (m_replies_ != nullptr) m_replies_->add();
+  const std::uint64_t hdr = (req.token << 32) | (imm & kImmMask);
+  co_return co_await send_am(req.src, hdr, /*request=*/false, payload);
+}
+
+CoTask<int> Conduit::put(int dst, std::uint64_t laddr, std::uint32_t len,
+                         std::uint64_t roff, Completion* local,
+                         Completion* remote) {
+  assert(inited_);
+  if (dst < 0 || dst >= size()) co_return ptl::PTL_FAIL;
+  // Overflow-safe segment range check (mirrors AddressSpace::valid): never
+  // compute roff + len.
+  const std::uint32_t seg = cfg_.peer_segment_bytes != 0
+                                ? cfg_.peer_segment_bytes
+                                : cfg_.segment_bytes;
+  if (len > seg || roff > seg - len) co_return ptl::PTL_SEGV;
+  const std::uint64_t id = next_op_++;
+  Op op;
+  op.kind = Op::Kind::kPut;
+  op.local = local;
+  op.remote = remote;
+  if (local != nullptr) ++local->pending;
+  if (remote != nullptr) ++remote->pending;
+  ops_.emplace(id, op);
+  MdDesc d;
+  d.start = laddr;
+  d.length = len;
+  d.threshold = 1;
+  d.eq = eq_;
+  d.user_ptr = id;
+  auto md = co_await api_.PtlMDBind(d, Unlink::kUnlink);
+  if (md.rc != PTL_OK) {
+    if (local != nullptr) --local->pending;
+    if (remote != nullptr) --remote->pending;
+    ops_.erase(id);
+    co_return md.rc;
+  }
+  ++counters_.puts;
+  if (m_puts_ != nullptr) m_puts_->add();
+  co_return co_await api_.PtlPut(
+      md.value, remote != nullptr ? AckReq::kAck : AckReq::kNone,
+      peers_[static_cast<std::size_t>(dst)], kPtSeg, 0, seg_bits(), roff, 0);
+}
+
+CoTask<int> Conduit::get(int dst, std::uint64_t laddr, std::uint32_t len,
+                         std::uint64_t roff, Completion* done) {
+  assert(inited_);
+  if (dst < 0 || dst >= size()) co_return ptl::PTL_FAIL;
+  const std::uint32_t seg = cfg_.peer_segment_bytes != 0
+                                ? cfg_.peer_segment_bytes
+                                : cfg_.segment_bytes;
+  if (len > seg || roff > seg - len) co_return ptl::PTL_SEGV;
+  const std::uint64_t id = next_op_++;
+  Op op;
+  op.kind = Op::Kind::kGet;
+  op.local = done;
+  if (done != nullptr) ++done->pending;
+  ops_.emplace(id, op);
+  MdDesc d;
+  d.start = laddr;
+  d.length = len;
+  d.options = ptl::PTL_MD_OP_GET;
+  d.threshold = 1;
+  d.eq = eq_;
+  d.user_ptr = id;
+  auto md = co_await api_.PtlMDBind(d, Unlink::kUnlink);
+  if (md.rc != PTL_OK) {
+    if (done != nullptr) --done->pending;
+    ops_.erase(id);
+    co_return md.rc;
+  }
+  ++counters_.gets;
+  if (m_gets_ != nullptr) m_gets_->add();
+  co_return co_await api_.PtlGet(md.value,
+                                 peers_[static_cast<std::size_t>(dst)], kPtSeg,
+                                 0, seg_bits(), roff);
+}
+
+CoTask<int> Conduit::wait(Completion& c) {
+  while (c.pending > 0) {
+    const int rc = co_await progress_once();
+    if (rc < 0) co_return rc;
+  }
+  co_return PTL_OK;
+}
+
+CoTask<int> Conduit::wait_deposits(std::uint64_t threshold) {
+  if (seg_ct_.valid()) {
+    auto r = co_await api_.PtlCTWait(seg_ct_, threshold);
+    co_return r.rc;
+  }
+  if (!cfg_.count_deposits) co_return ptl::PTL_FAIL;
+  while (seg_deposits_ < threshold) {
+    const int rc = co_await progress_once();
+    if (rc < 0) co_return rc;
+  }
+  co_return PTL_OK;
+}
+
+}  // namespace xt::conduit

@@ -1,0 +1,263 @@
+#pragma once
+
+// One-sided communication conduit over the Portals 3.3 public API.
+//
+// A thin GASNet-style layer (the axiom-evi portals-conduit is the model)
+// with three pieces:
+//
+//   * Active messages.  am_request() delivers (handler index, 24-bit
+//     immediate, payload <= am_medium_max bytes) to a peer; the peer's
+//     handler runs from whichever coroutine is progressing the conduit
+//     (GASNet polling semantics) and may am_reply() exactly once — if it
+//     does not, the conduit sends an implicit zero-byte reply so the
+//     request token always resolves.  Payloads <= 64 bytes count as
+//     "short" AMs, larger ones as "medium" (conduit.nN.am_short /
+//     am_medium counters).
+//
+//   * Flow control.  Each peer pre-posts `credits` request slots and
+//     `credits` reply slots (match entries + buffers on kPtAm, one
+//     message each).  A sender holds one credit per outstanding request
+//     and blocks (conduit.nN.credits_stalled) when the peer's window is
+//     exhausted; the credit returns with the reply.  Because a slot is
+//     reposted *before* its handler runs or its reply is sent, at most
+//     `credits` messages can ever race a slot — the match list can never
+//     be overrun and no AM is ever dropped for want of a buffer.
+//
+//   * Segment + put/get.  init() registers one remotely addressable
+//     region per rank (match entry on kPtSeg, persistent MD).  put()/
+//     get() move bytes between local virtual addresses and a peer's
+//     segment offset, with optional completion counters: local (source
+//     buffer reusable, SEND_END), remote (bytes visible at the target,
+//     Portals ack) and get completion (REPLY_END).  Offsets are range-
+//     checked overflow-safely before anything is issued (PTL_SEGV on
+//     violation), mirroring the AddressSpace::valid guard.  Deposits
+//     into the local segment are counted for neighbour-sync
+//     (wait_deposits); on accelerated bridges the count lives in a
+//     firmware counting event (PTL_MD_EVENT_CT_PUT + PtlCTWait, zero
+//     host events), on generic bridges the host pump counts kPutEnd.
+//
+// Progress is caller-driven: any coroutine blocked in wait()/
+// am_request()/wait_deposits() polls the conduit event queue and
+// dispatches what it finds, parking on the EQ's waiter queue when idle.
+// Multiple coroutines may progress concurrently (closed-loop client
+// windows); a single designated EQ-waiter plus a wakeup queue keeps the
+// rest runnable without lost-wakeup races.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "host/node.hpp"
+#include "portals/api.hpp"
+#include "sim/condition.hpp"
+#include "sim/task.hpp"
+
+namespace xt::telemetry {
+struct Counter;
+}
+
+namespace xt::conduit {
+
+/// Portal table indices (mpi owns 1-2, netpipe 3, workload/collective 0).
+inline constexpr std::uint32_t kPtAm = 5;
+inline constexpr std::uint32_t kPtSeg = 6;
+
+struct Config {
+  /// Remotely addressable bytes registered per rank (0: no segment —
+  /// put/get against this rank return PTL_SEGV).
+  std::uint32_t segment_bytes = 1u << 20;
+  /// Segment size assumed at peers for put/get range validation; 0 means
+  /// symmetric (segment_bytes).  Asymmetric deployments (KV clients with
+  /// no local segment targeting fat servers) set this explicitly; the
+  /// target library still enforces its real bounds either way.
+  std::uint32_t peer_segment_bytes = 0;
+  /// Per-peer AM request window (and pre-posted slot count, each way).
+  /// 0 disables active messages entirely — no slots are posted, which
+  /// keeps pure put/get ranks (KV servers, stencil) cheap in memory.
+  int credits = 4;
+  /// Largest AM payload (slot buffer size).
+  std::uint32_t am_medium_max = 8192;
+  /// Handler table size; set_handler() indices must be below this.
+  std::size_t handler_slots = 64;
+  /// 16-bit namespace mixed into every match pattern so concurrent
+  /// tenants (cluster jobs) sharing a NIC never cross-match.
+  std::uint16_t ns = 0;
+  /// Count deposits into the local segment so wait_deposits() works.
+  /// Off: the segment MD carries no event queue at all and remote puts
+  /// cost this rank zero host events (pure-target KV servers).
+  bool count_deposits = true;
+  std::size_t eq_depth = 8192;
+};
+
+/// Arguments a request handler receives.  `payload` is library memory
+/// (already copied out of the slot); reply at most once via am_reply().
+struct AmArgs {
+  int src = 0;
+  std::uint8_t handler = 0;
+  std::uint32_t imm = 0;  ///< 24-bit immediate from the request
+  std::vector<std::byte> payload;
+  bool replied = false;
+
+ private:
+  friend class Conduit;
+  std::uint64_t token = 0;
+};
+
+/// What am_request() hands back from the peer's reply.
+struct AmReply {
+  std::uint32_t imm = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Completion counter for one-sided transfers: pending is incremented
+/// when an op is issued against it and decremented by the completing
+/// event.  Wait with Conduit::wait().
+struct Completion {
+  int pending = 0;
+  bool done() const { return pending == 0; }
+};
+
+class Conduit {
+ public:
+  using Handler = std::function<sim::CoTask<void>(Conduit&, AmArgs&)>;
+
+  /// `peers[i]` is the Portals id of rank i; `proc` must be peers[rank].
+  Conduit(host::Process& proc, std::vector<ptl::ProcessId> peers, int rank,
+          Config cfg = {});
+  ~Conduit();
+
+  /// Allocates the EQ, registers the segment and pre-posts every AM slot.
+  /// Must complete on all ranks before traffic flows (spawn inits, then
+  /// barrier / run to quiescence).
+  sim::CoTask<int> init();
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(peers_.size()); }
+  const Config& config() const { return cfg_; }
+  host::Process& process() { return proc_; }
+  /// True when deposit counting runs in NIC firmware (counting event)
+  /// rather than host kPutEnd events.
+  bool accel_deposits() const { return seg_ct_.valid(); }
+  std::uint64_t segment_base() const { return seg_base_; }
+
+  /// Registers `h` at handler table index `slot`; PTL_FAIL when out of
+  /// range.  A request naming an empty slot gets an error reply
+  /// (imm = 0xFFFFFF) instead of wedging the sender's token.
+  int set_handler(std::size_t slot, Handler h);
+
+  /// Sends an active message and blocks until the peer's reply resolves
+  /// the token (taking one flow-control credit for the duration).
+  /// Payloads above am_medium_max are rejected with PTL_SEGV.
+  sim::CoTask<int> am_request(int dst, std::uint8_t handler,
+                              std::span<const std::byte> payload,
+                              std::uint32_t imm = 0,
+                              AmReply* reply = nullptr);
+  /// Replies to `req` from inside its handler (at most once).
+  sim::CoTask<int> am_reply(AmArgs& req, std::span<const std::byte> payload,
+                            std::uint32_t imm = 0);
+
+  /// One-sided put: len bytes from local virtual address `laddr` into
+  /// peer `dst`'s segment at offset `roff`.  `local` fires when the
+  /// source buffer is reusable, `remote` when the bytes are visible at
+  /// the target (requests a Portals ack only when non-null).
+  sim::CoTask<int> put(int dst, std::uint64_t laddr, std::uint32_t len,
+                       std::uint64_t roff, Completion* local = nullptr,
+                       Completion* remote = nullptr);
+  /// One-sided get: len bytes from peer `dst`'s segment at `roff` into
+  /// local `laddr`; `done` fires when the reply has landed.
+  sim::CoTask<int> get(int dst, std::uint64_t laddr, std::uint32_t len,
+                       std::uint64_t roff, Completion* done = nullptr);
+
+  /// Progresses the conduit until `c.pending == 0`.
+  sim::CoTask<int> wait(Completion& c);
+
+  /// Blocks until at least `threshold` puts have landed in the local
+  /// segment since init (cumulative).  PTL_FAIL when deposit counting is
+  /// disabled.
+  sim::CoTask<int> wait_deposits(std::uint64_t threshold);
+
+  struct Counters {
+    std::uint64_t am_short = 0;    ///< requests sent, payload <= 64 B
+    std::uint64_t am_medium = 0;   ///< requests sent, payload > 64 B
+    std::uint64_t replies = 0;     ///< replies sent (explicit + implicit)
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t credits_stalled = 0;  ///< am_request blocked on window
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct Slot {
+    std::uint64_t buf = 0;
+    int peer = 0;
+    bool request = false;  // request slot vs reply slot
+  };
+  struct Op {
+    enum class Kind : std::uint8_t { kPut, kGet, kAmSend };
+    Kind kind = Kind::kPut;
+    Completion* local = nullptr;
+    Completion* remote = nullptr;
+    std::uint64_t stage = 0;  // AM staging buffer, recycled at SEND_END
+  };
+  struct PendingReq {
+    bool done = false;
+    AmReply* reply = nullptr;
+  };
+
+  std::uint64_t am_bits(int src_rank, bool request) const;
+  std::uint64_t seg_bits() const;
+  sim::CoTask<int> post_slot(std::size_t idx);
+  sim::CoTask<int> setup_segment();
+  sim::CoTask<int> progress_once();
+  sim::CoTask<void> dispatch(const ptl::Event& ev);
+  sim::CoTask<void> handle_request(std::size_t idx, const ptl::Event& ev);
+  sim::CoTask<int> send_am(int dst, std::uint64_t hdr, bool request,
+                           std::span<const std::byte> payload);
+  sim::CoTask<void> copy_out(std::uint64_t src, std::size_t n,
+                             std::vector<std::byte>& out);
+  std::uint64_t take_stage();
+
+  host::Process& proc_;
+  ptl::Api& api_;
+  std::vector<ptl::ProcessId> peers_;
+  int rank_;
+  Config cfg_;
+  bool inited_ = false;
+
+  ptl::EqHandle eq_{};
+  std::vector<Slot> slots_;
+
+  // Segment.
+  std::uint64_t seg_base_ = 0;
+  ptl::CtHandle seg_ct_{};       // accel deposit counter (invalid: host)
+  std::uint64_t seg_deposits_ = 0;  // host-counted deposits
+
+  // AM state.
+  std::vector<Handler> handlers_;
+  std::vector<int> credit_;  // per-peer remaining request credits
+  std::unordered_map<std::uint64_t, PendingReq> pending_;
+  std::uint32_t next_token_ = 1;
+  std::vector<std::uint64_t> stage_pool_;  // recycled AM send buffers
+
+  // One-sided op state.
+  std::unordered_map<std::uint64_t, Op> ops_;
+  std::uint64_t next_op_ = 1;
+
+  // Progress coordination (see header comment).
+  bool eq_waiter_ = false;
+  sim::WaitQueue wake_;
+
+  Counters counters_;
+  // Registry-backed mirrors (conduit.nN.*), cached at init.
+  telemetry::Counter* m_am_short_ = nullptr;
+  telemetry::Counter* m_am_medium_ = nullptr;
+  telemetry::Counter* m_replies_ = nullptr;
+  telemetry::Counter* m_puts_ = nullptr;
+  telemetry::Counter* m_gets_ = nullptr;
+  telemetry::Counter* m_stalled_ = nullptr;
+};
+
+}  // namespace xt::conduit

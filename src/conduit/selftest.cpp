@@ -1,0 +1,292 @@
+#include "conduit/selftest.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "conduit/conduit.hpp"
+#include "host/live_cluster.hpp"
+#include "host/node.hpp"
+#include "sim/strf.hpp"
+#include "sim/task.hpp"
+
+namespace xt::conduit {
+
+namespace {
+
+using sim::CoTask;
+
+constexpr ptl::Pid kPid = 21;
+constexpr std::uint32_t kBlk = 256;   // bytes per segment block
+constexpr std::uint32_t kAmBytes = 96;
+constexpr std::size_t kHandler = 3;
+
+constexpr std::uint64_t kFnvInit = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv(std::uint64_t& h, std::span<const std::byte> bytes) {
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kFnvPrime;
+  }
+}
+
+/// Block byte i of the block rank `src` writes into rank `dst`'s segment.
+std::byte blk_byte(int src, int dst, std::uint32_t i, std::uint64_t seed) {
+  return static_cast<std::byte>(
+      (static_cast<std::uint64_t>(src) * 131 +
+       static_cast<std::uint64_t>(dst) * 29 + i * 7 + seed * 13 + 5) &
+      0xFF);
+}
+
+/// AM request payload byte i from rank `src`; the handler replies each
+/// byte incremented by one.
+std::byte am_byte(int src, std::uint32_t i, std::uint64_t seed) {
+  return static_cast<std::byte>(
+      (static_cast<std::uint64_t>(src) * 17 + i * 3 + seed + 1) & 0xFF);
+}
+
+std::uint32_t reply_imm(int src) {
+  return static_cast<std::uint32_t>(src * 7 + 9) & 0xFFFFFF;
+}
+
+Config xval_config(int ranks) {
+  Config cfg;
+  cfg.segment_bytes = static_cast<std::uint32_t>(ranks) * kBlk;
+  cfg.credits = 2;
+  cfg.count_deposits = true;
+  cfg.eq_depth = 4096;
+  return cfg;
+}
+
+/// The whole per-rank exercise; folds verified bytes into `sum` and sets
+/// `ok_out` to 1 only when every comparison passed.
+CoTask<void> rank_script(Conduit& c, int n, std::uint64_t seed,
+                         std::uint64_t& sum, std::uint8_t& ok_out) {
+  host::Process& proc = c.process();
+  const int r = c.rank();
+  bool ok = true;
+  std::uint64_t h = kFnvInit;
+  std::vector<std::byte> blk(kBlk);
+
+  // The ring AM that will arrive later can only be sent after this rank's
+  // puts have landed at its sender, so registering the handler before the
+  // first put is early enough.
+  Completion served;
+  served.pending = 1;
+  c.set_handler(kHandler, [&](Conduit& cc, AmArgs& a) -> CoTask<void> {
+    std::vector<std::byte> rep(a.payload.size());
+    for (std::size_t i = 0; i < rep.size(); ++i) {
+      rep[i] = static_cast<std::byte>(
+          (static_cast<unsigned>(a.payload[i]) + 1) & 0xFF);
+    }
+    co_await cc.am_reply(a, rep, reply_imm(a.src));
+    if (served.pending > 0) --served.pending;
+  });
+
+  // Seed the self-block peers will get.
+  for (std::uint32_t i = 0; i < kBlk; ++i) blk[i] = blk_byte(r, r, i, seed);
+  proc.write_bytes(c.segment_base() + static_cast<std::uint64_t>(r) * kBlk,
+                   blk);
+
+  // 1. Put a distinct block into every peer's segment (remote completion
+  //    = ack, so the deposit is durable before the next reuse of the
+  //    staging buffer).
+  const std::uint64_t sbuf = proc.alloc(kBlk);
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    for (std::uint32_t i = 0; i < kBlk; ++i) blk[i] = blk_byte(r, p, i, seed);
+    proc.write_bytes(sbuf, blk);
+    Completion remote;
+    if (co_await c.put(p, sbuf, kBlk, static_cast<std::uint64_t>(r) * kBlk,
+                       nullptr, &remote) != ptl::PTL_OK ||
+        co_await c.wait(remote) != ptl::PTL_OK) {
+      co_return;
+    }
+  }
+
+  // 2. Every peer deposited one block; verify them in rank order.
+  if (co_await c.wait_deposits(static_cast<std::uint64_t>(n - 1)) !=
+      ptl::PTL_OK) {
+    co_return;
+  }
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    proc.read_bytes(c.segment_base() + static_cast<std::uint64_t>(p) * kBlk,
+                    blk);
+    for (std::uint32_t i = 0; i < kBlk; ++i) {
+      if (blk[i] != blk_byte(p, r, i, seed)) ok = false;
+    }
+    fnv(h, blk);
+  }
+
+  // 3. Get round trips: the peer's self-block, then this rank's own
+  //    earlier deposit read back through remote memory.
+  const std::uint64_t gbuf = proc.alloc(kBlk);
+  for (int p = 0; p < n; ++p) {
+    if (p == r) continue;
+    const std::uint64_t offs[2] = {static_cast<std::uint64_t>(p) * kBlk,
+                                   static_cast<std::uint64_t>(r) * kBlk};
+    const int srcs[2] = {p, r};
+    for (int g = 0; g < 2; ++g) {
+      Completion done;
+      if (co_await c.get(p, gbuf, kBlk, offs[g], &done) != ptl::PTL_OK ||
+          co_await c.wait(done) != ptl::PTL_OK) {
+        co_return;
+      }
+      proc.read_bytes(gbuf, blk);
+      for (std::uint32_t i = 0; i < kBlk; ++i) {
+        if (blk[i] != blk_byte(srcs[g], p, i, seed)) ok = false;
+      }
+      fnv(h, blk);
+    }
+  }
+
+  // 4. One AM around the ring; verify the transformed reply, then pump
+  //    until this rank's own incoming request has been served.
+  std::vector<std::byte> am(kAmBytes);
+  for (std::uint32_t i = 0; i < kAmBytes; ++i) am[i] = am_byte(r, i, seed);
+  AmReply rep;
+  if (co_await c.am_request((r + 1) % n, kHandler, am,
+                            static_cast<std::uint32_t>(r), &rep) !=
+      ptl::PTL_OK) {
+    co_return;
+  }
+  if (rep.imm != reply_imm(r) || rep.payload.size() != kAmBytes) ok = false;
+  for (std::uint32_t i = 0; i < rep.payload.size() && i < kAmBytes; ++i) {
+    if (rep.payload[i] !=
+        static_cast<std::byte>((static_cast<unsigned>(am_byte(r, i, seed)) +
+                                1) & 0xFF)) {
+      ok = false;
+    }
+  }
+  fnv(h, rep.payload);
+  if (co_await c.wait(served) != ptl::PTL_OK) co_return;
+
+  sum = h;
+  ok_out = ok ? 1 : 0;
+}
+
+CoTask<void> init_one(Conduit& c, std::uint8_t& ok) {
+  ok = (co_await c.init()) == ptl::PTL_OK ? 1 : 0;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> xval_expect(int ranks, std::uint64_t seed) {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(ranks));
+  std::vector<std::byte> blk(kBlk);
+  for (int r = 0; r < ranks; ++r) {
+    std::uint64_t h = kFnvInit;
+    for (int p = 0; p < ranks; ++p) {
+      if (p == r) continue;
+      for (std::uint32_t i = 0; i < kBlk; ++i) blk[i] = blk_byte(p, r, i, seed);
+      fnv(h, blk);
+    }
+    for (int p = 0; p < ranks; ++p) {
+      if (p == r) continue;
+      for (std::uint32_t i = 0; i < kBlk; ++i) blk[i] = blk_byte(p, p, i, seed);
+      fnv(h, blk);
+      for (std::uint32_t i = 0; i < kBlk; ++i) blk[i] = blk_byte(r, p, i, seed);
+      fnv(h, blk);
+    }
+    std::vector<std::byte> rep(kAmBytes);
+    for (std::uint32_t i = 0; i < kAmBytes; ++i) {
+      rep[i] = static_cast<std::byte>(
+          (static_cast<unsigned>(am_byte(r, i, seed)) + 1) & 0xFF);
+    }
+    fnv(h, rep);
+    out[static_cast<std::size_t>(r)] = h;
+  }
+  return out;
+}
+
+XvalResult xval_sim(int ranks, std::uint64_t seed) {
+  XvalResult res;
+  res.sum.resize(static_cast<std::size_t>(ranks), 0);
+  host::Machine m(net::Shape::xt3(ranks, 1, 1));
+
+  std::vector<host::Process*> procs;
+  std::vector<ptl::ProcessId> ids;
+  for (int r = 0; r < ranks; ++r) {
+    procs.push_back(&m.node(static_cast<net::NodeId>(r)).spawn_process(kPid));
+    ids.push_back(procs.back()->id());
+  }
+  std::vector<std::unique_ptr<Conduit>> cs;
+  std::vector<std::uint8_t> inited(static_cast<std::size_t>(ranks), 0);
+  for (int r = 0; r < ranks; ++r) {
+    const std::size_t u = static_cast<std::size_t>(r);
+    cs.push_back(std::make_unique<Conduit>(*procs[u], ids, r,
+                                           xval_config(ranks)));
+    sim::spawn(init_one(*cs.back(), inited[u]));
+  }
+  m.run();
+  for (const std::uint8_t i : inited) {
+    if (i == 0) {
+      res.failure = "conduit init failed";
+      return res;
+    }
+  }
+
+  std::vector<std::uint8_t> oks(static_cast<std::size_t>(ranks), 0);
+  for (int r = 0; r < ranks; ++r) {
+    const std::size_t u = static_cast<std::size_t>(r);
+    sim::spawn(rank_script(*cs[u], ranks, seed, res.sum[u], oks[u]));
+  }
+  m.run();
+
+  res.ok = m.first_panic().empty();
+  if (!res.ok) res.failure = m.first_panic();
+  for (std::size_t u = 0; u < oks.size(); ++u) {
+    if (oks[u] == 0) {
+      res.ok = false;
+      if (res.failure.empty()) {
+        res.failure = sim::strf("rank %zu verification failed", u);
+      }
+    }
+  }
+  return res;
+}
+
+XvalResult xval_live(int ranks, std::uint64_t seed) {
+  XvalResult res;
+  res.sum.resize(static_cast<std::size_t>(ranks), 0);
+  std::vector<std::uint8_t> oks(static_cast<std::size_t>(ranks), 0);
+
+  host::LiveOptions opts;
+  opts.ranks = ranks;
+  host::LiveApp app = [&](host::LiveRank& lr) -> CoTask<void> {
+    const std::size_t u = static_cast<std::size_t>(lr.rank());
+    std::vector<ptl::ProcessId> ids;
+    for (int r = 0; r < ranks; ++r) ids.push_back(lr.peer(r));
+    Conduit c(lr.process(), ids, lr.rank(), xval_config(ranks));
+    const bool ok = (co_await c.init()) == ptl::PTL_OK;
+    co_await lr.barrier();  // always reached, or peers would hang here
+    if (ok) co_await rank_script(c, ranks, seed, res.sum[u], oks[u]);
+    // Keep the fabric up until every rank's traffic has fully landed.
+    co_await lr.barrier();
+  };
+  const auto rr = host::run_live_cluster(opts, app);
+
+  res.ok = true;
+  for (std::size_t u = 0; u < rr.size(); ++u) {
+    if (!rr[u].ok()) {
+      res.ok = false;
+      if (res.failure.empty()) {
+        res.failure = sim::strf("rank %zu failed: %s%s", u,
+                                rr[u].panic.c_str(), rr[u].error.c_str());
+      }
+    }
+  }
+  for (std::size_t u = 0; u < oks.size(); ++u) {
+    if (oks[u] == 0) {
+      res.ok = false;
+      if (res.failure.empty()) {
+        res.failure = sim::strf("rank %zu verification failed", u);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace xt::conduit

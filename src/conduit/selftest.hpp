@@ -1,0 +1,47 @@
+#pragma once
+
+// Conduit cross-validation script (bench/xval + transport conformance).
+//
+// Every rank runs the same deterministic exercise of the conduit's three
+// surfaces — put, get, active message — and folds every byte it verified
+// into an FNV-1a checksum:
+//
+//   1. each rank seeds its own segment block, then puts a distinct
+//      (src, dst)-stamped block into every peer's segment (remote
+//      completion = Portals ack);
+//   2. waits for all n-1 peer deposits, verifies them byte-for-byte;
+//   3. gets back both the peer's self-block and its own earlier deposit
+//      (a full put/get round trip through remote memory);
+//   4. sends one AM around the ring and verifies the handler's
+//      transformed reply, pumping until its own incoming request has
+//      been served.
+//
+// The script's data is a pure function of (seed, rank count), so the
+// per-rank checksums must be byte-identical across backends: run it over
+// the simulated SeaStar fabric and over live UDP loopback and compare.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xt::conduit {
+
+struct XvalResult {
+  /// Per-rank FNV-1a checksum over every verified byte, in verification
+  /// order.  Equal across backends iff the transfers were byte-identical.
+  std::vector<std::uint64_t> sum;
+  bool ok = false;
+  std::string failure;
+};
+
+/// Expected checksums, computed locally without any communication.
+std::vector<std::uint64_t> xval_expect(int ranks, std::uint64_t seed);
+
+/// Runs the script over the simulated fabric (one Machine, one process
+/// per node).
+XvalResult xval_sim(int ranks, std::uint64_t seed);
+
+/// Runs the script over live UDP loopback (one real thread per rank).
+XvalResult xval_live(int ranks, std::uint64_t seed);
+
+}  // namespace xt::conduit

@@ -21,8 +21,16 @@ const char* pattern_name(np::Pattern p) {
   return "?";
 }
 
-std::unique_ptr<np::Module> make_module(np::Transport t, host::Process& a,
-                                        host::Process& b) {
+/// Applies the bench-level rendezvous knobs to an MPI flavor.
+mpi::Flavor flavor_for(mpi::Flavor f, const np::Options& o) {
+  if (o.rndv == "push") f.rndv_proto = mpi::Flavor::RndvProto::kPush;
+  if (o.rndv == "get") f.rndv_proto = mpi::Flavor::RndvProto::kGet;
+  f.rndv_threshold = o.rndv_threshold;
+  return f;
+}
+
+std::unique_ptr<np::Module> make_module(np::Transport t, const np::Options& o,
+                                        host::Process& a, host::Process& b) {
   switch (t) {
     case np::Transport::kPut:
     case np::Transport::kPutAccel:
@@ -31,9 +39,9 @@ std::unique_ptr<np::Module> make_module(np::Transport t, host::Process& a,
     case np::Transport::kGetAccel:
       return np::make_portals_module(a, b, /*use_get=*/true);
     case np::Transport::kMpich1:
-      return np::make_mpi_module(a, b, mpi::Flavor::mpich1());
+      return np::make_mpi_module(a, b, flavor_for(mpi::Flavor::mpich1(), o));
     case np::Transport::kMpich2:
-      return np::make_mpi_module(a, b, mpi::Flavor::mpich2());
+      return np::make_mpi_module(a, b, flavor_for(mpi::Flavor::mpich2(), o));
   }
   return nullptr;
 }
@@ -57,7 +65,7 @@ std::vector<np::Sample> measure(np::Transport t, np::Pattern pattern,
                                 const np::Options& o,
                                 const ss::Config& cfg) {
   auto inst = netpipe_scenario(t, o, cfg).build();
-  auto mod = make_module(t, inst->proc(0), inst->proc(1));
+  auto mod = make_module(t, o, inst->proc(0), inst->proc(1));
   return np::run_sweep(inst->machine(), *mod, pattern, o);
 }
 
@@ -76,7 +84,7 @@ std::vector<SeriesResult> measure_series(
     c.net.seed = cfg.net.seed + i;
     tasks.push_back([t, pattern, o, c, tel] {
       auto inst = netpipe_scenario(t, o, c).with_telemetry(tel).build();
-      auto mod = make_module(t, inst->proc(0), inst->proc(1));
+      auto mod = make_module(t, o, inst->proc(0), inst->proc(1));
       SeriesResult r;
       r.name = np::transport_name(t);
       r.pattern = pattern;

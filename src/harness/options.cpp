@@ -32,6 +32,8 @@ namespace {
       "  --ranks N       workload benches: participating ranks\n"
       "  --transport T   backend under the NAL: sim (default) or udp\n"
       "                  (real rank threads over UDP loopback, wall-clock)\n"
+      "  --rndv P        MPI rendezvous protocol: get (default) or push\n"
+      "  --rndv-threshold N  MPI eager/rendezvous cutoff in bytes\n"
       "  --smoke         minimal ladder (golden-output regression runs)\n"
       "  --faults SPEC   fault plan, e.g. kinds=drop+silent,rate=0.01\n"
       "  --fault-seed N  fault plan seed\n"
@@ -120,6 +122,14 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
                      argv[0], o.transport.c_str());
         usage(argv[0], 2);
       }
+    } else if (path_flag("--rndv", argc, argv, i, &o.np.rndv)) {
+      if (o.np.rndv != "get" && o.np.rndv != "push") {
+        std::fprintf(stderr, "%s: unknown rendezvous protocol '%s' "
+                     "(get or push)\n", argv[0], o.np.rndv.c_str());
+        usage(argv[0], 2);
+      }
+    } else if (std::strcmp(arg, "--rndv-threshold") == 0 && i + 1 < argc) {
+      o.np.rndv_threshold = static_cast<std::uint32_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(arg, "--smoke") == 0) {
       o.smoke = true;
       o.quick = true;

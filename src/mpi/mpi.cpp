@@ -4,6 +4,9 @@
 
 #include <cassert>
 
+#include "sim/strf.hpp"
+#include "telemetry/metrics.hpp"
+
 namespace xt::mpi {
 
 using ptl::AckReq;
@@ -35,6 +38,16 @@ constexpr std::uint64_t kSentinelBits = kContext | 0xFF;
 
 /// user_ptr values at or above this identify unexpected slabs.
 constexpr std::uint64_t kSlabBase = 1ull << 48;
+
+/// Rendezvous match-bit spaces on kPtRndv.  The raw 31-bit token names the
+/// sender's get-exposed buffer (get protocol); kRndvCts|token is the
+/// sender's CTS catcher and kRndvData|rtoken the receiver's exposed buffer
+/// (push protocol).  RTS hdr_data carries the token in its low 32 bits
+/// with bit 31 (kRtsPushFlag) selecting the protocol, hence 31-bit tokens.
+constexpr std::uint64_t kRtsPushFlag = 0x80000000ull;
+constexpr std::uint64_t kRndvTokenMask = 0x7FFFFFFFull;
+constexpr std::uint64_t kRndvCts = 1ull << 32;
+constexpr std::uint64_t kRndvData = 2ull << 32;
 
 int bits_src(std::uint64_t bits) {
   return static_cast<int>((bits & kSrcMask) >> 32);
@@ -87,6 +100,10 @@ struct Comm::ReqState {
   ptl::MeHandle me;
   ptl::MdHandle md;
   bool armed = false;
+  // Push-rendezvous roles: a sender waiting for a CTS (buf/cap double as
+  // the send buffer), a receiver expecting the pushed payload.
+  bool push_send = false;
+  bool push_recv = false;
 };
 
 Comm::Comm(host::Process& proc, std::vector<ptl::ProcessId> ranks, int rank,
@@ -121,8 +138,31 @@ CoTask<int> Comm::init() {
     slabs_[i].buf = proc_.alloc(flavor_.ux_slab_bytes);
     co_await repost_slab(slabs_[i]);
   }
+
+  auto& reg = proc_.node().engine().metrics();
+  const std::string prefix = sim::strf("mpi.n%u.", proc_.nid());
+  g_ux_depth_ = &reg.gauge(prefix + "unexpected_depth");
+  m_rndv_ctrl_ = &reg.counter(prefix + "rndv_ctrl_msgs");
   inited_ = true;
   co_return PTL_OK;
+}
+
+void Comm::note_ux_depth() {
+  if (g_ux_depth_ != nullptr) {
+    g_ux_depth_->set(static_cast<std::int64_t>(uq_.size()));
+  }
+}
+
+void Comm::count_ctrl() {
+  ++counters_.rndv_ctrl_msgs;
+  if (m_rndv_ctrl_ != nullptr) m_rndv_ctrl_->add();
+}
+
+CoTask<void> Comm::repost_ready_slabs() {
+  if (uq_.size() >= flavor_.max_unexpected) co_return;
+  for (Slab& slab : slabs_) {
+    if (!slab.posted) co_await repost_slab(slab);
+  }
 }
 
 CoTask<void> Comm::repost_slab(Slab& slab) {
@@ -172,9 +212,12 @@ CoTask<void> Comm::dispatch(const Event& ev) {
     Slab& slab = slabs_[static_cast<std::size_t>(ev.user_ptr - kSlabBase)];
     if (ev.type == EventType::kUnlink) {
       // Slab retired (space below eager_max); every message in it has
-      // already been copied out, so it can go right back on the list.
+      // already been copied out, so it can go right back on the list —
+      // unless the unexpected queue is at its bound, in which case the
+      // slab stays retired until receives drain the queue
+      // (repost_ready_slabs).
       slab.posted = false;
-      co_await repost_slab(slab);
+      if (uq_.size() < flavor_.max_unexpected) co_await repost_slab(slab);
       co_return;
     }
     if (ev.type == EventType::kPutStart) {
@@ -185,6 +228,7 @@ CoTask<void> Comm::dispatch(const Event& ev) {
       m.src_rank = bits_src(ev.match_bits);
       m.tag = bits_tag(ev.match_bits);
       uq_.push_back(std::move(m));
+      note_ux_depth();
       co_return;
     }
     if (ev.type != EventType::kPutEnd) co_return;
@@ -200,6 +244,7 @@ CoTask<void> Comm::dispatch(const Event& ev) {
       // START was lost (EQ overflow); degrade gracefully with a fresh
       // entry at the tail.
       uq_.push_back(UxMsg{});
+      note_ux_depth();
       m = &uq_.back();
       m->link = ev.link;
       m->src_rank = bits_src(ev.match_bits);
@@ -245,7 +290,43 @@ CoTask<void> Comm::dispatch(const Event& ev) {
         st.status.len = ev.mlength;
       }
       break;
+    case EventType::kAck:
+      if (st.kind == ReqState::Kind::kSendRndv && st.push_send) {
+        // Push payload acknowledged end-to-end: the transfer is done.
+        st.done = true;
+        st.status.len = ev.mlength;
+      }
+      break;
     case EventType::kPutEnd:
+      if (st.kind == ReqState::Kind::kSendRndv && st.push_send) {
+        // CTS: the receiver exposed (rtoken, send_len).  Push the payload
+        // with an end-to-end ack; completion is the ACK event above.
+        const std::uint64_t rtoken = ev.hdr_data >> 32;
+        const auto send_len = static_cast<std::uint32_t>(ev.hdr_data);
+        MdDesc d;
+        d.start = st.buf;
+        d.length = st.cap;
+        d.threshold = 1;
+        d.eq = eq_;
+        d.user_ptr = st.id;
+        auto md = co_await api_.PtlMDBind(d, Unlink::kUnlink);
+        (void)co_await api_.PtlPutRegion(md.value, 0, send_len, AckReq::kAck,
+                                         ev.initiator, kPtRndv, 0,
+                                         kRndvData | rtoken, 0, 0);
+        break;
+      }
+      if (st.kind == ReqState::Kind::kRecv && st.push_recv &&
+          ev.hdr_data == 0) {
+        // Pushed rendezvous payload landed in the user buffer.  Source and
+        // tag were already filled in from the RTS — the payload's match
+        // bits are just the rtoken.  The ack the NI returns is the push
+        // protocol's third control leg; count it here, where it is issued.
+        count_ctrl();
+        ++counters_.expected_recvs;
+        st.status.len = ev.mlength;
+        st.done = true;
+        break;
+      }
       if (st.kind == ReqState::Kind::kRecv) {
         if (ev.hdr_data != 0) {
           // Rendezvous RTS landed in the posted receive: pull the payload.
@@ -253,8 +334,8 @@ CoTask<void> Comm::dispatch(const Event& ev) {
           st.status.source = bits_src(ev.match_bits);
           st.status.tag = bits_tag(ev.match_bits);
           st.status.truncated = full > st.cap;
-          co_await start_rndv_get(st, ev.initiator,
-                                  ev.hdr_data & 0xFFFFFFFFull);
+          co_await start_rndv(st, ev.initiator, ev.hdr_data & 0xFFFFFFFFull,
+                              full);
         } else {
           ++counters_.expected_recvs;
           st.status.source = bits_src(ev.match_bits);
@@ -298,6 +379,7 @@ CoTask<void> Comm::match_armed() {
       // one for the next receive.
       r.msg->ready = true;
       uq_.push_front(std::move(*r.msg));
+      note_ux_depth();
       continue;
     }
     st.armed = false;
@@ -317,17 +399,21 @@ Comm::UxLookup Comm::ux_lookup(int src, int tag) {
     }
     r.msg = std::make_unique<UxMsg>(std::move(*it));
     uq_.erase(it);
+    note_ux_depth();
     return r;
   }
   return {};
 }
 
 CoTask<void> Comm::consume_ux(ReqState& st, std::unique_ptr<UxMsg> m) {
+  // Every dequeue funnels through here: if the bound had retired slabs,
+  // bring them back now that the queue has shrunk.
+  co_await repost_ready_slabs();
   st.status.source = m->src_rank;
   st.status.tag = m->tag;
   st.status.truncated = m->len > st.cap;
   if (m->rndv) {
-    co_await start_rndv_get(st, m->sender, m->rndv_bits);
+    co_await start_rndv(st, m->sender, m->rndv_bits, m->len);
     co_return;
   }
   const auto n = std::min<std::uint32_t>(
@@ -341,17 +427,55 @@ CoTask<void> Comm::consume_ux(ReqState& st, std::unique_ptr<UxMsg> m) {
   st.done = true;
 }
 
-CoTask<void> Comm::start_rndv_get(ReqState& st, ProcessId sender,
-                                  std::uint64_t rndv_bits) {
+CoTask<void> Comm::start_rndv(ReqState& st, ProcessId sender,
+                              std::uint64_t token_field,
+                              std::uint32_t full_len) {
+  const std::uint64_t token = token_field & kRndvTokenMask;
+  if ((token_field & kRtsPushFlag) == 0) {
+    // Get protocol: pull the payload straight out of the sender's exposed
+    // buffer.  The get request is the only control leg on this side.
+    MdDesc d;
+    d.start = st.buf;
+    d.length = st.cap;
+    d.options = ptl::PTL_MD_OP_GET;
+    d.threshold = 1;
+    d.eq = eq_;
+    d.user_ptr = st.id;
+    auto md = co_await api_.PtlMDBind(d, Unlink::kUnlink);
+    count_ctrl();
+    (void)co_await api_.PtlGet(md.value, sender, kPtRndv, 0, token, 0);
+    co_return;
+  }
+
+  // Push protocol: expose the user buffer under a fresh token, then tell
+  // the sender where to put with a zero-byte CTS carrying
+  // (rtoken << 32 | send length).
+  st.push_recv = true;
+  const std::uint64_t rtoken = next_rndv_++ & kRndvTokenMask;
+  const std::uint32_t send_len = std::min(st.cap, full_len);
+  auto me = co_await api_.PtlMEAttach(kPtRndv,
+                                      ProcessId{ptl::kNidAny, ptl::kPidAny},
+                                      kRndvData | rtoken, 0, Unlink::kUnlink,
+                                      InsPos::kAfter);
   MdDesc d;
   d.start = st.buf;
-  d.length = st.cap;
-  d.options = ptl::PTL_MD_OP_GET;
+  d.length = send_len;
+  d.options = ptl::PTL_MD_OP_PUT;
   d.threshold = 1;
   d.eq = eq_;
   d.user_ptr = st.id;
-  auto md = co_await api_.PtlMDBind(d, Unlink::kUnlink);
-  (void)co_await api_.PtlGet(md.value, sender, kPtRndv, 0, rndv_bits, 0);
+  (void)co_await api_.PtlMDAttach(me.value, d, Unlink::kUnlink);
+
+  MdDesc cts;
+  cts.start = 0;
+  cts.length = 0;
+  cts.threshold = 1;
+  cts.eq = ptl::kEqNone;  // CTS completion is uninteresting
+  auto cts_md = co_await api_.PtlMDBind(cts, Unlink::kUnlink);
+  count_ctrl();
+  (void)co_await api_.PtlPut(
+      cts_md.value, AckReq::kNone, sender, kPtRndv, 0, kRndvCts | token, 0,
+      (rtoken << 32) | send_len);
 }
 
 CoTask<int> Comm::isend(std::uint64_t buf, std::uint32_t len, int dst,
@@ -364,7 +488,7 @@ CoTask<int> Comm::isend(std::uint64_t buf, std::uint32_t len, int dst,
   req->id = id;
   req->done = false;
 
-  if (len <= flavor_.eager_max) {
+  if (len <= flavor_.eager_cutoff()) {
     st->kind = ReqState::Kind::kSendEager;
     MdDesc d;
     d.start = buf;
@@ -381,22 +505,44 @@ CoTask<int> Comm::isend(std::uint64_t buf, std::uint32_t len, int dst,
                                    0, 0);
   }
 
-  // Rendezvous: expose the buffer, then send a zero-byte RTS whose
-  // hdr_data carries (full length << 32 | expose token).
+  // Rendezvous: stage protocol state, then send a zero-byte RTS whose
+  // hdr_data carries (full length << 32 | push flag | token).
   st->kind = ReqState::Kind::kSendRndv;
-  const std::uint64_t token = next_rndv_++ & 0xFFFFFFFFull;
-  auto me = co_await api_.PtlMEAttach(kPtRndv,
-                                      ProcessId{ptl::kNidAny, ptl::kPidAny},
-                                      token, 0, Unlink::kUnlink,
-                                      InsPos::kAfter);
-  MdDesc d;
-  d.start = buf;
-  d.length = len;
-  d.options = ptl::PTL_MD_OP_GET;
-  d.threshold = 1;
-  d.eq = eq_;
-  d.user_ptr = id;
-  (void)co_await api_.PtlMDAttach(me.value, d, Unlink::kUnlink);
+  const bool push = flavor_.rndv_proto == Flavor::RndvProto::kPush;
+  const std::uint64_t token = next_rndv_++ & kRndvTokenMask;
+  std::uint64_t hdr = (static_cast<std::uint64_t>(len) << 32) | token;
+  if (push) {
+    // Push protocol: catch the CTS under kRndvCts|token; the payload put
+    // happens in dispatch() when it lands.
+    st->push_send = true;
+    st->buf = buf;
+    st->cap = len;
+    hdr |= kRtsPushFlag;
+    auto me = co_await api_.PtlMEAttach(
+        kPtRndv, ProcessId{ptl::kNidAny, ptl::kPidAny}, kRndvCts | token, 0,
+        Unlink::kUnlink, InsPos::kAfter);
+    MdDesc d;
+    d.start = 0;
+    d.length = 0;
+    d.options = ptl::PTL_MD_OP_PUT;
+    d.threshold = 1;
+    d.eq = eq_;
+    d.user_ptr = id;
+    (void)co_await api_.PtlMDAttach(me.value, d, Unlink::kUnlink);
+  } else {
+    // Get protocol: expose the buffer for the receiver's get.
+    auto me = co_await api_.PtlMEAttach(
+        kPtRndv, ProcessId{ptl::kNidAny, ptl::kPidAny}, token, 0,
+        Unlink::kUnlink, InsPos::kAfter);
+    MdDesc d;
+    d.start = buf;
+    d.length = len;
+    d.options = ptl::PTL_MD_OP_GET;
+    d.threshold = 1;
+    d.eq = eq_;
+    d.user_ptr = id;
+    (void)co_await api_.PtlMDAttach(me.value, d, Unlink::kUnlink);
+  }
   reqs_.emplace(id, std::move(st));
 
   MdDesc rts;
@@ -406,10 +552,10 @@ CoTask<int> Comm::isend(std::uint64_t buf, std::uint32_t len, int dst,
   rts.eq = ptl::kEqNone;  // RTS completion is uninteresting
   auto rts_md = co_await api_.PtlMDBind(rts, Unlink::kUnlink);
   ++counters_.rndv_sent;
+  count_ctrl();
   co_return co_await api_.PtlPut(
       rts_md.value, AckReq::kNone, ranks_[static_cast<std::size_t>(dst)],
-      kPtMpi, 0, encode_bits(rank_, tag, true), 0,
-      (static_cast<std::uint64_t>(len) << 32) | token);
+      kPtMpi, 0, encode_bits(rank_, tag, true), 0, hdr);
 }
 
 CoTask<int> Comm::irecv(std::uint64_t buf, std::uint32_t len, int src,

@@ -21,14 +21,25 @@
 //     idiom: the receive MD is attached inactive and only activated by an
 //     atomic update that fails while events are pending — precisely the
 //     use case the ptl_md_update test_eq parameter exists for.
-//   * Messages above the eager threshold use rendezvous: the sender
-//     exposes its buffer under a unique match id on the rendezvous portal
-//     and sends a zero-byte RTS; the receiver PtlGets the payload straight
-//     into the user buffer.
+//   * Messages above the eager threshold use rendezvous, in one of two
+//     selectable protocols (Flavor::rndv_proto):
+//       - get (default): the sender exposes its buffer under a unique
+//         match id on the rendezvous portal and sends a zero-byte RTS;
+//         the receiver PtlGets the payload straight into the user buffer.
+//         Two protocol messages per transfer (RTS + get request; the
+//         payload rides the get reply) — no ack leg at all.
+//       - push: the classic CTS scheme for comparison.  RTS, then the
+//         receiver exposes its buffer and answers with a zero-byte CTS,
+//         then the sender puts the payload with an end-to-end ack.
+//         Three protocol messages per transfer (RTS + CTS + ack).
+//     Counters::rndv_ctrl_msgs counts the protocol legs either way, so
+//     benches can show the get protocol's message-count advantage.
+//     Flavor::rndv_threshold moves the eager/rendezvous cutoff.
 //
 // All calls are coroutines (they cost simulated time); ranks are mapped to
 // Portals ProcessIds at construction.
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -37,6 +48,11 @@
 #include "host/node.hpp"
 #include "portals/api.hpp"
 #include "sim/task.hpp"
+
+namespace xt::telemetry {
+struct Counter;
+struct Gauge;
+}  // namespace xt::telemetry
 
 namespace xt::mpi {
 
@@ -54,6 +70,23 @@ struct Flavor {
   sim::Time wait_overhead = sim::Time::ns(400);
   /// Messages larger than this use the rendezvous protocol.
   std::uint32_t eager_max = 128 * 1024;
+  /// Rendezvous protocol selector (see the header comment).
+  enum class RndvProto : std::uint8_t { kGet, kPush };
+  RndvProto rndv_proto = RndvProto::kGet;
+  /// Eager/rendezvous cutoff override; 0 defers to eager_max.  Clamped to
+  /// eager_max — the unexpected slabs size their carousel for eager_max,
+  /// so the cutoff can move down freely but never up.
+  std::uint32_t rndv_threshold = 0;
+  std::uint32_t eager_cutoff() const {
+    return rndv_threshold == 0 ? eager_max
+                               : std::min(rndv_threshold, eager_max);
+  }
+  /// Unexpected-queue bound: once this many messages are queued, retired
+  /// slabs are not reposted until receives drain the queue below the
+  /// bound.  Further eager arrivals then find no buffer and are dropped —
+  /// honest NI backpressure instead of unbounded library memory.  The
+  /// queue can overshoot by the capacity of the still-posted slabs.
+  std::size_t max_unexpected = 4096;
   /// Unexpected slab sizing.  Capacity must comfortably exceed the deepest
   /// unexpected burst the protocol can produce: a slab retires once its
   /// remaining space drops below eager_max, and an eager message arriving
@@ -203,9 +236,17 @@ class Comm {
   /// entry — only appeared after: the armed receive would otherwise wait on
   /// its posted MD forever.
   sim::CoTask<void> match_armed();
-  sim::CoTask<void> start_rndv_get(ReqState& st, ptl::ProcessId sender,
-                                   std::uint64_t rndv_bits);
+  sim::CoTask<void> start_rndv(ReqState& st, ptl::ProcessId sender,
+                               std::uint64_t token_field,
+                               std::uint32_t full_len);
   sim::CoTask<void> repost_slab(Slab& slab);
+  /// Reposts slabs deferred by the unexpected-queue bound once the queue
+  /// has drained below it.
+  sim::CoTask<void> repost_ready_slabs();
+  /// Publishes uq_.size() to the mpi.nN.unexpected_depth gauge.
+  void note_ux_depth();
+  /// Counts one rendezvous protocol leg (RTS / CTS / get request / ack).
+  void count_ctrl();
   /// Reusable collective scratch buffer.  The simulated address space is a
   /// bump allocator with no free, so per-call allocs in collectives leak
   /// address space; this caches one grow-only region instead.
@@ -237,11 +278,17 @@ class Comm {
     std::uint64_t rndv_sent = 0;
     std::uint64_t expected_recvs = 0;
     std::uint64_t unexpected_recvs = 0;
+    /// Rendezvous protocol legs, counted at whichever rank emits them:
+    /// get = RTS + get request (2/transfer); push = RTS + CTS + ack
+    /// (3/transfer).  Payload movement is never counted.
+    std::uint64_t rndv_ctrl_msgs = 0;
   };
   const Counters& counters() const { return counters_; }
 
  private:
   Counters counters_;
+  telemetry::Gauge* g_ux_depth_ = nullptr;        // mpi.nN.unexpected_depth
+  telemetry::Counter* m_rndv_ctrl_ = nullptr;     // mpi.nN.rndv_ctrl_msgs
 };
 
 }  // namespace xt::mpi

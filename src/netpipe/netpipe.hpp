@@ -40,6 +40,11 @@ struct Options {
   int min_iters = 3;
   /// Streaming window: messages in flight before synchronizing.
   int stream_window = 16;
+  /// MPI rendezvous protocol for the mpich transports: "" keeps the
+  /// flavor default (get), "get" / "push" force one.
+  std::string rndv;
+  /// MPI eager/rendezvous cutoff override in bytes (0 = flavor default).
+  std::uint32_t rndv_threshold = 0;
 };
 
 struct Sample {

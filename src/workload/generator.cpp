@@ -6,6 +6,7 @@
 #include "sim/strf.hpp"
 #include "telemetry/metrics.hpp"
 #include "workload/detail.hpp"
+#include "workload/oneside.hpp"
 
 namespace xt::workload {
 
@@ -61,6 +62,17 @@ harness::Scenario workload_scenario(const WorkloadSpec& spec,
 WorkloadResult run_workload(harness::Instance& inst,
                             const WorkloadSpec& spec) {
   assert(inst.proc_count() >= static_cast<std::size_t>(spec.ranks));
+  if (oneside::is_oneside(spec.pattern)) {
+    WorkloadResult res = oneside::run_sim(inst, spec);
+    telemetry::MetricsRegistry& reg = inst.engine().metrics();
+    reg.counter("workload.sent").add(res.sent);
+    reg.counter("workload.delivered").add(res.delivered);
+    if (reg.sampling()) {
+      telemetry::Histogram& h = reg.histogram("workload.latency_ps");
+      for (std::uint64_t v : res.latency_ps) h.record(v);
+    }
+    return res;
+  }
   detail::Plan plan = detail::build_plan(spec);
 
   detail::Ctx ctx;

@@ -1,0 +1,170 @@
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <utility>
+
+#include "sim/condition.hpp"
+#include "sim/rng.hpp"
+#include "workload/oneside.hpp"
+
+// Parameter-server / KV scenario (oneside.hpp).  Layout mirrors kRpc:
+// ranks [0, clients) are closed-loop clients, the last kv_servers()
+// ranks are pure passive segments — a kKvSlots-entry value table each,
+// no event queue, no host cycles per request.  The op stream is a pure
+// function of (spec.seed, client rank, op index): RNG streams forked in
+// client order, so runs are byte-identical across --jobs values and
+// transports.
+
+namespace xt::workload::oneside {
+
+namespace {
+
+using sim::CoTask;
+
+struct KvOp {
+  int srv = 0;
+  std::uint32_t key = 0;
+  bool get = false;
+  std::uint64_t val = 0;
+};
+
+std::uint32_t value_bytes(const WorkloadSpec& spec) {
+  return std::max<std::uint32_t>(spec.bytes, 1);
+}
+
+/// This client's op list.  Forks every client stream in order so the
+/// schedule is independent of which rank asks.
+std::vector<KvOp> kv_ops_for(const WorkloadSpec& spec, int rank) {
+  const int servers = kv_servers(spec);
+  const int clients = spec.ranks - servers;
+  sim::Rng root(spec.seed);
+  sim::Rng mine{0};
+  for (int cl = 0; cl < clients; ++cl) {
+    sim::Rng fork = root.fork();
+    if (cl == rank) mine = fork;
+  }
+  std::vector<KvOp> ops(
+      static_cast<std::size_t>(std::max(spec.msgs_per_sender, 0)));
+  for (KvOp& op : ops) {
+    op.srv = clients + static_cast<int>(
+                           mine.below(static_cast<std::uint64_t>(servers)));
+    op.key = static_cast<std::uint32_t>(mine.below(kKvSlots));
+    op.get = (mine.u64() & 1) != 0;
+    op.val = mine.u64();
+  }
+  return ops;
+}
+
+CoTask<void> with_join(CoTask<void> t, int& remaining, sim::WaitQueue& done) {
+  co_await std::move(t);
+  if (--remaining == 0) done.notify_all();
+}
+
+CoTask<void> kv_worker(conduit::Conduit& c, const WorkloadSpec& spec,
+                       const std::vector<KvOp>& ops, std::size_t w,
+                       std::size_t stride, std::vector<std::uint64_t>& lat,
+                       bool& failed) {
+  const std::uint32_t vbytes = value_bytes(spec);
+  host::Process& proc = c.process();
+  sim::Engine& eng = proc.node().engine();
+  const std::uint64_t buf = proc.alloc(vbytes);
+
+  for (std::size_t i = w; i < ops.size(); i += stride) {
+    const KvOp& op = ops[i];
+    const std::uint64_t roff =
+        static_cast<std::uint64_t>(op.key) * vbytes;
+    const sim::Time t0 = eng.now();
+    int rc = ptl::PTL_OK;
+    if (op.get) {
+      conduit::Completion done;
+      rc = co_await c.get(op.srv, buf, vbytes, roff, &done);
+      if (rc == ptl::PTL_OK) rc = co_await c.wait(done);
+    } else {
+      std::array<std::byte, 8> stamp{};
+      for (std::size_t b = 0; b < 8; ++b) {
+        stamp[b] = static_cast<std::byte>((op.val >> (8 * b)) & 0xFF);
+      }
+      proc.write_bytes(buf, std::span(stamp.data(), std::min<std::size_t>(
+                                                        vbytes, stamp.size())));
+      // Remote completion = the Portals ack: the value is durably in the
+      // server's table before the op counts as done.
+      conduit::Completion remote;
+      rc = co_await c.put(op.srv, buf, vbytes, roff, nullptr, &remote);
+      if (rc == ptl::PTL_OK) rc = co_await c.wait(remote);
+    }
+    if (rc != ptl::PTL_OK) {
+      failed = true;
+      co_return;
+    }
+    lat.push_back(static_cast<std::uint64_t>((eng.now() - t0).to_ps()));
+  }
+}
+
+}  // namespace
+
+int kv_servers(const WorkloadSpec& spec) {
+  int servers = spec.rpc_clients > 0 ? spec.ranks - spec.rpc_clients
+                                     : std::max(1, spec.ranks / 4);
+  return std::clamp(servers, 1, std::max(spec.ranks - 1, 1));
+}
+
+conduit::Config kv_config(const WorkloadSpec& spec, int rank,
+                          std::uint16_t ns) {
+  const int servers = kv_servers(spec);
+  const int clients = spec.ranks - servers;
+  const std::uint32_t table = kKvSlots * value_bytes(spec);
+  conduit::Config cfg;
+  cfg.credits = 0;
+  cfg.ns = ns;
+  if (rank >= clients) {
+    // Pure passive target: the table, and not one host event per request.
+    cfg.segment_bytes = table;
+    cfg.count_deposits = false;
+    cfg.eq_depth = 256;
+  } else {
+    cfg.segment_bytes = 0;  // clients expose nothing
+    cfg.peer_segment_bytes = table;
+    cfg.count_deposits = false;
+    cfg.eq_depth = 4096;
+  }
+  return cfg;
+}
+
+sim::CoTask<void> kv_rank(conduit::Conduit& c, const WorkloadSpec& spec,
+                          RankIo& io) {
+  const int servers = kv_servers(spec);
+  const int clients = spec.ranks - servers;
+  if (c.rank() >= clients) {
+    io.done = true;  // passive table: nothing to run
+    co_return;
+  }
+
+  const std::vector<KvOp> ops = kv_ops_for(spec, c.rank());
+  if (ops.empty()) {
+    io.done = true;
+    co_return;
+  }
+  const auto workers = static_cast<std::size_t>(std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::max(spec.outstanding, 1)), 1,
+      ops.size()));
+
+  sim::WaitQueue join(c.process().node().engine());
+  int remaining = static_cast<int>(workers);
+  std::vector<std::vector<std::uint64_t>> lat(workers);
+  bool failed = false;
+  for (std::size_t w = 0; w < workers; ++w) {
+    sim::spawn(with_join(kv_worker(c, spec, ops, w, workers, lat[w], failed),
+                         remaining, join));
+  }
+  while (remaining > 0) co_await join.wait();
+  if (failed) co_return;
+
+  for (std::vector<std::uint64_t>& l : lat) {
+    io.lat_ps.insert(io.lat_ps.end(), l.begin(), l.end());
+  }
+  io.sent = ops.size();
+  io.delivered = ops.size();
+  io.done = true;
+}
+
+}  // namespace xt::workload::oneside

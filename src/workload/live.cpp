@@ -6,6 +6,7 @@
 #include "sim/condition.hpp"
 #include "sim/strf.hpp"
 #include "workload/detail.hpp"
+#include "workload/oneside.hpp"
 
 namespace xt::workload {
 
@@ -81,6 +82,9 @@ CoTask<void> run_rank(host::LiveRank& lr, const detail::Plan& plan,
 
 LiveWorkloadResult run_live_workload(host::LiveOptions opts,
                                      const WorkloadSpec& spec) {
+  if (oneside::is_oneside(spec.pattern)) {
+    return oneside::run_live_oneside(std::move(opts), spec);
+  }
   opts.ranks = spec.ranks;
 
   // Every rank computes the identical machine-wide plan locally —

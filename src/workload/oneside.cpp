@@ -1,0 +1,169 @@
+#include "workload/oneside.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "sim/condition.hpp"
+#include "sim/strf.hpp"
+
+namespace xt::workload::oneside {
+
+namespace {
+
+using sim::CoTask;
+
+/// Runs `t` and decrements the join counter, waking the joiner at zero.
+CoTask<void> with_join(CoTask<void> t, int& remaining,
+                       sim::WaitQueue& done) {
+  co_await std::move(t);
+  if (--remaining == 0) done.notify_all();
+}
+
+CoTask<void> init_conduit(conduit::Conduit& c, std::uint8_t& ok) {
+  ok = (co_await c.init()) == ptl::PTL_OK ? 1 : 0;
+}
+
+/// Folds per-rank outcomes into a WorkloadResult (counters summed,
+/// latency samples concatenated rank-major).
+void fold(const std::vector<RankIo>& ios, sim::Time span,
+          const std::string& first_panic, WorkloadResult* out) {
+  out->span = span;
+  out->complete = true;
+  for (const RankIo& io : ios) {
+    out->sent += io.sent;
+    out->delivered += io.delivered;
+    if (!io.done) out->complete = false;
+    out->latency_ps.insert(out->latency_ps.end(), io.lat_ps.begin(),
+                           io.lat_ps.end());
+  }
+  if (!out->complete && out->failure.empty()) {
+    out->failure = first_panic.empty()
+                       ? "incomplete: expected events still missing at "
+                         "quiescence"
+                       : first_panic;
+  }
+}
+
+}  // namespace
+
+bool is_oneside(PatternKind k) {
+  return k == PatternKind::kStencil || k == PatternKind::kKv;
+}
+
+conduit::Config rank_config(const WorkloadSpec& spec, int rank,
+                            std::uint16_t ns) {
+  return spec.pattern == PatternKind::kStencil ? stencil_config(spec, rank, ns)
+                                               : kv_config(spec, rank, ns);
+}
+
+CoTask<void> run_rank(conduit::Conduit& c, const WorkloadSpec& spec,
+                      RankIo& io) {
+  if (spec.pattern == PatternKind::kStencil) {
+    co_await stencil_rank(c, spec, io);
+  } else {
+    co_await kv_rank(c, spec, io);
+  }
+}
+
+CoTask<void> run_tenant(harness::Instance& inst, const WorkloadSpec& spec,
+                        std::uint16_t ns,
+                        const std::vector<net::NodeId>* nodes,
+                        WorkloadResult* out) {
+  const int n = spec.ranks;
+  sim::Engine& eng = inst.engine();
+  const auto nu = static_cast<std::size_t>(n);
+
+  std::vector<host::Process*> procs(nu);
+  std::vector<ptl::ProcessId> ids(nu);
+  for (int r = 0; r < n; ++r) {
+    const std::size_t u = static_cast<std::size_t>(r);
+    const std::size_t p =
+        nodes != nullptr ? static_cast<std::size_t>((*nodes)[u]) : u;
+    procs[u] = &inst.proc(p);
+    ids[u] = procs[u]->id();
+  }
+
+  std::vector<std::unique_ptr<conduit::Conduit>> cs(nu);
+  std::vector<std::uint8_t> init_ok(nu, 0);
+  for (int r = 0; r < n; ++r) {
+    const std::size_t u = static_cast<std::size_t>(r);
+    cs[u] = std::make_unique<conduit::Conduit>(*procs[u], ids, r,
+                                               rank_config(spec, r, ns));
+  }
+
+  sim::WaitQueue join(eng);
+  int remaining = n;
+  for (int r = 0; r < n; ++r) {
+    const std::size_t u = static_cast<std::size_t>(r);
+    sim::spawn(with_join(init_conduit(*cs[u], init_ok[u]), remaining, join));
+  }
+  while (remaining > 0) co_await join.wait();
+  for (const std::uint8_t ok : init_ok) {
+    if (ok == 0) {
+      out->complete = false;
+      out->failure = "conduit init failed";
+      co_return;
+    }
+  }
+
+  const sim::Time t0 = eng.now();
+  std::vector<RankIo> ios(nu);
+  remaining = n;
+  for (int r = 0; r < n; ++r) {
+    const std::size_t u = static_cast<std::size_t>(r);
+    sim::spawn(with_join(run_rank(*cs[u], spec, ios[u]), remaining, join));
+  }
+  while (remaining > 0) co_await join.wait();
+
+  fold(ios, eng.now() - t0, inst.machine().first_panic(), out);
+}
+
+WorkloadResult run_sim(harness::Instance& inst, const WorkloadSpec& spec) {
+  WorkloadResult res;
+  sim::spawn(run_tenant(inst, spec, 0, nullptr, &res));
+  inst.run();
+  return res;
+}
+
+LiveWorkloadResult run_live_oneside(host::LiveOptions opts,
+                                    const WorkloadSpec& spec) {
+  opts.ranks = spec.ranks;
+  std::vector<RankIo> ios(static_cast<std::size_t>(spec.ranks));
+  std::vector<std::int64_t> span_ps(static_cast<std::size_t>(spec.ranks), 0);
+
+  host::LiveApp app = [&](host::LiveRank& lr) -> CoTask<void> {
+    const std::size_t u = static_cast<std::size_t>(lr.rank());
+    std::vector<ptl::ProcessId> ids;
+    for (int r = 0; r < spec.ranks; ++r) ids.push_back(lr.peer(r));
+    conduit::Conduit c(lr.process(), ids, lr.rank(),
+                       rank_config(spec, lr.rank(), 0));
+    const bool ok = (co_await c.init()) == ptl::PTL_OK;
+    co_await lr.barrier();  // always reached, or peers would hang here
+    const sim::Time t0 = lr.engine().now();
+    if (ok) co_await run_rank(c, spec, ios[u]);
+    span_ps[u] = (lr.engine().now() - t0).to_ps();
+    // Hold the fabric up until every rank's traffic has fully landed
+    // (a passive KV server must outlive its clients).
+    co_await lr.barrier();
+  };
+
+  LiveWorkloadResult res;
+  res.ranks = host::run_live_cluster(opts, app);
+
+  sim::Time span{};
+  for (std::size_t u = 0; u < ios.size(); ++u) {
+    if (span_ps[u] > span.to_ps()) span = sim::Time::ps(span_ps[u]);
+  }
+  fold(ios, span, "", &res.result);
+  for (std::size_t u = 0; u < res.ranks.size(); ++u) {
+    if (res.result.failure.empty() && !res.ranks[u].ok()) {
+      res.result.complete = false;
+      res.result.failure =
+          sim::strf("rank %zu failed: %s%s", u, res.ranks[u].panic.c_str(),
+                    res.ranks[u].error.c_str());
+    }
+  }
+  return res;
+}
+
+}  // namespace xt::workload::oneside

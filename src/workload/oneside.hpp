@@ -1,0 +1,103 @@
+#pragma once
+
+// App-level one-sided scenarios over the conduit (stencil, KV).
+//
+// Unlike the generator's message-pattern workloads — which drive raw
+// Portals puts through detail::{setup,pump,send}_rank — these scenarios
+// are *applications*: each rank owns a conduit::Conduit (segment +
+// one-sided put/get) and runs a per-rank coroutine shaped so the same
+// body executes under all three drivers:
+//
+//   * run_workload() (generator.cpp) branches here for kStencil/kKv and
+//     runs the whole tenant inside one engine-owning call;
+//   * the cluster scheduler runs run_tenant() as one job among many,
+//     namespacing the conduit's match bits by job id;
+//   * run_live_workload() (live.cpp) branches to run_live_oneside(),
+//     one real thread per rank over UDP loopback.
+//
+// kStencil — 3D halo exchange on the torus from shape_for_ranks(): per
+// iteration every rank puts one `bytes`-sized face into each torus
+// neighbour's segment (double-buffered by iteration parity, so a
+// neighbour running one iteration ahead — the most the neighbour-sync
+// allows — never clobbers an unread face), waits for local completion
+// and for its own deposit count, and records the exchange latency.
+// sent counts faces put, delivered counts faces landed; one latency
+// sample per iteration per rank.
+//
+// kKv — parameter-server traffic: the last kv_servers() ranks are pure
+// passive segments (a 64-slot value table, no event queue at all); the
+// rest run spec.outstanding closed-loop workers issuing a deterministic
+// 50/50 get/put mix (keys, servers and values precomputed from
+// spec.seed, pure per (client, op index)).  Puts carry a remote
+// completion (Portals ack = durability), gets complete on the reply;
+// every op records its RTT.
+
+#include <cstdint>
+#include <vector>
+
+#include "conduit/conduit.hpp"
+#include "harness/scenario.hpp"
+#include "workload/generator.hpp"
+#include "workload/live.hpp"
+
+namespace xt::workload::oneside {
+
+/// True for the conduit-backed app scenarios (kStencil, kKv).
+bool is_oneside(PatternKind k);
+
+/// What one rank's traffic body reports back to the gatherers.
+struct RankIo {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::vector<std::uint64_t> lat_ps;
+  bool done = false;
+};
+
+/// Torus neighbours of `rank` for the stencil (halo_neighbors over
+/// shape_for_ranks, ranks beyond spec.ranks dropped).
+std::vector<int> stencil_neighbors(const WorkloadSpec& spec, int rank);
+/// KV server count: ranks - rpc_clients when set, else max(1, ranks/4).
+int kv_servers(const WorkloadSpec& spec);
+/// Value-table slots per KV server segment.
+inline constexpr std::uint32_t kKvSlots = 64;
+
+/// Per-rank conduit configuration (segment sizing, deposit counting,
+/// event-queue depth) for the given pattern.
+conduit::Config rank_config(const WorkloadSpec& spec, int rank,
+                            std::uint16_t ns);
+
+/// One rank's traffic body; runs after every rank's Conduit::init() has
+/// completed (join barrier in the sim/cluster drivers, lr.barrier() in
+/// the live driver).
+sim::CoTask<void> run_rank(conduit::Conduit& c, const WorkloadSpec& spec,
+                           RankIo& io);
+
+/// Runs the whole scenario as a coroutine inside an already-running
+/// engine: init all conduits (joined), then all rank bodies (joined),
+/// then fold RankIo into `out`.  `nodes` maps rank -> node (and thus
+/// inst.proc index); null means the identity map.  Used by the cluster
+/// scheduler (ns = job id) and by run_sim().
+sim::CoTask<void> run_tenant(harness::Instance& inst,
+                             const WorkloadSpec& spec, std::uint16_t ns,
+                             const std::vector<net::NodeId>* nodes,
+                             WorkloadResult* out);
+
+/// Engine-owning wrapper for run_workload(): spawns run_tenant and runs
+/// the instance to quiescence.
+WorkloadResult run_sim(harness::Instance& inst, const WorkloadSpec& spec);
+
+/// Live-UDP driver (one real thread per rank), same RankIo fold.
+LiveWorkloadResult run_live_oneside(host::LiveOptions opts,
+                                    const WorkloadSpec& spec);
+
+// Per-pattern pieces (stencil.cpp / kv.cpp).
+conduit::Config stencil_config(const WorkloadSpec& spec, int rank,
+                               std::uint16_t ns);
+conduit::Config kv_config(const WorkloadSpec& spec, int rank,
+                          std::uint16_t ns);
+sim::CoTask<void> stencil_rank(conduit::Conduit& c, const WorkloadSpec& spec,
+                               RankIo& io);
+sim::CoTask<void> kv_rank(conduit::Conduit& c, const WorkloadSpec& spec,
+                          RankIo& io);
+
+}  // namespace xt::workload::oneside

@@ -12,6 +12,8 @@ const char* pattern_name(PatternKind k) {
     case PatternKind::kPermutation: return "permutation";
     case PatternKind::kIncast: return "incast";
     case PatternKind::kRpc: return "rpc";
+    case PatternKind::kStencil: return "stencil";
+    case PatternKind::kKv: return "kv";
   }
   return "?";
 }
@@ -26,7 +28,8 @@ std::optional<PatternKind> pattern_from_name(std::string_view name) {
 const std::vector<PatternKind>& all_patterns() {
   static const std::vector<PatternKind> kAll = {
       PatternKind::kUniform, PatternKind::kHalo3d, PatternKind::kPermutation,
-      PatternKind::kIncast, PatternKind::kRpc};
+      PatternKind::kIncast, PatternKind::kRpc,
+      PatternKind::kStencil,  PatternKind::kKv};
   return kAll;
 }
 
@@ -65,7 +68,7 @@ Pattern::Pattern(PatternKind kind, const net::Shape& shape, int ranks,
   sim::Rng base(seed);
   rank_rng_.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) rank_rng_.push_back(base.fork());
-  if (kind == PatternKind::kHalo3d) {
+  if (kind == PatternKind::kHalo3d || kind == PatternKind::kStencil) {
     nbrs_.reserve(static_cast<std::size_t>(ranks));
     for (int r = 0; r < ranks; ++r) {
       std::vector<int> nb = halo_neighbors(shape, r);
@@ -102,7 +105,7 @@ Pattern::Pattern(PatternKind kind, const net::Shape& shape, int ranks,
 
 bool Pattern::is_sender(int rank) const {
   if (kind_ == PatternKind::kIncast) return rank != 0;
-  if (kind_ == PatternKind::kHalo3d) {
+  if (kind_ == PatternKind::kHalo3d || kind_ == PatternKind::kStencil) {
     return !nbrs_[static_cast<std::size_t>(rank)].empty();
   }
   return true;
@@ -112,14 +115,16 @@ int Pattern::dest(int rank, std::uint64_t i) {
   assert(rank >= 0 && rank < ranks_);
   switch (kind_) {
     case PatternKind::kUniform:
-    case PatternKind::kRpc: {
+    case PatternKind::kRpc:
+    case PatternKind::kKv: {
       auto d = static_cast<int>(rank_rng_[static_cast<std::size_t>(rank)]
                                     .below(static_cast<std::uint64_t>(
                                         ranks_ - 1)));
       if (d >= rank) ++d;  // skip self, stay uniform over the others
       return d;
     }
-    case PatternKind::kHalo3d: {
+    case PatternKind::kHalo3d:
+    case PatternKind::kStencil: {
       const auto& n = nbrs_[static_cast<std::size_t>(rank)];
       assert(!n.empty());
       return n[static_cast<std::size_t>(i % n.size())];

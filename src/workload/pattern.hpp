@@ -19,6 +19,12 @@
 //   incast       every rank > 0 sends to rank 0 (many-to-one hotspot)
 //   rpc          request/reply: uniform server choice, server replies to
 //                the client (closed- or open-loop, see generator.hpp)
+//   stencil/kv   conduit-backed app scenarios (workload/oneside.hpp);
+//                run_workload() dispatches them to their own drivers, but
+//                they parse and enumerate like any pattern, and Pattern
+//                still answers is_sender/dest for them (stencil uses the
+//                halo neighbour sets, kv a uniform server draw) so
+//                pattern-level tooling needs no special cases
 
 #include <cstdint>
 #include <optional>
@@ -36,6 +42,8 @@ enum class PatternKind : std::uint8_t {
   kPermutation,
   kIncast,
   kRpc,
+  kStencil,
+  kKv,
 };
 
 const char* pattern_name(PatternKind k);

@@ -1,0 +1,113 @@
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+#include "harness/scenario.hpp"
+#include "workload/oneside.hpp"
+
+// 3D stencil halo exchange (oneside.hpp).  Geometry: rank r's segment is
+// a row of double-buffered face slots, one pair per torus neighbour, in
+// stencil_neighbors() order — neighbour i's face for iteration `it`
+// lands at slot (i*2 + (it&1)).  Sender-side, `slot[i]` is where *this*
+// rank appears in neighbour i's list, so a put targets
+// (slot[i]*2 + phase) * face.  Parity is enough: the deposit-count sync
+// lets a neighbour run at most one iteration ahead, so the face it might
+// overwrite has already been consumed.
+
+namespace xt::workload::oneside {
+
+namespace {
+
+std::uint32_t face_bytes(const WorkloadSpec& spec) {
+  return std::max<std::uint32_t>(spec.bytes, 1);
+}
+
+}  // namespace
+
+std::vector<int> stencil_neighbors(const WorkloadSpec& spec, int rank) {
+  std::vector<int> nb =
+      halo_neighbors(harness::shape_for_ranks(spec.ranks), rank);
+  // The virtual torus rounds up to a power of two; neighbours in
+  // unpopulated slots are no rank at all (same trim as kHalo3d).
+  std::erase_if(nb, [&](int r) { return r >= spec.ranks; });
+  return nb;
+}
+
+conduit::Config stencil_config(const WorkloadSpec& spec, int rank,
+                               std::uint16_t ns) {
+  const auto nnb =
+      static_cast<std::uint32_t>(stencil_neighbors(spec, rank).size());
+  conduit::Config cfg;
+  cfg.segment_bytes = nnb * 2 * face_bytes(spec);
+  cfg.credits = 0;  // pure put/get scenario, no AM slots to pay for
+  cfg.count_deposits = true;
+  cfg.eq_depth = 64 * std::max<std::size_t>(nnb, 1) + 256;
+  cfg.ns = ns;
+  return cfg;
+}
+
+sim::CoTask<void> stencil_rank(conduit::Conduit& c, const WorkloadSpec& spec,
+                               RankIo& io) {
+  const std::vector<int> nb = stencil_neighbors(spec, c.rank());
+  const std::size_t nnb = nb.size();
+  const auto iters = static_cast<std::uint64_t>(
+      std::max(spec.msgs_per_sender, 0));
+  if (nnb == 0 || iters == 0) {
+    // An isolated rank (2-rank jobs on a degenerate torus) or an empty
+    // run has nothing to exchange.
+    io.done = true;
+    co_return;
+  }
+
+  const std::uint32_t face = face_bytes(spec);
+  host::Process& proc = c.process();
+  sim::Engine& eng = proc.node().engine();
+
+  // Where this rank sits in each neighbour's list (symmetric adjacency,
+  // so the reverse entry always exists).
+  std::vector<std::size_t> slot(nnb);
+  std::vector<std::uint64_t> sbuf(nnb);
+  for (std::size_t i = 0; i < nnb; ++i) {
+    const std::vector<int> back = stencil_neighbors(spec, nb[i]);
+    slot[i] = static_cast<std::size_t>(
+        std::find(back.begin(), back.end(), c.rank()) - back.begin());
+    sbuf[i] = proc.alloc(face);
+  }
+
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const sim::Time t0 = eng.now();
+    const std::uint64_t phase = it & 1;
+    conduit::Completion local;
+    for (std::size_t i = 0; i < nnb; ++i) {
+      // Stamp the face so cross-validation can checksum what landed.
+      std::array<std::byte, 16> stamp{};
+      const std::uint64_t a =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.rank()))
+           << 32) |
+          static_cast<std::uint32_t>(nb[i]);
+      for (std::size_t b = 0; b < 8; ++b) {
+        stamp[b] = static_cast<std::byte>((a >> (8 * b)) & 0xFF);
+        stamp[8 + b] = static_cast<std::byte>((it >> (8 * b)) & 0xFF);
+      }
+      proc.write_bytes(sbuf[i],
+                       std::span(stamp.data(), std::min<std::size_t>(
+                                                   face, stamp.size())));
+      const std::uint64_t roff = (slot[i] * 2 + phase) * face;
+      // Local completion only: the receiver counts the deposit, no ack
+      // leg needed.
+      if (co_await c.put(nb[i], sbuf[i], face, roff, &local, nullptr) !=
+          ptl::PTL_OK) {
+        co_return;
+      }
+      ++io.sent;
+    }
+    if (co_await c.wait(local) != ptl::PTL_OK) co_return;
+    if (co_await c.wait_deposits((it + 1) * nnb) != ptl::PTL_OK) co_return;
+    io.lat_ps.push_back(static_cast<std::uint64_t>((eng.now() - t0).to_ps()));
+  }
+
+  io.delivered = iters * nnb;
+  io.done = true;
+}
+
+}  // namespace xt::workload::oneside

@@ -1,0 +1,334 @@
+// Rendezvous-protocol edge cases (ISSUE 9): get- vs push-protocol
+// selection, the movable eager/rendezvous threshold, protocol-leg
+// counting, recovery under injected drops, and the unexpected-queue
+// bound's drop/repost behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "harness/scenario.hpp"
+#include "host/node.hpp"
+#include "mpi/mpi.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xt::mpi {
+namespace {
+
+using host::Machine;
+using host::Process;
+using ptl::PTL_OK;
+using sim::CoTask;
+using sim::Time;
+
+constexpr ptl::Pid kPid = 9;
+
+Flavor flavor_for(Flavor::RndvProto proto, std::uint32_t threshold = 0) {
+  Flavor f = Flavor::mpich1();
+  f.rndv_proto = proto;
+  f.rndv_threshold = threshold;
+  return f;
+}
+
+/// Same two-rank job rig as mpi_test.
+struct Job {
+  explicit Job(int nranks, Flavor flavor = Flavor::mpich1())
+      : m(net::Shape::xt3(nranks, 1, 1)) {
+    std::vector<ptl::ProcessId> ids;
+    for (int r = 0; r < nranks; ++r) {
+      ids.push_back(ptl::ProcessId{static_cast<net::NodeId>(r), kPid});
+    }
+    for (int r = 0; r < nranks; ++r) {
+      procs.push_back(&m.node(static_cast<net::NodeId>(r))
+                           .spawn_process(kPid));
+      comms.push_back(std::make_unique<Comm>(*procs.back(), ids, r, flavor));
+    }
+    for (auto& c : comms) {
+      sim::spawn([](Comm& comm) -> CoTask<void> {
+        EXPECT_EQ(co_await comm.init(), PTL_OK);
+      }(*c));
+    }
+    m.run();
+  }
+  Comm& comm(int r) { return *comms[static_cast<std::size_t>(r)]; }
+  Process& proc(int r) { return *procs[static_cast<std::size_t>(r)]; }
+
+  Machine m;
+  std::vector<Process*> procs;
+  std::vector<std::unique_ptr<Comm>> comms;
+};
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 37 + seed) & 0xFF);
+  }
+  return v;
+}
+
+/// One verified transfer on `job`; `recv_delay` holds the receive back so
+/// the RTS lands unexpected and the sender runs ahead of the match.
+void run_transfer(Job& job, std::uint32_t len, Time recv_delay = {}) {
+  const auto data = pattern(len, 5);
+  const std::uint64_t sbuf = job.proc(0).alloc(len);
+  const std::uint64_t rbuf = job.proc(1).alloc(len);
+  job.proc(0).write_bytes(sbuf, data);
+  bool sdone = false, rdone = false;
+  Status st;
+  sim::spawn([](Comm& c, std::uint64_t b, std::uint32_t n,
+                bool* done) -> CoTask<void> {
+    Request req;
+    EXPECT_EQ(co_await c.isend(b, n, 1, 7, &req), PTL_OK);
+    EXPECT_EQ(co_await c.wait(&req), PTL_OK);
+    *done = true;
+  }(job.comm(0), sbuf, len, &sdone));
+  sim::spawn([](Comm& c, std::uint64_t b, std::uint32_t n, Time delay,
+                Status* s, bool* done) -> CoTask<void> {
+    if (delay > Time{}) co_await c.process().node().cpu().run(delay);
+    EXPECT_EQ(co_await c.recv(b, n, 0, 7, s), PTL_OK);
+    *done = true;
+  }(job.comm(1), rbuf, len, recv_delay, &st, &rdone));
+  job.m.run();
+  ASSERT_TRUE(sdone);
+  ASSERT_TRUE(rdone);
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.len, len);
+  std::vector<std::byte> got(len);
+  job.proc(1).read_bytes(rbuf, got);
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(job.m.first_panic(), "");
+}
+
+// ----------------------------------------------------- threshold cutoff ----
+
+TEST(MpiRndvThreshold, BoundarySelectsProtocolGet) {
+  Job job(2, flavor_for(Flavor::RndvProto::kGet, 4096));
+  run_transfer(job, 4096);  // at the threshold: still eager
+  EXPECT_EQ(job.comm(0).counters().eager_sent, 1u);
+  EXPECT_EQ(job.comm(0).counters().rndv_sent, 0u);
+  run_transfer(job, 4097);  // one past: rendezvous
+  EXPECT_EQ(job.comm(0).counters().eager_sent, 1u);
+  EXPECT_EQ(job.comm(0).counters().rndv_sent, 1u);
+}
+
+TEST(MpiRndvThreshold, BoundarySelectsProtocolPush) {
+  Job job(2, flavor_for(Flavor::RndvProto::kPush, 4096));
+  run_transfer(job, 4096);
+  EXPECT_EQ(job.comm(0).counters().eager_sent, 1u);
+  EXPECT_EQ(job.comm(0).counters().rndv_sent, 0u);
+  run_transfer(job, 4097);
+  EXPECT_EQ(job.comm(0).counters().rndv_sent, 1u);
+}
+
+TEST(MpiRndvThreshold, ClampedToEagerMax) {
+  Flavor f = Flavor::mpich1();
+  f.rndv_threshold = f.eager_max * 2;  // slabs can't grow: clamps down
+  EXPECT_EQ(f.eager_cutoff(), f.eager_max);
+  f.rndv_threshold = 0;
+  EXPECT_EQ(f.eager_cutoff(), f.eager_max);
+  f.rndv_threshold = 1024;
+  EXPECT_EQ(f.eager_cutoff(), 1024u);
+}
+
+// ------------------------------------------------------- push rendezvous ----
+
+TEST(MpiRndvPush, DeliversExpected) {
+  Job job(2, flavor_for(Flavor::RndvProto::kPush));
+  run_transfer(job, 512 * 1024);
+  EXPECT_EQ(job.comm(0).counters().rndv_sent, 1u);
+  EXPECT_EQ(job.comm(1).counters().expected_recvs +
+                job.comm(1).counters().unexpected_recvs,
+            1u);
+}
+
+TEST(MpiRndvPush, DeliversWhenSenderRunsAhead) {
+  // The receiver matches 200us late: the RTS sits in the unexpected queue
+  // and the whole CTS/put/ack chain starts from consume_ux.
+  Job job(2, flavor_for(Flavor::RndvProto::kPush));
+  run_transfer(job, 512 * 1024, Time::us(200));
+  EXPECT_EQ(job.comm(1).counters().unexpected_recvs, 1u);
+}
+
+TEST(MpiRndvGet, DeliversWhenSenderRunsAhead) {
+  Job job(2, flavor_for(Flavor::RndvProto::kGet));
+  run_transfer(job, 512 * 1024, Time::us(200));
+  EXPECT_EQ(job.comm(1).counters().unexpected_recvs, 1u);
+}
+
+// ------------------------------------------------- protocol leg counting ----
+
+TEST(MpiRndvLegs, GetUsesTwoPushUsesThree) {
+  // One rendezvous transfer per protocol; legs are counted at whichever
+  // rank emits them, so the job-wide total is the per-transfer leg count.
+  Job get_job(2, flavor_for(Flavor::RndvProto::kGet));
+  run_transfer(get_job, 256 * 1024);
+  const std::uint64_t get_legs = get_job.comm(0).counters().rndv_ctrl_msgs +
+                                 get_job.comm(1).counters().rndv_ctrl_msgs;
+  EXPECT_EQ(get_legs, 2u);  // RTS + get request; payload rides the reply
+
+  Job push_job(2, flavor_for(Flavor::RndvProto::kPush));
+  run_transfer(push_job, 256 * 1024);
+  const std::uint64_t push_legs =
+      push_job.comm(0).counters().rndv_ctrl_msgs +
+      push_job.comm(1).counters().rndv_ctrl_msgs;
+  EXPECT_EQ(push_legs, 3u);  // RTS + CTS + end-to-end ack
+
+  // The registry mirrors must agree with the library's own books.
+  auto& gm = get_job.m.engine().metrics();
+  EXPECT_EQ(gm.counter("mpi.n0.rndv_ctrl_msgs").value +
+                gm.counter("mpi.n1.rndv_ctrl_msgs").value,
+            get_legs);
+  auto& pm = push_job.m.engine().metrics();
+  EXPECT_EQ(pm.counter("mpi.n0.rndv_ctrl_msgs").value +
+                pm.counter("mpi.n1.rndv_ctrl_msgs").value,
+            push_legs);
+}
+
+// ------------------------------------------------- drops with go-back-n ----
+
+void run_dropped_transfer(Flavor::RndvProto proto) {
+  // Deterministic targeted loss: the RTS itself, an early payload-bearing
+  // message, and the receiver's first control leg (get request or CTS).
+  // Go-back-n must retransmit all three, so the transfer stays lossless.
+  fault::FaultPlan plan;
+  plan.scripted_drops = {{0, 1, 0}, {0, 1, 1}, {1, 0, 0}};
+  harness::Scenario sc = harness::Scenario::pair(host::ProcMode::kUser, kPid);
+  sc.config.gobackn = true;  // recovery protocol on: losses must be healed
+  sc.with_faults(plan);
+  auto inst = sc.build();
+
+  const std::vector<ptl::ProcessId> ids = {inst->proc(0).id(),
+                                           inst->proc(1).id()};
+  Comm c0(inst->proc(0), ids, 0, flavor_for(proto));
+  Comm c1(inst->proc(1), ids, 1, flavor_for(proto));
+  for (Comm* c : {&c0, &c1}) {
+    sim::spawn([](Comm& comm) -> CoTask<void> {
+      EXPECT_EQ(co_await comm.init(), PTL_OK);
+    }(*c));
+  }
+  inst->run();
+
+  const std::uint32_t len = 512 * 1024;
+  const auto data = pattern(len, 3);
+  const std::uint64_t sbuf = inst->proc(0).alloc(len);
+  const std::uint64_t rbuf = inst->proc(1).alloc(len);
+  inst->proc(0).write_bytes(sbuf, data);
+  bool sdone = false, rdone = false;
+  sim::spawn([](Comm& c, std::uint64_t b, std::uint32_t n,
+                bool* d) -> CoTask<void> {
+    EXPECT_EQ(co_await c.send(b, n, 1, 3), PTL_OK);
+    *d = true;
+  }(c0, sbuf, len, &sdone));
+  sim::spawn([](Comm& c, std::uint64_t b, std::uint32_t n,
+                bool* d) -> CoTask<void> {
+    EXPECT_EQ(co_await c.recv(b, n, 0, 3, nullptr), PTL_OK);
+    *d = true;
+  }(c1, rbuf, len, &rdone));
+  inst->run();
+
+  ASSERT_TRUE(sdone);
+  ASSERT_TRUE(rdone);
+  std::vector<std::byte> got(len);
+  inst->proc(1).read_bytes(rbuf, got);
+  EXPECT_EQ(got, data);
+  // The plan must actually have bitten for the test to mean anything.
+  EXPECT_GE(inst->injector()->totals().scripted_drops, 3u);
+  EXPECT_EQ(c0.counters().rndv_sent, 1u);
+}
+
+TEST(MpiRndvFaults, GetRecoversInjectedDrops) {
+  run_dropped_transfer(Flavor::RndvProto::kGet);
+}
+
+TEST(MpiRndvFaults, PushRecoversInjectedDrops) {
+  run_dropped_transfer(Flavor::RndvProto::kPush);
+}
+
+// ------------------------------------------------ unexpected-queue bound ----
+
+TEST(MpiUnexpectedBound, FloodIsBoundedAndSlabsRepost) {
+  Flavor f = Flavor::mpich1();
+  f.eager_max = 512;
+  f.ux_slab_bytes = 2048;
+  f.n_ux_slabs = 2;
+  f.max_unexpected = 4;
+  Job job(2, f);
+
+  constexpr int kFlood = 40;
+  constexpr std::uint32_t kLen = 256;
+  const auto final_data = pattern(kLen, 77);
+  const std::uint64_t sbuf = job.proc(0).alloc(kLen);
+  const std::uint64_t go = job.proc(1).alloc(4);
+  const std::uint64_t gor = job.proc(0).alloc(4);
+  const std::uint64_t fbuf = job.proc(1).alloc(kLen);
+  bool flood_done = false;
+  int received = 0;
+  bool sdone = false, rdone = false;
+
+  sim::spawn([](Comm& c, std::uint64_t sb, std::uint64_t gb,
+                const std::vector<std::byte>& fd, bool* fdone,
+                bool* d) -> CoTask<void> {
+    // Eager sends complete at kSendEnd whether or not a slab accepted
+    // them, so the flood runs ahead of any receive.
+    for (int i = 0; i < kFlood; ++i) {
+      EXPECT_EQ(co_await c.send(sb, kLen, 1, 7), PTL_OK);
+    }
+    *fdone = true;
+    EXPECT_EQ(co_await c.recv(gb, 4, 1, 9, nullptr), PTL_OK);
+    c.process().write_bytes(sb, fd);
+    EXPECT_EQ(co_await c.send(sb, kLen, 1, 11), PTL_OK);
+    *d = true;
+  }(job.comm(0), sbuf, gor, final_data, &flood_done, &sdone));
+
+  sim::spawn([](Comm& c, std::uint64_t gb, std::uint64_t fb,
+                const std::vector<std::byte>& fd, const bool* fdone,
+                int* got_n, bool* d) -> CoTask<void> {
+    // Pump (iprobe progresses the EQ without consuming) but post no
+    // receive, so the unexpected queue absorbs the whole flood.
+    while (!*fdone) {
+      bool flag = false;
+      EXPECT_EQ(co_await c.iprobe(0, 7, &flag, nullptr), PTL_OK);
+      co_await c.process().node().cpu().run(Time::us(2));
+    }
+    // Drain whatever the bound let in.
+    std::uint64_t buf = c.process().alloc(kLen);
+    for (;;) {
+      bool flag = false;
+      EXPECT_EQ(co_await c.iprobe(0, 7, &flag, nullptr), PTL_OK);
+      if (!flag) break;
+      EXPECT_EQ(co_await c.recv(buf, kLen, 0, 7, nullptr), PTL_OK);
+      ++*got_n;
+    }
+    // Draining reposted the retired slabs: a fresh unexpected eager
+    // message must land intact.
+    EXPECT_EQ(co_await c.send(gb, 4, 0, 9), PTL_OK);
+    EXPECT_EQ(co_await c.recv(fb, kLen, 0, 11, nullptr), PTL_OK);
+    std::vector<std::byte> got(kLen);
+    c.process().read_bytes(fb, got);
+    EXPECT_EQ(got, fd);
+    *d = true;
+  }(job.comm(1), go, fbuf, final_data, &flood_done, &received, &rdone));
+
+  job.m.run();
+  ASSERT_TRUE(sdone);
+  ASSERT_TRUE(rdone);
+  EXPECT_EQ(job.m.first_panic(), "");
+
+  // Two 2 KB slabs can land at most 16 x 256 B messages before both
+  // retire; with the queue over its bound of 4 they are not reposted, so
+  // the rest of the flood is dropped (honest NI backpressure).
+  EXPECT_GE(received, 4);
+  EXPECT_LE(received, 16);
+  EXPECT_LT(received, kFlood);
+  const auto& gauge =
+      job.m.engine().metrics().gauge("mpi.n1.unexpected_depth");
+  EXPECT_GE(gauge.high_water, 4);
+  EXPECT_LE(gauge.high_water, 16);
+}
+
+}  // namespace
+}  // namespace xt::mpi

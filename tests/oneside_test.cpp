@@ -1,0 +1,156 @@
+// Tests for the conduit-backed app workloads (src/workload/oneside):
+// stencil halo exchange and KV parameter-server traffic — determinism,
+// delivery accounting, and running as cluster tenants.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cluster/scheduler.hpp"
+#include "harness/scenario.hpp"
+#include "workload/generator.hpp"
+#include "workload/oneside.hpp"
+
+namespace xt::workload {
+namespace {
+
+WorkloadSpec stencil_spec() {
+  WorkloadSpec spec;
+  spec.pattern = PatternKind::kStencil;
+  spec.ranks = 8;
+  spec.bytes = 512;
+  spec.msgs_per_sender = 4;  // iterations
+  spec.seed = 3;
+  return spec;
+}
+
+WorkloadSpec kv_spec() {
+  WorkloadSpec spec;
+  spec.pattern = PatternKind::kKv;
+  spec.ranks = 8;
+  spec.bytes = 256;
+  spec.msgs_per_sender = 6;  // ops per client
+  spec.outstanding = 2;
+  spec.seed = 5;
+  return spec;
+}
+
+WorkloadResult run_once(const WorkloadSpec& spec) {
+  harness::Scenario sc = workload_scenario(spec, host::ProcMode::kUser,
+                                           ss::Config{}, spec.seed);
+  auto inst = sc.build();
+  return run_workload(*inst, spec);
+}
+
+TEST(OnesideStencil, ConservesFacesAndCompletes) {
+  const WorkloadSpec spec = stencil_spec();
+  const WorkloadResult r = run_once(spec);
+  ASSERT_TRUE(r.complete) << r.failure;
+  std::uint64_t faces = 0;
+  for (int rank = 0; rank < spec.ranks; ++rank) {
+    faces += oneside::stencil_neighbors(spec, rank).size();
+  }
+  const std::uint64_t iters =
+      static_cast<std::uint64_t>(spec.msgs_per_sender);
+  EXPECT_EQ(r.sent, iters * faces);
+  EXPECT_EQ(r.delivered, iters * faces);  // every put lands exactly once
+  // One latency sample per iteration per rank.
+  EXPECT_EQ(r.latency_ps.size(), iters * static_cast<std::uint64_t>(spec.ranks));
+}
+
+TEST(OnesideStencil, DeterministicAcrossRuns) {
+  const WorkloadSpec spec = stencil_spec();
+  const WorkloadResult a = run_once(spec);
+  const WorkloadResult b = run_once(spec);
+  ASSERT_TRUE(a.complete && b.complete);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.latency_ps, b.latency_ps);  // byte-identical timing
+  EXPECT_EQ(a.span.to_ps(), b.span.to_ps());
+}
+
+TEST(OnesideKv, ClientsCompleteExactOpCounts) {
+  const WorkloadSpec spec = kv_spec();
+  const int servers = oneside::kv_servers(spec);
+  const int clients = spec.ranks - servers;
+  ASSERT_GT(clients, 0);
+  const WorkloadResult r = run_once(spec);
+  ASSERT_TRUE(r.complete) << r.failure;
+  const std::uint64_t ops = static_cast<std::uint64_t>(clients) *
+                            static_cast<std::uint64_t>(spec.msgs_per_sender);
+  EXPECT_EQ(r.sent, ops);
+  EXPECT_EQ(r.delivered, ops);
+  EXPECT_EQ(r.latency_ps.size(), ops);  // one RTT sample per op
+}
+
+TEST(OnesideKv, DeterministicAcrossRuns) {
+  const WorkloadSpec spec = kv_spec();
+  const WorkloadResult a = run_once(spec);
+  const WorkloadResult b = run_once(spec);
+  ASSERT_TRUE(a.complete && b.complete);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.latency_ps, b.latency_ps);
+  EXPECT_EQ(a.span.to_ps(), b.span.to_ps());
+}
+
+TEST(OnesideKv, ServerCountDefaultsAndOverrides) {
+  WorkloadSpec spec = kv_spec();
+  EXPECT_EQ(oneside::kv_servers(spec), 2);  // ranks/4
+  spec.rpc_clients = 6;
+  EXPECT_EQ(oneside::kv_servers(spec), 2);  // ranks - clients
+  spec.rpc_clients = 0;
+  spec.ranks = 3;
+  EXPECT_EQ(oneside::kv_servers(spec), 1);  // never below one server
+}
+
+TEST(OnesidePatterns, ClassifierCoversBoth) {
+  EXPECT_TRUE(oneside::is_oneside(PatternKind::kStencil));
+  EXPECT_TRUE(oneside::is_oneside(PatternKind::kKv));
+  EXPECT_FALSE(oneside::is_oneside(PatternKind::kUniform));
+}
+
+// ------------------------------------------------------- cluster tenants ----
+
+cluster::JobSpec tenant(int id, PatternKind pk, int ranks,
+                        std::uint64_t seed) {
+  cluster::JobSpec j;
+  j.id = id;
+  j.work.pattern = pk;
+  j.work.ranks = ranks;
+  j.work.bytes = 256;
+  j.work.msgs_per_sender = 3;
+  j.work.outstanding = 2;
+  j.work.seed = seed;
+  return j;
+}
+
+TEST(OnesideCluster, StencilAndKvRunAsTenants) {
+  cluster::ClusterSpec cs;
+  cs.nodes = 16;
+  cs.jobs = {tenant(0, PatternKind::kStencil, 4, 5),
+             tenant(1, PatternKind::kKv, 8, 9)};
+  const cluster::ClusterResult r = cluster::run_cluster(cs);
+  ASSERT_EQ(r.jobs.size(), 2u);
+  std::set<net::NodeId> used;
+  for (const cluster::JobResult& j : r.jobs) {
+    EXPECT_TRUE(j.placed);
+    EXPECT_TRUE(j.work.complete) << j.work.failure;
+    EXPECT_GT(j.work.delivered, 0u);
+    for (const net::NodeId n : j.nodes) {
+      EXPECT_TRUE(used.insert(n).second);  // space sharing: no overlap
+    }
+  }
+
+  // Same trace again: tenant results are byte-identical.
+  const cluster::ClusterResult r2 = cluster::run_cluster(cs);
+  for (std::size_t i = 0; i < r.jobs.size(); ++i) {
+    EXPECT_EQ(r.jobs[i].work.delivered, r2.jobs[i].work.delivered);
+    EXPECT_EQ(r.jobs[i].work.latency_ps, r2.jobs[i].work.latency_ps);
+    EXPECT_EQ(r.jobs[i].end.to_ps(), r2.jobs[i].end.to_ps());
+  }
+}
+
+}  // namespace
+}  // namespace xt::workload

@@ -22,6 +22,7 @@
 #include <set>
 #include <vector>
 
+#include "conduit/selftest.hpp"
 #include "net/crc.hpp"
 #include "net/network.hpp"
 #include "netpipe/live.hpp"
@@ -298,6 +299,21 @@ TEST(LiveUdpStack, WorkloadRunsAsLiveTraffic) {
   EXPECT_EQ(res.result.latency_ps.size(), res.result.delivered);
   // Live latency samples are wall-clock and must be plausible (> 1 µs).
   for (std::uint64_t l : res.result.latency_ps) EXPECT_GT(l, 1'000'000u);
+}
+
+TEST(LiveUdpStack, ConduitScriptMatchesSimByteForByte) {
+  // The conduit cross-validation script (put/get/AM over 4 ranks) is a
+  // pure function of (seed, rank count): the per-rank checksums from the
+  // simulated fabric, from live UDP loopback and from the local
+  // expectation must all be identical.
+  const std::uint64_t seed = 20260809;
+  const auto want = conduit::xval_expect(4, seed);
+  const conduit::XvalResult sim = conduit::xval_sim(4, seed);
+  ASSERT_TRUE(sim.ok) << sim.failure;
+  EXPECT_EQ(sim.sum, want);
+  const conduit::XvalResult live = conduit::xval_live(4, seed);
+  ASSERT_TRUE(live.ok) << live.failure;
+  EXPECT_EQ(live.sum, want);
 }
 
 TEST(LiveUdpStack, FourRankAllreduceSumsCorrectly) {
