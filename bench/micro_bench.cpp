@@ -345,6 +345,86 @@ void BM_MatchWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_MatchWalk)->Arg(1)->Arg(64)->Arg(4096);
 
+/// Linear vs. indexed match-list search, head-to-head on the shapes that
+/// separate them.  Args: {list length, scenario, mode}.
+///   scenario 0 = hit-first (target ME at the head — linear's best case)
+///   scenario 1 = hit-last  (target at the tail behind N-1 decoys —
+///                           linear's worst case, the index's headline win)
+///   scenario 2 = wildcard  (ignore-bits target at the tail: the index
+///                           must merge the wildcard chain, its hard case)
+///   scenario 3 = miss      (no entry matches — the unexpected-message
+///                           storm case; the index answers without
+///                           walking, linear walks the whole list)
+///   mode 0 = kLinear, 1 = kIndexed
+///
+/// On a deep HIT the two converge: the indexed walk still has to report
+/// the reference-identical entries_walked (it feeds the simulated match
+/// cost), which takes an O(position) prev-pointer chase — cheap hops, but
+/// the same order as linear's acceptance tests.  The index's wins are
+/// early/keyed hits and, above all, misses.
+void BM_MatchListSearch(benchmark::State& state) {
+  const auto n_entries = static_cast<std::uint32_t>(state.range(0));
+  const auto scenario = static_cast<int>(state.range(1));
+  const bool indexed = state.range(2) != 0;
+  sim::Engine eng;
+  class NullNal final : public ptl::Nal {
+    int send(TxKind, std::uint32_t, const ptl::WireHeader&,
+             ptl::IoVecList, std::uint64_t) override {
+      return ptl::PTL_OK;
+    }
+    std::uint32_t nid() const override { return 0; }
+    int distance(std::uint32_t) const override { return 1; }
+  } nal;
+  class NullMem final : public ptl::Memory {
+    bool valid(std::uint64_t, std::size_t) const override { return true; }
+    void read(std::uint64_t, std::span<std::byte>) const override {}
+    void write(std::uint64_t, std::span<const std::byte>) override {}
+  } mem;
+  ptl::Library::Config cfg;
+  cfg.id = ptl::ProcessId{0, 1};
+  cfg.limits.max_mes = 70000;
+  cfg.limits.max_me_list = 70000;
+  cfg.limits.max_mds = 70000;
+  cfg.match_mode = indexed ? ptl::MatchMode::kIndexed : ptl::MatchMode::kLinear;
+  ptl::Library lib(eng, cfg, nal, mem);
+
+  const auto attach = [&lib](ptl::MatchBits mbits, ptl::MatchBits ibits) {
+    ptl::MeHandle me;
+    lib.me_attach(0, ptl::ProcessId{ptl::kNidAny, ptl::kPidAny}, mbits, ibits,
+                  ptl::Unlink::kRetain, ptl::InsPos::kAfter, &me);
+    ptl::MdDesc d;
+    d.length = 64;
+    d.options = ptl::PTL_MD_OP_PUT | ptl::PTL_MD_MANAGE_REMOTE |
+                ptl::PTL_MD_TRUNCATE;
+    ptl::MdHandle md;
+    lib.md_attach(me, d, ptl::Unlink::kRetain, &md);
+  };
+  // n_entries total: the target (or a final decoy for the miss scenario)
+  // plus n_entries-1 unique-bits decoys.
+  if (scenario == 0) attach(7, 0);
+  for (std::uint32_t i = 0; i + 1 < n_entries; ++i) attach(1000 + i, 0);
+  if (scenario == 1) attach(7, 0);
+  if (scenario == 2) attach(0, ~0ull);
+  if (scenario == 3) attach(999, 0);
+
+  ptl::WireHeader h;
+  h.op = ptl::WireOp::kPut;
+  h.match_bits = scenario == 3 ? 0xDEADBEEFull : 7;
+  h.length = 8;
+  for (auto _ : state) {
+    auto dec = lib.on_put_header(h);
+    benchmark::DoNotOptimize(dec);
+    if (dec.deliver) (void)lib.deposited(dec.token);
+  }
+  state.SetItemsProcessed(state.iterations());
+  static constexpr const char* kScenario[] = {"hit-first", "hit-last",
+                                              "wildcard", "miss"};
+  state.SetLabel(std::string(kScenario[scenario]) +
+                 (indexed ? "/indexed" : "/linear"));
+}
+BENCHMARK(BM_MatchListSearch)
+    ->ArgsProduct({{1, 16, 256, 4096}, {0, 1, 2, 3}, {0, 1}});
+
 // ------------------------------------------------------ segment lists ----
 
 /// The transmit segment-list builder.  Contiguous MDs and IOVEC MDs of up

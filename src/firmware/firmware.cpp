@@ -141,6 +141,7 @@ FwProcId Firmware::register_process(const ProcessOptions& opts) {
 }
 
 void Firmware::bind_pid(std::uint16_t pid, FwProcId proc) {
+  if (pid >= pid_route_.size()) pid_route_.resize(pid + 1, kGenericProc);
   pid_route_[pid] = proc;
 }
 
@@ -582,10 +583,9 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
   }
 
   // Route by destination pid; unbound pids go to the generic process.
-  FwProcId proc = kGenericProc;
-  if (auto it = pid_route_.find(hdr.dst_pid); it != pid_route_.end()) {
-    proc = it->second;
-  }
+  const FwProcId proc = hdr.dst_pid < pid_route_.size()
+                            ? pid_route_[hdr.dst_pid]
+                            : kGenericProc;
   auto& p = procs_[static_cast<std::size_t>(proc)];
 
   // Source structure lookup/allocation (§4.3).  A *fresh* allocation can
@@ -699,7 +699,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
        hdr.op == ptl::WireOp::kAtomicSum) &&
       msg->payload.empty();
 
-  inflight_rx_[msg->seq] = {proc, id};
+  inflight_rx_.put(msg->seq, {proc, id});
 
   // Accelerated processes: matching happens here, in the firmware (§3.3
   // "accelerated mode"), so no interrupt and no host round-trip is needed.
@@ -710,7 +710,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
       c_.accel_matches->add();
       if (!prog.has_value()) {
         if (cfg_.gobackn) {
-          gbn_discards_[msg->seq] = {msg->src, hdr.stream_seq};
+          gbn_discards_.put(msg->seq, {msg->src, hdr.stream_seq});
         }
         inflight_rx_.erase(msg->seq);
         free_rx_pending(proc, id);
@@ -755,7 +755,7 @@ sim::CoTask<void> Firmware::rx_header_handler(net::MessagePtr msg) {
     c_.accel_matches->add();
     if (!res.has_value()) {
       if (cfg_.gobackn) {
-        gbn_discards_[msg->seq] = {msg->src, hdr.stream_seq};
+        gbn_discards_.put(msg->seq, {msg->src, hdr.stream_seq});
       }
       inflight_rx_.erase(msg->seq);
       free_rx_pending(proc, id);
@@ -808,9 +808,9 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
     // Accepted into the stream but intentionally discarded (no match /
     // released before completion): the CRC verdict still moves the
     // verified cursor, or the sender's window would never drain.
-    if (auto d = gbn_discards_.find(msg->seq); d != gbn_discards_.end()) {
-      const auto [src_node, seq] = d->second;
-      gbn_discards_.erase(d);
+    if (auto* d = gbn_discards_.find(msg->seq)) {
+      const auto [src_node, seq] = *d;
+      gbn_discards_.erase(msg->seq);
       if (crc_ok) {
         gbn_verified(src_node, seq);
       } else {
@@ -820,9 +820,9 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
       co_return;
     }
   }
-  auto it = inflight_rx_.find(msg->seq);
-  if (it == inflight_rx_.end()) co_return;  // dropped at header time
-  const auto [proc, id] = it->second;
+  const auto* rx = inflight_rx_.find(msg->seq);
+  if (rx == nullptr) co_return;  // dropped at header time
+  const auto [proc, id] = *rx;
   auto& p = procs_[static_cast<std::size_t>(proc)];
   LowerPending& lp = p.lower[id];
   lp.crc_ok = crc_ok;
@@ -838,7 +838,7 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
         gbn_crc_fail(msg->src, lp.stream_seq);
       }
     }
-    inflight_rx_.erase(it);
+    inflight_rx_.erase(msg->seq);
     co_return;
   }
 
@@ -853,7 +853,7 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
         gbn_crc_fail(msg->src, lp.stream_seq);
       }
     }
-    inflight_rx_.erase(it);
+    inflight_rx_.erase(msg->seq);
     if (msg->payload.empty()) {
       // No event was posted yet; silently reclaim.
       free_rx_pending(proc, id);
@@ -877,7 +877,7 @@ sim::CoTask<void> Firmware::rx_complete_handler(net::MessagePtr msg,
     // Portals ack.  Inline data (if any) is already in the upper pending —
     // delivering the "new message" and "message complete" notifications
     // together is exactly the §6 small-message optimization.
-    inflight_rx_.erase(it);
+    inflight_rx_.erase(msg->seq);
     c_.rx_completions->add();
     prov_stamp(eng_, msg->prov_id, Stage::kFwComplete);
     if (lp.inline_delivery) c_.inline_deliveries->add();
@@ -1030,10 +1030,10 @@ void Firmware::free_rx_pending(FwProcId proc, PendingId id) {
     // an unmatched message mid-stream and released the pending): the CRC
     // verdict must still move the stream's verified cursor, so remember
     // the stream position under the network seq.
-    auto it = inflight_rx_.find(lp.msg->seq);
-    if (it != inflight_rx_.end() && it->second == std::pair{proc, id}) {
-      gbn_discards_[lp.msg->seq] = {lp.msg->src, lp.stream_seq};
-      inflight_rx_.erase(it);
+    const auto* rx = inflight_rx_.find(lp.msg->seq);
+    if (rx != nullptr && *rx == std::pair{proc, id}) {
+      gbn_discards_.put(lp.msg->seq, {lp.msg->src, lp.stream_seq});
+      inflight_rx_.erase(lp.msg->seq);
     }
   }
   lp = LowerPending{};
@@ -1100,15 +1100,15 @@ void Firmware::gbn_crc_fail(net::NodeId src_node, std::uint32_t seq) {
   // discarded ones (the retransmit re-discards them).
   s->expected_seq = seq;
   s->unacked_accepts = 0;
-  for (auto& [net_seq, pi] : inflight_rx_) {
+  inflight_rx_.for_each([&](std::uint64_t, std::pair<FwProcId, PendingId>& pi) {
     LowerPending& lp = lower(pi.first, pi.second);
     if (lp.msg && lp.msg->src == src_node && !lp.fw_owned &&
         lp.stream_seq > seq) {
       lp.gbn_cancelled = true;
     }
-  }
-  std::erase_if(gbn_discards_, [&](const auto& kv) {
-    return kv.second.first == src_node && kv.second.second > seq;
+  });
+  gbn_discards_.erase_if([&](std::uint64_t, const auto& v) {
+    return v.first == src_node && v.second > seq;
   });
   if (!s->nack_outstanding) {
     s->nack_outstanding = true;

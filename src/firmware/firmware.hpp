@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "firmware/fw_event_queue.hpp"
+#include "sim/flat_map.hpp"
 #include "firmware/source_table.hpp"
 #include "firmware/types.hpp"
 #include "portals/wire.hpp"
@@ -336,7 +337,9 @@ class Firmware final : public ss::RxClient {
 
   sim::Resource ppc_;  // the single-threaded PowerPC 440
   std::vector<Proc> procs_;
-  std::unordered_map<std::uint16_t, FwProcId> pid_route_;
+  /// Pid -> process routing: direct-indexed (pids are small dense rank
+  /// numbers); out-of-range pids fall through to the generic process.
+  std::vector<FwProcId> pid_route_;
   SourceTable sources_;
   ss::Sram::Region cb_region_;
   ss::Sram::Region source_region_;
@@ -348,8 +351,7 @@ class Firmware final : public ss::RxClient {
   bool dispatch_running_ = false;
 
   /// In-flight RX: network seq -> (proc, pending).
-  std::unordered_map<std::uint64_t, std::pair<FwProcId, PendingId>>
-      inflight_rx_;
+  sim::FlatU64Map<std::pair<FwProcId, PendingId>> inflight_rx_;
 
   std::unordered_map<net::NodeId, TxStream> tx_streams_;
 
@@ -357,8 +359,7 @@ class Firmware final : public ss::RxClient {
   /// at header time (no Portals match), keyed by network seq.  Their CRC
   /// verdict still has to advance or rewind the verified cursor at
   /// completion time, or the sender's window would never drain.
-  std::unordered_map<std::uint64_t, std::pair<net::NodeId, std::uint32_t>>
-      gbn_discards_;
+  sim::FlatU64Map<std::pair<net::NodeId, std::uint32_t>> gbn_discards_;
 
   /// Registry-backed op counters (one MetricsRegistry entry each, named
   /// "fw.nN.<field>"); cached handles so bumps are a single integer add.

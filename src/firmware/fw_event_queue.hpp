@@ -6,12 +6,13 @@
 // single event fits in one HT write); the host reads the next slot to see
 // whether anything arrived.  Generic mode drains it from the interrupt
 // handler; accelerated processes poll it on Portals library entry.  In the
-// simulation the ring is a deque plus a WaitQueue so polling hosts can
-// park instead of spinning.
+// simulation the ring is a fixed preallocated buffer — exactly the host
+// memory ring the hardware writes into — plus a WaitQueue so polling
+// hosts can park instead of spinning.  Posting never allocates.
 
 #include <cstddef>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "firmware/types.hpp"
 #include "sim/condition.hpp"
@@ -22,16 +23,17 @@ namespace xt::fw {
 class FwEventQueue {
  public:
   FwEventQueue(sim::Engine& eng, std::size_t capacity)
-      : capacity_(capacity), waiters_(eng) {}
+      : capacity_(capacity), slots_(capacity), waiters_(eng) {}
 
   /// Firmware side.  Returns false on overflow (the host is not draining;
   /// the firmware treats this as resource exhaustion).
   bool post(const FwEvent& ev) {
-    if (q_.size() >= capacity_) {
+    if (len_ >= capacity_) {
       ++dropped_;
       return false;
     }
-    q_.push_back(ev);
+    slots_[(head_ + len_) % capacity_] = ev;
+    ++len_;
     ++posted_;
     waiters_.notify_all();
     return true;
@@ -39,14 +41,15 @@ class FwEventQueue {
 
   /// Host side: non-blocking read of the next event.
   std::optional<FwEvent> poll() {
-    if (q_.empty()) return std::nullopt;
-    const FwEvent ev = q_.front();
-    q_.pop_front();
+    if (len_ == 0) return std::nullopt;
+    const FwEvent ev = slots_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --len_;
     return ev;
   }
 
-  bool empty() const { return q_.empty(); }
-  std::size_t size() const { return q_.size(); }
+  bool empty() const { return len_ == 0; }
+  std::size_t size() const { return len_; }
   std::uint64_t posted() const { return posted_; }
   std::uint64_t dropped() const { return dropped_; }
 
@@ -55,7 +58,9 @@ class FwEventQueue {
 
  private:
   std::size_t capacity_;
-  std::deque<FwEvent> q_;
+  std::vector<FwEvent> slots_;
+  std::size_t head_ = 0;
+  std::size_t len_ = 0;
   sim::WaitQueue waiters_;
   std::uint64_t posted_ = 0;
   std::uint64_t dropped_ = 0;

@@ -8,9 +8,14 @@
 // PtlEQWait.  Overflow follows the 3.3 semantics: the new event is
 // discarded and the next successful PtlEQGet returns PTL_EQ_DROPPED to
 // signal the gap.
+//
+// The ring is a fixed vector sized at allocation — like the real thing, a
+// preallocated circular buffer in process memory — so the deliver path
+// never allocates: posting reuses slot storage (including each Event's
+// inline iovec list) instead of growing a deque.
 
 #include <cstddef>
-#include <deque>
+#include <vector>
 
 #include "portals/types.hpp"
 #include "sim/condition.hpp"
@@ -20,18 +25,19 @@ namespace xt::ptl {
 class EventQueue {
  public:
   EventQueue(sim::Engine& eng, std::size_t count)
-      : capacity_(count), waiters_(eng) {}
+      : capacity_(count), slots_(count), waiters_(eng) {}
 
   /// Library side: append an event (stamps its sequence number, which is
   /// returned so callers can probe ordering invariants).
   std::uint64_t post(Event ev) {
     const std::uint64_t seq = next_seq_++;
     ev.sequence = seq;
-    if (ring_.size() >= capacity_) {
+    if (len_ >= capacity_) {
       dropped_ = true;
       ++drop_count_;
     } else {
-      ring_.push_back(ev);
+      slots_[(head_ + len_) % capacity_] = std::move(ev);
+      ++len_;
     }
     waiters_.notify_all();
     return seq;
@@ -41,9 +47,10 @@ class EventQueue {
   /// (an event IS returned with PTL_EQ_DROPPED; the code flags that at
   /// least one earlier event was lost).
   int get(Event* out) {
-    if (ring_.empty()) return PTL_EQ_EMPTY;
-    *out = ring_.front();
-    ring_.pop_front();
+    if (len_ == 0) return PTL_EQ_EMPTY;
+    *out = slots_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --len_;
     if (dropped_) {
       dropped_ = false;
       return PTL_EQ_DROPPED;
@@ -51,8 +58,8 @@ class EventQueue {
     return PTL_OK;
   }
 
-  bool empty() const { return ring_.empty(); }
-  std::size_t size() const { return ring_.size(); }
+  bool empty() const { return len_ == 0; }
+  std::size_t size() const { return len_; }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t drop_count() const { return drop_count_; }
 
@@ -61,7 +68,9 @@ class EventQueue {
 
  private:
   std::size_t capacity_;
-  std::deque<Event> ring_;
+  std::vector<Event> slots_;
+  std::size_t head_ = 0;
+  std::size_t len_ = 0;
   bool dropped_ = false;
   std::uint64_t drop_count_ = 0;
   std::uint64_t next_seq_ = 0;

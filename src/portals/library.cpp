@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "fault/injector.hpp"
 #include "fault/invariants.hpp"
@@ -68,6 +71,14 @@ void token_into(WireHeader& h, std::uint64_t token) {
 
 Library::Library(sim::Engine& eng, Config cfg, Nal& nal, Memory& mem)
     : eng_(eng), cfg_(cfg), nal_(nal), mem_(mem) {
+  // XT_SHADOW_MATCH=1 upgrades the default strategy to the differential
+  // shadow rig; an explicit kLinear/kShadow in the config is respected.
+  if (cfg_.match_mode == MatchMode::kIndexed) {
+    if (const char* env = std::getenv("XT_SHADOW_MATCH");
+        env != nullptr && std::strcmp(env, "1") == 0) {
+      cfg_.match_mode = MatchMode::kShadow;
+    }
+  }
   pt_.resize(cfg_.limits.max_pt_index);
   ac_.resize(cfg_.limits.max_ac_index);
   eqs_.resize(cfg_.limits.max_eqs);
@@ -84,6 +95,7 @@ Library::Library(sim::Engine& eng, Config cfg, Nal& nal, Memory& mem)
   c_match_hits_ = &reg.counter(pre + "match_hits");
   c_match_misses_ = &reg.counter(pre + "match_misses");
   h_eq_depth_ = &reg.histogram(pre + "eq_depth");
+  h_match_probe_ = &reg.histogram(pre + "match_probe");
 }
 
 // -------------------------------------------------------------- NI ----
@@ -127,11 +139,8 @@ int Library::ni_fini() {
   for (std::uint32_t i = 0; i < mes_.size(); ++i) {
     if (mes_[i].live) unlink_me_internal(i);
   }
-  for (auto& md : mds_) {
-    if (md.live) {
-      md.live = false;
-      ++md.gen;
-    }
+  for (std::uint32_t i = 0; i < mds_.size(); ++i) {
+    if (mds_[i].live) kill_md(i);
   }
   for (std::uint32_t i = 0; i < eqs_.size(); ++i) {
     if (eqs_[i] != nullptr) {
@@ -204,18 +213,8 @@ int Library::me_attach(std::uint32_t pt_index, ProcessId match_id,
   if (pt_index >= pt_.size()) return PTL_PT_INDEX_INVALID;
   PtEntry& pt = pt_[pt_index];
   if (pt.length >= cfg_.limits.max_me_list) return PTL_ME_LIST_TOO_LONG;
-  std::uint32_t idx = kNone;
-  for (std::uint32_t i = 0; i < mes_.size(); ++i) {
-    if (!mes_[i].live) {
-      idx = i;
-      break;
-    }
-  }
-  if (idx == kNone) {
-    if (mes_.size() >= cfg_.limits.max_mes) return PTL_NO_SPACE;
-    idx = static_cast<std::uint32_t>(mes_.size());
-    mes_.emplace_back();
-  }
+  const std::uint32_t idx = alloc_me_slot();
+  if (idx == kNone) return PTL_NO_SPACE;
   MeRec& me = mes_[idx];
   const std::uint32_t gen = me.gen;
   me = MeRec{};
@@ -232,13 +231,16 @@ int Library::me_attach(std::uint32_t pt_index, ProcessId match_id,
     if (pt.head != kNone) mes_[pt.head].prev = idx;
     pt.head = idx;
     if (pt.tail == kNone) pt.tail = idx;
+    assign_label_head(idx);
   } else {  // tail
     me.prev = pt.tail;
     if (pt.tail != kNone) mes_[pt.tail].next = idx;
     pt.tail = idx;
     if (pt.head == kNone) pt.head = idx;
+    assign_label_tail(idx);
   }
   ++pt.length;
+  index_link(idx);
   *out = MeHandle{idx, me.gen};
   return PTL_OK;
 }
@@ -250,19 +252,9 @@ int Library::me_insert(MeHandle base, ProcessId match_id, MatchBits mbits,
   if (b == nullptr) return PTL_ME_INVALID;
   PtEntry& pt = pt_[b->pt_index];
   if (pt.length >= cfg_.limits.max_me_list) return PTL_ME_LIST_TOO_LONG;
-  std::uint32_t idx = kNone;
-  for (std::uint32_t i = 0; i < mes_.size(); ++i) {
-    if (!mes_[i].live) {
-      idx = i;
-      break;
-    }
-  }
-  if (idx == kNone) {
-    if (mes_.size() >= cfg_.limits.max_mes) return PTL_NO_SPACE;
-    idx = static_cast<std::uint32_t>(mes_.size());
-    mes_.emplace_back();
-    b = me_deref(base);  // re-derive: emplace_back may reallocate
-  }
+  const std::uint32_t idx = alloc_me_slot();
+  if (idx == kNone) return PTL_NO_SPACE;
+  b = me_deref(base);  // re-derive: alloc may have grown mes_
   MeRec& me = mes_[idx];
   const std::uint32_t gen = me.gen;
   me = MeRec{};
@@ -295,11 +287,14 @@ int Library::me_insert(MeHandle base, ProcessId match_id, MatchBits mbits,
     mes_[bidx].next = idx;
   }
   ++pt.length;
+  assign_label_between(idx, me.prev, me.next);
+  index_link(idx);
   *out = MeHandle{idx, me.gen};
   return PTL_OK;
 }
 
 void Library::unlink_me_internal(std::uint32_t idx) {
+  index_unlink(idx);
   MeRec& me = mes_[idx];
   PtEntry& pt = pt_[me.pt_index];
   if (me.prev != kNone) {
@@ -316,6 +311,7 @@ void Library::unlink_me_internal(std::uint32_t idx) {
   me.live = false;
   ++me.gen;
   me.next = me.prev = kNone;
+  me_free_.push_back(idx);
 }
 
 int Library::me_unlink(MeHandle meh) {
@@ -325,12 +321,40 @@ int Library::me_unlink(MeHandle meh) {
     MdRec* md = md_deref(me->md);
     if (md != nullptr) {
       if (md->pending_ops > 0) return PTL_ME_IN_USE;
-      md->live = false;
-      ++md->gen;
+      kill_md(me->md.idx);
     }
   }
   unlink_me_internal(meh.idx);
   return PTL_OK;
+}
+
+std::uint32_t Library::alloc_me_slot() {
+  if (!me_free_.empty()) {
+    const std::uint32_t idx = me_free_.back();
+    me_free_.pop_back();
+    return idx;
+  }
+  if (mes_.size() >= cfg_.limits.max_mes) return kNone;
+  mes_.emplace_back();
+  return static_cast<std::uint32_t>(mes_.size() - 1);
+}
+
+std::uint32_t Library::alloc_md_slot() {
+  if (!md_free_.empty()) {
+    const std::uint32_t idx = md_free_.back();
+    md_free_.pop_back();
+    return idx;
+  }
+  if (mds_.size() >= cfg_.limits.max_mds) return kNone;
+  mds_.emplace_back();
+  return static_cast<std::uint32_t>(mds_.size() - 1);
+}
+
+void Library::kill_md(std::uint32_t idx) {
+  MdRec& md = mds_[idx];
+  md.live = false;
+  ++md.gen;
+  md_free_.push_back(idx);
 }
 
 // ------------------------------------------------------------------ MD ----
@@ -405,19 +429,9 @@ int Library::md_attach(MeHandle meh, MdDesc desc, Unlink unlink_op,
   // (validate_md_desc canonicalized desc.length for IOVEC descriptors)
   if (desc.eq.valid() && eq_object(desc.eq) == nullptr) return PTL_EQ_INVALID;
 
-  std::uint32_t idx = kNone;
-  for (std::uint32_t i = 0; i < mds_.size(); ++i) {
-    if (!mds_[i].live) {
-      idx = i;
-      break;
-    }
-  }
-  if (idx == kNone) {
-    if (mds_.size() >= cfg_.limits.max_mds) return PTL_NO_SPACE;
-    idx = static_cast<std::uint32_t>(mds_.size());
-    mds_.emplace_back();
-    me = me_deref(meh);  // re-derive after potential reallocation
-  }
+  const std::uint32_t idx = alloc_md_slot();
+  if (idx == kNone) return PTL_NO_SPACE;
+  me = me_deref(meh);  // re-derive: alloc may have grown mds_
   MdRec& md = mds_[idx];
   const std::uint32_t gen = md.gen;
   md = MdRec{};
@@ -435,18 +449,8 @@ int Library::md_attach(MeHandle meh, MdDesc desc, Unlink unlink_op,
 int Library::md_bind(MdDesc desc, Unlink unlink_op, MdHandle* out) {
   if (int rc = validate_md_desc(desc, mem_); rc != PTL_OK) return rc;
   if (desc.eq.valid() && eq_object(desc.eq) == nullptr) return PTL_EQ_INVALID;
-  std::uint32_t idx = kNone;
-  for (std::uint32_t i = 0; i < mds_.size(); ++i) {
-    if (!mds_[i].live) {
-      idx = i;
-      break;
-    }
-  }
-  if (idx == kNone) {
-    if (mds_.size() >= cfg_.limits.max_mds) return PTL_NO_SPACE;
-    idx = static_cast<std::uint32_t>(mds_.size());
-    mds_.emplace_back();
-  }
+  const std::uint32_t idx = alloc_md_slot();
+  if (idx == kNone) return PTL_NO_SPACE;
   MdRec& md = mds_[idx];
   const std::uint32_t gen = md.gen;
   md = MdRec{};
@@ -466,8 +470,7 @@ int Library::md_unlink(MdHandle mdh) {
   if (md->me.valid()) {
     if (MeRec* me = me_deref(md->me)) me->md = MdHandle{};
   }
-  md->live = false;
-  ++md->gen;
+  kill_md(mdh.idx);
   return PTL_OK;
 }
 
@@ -533,6 +536,133 @@ bool Library::me_matches(const MeRec& me, const WireHeader& hdr) {
   return nid_ok && pid_ok && bits_ok;
 }
 
+bool Library::me_accepts(std::uint32_t idx, const WireHeader& hdr,
+                         bool is_get, std::uint64_t* offset_out,
+                         std::uint32_t* mlength_out) {
+  MeRec& me = mes_[idx];
+  if (!me_matches(me, hdr)) return false;
+  MdRec* md = me.md.valid() ? md_deref(me.md) : nullptr;
+  if (md == nullptr || !md_active(*md)) return false;
+  const unsigned need = is_get ? PTL_MD_OP_GET : PTL_MD_OP_PUT;
+  if ((md->desc.options & need) == 0) return false;
+
+  const bool manage_remote = (md->desc.options & PTL_MD_MANAGE_REMOTE) != 0;
+  const std::uint64_t offset =
+      manage_remote ? hdr.remote_offset : md->local_offset;
+  std::uint32_t mlength;
+  if (hdr.length == 0) {
+    // Zero-length operations need no buffer space; they match anywhere.
+    mlength = 0;
+  } else if (offset >= md->desc.length) {
+    if ((md->desc.options & PTL_MD_TRUNCATE) == 0) return false;
+    mlength = 0;
+  } else {
+    const std::uint64_t space = md->desc.length - offset;
+    if (hdr.length > space) {
+      if ((md->desc.options & PTL_MD_TRUNCATE) == 0) return false;
+      mlength = static_cast<std::uint32_t>(space);
+    } else {
+      mlength = hdr.length;
+    }
+  }
+  *offset_out = offset;
+  *mlength_out = mlength;
+  return true;
+}
+
+std::uint32_t Library::match_walk_linear(const WireHeader& hdr, bool is_get,
+                                         std::uint64_t* offset_out,
+                                         std::uint32_t* mlength_out,
+                                         std::size_t* walked_out) {
+  std::size_t walked = 0;
+  for (std::uint32_t idx = pt_[hdr.pt_index].head; idx != kNone;
+       idx = mes_[idx].next) {
+    ++walked;
+    if (me_accepts(idx, hdr, is_get, offset_out, mlength_out)) {
+      *walked_out = walked;
+      return idx;
+    }
+  }
+  *walked_out = walked;
+  return kNone;
+}
+
+std::uint32_t Library::match_walk_indexed(const WireHeader& hdr, bool is_get,
+                                          std::uint64_t* offset_out,
+                                          std::uint32_t* mlength_out,
+                                          std::size_t* walked_out) {
+  PtEntry& pt = pt_[hdr.pt_index];
+  std::uint32_t e = kNone;  // exact-bucket cursor
+  if (const Chain* c = pt.buckets.find(hdr.match_bits)) e = c->head;
+  std::uint32_t w = pt.wild.head;  // wildcard-chain cursor
+  std::size_t probes = 0;
+  std::uint32_t hit = kNone;
+  // Label-ordered merge of the two chains visits exactly the MEs whose
+  // bits can match hdr, in main-list order; every other ME would have
+  // been rejected by me_matches in the linear walk anyway.
+  while (e != kNone || w != kNone) {
+    std::uint32_t cand;
+    if (w == kNone || (e != kNone && mes_[e].label < mes_[w].label)) {
+      cand = e;
+      e = mes_[e].inext;
+    } else {
+      cand = w;
+      w = mes_[w].inext;
+    }
+    ++probes;
+    if (me_accepts(cand, hdr, is_get, offset_out, mlength_out)) {
+      hit = cand;
+      break;
+    }
+  }
+  if (eng_.metrics().sampling()) h_match_probe_->record(probes);
+  if (hit == kNone) {
+    // The linear walk would have examined (and rejected) every entry.
+    *walked_out = pt.length;
+    return kNone;
+  }
+  // Report the linear walk's entries_walked — the hit's 1-based position
+  // in the main list — so the simulated per-entry match cost charged by
+  // the agent/firmware is byte-identical to the reference.  A pointer
+  // chase over prev links is far cheaper than the full per-entry
+  // acceptance test the linear walk runs.
+  std::size_t pos = 1;
+  for (std::uint32_t p = mes_[hit].prev; p != kNone; p = mes_[p].prev) {
+    ++pos;
+  }
+  *walked_out = pos;
+  return hit;
+}
+
+void Library::shadow_check(const WireHeader& hdr, bool is_get,
+                           std::uint32_t ref, std::uint32_t got,
+                           std::uint64_t ref_off, std::uint64_t got_off,
+                           std::uint32_t ref_len, std::uint32_t got_len,
+                           std::size_t ref_walked, std::size_t got_walked) {
+  const bool agree =
+      ref == got && ref_walked == got_walked &&
+      (ref == kNone || (ref_off == got_off && ref_len == got_len));
+  if (agree) return;
+  ++shadow_mismatches_;
+  if (shadow_report_.empty()) {
+    shadow_report_ = sim::strf(
+        "shadow matcher mismatch: ni=(%u,%u) pt=%u bits=%llx len=%u %s | "
+        "linear: me=%d off=%llu mlen=%u walked=%zu | "
+        "indexed: me=%d off=%llu mlen=%u walked=%zu",
+        cfg_.id.nid, cfg_.id.pid, hdr.pt_index,
+        static_cast<unsigned long long>(hdr.match_bits), hdr.length,
+        is_get ? "get" : "put", static_cast<int>(ref),
+        static_cast<unsigned long long>(ref_off), ref_len, ref_walked,
+        static_cast<int>(got),
+        static_cast<unsigned long long>(got_off), got_len, got_walked);
+  }
+  if (shadow_abort_) {
+    std::fputs(shadow_report_.c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+  }
+}
+
 std::uint32_t Library::match_walk(const WireHeader& hdr, bool is_get,
                                   std::uint64_t* offset_out,
                                   std::uint32_t* mlength_out,
@@ -541,47 +671,174 @@ std::uint32_t Library::match_walk(const WireHeader& hdr, bool is_get,
     *walked_out = 0;
     return kNone;
   }
-  std::size_t walked = 0;
-  for (std::uint32_t idx = pt_[hdr.pt_index].head; idx != kNone;
-       idx = mes_[idx].next) {
-    ++walked;
-    MeRec& me = mes_[idx];
-    if (!me_matches(me, hdr)) continue;
-    MdRec* md = me.md.valid() ? md_deref(me.md) : nullptr;
-    if (md == nullptr || !md_active(*md)) continue;
-    const unsigned need = is_get ? PTL_MD_OP_GET : PTL_MD_OP_PUT;
-    if ((md->desc.options & need) == 0) continue;
-
-    const bool manage_remote = (md->desc.options & PTL_MD_MANAGE_REMOTE) != 0;
-    const std::uint64_t offset =
-        manage_remote ? hdr.remote_offset : md->local_offset;
-    std::uint32_t mlength;
-    if (hdr.length == 0) {
-      // Zero-length operations need no buffer space; they match anywhere.
-      mlength = 0;
-    } else if (offset >= md->desc.length) {
-      if ((md->desc.options & PTL_MD_TRUNCATE) == 0) continue;
-      mlength = 0;
-    } else {
-      const std::uint64_t space = md->desc.length - offset;
-      if (hdr.length > space) {
-        if ((md->desc.options & PTL_MD_TRUNCATE) == 0) continue;
-        mlength = static_cast<std::uint32_t>(space);
-      } else {
-        mlength = hdr.length;
-      }
+  std::uint32_t idx;
+  switch (cfg_.match_mode) {
+    case MatchMode::kLinear:
+      idx = match_walk_linear(hdr, is_get, offset_out, mlength_out,
+                              walked_out);
+      break;
+    case MatchMode::kIndexed:
+      idx = match_walk_indexed(hdr, is_get, offset_out, mlength_out,
+                               walked_out);
+      break;
+    case MatchMode::kShadow:
+    default: {
+      // Order matters: the linear walk runs first so the indexed walk's
+      // sampled match_probe histogram never observes a diverged state.
+      std::uint64_t ref_off = 0, got_off = 0;
+      std::uint32_t ref_len = 0, got_len = 0;
+      std::size_t ref_walked = 0, got_walked = 0;
+      const std::uint32_t ref = match_walk_linear(
+          hdr, is_get, &ref_off, &ref_len, &ref_walked);
+      const std::uint32_t got = match_walk_indexed(
+          hdr, is_get, &got_off, &got_len, &got_walked);
+      shadow_check(hdr, is_get, ref, got, ref_off, got_off, ref_len,
+                   got_len, ref_walked, got_walked);
+      *offset_out = ref_off;
+      *mlength_out = ref_len;
+      *walked_out = ref_walked;
+      idx = ref;
+      break;
     }
-    *offset_out = offset;
-    *mlength_out = mlength;
-    *walked_out = walked;
-    c_match_attempts_->add(walked);
-    c_match_hits_->add();
-    return idx;
   }
-  *walked_out = walked;
-  c_match_attempts_->add(walked);
-  c_match_misses_->add();
-  return kNone;
+  c_match_attempts_->add(*walked_out);
+  if (idx != kNone) {
+    c_match_hits_->add();
+  } else {
+    c_match_misses_->add();
+  }
+  return idx;
+}
+
+// ------------------------------------------------- match-list index ----
+//
+// Order-maintenance labels: every ME carries a 64-bit label strictly
+// increasing along its portal's main match list.  Appends and head
+// inserts step by kGap; me_insert takes the midpoint of its neighbors;
+// when a gap is exhausted (or the ends over/underflow) the whole portal
+// relabels in one O(n) pass — amortized free at kGap = 2^20.
+
+namespace {
+constexpr std::uint64_t kLabelBase = 1ull << 62;
+constexpr std::uint64_t kLabelGap = 1ull << 20;
+constexpr std::uint64_t kLabelMax = ~0ull - kLabelGap;
+}  // namespace
+
+Library::Chain& Library::chain_of(MeRec& me) {
+  PtEntry& pt = pt_[me.pt_index];
+  if (me.ibits != 0) return pt.wild;
+  Chain* c = pt.buckets.find(me.mbits);
+  if (c == nullptr) c = &pt.buckets.put(me.mbits, Chain{});
+  return *c;
+}
+
+void Library::index_link(std::uint32_t idx) {
+  MeRec& me = mes_[idx];
+  Chain& c = chain_of(me);
+  // Chains stay label-sorted.  Both ends are O(1) (appends and head
+  // inserts — the common cases); a mid-list me_insert scans from the
+  // tail.
+  if (c.head == kNone) {
+    c.head = c.tail = idx;
+    me.inext = me.iprev = kNone;
+    return;
+  }
+  if (me.label < mes_[c.head].label) {  // new chain head
+    me.inext = c.head;
+    me.iprev = kNone;
+    mes_[c.head].iprev = idx;
+    c.head = idx;
+    return;
+  }
+  std::uint32_t after = c.tail;
+  while (mes_[after].label > me.label) after = mes_[after].iprev;
+  me.iprev = after;
+  me.inext = mes_[after].inext;
+  if (me.inext != kNone) {
+    mes_[me.inext].iprev = idx;
+  } else {
+    c.tail = idx;
+  }
+  mes_[after].inext = idx;
+}
+
+void Library::index_unlink(std::uint32_t idx) {
+  MeRec& me = mes_[idx];
+  Chain& c = chain_of(me);
+  if (me.iprev != kNone) {
+    mes_[me.iprev].inext = me.inext;
+  } else {
+    c.head = me.inext;
+  }
+  if (me.inext != kNone) {
+    mes_[me.inext].iprev = me.iprev;
+  } else {
+    c.tail = me.iprev;
+  }
+  me.inext = me.iprev = kNone;
+  // Retire empty exact buckets so job-scoped match-bit churn cannot grow
+  // the bucket table without bound.
+  if (me.ibits == 0 && c.head == kNone) pt_[me.pt_index].buckets.erase(me.mbits);
+}
+
+void Library::assign_label_tail(std::uint32_t idx) {
+  MeRec& me = mes_[idx];
+  const std::uint32_t prev = me.prev;
+  if (prev == kNone) {
+    me.label = kLabelBase;
+    return;
+  }
+  if (mes_[prev].label >= kLabelMax) {
+    relabel_pt(pt_[me.pt_index]);
+    return;
+  }
+  me.label = mes_[prev].label + kLabelGap;
+}
+
+void Library::assign_label_head(std::uint32_t idx) {
+  MeRec& me = mes_[idx];
+  const std::uint32_t next = me.next;
+  if (next == kNone) {
+    me.label = kLabelBase;
+    return;
+  }
+  if (mes_[next].label <= kLabelGap) {
+    relabel_pt(pt_[me.pt_index]);
+    return;
+  }
+  me.label = mes_[next].label - kLabelGap;
+}
+
+void Library::assign_label_between(std::uint32_t idx, std::uint32_t lo_idx,
+                                   std::uint32_t hi_idx) {
+  if (lo_idx == kNone) {
+    assign_label_head(idx);
+    return;
+  }
+  if (hi_idx == kNone) {
+    assign_label_tail(idx);
+    return;
+  }
+  const std::uint64_t lo = mes_[lo_idx].label;
+  const std::uint64_t hi = mes_[hi_idx].label;
+  const std::uint64_t mid = lo + (hi - lo) / 2;
+  if (mid == lo) {  // gap exhausted between the neighbors
+    relabel_pt(pt_[mes_[idx].pt_index]);
+    return;
+  }
+  mes_[idx].label = mid;
+}
+
+void Library::relabel_pt(PtEntry& pt) {
+  // The new entry is already on the main list, so one pass renumbers
+  // everything — including it — with fresh kLabelGap spacing.  Chains
+  // remain label-sorted because relabeling preserves main-list order and
+  // each chain is a subsequence of the main list.
+  std::uint64_t label = kLabelBase;
+  for (std::uint32_t i = pt.head; i != kNone; i = mes_[i].next) {
+    mes_[i].label = label;
+    label += kLabelGap;
+  }
 }
 
 void Library::md_consume(std::uint32_t me_idx, MdRec& md, std::uint64_t offset,
@@ -733,7 +990,7 @@ int Library::start_outgoing(OpRec::Kind kind, Nal::TxKind txkind,
   if (kind == OpRec::Kind::kPutOut) {
     post_event(*md, make_event(op, EventType::kSendStart));
   }
-  ops_.emplace(token, op);
+  ops_.put(token, op);
   ++msgs_sent_;
   if (fault::InvariantChecker* chk = eng_.invariants()) {
     chk->initiator_open(cfg_.id.nid, cfg_.id.pid, token);
@@ -889,7 +1146,7 @@ Library::RxDecision Library::on_put_header(const WireHeader& hdr) {
   }
 
   post_event(md, make_event(op, EventType::kPutStart));
-  ops_.emplace(token, op);
+  ops_.put(token, op);
   if (fault::InvariantChecker* chk = eng_.invariants()) {
     chk->target_accepted(cfg_.id.nid, cfg_.id.pid, token);
   }
@@ -905,15 +1162,16 @@ Library::RxDecision Library::on_put_header(const WireHeader& hdr) {
 
 Library::RxDecision Library::on_reply_header(const WireHeader& hdr) {
   RxDecision d;
-  auto it = ops_.find(token_of(hdr));
-  if (it == ops_.end() || it->second.kind != OpRec::Kind::kGetOut) {
+  const std::uint64_t token = token_of(hdr);
+  OpRec* op_p = ops_.find(token);
+  if (op_p == nullptr || op_p->kind != OpRec::Kind::kGetOut) {
     ++drops_;
     return d;
   }
-  OpRec& op = it->second;
+  OpRec& op = *op_p;
   MdRec* md = md_deref(op.md);
   if (md == nullptr) {
-    ops_.erase(it);
+    ops_.erase(token);
     ++drops_;
     return d;
   }
@@ -921,21 +1179,21 @@ Library::RxDecision Library::on_reply_header(const WireHeader& hdr) {
   op.mlength = std::min<std::uint64_t>(hdr.length, op.rlength);
   post_event(*md, make_event(op, EventType::kReplyStart));
   if (fault::InvariantChecker* chk = eng_.invariants()) {
-    chk->target_accepted(cfg_.id.nid, cfg_.id.pid, it->first);
+    chk->target_accepted(cfg_.id.nid, cfg_.id.pid, token);
   }
   d.deliver = true;
   d.mlength = static_cast<std::uint32_t>(op.mlength);
   d.segments = md_slice(md->desc, op.offset,
                         static_cast<std::uint32_t>(op.mlength));
-  d.token = it->first;
+  d.token = token;
   return d;
 }
 
 std::optional<WireHeader> Library::deposited(std::uint64_t token) {
-  auto it = ops_.find(token);
-  if (it == ops_.end()) return std::nullopt;
-  OpRec op = it->second;
-  ops_.erase(it);
+  OpRec* op_p = ops_.find(token);
+  if (op_p == nullptr) return std::nullopt;
+  OpRec op = *op_p;
+  ops_.erase(token);
   std::optional<WireHeader> ack;
   if (MdRec* md = md_deref(op.md)) {
     if (op.kind == OpRec::Kind::kPutIn) {
@@ -957,10 +1215,10 @@ std::optional<WireHeader> Library::deposited(std::uint64_t token) {
 }
 
 void Library::rx_dropped(std::uint64_t token) {
-  auto it = ops_.find(token);
-  if (it == ops_.end()) return;
-  const OpRec op = it->second;
-  ops_.erase(it);
+  OpRec* op_p = ops_.find(token);
+  if (op_p == nullptr) return;
+  const OpRec op = *op_p;
+  ops_.erase(token);
   ++drops_;
   if (MdRec* md = md_deref(op.md)) {
     Event ev = make_event(op, op.kind == OpRec::Kind::kReplyIn
@@ -1014,7 +1272,7 @@ Library::GetDecision Library::on_get_header(const WireHeader& hdr) {
   }
 
   post_event(md, make_event(op, EventType::kGetStart));
-  ops_.emplace(token, op);
+  ops_.put(token, op);
   if (fault::InvariantChecker* chk = eng_.invariants()) {
     chk->target_accepted(cfg_.id.nid, cfg_.id.pid, token);
   }
@@ -1039,10 +1297,10 @@ Library::GetDecision Library::on_get_header(const WireHeader& hdr) {
 }
 
 void Library::reply_sent(std::uint64_t token) {
-  auto it = ops_.find(token);
-  if (it == ops_.end()) return;
-  const OpRec op = it->second;
-  ops_.erase(it);
+  OpRec* op_p = ops_.find(token);
+  if (op_p == nullptr) return;
+  const OpRec op = *op_p;
+  ops_.erase(token);
   if (MdRec* md = md_deref(op.md)) {
     post_event(*md, make_event(op, EventType::kGetEnd));
   }
@@ -1053,9 +1311,9 @@ void Library::reply_sent(std::uint64_t token) {
 }
 
 void Library::on_ack(const WireHeader& hdr) {
-  auto it = ops_.find(token_of(hdr));
-  if (it == ops_.end()) return;
-  OpRec& op = it->second;
+  OpRec* op_p = ops_.find(token_of(hdr));
+  if (op_p == nullptr) return;
+  OpRec& op = *op_p;
   if (op.kind != OpRec::Kind::kPutOut) return;
   if (MdRec* md = md_deref(op.md)) {
     Event ev = make_event(op, EventType::kAck);
@@ -1065,7 +1323,7 @@ void Library::on_ack(const WireHeader& hdr) {
   op.ack_done = true;
   if (op.tx_done) {
     release_op_md(op.md);
-    ops_.erase(it);
+    ops_.erase(token_of(hdr));
     if (fault::InvariantChecker* chk = eng_.invariants()) {
       chk->initiator_done(cfg_.id.nid, cfg_.id.pid, token_of(hdr));
     }
@@ -1073,9 +1331,9 @@ void Library::on_ack(const WireHeader& hdr) {
 }
 
 void Library::send_complete(std::uint64_t token) {
-  auto it = ops_.find(token);
-  if (it == ops_.end()) return;
-  OpRec& op = it->second;
+  OpRec* op_p = ops_.find(token);
+  if (op_p == nullptr) return;
+  OpRec& op = *op_p;
   if (op.kind == OpRec::Kind::kPutOut) {
     if (MdRec* md = md_deref(op.md)) {
       post_event(*md, make_event(op, EventType::kSendEnd));
@@ -1088,7 +1346,7 @@ void Library::send_complete(std::uint64_t token) {
     const bool wants_ack = op.ack == AckReq::kAck;
     if (!wants_ack || op.ack_done) {
       release_op_md(op.md);
-      ops_.erase(it);
+      ops_.erase(token);
       if (fault::InvariantChecker* chk = eng_.invariants()) {
         chk->initiator_done(cfg_.id.nid, cfg_.id.pid, token);
       }
@@ -1098,16 +1356,16 @@ void Library::send_complete(std::uint64_t token) {
 }
 
 void Library::ack_timeout(std::uint64_t token) {
-  auto it = ops_.find(token);
-  if (it == ops_.end()) return;  // resolved before the deadline
-  const OpRec op = it->second;
+  OpRec* op_p = ops_.find(token);
+  if (op_p == nullptr) return;  // resolved before the deadline
+  const OpRec op = *op_p;
   // Only initiator-side waits time out; kReplyIn covers a get whose reply
   // arrived but is still depositing — by the deadline that counts as lost.
   if (op.kind != OpRec::Kind::kPutOut && op.kind != OpRec::Kind::kGetOut &&
       op.kind != OpRec::Kind::kReplyIn) {
     return;
   }
-  ops_.erase(it);
+  ops_.erase(token);
   if (MdRec* md = md_deref(op.md)) {
     Event ev = make_event(op, op.kind == OpRec::Kind::kPutOut
                                   ? (op.tx_done ? EventType::kAck

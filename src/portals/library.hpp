@@ -20,16 +20,25 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "portals/eq.hpp"
 #include "portals/nal.hpp"
 #include "portals/types.hpp"
 #include "sim/engine.hpp"
+#include "sim/flat_map.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace xt::ptl {
+
+/// Match-list search strategy (§3.1 matching).
+///   kIndexed — per-(portal, match-bits) hash index + ordered wildcard
+///              chain; semantically identical to the linear walk.
+///   kLinear  — the reference linear walk over the full match list.
+///   kShadow  — run BOTH on every decision and assert they agree (the
+///              differential verification rig; test/CI mode).
+enum class MatchMode : std::uint8_t { kIndexed, kLinear, kShadow };
 
 class Library {
  public:
@@ -40,6 +49,10 @@ class Library {
     /// source, any portal).  Convenience default; disable to exercise the
     /// access-control path explicitly.
     bool permissive_ac0 = true;
+    /// Match-list search strategy.  The default (kIndexed) is upgraded to
+    /// kShadow when the environment sets XT_SHADOW_MATCH=1, so a whole
+    /// test suite can run under the differential rig without plumbing.
+    MatchMode match_mode = MatchMode::kIndexed;
   };
 
   Library(sim::Engine& eng, Config cfg, Nal& nal, Memory& mem);
@@ -105,6 +118,16 @@ class Library {
 
   ProcessId id() const { return cfg_.id; }
   const Limits& limits() const { return cfg_.limits; }
+  MatchMode match_mode() const { return cfg_.match_mode; }
+  /// Shadow-matcher introspection (kShadow only).  A mismatch between the
+  /// indexed and reference matchers aborts by default; tests that want to
+  /// observe a divergence instead call set_shadow_abort(false) and read
+  /// the counter + the first divergence report.
+  void set_shadow_abort(bool abort_on_mismatch) {
+    shadow_abort_ = abort_on_mismatch;
+  }
+  std::uint64_t shadow_mismatches() const { return shadow_mismatches_; }
+  const std::string& shadow_report() const { return shadow_report_; }
   std::uint64_t status(SrIndex sr) const;
   /// PtlNIDist: network hops to `nid` (from the NAL's routing tables).
   int ni_dist(std::uint32_t nid) const { return nal_.distance(nid); }
@@ -187,6 +210,14 @@ class Library {
     // Intrusive list links (indices into mes_), per portal-table entry.
     std::uint32_t next = kNone;
     std::uint32_t prev = kNone;
+    // Index chain links: the exact bucket for this entry's mbits when
+    // ibits == 0, else the portal's wildcard chain.  Chains are kept in
+    // `label` order so the indexed matcher can merge-walk them in exact
+    // match-list order.
+    std::uint32_t inext = kNone;
+    std::uint32_t iprev = kNone;
+    // Order-maintenance label: strictly increasing along the main list.
+    std::uint64_t label = 0;
   };
 
   struct MdRec {
@@ -202,10 +233,21 @@ class Library {
     bool unlink_when_idle = false;
   };
 
+  /// One label-ordered index chain (threaded through MeRec::inext/iprev).
+  struct Chain {
+    std::uint32_t head = kNone;
+    std::uint32_t tail = kNone;
+  };
+
   struct PtEntry {
     std::uint32_t head = kNone;
     std::uint32_t tail = kNone;
     std::size_t length = 0;
+    /// Exact-match index: mbits -> chain of MEs with ibits == 0 and that
+    /// exact mbits.  MEs with any ignore bits live on the wildcard chain
+    /// (they can accept many keys, so they are merge-walked every time).
+    sim::FlatU64Map<Chain> buckets;
+    Chain wild;
   };
 
   struct AcSlot {
@@ -248,11 +290,41 @@ class Library {
   static bool me_matches(const MeRec& me, const WireHeader& hdr);
   /// ACL check; increments the violation counter on failure.
   bool ac_check(const WireHeader& hdr);
-  /// Walks pt[pt_index]; returns the accepting ME index or kNone.
+  /// Full acceptance test for one ME (matching + MD state + op bit +
+  /// truncation); fills offset/mlength on acceptance.
+  bool me_accepts(std::uint32_t idx, const WireHeader& hdr, bool is_get,
+                  std::uint64_t* offset_out, std::uint32_t* mlength_out);
+  /// Searches pt[pt_index] per cfg_.match_mode; returns the accepting ME
+  /// index or kNone.  All instrumentation lives here, not in the
+  /// strategy walks, so shadow mode never double-counts.
   std::uint32_t match_walk(const WireHeader& hdr, bool is_get,
                            std::uint64_t* offset_out,
                            std::uint32_t* mlength_out,
                            std::size_t* walked_out);
+  /// Reference linear walk (no instrumentation).
+  std::uint32_t match_walk_linear(const WireHeader& hdr, bool is_get,
+                                  std::uint64_t* offset_out,
+                                  std::uint32_t* mlength_out,
+                                  std::size_t* walked_out);
+  /// Indexed walk: label-ordered merge of the exact bucket and wildcard
+  /// chain.  Reports the same entries_walked the linear walk would (list
+  /// position on hit, list length on miss) so the simulated per-entry
+  /// match cost — and therefore every golden output — is unchanged.
+  std::uint32_t match_walk_indexed(const WireHeader& hdr, bool is_get,
+                                   std::uint64_t* offset_out,
+                                   std::uint32_t* mlength_out,
+                                   std::size_t* walked_out);
+  /// Index maintenance: chain membership + order labels.
+  Chain& chain_of(MeRec& me);
+  void index_link(std::uint32_t idx);
+  void index_unlink(std::uint32_t idx);
+  void assign_label_tail(std::uint32_t idx);
+  void assign_label_head(std::uint32_t idx);
+  /// Label for a new entry strictly between lo_idx and hi_idx (either may
+  /// be kNone for the list ends); relabels the portal on gap exhaustion.
+  void assign_label_between(std::uint32_t idx, std::uint32_t lo_idx,
+                            std::uint32_t hi_idx);
+  void relabel_pt(PtEntry& pt);
   /// Consumes one operation on an MD: threshold, offset, auto-unlink.
   void md_consume(std::uint32_t me_idx, MdRec& md, std::uint64_t offset,
                   std::uint32_t mlength, bool manage_remote);
@@ -267,6 +339,17 @@ class Library {
   void auto_unlink(MdHandle mdh);
   void unlink_me_internal(std::uint32_t idx);
   void release_op_md(MdHandle mdh);
+  /// Retire an MD record and recycle its slot.
+  void kill_md(std::uint32_t idx);
+  /// Pop a free slot (or grow) for a new ME/MD record; kNone when the
+  /// limit is reached.
+  std::uint32_t alloc_me_slot();
+  std::uint32_t alloc_md_slot();
+  void shadow_check(const WireHeader& hdr, bool is_get, std::uint32_t ref,
+                    std::uint32_t got, std::uint64_t ref_off,
+                    std::uint64_t got_off, std::uint32_t ref_len,
+                    std::uint32_t got_len, std::size_t ref_walked,
+                    std::size_t got_walked);
   Event make_event(const OpRec& op, EventType type) const;
   int start_outgoing(OpRec::Kind kind, Nal::TxKind txkind, MdHandle mdh,
                      std::uint64_t offset, std::uint32_t len, AckReq ack,
@@ -282,14 +365,23 @@ class Library {
 
   std::vector<MeRec> mes_;
   std::vector<MdRec> mds_;
+  // LIFO free lists over dead mes_/mds_ slots: O(1) slot reuse in place
+  // of the old first-fit scan over every record.
+  std::vector<std::uint32_t> me_free_;
+  std::vector<std::uint32_t> md_free_;
   std::vector<std::unique_ptr<EventQueue>> eqs_;
   std::vector<std::uint32_t> eq_gens_;
   std::vector<PtEntry> pt_;
   std::vector<AcSlot> ac_;
 
-  std::unordered_map<std::uint64_t, OpRec> ops_;
+  sim::FlatU64Map<OpRec> ops_;
   std::uint64_t next_token_ = 1;
   std::uint64_t next_link_ = 1;
+
+  // Shadow-matcher state (kShadow mode only).
+  bool shadow_abort_ = true;
+  std::uint64_t shadow_mismatches_ = 0;
+  std::string shadow_report_;
 
   // Status registers.
   std::uint64_t drops_ = 0;
@@ -304,6 +396,9 @@ class Library {
   telemetry::Counter* c_match_hits_ = nullptr;
   telemetry::Counter* c_match_misses_ = nullptr;
   telemetry::Histogram* h_eq_depth_ = nullptr;
+  /// Index probes (candidates examined) per indexed walk — the measure of
+  /// how much work the index actually saves vs. entries_walked.
+  telemetry::Histogram* h_match_probe_ = nullptr;
 };
 
 }  // namespace xt::ptl

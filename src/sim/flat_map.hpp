@@ -1,0 +1,175 @@
+#pragma once
+
+// FlatU64Map: open-addressing hash map from uint64_t keys to inline slab
+// values, built for the simulator's hot per-message bookkeeping tables
+// (portals op records, firmware in-flight receive and go-back-n discard
+// maps).  std::unordered_map allocates one node per emplace and frees it
+// per erase; under steady-state message churn that is two allocator
+// round-trips per message per table.  Here the value lives inside the
+// slot array, erase just tombstones the slot, and the next insert reuses
+// dead capacity in place — zero allocation at steady state.
+//
+// Design points:
+//   * linear probing over a power-of-two table, splitmix64 key finalizer
+//     (keys are dense small integers — tokens, sequence numbers — so they
+//     need mixing before masking);
+//   * tombstones on erase keep probe chains intact; the table rebuilds
+//     when live+dead slots pass 7/8 occupancy, shedding tombstones;
+//   * deterministic: iteration (for_each/erase_if) runs in slot order,
+//     a pure function of the insert/erase history, never of pointers.
+//
+// The API is pointer-based rather than iterator-based (find returns V*,
+// erase takes the key): the call sites are few and owned by this repo,
+// and it keeps the structure simple.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace xt::sim {
+
+template <class V>
+class FlatU64Map {
+ public:
+  FlatU64Map() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Insert-or-assign.  Returns the stored value.
+  V& put(std::uint64_t key, V value) {
+    reserve_one();
+    const std::size_t i = probe(key);
+    Slot& s = slots_[i];
+    if (s.state != Slot::kFull) {
+      if (s.state == Slot::kTomb) --tombs_;
+      s.state = Slot::kFull;
+      s.key = key;
+      ++size_;
+    }
+    s.val = std::move(value);
+    return s.val;
+  }
+
+  V* find(std::uint64_t key) {
+    if (size_ == 0) return nullptr;
+    const std::size_t i = probe(key);
+    Slot& s = slots_[i];
+    return s.state == Slot::kFull ? &s.val : nullptr;
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<FlatU64Map*>(this)->find(key);
+  }
+
+  bool erase(std::uint64_t key) {
+    if (size_ == 0) return false;
+    const std::size_t i = probe(key);
+    Slot& s = slots_[i];
+    if (s.state != Slot::kFull) return false;
+    s.state = Slot::kTomb;
+    s.val = V{};  // drop payload resources now, not at rebuild
+    ++tombs_;
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    for (Slot& s : slots_) {
+      if (s.state == Slot::kFull) s.val = V{};
+      s.state = Slot::kEmpty;
+    }
+    size_ = tombs_ = 0;
+  }
+
+  /// Visit every live entry in slot order: f(key, value&).
+  template <class F>
+  void for_each(F&& f) {
+    for (Slot& s : slots_) {
+      if (s.state == Slot::kFull) f(s.key, s.val);
+    }
+  }
+
+  /// Erase every live entry for which p(key, value) holds; returns count.
+  template <class P>
+  std::size_t erase_if(P&& p) {
+    std::size_t n = 0;
+    for (Slot& s : slots_) {
+      if (s.state == Slot::kFull && p(s.key, s.val)) {
+        s.state = Slot::kTomb;
+        s.val = V{};
+        ++tombs_;
+        --size_;
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    V val{};
+    enum State : std::uint8_t { kEmpty, kFull, kTomb };
+    State state = kEmpty;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// Index of `key`'s slot if present, else of the first free slot on its
+  /// probe path (preferring the earliest tombstone for reuse).
+  std::size_t probe(std::uint64_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+    std::size_t first_tomb = kNpos;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.state == Slot::kFull) {
+        if (s.key == key) return i;
+      } else if (s.state == Slot::kTomb) {
+        if (first_tomb == kNpos) first_tomb = i;
+      } else {
+        return first_tomb != kNpos ? first_tomb : i;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void reserve_one() {
+    if (slots_.empty()) {
+      slots_.resize(16);
+      return;
+    }
+    // Rebuild before the table passes 7/8 occupancy (live + tombstones);
+    // size to 2x the live count so a churn-heavy table sheds tombstones
+    // without growing.
+    if ((size_ + tombs_ + 1) * 8 >= slots_.size() * 7) {
+      std::size_t cap = 16;
+      while (cap < (size_ + 1) * 2) cap <<= 1;
+      std::vector<Slot> old;
+      old.swap(slots_);
+      slots_.resize(cap);
+      tombs_ = 0;
+      for (Slot& s : old) {
+        if (s.state != Slot::kFull) continue;
+        Slot& dst = slots_[probe(s.key)];
+        dst.state = Slot::kFull;
+        dst.key = s.key;
+        dst.val = std::move(s.val);
+      }
+    }
+  }
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t tombs_ = 0;
+};
+
+}  // namespace xt::sim

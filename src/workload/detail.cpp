@@ -105,6 +105,10 @@ Plan build_plan(const WorkloadSpec& spec) {
 
 void init_rank_state(RankState& st, const Plan& plan, const Ctx& ctx, int r) {
   const std::size_t u = static_cast<std::size_t>(r);
+  // Private per-rank churn stream (me_churn): a pure function of the spec
+  // seed and the rank, independent of the pattern/arrival streams.
+  st.churn_rng = sim::Rng(ctx.spec->seed ^
+                          (0xC0FFEEull * (static_cast<std::uint64_t>(r) + 1)));
   const std::uint64_t sends = plan.send[u].dest.size();
   st.exp_data = static_cast<std::uint64_t>(plan.expect_data[u]);
   st.exp_replies = ctx.rpc ? sends : 0;
@@ -169,6 +173,57 @@ void prov_deliver(RankState& st, Ctx& ctx, std::uint64_t stamp) {
 
 }  // namespace
 
+CoTask<void> churn_step(RankState& st) {
+  auto& api = st.proc->api();
+  sim::Rng& rng = st.churn_rng;
+  // Decoy namespace: high bit set, so it can never collide with a job's
+  // data/reply bits (small integers).  ibits stays 0 — a wildcard decoy
+  // with an MD could steal traffic; an exact decoy cannot.
+  const ptl::MatchBits bits = 0x8000000000000000ull | rng.below(8);
+  const ProcessId any{ptl::kNidAny, ptl::kPidAny};
+  constexpr std::size_t kPoolCap = 48;
+
+  const std::uint64_t roll = rng.below(4);
+  if (roll == 0 || st.churn_mes.size() >= kPoolCap) {
+    // Unlink storm: retire a random live decoy.
+    if (!st.churn_mes.empty()) {
+      const std::size_t k = rng.below(st.churn_mes.size());
+      (void)co_await api.PtlMEUnlink(st.churn_mes[k]);
+      st.churn_mes.erase(st.churn_mes.begin() +
+                         static_cast<std::ptrdiff_t>(k));
+    }
+    co_return;
+  }
+  // Attach storm.  Head attaches are the hostile case: every incoming
+  // message must walk past the decoy without matching it.
+  const bool head = rng.chance(0.4);
+  const bool once = rng.chance(0.3);
+  ptl::Res<ptl::MeHandle> me;
+  if (!st.churn_mes.empty() && rng.chance(0.3)) {
+    const std::size_t k = rng.below(st.churn_mes.size());
+    me = co_await api.PtlMEInsert(st.churn_mes[k], any, bits, 0,
+                                  once ? Unlink::kUnlink : Unlink::kRetain,
+                                  head ? InsPos::kBefore : InsPos::kAfter);
+  } else {
+    me = co_await api.PtlMEAttach(0, any, bits, 0,
+                                  once ? Unlink::kUnlink : Unlink::kRetain,
+                                  head ? InsPos::kBefore : InsPos::kAfter);
+  }
+  if (me.rc != ptl::PTL_OK) co_return;
+  st.churn_mes.push_back(me.value);
+  if (once) {
+    // Use-once flavor: a threshold-1 MD rides along (no EQ, no deliverable
+    // space is ever consumed — nothing targets the decoy bits), so unlink
+    // tears down an ME with a live MD attached.
+    MdDesc d;
+    d.start = 0;
+    d.length = 0;
+    d.options = ptl::PTL_MD_OP_PUT;
+    d.threshold = 1;
+    (void)co_await api.PtlMDAttach(me.value, d, Unlink::kUnlink);
+  }
+}
+
 CoTask<void> pump_rank(RankState& st, Ctx& ctx) {
   auto& api = st.proc->api();
   while (!st.done(ctx)) {
@@ -206,6 +261,7 @@ CoTask<void> pump_rank(RankState& st, Ctx& ctx) {
           prov_deliver(st, ctx, e.hdr_data);
         } else {
           ++st.data_ok;
+          if (ctx.spec->me_churn) co_await churn_step(st);
           if (ctx.rpc) {
             // Serve the request: reply to the initiator, echoing the
             // request's timestamp so the client can compute RTT.

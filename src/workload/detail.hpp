@@ -82,6 +82,11 @@ struct RankState {
   ptl::EqHandle eq{};
   ptl::MdHandle send_md{};
   int inflight = 0;
+  /// me_churn: live decoy ME handles and the rank's private churn stream
+  /// (forked deterministically in init_rank_state, so churn stays pure
+  /// per-rank and --jobs byte-identity holds).
+  std::vector<ptl::MeHandle> churn_mes;
+  sim::Rng churn_rng;
 
   std::uint64_t send_end = 0, acks = 0, data_ok = 0, data_drop = 0,
                 replies = 0;
@@ -114,6 +119,9 @@ void init_rank_state(RankState& st, const Plan& plan, const Ctx& ctx, int r);
 
 sim::CoTask<void> setup_rank(RankState& st, Ctx& ctx);
 sim::CoTask<void> pump_rank(RankState& st, Ctx& ctx);
+/// One me_churn step: attach/insert/unlink a decoy ME per the rank's churn
+/// stream.  Called by pump_rank on every data delivery when spec->me_churn.
+sim::CoTask<void> churn_step(RankState& st);
 sim::CoTask<void> send_rank(int rank, RankState& st, const RankPlan& plan,
                             Ctx& ctx);
 

@@ -71,6 +71,13 @@ struct WorkloadSpec {
   /// their expected totals, so the run terminates even though some
   /// messages are never delivered intact.
   bool count_drops = false;
+  /// Match-list churn stress: each rank interleaves decoy ME
+  /// attach/insert/unlink storms (head and tail, exact and use-once
+  /// flavors) with its normal traffic.  The decoys use a reserved
+  /// match-bits namespace and carry no usable MD, so they never steal a
+  /// workload message — they only stress match-list maintenance and force
+  /// every incoming message to walk past non-matching entries.
+  bool me_churn = false;
 };
 
 struct WorkloadResult {

@@ -76,6 +76,9 @@ Tuple derive(std::uint64_t seed) {
   // Without retransmission, lost deliveries must still terminate the run:
   // pace on send-end and let receivers count dropped attempts.
   t.spec.count_drops = !t.cfg.gobackn;
+  // Match-list churn storms: decoy ME attach/insert/unlink interleaved
+  // with traffic (stresses the indexed matcher's maintenance paths).
+  t.spec.me_churn = rng.chance(0.35);
   t.spec.seed = rng.u64();
   t.scenario_seed = rng.u64();
 
@@ -190,12 +193,13 @@ SeedResult run_one(std::uint64_t seed, const FaultPlan* plan_override) {
 
     r.ok = problems.empty();
     r.line = xt::sim::strf(
-        "seed %4llu %s %-11s ranks=%d %s%s sent=%llu delivered=%llu "
+        "seed %4llu %s %-11s ranks=%d %s%s%s sent=%llu delivered=%llu "
         "faults=%llu timeouts=%llu digest=%016llx",
         static_cast<unsigned long long>(seed), r.ok ? "ok  " : "FAIL",
         xt::workload::pattern_name(t.spec.pattern), t.spec.ranks,
         t.cfg.gobackn ? "gbn" : "raw",
         t.mode == xt::host::ProcMode::kAccel ? "+accel" : "",
+        t.spec.me_churn ? "+churn" : "",
         static_cast<unsigned long long>(res.sent),
         static_cast<unsigned long long>(res.delivered),
         static_cast<unsigned long long>(injected),
