@@ -919,8 +919,7 @@ void Library::auto_unlink(MdHandle mdh) {
       if (me->unlink == Unlink::kUnlink) unlink_me_internal(me_idx);
     }
   }
-  md->live = false;
-  ++md->gen;
+  kill_md(mdh.idx);
 }
 
 void Library::release_op_md(MdHandle mdh) {

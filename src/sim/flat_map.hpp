@@ -39,15 +39,20 @@ class FlatU64Map {
 
   /// Insert-or-assign.  Returns the stored value.
   V& put(std::uint64_t key, V value) {
-    reserve_one();
-    const std::size_t i = probe(key);
-    Slot& s = slots_[i];
-    if (s.state != Slot::kFull) {
-      if (s.state == Slot::kTomb) --tombs_;
-      s.state = Slot::kFull;
-      s.key = key;
-      ++size_;
+    if (!slots_.empty()) {
+      Slot& hit = slots_[probe(key)];
+      if (hit.state == Slot::kFull) {
+        // Pure assignment: overwrite in place, never trigger a rebuild.
+        hit.val = std::move(value);
+        return hit.val;
+      }
     }
+    reserve_one();
+    Slot& s = slots_[probe(key)];
+    if (s.state == Slot::kTomb) --tombs_;
+    s.state = Slot::kFull;
+    s.key = key;
+    ++size_;
     s.val = std::move(value);
     return s.val;
   }

@@ -212,13 +212,14 @@ CoTask<void> churn_step(RankState& st) {
   if (me.rc != ptl::PTL_OK) co_return;
   st.churn_mes.push_back(me.value);
   if (once) {
-    // Use-once flavor: a threshold-1 MD rides along (no EQ, no deliverable
-    // space is ever consumed — nothing targets the decoy bits), so unlink
-    // tears down an ME with a live MD attached.
+    // Use-once flavor: a threshold-1 MD rides along so unlink tears down
+    // an ME with a live MD attached.  No op bits: even a zero-length put
+    // aimed at the decoy bits would fail the MD op check rather than be
+    // accepted, so the decoy can never consume traffic.
     MdDesc d;
     d.start = 0;
     d.length = 0;
-    d.options = ptl::PTL_MD_OP_PUT;
+    d.options = 0;
     d.threshold = 1;
     (void)co_await api.PtlMDAttach(me.value, d, Unlink::kUnlink);
   }

@@ -62,8 +62,8 @@ struct Proc {
   FakeMemory mem{1 << 16};
   FakeNal nal;
   Library lib;
-  explicit Proc(Nid nid = 7, Pid pid = 3)
-      : lib(eng, Library::Config{ProcessId{nid, pid}, Limits{}, true}, nal,
+  explicit Proc(Nid nid = 7, Pid pid = 3, Limits limits = Limits{})
+      : lib(eng, Library::Config{ProcessId{nid, pid}, limits, true}, nal,
             mem) {}
 
   EqHandle eq(std::size_t n = 64) {
@@ -409,6 +409,26 @@ TEST(PtlMd, AutoUnlinkPostsUnlinkEvent) {
   EXPECT_EQ(evs[2].type, EventType::kUnlink);
   // The ME went away with its MD (Unlink::kUnlink on the ME).
   EXPECT_EQ(p.lib.me_unlink(me), PTL_ME_INVALID);
+}
+
+TEST(PtlMd, AutoUnlinkRecyclesSlot) {
+  // Regression: auto_unlink must return the MD slot to the free list.
+  // With slab allocation free-list-only, a leaked slot per use-once MD
+  // exhausts max_mds on long runs even though few MDs are ever live.
+  Limits lims;
+  lims.max_mds = 8;
+  Proc p(7, 3, lims);
+  EqHandle eq = p.eq();
+  MeHandle me = p.me(4, 1);  // retained ME, fresh MD each round
+  for (int i = 0; i < 64; ++i) {
+    p.md_on(me, 0, 1000, PTL_MD_OP_PUT, eq, /*threshold=*/1, Unlink::kUnlink);
+    auto d = p.lib.on_put_header(put_hdr(10, 1));
+    ASSERT_TRUE(d.deliver) << "round " << i;
+    (void)p.lib.deposited(d.token);
+    auto evs = p.drain(eq);
+    ASSERT_EQ(evs.size(), 3u) << "round " << i;
+    EXPECT_EQ(evs[2].type, EventType::kUnlink) << "round " << i;
+  }
 }
 
 TEST(PtlMd, RetainKeepsMeAfterMdUnlink) {

@@ -7,6 +7,7 @@
 
 #include "sim/condition.hpp"
 #include "sim/engine.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/resource.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -519,6 +520,52 @@ TEST(Determinism, RepeatedRunsIdentical) {
   const auto a = run_once();
   const auto b = run_once();
   EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------------- FlatU64Map ----
+
+TEST(FlatMap, PutFindErase) {
+  FlatU64Map<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), nullptr);
+  m.put(1, 10);
+  m.put(2, 20);
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 10);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, OverwriteKeepsSizeAndValue) {
+  FlatU64Map<int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.put(k, static_cast<int>(k));
+  // Repeated assignment to existing keys must not change the live count
+  // and must leave every other entry intact.
+  for (int round = 0; round < 1000; ++round) m.put(42, round);
+  EXPECT_EQ(m.size(), 100u);
+  ASSERT_NE(m.find(42), nullptr);
+  EXPECT_EQ(*m.find(42), 999);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    ASSERT_NE(m.find(k), nullptr) << "key " << k;
+  }
+}
+
+TEST(FlatMap, ChurnReusesTombstones) {
+  FlatU64Map<std::uint64_t> m;
+  // Steady-state insert/erase churn: every key lands, dies, and its slot
+  // is reused, across enough rounds to force rebuilds and tomb reuse.
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    m.put(k, k * 3);
+    ASSERT_NE(m.find(k), nullptr);
+    EXPECT_EQ(*m.find(k), k * 3);
+    if (k >= 4) {
+      EXPECT_TRUE(m.erase(k - 4));
+    }
+    EXPECT_LE(m.size(), 5u);
+  }
 }
 
 }  // namespace
